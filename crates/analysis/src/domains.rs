@@ -1,0 +1,217 @@
+//! §5.1 aggregation: domain-population statistics, Figure 1 CDFs, and the
+//! Table 2 operator breakdown.
+
+use std::collections::HashMap;
+
+use crate::stats::{pct, Cdf};
+
+/// One analyzed domain (from the census pipeline or from declared specs).
+#[derive(Clone, Debug)]
+pub struct DomainRecord {
+    /// Domain name (presentation form).
+    pub name: String,
+    /// DNSSEC-enabled (DNSKEY present).
+    pub dnssec: bool,
+    /// NSEC3 parameters if NSEC3-enabled: `(iterations, salt_len)`.
+    pub nsec3: Option<(u16, u8)>,
+    /// Opt-out flag observed.
+    pub opt_out: bool,
+    /// Exclusive operator (registered domain of all NS targets), if any.
+    pub operator: Option<String>,
+}
+
+/// Aggregate statistics over a domain population (the §5.1 numbers).
+#[derive(Clone, Debug)]
+pub struct DomainStats {
+    /// Total domains analyzed.
+    pub total: u64,
+    /// DNSSEC-enabled count.
+    pub dnssec: u64,
+    /// NSEC3-enabled count.
+    pub nsec3: u64,
+    /// NSEC3-enabled domains with zero additional iterations.
+    pub zero_iterations: u64,
+    /// NSEC3-enabled domains without salt.
+    pub no_salt: u64,
+    /// NSEC3-enabled domains with opt-out set.
+    pub opt_out: u64,
+    /// CDF of additional iterations (NSEC3-enabled only).
+    pub iterations_cdf: Cdf,
+    /// CDF of salt lengths in bytes (NSEC3-enabled only).
+    pub salt_cdf: Cdf,
+}
+
+impl DomainStats {
+    /// Compute from records.
+    pub fn compute(records: &[DomainRecord]) -> Self {
+        let total = records.len() as u64;
+        let dnssec = records.iter().filter(|r| r.dnssec).count() as u64;
+        let nsec3_records: Vec<&DomainRecord> =
+            records.iter().filter(|r| r.nsec3.is_some()).collect();
+        let nsec3 = nsec3_records.len() as u64;
+        let zero_iterations =
+            nsec3_records.iter().filter(|r| r.nsec3.unwrap().0 == 0).count() as u64;
+        let no_salt = nsec3_records.iter().filter(|r| r.nsec3.unwrap().1 == 0).count() as u64;
+        let opt_out = nsec3_records.iter().filter(|r| r.opt_out).count() as u64;
+        let iterations_cdf =
+            Cdf::from_samples(nsec3_records.iter().map(|r| r.nsec3.unwrap().0 as u32));
+        let salt_cdf = Cdf::from_samples(nsec3_records.iter().map(|r| r.nsec3.unwrap().1 as u32));
+        DomainStats {
+            total,
+            dnssec,
+            nsec3,
+            zero_iterations,
+            no_salt,
+            opt_out,
+            iterations_cdf,
+            salt_cdf,
+        }
+    }
+
+    /// DNSSEC share of all domains (paper: 8.8 %).
+    pub fn dnssec_pct(&self) -> f64 {
+        pct(self.dnssec, self.total)
+    }
+
+    /// NSEC3 share of DNSSEC-enabled (paper: 58.9 %).
+    pub fn nsec3_of_dnssec_pct(&self) -> f64 {
+        pct(self.nsec3, self.dnssec)
+    }
+
+    /// The headline: share of NSEC3-enabled domains violating item 2
+    /// (paper: 87.8 %).
+    pub fn non_compliant_pct(&self) -> f64 {
+        pct(self.nsec3 - self.zero_iterations, self.nsec3)
+    }
+
+    /// Item 2 compliance (paper: 12.2 %).
+    pub fn zero_iteration_pct(&self) -> f64 {
+        pct(self.zero_iterations, self.nsec3)
+    }
+
+    /// Item 3 compliance (paper: 8.6 %).
+    pub fn no_salt_pct(&self) -> f64 {
+        pct(self.no_salt, self.nsec3)
+    }
+
+    /// Opt-out share (paper: 6.4 %).
+    pub fn opt_out_pct(&self) -> f64 {
+        pct(self.opt_out, self.nsec3)
+    }
+}
+
+/// One row of the Table 2 reproduction.
+#[derive(Clone, Debug)]
+pub struct OperatorRow {
+    /// Operator registered domain.
+    pub operator: String,
+    /// NSEC3-enabled domains served exclusively.
+    pub count: u64,
+    /// Share of all NSEC3-enabled domains (%).
+    pub share_pct: f64,
+    /// Parameter sets `(iterations, salt_len)` with their share of this
+    /// operator's domains (%), descending, covering ≥ 99.9 %.
+    pub params: Vec<(u16, u8, f64)>,
+}
+
+/// Compute the Table 2 operator breakdown: top `n` operators by
+/// exclusively-served NSEC3-enabled domains.
+pub fn operator_table(records: &[DomainRecord], n: usize) -> Vec<OperatorRow> {
+    let nsec3_total = records.iter().filter(|r| r.nsec3.is_some()).count() as u64;
+    let mut by_op: HashMap<&str, Vec<(u16, u8)>> = HashMap::new();
+    for rec in records {
+        if let (Some(params), Some(op)) = (rec.nsec3, rec.operator.as_deref()) {
+            by_op.entry(op).or_default().push(params);
+        }
+    }
+    let mut rows: Vec<OperatorRow> = by_op
+        .into_iter()
+        .map(|(op, params)| {
+            let count = params.len() as u64;
+            let mut freq: HashMap<(u16, u8), u64> = HashMap::new();
+            for p in &params {
+                *freq.entry(*p).or_default() += 1;
+            }
+            let mut param_rows: Vec<(u16, u8, f64)> = freq
+                .into_iter()
+                .map(|((it, salt), c)| (it, salt, pct(c, count)))
+                .collect();
+            param_rows.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+            OperatorRow {
+                operator: op.to_string(),
+                count,
+                share_pct: pct(count, nsec3_total),
+                params: param_rows,
+            }
+        })
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.count));
+    rows.truncate(n);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(nsec3: Option<(u16, u8)>, opt_out: bool, op: Option<&str>) -> DomainRecord {
+        DomainRecord {
+            name: "x.com.".into(),
+            dnssec: nsec3.is_some(),
+            nsec3,
+            opt_out,
+            operator: op.map(String::from),
+        }
+    }
+
+    #[test]
+    fn stats_compute() {
+        let records = vec![
+            rec(None, false, None),
+            rec(Some((0, 0)), false, None),
+            rec(Some((1, 8)), true, None),
+            rec(Some((5, 0)), false, None),
+            DomainRecord { name: "n.com.".into(), dnssec: true, nsec3: None, opt_out: false, operator: None },
+        ];
+        let s = DomainStats::compute(&records);
+        assert_eq!(s.total, 5);
+        assert_eq!(s.dnssec, 4);
+        assert_eq!(s.nsec3, 3);
+        assert_eq!(s.zero_iterations, 1);
+        assert_eq!(s.no_salt, 2);
+        assert_eq!(s.opt_out, 1);
+        assert!((s.non_compliant_pct() - 66.666).abs() < 0.01);
+        assert!((s.dnssec_pct() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn operator_table_orders_and_shares() {
+        let mut records = Vec::new();
+        for _ in 0..60 {
+            records.push(rec(Some((1, 8)), false, Some("big.example.")));
+        }
+        for _ in 0..30 {
+            records.push(rec(Some((0, 0)), false, Some("small.example.")));
+        }
+        for _ in 0..10 {
+            records.push(rec(Some((5, 4)), false, None)); // multi-operator
+        }
+        let table = operator_table(&records, 10);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table[0].operator, "big.example.");
+        assert_eq!(table[0].count, 60);
+        assert!((table[0].share_pct - 60.0).abs() < 1e-9);
+        assert_eq!(table[0].params[0], (1, 8, 100.0));
+        assert_eq!(table[1].count, 30);
+    }
+
+    #[test]
+    fn figure1_cdf_values() {
+        let records: Vec<DomainRecord> = (0..100)
+            .map(|i| rec(Some((if i < 12 { 0 } else { 1 }, 8)), false, None))
+            .collect();
+        let s = DomainStats::compute(&records);
+        assert!((s.iterations_cdf.fraction_at_most(0) - 0.12).abs() < 1e-9);
+        assert!((s.zero_iteration_pct() - 12.0).abs() < 1e-9);
+    }
+}

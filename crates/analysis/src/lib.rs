@@ -1,0 +1,20 @@
+//! RFC 9276 compliance analysis: the paper's Table 1 items as checkable
+//! predicates, §5.1/§5.2 aggregation, and text/CSV renderers for every
+//! table and figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod domains;
+pub mod render;
+pub mod resolvers;
+pub mod rfc9276;
+pub mod stats;
+pub mod svg;
+
+pub use domains::{operator_table, DomainRecord, DomainStats, OperatorRow};
+pub use render::{cdf_csv, compare_line, figure3_csv, render_cdf, render_figure3_panel, render_table2};
+pub use resolvers::{figure3_series, Panel, RcodeShares, ResolverStats};
+pub use rfc9276::{DomainCompliance, Item, Keyword, ITEMS};
+pub use stats::{fmt_count, fmt_pct, ks_uniform, pct, Cdf};
+pub use svg::{cdf_svg, figure3_svg};

@@ -1,0 +1,284 @@
+//! §5.2 aggregation: validator discovery counts, RFC 9276 item 6/8/7/10/12
+//! adoption, threshold histograms, and the Figure 3 RCODE-share series.
+
+use std::collections::BTreeMap;
+
+use dns_scanner::prober::ResolverClassification;
+use dns_wire::rrtype::Rcode;
+
+use crate::stats::pct;
+
+/// Which of the four Figure 3 panels a resolver belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Panel {
+    /// Figure 3a.
+    OpenV4,
+    /// Figure 3b.
+    OpenV6,
+    /// Figure 3c.
+    ClosedV4,
+    /// Figure 3d.
+    ClosedV6,
+}
+
+impl Panel {
+    /// Panel title as in the paper.
+    pub fn title(self) -> &'static str {
+        match self {
+            Panel::OpenV4 => "(a) Open, IPv4",
+            Panel::OpenV6 => "(b) Open, IPv6",
+            Panel::ClosedV4 => "(c) Closed, IPv4",
+            Panel::ClosedV6 => "(d) Closed, IPv6",
+        }
+    }
+}
+
+/// One point of a Figure 3 series: response-kind shares at iteration
+/// count N, in percent of validators.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RcodeShares {
+    /// Additional-iteration count.
+    pub n: u16,
+    /// NXDOMAIN share (with or without AD — the paper's solid line).
+    pub nxdomain: f64,
+    /// NXDOMAIN with AD set (subset of `nxdomain`).
+    pub ad_nxdomain: f64,
+    /// SERVFAIL share.
+    pub servfail: f64,
+}
+
+/// Aggregated §5.2 statistics over one set of classifications.
+#[derive(Clone, Debug)]
+pub struct ResolverStats {
+    /// Resolvers that answered probes at all.
+    pub responsive: u64,
+    /// Validators found.
+    pub validators: u64,
+    /// Validators limiting iterations in any way (paper: 78.3 %).
+    pub limiting: u64,
+    /// Item 6 implementers (paper: 59.9 %).
+    pub item6: u64,
+    /// Item 8 implementers (paper: 18.4 %).
+    pub item8: u64,
+    /// Histogram of insecure-limit values (item 6 thresholds).
+    pub insecure_limits: BTreeMap<u16, u64>,
+    /// Histogram of first-SERVFAIL values (item 8 starts).
+    pub servfail_starts: BTreeMap<u16, u64>,
+    /// Limiting resolvers attaching EDE 27.
+    pub ede27: u64,
+    /// Item 7 violators (of those tested).
+    pub item7_violations: u64,
+    /// Item 7 tested.
+    pub item7_tested: u64,
+    /// Item 12 gaps observed.
+    pub item12_gaps: u64,
+    /// Flaky resolvers.
+    pub flaky: u64,
+    /// Validators whose responses never set RA (query-copier signature).
+    pub ra_missing: u64,
+}
+
+impl ResolverStats {
+    /// Aggregate a batch of classifications.
+    pub fn compute(classifications: &[ResolverClassification]) -> Self {
+        let responsive = classifications.len() as u64;
+        let validators: Vec<&ResolverClassification> =
+            classifications.iter().filter(|c| c.is_validator).collect();
+        let mut stats = ResolverStats {
+            responsive,
+            validators: validators.len() as u64,
+            limiting: 0,
+            item6: 0,
+            item8: 0,
+            insecure_limits: BTreeMap::new(),
+            servfail_starts: BTreeMap::new(),
+            ede27: 0,
+            item7_violations: 0,
+            item7_tested: 0,
+            item12_gaps: 0,
+            flaky: 0,
+            ra_missing: 0,
+        };
+        for c in &validators {
+            // The paper's 78.3 % headline is exactly item 6 + item 8
+            // (59.9 + 18.4): resolvers with a *clean* limit. Flaky
+            // resolvers show limits too but the paper counts them out.
+            if c.implements_item6() || c.implements_item8() {
+                stats.limiting += 1;
+            }
+            if c.implements_item6() {
+                stats.item6 += 1;
+                if let Some(l) = c.insecure_limit {
+                    *stats.insecure_limits.entry(l).or_default() += 1;
+                }
+            }
+            if c.implements_item8() {
+                stats.item8 += 1;
+                if let Some(s) = c.servfail_start {
+                    *stats.servfail_starts.entry(s).or_default() += 1;
+                }
+            }
+            if c.ede27_on_limit {
+                stats.ede27 += 1;
+            }
+            match c.item7_violation {
+                Some(true) => {
+                    stats.item7_tested += 1;
+                    stats.item7_violations += 1;
+                }
+                Some(false) => stats.item7_tested += 1,
+                None => {}
+            }
+            if c.item12_gap {
+                stats.item12_gaps += 1;
+            }
+            if c.flaky {
+                stats.flaky += 1;
+            }
+            if c.ra_missing {
+                stats.ra_missing += 1;
+            }
+        }
+        stats
+    }
+
+    /// Share of validators limiting iterations (paper: 78.3 %).
+    pub fn limiting_pct(&self) -> f64 {
+        pct(self.limiting, self.validators)
+    }
+
+    /// Item 6 share (paper: 59.9 %).
+    pub fn item6_pct(&self) -> f64 {
+        pct(self.item6, self.validators)
+    }
+
+    /// Item 8 share (paper: 18.4 %).
+    pub fn item8_pct(&self) -> f64 {
+        pct(self.item8, self.validators)
+    }
+
+    /// EDE 27 share among limiting validators (paper: < 18 % for open).
+    pub fn ede27_of_limiting_pct(&self) -> f64 {
+        pct(self.ede27, self.limiting)
+    }
+
+    /// Item 7 violation share among tested (paper: 0.2 %).
+    pub fn item7_violation_pct(&self) -> f64 {
+        pct(self.item7_violations, self.item7_tested)
+    }
+
+    /// Item 12 gap share of validators (paper: 4.3 %).
+    pub fn item12_gap_pct(&self) -> f64 {
+        pct(self.item12_gaps, self.validators)
+    }
+}
+
+/// Build one Figure 3 panel's series from validator classifications: for
+/// each probed N, the share of validators answering NXDOMAIN,
+/// AD+NXDOMAIN, and SERVFAIL.
+pub fn figure3_series(classifications: &[ResolverClassification]) -> Vec<RcodeShares> {
+    let validators: Vec<&ResolverClassification> =
+        classifications.iter().filter(|c| c.is_validator).collect();
+    let mut per_n: BTreeMap<u16, (u64, u64, u64, u64)> = BTreeMap::new();
+    for c in &validators {
+        for (n, obs) in &c.responses {
+            let e = per_n.entry(*n).or_default();
+            e.3 += 1; // total
+            match (obs.rcode, obs.ad) {
+                (Rcode::NxDomain, true) => {
+                    e.0 += 1;
+                    e.1 += 1;
+                }
+                (Rcode::NxDomain, false) => {
+                    e.0 += 1;
+                }
+                (Rcode::ServFail, _) => {
+                    e.2 += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    per_n
+        .into_iter()
+        .map(|(n, (nx, adnx, sf, total))| RcodeShares {
+            n,
+            nxdomain: pct(nx, total),
+            ad_nxdomain: pct(adnx, total),
+            servfail: pct(sf, total),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_resolver::broken::ObservedResponse;
+
+    fn mk(responses: Vec<(u16, Rcode, bool)>, validator: bool) -> ResolverClassification {
+        let mut c = ResolverClassification {
+            resolver: "10.0.0.1".parse().unwrap(),
+            is_validator: validator,
+            responses: responses
+                .into_iter()
+                .map(|(n, rcode, ad)| {
+                    (n, ObservedResponse { rcode, ad, ra: true, ede: None, ede_has_text: false })
+                })
+                .collect(),
+            insecure_limit: None,
+            has_insecure_band: false,
+            servfail_start: None,
+            ede27_on_limit: false,
+            limit_ede_codes: vec![],
+            item7_violation: None,
+            item12_gap: false,
+            flaky: false,
+            ra_missing: false,
+        };
+        dns_scanner::prober::derive_limits(&mut c);
+        c
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let classifications = vec![
+            mk(vec![(1, Rcode::NxDomain, true), (151, Rcode::NxDomain, false)], true),
+            mk(vec![(1, Rcode::NxDomain, true), (151, Rcode::ServFail, false)], true),
+            mk(vec![(1, Rcode::NxDomain, true), (151, Rcode::NxDomain, true)], true),
+            mk(vec![], false),
+        ];
+        let s = ResolverStats::compute(&classifications);
+        assert_eq!(s.responsive, 4);
+        assert_eq!(s.validators, 3);
+        assert_eq!(s.item6, 1);
+        assert_eq!(s.item8, 1);
+        assert_eq!(s.limiting, 2);
+        assert!((s.limiting_pct() - 66.666).abs() < 0.01);
+        assert_eq!(s.insecure_limits.get(&1), Some(&1));
+        assert_eq!(s.servfail_starts.get(&151), Some(&1));
+    }
+
+    #[test]
+    fn figure3_shares() {
+        let classifications = vec![
+            mk(vec![(100, Rcode::NxDomain, true), (200, Rcode::NxDomain, false)], true),
+            mk(vec![(100, Rcode::NxDomain, true), (200, Rcode::ServFail, false)], true),
+        ];
+        let series = figure3_series(&classifications);
+        assert_eq!(series.len(), 2);
+        let at100 = series.iter().find(|p| p.n == 100).unwrap();
+        assert_eq!(at100.nxdomain, 100.0);
+        assert_eq!(at100.ad_nxdomain, 100.0);
+        assert_eq!(at100.servfail, 0.0);
+        let at200 = series.iter().find(|p| p.n == 200).unwrap();
+        assert_eq!(at200.nxdomain, 50.0);
+        assert_eq!(at200.ad_nxdomain, 0.0);
+        assert_eq!(at200.servfail, 50.0);
+    }
+
+    #[test]
+    fn non_validators_excluded_from_series() {
+        let classifications = vec![mk(vec![(100, Rcode::NxDomain, false)], false)];
+        assert!(figure3_series(&classifications).is_empty());
+    }
+}

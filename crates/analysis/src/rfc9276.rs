@@ -1,0 +1,124 @@
+//! Table 1 of the paper: the twelve RFC 9276 guidance items, with
+//! programmatic compliance checks where the measurement can decide them.
+
+use dns_zone::nsec3hash::Nsec3Params;
+
+/// RFC 2119 requirement levels used by RFC 9276.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Should,
+    ShouldNot,
+    Must,
+    MustNot,
+    May,
+    NotRecommended,
+}
+
+impl Keyword {
+    /// Presentation string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Should => "SHOULD",
+            Keyword::ShouldNot => "SHOULD NOT",
+            Keyword::Must => "MUST",
+            Keyword::MustNot => "MUST NOT",
+            Keyword::May => "MAY",
+            Keyword::NotRecommended => "NOT RECOMMENDED",
+        }
+    }
+}
+
+/// One guidance item (1–5 for authoritative side, 6–12 for validators).
+#[derive(Clone, Copy, Debug)]
+pub struct Item {
+    /// Item number as in Table 1.
+    pub number: u8,
+    /// Requirement level.
+    pub keyword: Keyword,
+    /// Abbreviated guidance text.
+    pub guidance: &'static str,
+}
+
+/// All twelve items of Table 1.
+pub const ITEMS: [Item; 12] = [
+    Item { number: 1, keyword: Keyword::Should, guidance: "prefer NSEC over NSEC3 if NSEC3's features are not needed" },
+    Item { number: 2, keyword: Keyword::Must, guidance: "set the number of additional iterations to 0" },
+    Item { number: 3, keyword: Keyword::ShouldNot, guidance: "use a salt" },
+    Item { number: 4, keyword: Keyword::NotRecommended, guidance: "set the opt-out flag for small zones" },
+    Item { number: 5, keyword: Keyword::May, guidance: "set opt-out for very large, sparsely signed zones" },
+    Item { number: 6, keyword: Keyword::May, guidance: "return an insecure response for non-compliant NSEC3" },
+    Item { number: 7, keyword: Keyword::Should, guidance: "verify NSEC3 RRSIGs before honoring iteration counts" },
+    Item { number: 8, keyword: Keyword::May, guidance: "SERVFAIL for non-compliant NSEC3" },
+    Item { number: 9, keyword: Keyword::May, guidance: "ignore non-compliant responses (likely SERVFAIL)" },
+    Item { number: 10, keyword: Keyword::Should, guidance: "return EDE INFO-CODE 27 when items 6/8 trigger" },
+    Item { number: 11, keyword: Keyword::MustNot, guidance: "omit the EDE when item 9 is implemented" },
+    Item { number: 12, keyword: Keyword::Should, guidance: "use the same threshold for items 6 and 8" },
+];
+
+/// Domain-side compliance verdict for one zone's parameters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DomainCompliance {
+    /// Item 2: iterations == 0.
+    pub item2_zero_iterations: bool,
+    /// Item 3: no salt.
+    pub item3_no_salt: bool,
+    /// Item 4 heuristic: opt-out unset (we treat every registered domain
+    /// as a "small zone", as the paper argues in §5.1).
+    pub item4_no_opt_out: bool,
+}
+
+impl DomainCompliance {
+    /// Evaluate parameters + opt-out flag.
+    pub fn evaluate(params: &Nsec3Params, opt_out: bool) -> Self {
+        DomainCompliance {
+            item2_zero_iterations: params.iterations == 0,
+            item3_no_salt: params.salt.is_empty(),
+            item4_no_opt_out: !opt_out,
+        }
+    }
+
+    /// The paper's headline predicate: compliant with the MUST of item 2.
+    /// ("87.8 % of NSEC3-enabled domains fail to adhere to RFC 9276" is
+    /// the complement of this.)
+    pub fn rfc9276_compliant(&self) -> bool {
+        self.item2_zero_iterations
+    }
+
+    /// Full parameter compliance (items 2 *and* 3 — the 12.7 % of Tranco
+    /// domains in Figure 2's discussion).
+    pub fn fully_compliant(&self) -> bool {
+        self.item2_zero_iterations && self.item3_no_salt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_items_with_table1_keywords() {
+        assert_eq!(ITEMS.len(), 12);
+        assert_eq!(ITEMS[1].number, 2);
+        assert_eq!(ITEMS[1].keyword, Keyword::Must);
+        assert_eq!(ITEMS[2].keyword, Keyword::ShouldNot);
+        assert_eq!(ITEMS[10].keyword, Keyword::MustNot);
+        assert_eq!(Keyword::NotRecommended.as_str(), "NOT RECOMMENDED");
+    }
+
+    #[test]
+    fn compliance_evaluation() {
+        let good = DomainCompliance::evaluate(&Nsec3Params::rfc9276(), false);
+        assert!(good.rfc9276_compliant());
+        assert!(good.fully_compliant());
+        assert!(good.item4_no_opt_out);
+
+        let iter_only = DomainCompliance::evaluate(&Nsec3Params::new(1, vec![]), false);
+        assert!(!iter_only.rfc9276_compliant());
+
+        let salt_only = DomainCompliance::evaluate(&Nsec3Params::new(0, vec![1]), true);
+        assert!(salt_only.rfc9276_compliant(), "item 2 is the MUST");
+        assert!(!salt_only.fully_compliant());
+        assert!(!salt_only.item4_no_opt_out);
+    }
+}

@@ -1,0 +1,236 @@
+//! Standalone SVG renderers for the paper's figures — no dependencies,
+//! just hand-assembled markup. The harnesses write these next to the CSV
+//! series so the reproduced figures can be compared with the originals
+//! visually.
+
+use crate::resolvers::RcodeShares;
+use crate::stats::Cdf;
+
+const W: f64 = 640.0;
+const H: f64 = 400.0;
+const MARGIN_L: f64 = 60.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 50.0;
+
+fn plot_w() -> f64 {
+    W - MARGIN_L - MARGIN_R
+}
+
+fn plot_h() -> f64 {
+    H - MARGIN_T - MARGIN_B
+}
+
+fn header(title: &str) -> String {
+    format!(
+        concat!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#,
+            "\n",
+            r#"<rect width="{w}" height="{h}" fill="white"/>"#,
+            "\n",
+            r#"<text x="{tx}" y="24" font-family="sans-serif" font-size="15" text-anchor="middle">{title}</text>"#,
+            "\n"
+        ),
+        w = W,
+        h = H,
+        tx = W / 2.0,
+        title = xml_escape(title),
+    )
+}
+
+fn axes(x_label: &str, y_label: &str) -> String {
+    let mut s = String::new();
+    // Axis lines.
+    s.push_str(&format!(
+        r#"<line x1="{l}" y1="{t}" x2="{l}" y2="{b}" stroke="black"/>"#,
+        l = MARGIN_L,
+        t = MARGIN_T,
+        b = H - MARGIN_B
+    ));
+    s.push_str(&format!(
+        r#"<line x1="{l}" y1="{b}" x2="{r}" y2="{b}" stroke="black"/>"#,
+        l = MARGIN_L,
+        b = H - MARGIN_B,
+        r = W - MARGIN_R
+    ));
+    // Y ticks at 0/25/50/75/100 %.
+    for pct in [0, 25, 50, 75, 100] {
+        let y = H - MARGIN_B - plot_h() * pct as f64 / 100.0;
+        s.push_str(&format!(
+            concat!(
+                r#"<line x1="{l0}" y1="{y}" x2="{l}" y2="{y}" stroke="black"/>"#,
+                r#"<text x="{lt}" y="{yt}" font-family="sans-serif" font-size="11" text-anchor="end">{pct}</text>"#
+            ),
+            l0 = MARGIN_L - 4.0,
+            l = MARGIN_L,
+            y = y,
+            lt = MARGIN_L - 8.0,
+            yt = y + 4.0,
+            pct = pct
+        ));
+    }
+    s.push_str(&format!(
+        r#"<text x="16" y="{cy}" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 {cy})">{label}</text>"#,
+        cy = MARGIN_T + plot_h() / 2.0,
+        label = xml_escape(y_label)
+    ));
+    s.push_str(&format!(
+        r#"<text x="{cx}" y="{by}" font-family="sans-serif" font-size="12" text-anchor="middle">{label}</text>"#,
+        cx = MARGIN_L + plot_w() / 2.0,
+        by = H - 12.0,
+        label = xml_escape(x_label)
+    ));
+    s
+}
+
+fn x_ticks(x_max: f64, count: usize) -> String {
+    let mut s = String::new();
+    for i in 0..=count {
+        let frac = i as f64 / count as f64;
+        let x = MARGIN_L + plot_w() * frac;
+        let v = x_max * frac;
+        s.push_str(&format!(
+            concat!(
+                r#"<line x1="{x}" y1="{b}" x2="{x}" y2="{b4}" stroke="black"/>"#,
+                r#"<text x="{x}" y="{bt}" font-family="sans-serif" font-size="11" text-anchor="middle">{v}</text>"#
+            ),
+            x = x,
+            b = H - MARGIN_B,
+            b4 = H - MARGIN_B + 4.0,
+            bt = H - MARGIN_B + 18.0,
+            v = v.round() as u64
+        ));
+    }
+    s
+}
+
+fn polyline(points: &[(f64, f64)], color: &str, dash: &str) -> String {
+    let coords: Vec<String> = points.iter().map(|(x, y)| format!("{x:.1},{y:.1}")).collect();
+    format!(
+        r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2" stroke-dasharray="{dash}"/>"#,
+        coords.join(" ")
+    )
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Render a CDF (step curve) as an SVG document, clipped to `x_max`.
+pub fn cdf_svg(title: &str, x_label: &str, cdf: &Cdf, x_max: u32) -> String {
+    let mut svg = header(title);
+    svg.push_str(&axes(x_label, "No. of domains (%)"));
+    svg.push_str(&x_ticks(x_max as f64, 5));
+    if !cdf.is_empty() {
+        let to_xy = |x: u32, pct: f64| {
+            let px = MARGIN_L + plot_w() * (x.min(x_max) as f64 / x_max as f64);
+            let py = H - MARGIN_B - plot_h() * pct / 100.0;
+            (px, py)
+        };
+        let mut pts: Vec<(f64, f64)> = Vec::new();
+        let mut last_pct = 0.0;
+        for (x, pct) in cdf.points() {
+            if x > x_max {
+                break;
+            }
+            // Step: horizontal to the new x at the old height, then up.
+            let (px, _) = to_xy(x, pct);
+            let (_, py_old) = to_xy(x, last_pct);
+            let (_, py_new) = to_xy(x, pct);
+            pts.push((px, py_old));
+            pts.push((px, py_new));
+            last_pct = pct;
+        }
+        // Extend to the right edge.
+        pts.push((MARGIN_L + plot_w(), H - MARGIN_B - plot_h() * last_pct / 100.0));
+        svg.push_str(&polyline(&pts, "#1b6ca8", ""));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Render one Figure 3 panel (three share curves vs iteration count).
+pub fn figure3_svg(title: &str, series: &[RcodeShares]) -> String {
+    let x_max = series.iter().map(|p| p.n).max().unwrap_or(500) as f64;
+    let mut svg = header(title);
+    svg.push_str(&axes("No. of add. it.", "No. of resolvers (%)"));
+    svg.push_str(&x_ticks(x_max, 5));
+    let to_xy = |n: u16, pct: f64| {
+        let px = MARGIN_L + plot_w() * (n as f64 / x_max);
+        let py = H - MARGIN_B - plot_h() * pct / 100.0;
+        (px, py)
+    };
+    type Getter = Box<dyn Fn(&RcodeShares) -> f64>;
+    let curves: [(&str, &str, Getter); 3] = [
+        ("#1b6ca8", "", Box::new(|p: &RcodeShares| p.nxdomain)),
+        ("#e8a33d", "6,3", Box::new(|p: &RcodeShares| p.ad_nxdomain)),
+        ("#b5443c", "2,3", Box::new(|p: &RcodeShares| p.servfail)),
+    ];
+    for (color, dash, get) in &curves {
+        let pts: Vec<(f64, f64)> = series.iter().map(|p| to_xy(p.n, get(p))).collect();
+        svg.push_str(&polyline(&pts, color, dash));
+    }
+    // Legend.
+    let labels = ["NXDOMAIN", "AD+NXDOMAIN", "SERVFAIL"];
+    for (i, ((color, dash, _), label)) in curves.iter().zip(labels).enumerate() {
+        let y = MARGIN_T + 14.0 + i as f64 * 16.0;
+        svg.push_str(&format!(
+            concat!(
+                r#"<line x1="{x0}" y1="{y}" x2="{x1}" y2="{y}" stroke="{color}" stroke-width="2" stroke-dasharray="{dash}"/>"#,
+                r#"<text x="{xt}" y="{yt}" font-family="sans-serif" font-size="11">{label}</text>"#
+            ),
+            x0 = MARGIN_L + 10.0,
+            x1 = MARGIN_L + 40.0,
+            y = y,
+            color = color,
+            dash = dash,
+            xt = MARGIN_L + 46.0,
+            yt = y + 4.0,
+            label = label
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_svg_well_formed() {
+        let cdf = Cdf::from_samples([0, 0, 1, 8, 25, 100]);
+        let svg = cdf_svg("Figure 1", "No. of add. it.", &cdf, 50);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("Figure 1"));
+        assert_eq!(svg.matches("<svg").count(), 1);
+    }
+
+    #[test]
+    fn empty_cdf_svg_has_axes_only() {
+        let svg = cdf_svg("t", "x", &Cdf::from_samples([]), 50);
+        assert!(!svg.contains("polyline"));
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn figure3_svg_has_three_curves_and_legend() {
+        let series = vec![
+            RcodeShares { n: 1, nxdomain: 100.0, ad_nxdomain: 98.0, servfail: 0.0 },
+            RcodeShares { n: 151, nxdomain: 80.0, ad_nxdomain: 15.0, servfail: 20.0 },
+            RcodeShares { n: 500, nxdomain: 80.0, ad_nxdomain: 14.0, servfail: 20.0 },
+        ];
+        let svg = figure3_svg("(a) Open, IPv4", &series);
+        assert_eq!(svg.matches("polyline").count(), 3);
+        assert!(svg.contains("SERVFAIL"));
+        assert!(svg.contains("AD+NXDOMAIN"));
+    }
+
+    #[test]
+    fn titles_are_escaped() {
+        let svg = cdf_svg("a < b & c", "x", &Cdf::from_samples([1]), 10);
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+}

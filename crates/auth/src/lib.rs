@@ -1,0 +1,687 @@
+//! An authoritative DNS server engine over the simulated network.
+//!
+//! [`AuthServer`] serves any number of signed zones, implements the
+//! RFC 4035/5155 answer algorithm (positive answers, referrals, NODATA,
+//! NXDOMAIN with NSEC/NSEC3 proofs, wildcard synthesis), and keeps the
+//! query log the paper's methodology uses to attribute forwarders
+//! ("We enable server-side logging to track source IP addresses
+//! interacting with our name server", §4.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+use dns_wire::message::{frame_tcp, unframe_tcp, Message, Question};
+use dns_wire::name::Name;
+use dns_wire::rdata::RData;
+use dns_wire::record::Record;
+use dns_wire::rrtype::{Rcode, RrType};
+use dns_zone::denial::{self, DenialKind};
+use dns_zone::signer::SignedZone;
+use netsim::{Network, Node};
+
+/// One logged query, as the paper's server-side logging captures it.
+#[derive(Clone, Debug)]
+pub struct QueryLogEntry {
+    /// Source address the query arrived from (the forwarder's egress, not
+    /// necessarily the original client).
+    pub src: IpAddr,
+    /// Queried name.
+    pub qname: Name,
+    /// Queried type.
+    pub qtype: RrType,
+    /// Whether the query had the DO bit.
+    pub dnssec_ok: bool,
+}
+
+/// An authoritative name server holding one or more signed zones.
+pub struct AuthServer {
+    zones: RefCell<HashMap<Name, SignedZone>>,
+    log: RefCell<Vec<QueryLogEntry>>,
+    log_cap: usize,
+    /// Apexes whose zones may be transferred (the CZDS/open-AXFR TLDs the
+    /// paper counts: 1,105 of the 1,302 NSEC3-enabled TLDs share zone
+    /// data).
+    axfr_allowed: RefCell<std::collections::HashSet<Name>>,
+}
+
+impl AuthServer {
+    /// An empty server; add zones with [`AuthServer::add_zone`].
+    pub fn new() -> Self {
+        AuthServer {
+            zones: RefCell::new(HashMap::new()),
+            log: RefCell::new(Vec::new()),
+            log_cap: 100_000,
+            axfr_allowed: RefCell::new(std::collections::HashSet::new()),
+        }
+    }
+
+    /// Permit zone transfers (`AXFR`) for `apex`.
+    pub fn allow_axfr(&self, apex: &Name) {
+        self.axfr_allowed.borrow_mut().insert(apex.clone());
+    }
+
+    /// Install (or replace) a zone.
+    pub fn add_zone(&self, zone: SignedZone) {
+        self.zones.borrow_mut().insert(zone.zone.apex().clone(), zone);
+    }
+
+    /// Remove a zone by apex.
+    pub fn remove_zone(&self, apex: &Name) {
+        self.zones.borrow_mut().remove(apex);
+    }
+
+    /// Snapshot of the query log.
+    pub fn query_log(&self) -> Vec<QueryLogEntry> {
+        self.log.borrow().clone()
+    }
+
+    /// Drop all log entries (the paper discards unrelated logs promptly).
+    pub fn clear_log(&self) {
+        self.log.borrow_mut().clear();
+    }
+
+    /// Answer one question against the installed zones. This is the pure
+    /// engine; [`Node::handle`] wraps it in wire encode/decode.
+    pub fn answer(&self, query: &Message) -> Message {
+        let mut resp = Message::response_to(query);
+        let question = match query.question() {
+            Some(q) => q.clone(),
+            None => {
+                resp.rcode = Rcode::FormErr;
+                return resp;
+            }
+        };
+        let zones = self.zones.borrow();
+        let zone = match best_zone(&zones, &question.qname) {
+            Some(z) => z,
+            None => {
+                resp.rcode = Rcode::Refused;
+                return resp;
+            }
+        };
+        let dnssec = query.dnssec_ok();
+        resp.flags.aa = true;
+        // Zone transfer: all records, SOA first and last (RFC 5936 §2.2),
+        // if the zone's policy allows it.
+        if question.qtype == RrType::AXFR {
+            if question.qname == *zone.zone.apex()
+                && self.axfr_allowed.borrow().contains(&question.qname)
+            {
+                let apex = zone.zone.apex().clone();
+                let soa: Vec<Record> = zone
+                    .zone
+                    .rrset(&apex, RrType::SOA)
+                    .map(|s| s.to_vec())
+                    .unwrap_or_default();
+                resp.answers.extend(soa.iter().cloned());
+                resp.answers.extend(
+                    zone.zone.iter().filter(|r| r.rrtype() != RrType::SOA).cloned(),
+                );
+                resp.answers.extend(soa);
+            } else {
+                resp.rcode = Rcode::Refused;
+            }
+            return resp;
+        }
+        self.answer_in_zone(zone, &question, dnssec, &mut resp);
+        resp
+    }
+
+    fn answer_in_zone(
+        &self,
+        zone: &SignedZone,
+        question: &Question,
+        dnssec: bool,
+        resp: &mut Message,
+    ) {
+        let qname = &question.qname;
+        let qtype = question.qtype;
+        let z = &zone.zone;
+
+        // 1. Referral if qname sits at or under a delegation (but a query
+        //    *for* the DS of a delegation is answered authoritatively by
+        //    the parent).
+        if let Some(cut) = delegation_cut(zone, qname) {
+            if !(cut == *qname && qtype == RrType::DS) {
+                resp.flags.aa = false;
+                push_rrset(resp, z, &cut, RrType::NS, dnssec, Section::Authority);
+                if dnssec {
+                    if z.rrset(&cut, RrType::DS).is_some() {
+                        push_rrset(resp, z, &cut, RrType::DS, true, Section::Authority);
+                    } else if let Ok(proof) = denial::nodata_proof(zone, &cut) {
+                        // Opt-out/insecure delegation: prove DS absence.
+                        resp.authorities.extend(proof.records);
+                    }
+                }
+                // Glue.
+                if let Some(ns_set) = z.rrset(&cut, RrType::NS) {
+                    for ns in ns_set {
+                        if let RData::Ns(target) = &ns.rdata {
+                            for t in [RrType::A, RrType::AAAA] {
+                                if let Some(glue) = z.rrset(target, t) {
+                                    resp.additionals.extend(glue.iter().cloned());
+                                }
+                            }
+                        }
+                    }
+                }
+                return;
+            }
+        }
+
+        // 2. Exact-name cases.
+        if z.has_name(qname) && !z.is_occluded(qname) {
+            if z.rrset(qname, qtype).is_some() {
+                push_rrset(resp, z, qname, qtype, dnssec, Section::Answer);
+                return;
+            }
+            if let Some(cname) = z.rrset(qname, RrType::CNAME) {
+                let _ = cname;
+                push_rrset(resp, z, qname, RrType::CNAME, dnssec, Section::Answer);
+                return;
+            }
+            // NODATA.
+            push_rrset(resp, z, z.apex(), RrType::SOA, dnssec, Section::Authority);
+            if dnssec {
+                if let Ok(proof) = denial::nodata_proof(zone, qname) {
+                    resp.authorities.extend(proof.records);
+                }
+            }
+            return;
+        }
+
+        // 3. Empty non-terminal => NODATA with empty bitmap proof.
+        if z.name_exists(qname) {
+            push_rrset(resp, z, z.apex(), RrType::SOA, dnssec, Section::Authority);
+            if dnssec {
+                if let Ok(proof) = denial::nodata_proof(zone, qname) {
+                    resp.authorities.extend(proof.records);
+                }
+            }
+            return;
+        }
+
+        // 4. Wildcard synthesis.
+        let ce = z.closest_encloser(qname);
+        if let Ok(wildcard) = ce.prepend(b"*") {
+            if z.rrset(&wildcard, qtype).is_some() {
+                // Expand: answers take the query name, signatures keep the
+                // wildcard labels count (that is the expansion signal).
+                let mut expanded: Vec<Record> = Vec::new();
+                for rec in z.rrset(&wildcard, qtype).unwrap() {
+                    expanded.push(Record::new(qname.clone(), rec.ttl, rec.rdata.clone()));
+                }
+                if dnssec {
+                    if let Some(sigs) = z.rrset(&wildcard, RrType::RRSIG) {
+                        for sig in sigs {
+                            if matches!(&sig.rdata, RData::Rrsig { type_covered, .. } if *type_covered == qtype)
+                            {
+                                expanded.push(Record::new(qname.clone(), sig.ttl, sig.rdata.clone()));
+                            }
+                        }
+                    }
+                }
+                resp.answers.extend(expanded);
+                if dnssec {
+                    if let Ok(proof) = denial::wildcard_expansion_proof(zone, qname, &ce) {
+                        debug_assert_eq!(proof.kind, DenialKind::WildcardExpansion);
+                        resp.authorities.extend(proof.records);
+                    }
+                }
+                return;
+            }
+            if z.has_name(&wildcard) {
+                // Wildcard exists but lacks qtype: NODATA via the wildcard.
+                push_rrset(resp, z, z.apex(), RrType::SOA, dnssec, Section::Authority);
+                if dnssec {
+                    if let Ok(proof) = denial::nodata_proof(zone, &wildcard) {
+                        resp.authorities.extend(proof.records);
+                    }
+                    if let Ok(proof) = denial::wildcard_expansion_proof(zone, qname, &ce) {
+                        resp.authorities.extend(proof.records);
+                    }
+                }
+                return;
+            }
+        }
+
+        // 5. NXDOMAIN.
+        resp.rcode = Rcode::NxDomain;
+        push_rrset(resp, z, z.apex(), RrType::SOA, dnssec, Section::Authority);
+        if dnssec {
+            if let Ok(proof) = denial::nxdomain_proof(zone, qname) {
+                resp.authorities.extend(proof.records);
+            }
+        }
+    }
+}
+
+impl Default for AuthServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+enum Section {
+    Answer,
+    Authority,
+}
+
+/// Append the RRset (and, with DNSSEC, its RRSIGs) to a response section.
+fn push_rrset(
+    resp: &mut Message,
+    zone: &dns_zone::Zone,
+    owner: &Name,
+    rrtype: RrType,
+    dnssec: bool,
+    section: Section,
+) {
+    let mut records = Vec::new();
+    if let Some(set) = zone.rrset(owner, rrtype) {
+        records.extend(set.iter().cloned());
+    }
+    if dnssec {
+        if let Some(sigs) = zone.rrset(owner, RrType::RRSIG) {
+            records.extend(
+                sigs.iter()
+                    .filter(|s| {
+                        matches!(&s.rdata, RData::Rrsig { type_covered, .. } if *type_covered == rrtype)
+                    })
+                    .cloned(),
+            );
+        }
+    }
+    match section {
+        Section::Answer => resp.answers.extend(records),
+        Section::Authority => resp.authorities.extend(records),
+    }
+}
+
+/// Zone with the longest apex that is an ancestor-or-self of `qname`.
+fn best_zone<'a>(
+    zones: &'a HashMap<Name, SignedZone>,
+    qname: &Name,
+) -> Option<&'a SignedZone> {
+    qname
+        .self_and_ancestors()
+        .into_iter()
+        .find_map(|candidate| zones.get(&candidate))
+}
+
+/// The delegation cut at or above `qname` inside the zone, if any
+/// (nearest to the apex wins — a resolver descends one cut at a time).
+fn delegation_cut(zone: &SignedZone, qname: &Name) -> Option<Name> {
+    let mut ancestors = qname.self_and_ancestors();
+    ancestors.reverse(); // apex-first
+    ancestors
+        .into_iter()
+        .filter(|n| n.is_subdomain_of(zone.zone.apex()) && *n != *zone.zone.apex())
+        .find(|n| zone.zone.is_delegation(n))
+}
+
+impl Node for AuthServer {
+    fn handle(&self, _net: &Network, src: IpAddr, payload: &[u8]) -> Option<Vec<u8>> {
+        // RFC 7766: a length-framed payload is a stream ("TCP") exchange —
+        // no size limit and a framed response.
+        let (wire, tcp) = match unframe_tcp(payload) {
+            Some(inner) => (inner, true),
+            None => (payload, false),
+        };
+        let query = Message::decode(wire).ok()?;
+        if query.flags.qr {
+            return None; // not a query
+        }
+        if let Some(q) = query.question() {
+            let mut log = self.log.borrow_mut();
+            if log.len() < self.log_cap {
+                log.push(QueryLogEntry {
+                    src,
+                    qname: q.qname.clone(),
+                    qtype: q.qtype,
+                    dnssec_ok: query.dnssec_ok(),
+                });
+            }
+        }
+        let response = self.answer(&query);
+        let encoded = response.encode();
+        if tcp {
+            return Some(frame_tcp(&encoded));
+        }
+        // UDP truncation: the requester's EDNS payload size (512 without
+        // EDNS) bounds the response; over it, send TC with empty sections.
+        let limit = query.edns.as_ref().map(|e| e.udp_payload_size as usize).unwrap_or(512);
+        if encoded.len() > limit.max(512) {
+            let mut truncated = Message::response_to(&query);
+            truncated.flags.aa = response.flags.aa;
+            truncated.flags.tc = true;
+            truncated.rcode = response.rcode;
+            return Some(truncated.encode());
+        }
+        Some(encoded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::name::name;
+    use dns_zone::signer::{sign_zone, SignerConfig};
+    use dns_zone::Zone;
+    use std::net::Ipv4Addr;
+    use std::rc::Rc;
+
+    const NOW: u32 = 1_710_000_000;
+
+    fn build_server() -> AuthServer {
+        let mut z = Zone::new(name("example."));
+        z.add(Record::new(
+            name("example."),
+            3600,
+            RData::Soa {
+                mname: name("ns1.example."),
+                rname: name("host.example."),
+                serial: 1,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: 300,
+            },
+        ))
+        .unwrap();
+        z.add(Record::new(name("example."), 3600, RData::Ns(name("ns1.example.")))).unwrap();
+        z.add(Record::new(name("ns1.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 53))))
+            .unwrap();
+        z.add(Record::new(name("www.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 1))))
+            .unwrap();
+        z.add(Record::new(name("alias.example."), 300, RData::Cname(name("www.example."))))
+            .unwrap();
+        z.add(Record::new(name("*.wild.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 9))))
+            .unwrap();
+        // Insecure delegation.
+        z.add(Record::new(name("sub.example."), 3600, RData::Ns(name("ns1.sub.example."))))
+            .unwrap();
+        z.add(Record::new(name("ns1.sub.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 60))))
+            .unwrap();
+        let signed = sign_zone(&z, &SignerConfig::standard(&name("example."), NOW)).unwrap();
+        let server = AuthServer::new();
+        server.add_zone(signed);
+        server
+    }
+
+    fn ask(server: &AuthServer, qname: &str, qtype: RrType) -> Message {
+        server.answer(&Message::query(1, name(qname), qtype))
+    }
+
+    #[test]
+    fn positive_answer_with_rrsig() {
+        let s = build_server();
+        let resp = ask(&s, "www.example.", RrType::A);
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert!(resp.flags.aa);
+        assert_eq!(resp.records_of_type(RrType::A).len(), 1);
+        assert_eq!(resp.records_of_type(RrType::RRSIG).len(), 1);
+    }
+
+    #[test]
+    fn plain_dns_omits_dnssec_records() {
+        let s = build_server();
+        let mut q = Message::query(1, name("www.example."), RrType::A);
+        q.edns = None;
+        let resp = s.answer(&q);
+        assert_eq!(resp.records_of_type(RrType::A).len(), 1);
+        assert!(resp.records_of_type(RrType::RRSIG).is_empty());
+    }
+
+    #[test]
+    fn nxdomain_carries_proof() {
+        let s = build_server();
+        let resp = ask(&s, "nx.example.", RrType::A);
+        assert_eq!(resp.rcode, Rcode::NxDomain);
+        assert!(!resp.records_of_type(RrType::SOA).is_empty());
+        let nsec3 = resp.records_of_type(RrType::NSEC3);
+        assert!((1..=3).contains(&nsec3.len()), "{} NSEC3s", nsec3.len());
+    }
+
+    #[test]
+    fn nodata_carries_matching_nsec3() {
+        let s = build_server();
+        let resp = ask(&s, "www.example.", RrType::TXT);
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert!(resp.answers.is_empty());
+        assert!(!resp.records_of_type(RrType::SOA).is_empty());
+        assert_eq!(resp.records_of_type(RrType::NSEC3).len(), 1);
+    }
+
+    #[test]
+    fn cname_returned_without_chasing() {
+        let s = build_server();
+        let resp = ask(&s, "alias.example.", RrType::A);
+        assert_eq!(resp.records_of_type(RrType::CNAME).len(), 1);
+        assert!(resp.records_of_type(RrType::A).is_empty());
+    }
+
+    #[test]
+    fn wildcard_expansion_synthesizes_qname() {
+        let s = build_server();
+        let resp = ask(&s, "anything.wild.example.", RrType::A);
+        assert_eq!(resp.rcode, Rcode::NoError);
+        let answers = resp.records_of_type(RrType::A);
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].name, name("anything.wild.example."));
+        // Expansion proof: NSEC3 covering the next closer.
+        assert!(!resp.records_of_type(RrType::NSEC3).is_empty());
+        // The RRSIG's labels field is smaller than the owner's label count.
+        let sig = resp
+            .answers
+            .iter()
+            .find(|r| r.rrtype() == RrType::RRSIG)
+            .expect("expanded RRSIG");
+        match &sig.rdata {
+            RData::Rrsig { labels, .. } => {
+                assert!((*labels as usize) < sig.name.label_count());
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn referral_for_insecure_delegation() {
+        let s = build_server();
+        let resp = ask(&s, "deep.sub.example.", RrType::A);
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert!(!resp.flags.aa);
+        assert!(resp.answers.is_empty());
+        assert!(!resp.records_of_type(RrType::NS).is_empty());
+        // Glue present.
+        assert!(resp.additionals.iter().any(|r| r.rrtype() == RrType::A));
+        // DS-absence proof (NSEC3) present since query had DO.
+        assert!(!resp.records_of_type(RrType::NSEC3).is_empty());
+    }
+
+    #[test]
+    fn ds_query_at_cut_answered_by_parent() {
+        let s = build_server();
+        let resp = ask(&s, "sub.example.", RrType::DS);
+        // Insecure delegation: NODATA with proof, authoritative.
+        assert!(resp.flags.aa);
+        assert!(resp.answers.is_empty());
+        assert!(!resp.records_of_type(RrType::SOA).is_empty());
+    }
+
+    #[test]
+    fn refused_outside_zones() {
+        let s = build_server();
+        let resp = ask(&s, "www.other.", RrType::A);
+        assert_eq!(resp.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn query_log_records_sources() {
+        let s = build_server();
+        let net = Network::new(1);
+        let server = Rc::new(s);
+        let addr: IpAddr = "10.0.0.53".parse().unwrap();
+        let client: IpAddr = "10.9.9.9".parse().unwrap();
+        net.register(addr, server.clone());
+        let q = Message::query(7, name("www.example."), RrType::A).encode();
+        let out = net.send_query(client, addr, &q);
+        assert!(out.payload().is_some());
+        let log = server.query_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].src, client);
+        assert_eq!(log[0].qname, name("www.example."));
+        assert!(log[0].dnssec_ok);
+    }
+
+    #[test]
+    fn dnskey_and_nsec3param_queries_answered() {
+        let s = build_server();
+        let dk = ask(&s, "example.", RrType::DNSKEY);
+        assert_eq!(dk.records_of_type(RrType::DNSKEY).len(), 2);
+        let np = ask(&s, "example.", RrType::NSEC3PARAM);
+        assert_eq!(np.records_of_type(RrType::NSEC3PARAM).len(), 1);
+    }
+
+    #[test]
+    fn formerr_on_empty_question() {
+        let s = build_server();
+        let mut q = Message::query(1, name("www.example."), RrType::A);
+        q.questions.clear();
+        assert_eq!(s.answer(&q).rcode, Rcode::FormErr);
+    }
+
+    #[test]
+    fn queries_are_case_insensitive() {
+        let s = build_server();
+        let resp = ask(&s, "WWW.EXAMPLE.", RrType::A);
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert_eq!(resp.records_of_type(RrType::A).len(), 1);
+    }
+
+    #[test]
+    fn empty_non_terminal_gets_nodata_not_nxdomain() {
+        let s = build_server();
+        // a.b.c.example. exists in a fresh zone with an ENT at b.c.example..
+        let mut z = Zone::new(name("ent.example."));
+        z.add(Record::new(
+            name("ent.example."),
+            3600,
+            RData::Soa {
+                mname: name("ns1.ent.example."),
+                rname: name("h.ent.example."),
+                serial: 1,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: 300,
+            },
+        ))
+        .unwrap();
+        z.add(Record::new(name("a.b.ent.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 1))))
+            .unwrap();
+        s.add_zone(sign_zone(&z, &SignerConfig::standard(&name("ent.example."), NOW)).unwrap());
+        let resp = ask(&s, "b.ent.example.", RrType::A);
+        assert_eq!(resp.rcode, Rcode::NoError, "ENTs exist: NODATA, not NXDOMAIN");
+        assert!(resp.answers.is_empty());
+        let resp = ask(&s, "zz.b.ent.example.", RrType::A);
+        assert_eq!(resp.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn nsec_signed_zone_serves_nsec_proofs() {
+        let s = AuthServer::new();
+        let mut z = Zone::new(name("plain.example."));
+        z.add(Record::new(
+            name("plain.example."),
+            3600,
+            RData::Soa {
+                mname: name("ns1.plain.example."),
+                rname: name("h.plain.example."),
+                serial: 1,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: 300,
+            },
+        ))
+        .unwrap();
+        z.add(Record::new(name("www.plain.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 1))))
+            .unwrap();
+        let cfg = SignerConfig {
+            denial: dns_zone::signer::Denial::Nsec,
+            ..SignerConfig::standard(&name("plain.example."), NOW)
+        };
+        s.add_zone(sign_zone(&z, &cfg).unwrap());
+        let resp = s.answer(&Message::query(1, name("nope.plain.example."), RrType::A));
+        assert_eq!(resp.rcode, Rcode::NxDomain);
+        assert!(!resp.records_of_type(RrType::NSEC).is_empty());
+        assert!(resp.records_of_type(RrType::NSEC3).is_empty());
+    }
+
+    #[test]
+    fn responses_to_responses_are_dropped() {
+        let s = build_server();
+        let net = Network::new(1);
+        let addr: IpAddr = "10.0.0.53".parse().unwrap();
+        net.register(addr, Rc::new(s));
+        let mut q = Message::query(5, name("www.example."), RrType::A);
+        q.flags.qr = true; // a response, not a query
+        let out = net.send_query("10.9.9.9".parse().unwrap(), addr, &q.encode());
+        assert!(out.payload().is_none(), "servers must not answer responses");
+    }
+
+    #[test]
+    fn axfr_refused_by_default_allowed_when_enabled() {
+        let s = build_server();
+        let refused = ask(&s, "example.", RrType::AXFR);
+        assert_eq!(refused.rcode, Rcode::Refused);
+        assert!(refused.answers.is_empty());
+
+        s.allow_axfr(&name("example."));
+        let xfer = ask(&s, "example.", RrType::AXFR);
+        assert_eq!(xfer.rcode, Rcode::NoError);
+        // SOA first and last.
+        assert_eq!(xfer.answers.first().unwrap().rrtype(), RrType::SOA);
+        assert_eq!(xfer.answers.last().unwrap().rrtype(), RrType::SOA);
+        // The whole zone (every record + the duplicated SOA).
+        let zone_len = {
+            // Rebuild to count: the server holds one zone.
+            xfer.answers.len() - 1
+        };
+        assert!(zone_len > 10, "{zone_len}");
+        // AXFR for a non-apex name is refused even when enabled.
+        let sub = ask(&s, "www.example.", RrType::AXFR);
+        assert_eq!(sub.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn multiple_zones_longest_match() {
+        let s = build_server();
+        // Add a second, deeper zone: sub2.example. served here too.
+        let mut z = Zone::new(name("sub2.example."));
+        z.add(Record::new(
+            name("sub2.example."),
+            3600,
+            RData::Soa {
+                mname: name("ns1.sub2.example."),
+                rname: name("host.sub2.example."),
+                serial: 1,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: 300,
+            },
+        ))
+        .unwrap();
+        z.add(Record::new(name("x.sub2.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 77))))
+            .unwrap();
+        s.add_zone(sign_zone(&z, &SignerConfig::standard(&name("sub2.example."), NOW)).unwrap());
+        let resp = ask(&s, "x.sub2.example.", RrType::A);
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert_eq!(resp.records_of_type(RrType::A).len(), 1);
+    }
+}

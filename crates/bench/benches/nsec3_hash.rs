@@ -1,0 +1,56 @@
+//! Criterion micro-bench: the NSEC3 hash itself — the primitive whose
+//! repetition is CVE-2023-50868. Sweeps iterations and salt length
+//! (DESIGN.md ablation 1).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dns_wire::name::name;
+use dns_zone::nsec3hash::{nsec3_hash, Nsec3Params};
+
+fn bench_iterations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nsec3_hash/iterations");
+    let n = name("some-average-length-label.example.com.");
+    for iterations in [0u16, 1, 10, 50, 150, 500, 2500] {
+        let params = Nsec3Params::new(iterations, vec![]);
+        g.bench_with_input(BenchmarkId::from_parameter(iterations), &params, |b, p| {
+            b.iter(|| nsec3_hash(black_box(&n), black_box(p)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_salt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nsec3_hash/salt_len_at_150_iterations");
+    let n = name("some-average-length-label.example.com.");
+    for salt_len in [0usize, 8, 64, 255] {
+        let params = Nsec3Params::new(150, vec![0xab; salt_len]);
+        g.bench_with_input(BenchmarkId::from_parameter(salt_len), &params, |b, p| {
+            b.iter(|| nsec3_hash(black_box(&n), black_box(p)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rfc9276_vs_wild(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nsec3_hash/presets");
+    let n = name("www.example.com.");
+    g.bench_function("rfc9276_zero_no_salt", |b| {
+        let p = Nsec3Params::rfc9276();
+        b.iter(|| nsec3_hash(black_box(&n), &p))
+    });
+    g.bench_function("squarespace_1_8", |b| {
+        let p = Nsec3Params::new(1, vec![0xab; 8]);
+        b.iter(|| nsec3_hash(black_box(&n), &p))
+    });
+    g.bench_function("identity_digital_100_8", |b| {
+        let p = Nsec3Params::new(100, vec![0xab; 8]);
+        b.iter(|| nsec3_hash(black_box(&n), &p))
+    });
+    g.bench_function("wild_maximum_500_8", |b| {
+        let p = Nsec3Params::new(500, vec![0xab; 8]);
+        b.iter(|| nsec3_hash(black_box(&n), &p))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_iterations, bench_salt, bench_rfc9276_vs_wild);
+criterion_main!(benches);

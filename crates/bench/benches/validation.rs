@@ -1,0 +1,141 @@
+//! Criterion bench: end-to-end resolution cost through the full chain
+//! (root → com → leaf), positive and negative, plus the policy-ordering
+//! ablation (DESIGN.md ablation 5: limit check before vs after signature
+//! verification).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dns_resolver::lab::LabBuilder;
+use dns_resolver::resolver::{Resolver, ResolverConfig};
+use dns_resolver::Rfc9276Policy;
+use dns_wire::name::name;
+use dns_wire::rrtype::RrType;
+use dns_zone::nsec3hash::Nsec3Params;
+use dns_zone::signer::Denial;
+
+const NOW: u32 = 1_710_000_000;
+
+fn lab_and_resolver(
+    leaf_iterations: u16,
+    policy: Rfc9276Policy,
+) -> (dns_resolver::lab::Lab, Resolver) {
+    let mut lab = LabBuilder::new(NOW)
+        .simple_zone(&name("com."), Denial::nsec3_rfc9276())
+        .simple_zone(
+            &name("target.com."),
+            Denial::Nsec3 { params: Nsec3Params::new(leaf_iterations, vec![]), opt_out: false },
+        )
+        .build();
+    let addr = lab.alloc.v4();
+    let mut cfg = ResolverConfig::validating(addr, lab.root_hints.clone(), lab.anchor.clone());
+    cfg.now = lab.now;
+    cfg.policy = policy;
+    (lab, Resolver::new(cfg))
+}
+
+fn bench_positive_negative(c: &mut Criterion) {
+    let (lab, r) = lab_and_resolver(0, Rfc9276Policy::unlimited());
+    let mut i = 0u64;
+    c.bench_function("resolve/positive_secure", |b| {
+        b.iter(|| r.resolve(&lab.net, black_box(&name("www.target.com.")), RrType::A))
+    });
+    c.bench_function("resolve/nxdomain_secure_it0", |b| {
+        b.iter(|| {
+            i += 1;
+            let q = name(&format!("q{i}.target.com."));
+            r.resolve(&lab.net, black_box(&q), RrType::A)
+        })
+    });
+}
+
+fn bench_nxdomain_by_iterations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resolve/nxdomain_by_iterations");
+    for it in [0u16, 150, 500] {
+        let (lab, r) = lab_and_resolver(it, Rfc9276Policy::unlimited());
+        let mut i = 0u64;
+        g.bench_function(format!("it{it}"), |b| {
+            b.iter(|| {
+                i += 1;
+                let q = name(&format!("q{i}.target.com."));
+                r.resolve(&lab.net, black_box(&q), RrType::A)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_policy_ablation(c: &mut Criterion) {
+    // Over-limit zone (it=500). The limit-enforcing resolver refuses
+    // cheaply; the unlimited one pays the full hashing bill.
+    let mut g = c.benchmark_group("resolve/over_limit_policy");
+    for (label, policy) in [
+        ("unlimited_pays_full_cost", Rfc9276Policy::unlimited()),
+        ("servfail_above_150_refuses_cheaply", Rfc9276Policy::servfail_above(150)),
+        ("insecure_above_150_downgrades", Rfc9276Policy::insecure_above(150)),
+    ] {
+        let (lab, r) = lab_and_resolver(500, policy);
+        let mut i = 0u64;
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                i += 1;
+                let q = name(&format!("q{i}.target.com."));
+                r.resolve(&lab.net, black_box(&q), RrType::A)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_caching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resolve/caching");
+    // Cold: every query unique (cache useless).
+    let (lab, r) = lab_and_resolver(0, Rfc9276Policy::unlimited());
+    let mut i = 0u64;
+    g.bench_function("unique_names_cold_path", |b| {
+        b.iter(|| {
+            i += 1;
+            r.resolve(&lab.net, black_box(&name(&format!("c{i}.target.com."))), RrType::A)
+        })
+    });
+    // Warm: the same name repeatedly (answer-cache hit).
+    let (lab, r) = lab_and_resolver(0, Rfc9276Policy::unlimited());
+    let q = name("www.target.com.");
+    let _ = r.resolve(&lab.net, &q, RrType::A);
+    g.bench_function("repeated_name_cache_hit", |b| {
+        b.iter(|| r.resolve(&lab.net, black_box(&q), RrType::A))
+    });
+    // RFC 8198: unique nonexistent names, synthesized from one proof.
+    let mut lab3 = dns_resolver::lab::LabBuilder::new(NOW)
+        .simple_zone(&name("com."), Denial::nsec3_rfc9276())
+        .simple_zone(
+            &name("target.com."),
+            Denial::Nsec3 { params: Nsec3Params::new(0, vec![]), opt_out: false },
+        )
+        .build();
+    let addr = lab3.alloc.v4();
+    let mut cfg = dns_resolver::ResolverConfig::validating(
+        addr,
+        lab3.root_hints.clone(),
+        lab3.anchor.clone(),
+    );
+    cfg.now = lab3.now;
+    cfg.aggressive_nsec3 = true;
+    let r3 = Resolver::new(cfg);
+    let _ = r3.resolve(&lab3.net, &name("warmup.target.com."), RrType::A);
+    let mut j = 0u64;
+    g.bench_function("unique_nxdomains_rfc8198_synthesis", |b| {
+        b.iter(|| {
+            j += 1;
+            r3.resolve(&lab3.net, black_box(&name(&format!("s{j}.target.com."))), RrType::A)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_positive_negative,
+    bench_nxdomain_by_iterations,
+    bench_policy_ablation,
+    bench_caching
+);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Criterion bench: message encode/decode throughput and the name
+//! compression trade-off (DESIGN.md ablation 3).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dns_wire::buf::Writer;
+use dns_wire::message::Message;
+use dns_wire::name::name;
+use dns_wire::rdata::RData;
+use dns_wire::record::Record;
+use dns_wire::rrtype::RrType;
+
+fn sample_response() -> Message {
+    let q = Message::query(7, name("host.service.dept.example.com."), RrType::A);
+    let mut resp = Message::response_to(&q);
+    resp.flags.aa = true;
+    for i in 0..8 {
+        resp.answers.push(Record::new(
+            name("host.service.dept.example.com."),
+            300,
+            RData::A(format!("192.0.2.{i}").parse().unwrap()),
+        ));
+    }
+    for i in 0..4 {
+        resp.authorities.push(Record::new(
+            name("example.com."),
+            3600,
+            RData::Ns(name(&format!("ns{i}.dns.example.com."))),
+        ));
+        resp.additionals.push(Record::new(
+            name(&format!("ns{i}.dns.example.com.")),
+            3600,
+            RData::A(format!("198.51.100.{i}").parse().unwrap()),
+        ));
+    }
+    resp
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let resp = sample_response();
+    c.bench_function("wire/encode_response", |b| b.iter(|| black_box(&resp).encode()));
+    let encoded = resp.encode();
+    c.bench_function("wire/decode_response", |b| {
+        b.iter(|| Message::decode(black_box(&encoded)).unwrap())
+    });
+}
+
+fn bench_compression_tradeoff(c: &mut Criterion) {
+    // Same 20 names written with and without compression.
+    let names: Vec<_> = (0..20)
+        .map(|i| name(&format!("host{i}.sub.department.example.com.")))
+        .collect();
+    c.bench_function("wire/write_names_compressing", |b| {
+        b.iter(|| {
+            let mut w = Writer::compressing();
+            for n in &names {
+                w.name(black_box(n));
+            }
+            w.finish()
+        })
+    });
+    c.bench_function("wire/write_names_plain", |b| {
+        b.iter(|| {
+            let mut w = Writer::plain();
+            for n in &names {
+                w.name(black_box(n));
+            }
+            w.finish()
+        })
+    });
+    // Size comparison printed once for the record.
+    let mut wc = Writer::compressing();
+    let mut wp = Writer::plain();
+    for n in &names {
+        wc.name(n);
+        wp.name(n);
+    }
+    eprintln!(
+        "compression saves {} of {} bytes on 20 sibling names",
+        wp.len() - wc.len(),
+        wp.len()
+    );
+}
+
+fn bench_nsec3_record_roundtrip(c: &mut Criterion) {
+    let rec = Record::new(
+        name("0p9mhaveqvm6t7vbl5lop2u3t2rp3tom.example."),
+        300,
+        RData::Nsec3 {
+            hash_alg: 1,
+            flags: 1,
+            iterations: 100,
+            salt: vec![0xaa, 0xbb, 0xcc, 0xdd],
+            next_hashed: vec![0x33; 20],
+            types: [RrType::A, RrType::RRSIG].into_iter().collect(),
+        },
+    );
+    c.bench_function("wire/nsec3_record_encode", |b| {
+        b.iter(|| {
+            let mut w = Writer::plain();
+            black_box(&rec).encode(&mut w);
+            w.finish()
+        })
+    });
+}
+
+criterion_group!(benches, bench_encode_decode, bench_compression_tradeoff, bench_nsec3_record_roundtrip);
+criterion_main!(benches);

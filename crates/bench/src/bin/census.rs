@@ -1,0 +1,204 @@
+//! E6 + E7: the §5.1 headline census — registered domains and TLDs.
+//!
+//! Two passes: (1) paper-scale aggregate analysis over the declared
+//! population, (2) a closed-loop end-to-end census over a sample of real
+//! zones on the simulated network, verifying that the measurement
+//! pipeline reproduces the declared parameters.
+//!
+//! Regenerates the §5.1 numbers: 8.8 % DNSSEC-enabled, 15.5 M
+//! NSEC3-enabled, 87.8 % non-compliant, 12.2 % zero iterations, 8.6 % no
+//! salt, 6.4 % opt-out; TLDs: 1,354 DNSSEC / 1,302 NSEC3 / 688 it=0 /
+//! 447 it=100 / opt-out 85.4 %.
+
+use analysis::{compare_line, fmt_count, fmt_pct, DomainStats};
+use heroes_bench::{fmt_scale, header, Options, EXPERIMENT_NOW};
+use nsec3_core::experiments::{records_from_specs, run_domain_census};
+use popgen::domains::DnssecKind;
+use popgen::{generate_domains, generate_tlds, generate_tlds_after_remediation, Scale};
+
+fn main() {
+    let opts = Options::parse(Scale::BENCH);
+    println!(
+        "§5.1 domain census at scale {} (seed {})",
+        fmt_scale(opts.scale),
+        opts.seed
+    );
+
+    // Pass 1: aggregate analysis over the declared population.
+    header("Registered domains (declared population)");
+    let specs = generate_domains(opts.scale, opts.seed);
+    let records = records_from_specs(&specs);
+    let stats = DomainStats::compute(&records);
+    print!(
+        "{}",
+        compare_line("registered domains analyzed", "302 M", &fmt_count(stats.total))
+    );
+    print!(
+        "{}",
+        compare_line(
+            "DNSSEC-enabled (% of registered)",
+            "8.8 %",
+            &fmt_pct(stats.dnssec_pct())
+        )
+    );
+    print!(
+        "{}",
+        compare_line(
+            "NSEC3-enabled (% of DNSSEC-enabled)",
+            "58.9 %",
+            &fmt_pct(stats.nsec3_of_dnssec_pct())
+        )
+    );
+    print!(
+        "{}",
+        compare_line(
+            "non-compliant with RFC 9276 item 2 (headline)",
+            "87.8 %",
+            &fmt_pct(stats.non_compliant_pct())
+        )
+    );
+    print!(
+        "{}",
+        compare_line("zero additional iterations", "12.2 %", &fmt_pct(stats.zero_iteration_pct()))
+    );
+    print!("{}", compare_line("no salt", "8.6 %", &fmt_pct(stats.no_salt_pct())));
+    print!("{}", compare_line("opt-out flag set", "6.4 %", &fmt_pct(stats.opt_out_pct())));
+    print!(
+        "{}",
+        compare_line(
+            "domains with > 150 iterations",
+            "43",
+            &stats.iterations_cdf.count_over(150).to_string()
+        )
+    );
+    print!(
+        "{}",
+        compare_line(
+            "maximum iterations observed",
+            "500",
+            &stats.iterations_cdf.max().unwrap_or(0).to_string()
+        )
+    );
+    print!(
+        "{}",
+        compare_line(
+            "salts longer than 45 bytes",
+            "170",
+            &stats.salt_cdf.count_over(45).to_string()
+        )
+    );
+
+    // Pass 2: closed-loop end-to-end census over real zones.
+    header(&format!(
+        "End-to-end census over {} instantiated zones (closed loop)",
+        opts.e2e_sample
+    ));
+    let sample: Vec<_> = specs.iter().take(opts.e2e_sample).cloned().collect();
+    let t0 = std::time::Instant::now();
+    let measured = run_domain_census(&sample, EXPERIMENT_NOW, 200);
+    let declared = records_from_specs(&sample);
+    let mut mismatches = 0;
+    for (m, d) in measured.iter().zip(declared.iter()) {
+        if m.dnssec != d.dnssec || m.nsec3 != d.nsec3 || m.opt_out != d.opt_out {
+            mismatches += 1;
+        }
+    }
+    println!(
+        "  scanned {} zones over the simulated network in {:?}: {} parameter mismatches",
+        measured.len(),
+        t0.elapsed(),
+        mismatches
+    );
+    let e2e_stats = DomainStats::compute(&measured);
+    print!(
+        "{}",
+        compare_line(
+            "e2e sample: zero iterations",
+            &fmt_pct(DomainStats::compute(&declared).zero_iteration_pct()),
+            &fmt_pct(e2e_stats.zero_iteration_pct())
+        )
+    );
+
+    // TLDs (exact).
+    header("TLDs (exact population)");
+    let tlds = generate_tlds();
+    let total = tlds.len() as u64;
+    let dnssec = tlds.iter().filter(|t| t.dnssec != DnssecKind::None).count() as u64;
+    let nsec3: Vec<_> = tlds
+        .iter()
+        .filter_map(|t| match t.dnssec {
+            DnssecKind::Nsec3 { iterations, salt_len, opt_out } => {
+                Some((iterations, salt_len, opt_out, t))
+            }
+            _ => None,
+        })
+        .collect();
+    let iter0 = nsec3.iter().filter(|(it, _, _, _)| *it == 0).count();
+    let iter100 = nsec3.iter().filter(|(it, _, _, _)| *it == 100).count();
+    let salt0 = nsec3.iter().filter(|(_, s, _, _)| *s == 0).count();
+    let salt8 = nsec3.iter().filter(|(_, s, _, _)| *s == 8).count();
+    let salt10 = nsec3.iter().filter(|(_, s, _, _)| *s == 10).count();
+    let optout = nsec3.iter().filter(|(_, _, o, _)| *o).count() as u64;
+    let under447: u64 = tlds
+        .iter()
+        .filter(|t| t.registry_provider.is_some())
+        .map(|t| t.est_domains)
+        .sum();
+    print!("{}", compare_line("delegated TLDs", "1,449", &total.to_string()));
+    print!("{}", compare_line("DNSSEC-enabled TLDs", "1,354", &dnssec.to_string()));
+    print!("{}", compare_line("NSEC3-enabled TLDs", "1,302", &nsec3.len().to_string()));
+    print!("{}", compare_line("TLDs with zero iterations", "688", &iter0.to_string()));
+    print!("{}", compare_line("TLDs with 100 iterations", "447", &iter100.to_string()));
+    print!("{}", compare_line("TLDs without salt", "672", &salt0.to_string()));
+    print!("{}", compare_line("TLDs with 8-byte salt", "558", &salt8.to_string()));
+    print!("{}", compare_line("TLDs with 10-byte salt (max)", "7", &salt10.to_string()));
+    print!(
+        "{}",
+        compare_line(
+            "opt-out among NSEC3 TLDs",
+            "85.4 %",
+            &fmt_pct(analysis::pct(optout, nsec3.len() as u64))
+        )
+    );
+    print!(
+        "{}",
+        compare_line(
+            "domains under the 447 TLDs (lower bound)",
+            "≥ 12.6 M",
+            &fmt_count(under447)
+        )
+    );
+    print!(
+        "{}",
+        compare_line(
+            "non-compliant TLDs (item 2)",
+            "47.2 %",
+            &fmt_pct(analysis::pct((nsec3.len() - iter0) as u64, nsec3.len() as u64))
+        )
+    );
+
+    // The paper notes the 447 Identity Digital TLDs were subsequently
+    // reduced to 0 iterations: the concentration argument in one number.
+    header("After the Identity Digital remediation (§5.1 note)");
+    let after = generate_tlds_after_remediation();
+    let nsec3_after: Vec<_> = after
+        .iter()
+        .filter_map(|t| match t.dnssec {
+            DnssecKind::Nsec3 { iterations, .. } => Some(iterations),
+            _ => None,
+        })
+        .collect();
+    let zero_after = nsec3_after.iter().filter(|&&i| i == 0).count() as u64;
+    print!(
+        "{}",
+        compare_line(
+            "TLD compliance before → after one provider's fix",
+            "52.8 % → 87.2 %",
+            &format!(
+                "{} → {}",
+                fmt_pct(analysis::pct(iter0 as u64, nsec3.len() as u64)),
+                fmt_pct(analysis::pct(zero_after, nsec3_after.len() as u64))
+            )
+        )
+    );
+}

@@ -1,0 +1,80 @@
+//! E3 — Figure 3: RCODE shares of validating resolvers per iteration
+//! count, one panel per (openness, family) pool.
+//!
+//! Paper landmarks: NXDOMAIN+AD dominates at low N and collapses at the
+//! vendor limits (50/100/150); SERVFAIL jumps at 151 and stays high;
+//! plain NXDOMAIN takes over past each insecure limit.
+
+use analysis::resolvers::Panel;
+use analysis::{figure3_csv, figure3_series, figure3_svg, render_figure3_panel};
+use heroes_bench::{fmt_scale, header, write_artifact, Options, EXPERIMENT_NOW};
+use nsec3_core::experiments::run_resolver_study;
+use nsec3_core::testbed::build_testbed;
+use popgen::{generate_fleet, Scale};
+
+fn main() {
+    let opts = Options::parse(Scale(1.0 / 200.0));
+    println!(
+        "Figure 3 at fleet scale {} (seed {})",
+        fmt_scale(opts.scale),
+        opts.seed
+    );
+    let mut tb = build_testbed(EXPERIMENT_NOW);
+    let fleet = generate_fleet(opts.scale, opts.seed);
+    println!(
+        "testbed: {} zones; fleet: {} resolvers",
+        tb.lab.zones.len(),
+        fleet.len()
+    );
+    let t0 = std::time::Instant::now();
+    let study = run_resolver_study(&mut tb, &fleet);
+    println!("study completed in {:?}", t0.elapsed());
+
+    for (panel, classifications) in &study.per_panel {
+        let series = figure3_series(classifications);
+        header(&format!(
+            "{} — {} validators",
+            panel.title(),
+            classifications.iter().filter(|c| c.is_validator).count()
+        ));
+        // Print the landmark rows (the paper's x-axis interest points).
+        let landmarks = [1u16, 25, 50, 51, 100, 101, 150, 151, 200, 300, 400, 500];
+        let shown: Vec<_> = series
+            .iter()
+            .filter(|p| landmarks.contains(&p.n))
+            .cloned()
+            .collect();
+        print!("{}", render_figure3_panel(panel.title(), &shown));
+        let (csv_name, svg_name) = match panel {
+            Panel::OpenV4 => ("fig3a_open_v4.csv", "fig3a_open_v4.svg"),
+            Panel::OpenV6 => ("fig3b_open_v6.csv", "fig3b_open_v6.svg"),
+            Panel::ClosedV4 => ("fig3c_closed_v4.csv", "fig3c_closed_v4.svg"),
+            Panel::ClosedV6 => ("fig3d_closed_v6.csv", "fig3d_closed_v6.svg"),
+        };
+        write_artifact(csv_name, &figure3_csv(&series));
+        write_artifact(svg_name, &figure3_svg(panel.title(), &series));
+    }
+
+    // Shape checks the paper's Figure 3 shows.
+    header("Shape checks vs the paper");
+    if let Some(open_v4) = study.per_panel.get(&Panel::OpenV4) {
+        let series = figure3_series(open_v4);
+        let at = |n: u16| series.iter().find(|p| p.n == n).cloned();
+        if let (Some(p100), Some(p101), Some(p150), Some(p151)) =
+            (at(100), at(101), at(150), at(151))
+        {
+            println!(
+                "  AD share drop at 100→101 (Google limit):  {:.1} % → {:.1} %",
+                p100.ad_nxdomain, p101.ad_nxdomain
+            );
+            println!(
+                "  AD share drop at 150→151 (major vendors): {:.1} % → {:.1} %",
+                p150.ad_nxdomain, p151.ad_nxdomain
+            );
+            println!(
+                "  SERVFAIL jump at 150→151:                 {:.1} % → {:.1} %",
+                p150.servfail, p151.servfail
+            );
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! E8–E11 — the §5.2 resolver statistics: validator discovery, RFC 9276
+//! item 6/8 adoption and thresholds, EDE support, item 7 violations, and
+//! item 12 gaps.
+//!
+//! Paper landmarks: 105.2 K open-IPv4 / 6.8 K open-IPv6 / 1,236 + 689
+//! closed validators; 78.3 % limit iterations; 59.9 % item 6; 18.4 %
+//! item 8; thresholds 150 ≫ 100 ≫ 50 (12.5× fewer at 50 than 150);
+//! SERVFAIL from it-1 (418 resolvers) and it-101 (92); < 18 % EDE 27;
+//! 0.2 % item 7 violations; 4.3 % item 12 gaps.
+
+use analysis::{compare_line, fmt_pct, ResolverStats};
+use heroes_bench::{fmt_scale, header, Options, EXPERIMENT_NOW};
+use nsec3_core::experiments::{run_resolver_study, run_unreachability};
+use nsec3_core::testbed::build_testbed;
+use popgen::{generate_domains, generate_fleet, Scale};
+
+fn main() {
+    let opts = Options::parse(Scale(1.0 / 200.0));
+    println!(
+        "§5.2 resolver census at fleet scale {} (seed {})",
+        fmt_scale(opts.scale),
+        opts.seed
+    );
+    let mut tb = build_testbed(EXPERIMENT_NOW);
+    let fleet = generate_fleet(opts.scale, opts.seed);
+    let t0 = std::time::Instant::now();
+    let study = run_resolver_study(&mut tb, &fleet);
+    let all = study.all();
+    println!(
+        "probed {} resolvers across 4 pools in {:?}",
+        all.len(),
+        t0.elapsed()
+    );
+
+    let stats = ResolverStats::compute(&all);
+    header("Validator discovery");
+    for (panel, cls) in &study.per_panel {
+        let v = cls.iter().filter(|c| c.is_validator).count();
+        println!("  {:<18} {:>6} responsive, {:>5} validators", panel.title(), cls.len(), v);
+    }
+
+    header("RFC 9276 adoption among validators");
+    print!(
+        "{}",
+        compare_line("limit iterations at all", "78.3 %", &fmt_pct(stats.limiting_pct()))
+    );
+    print!("{}", compare_line("item 6 (insecure above limit)", "59.9 %", &fmt_pct(stats.item6_pct())));
+    print!("{}", compare_line("item 8 (SERVFAIL above limit)", "18.4 %", &fmt_pct(stats.item8_pct())));
+    print!(
+        "{}",
+        compare_line("item 12 gap (insecure then SERVFAIL)", "4.3 %", &fmt_pct(stats.item12_gap_pct()))
+    );
+    print!(
+        "{}",
+        compare_line(
+            "item 7 violations (of insecure responders)",
+            "0.2 %",
+            &fmt_pct(stats.item7_violation_pct())
+        )
+    );
+    print!(
+        "{}",
+        compare_line(
+            "EDE 27 among limiting validators",
+            "< 18 %",
+            &fmt_pct(stats.ede27_of_limiting_pct())
+        )
+    );
+
+    header("Insecure-limit histogram (item 6 thresholds)");
+    for (limit, count) in &stats.insecure_limits {
+        println!("  limit {limit:>4}: {count:>6} validators");
+    }
+    let at150 = stats.insecure_limits.get(&150).copied().unwrap_or(0);
+    let at50 = stats.insecure_limits.get(&50).copied().unwrap_or(0).max(1);
+    print!(
+        "{}",
+        compare_line(
+            "ratio of limit-150 to limit-50 validators",
+            "12.5x",
+            &format!("{:.1}x", at150 as f64 / at50 as f64)
+        )
+    );
+
+    header("SERVFAIL-start histogram (item 8 thresholds)");
+    for (start, count) in &stats.servfail_starts {
+        println!("  first SERVFAIL at it-{start}: {count:>6} validators");
+    }
+    print!(
+        "{}",
+        compare_line(
+            "SERVFAIL from it-1 (query copiers)",
+            "418 (full scale)",
+            &stats.servfail_starts.get(&1).copied().unwrap_or(0).to_string()
+        )
+    );
+    print!(
+        "{}",
+        compare_line(
+            "SERVFAIL from it-101 (Technitium-style)",
+            "92 (full scale)",
+            &stats.servfail_starts.get(&101).copied().unwrap_or(0).to_string()
+        )
+    );
+    print!(
+        "{}",
+        compare_line(
+            "copier RA fingerprint (RA not set)",
+            "yes",
+            &format!("{} resolvers", stats.ra_missing)
+        )
+    );
+
+    header("Unreachability implication (§5.2 / abstract), measured end to end");
+    // A sample of real NSEC3-enabled zones, resolved through a strict
+    // (SERVFAIL-from-it-1) resolver: the 418-resolver failure mode.
+    // 1/10,000 keeps the absolute tail injections (213 domains) a small
+    // fraction of the NSEC3 sample, so the share stays calibrated.
+    let domains = generate_domains(Scale(1.0 / 10_000.0), opts.seed);
+    let result = run_unreachability(&domains, EXPERIMENT_NOW, 250);
+    print!(
+        "{}",
+        compare_line(
+            "NSEC3-enabled domains probed through a strict resolver",
+            "13.6 M + 1.9 M at full scale",
+            &result.probed.to_string()
+        )
+    );
+    print!(
+        "{}",
+        compare_line(
+            "rendered unreachable on negative lookups",
+            "87.8 %",
+            &fmt_pct(result.unreachable_pct())
+        )
+    );
+    println!(
+        "  (the paper's 13.6 M = 87.8 % of 15.5 M NSEC3-enabled domains; the strict class"
+    );
+    println!("  is the 418 it-1 SERVFAIL resolvers observed in §5.2)");
+}

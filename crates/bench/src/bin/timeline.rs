@@ -1,0 +1,71 @@
+//! Future-work extension (paper §6, item ii): monitor the maximum
+//! iteration values enforced by recursive resolvers over time.
+//!
+//! Each era's vendor mix (calibrated to the release history §4.2 cites)
+//! is deployed against the testbed and classified with the same §4.2
+//! prober, producing the adoption trajectory the paper proposes to track
+//! — plus the unreachability consequence at each point.
+
+use analysis::{pct, ResolverStats};
+use heroes_bench::{fmt_scale, header, Options, EXPERIMENT_NOW};
+use nsec3_core::experiments::{records_from_specs, run_resolver_study};
+use nsec3_core::testbed::build_testbed;
+use popgen::resolvers::generate_fleet_with_mix;
+use popgen::{eras, generate_domains, Scale};
+
+fn main() {
+    let opts = Options::parse(Scale(1.0 / 500.0));
+    println!(
+        "RFC 9276 adoption timeline at fleet scale {} (seed {})",
+        fmt_scale(opts.scale),
+        opts.seed
+    );
+
+    // The domain side is fixed (the paper's 2024 population): what changes
+    // over time is how resolvers treat it.
+    let domains = generate_domains(Scale(1.0 / 10_000.0), opts.seed);
+    let records = records_from_specs(&domains);
+    let nsec3_total = records.iter().filter(|r| r.nsec3.is_some()).count() as u64;
+    let over_zero = records
+        .iter()
+        .filter(|r| r.nsec3.map(|(it, _)| it > 0).unwrap_or(false))
+        .count() as u64;
+
+    header("era | limiting | item 6 | item 8 | dominant limit | domains at risk on strict resolvers");
+    for era in eras() {
+        let mut tb = build_testbed(EXPERIMENT_NOW);
+        let fleet = generate_fleet_with_mix(opts.scale, opts.seed, era.mix);
+        let study = run_resolver_study(&mut tb, &fleet);
+        let stats = ResolverStats::compute(&study.all());
+        let dominant = stats
+            .insecure_limits
+            .iter()
+            .chain(stats.servfail_starts.iter())
+            .max_by_key(|(_, count)| **count)
+            .map(|(limit, _)| limit.to_string())
+            .unwrap_or_else(|| "-".into());
+        // Domains at risk: with strict (SERVFAIL) resolvers present, every
+        // non-zero-iteration domain's negative lookups fail there.
+        let strict_share = pct(stats.item8, stats.validators);
+        println!(
+            "  {:<28} {:>6.1} %  {:>6.1} %  {:>6.1} %  limit {:>4}   {:.1} % of resolvers x {} domains",
+            format!("{} ({})", era.label, era.year),
+            stats.limiting_pct(),
+            stats.item6_pct(),
+            stats.item8_pct(),
+            dominant,
+            strict_share,
+            over_zero,
+        );
+    }
+
+    header("Interpretation");
+    println!(
+        "  The enforced maximum tightens 2020 → 2026 (none → 150 → 150/100 → 50), while"
+    );
+    println!(
+        "  {:.1} % of the NSEC3-enabled domain population ({over_zero} of {nsec3_total} here) still",
+        pct(over_zero, nsec3_total)
+    );
+    println!("  uses non-zero iterations — the collision course the paper warns about.");
+}

@@ -1,0 +1,118 @@
+//! Shared plumbing for the experiment harnesses (`src/bin/*.rs`): CLI
+//! parsing, the canonical experiment timestamp, and output helpers.
+//!
+//! Every harness regenerates one table or figure of the paper and prints
+//! a paper-vs-measured comparison; see DESIGN.md §4 for the index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use popgen::Scale;
+
+/// The fixed "now" all experiments sign and validate at (March 2024-ish,
+/// matching the paper's measurement window; any fixed value works — the
+/// simulation has no wall clock).
+pub const EXPERIMENT_NOW: u32 = 1_710_000_000;
+
+/// Parsed common CLI options.
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// Population scale (default varies per harness).
+    pub scale: Scale,
+    /// RNG seed.
+    pub seed: u64,
+    /// End-to-end sample size for closed-loop validation runs.
+    pub e2e_sample: usize,
+}
+
+impl Options {
+    /// Parse `--scale 1/1000`, `--seed N`, `--e2e-sample N` from argv.
+    pub fn parse(default_scale: Scale) -> Options {
+        let mut opts =
+            Options { scale: default_scale, seed: 42, e2e_sample: 600 };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" if i + 1 < args.len() => {
+                    opts.scale = parse_scale(&args[i + 1]).unwrap_or(default_scale);
+                    i += 2;
+                }
+                "--seed" if i + 1 < args.len() => {
+                    opts.seed = args[i + 1].parse().unwrap_or(42);
+                    i += 2;
+                }
+                "--e2e-sample" if i + 1 < args.len() => {
+                    opts.e2e_sample = args[i + 1].parse().unwrap_or(600);
+                    i += 2;
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --scale 1/N | --seed N | --e2e-sample N (defaults: scale {}, seed 42, sample 600)",
+                        fmt_scale(default_scale)
+                    );
+                    std::process::exit(0);
+                }
+                _ => i += 1,
+            }
+        }
+        opts
+    }
+}
+
+/// Parse `1/1000` or a plain float.
+pub fn parse_scale(s: &str) -> Option<Scale> {
+    if let Some((num, den)) = s.split_once('/') {
+        let n: f64 = num.trim().parse().ok()?;
+        let d: f64 = den.trim().parse().ok()?;
+        if d > 0.0 {
+            return Some(Scale(n / d));
+        }
+        return None;
+    }
+    s.trim().parse::<f64>().ok().map(Scale)
+}
+
+/// Format a scale as `1/N`.
+pub fn fmt_scale(scale: Scale) -> String {
+    if scale.0 >= 1.0 {
+        "1/1".to_string()
+    } else {
+        format!("1/{}", (1.0 / scale.0).round() as u64)
+    }
+}
+
+/// Print a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Write `contents` to `target/experiments/<name>` and report the path.
+pub fn write_artifact(name: &str, contents: &str) {
+    let dir = std::path::Path::new("target/experiments");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(name);
+        if std::fs::write(&path, contents).is_ok() {
+            println!("  [wrote {}]", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(parse_scale("1/1000").unwrap().0, 0.001);
+        assert_eq!(parse_scale("0.01").unwrap().0, 0.01);
+        assert!(parse_scale("1/0").is_none());
+        assert!(parse_scale("x").is_none());
+    }
+
+    #[test]
+    fn scale_formatting() {
+        assert_eq!(fmt_scale(Scale(0.001)), "1/1000");
+        assert_eq!(fmt_scale(Scale(1.0)), "1/1");
+    }
+}

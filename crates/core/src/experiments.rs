@@ -1,0 +1,500 @@
+//! End-to-end experiment drivers: the §4.1 domain census, the §4.2
+//! resolver study, and the CVE-2023-50868 cost sweep — each runs the full
+//! pipeline (generate → instantiate zones/resolvers → scan over the
+//! simulated network → aggregate).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use analysis::domains::DomainRecord;
+use analysis::resolvers::Panel;
+use dns_resolver::lab::{LabBuilder, ZoneSpec};
+use dns_resolver::resolver::{Resolver, ResolverConfig};
+use dns_resolver::Rfc9276Policy;
+use dns_scanner::census::{exclusive_operator, Census};
+use dns_scanner::prober::{Prober, ResolverClassification};
+use dns_scanner::atlas::classify_via_probe;
+use dns_wire::name::Name;
+use dns_wire::rdata::RData;
+use dns_wire::record::Record;
+use dns_wire::rrtype::RrType;
+use dns_zone::nsec3hash::Nsec3Params;
+use dns_zone::signer::Denial;
+use dns_zone::Zone;
+use popgen::domains::{DnssecKind, DomainSpec};
+use popgen::resolvers::{Access, Family, ResolverSpec};
+
+use crate::fleet::deploy_fleet;
+use crate::testbed::Testbed;
+
+/// Turn a population spec into lab zone contents.
+fn zone_spec_for_domain(spec: &DomainSpec) -> Option<ZoneSpec> {
+    let apex = Name::parse(&spec.name).ok()?;
+    let mut zone = Zone::new(apex.clone());
+    zone.add(Record::new(apex.clone(), 300, RData::A("192.0.2.10".parse().unwrap()))).ok()?;
+    let www = Name::parse("www").ok()?.concat(&apex).ok()?;
+    zone.add(Record::new(www, 300, RData::A("192.0.2.11".parse().unwrap()))).ok()?;
+    // Operator attribution travels in the apex NS RRset (child side), as
+    // the census reads it. Parent-side delegation NS records are wired by
+    // the lab independently (mismatched parent/child NS is routine in the
+    // wild).
+    if let Some(op) = spec.operator {
+        for ns in ["ns1", "ns2"] {
+            let target = Name::parse(ns).ok()?.concat(&Name::parse(op).ok()?).ok()?;
+            zone.add(Record::new(apex.clone(), 3600, RData::Ns(target))).ok()?;
+        }
+    }
+    let zs = match &spec.dnssec {
+        DnssecKind::None => ZoneSpec::unsigned(zone),
+        DnssecKind::Nsec => ZoneSpec::new(zone, Denial::Nsec),
+        DnssecKind::Nsec3 { iterations, salt_len, opt_out } => ZoneSpec::new(
+            zone,
+            Denial::Nsec3 {
+                params: Nsec3Params::new(*iterations, vec![0xA5; *salt_len as usize]),
+                opt_out: *opt_out,
+            },
+        ),
+    };
+    Some(zs)
+}
+
+/// Run the full §4.1 census over `specs`, instantiating real zones in
+/// batches of `batch_size` and scanning them through a validating
+/// resolver on the simulated network. Returns one [`DomainRecord`] per
+/// domain, as measured (not as declared).
+pub fn run_domain_census(specs: &[DomainSpec], now: u32, batch_size: usize) -> Vec<DomainRecord> {
+    let mut records = Vec::with_capacity(specs.len());
+    for batch in specs.chunks(batch_size.max(1)) {
+        // TLD zones needed by this batch.
+        let tlds: BTreeSet<Name> = batch
+            .iter()
+            .filter_map(|s| Name::parse(&s.name).ok()?.parent())
+            .filter(|p| !p.is_root())
+            .collect();
+        let mut builder = LabBuilder::new(now);
+        for tld in &tlds {
+            builder = builder.simple_zone(tld, Denial::nsec3_rfc9276());
+        }
+        let mut skipped = Vec::new();
+        for spec in batch {
+            match zone_spec_for_domain(spec) {
+                Some(zs) => builder = builder.zone(zs),
+                None => skipped.push(spec.name.clone()),
+            }
+        }
+        let mut lab = builder.build();
+        let raddr = lab.alloc.v4();
+        let mut cfg =
+            ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+        cfg.now = lab.now;
+        cfg.policy = Rfc9276Policy::unlimited();
+        let resolver = Resolver::new(cfg);
+        let census = Census::new(&lab.net, &resolver, "census");
+        for spec in batch {
+            if skipped.contains(&spec.name) {
+                continue;
+            }
+            let domain = match Name::parse(&spec.name) {
+                Ok(n) => n,
+                Err(_) => continue,
+            };
+            let obs = census.observe(&domain);
+            records.push(DomainRecord {
+                name: spec.name.clone(),
+                dnssec: obs.dnssec_enabled,
+                nsec3: obs
+                    .class
+                    .nsec3_enabled()
+                    .map(|p| (p.iterations, p.salt.len() as u8)),
+                opt_out: obs.opt_out,
+                operator: exclusive_operator(&obs.ns_targets).map(|n| n.to_string()),
+            });
+        }
+    }
+    records
+}
+
+/// Fast path: convert declared specs directly into analysis records
+/// (paper-scale aggregate analysis without network instantiation; the
+/// batched census above validates that measured == declared on samples).
+pub fn records_from_specs(specs: &[DomainSpec]) -> Vec<DomainRecord> {
+    specs
+        .iter()
+        .map(|s| DomainRecord {
+            name: s.name.clone(),
+            dnssec: s.dnssec != DnssecKind::None,
+            nsec3: s.nsec3().map(|(it, salt, _)| (it, salt)),
+            opt_out: s.nsec3().map(|(_, _, o)| o).unwrap_or(false),
+            operator: s.operator.map(String::from),
+        })
+        .collect()
+}
+
+/// What the end-to-end TLD census measured for one TLD.
+#[derive(Clone, Debug)]
+pub struct TldObservation {
+    /// The TLD.
+    pub name: String,
+    /// DNSKEY present.
+    pub dnssec: bool,
+    /// Measured NSEC3 parameters `(iterations, salt_len)`.
+    pub nsec3: Option<(u16, u8)>,
+    /// Opt-out flag observed on NSEC3 records.
+    pub opt_out: bool,
+    /// Zone transfer succeeded (the CZDS/AXFR sharing signal).
+    pub axfr_ok: bool,
+    /// Delegations counted from the transferred zone (scaled), if shared.
+    pub delegations: Option<u64>,
+}
+
+/// Run the TLD census end to end: instantiate every TLD as a real signed
+/// zone under the root (with `domains_scale`-scaled delegations inside),
+/// scan each one, and attempt the paper's zone-file collection via AXFR
+/// for the TLDs that share zone data.
+pub fn run_tld_census(
+    tlds: &[popgen::tlds::TldSpec],
+    now: u32,
+    domains_scale: f64,
+) -> Vec<TldObservation> {
+    let mut builder = LabBuilder::new(now);
+    for tld in tlds {
+        let apex = match Name::parse(&tld.name) {
+            Ok(n) => n,
+            Err(_) => continue,
+        };
+        let mut zone = Zone::new(apex.clone());
+        zone.add(Record::new(apex.clone(), 300, RData::A("192.0.2.77".parse().unwrap())))
+            .unwrap();
+        // Scaled registry contents: insecure delegations, the bulk of a
+        // real TLD zone (and what opt-out exists for).
+        let delegations = ((tld.est_domains as f64 * domains_scale).round() as u64).min(200);
+        for i in 0..delegations {
+            let child = Name::parse(&format!("reg{i}"))
+                .unwrap()
+                .concat(&apex)
+                .unwrap();
+            let ns = Name::parse("ns").unwrap().concat(&child).unwrap();
+            zone.add(Record::new(child, 3600, RData::Ns(ns))).unwrap();
+        }
+        let spec = match &tld.dnssec {
+            DnssecKind::None => ZoneSpec::unsigned(zone),
+            DnssecKind::Nsec => ZoneSpec::new(zone, Denial::Nsec),
+            DnssecKind::Nsec3 { iterations, salt_len, opt_out } => ZoneSpec::new(
+                zone,
+                Denial::Nsec3 {
+                    params: Nsec3Params::new(*iterations, vec![0xA5; *salt_len as usize]),
+                    opt_out: *opt_out,
+                },
+            ),
+        };
+        builder = builder.zone(spec);
+    }
+    let mut lab = builder.build();
+    // Enable AXFR on the sharing TLDs' servers.
+    for tld in tlds {
+        if tld.shares_zone {
+            if let Ok(apex) = Name::parse(&tld.name) {
+                if let Some(auth) = lab.auths.get(&apex) {
+                    auth.allow_axfr(&apex);
+                }
+            }
+        }
+    }
+    let raddr = lab.alloc.v4();
+    let mut cfg = ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+    cfg.now = lab.now;
+    cfg.policy = Rfc9276Policy::unlimited();
+    let resolver = Resolver::new(cfg);
+    let census = Census::new(&lab.net, &resolver, "tlds");
+    let xfer_src = lab.alloc.v4();
+    let mut out = Vec::with_capacity(tlds.len());
+    for tld in tlds {
+        let apex = match Name::parse(&tld.name) {
+            Ok(n) => n,
+            Err(_) => continue,
+        };
+        let obs = census.observe(&apex);
+        let (v4, _) = lab.servers[&apex];
+        let transferred = dns_scanner::walk::axfr(&lab.net, xfer_src, v4, &apex);
+        let delegations = transferred.as_ref().map(|records| {
+            let mut cuts: std::collections::BTreeSet<Name> = Default::default();
+            for rec in records {
+                if rec.rrtype() == RrType::NS && rec.name != apex {
+                    cuts.insert(rec.name.clone());
+                }
+            }
+            cuts.len() as u64
+        });
+        out.push(TldObservation {
+            name: tld.name.clone(),
+            dnssec: obs.dnssec_enabled,
+            nsec3: obs.class.nsec3_enabled().map(|p| (p.iterations, p.salt.len() as u8)),
+            opt_out: obs.opt_out,
+            axfr_ok: transferred.is_some(),
+            delegations,
+        });
+    }
+    out
+}
+
+/// Results of the §4.2 resolver study, grouped into Figure 3 panels.
+pub struct ResolverStudy {
+    /// Classifications per panel.
+    pub per_panel: BTreeMap<Panel, Vec<ResolverClassification>>,
+}
+
+impl ResolverStudy {
+    /// All classifications across panels.
+    pub fn all(&self) -> Vec<ResolverClassification> {
+        self.per_panel.values().flatten().cloned().collect()
+    }
+}
+
+/// Deploy `specs` against a testbed and classify every resolver: open ones
+/// from the scanner's vantage, closed ones through their Atlas probes.
+pub fn run_resolver_study(testbed: &mut Testbed, specs: &[ResolverSpec]) -> ResolverStudy {
+    let deployed = deploy_fleet(&mut testbed.lab, specs);
+    let scanner_v4 = testbed.lab.alloc.v4();
+    let scanner_v6 = testbed.lab.alloc.v6();
+    let mut per_panel: BTreeMap<Panel, Vec<ResolverClassification>> = BTreeMap::new();
+    for d in &deployed {
+        let panel = match (d.spec.access, d.spec.family) {
+            (Access::Open, Family::V4) => Panel::OpenV4,
+            (Access::Open, Family::V6) => Panel::OpenV6,
+            (Access::Closed, Family::V4) => Panel::ClosedV4,
+            (Access::Closed, Family::V6) => Panel::ClosedV6,
+        };
+        let classification = match &d.probe {
+            Some(probe) => classify_via_probe(&testbed.lab.net, probe, &testbed.plan),
+            None => {
+                let src = match d.spec.family {
+                    Family::V4 => scanner_v4,
+                    Family::V6 => scanner_v6,
+                };
+                Prober::new(&testbed.lab.net, src, &testbed.plan).classify(d.addr)
+            }
+        };
+        if let Some(c) = classification {
+            per_panel.entry(panel).or_default().push(c);
+        }
+    }
+    ResolverStudy { per_panel }
+}
+
+/// Result of the unreachability experiment (§5.2 / abstract: "as 418
+/// resolvers do not accept any additional iteration count higher than 0,
+/// they potentially render 13.6 M domains unavailable to end users").
+#[derive(Clone, Copy, Debug)]
+pub struct Unreachability {
+    /// NSEC3-enabled domains probed.
+    pub probed: u64,
+    /// Domains whose negative lookups SERVFAIL through the strict resolver.
+    pub unreachable: u64,
+    /// Domains that keep working (zero additional iterations).
+    pub reachable: u64,
+}
+
+impl Unreachability {
+    /// Share of NSEC3-enabled domains rendered unreachable (paper: 87.8 %).
+    pub fn unreachable_pct(&self) -> f64 {
+        if self.probed == 0 {
+            0.0
+        } else {
+            self.unreachable as f64 / self.probed as f64 * 100.0
+        }
+    }
+}
+
+/// Measure the abstract's unreachability claim end to end: instantiate a
+/// sample of NSEC3-enabled domains as real zones, resolve a nonexistent
+/// name under each through a SERVFAIL-from-it-1 resolver (the 418
+/// query-copier class), and count the failures.
+pub fn run_unreachability(specs: &[DomainSpec], now: u32, batch_size: usize) -> Unreachability {
+    let nsec3_sample: Vec<DomainSpec> =
+        specs.iter().filter(|s| s.nsec3().is_some()).cloned().collect();
+    let mut result = Unreachability { probed: 0, unreachable: 0, reachable: 0 };
+    for batch in nsec3_sample.chunks(batch_size.max(1)) {
+        let tlds: BTreeSet<Name> = batch
+            .iter()
+            .filter_map(|s| Name::parse(&s.name).ok()?.parent())
+            .filter(|p| !p.is_root())
+            .collect();
+        let mut builder = LabBuilder::new(now);
+        for tld in &tlds {
+            builder = builder.simple_zone(tld, Denial::nsec3_rfc9276());
+        }
+        for spec in batch {
+            if let Some(zs) = zone_spec_for_domain(spec) {
+                builder = builder.zone(zs);
+            }
+        }
+        let mut lab = builder.build();
+        let raddr = lab.alloc.v4();
+        let mut cfg =
+            ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+        cfg.now = lab.now;
+        // The strict class: SERVFAIL for any NSEC3 iteration count > 0.
+        cfg.policy = Rfc9276Policy::servfail_above(0);
+        let resolver = Resolver::new(cfg);
+        for spec in batch {
+            let domain = match Name::parse(&spec.name) {
+                Ok(n) => n,
+                Err(_) => continue,
+            };
+            let probe = Name::parse("does-not-exist").unwrap().concat(&domain).unwrap();
+            let out = resolver.resolve(&lab.net, &probe, RrType::A);
+            result.probed += 1;
+            match out.rcode {
+                dns_wire::rrtype::Rcode::ServFail => result.unreachable += 1,
+                _ => result.reachable += 1,
+            }
+        }
+    }
+    result
+}
+
+/// One point of the CVE-2023-50868 cost sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct CvePoint {
+    /// Additional iterations of the target zone.
+    pub iterations: u16,
+    /// Salt length of the target zone.
+    pub salt_len: u8,
+    /// SHA-1 compressions the resolver spent validating one NXDOMAIN.
+    pub compressions: u64,
+    /// NSEC3 hash chains computed.
+    pub hashes: u64,
+    /// Virtual time spent, microseconds.
+    pub virtual_micros: u64,
+}
+
+/// Sweep validation cost across iteration counts and salt lengths,
+/// querying one unique nonexistent (deep) name per configuration through
+/// an unlimited validating resolver.
+pub fn cve_cost_sweep(points: &[(u16, u8)], now: u32) -> Vec<CvePoint> {
+    let mut out = Vec::with_capacity(points.len());
+    for &(iterations, salt_len) in points {
+        let apex = Name::parse("victim.example.").unwrap();
+        let lab_builder = LabBuilder::new(now)
+            .simple_zone(&Name::parse("example.").unwrap(), Denial::nsec3_rfc9276())
+            .zone(ZoneSpec::new(
+                {
+                    let mut z = Zone::new(apex.clone());
+                    z.add(Record::new(
+                        apex.clone(),
+                        300,
+                        RData::A("192.0.2.10".parse().unwrap()),
+                    ))
+                    .unwrap();
+                    z
+                },
+                Denial::Nsec3 {
+                    params: Nsec3Params::new(iterations, vec![0x5a; salt_len as usize]),
+                    opt_out: false,
+                },
+            ));
+        let mut lab = lab_builder.build();
+        let raddr = lab.alloc.v4();
+        let mut cfg =
+            ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+        cfg.now = lab.now;
+        cfg.policy = Rfc9276Policy::unlimited();
+        let resolver = Resolver::new(cfg);
+        let qname = Name::parse("a.b.c.d.attack.victim.example.").unwrap();
+        let t0 = lab.net.now_micros();
+        let outcome = resolver.resolve(&lab.net, &qname, RrType::A);
+        assert_eq!(outcome.rcode, dns_wire::rrtype::Rcode::NxDomain);
+        out.push(CvePoint {
+            iterations,
+            salt_len,
+            compressions: outcome.cost.sha1_compressions,
+            hashes: outcome.cost.nsec3_hashes,
+            virtual_micros: lab.net.now_micros() - t0,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popgen::Scale;
+
+    const NOW: u32 = 1_710_000_000;
+
+    #[test]
+    fn census_measures_what_popgen_declares() {
+        let specs = popgen::generate_domains(Scale(1.0 / 2_000_000.0), 3);
+        let sample: Vec<DomainSpec> = specs.into_iter().take(60).collect();
+        let measured = run_domain_census(&sample, NOW, 40);
+        assert_eq!(measured.len(), sample.len());
+        let declared = records_from_specs(&sample);
+        for (m, d) in measured.iter().zip(declared.iter()) {
+            assert_eq!(m.name, d.name);
+            assert_eq!(m.dnssec, d.dnssec, "{}", m.name);
+            assert_eq!(m.nsec3, d.nsec3, "{}: measured {:?}", m.name, m.nsec3);
+            assert_eq!(m.opt_out, d.opt_out, "{}", m.name);
+            if d.operator.is_some() {
+                assert_eq!(m.operator, d.operator, "{}", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn unreachability_matches_non_compliance_share() {
+        // The strict resolver breaks negative lookups for exactly the
+        // non-zero-iteration domains: the unreachable share must equal the
+        // non-compliance share of the sample.
+        let specs = popgen::generate_domains(Scale(1.0 / 1_000_000.0), 9);
+        let nsec3: Vec<_> = specs.iter().filter(|s| s.nsec3().is_some()).collect();
+        assert!(nsec3.len() >= 10, "sample large enough: {}", nsec3.len());
+        let expected_unreachable =
+            nsec3.iter().filter(|s| s.nsec3().unwrap().0 > 0).count() as u64;
+        let result = run_unreachability(&specs, NOW, 100);
+        assert_eq!(result.probed, nsec3.len() as u64);
+        assert_eq!(result.unreachable, expected_unreachable);
+        assert_eq!(result.reachable + result.unreachable, result.probed);
+    }
+
+    #[test]
+    fn tld_census_measures_declared_parameters() {
+        // A slice of the real TLD population, scanned end to end.
+        let tlds: Vec<_> = popgen::generate_tlds().into_iter().step_by(37).collect();
+        let observed = run_tld_census(&tlds, NOW, 1.0 / 100_000.0);
+        assert_eq!(observed.len(), tlds.len());
+        for (obs, spec) in observed.iter().zip(tlds.iter()) {
+            assert_eq!(obs.name, spec.name);
+            match &spec.dnssec {
+                popgen::domains::DnssecKind::None => assert!(!obs.dnssec, "{}", obs.name),
+                popgen::domains::DnssecKind::Nsec => {
+                    assert!(obs.dnssec);
+                    assert_eq!(obs.nsec3, None, "{}", obs.name);
+                }
+                popgen::domains::DnssecKind::Nsec3 { iterations, salt_len, opt_out } => {
+                    assert_eq!(obs.nsec3, Some((*iterations, *salt_len)), "{}", obs.name);
+                    // Opt-out observable only when an NSEC3 record was
+                    // returned with the flag (needs the probe to hit an
+                    // NXDOMAIN with records) — flag equality holds when
+                    // observed.
+                    if obs.opt_out {
+                        assert!(*opt_out, "{}", obs.name);
+                    }
+                }
+            }
+            assert_eq!(obs.axfr_ok, spec.shares_zone, "{}", obs.name);
+            if spec.shares_zone {
+                assert!(obs.delegations.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn cve_sweep_shows_linear_blowup() {
+        let points = cve_cost_sweep(&[(0, 0), (150, 8), (500, 8)], NOW);
+        assert_eq!(points.len(), 3);
+        let base = points[0].compressions;
+        let mid = points[1].compressions;
+        let high = points[2].compressions;
+        assert!(mid > base * 50, "150 iterations: {mid} vs {base}");
+        assert!(high > mid * 2, "500 iterations: {high} vs {mid}");
+    }
+}

@@ -1,0 +1,36 @@
+//! `nsec3-core`: the public facade of the *Zeros Are Heroes* reproduction.
+//!
+//! This crate ties the substrates together into the paper's experiments:
+//!
+//! * [`testbed`] — the 49-subdomain `rfc9276-in-the-wild.com` testbed
+//!   (plus `it-2501-expired`) on the simulated network.
+//! * [`fleet`] — instantiating calibrated resolver populations as live
+//!   resolver nodes with RFC 9276 policies.
+//! * [`experiments`] — end-to-end drivers: the §4.1 domain census, the
+//!   §4.2 resolver study, and the CVE-2023-50868 cost sweep.
+//!
+//! ```no_run
+//! use nsec3_core::testbed::build_testbed;
+//! use nsec3_core::experiments::run_resolver_study;
+//! use popgen::{generate_fleet, Scale};
+//!
+//! let mut tb = build_testbed(1_710_000_000);
+//! let fleet = generate_fleet(Scale(1.0 / 10_000.0), 42);
+//! let study = run_resolver_study(&mut tb, &fleet);
+//! let stats = analysis::ResolverStats::compute(&study.all());
+//! println!("item 6: {:.1} % (paper: 59.9 %)", stats.item6_pct());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod fleet;
+pub mod testbed;
+
+pub use experiments::{
+    cve_cost_sweep, records_from_specs, run_domain_census, run_resolver_study, run_tld_census,
+    run_unreachability, CvePoint, ResolverStudy, TldObservation, Unreachability,
+};
+pub use fleet::{deploy_fleet, policy_for, DeployedResolver};
+pub use testbed::{build_testbed, iteration_values, Testbed, TEST_DOMAIN};

@@ -1,0 +1,136 @@
+//! HMAC (RFC 2104) over any [`Digest`] implementation.
+
+use crate::{ct_eq, Digest};
+
+/// Streaming HMAC computation.
+///
+/// ```
+/// use dns_crypto::{hmac::Hmac, sha256::Sha256, Digest};
+/// let mut mac = Hmac::<Sha256>::new(b"key");
+/// mac.update(b"message");
+/// let tag = mac.finalize();
+/// assert_eq!(tag.len(), Sha256::OUTPUT_LEN);
+/// ```
+#[derive(Clone)]
+pub struct Hmac<D: Digest> {
+    inner: D,
+    /// Key XOR opad, kept for the outer pass.
+    opad_key: Vec<u8>,
+}
+
+impl<D: Digest> Hmac<D> {
+    /// Create an HMAC instance keyed with `key` (any length; keys longer than
+    /// the digest block length are hashed first, per RFC 2104).
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = vec![0u8; D::BLOCK_LEN];
+        if key.len() > D::BLOCK_LEN {
+            let digest = D::digest(key);
+            key_block[..digest.len()].copy_from_slice(&digest);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+        let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+        let mut inner = D::default();
+        inner.update(&ipad);
+        Hmac { inner, opad_key: opad }
+    }
+
+    /// Absorb message data.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produce the authentication tag.
+    pub fn finalize(self) -> Vec<u8> {
+        let inner_digest = self.inner.finalize();
+        let mut outer = D::default();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot convenience.
+    pub fn mac(key: &[u8], data: &[u8]) -> Vec<u8> {
+        let mut h = Self::new(key);
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Verify `tag` against the MAC of `data` in constant time.
+    pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
+        ct_eq(&Self::mac(key, data), tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha1::Sha1;
+    use crate::sha256::Sha256;
+    use crate::{hex_lower, hex_parse};
+
+    // RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case1_sha256() {
+        let key = [0x0b; 20];
+        let tag = Hmac::<Sha256>::mac(&key, b"Hi There");
+        assert_eq!(
+            hex_lower(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    // RFC 4231 test case 2 ("Jefe").
+    #[test]
+    fn rfc4231_case2_sha256() {
+        let tag = Hmac::<Sha256>::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex_lower(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    // RFC 4231 test case 6: key longer than block size.
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaa; 131];
+        let tag = Hmac::<Sha256>::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex_lower(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    // RFC 2202 test case 1 for HMAC-SHA1.
+    #[test]
+    fn rfc2202_case1_sha1() {
+        let key = [0x0b; 20];
+        let tag = Hmac::<Sha1>::mac(&key, b"Hi There");
+        assert_eq!(hex_lower(&tag), "b617318655057264e28bc0b6fb378c8ef146be00");
+    }
+
+    // RFC 2202 test case 2 for HMAC-SHA1.
+    #[test]
+    fn rfc2202_case2_sha1() {
+        let tag = Hmac::<Sha1>::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(hex_lower(&tag), "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let tag = Hmac::<Sha256>::mac(b"k", b"data");
+        assert!(Hmac::<Sha256>::verify(b"k", b"data", &tag));
+        assert!(!Hmac::<Sha256>::verify(b"k", b"datb", &tag));
+        assert!(!Hmac::<Sha256>::verify(b"j", b"data", &tag));
+        let _ = hex_parse("00"); // keep import used in all cfgs
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let mut mac = Hmac::<Sha256>::new(b"key");
+        mac.update(b"hello ");
+        mac.update(b"world");
+        assert_eq!(mac.finalize(), Hmac::<Sha256>::mac(b"key", b"hello world"));
+    }
+}

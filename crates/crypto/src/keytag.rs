@@ -1,0 +1,59 @@
+//! DNSKEY key-tag computation (RFC 4034 Appendix B).
+//!
+//! The key tag is a 16-bit checksum over the DNSKEY RDATA that lets RRSIG and
+//! DS records hint which key they refer to. It is *not* a unique identifier;
+//! resolvers must still try every key with a matching tag.
+
+/// Compute the key tag over a DNSKEY RDATA in wire format
+/// (flags | protocol | algorithm | public key).
+///
+/// This is the RFC 4034 Appendix B algorithm for all modern algorithms
+/// (i.e. everything except the obsolete algorithm 1).
+pub fn key_tag(dnskey_rdata: &[u8]) -> u16 {
+    let mut ac: u32 = 0;
+    for (i, &b) in dnskey_rdata.iter().enumerate() {
+        if i & 1 == 1 {
+            ac += u32::from(b);
+        } else {
+            ac += u32::from(b) << 8;
+        }
+    }
+    ac += (ac >> 16) & 0xFFFF;
+    (ac & 0xFFFF) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_rdata_is_zero() {
+        assert_eq!(key_tag(&[]), 0);
+    }
+
+    #[test]
+    fn known_small_values() {
+        // Hand-computed: [0x01, 0x02] -> 0x0102.
+        assert_eq!(key_tag(&[0x01, 0x02]), 0x0102);
+        // [0x01, 0x02, 0x03] -> 0x0102 + 0x0300 = 0x0402.
+        assert_eq!(key_tag(&[0x01, 0x02, 0x03]), 0x0402);
+    }
+
+    #[test]
+    fn carry_folding() {
+        // 0xFF bytes accumulate past 16 bits and must fold back in.
+        let rdata = vec![0xFFu8; 1024];
+        let tag = key_tag(&rdata);
+        // Hand-check: per pair, 0xFF00 + 0xFF = 0xFFFF; 512 pairs -> ac =
+        // 512 * 0xFFFF = 0x1FFFE00; fold: ac += (ac>>16)&0xFFFF = 0x1FF ->
+        // 0x1FFFFFF... compute directly instead:
+        let mut ac: u32 = 512 * 0xFFFF;
+        ac += (ac >> 16) & 0xFFFF;
+        assert_eq!(tag, (ac & 0xFFFF) as u16);
+    }
+
+    #[test]
+    fn order_sensitivity() {
+        assert_ne!(key_tag(&[1, 2, 3, 4]), key_tag(&[4, 3, 2, 1]));
+    }
+}

@@ -1,0 +1,133 @@
+//! From-scratch cryptographic primitives for the `heroes` DNSSEC substrate.
+//!
+//! This crate deliberately implements everything it needs rather than pulling
+//! in external cryptography dependencies:
+//!
+//! * [`sha1`] — SHA-1 (FIPS 180-4), the only hash algorithm defined for NSEC3
+//!   (RFC 5155 §11 assigns algorithm number 1 to SHA-1).
+//! * [`sha256`] — SHA-256 (FIPS 180-4), used for DS digests and the simulated
+//!   signature scheme.
+//! * [`hmac`] — HMAC (RFC 2104) over any [`Digest`] implementation.
+//! * [`simsig`] — *SimSig*, a deterministic stand-in for RSA/ECDSA DNSSEC
+//!   signatures. See the module docs for the exact substitution argument.
+//! * [`keytag`] — the RFC 4034 Appendix B key-tag computation.
+//!
+//! # Cost accounting
+//!
+//! CVE-2023-50868 is an algorithmic-complexity attack whose cost is the
+//! number of hash *compression-function* invocations a validating resolver
+//! performs while checking NSEC3 closest-encloser proofs. Both hash
+//! implementations therefore count the compression invocations they perform
+//! ([`Digest::compressions`]), and the resolver's cost model aggregates them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hmac;
+pub mod keytag;
+pub mod sha1;
+pub mod sha256;
+pub mod simsig;
+
+/// A streaming cryptographic hash function.
+///
+/// Modeled after the conventional `update`/`finalize` digest interface, plus
+/// a compression-invocation counter used by the CVE-2023-50868 cost model.
+pub trait Digest: Default + Clone {
+    /// Digest output length in bytes.
+    const OUTPUT_LEN: usize;
+    /// Internal block length in bytes (64 for SHA-1/SHA-256).
+    const BLOCK_LEN: usize;
+
+    /// Absorb `data` into the hash state.
+    fn update(&mut self, data: &[u8]);
+
+    /// Consume the hasher and return the digest.
+    fn finalize(self) -> Vec<u8>;
+
+    /// Number of compression-function invocations performed so far,
+    /// including those implied by padding when [`Digest::finalize`] runs.
+    fn compressions(&self) -> u64;
+
+    /// One-shot convenience: digest of `data`.
+    fn digest(data: &[u8]) -> Vec<u8> {
+        let mut h = Self::default();
+        h.update(data);
+        h.finalize()
+    }
+}
+
+/// Constant-time byte-slice equality.
+///
+/// Not security-critical in a simulation, but signature and MAC comparisons
+/// use it anyway so the code reads like production code.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+/// Render bytes as lowercase hex (test helpers and presentation formats).
+pub fn hex_lower(bytes: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Parse lowercase/uppercase hex into bytes. Returns `None` on odd length or
+/// non-hex characters.
+pub fn hex_parse(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ct_eq_basic() {
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"abcd"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let bytes = [0x00, 0x01, 0xab, 0xff, 0x7f];
+        let s = hex_lower(&bytes);
+        assert_eq!(s, "0001abff7f");
+        assert_eq!(hex_parse(&s).unwrap(), bytes);
+    }
+
+    #[test]
+    fn hex_parse_rejects_bad_input() {
+        assert!(hex_parse("abc").is_none());
+        assert!(hex_parse("zz").is_none());
+        assert_eq!(hex_parse("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn hex_parse_accepts_uppercase() {
+        assert_eq!(hex_parse("AABB").unwrap(), vec![0xaa, 0xbb]);
+    }
+}

@@ -1,0 +1,135 @@
+//! *SimSig*: a deterministic simulated DNSSEC signature scheme.
+//!
+//! # Substitution rationale (see DESIGN.md §2)
+//!
+//! The paper's infrastructure signs zones with real RSA/ECDSA keys. For the
+//! reproduction, the only properties of the signature scheme that the
+//! measurement exercises are:
+//!
+//! 1. a signature over the RFC 4034 canonical RRset buffer either verifies or
+//!    does not (valid vs. bogus),
+//! 2. temporal validity (inception/expiration) is enforced independently of
+//!    the math (the `expired` and `it-2501-expired` testbed zones), and
+//! 3. DNSKEY records are linked upward via DS digests.
+//!
+//! SimSig preserves all three while staying deterministic and dependency-free:
+//! the "public key" is a 32-byte value derived from the secret, and a
+//! signature is `HMAC-SHA-256(public_key, message)`. Anyone holding the public
+//! key could forge signatures — that is irrelevant here because the simulation
+//! is a closed loop with no adversary outside our own fault injectors, and the
+//! fault injectors corrupt signatures explicitly rather than forging them.
+//!
+//! SimSig identifies itself with DNSSEC algorithm number 253 (`PRIVATEDNS`,
+//! reserved by RFC 4034 §A.1.1 for private algorithms), though the zone signer
+//! may label keys with any algorithm number to mimic populations in the wild.
+
+use crate::hmac::Hmac;
+use crate::sha256::{sha256, Sha256};
+
+/// DNSSEC algorithm number SimSig identifies itself with (PRIVATEDNS).
+pub const SIMSIG_ALGORITHM: u8 = 253;
+
+/// Length in bytes of a SimSig public key.
+pub const PUBLIC_KEY_LEN: usize = 32;
+
+/// Length in bytes of a SimSig signature.
+pub const SIGNATURE_LEN: usize = 32;
+
+/// Domain-separation suffix for public-key derivation.
+const PK_DERIVE: &[u8] = b"heroes-simsig-public-v1";
+
+/// A SimSig key pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeyPair {
+    secret: [u8; 32],
+    public: [u8; 32],
+}
+
+impl KeyPair {
+    /// Derive a key pair deterministically from a seed. The same seed always
+    /// yields the same pair, which keeps whole-population experiments
+    /// reproducible.
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let secret = sha256(seed);
+        let mut buf = Vec::with_capacity(32 + PK_DERIVE.len());
+        buf.extend_from_slice(&secret);
+        buf.extend_from_slice(PK_DERIVE);
+        let public = sha256(&buf);
+        KeyPair { secret, public }
+    }
+
+    /// The public key bytes, as stored in a DNSKEY RDATA public-key field.
+    pub fn public_key(&self) -> &[u8; 32] {
+        &self.public
+    }
+
+    /// Sign `message` (the RFC 4034 canonical signing buffer).
+    pub fn sign(&self, message: &[u8]) -> Vec<u8> {
+        sign_with_public(&self.public, message)
+    }
+}
+
+/// Produce the signature for `message` under the key identified by
+/// `public_key`.
+///
+/// Exposed so that fault injectors can mint signatures for *any* key when
+/// constructing deliberately inconsistent zones; regular code paths should go
+/// through [`KeyPair::sign`].
+pub fn sign_with_public(public_key: &[u8], message: &[u8]) -> Vec<u8> {
+    Hmac::<Sha256>::mac(public_key, message)
+}
+
+/// Verify `signature` over `message` under `public_key`.
+pub fn verify(public_key: &[u8], message: &[u8], signature: &[u8]) -> bool {
+    if public_key.len() != PUBLIC_KEY_LEN || signature.len() != SIGNATURE_LEN {
+        return false;
+    }
+    Hmac::<Sha256>::verify(public_key, message, signature)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = KeyPair::from_seed(b"zone: example.");
+        let b = KeyPair::from_seed(b"zone: example.");
+        let c = KeyPair::from_seed(b"zone: example.com.");
+        assert_eq!(a, b);
+        assert_ne!(a.public_key(), c.public_key());
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = KeyPair::from_seed(b"k1");
+        let sig = kp.sign(b"message");
+        assert!(verify(kp.public_key(), b"message", &sig));
+        assert!(!verify(kp.public_key(), b"messagf", &sig));
+        let other = KeyPair::from_seed(b"k2");
+        assert!(!verify(other.public_key(), b"message", &sig));
+    }
+
+    #[test]
+    fn corrupted_signature_rejected() {
+        let kp = KeyPair::from_seed(b"k1");
+        let mut sig = kp.sign(b"message");
+        sig[0] ^= 0x01;
+        assert!(!verify(kp.public_key(), b"message", &sig));
+    }
+
+    #[test]
+    fn wrong_length_inputs_rejected() {
+        let kp = KeyPair::from_seed(b"k1");
+        let sig = kp.sign(b"m");
+        assert!(!verify(&kp.public_key()[..31], b"m", &sig));
+        assert!(!verify(kp.public_key(), b"m", &sig[..31]));
+    }
+
+    #[test]
+    fn signature_len_is_declared() {
+        let kp = KeyPair::from_seed(b"k1");
+        assert_eq!(kp.sign(b"x").len(), SIGNATURE_LEN);
+        assert_eq!(kp.public_key().len(), PUBLIC_KEY_LEN);
+    }
+}

@@ -1,0 +1,675 @@
+//! A deterministic, event-driven simulated Internet.
+//!
+//! This crate substitutes for the live network in the *Zeros Are Heroes*
+//! reproduction (DESIGN.md §2). It follows the smoltcp school of design:
+//! synchronous, explicit, no hidden concurrency, with first-class fault
+//! injection (`--drop-chance` / `--corrupt-chance` style knobs) and a
+//! packet trace for observability.
+//!
+//! # Model
+//!
+//! * Every host is a [`Node`] registered under one or more [`std::net::IpAddr`]s.
+//! * Communication is datagram request/response, like DNS over UDP: the
+//!   sender calls [`Network::send_query`], the receiving node's
+//!   [`Node::handle`] optionally returns a reply payload.
+//! * A node handling a datagram may itself send queries through the same
+//!   network (that is how the recursive resolver reaches authoritative
+//!   servers). Cycles (a node querying itself) are detected and dropped.
+//! * Time is virtual: a monotonic microsecond clock advanced by configured
+//!   per-node latencies. Runs are exactly reproducible for a given seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+use std::rc::Rc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A host on the simulated network.
+///
+/// Implementations take `&self`; use interior mutability for state (query
+/// logs, caches). This keeps the network re-entrant: a node may send
+/// queries from inside `handle`.
+pub trait Node {
+    /// Handle a datagram sent to this node. Returning `None` means no
+    /// response (a timeout from the sender's perspective).
+    fn handle(&self, net: &Network, src: IpAddr, payload: &[u8]) -> Option<Vec<u8>>;
+}
+
+/// Fault-injection configuration, in the style of smoltcp's example knobs.
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// Probability in `[0, 1]` that any datagram (either direction) is
+    /// silently dropped.
+    pub drop_chance: f64,
+    /// Probability in `[0, 1]` that one octet of a datagram is corrupted.
+    pub corrupt_chance: f64,
+    /// Probability in `[0, 1]` that a *request* is delivered twice (UDP
+    /// duplication); the receiver's handler runs for each copy, so side
+    /// effects (query logs, counters) double, while the sender keeps the
+    /// first reply — exactly the failure mode that makes cache-busting
+    /// probe names necessary.
+    pub duplicate_chance: f64,
+    /// Datagrams larger than this are dropped (MTU-ish limit).
+    pub size_limit: Option<usize>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig { drop_chance: 0.0, corrupt_chance: 0.0, duplicate_chance: 0.0, size_limit: None }
+    }
+}
+
+/// Outcome of one query exchange.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// A response arrived.
+    Response {
+        /// The reply payload.
+        payload: Vec<u8>,
+        /// Round-trip time in virtual microseconds.
+        rtt_micros: u64,
+    },
+    /// The query or the response was lost, or the responder stayed silent;
+    /// the sender sees a timeout.
+    Timeout,
+    /// No node is registered at the destination address.
+    NoRoute,
+}
+
+impl Outcome {
+    /// The response payload, if any.
+    pub fn payload(&self) -> Option<&[u8]> {
+        match self {
+            Outcome::Response { payload, .. } => Some(payload),
+            _ => None,
+        }
+    }
+}
+
+/// One line of the packet trace.
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// Virtual timestamp (µs) when the datagram entered the network.
+    pub at_micros: u64,
+    /// Sender address.
+    pub src: IpAddr,
+    /// Destination address.
+    pub dst: IpAddr,
+    /// Payload length.
+    pub len: usize,
+    /// What happened to it.
+    pub verdict: TraceVerdict,
+}
+
+/// Per-datagram fate recorded in the trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceVerdict {
+    /// Delivered to the destination node.
+    Delivered,
+    /// Dropped by fault injection.
+    Dropped,
+    /// Corrupted in flight (still delivered).
+    Corrupted,
+    /// Dropped: larger than the size limit.
+    OverSize,
+    /// Dropped: no such destination.
+    NoRoute,
+    /// Dropped: delivery would re-enter a node already on the call stack.
+    Loop,
+}
+
+/// The simulated Internet.
+pub struct Network {
+    nodes: RefCell<HashMap<IpAddr, Rc<dyn Node>>>,
+    latency: RefCell<HashMap<IpAddr, u64>>,
+    /// Default one-way latency in µs when a node has none configured.
+    default_latency: u64,
+    faults: RefCell<FaultConfig>,
+    rng: RefCell<SmallRng>,
+    clock: Cell<u64>,
+    trace: RefCell<Vec<TraceEntry>>,
+    trace_cap: Cell<usize>,
+    in_flight: RefCell<Vec<IpAddr>>,
+    delivered: Cell<u64>,
+    lost: Cell<u64>,
+}
+
+impl Network {
+    /// A fault-free network with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Network {
+            nodes: RefCell::new(HashMap::new()),
+            latency: RefCell::new(HashMap::new()),
+            default_latency: 5_000, // 5 ms one-way
+            faults: RefCell::new(FaultConfig::default()),
+            rng: RefCell::new(SmallRng::seed_from_u64(seed)),
+            clock: Cell::new(0),
+            trace: RefCell::new(Vec::new()),
+            trace_cap: Cell::new(0),
+            in_flight: RefCell::new(Vec::new()),
+            delivered: Cell::new(0),
+            lost: Cell::new(0),
+        }
+    }
+
+    /// Replace the fault configuration.
+    pub fn set_faults(&self, faults: FaultConfig) {
+        *self.faults.borrow_mut() = faults;
+    }
+
+    /// Keep at most `cap` trace entries (0 disables tracing).
+    pub fn set_trace_capacity(&self, cap: usize) {
+        self.trace_cap.set(cap);
+        self.trace.borrow_mut().truncate(cap);
+    }
+
+    /// Register `node` at `addr`. A node may hold many addresses
+    /// (dual-stack hosts register twice). Returns `false` if the address
+    /// was already taken.
+    pub fn register(&self, addr: IpAddr, node: Rc<dyn Node>) -> bool {
+        use std::collections::hash_map::Entry;
+        match self.nodes.borrow_mut().entry(addr) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(v) => {
+                v.insert(node);
+                true
+            }
+        }
+    }
+
+    /// Remove the node at `addr`.
+    pub fn unregister(&self, addr: IpAddr) {
+        self.nodes.borrow_mut().remove(&addr);
+    }
+
+    /// Is anything registered at `addr`?
+    pub fn is_registered(&self, addr: IpAddr) -> bool {
+        self.nodes.borrow().contains_key(&addr)
+    }
+
+    /// Set the one-way latency for `addr` in microseconds.
+    pub fn set_latency(&self, addr: IpAddr, micros: u64) {
+        self.latency.borrow_mut().insert(addr, micros);
+    }
+
+    /// Current virtual time in microseconds.
+    pub fn now_micros(&self) -> u64 {
+        self.clock.get()
+    }
+
+    /// Advance the virtual clock (rate limiters and schedulers use this to
+    /// model pacing without wall-clock sleeps).
+    pub fn advance(&self, micros: u64) {
+        self.clock.set(self.clock.get() + micros);
+    }
+
+    /// Datagrams delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered.get()
+    }
+
+    /// Datagrams lost (all causes) so far.
+    pub fn lost_count(&self) -> u64 {
+        self.lost.get()
+    }
+
+    /// A copy of the trace.
+    pub fn trace(&self) -> Vec<TraceEntry> {
+        self.trace.borrow().clone()
+    }
+
+    /// Send `payload` from `src` to `dst` and wait (virtually) for the
+    /// response.
+    pub fn send_query(&self, src: IpAddr, dst: IpAddr, payload: &[u8]) -> Outcome {
+        let start = self.clock.get();
+        // Request leg.
+        match self.transmit(src, dst, payload, true) {
+            Leg::Lost => {
+                self.advance_timeout();
+                Outcome::Timeout
+            }
+            Leg::NoRoute => Outcome::NoRoute,
+            Leg::LoopDrop => {
+                self.advance_timeout();
+                Outcome::Timeout
+            }
+            Leg::Delivered(delivered_payload) => {
+                let node = self.nodes.borrow().get(&dst).cloned();
+                let node = match node {
+                    Some(n) => n,
+                    None => return Outcome::NoRoute,
+                };
+                let duplicate = {
+                    let faults = self.faults.borrow();
+                    faults.duplicate_chance > 0.0
+                        && self
+                            .rng
+                            .borrow_mut()
+                            .gen_bool(faults.duplicate_chance.clamp(0.0, 1.0))
+                };
+                self.in_flight.borrow_mut().push(dst);
+                let reply = node.handle(self, src, &delivered_payload);
+                if duplicate {
+                    // The duplicate's reply is dropped; its side effects
+                    // (logs, counters) are not.
+                    let _ = node.handle(self, src, &delivered_payload);
+                }
+                self.in_flight.borrow_mut().pop();
+                match reply {
+                    None => {
+                        self.advance_timeout();
+                        Outcome::Timeout
+                    }
+                    // The response leg flows back to a waiting socket, not a
+                    // registered node: no routing check.
+                    Some(reply) => match self.transmit(dst, src, &reply, false) {
+                        Leg::Delivered(reply_payload) => {
+                            let rtt = self.clock.get() - start;
+                            Outcome::Response { payload: reply_payload, rtt_micros: rtt }
+                        }
+                        _ => {
+                            self.advance_timeout();
+                            Outcome::Timeout
+                        }
+                    },
+                }
+            }
+        }
+    }
+
+    /// A sender-side retry loop: up to `attempts` tries, returning the
+    /// first response.
+    pub fn send_query_with_retries(
+        &self,
+        src: IpAddr,
+        dst: IpAddr,
+        payload: &[u8],
+        attempts: u32,
+    ) -> Outcome {
+        let mut last = Outcome::Timeout;
+        for _ in 0..attempts.max(1) {
+            last = self.send_query(src, dst, payload);
+            if matches!(last, Outcome::Response { .. } | Outcome::NoRoute) {
+                return last;
+            }
+        }
+        last
+    }
+
+    fn advance_timeout(&self) {
+        // A lost exchange costs the sender a timeout (2 s of virtual time —
+        // a typical stub retry interval).
+        self.clock.set(self.clock.get() + 2_000_000);
+    }
+
+    fn one_way_latency(&self, a: IpAddr, b: IpAddr) -> u64 {
+        let lat = self.latency.borrow();
+        let la = lat.get(&a).copied().unwrap_or(self.default_latency);
+        let lb = lat.get(&b).copied().unwrap_or(self.default_latency);
+        la + lb
+    }
+
+    fn record(&self, entry: TraceEntry) {
+        let cap = self.trace_cap.get();
+        if cap == 0 {
+            return;
+        }
+        let mut trace = self.trace.borrow_mut();
+        if trace.len() < cap {
+            trace.push(entry);
+        }
+    }
+
+    fn transmit(&self, src: IpAddr, dst: IpAddr, payload: &[u8], require_route: bool) -> Leg {
+        let at = self.clock.get();
+        let faults = self.faults.borrow().clone();
+        if let Some(limit) = faults.size_limit {
+            if payload.len() > limit {
+                self.lost.set(self.lost.get() + 1);
+                self.record(TraceEntry {
+                    at_micros: at,
+                    src,
+                    dst,
+                    len: payload.len(),
+                    verdict: TraceVerdict::OverSize,
+                });
+                return Leg::Lost;
+            }
+        }
+        if require_route && !self.nodes.borrow().contains_key(&dst) {
+            self.record(TraceEntry {
+                at_micros: at,
+                src,
+                dst,
+                len: payload.len(),
+                verdict: TraceVerdict::NoRoute,
+            });
+            return Leg::NoRoute;
+        }
+        // Re-entry protection only matters when we are about to invoke the
+        // destination's handler (request legs); responses flow back to a
+        // node that is legitimately on the stack awaiting them.
+        if require_route && self.in_flight.borrow().contains(&dst) {
+            self.lost.set(self.lost.get() + 1);
+            self.record(TraceEntry {
+                at_micros: at,
+                src,
+                dst,
+                len: payload.len(),
+                verdict: TraceVerdict::Loop,
+            });
+            return Leg::LoopDrop;
+        }
+        let mut rng = self.rng.borrow_mut();
+        if faults.drop_chance > 0.0 && rng.gen_bool(faults.drop_chance.clamp(0.0, 1.0)) {
+            self.lost.set(self.lost.get() + 1);
+            self.record(TraceEntry {
+                at_micros: at,
+                src,
+                dst,
+                len: payload.len(),
+                verdict: TraceVerdict::Dropped,
+            });
+            return Leg::Lost;
+        }
+        let mut delivered = payload.to_vec();
+        let mut verdict = TraceVerdict::Delivered;
+        if faults.corrupt_chance > 0.0
+            && !delivered.is_empty()
+            && rng.gen_bool(faults.corrupt_chance.clamp(0.0, 1.0))
+        {
+            let idx = rng.gen_range(0..delivered.len());
+            delivered[idx] ^= 1 << rng.gen_range(0..8);
+            verdict = TraceVerdict::Corrupted;
+        }
+        drop(rng);
+        self.clock.set(at + self.one_way_latency(src, dst));
+        self.delivered.set(self.delivered.get() + 1);
+        self.record(TraceEntry { at_micros: at, src, dst, len: payload.len(), verdict });
+        Leg::Delivered(delivered)
+    }
+}
+
+enum Leg {
+    Delivered(Vec<u8>),
+    Lost,
+    NoRoute,
+    LoopDrop,
+}
+
+/// Sequential allocator for unique simulation addresses.
+#[derive(Debug)]
+pub struct AddrAlloc {
+    next_v4: u32,
+    next_v6: u128,
+}
+
+impl Default for AddrAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddrAlloc {
+    /// Allocate from `10.0.0.0/8` and `fd00::/8`.
+    pub fn new() -> Self {
+        AddrAlloc {
+            next_v4: u32::from(Ipv4Addr::new(10, 0, 0, 1)),
+            next_v6: u128::from_be_bytes([
+                0xfd, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1,
+            ]),
+        }
+    }
+
+    /// Next unique IPv4 address.
+    pub fn v4(&mut self) -> IpAddr {
+        let addr = Ipv4Addr::from(self.next_v4);
+        self.next_v4 += 1;
+        IpAddr::V4(addr)
+    }
+
+    /// Next unique IPv6 address.
+    pub fn v6(&mut self) -> IpAddr {
+        let addr = Ipv6Addr::from(self.next_v6);
+        self.next_v6 += 1;
+        IpAddr::V6(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A node that echoes the payload reversed.
+    struct Echo;
+    impl Node for Echo {
+        fn handle(&self, _net: &Network, _src: IpAddr, payload: &[u8]) -> Option<Vec<u8>> {
+            let mut v = payload.to_vec();
+            v.reverse();
+            Some(v)
+        }
+    }
+
+    /// A node that forwards to another address and relays the reply.
+    struct Relay {
+        target: IpAddr,
+        own: IpAddr,
+    }
+    impl Node for Relay {
+        fn handle(&self, net: &Network, _src: IpAddr, payload: &[u8]) -> Option<Vec<u8>> {
+            match net.send_query(self.own, self.target, payload) {
+                Outcome::Response { payload, .. } => Some(payload),
+                _ => None,
+            }
+        }
+    }
+
+    /// A node that never answers.
+    struct Silent;
+    impl Node for Silent {
+        fn handle(&self, _net: &Network, _src: IpAddr, _payload: &[u8]) -> Option<Vec<u8>> {
+            None
+        }
+    }
+
+    fn addr(last: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(10, 0, 0, last))
+    }
+
+    #[test]
+    fn echo_roundtrip_advances_clock() {
+        let net = Network::new(1);
+        net.register(addr(2), Rc::new(Echo));
+        let out = net.send_query(addr(1), addr(2), b"hello");
+        match out {
+            Outcome::Response { payload, rtt_micros } => {
+                assert_eq!(payload, b"olleh");
+                assert_eq!(rtt_micros, 2 * 2 * 5_000); // two legs, 5ms+5ms each
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(net.delivered_count(), 2);
+    }
+
+    #[test]
+    fn no_route() {
+        let net = Network::new(1);
+        assert_eq!(net.send_query(addr(1), addr(9), b"x"), Outcome::NoRoute);
+    }
+
+    #[test]
+    fn silent_node_times_out() {
+        let net = Network::new(1);
+        net.register(addr(2), Rc::new(Silent));
+        let before = net.now_micros();
+        assert_eq!(net.send_query(addr(1), addr(2), b"x"), Outcome::Timeout);
+        assert!(net.now_micros() > before);
+    }
+
+    #[test]
+    fn relay_reaches_target_through_intermediate() {
+        let net = Network::new(1);
+        net.register(addr(3), Rc::new(Echo));
+        net.register(addr(2), Rc::new(Relay { target: addr(3), own: addr(2) }));
+        let out = net.send_query(addr(1), addr(2), b"ab");
+        assert_eq!(out.payload().unwrap(), b"ba");
+    }
+
+    #[test]
+    fn loop_is_dropped_not_stack_overflowed() {
+        let net = Network::new(1);
+        // A relay that forwards to itself.
+        net.register(addr(2), Rc::new(Relay { target: addr(2), own: addr(2) }));
+        assert_eq!(net.send_query(addr(1), addr(2), b"x"), Outcome::Timeout);
+    }
+
+    #[test]
+    fn full_drop_rate_loses_everything() {
+        let net = Network::new(1);
+        net.register(addr(2), Rc::new(Echo));
+        net.set_faults(FaultConfig { drop_chance: 1.0, ..Default::default() });
+        assert_eq!(net.send_query(addr(1), addr(2), b"x"), Outcome::Timeout);
+        assert_eq!(net.lost_count(), 1);
+    }
+
+    #[test]
+    fn retries_can_survive_partial_loss() {
+        let net = Network::new(42);
+        net.register(addr(2), Rc::new(Echo));
+        net.set_faults(FaultConfig { drop_chance: 0.5, ..Default::default() });
+        let mut got = 0;
+        for _ in 0..50 {
+            if let Outcome::Response { .. } =
+                net.send_query_with_retries(addr(1), addr(2), b"x", 10)
+            {
+                got += 1;
+            }
+        }
+        assert!(got >= 45, "retries should mask most loss, got {got}/50");
+    }
+
+    #[test]
+    fn corruption_changes_exactly_one_bit() {
+        let net = Network::new(7);
+        net.register(addr(2), Rc::new(Echo));
+        net.set_faults(FaultConfig { corrupt_chance: 1.0, ..Default::default() });
+        let out = net.send_query(addr(1), addr(2), b"aaaa");
+        // Both legs corrupt one bit each; the reversed reply differs from
+        // clean "aaaa" in at most 2 bits.
+        let payload = out.payload().unwrap().to_vec();
+        let diff: u32 = payload
+            .iter()
+            .zip(b"aaaa".iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert!((1..=2).contains(&diff), "diff {diff}");
+    }
+
+    #[test]
+    fn size_limit_drops_large_datagrams() {
+        let net = Network::new(1);
+        net.register(addr(2), Rc::new(Echo));
+        net.set_faults(FaultConfig { size_limit: Some(4), ..Default::default() });
+        assert_eq!(net.send_query(addr(1), addr(2), b"small"), Outcome::Timeout);
+        assert!(matches!(net.send_query(addr(1), addr(2), b"ok"), Outcome::Response { .. }));
+    }
+
+    #[test]
+    fn trace_records_when_enabled() {
+        let net = Network::new(1);
+        net.register(addr(2), Rc::new(Echo));
+        net.set_trace_capacity(10);
+        let _ = net.send_query(addr(1), addr(2), b"x");
+        let trace = net.trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].verdict, TraceVerdict::Delivered);
+        assert_eq!(trace[0].src, addr(1));
+        assert_eq!(trace[1].src, addr(2));
+    }
+
+    #[test]
+    fn trace_capacity_bounds_memory() {
+        let net = Network::new(1);
+        net.register(addr(2), Rc::new(Echo));
+        net.set_trace_capacity(3);
+        for _ in 0..10 {
+            let _ = net.send_query(addr(1), addr(2), b"x");
+        }
+        assert_eq!(net.trace().len(), 3);
+    }
+
+    /// A node that counts how many datagrams it handled.
+    struct Counter(std::cell::Cell<u64>);
+    impl Node for Counter {
+        fn handle(&self, _net: &Network, _src: IpAddr, payload: &[u8]) -> Option<Vec<u8>> {
+            self.0.set(self.0.get() + 1);
+            Some(payload.to_vec())
+        }
+    }
+
+    #[test]
+    fn duplication_reruns_the_handler_once_per_copy() {
+        let net = Network::new(3);
+        let counter = Rc::new(Counter(std::cell::Cell::new(0)));
+        net.register(addr(2), counter.clone());
+        net.set_faults(FaultConfig { duplicate_chance: 1.0, ..Default::default() });
+        let out = net.send_query(addr(1), addr(2), b"q");
+        assert!(matches!(out, Outcome::Response { .. }), "sender still gets one reply");
+        assert_eq!(counter.0.get(), 2, "handler ran for both copies");
+        net.set_faults(FaultConfig::default());
+        let _ = net.send_query(addr(1), addr(2), b"q");
+        assert_eq!(counter.0.get(), 3);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcomes() {
+        let run = |seed| {
+            let net = Network::new(seed);
+            net.register(addr(2), Rc::new(Echo));
+            net.set_faults(FaultConfig { drop_chance: 0.3, ..Default::default() });
+            (0..30)
+                .map(|_| matches!(net.send_query(addr(1), addr(2), b"x"), Outcome::Response { .. }))
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100)); // overwhelmingly likely
+    }
+
+    #[test]
+    fn addr_alloc_unique() {
+        let mut alloc = AddrAlloc::new();
+        let a = alloc.v4();
+        let b = alloc.v4();
+        let c = alloc.v6();
+        let d = alloc.v6();
+        assert_ne!(a, b);
+        assert_ne!(c, d);
+        assert!(matches!(c, IpAddr::V6(_)));
+    }
+
+    #[test]
+    fn register_rejects_duplicates() {
+        let net = Network::new(1);
+        assert!(net.register(addr(2), Rc::new(Echo)));
+        assert!(!net.register(addr(2), Rc::new(Echo)));
+        net.unregister(addr(2));
+        assert!(net.register(addr(2), Rc::new(Echo)));
+    }
+
+    #[test]
+    fn per_node_latency_respected() {
+        let net = Network::new(1);
+        net.register(addr(2), Rc::new(Echo));
+        net.set_latency(addr(1), 1_000);
+        net.set_latency(addr(2), 2_000);
+        match net.send_query(addr(1), addr(2), b"x") {
+            Outcome::Response { rtt_micros, .. } => assert_eq!(rtt_micros, 2 * 3_000),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! The registered-domain population, calibrated to §5.1 of the paper:
+//!
+//! * 302 M registered domains, 26.6 M (8.8 %) DNSSEC-enabled,
+//!   15.5 M (58.3 % of DNSSEC) NSEC3-enabled;
+//! * operator structure per Table 2 (the top-10 operators exclusively
+//!   serve 77.7 % of NSEC3-enabled domains, each with its parameter mix);
+//! * iteration/salt marginals per Figure 1 (12.2 % zero iterations,
+//!   99.9 % ≤ 25, 8.6 % no salt, 97.2 % ≤ 10-byte salt);
+//! * absolute long-tail outliers (43 domains > 150 iterations of which 12
+//!   at 500; 170 salts > 45 bytes of which 9 at 160 bytes from a single
+//!   operator).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::scale::{allocate, Scale};
+
+/// Denial configuration of one registered domain.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DnssecKind {
+    /// No DNSKEY records.
+    None,
+    /// Signed with NSEC denial.
+    Nsec,
+    /// Signed with NSEC3 denial.
+    Nsec3 {
+        /// Additional iterations.
+        iterations: u16,
+        /// Salt length in bytes (contents are irrelevant to the analysis).
+        salt_len: u8,
+        /// Opt-out flag set on its NSEC3 records.
+        opt_out: bool,
+    },
+}
+
+/// One registered domain.
+#[derive(Clone, Debug)]
+pub struct DomainSpec {
+    /// Fully qualified name (e.g. `d123456.com.`).
+    pub name: String,
+    /// The exclusive NS operator's registered domain (e.g.
+    /// `squarespacedns.example.`), or `None` for multi-operator setups.
+    pub operator: Option<&'static str>,
+    /// DNSSEC state.
+    pub dnssec: DnssecKind,
+}
+
+impl DomainSpec {
+    /// Is the domain NSEC3-enabled?
+    pub fn nsec3(&self) -> Option<(u16, u8, bool)> {
+        match self.dnssec {
+            DnssecKind::Nsec3 { iterations, salt_len, opt_out } => {
+                Some((iterations, salt_len, opt_out))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One operator's parameter mix: `(iterations, salt bytes, weight)`.
+pub type ParamMix = &'static [(u16, u8, f64)];
+
+/// Table 2: `(operator registered-domain, display name, share % of
+/// NSEC3-enabled domains, parameter mix)`.
+pub const TABLE2_OPERATORS: &[(&str, &str, f64, ParamMix)] = &[
+    ("squarespacedns.example.", "Squarespace", 39.4, &[(1, 8, 1.0)]),
+    (
+        "onecom-dns.example.",
+        "one.com",
+        9.5,
+        &[(5, 5, 0.40), (5, 4, 0.30), (1, 2, 0.15), (1, 4, 0.15)],
+    ),
+    ("ovhcloud-dns.example.", "OVHcloud", 8.4, &[(8, 8, 1.0)]),
+    ("wix-dns.example.", "Wix.com", 5.0, &[(1, 8, 1.0)]),
+    // TransIP: 0.3 % stragglers still on the pre-2021 value of 100.
+    ("transip-dns.example.", "TransIP", 4.2, &[(0, 8, 0.997), (100, 8, 0.003)]),
+    ("loopia-dns.example.", "Loopia", 3.6, &[(1, 1, 1.0)]),
+    ("domainnameshop-dns.example.", "domainname.shop", 2.7, &[(0, 0, 1.0)]),
+    ("timeweb-dns.example.", "TimeWeb", 2.1, &[(3, 0, 1.0)]),
+    ("hostnet-dns.example.", "Hostnet", 1.5, &[(1, 4, 0.5), (0, 0, 0.5)]),
+    ("hostpoint-dns.example.", "Hostpoint", 1.3, &[(1, 40, 1.0)]),
+];
+
+/// The non-top-10 remainder (22.3 % of NSEC3-enabled domains): a mix
+/// calibrated so the *aggregate* marginals reproduce Figure 1
+/// (12.2 % iterations = 0, 99.9 % ≤ 25; 8.6 % no salt, 97.2 % ≤ 10 B).
+const OTHER_MIX: &[(u16, u8, f64)] = &[
+    (0, 0, 0.13),
+    (0, 8, 0.075),
+    (1, 0, 0.007),
+    (1, 8, 0.35),
+    (1, 16, 0.05),
+    (2, 8, 0.05),
+    (5, 8, 0.08),
+    (10, 4, 0.08),
+    (12, 8, 0.06),
+    (15, 2, 0.04),
+    (20, 8, 0.03),
+    (25, 10, 0.047),
+    (50, 8, 0.0005),
+    (100, 8, 0.0003),
+    (150, 12, 0.0002),
+];
+
+/// Absolute long-tail outliers (injected unscaled; see DESIGN.md §5):
+/// `(iterations, salt_len, count, operator)`.
+const ITERATION_TAIL: &[(u16, u8, u64)] = &[
+    (200, 8, 10),
+    (300, 8, 10),
+    (400, 8, 11),
+    (500, 8, 12), // the twelve record holders
+];
+
+/// Salt long tail: 170 domains over 45 bytes, 9 of them at 160 bytes from
+/// one operator.
+const SALT_TAIL: &[(u16, u8, u64)] = &[
+    (1, 46, 80),
+    (1, 64, 50),
+    (1, 100, 31),
+    (1, 160, 9), // single-operator record holders
+];
+
+/// Operator name for the 160-byte-salt domains (one operator serves all 9).
+pub const SALTY_OPERATOR: &str = "salty-dns.example.";
+/// Operator for the >150-iteration stragglers.
+pub const TAIL_OPERATOR: &str = "iteration-tail-dns.example.";
+
+/// Paper §5.1 totals.
+pub mod totals {
+    /// Registered domains analyzed.
+    pub const REGISTERED: u64 = 302_000_000;
+    /// DNSSEC-enabled (8.8 %).
+    pub const DNSSEC: u64 = 26_600_000;
+    /// NSEC3-enabled.
+    pub const NSEC3: u64 = 15_500_000;
+    /// Share of NSEC3-enabled domains with the opt-out flag (6.4 %).
+    pub const OPT_OUT_PCT: f64 = 6.4;
+}
+
+/// TLD labels domains are spread over (cosmetic).
+const TLD_MIX: &[(&str, f64)] = &[
+    ("com", 45.0),
+    ("net", 10.0),
+    ("org", 8.0),
+    ("de", 7.0),
+    ("nl", 5.0),
+    ("se", 4.0),
+    ("ch", 3.0),
+    ("fr", 3.0),
+    ("uk", 3.0),
+    ("info", 2.0),
+    ("xyz", 10.0),
+];
+
+/// Generate the registered-domain population at `scale`.
+///
+/// Deterministic for a given `(scale, seed)`. The output order is
+/// shuffled so consumers can take prefixes as unbiased samples.
+pub fn generate_domains(scale: Scale, seed: u64) -> Vec<DomainSpec> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xd05a1e5u64);
+    let total = scale.apply(totals::REGISTERED);
+    let dnssec = scale.apply(totals::DNSSEC).min(total);
+    let nsec3_bulk = scale.apply(totals::NSEC3).min(dnssec);
+    let nsec = dnssec - nsec3_bulk;
+    let plain = total - dnssec;
+
+    let mut out: Vec<DomainSpec> = Vec::with_capacity(total as usize + 300);
+    let mut serial = 0u64;
+    let mut next_name = |rng: &mut SmallRng| {
+        serial += 1;
+        let pick: f64 = rng.gen_range(0.0..100.0);
+        let mut acc = 0.0;
+        let mut tld = TLD_MIX[0].0;
+        for (t, w) in TLD_MIX {
+            acc += w;
+            if pick < acc {
+                tld = t;
+                break;
+            }
+        }
+        format!("d{serial}.{tld}.")
+    };
+
+    // Plain and NSEC-signed domains.
+    for _ in 0..plain {
+        let name = next_name(&mut rng);
+        out.push(DomainSpec { name, operator: None, dnssec: DnssecKind::None });
+    }
+    for _ in 0..nsec {
+        let name = next_name(&mut rng);
+        out.push(DomainSpec { name, operator: None, dnssec: DnssecKind::Nsec });
+    }
+
+    // NSEC3-enabled: operator-structured.
+    let mut op_weights: Vec<f64> = TABLE2_OPERATORS.iter().map(|(_, _, w, _)| *w).collect();
+    op_weights.push(22.3); // "other"
+    let op_counts = allocate(nsec3_bulk, &op_weights);
+    for (op_idx, &count) in op_counts.iter().enumerate() {
+        let (operator, mix): (Option<&'static str>, &[(u16, u8, f64)]) =
+            if op_idx < TABLE2_OPERATORS.len() {
+                let (domain, _, _, mix) = TABLE2_OPERATORS[op_idx];
+                (Some(domain), mix)
+            } else {
+                (None, OTHER_MIX)
+            };
+        let mix_weights: Vec<f64> = mix.iter().map(|(_, _, w)| *w).collect();
+        let mix_counts = allocate(count, &mix_weights);
+        for (m_idx, &m_count) in mix_counts.iter().enumerate() {
+            let (iterations, salt_len, _) = mix[m_idx];
+            for _ in 0..m_count {
+                let name = next_name(&mut rng);
+                let opt_out = rng.gen_bool(totals::OPT_OUT_PCT / 100.0);
+                out.push(DomainSpec {
+                    name,
+                    operator,
+                    dnssec: DnssecKind::Nsec3 { iterations, salt_len, opt_out },
+                });
+            }
+        }
+    }
+
+    // Absolute long tails.
+    for &(iterations, salt_len, count) in ITERATION_TAIL {
+        for _ in 0..count {
+            let name = next_name(&mut rng);
+            out.push(DomainSpec {
+                name,
+                operator: Some(TAIL_OPERATOR),
+                dnssec: DnssecKind::Nsec3 { iterations, salt_len, opt_out: false },
+            });
+        }
+    }
+    for &(iterations, salt_len, count) in SALT_TAIL {
+        let operator = if salt_len == 160 { Some(SALTY_OPERATOR) } else { None };
+        for _ in 0..count {
+            let name = next_name(&mut rng);
+            out.push(DomainSpec {
+                name,
+                operator,
+                dnssec: DnssecKind::Nsec3 { iterations, salt_len, opt_out: false },
+            });
+        }
+    }
+
+    out.shuffle(&mut rng);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop() -> Vec<DomainSpec> {
+        // Bench scale: large enough that the absolute tail injections
+        // (~213 domains) do not distort the percentage marginals.
+        generate_domains(Scale(1.0 / 1_000.0), 7)
+    }
+
+    #[test]
+    fn totals_scale() {
+        let p = pop();
+        // 302M / 1k = 302K bulk + ~213 tail outliers.
+        assert!((301_500..303_000).contains(&(p.len() as u64)), "{}", p.len());
+        let dnssec = p.iter().filter(|d| d.dnssec != DnssecKind::None).count() as f64;
+        let pct = dnssec / p.len() as f64 * 100.0;
+        assert!((8.0..10.5).contains(&pct), "DNSSEC share {pct}");
+    }
+
+    #[test]
+    fn nsec3_share_of_dnssec() {
+        let p = pop();
+        let dnssec = p.iter().filter(|d| d.dnssec != DnssecKind::None).count() as f64;
+        let nsec3 = p.iter().filter(|d| d.nsec3().is_some()).count() as f64;
+        let pct = nsec3 / dnssec * 100.0;
+        assert!((55.0..65.0).contains(&pct), "NSEC3 share of DNSSEC: {pct}");
+    }
+
+    #[test]
+    fn zero_iteration_share_matches_figure1() {
+        let p = pop();
+        let nsec3: Vec<_> = p.iter().filter_map(|d| d.nsec3()).collect();
+        let zero = nsec3.iter().filter(|(it, _, _)| *it == 0).count() as f64;
+        let pct = zero / nsec3.len() as f64 * 100.0;
+        assert!((10.5..14.0).contains(&pct), "it=0 share {pct} (paper: 12.2)");
+    }
+
+    #[test]
+    fn no_salt_share_matches_figure1() {
+        let p = pop();
+        let nsec3: Vec<_> = p.iter().filter_map(|d| d.nsec3()).collect();
+        let none = nsec3.iter().filter(|(_, s, _)| *s == 0).count() as f64;
+        let pct = none / nsec3.len() as f64 * 100.0;
+        assert!((7.0..10.5).contains(&pct), "no-salt share {pct} (paper: 8.6)");
+    }
+
+    #[test]
+    fn tail_outliers_present_at_any_scale() {
+        let p = generate_domains(Scale(1.0 / 100_000.0), 1);
+        let at_500 = p
+            .iter()
+            .filter(|d| matches!(d.nsec3(), Some((500, _, _))))
+            .count();
+        assert_eq!(at_500, 12, "the twelve 500-iteration domains");
+        let salt160 = p
+            .iter()
+            .filter(|d| matches!(d.nsec3(), Some((_, 160, _))))
+            .collect::<Vec<_>>();
+        assert_eq!(salt160.len(), 9);
+        assert!(salt160.iter().all(|d| d.operator == Some(SALTY_OPERATOR)));
+        let over_150 = p
+            .iter()
+            .filter(|d| matches!(d.nsec3(), Some((it, _, _)) if it > 150))
+            .count();
+        assert_eq!(over_150, 43, "43 domains above 150 iterations");
+    }
+
+    #[test]
+    fn opt_out_rate() {
+        let p = pop();
+        let nsec3: Vec<_> = p.iter().filter_map(|d| d.nsec3()).collect();
+        let oo = nsec3.iter().filter(|(_, _, o)| *o).count() as f64;
+        let pct = oo / nsec3.len() as f64 * 100.0;
+        assert!((4.5..8.5).contains(&pct), "opt-out share {pct} (paper: 6.4)");
+    }
+
+    #[test]
+    fn squarespace_dominates() {
+        let p = pop();
+        let nsec3_total = p.iter().filter(|d| d.nsec3().is_some()).count() as f64;
+        let sq = p
+            .iter()
+            .filter(|d| d.operator == Some("squarespacedns.example."))
+            .count() as f64;
+        let pct = sq / nsec3_total * 100.0;
+        assert!((37.0..41.0).contains(&pct), "Squarespace share {pct} (paper: 39.4)");
+        // Its parameters are 1/8.
+        assert!(p
+            .iter()
+            .filter(|d| d.operator == Some("squarespacedns.example."))
+            .all(|d| matches!(d.nsec3(), Some((1, 8, _)))));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate_domains(Scale(1.0 / 100_000.0), 5);
+        let b = generate_domains(Scale(1.0 / 100_000.0), 5);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(b.iter()).all(|(x, y)| x.name == y.name));
+    }
+
+    #[test]
+    fn iterations_99_9_pct_at_most_25() {
+        let p = pop();
+        let nsec3: Vec<_> = p.iter().filter_map(|d| d.nsec3()).collect();
+        let le25 = nsec3.iter().filter(|(it, _, _)| *it <= 25).count() as f64;
+        let pct = le25 / nsec3.len() as f64 * 100.0;
+        assert!(pct < 100.0);
+        assert!(pct > 99.0, "≤25 iterations share {pct} (paper: 99.9)");
+    }
+}

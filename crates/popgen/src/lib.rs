@@ -1,0 +1,29 @@
+//! Synthetic populations calibrated to the published marginals of
+//! *Zeros Are Heroes* (IMC 2024) — the substitution for the paper's
+//! proprietary data feeds (CZDS, AXFR, CT logs, SIE passive DNS, open
+//! resolver scans, RIPE Atlas). See DESIGN.md §2 for the substitution
+//! argument and §5 for the scaling model.
+//!
+//! * [`domains`] — 302 M registered domains (Table 2 operators, Figure 1
+//!   marginals, absolute long tails).
+//! * [`tlds`] — the 1,449 TLDs, exact.
+//! * [`tranco`] — the popularity list of Figure 2.
+//! * [`resolvers`] — the 1.9 M open + 2.5 K closed resolver fleet of §5.2.
+//! * [`scale`] — the scaling model and exact allocation helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod domains;
+pub mod resolvers;
+pub mod scale;
+pub mod timeline;
+pub mod tlds;
+pub mod tranco;
+
+pub use domains::{generate_domains, DnssecKind, DomainSpec};
+pub use resolvers::{generate_fleet, generate_fleet_with_mix, Access, Behavior, Family, ResolverSpec};
+pub use timeline::{eras, Era};
+pub use scale::{allocate, Scale};
+pub use tlds::{generate_tlds, generate_tlds_after_remediation, TldSpec};
+pub use tranco::{generate_tranco, TrancoEntry};

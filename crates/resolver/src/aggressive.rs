@@ -1,0 +1,293 @@
+//! Aggressive use of DNSSEC-validated denial (RFC 8198), NSEC3 flavor.
+//!
+//! A validating resolver that has already verified an NSEC3 closest-
+//! encloser proof holds enough information to *synthesize* NXDOMAIN
+//! answers for other names in the covered hash intervals — without asking
+//! the authoritative server again. This is the standard mitigation for
+//! random-subdomain (water-torture) attacks.
+//!
+//! The RFC 9276 connection makes it interesting here: synthesis still
+//! costs one NSEC3 hash chain *per candidate closest encloser* per query,
+//! so a zone with high iteration counts taxes even the cache path —
+//! aggressive caching shifts CVE-2023-50868 work from "per miss" to
+//! "per query", it does not remove it. RFC 8198 §5.4 explicitly warns
+//! about this trade-off. The `aggressive_cache_cost` test pins it down.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use dns_wire::name::Name;
+use dns_zone::nsec3hash::Nsec3Params;
+
+use crate::cost::CostMeter;
+use crate::validator::{covers, Nsec3View};
+
+/// One zone's verified denial material.
+#[derive(Clone, Debug)]
+struct ZoneDenials {
+    params: Nsec3Params,
+    views: Vec<Nsec3View>,
+    expires_micros: u64,
+}
+
+/// A per-resolver store of *validated* NSEC3 records, usable for
+/// RFC 8198 synthesis.
+#[derive(Debug, Default)]
+pub struct AggressiveCache {
+    zones: RefCell<HashMap<Name, ZoneDenials>>,
+    synthesized: std::cell::Cell<u64>,
+}
+
+impl AggressiveCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Remember verified NSEC3 views for `zone` until `now + ttl`.
+    /// Material with different parameters replaces the old set (a zone has
+    /// one parameter set at a time).
+    pub fn insert(
+        &self,
+        zone: &Name,
+        params: &Nsec3Params,
+        views: &[Nsec3View],
+        now_micros: u64,
+        ttl_secs: u32,
+    ) {
+        let mut zones = self.zones.borrow_mut();
+        let expires_micros = now_micros + ttl_secs as u64 * 1_000_000;
+        match zones.get_mut(zone) {
+            Some(existing) if existing.params == *params => {
+                existing.expires_micros = expires_micros;
+                for v in views {
+                    if !existing.views.iter().any(|e| e.owner_hash == v.owner_hash) {
+                        existing.views.push(v.clone());
+                    }
+                }
+            }
+            _ => {
+                zones.insert(
+                    zone.clone(),
+                    ZoneDenials { params: params.clone(), views: views.to_vec(), expires_micros },
+                );
+            }
+        }
+    }
+
+    /// Try to prove `qname` nonexistent from cache alone (RFC 8198 §5.1
+    /// restricted to the closest-encloser = zone-apex case, the one a
+    /// cache can decide without knowing interior names). Charges hash
+    /// work to `meter`. Returns `true` when an NXDOMAIN can be
+    /// synthesized.
+    pub fn synthesize_nxdomain(
+        &self,
+        zone: &Name,
+        qname: &Name,
+        now_micros: u64,
+        meter: &CostMeter,
+    ) -> bool {
+        let zones = self.zones.borrow();
+        let denials = match zones.get(zone) {
+            Some(d) if d.expires_micros > now_micros => d,
+            _ => return false,
+        };
+        if !qname.is_subdomain_of(zone) || qname == zone {
+            return false;
+        }
+        // Synthesis needs: apex matched (closest encloser), the next
+        // closer covered, and the apex wildcard covered.
+        let hash_of = |n: &Name| {
+            let h = dns_zone::nsec3hash::nsec3_hash(n, &denials.params);
+            meter.add_nsec3_hash(h.compressions);
+            h.digest
+        };
+        let apex_hash = hash_of(zone);
+        if !denials.views.iter().any(|v| v.owner_hash == apex_hash) {
+            return false;
+        }
+        // Next closer: the ancestor of qname one label below the apex.
+        let mut next_closer = qname.clone();
+        while next_closer.parent().as_ref() != Some(zone) {
+            next_closer = match next_closer.parent() {
+                Some(p) => p,
+                None => return false,
+            };
+        }
+        let nc_hash = hash_of(&next_closer);
+        if !denials.views.iter().any(|v| covers(v, &nc_hash)) {
+            return false;
+        }
+        let wildcard = match zone.prepend(b"*") {
+            Ok(w) => w,
+            Err(_) => return false,
+        };
+        let wc_hash = hash_of(&wildcard);
+        if !denials.views.iter().any(|v| covers(v, &wc_hash)) {
+            return false;
+        }
+        self.synthesized.set(self.synthesized.get() + 1);
+        true
+    }
+
+    /// The longest cached (and unexpired) zone that is an ancestor of
+    /// `qname`, if any.
+    pub fn zone_for(&self, qname: &Name, now_micros: u64) -> Option<Name> {
+        self.zones
+            .borrow()
+            .iter()
+            .filter(|(z, d)| d.expires_micros > now_micros && qname.is_subdomain_of(z) && *z != qname)
+            .max_by_key(|(z, _)| z.label_count())
+            .map(|(z, _)| z.clone())
+    }
+
+    /// NXDOMAINs synthesized so far.
+    pub fn synthesized_count(&self) -> u64 {
+        self.synthesized.get()
+    }
+
+    /// Number of zones with cached denial material.
+    pub fn zone_count(&self) -> usize {
+        self.zones.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::name::name;
+    use dns_wire::record::Record;
+    use dns_wire::rrtype::RrType;
+    use dns_zone::denial::nxdomain_proof;
+    use dns_zone::signer::{sign_zone, Denial, SignerConfig};
+    use dns_zone::Zone;
+    use crate::validator::parse_nsec3_set;
+
+    const NOW: u32 = 1_710_000_000;
+
+    fn signed(params: Nsec3Params) -> dns_zone::SignedZone {
+        let apex = name("agg.example.");
+        let mut z = Zone::new(apex.clone());
+        z.add(Record::new(
+            apex.clone(),
+            3600,
+            dns_wire::rdata::RData::Soa {
+                mname: name("ns1.agg.example."),
+                rname: name("h.agg.example."),
+                serial: 1,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1_209_600,
+                minimum: 300,
+            },
+        ))
+        .unwrap();
+        z.add(Record::new(
+            name("www.agg.example."),
+            300,
+            dns_wire::rdata::RData::A("192.0.2.1".parse().unwrap()),
+        ))
+        .unwrap();
+        sign_zone(
+            &z,
+            &SignerConfig {
+                denial: Denial::Nsec3 { params, opt_out: false },
+                ..SignerConfig::standard(&apex, NOW)
+            },
+        )
+        .unwrap()
+    }
+
+    fn harvest(z: &dns_zone::SignedZone, qname: &Name) -> (Nsec3Params, Vec<Nsec3View>) {
+        let proof = nxdomain_proof(z, qname).unwrap();
+        let nsec3s: Vec<&Record> =
+            proof.records.iter().filter(|r| r.rrtype() == RrType::NSEC3).collect();
+        parse_nsec3_set(&nsec3s).unwrap()
+    }
+
+    #[test]
+    fn synthesizes_from_one_observed_proof() {
+        let z = signed(Nsec3Params::rfc9276());
+        let apex = name("agg.example.");
+        let (params, views) = harvest(&z, &name("first-miss.agg.example."));
+        let cache = AggressiveCache::new();
+        cache.insert(&apex, &params, &views, 0, 300);
+        let meter = CostMeter::new();
+        // A *different* nonexistent name: covered by the same chain
+        // (3 names in the zone → one proof covers most of hash space).
+        let hit = cache.synthesize_nxdomain(&apex, &name("second-miss.agg.example."), 1, &meter);
+        assert!(hit, "synthesis should succeed from the cached chain");
+        assert_eq!(cache.synthesized_count(), 1);
+        assert!(meter.nsec3_hashes() >= 3, "synthesis still hashes");
+    }
+
+    #[test]
+    fn does_not_synthesize_for_existing_names() {
+        let z = signed(Nsec3Params::rfc9276());
+        let apex = name("agg.example.");
+        let (params, views) = harvest(&z, &name("miss.agg.example."));
+        let cache = AggressiveCache::new();
+        cache.insert(&apex, &params, &views, 0, 300);
+        let meter = CostMeter::new();
+        // www exists: its hash matches an owner, never covered.
+        assert!(!cache.synthesize_nxdomain(&apex, &name("www.agg.example."), 1, &meter));
+    }
+
+    #[test]
+    fn expires_with_ttl() {
+        let z = signed(Nsec3Params::rfc9276());
+        let apex = name("agg.example.");
+        let (params, views) = harvest(&z, &name("miss.agg.example."));
+        let cache = AggressiveCache::new();
+        cache.insert(&apex, &params, &views, 0, 300);
+        let meter = CostMeter::new();
+        assert!(!cache.synthesize_nxdomain(
+            &apex,
+            &name("x.agg.example."),
+            301_000_000,
+            &meter
+        ));
+    }
+
+    #[test]
+    fn synthesis_cost_scales_with_iterations() {
+        // The RFC 8198 §5.4 warning quantified: synthesis from cache costs
+        // (iterations + 1) × 3 compressions per query.
+        let cheap = {
+            let z = signed(Nsec3Params::rfc9276());
+            let apex = name("agg.example.");
+            let (params, views) = harvest(&z, &name("m.agg.example."));
+            let cache = AggressiveCache::new();
+            cache.insert(&apex, &params, &views, 0, 300);
+            let meter = CostMeter::new();
+            cache.synthesize_nxdomain(&apex, &name("q.agg.example."), 1, &meter);
+            meter.sha1_compressions()
+        };
+        let costly = {
+            let z = signed(Nsec3Params::new(150, vec![]));
+            let apex = name("agg.example.");
+            let (params, views) = harvest(&z, &name("m.agg.example."));
+            let cache = AggressiveCache::new();
+            cache.insert(&apex, &params, &views, 0, 300);
+            let meter = CostMeter::new();
+            cache.synthesize_nxdomain(&apex, &name("q.agg.example."), 1, &meter);
+            meter.sha1_compressions()
+        };
+        assert!(costly >= cheap * 100, "{costly} vs {cheap}");
+    }
+
+    #[test]
+    fn accumulates_views_for_same_params() {
+        let z = signed(Nsec3Params::rfc9276());
+        let apex = name("agg.example.");
+        let (params, v1) = harvest(&z, &name("a-miss.agg.example."));
+        let (_, v2) = harvest(&z, &name("zz-miss.agg.example."));
+        let cache = AggressiveCache::new();
+        cache.insert(&apex, &params, &v1, 0, 300);
+        cache.insert(&apex, &params, &v2, 0, 300);
+        assert_eq!(cache.zone_count(), 1);
+        // Changing params replaces the set.
+        cache.insert(&apex, &Nsec3Params::new(5, vec![]), &v1, 0, 300);
+        assert_eq!(cache.zone_count(), 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! TTL-bounded caching, driven by the simulation's virtual clock.
+//!
+//! Real resolvers cache aggressively — that is why the paper's probing
+//! methodology uses a unique label per resolver and why its census
+//! expected "a fraction of our queries \[to\] be resolved from \[Cloudflare's\]
+//! internal cache" (Appendix A). The resolver uses one [`TtlCache`] for
+//! final answers and one for validated zone keys.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A capacity- and TTL-bounded map over the virtual clock (microseconds).
+#[derive(Debug)]
+pub struct TtlCache<K, V> {
+    entries: RefCell<HashMap<K, (V, u64)>>,
+    capacity: usize,
+    hits: std::cell::Cell<u64>,
+    misses: std::cell::Cell<u64>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> TtlCache<K, V> {
+    /// A cache holding at most `capacity` live entries (0 disables it).
+    pub fn new(capacity: usize) -> Self {
+        TtlCache {
+            entries: RefCell::new(HashMap::new()),
+            capacity,
+            hits: std::cell::Cell::new(0),
+            misses: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Fetch `key` if present and not expired at `now_micros`.
+    pub fn get(&self, key: &K, now_micros: u64) -> Option<V> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut entries = self.entries.borrow_mut();
+        match entries.get(key) {
+            Some((v, expiry)) if *expiry > now_micros => {
+                self.hits.set(self.hits.get() + 1);
+                Some(v.clone())
+            }
+            Some(_) => {
+                entries.remove(key);
+                self.misses.set(self.misses.get() + 1);
+                None
+            }
+            None => {
+                self.misses.set(self.misses.get() + 1);
+                None
+            }
+        }
+    }
+
+    /// Store `value` until `now_micros + ttl_secs`.
+    pub fn put(&self, key: K, value: V, now_micros: u64, ttl_secs: u32) {
+        if self.capacity == 0 || ttl_secs == 0 {
+            return;
+        }
+        let mut entries = self.entries.borrow_mut();
+        if entries.len() >= self.capacity && !entries.contains_key(&key) {
+            // Evict expired entries first; if none, evict arbitrarily (the
+            // simulation does not model LRU pressure).
+            let expired: Vec<K> = entries
+                .iter()
+                .filter(|(_, (_, e))| *e <= now_micros)
+                .map(|(k, _)| k.clone())
+                .collect();
+            for k in expired {
+                entries.remove(&k);
+            }
+            if entries.len() >= self.capacity {
+                if let Some(k) = entries.keys().next().cloned() {
+                    entries.remove(&k);
+                }
+            }
+        }
+        entries.insert(key, (value, now_micros + ttl_secs as u64 * 1_000_000));
+    }
+
+    /// Live entry count (may include expired entries not yet collected).
+    pub fn len(&self) -> usize {
+        self.entries.borrow().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.borrow().is_empty()
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Drop everything.
+    pub fn clear(&self) {
+        self.entries.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_expiry() {
+        let cache: TtlCache<&str, u32> = TtlCache::new(8);
+        assert_eq!(cache.get(&"k", 0), None);
+        cache.put("k", 7, 0, 300);
+        assert_eq!(cache.get(&"k", 1_000), Some(7));
+        // 300 s later: expired.
+        assert_eq!(cache.get(&"k", 300_000_001), None);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache: TtlCache<&str, u32> = TtlCache::new(0);
+        cache.put("k", 7, 0, 300);
+        assert_eq!(cache.get(&"k", 1), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn zero_ttl_not_stored() {
+        let cache: TtlCache<&str, u32> = TtlCache::new(8);
+        cache.put("k", 7, 0, 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn capacity_bounded_with_expired_eviction_first() {
+        let cache: TtlCache<u32, u32> = TtlCache::new(2);
+        cache.put(1, 1, 0, 1); // expires at 1s
+        cache.put(2, 2, 0, 1000);
+        // At t=2s entry 1 is expired; inserting 3 evicts it, keeps 2.
+        cache.put(3, 3, 2_000_000, 1000);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&2, 2_000_001), Some(2));
+        assert_eq!(cache.get(&3, 2_000_001), Some(3));
+    }
+
+    #[test]
+    fn overwrite_updates_expiry() {
+        let cache: TtlCache<&str, u32> = TtlCache::new(2);
+        cache.put("k", 1, 0, 1);
+        cache.put("k", 2, 0, 1000);
+        assert_eq!(cache.get(&"k", 500_000_000), Some(2));
+    }
+}

@@ -1,0 +1,138 @@
+//! Validation cost accounting — the measurement instrument for
+//! CVE-2023-50868.
+//!
+//! The CVE is an algorithmic-complexity attack: a malicious (or merely
+//! non-compliant) zone with high NSEC3 iteration counts makes a validating
+//! resolver spend `O(labels × iterations)` SHA-1 compressions per negative
+//! response. Gruza et al. (WOOT '24) measured up to a 72× CPU instruction
+//! blow-up; we reproduce the scaling law by counting the compressions
+//! directly.
+
+use std::cell::Cell;
+
+/// Accumulated work for one resolution (or one experiment).
+#[derive(Clone, Debug, Default)]
+pub struct CostMeter {
+    sha1_compressions: Cell<u64>,
+    nsec3_hashes: Cell<u64>,
+    signatures_verified: Cell<u64>,
+    messages_sent: Cell<u64>,
+}
+
+impl CostMeter {
+    /// A zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the cost of one NSEC3 hash chain.
+    pub fn add_nsec3_hash(&self, compressions: u64) {
+        self.sha1_compressions.set(self.sha1_compressions.get() + compressions);
+        self.nsec3_hashes.set(self.nsec3_hashes.get() + 1);
+    }
+
+    /// Record one signature verification.
+    pub fn add_signature(&self) {
+        self.signatures_verified.set(self.signatures_verified.get() + 1);
+    }
+
+    /// Record one network message sent.
+    pub fn add_message(&self) {
+        self.messages_sent.set(self.messages_sent.get() + 1);
+    }
+
+    /// Total SHA-1 compressions spent on NSEC3 hashing.
+    pub fn sha1_compressions(&self) -> u64 {
+        self.sha1_compressions.get()
+    }
+
+    /// Number of full NSEC3 hash chains computed.
+    pub fn nsec3_hashes(&self) -> u64 {
+        self.nsec3_hashes.get()
+    }
+
+    /// Signature verifications performed.
+    pub fn signatures_verified(&self) -> u64 {
+        self.signatures_verified.get()
+    }
+
+    /// Messages sent during resolution.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent.get()
+    }
+
+    /// Zero every counter.
+    pub fn reset(&self) {
+        self.sha1_compressions.set(0);
+        self.nsec3_hashes.set(0);
+        self.signatures_verified.set(0);
+        self.messages_sent.set(0);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> CostSnapshot {
+        CostSnapshot {
+            sha1_compressions: self.sha1_compressions.get(),
+            nsec3_hashes: self.nsec3_hashes.get(),
+            signatures_verified: self.signatures_verified.get(),
+            messages_sent: self.messages_sent.get(),
+        }
+    }
+}
+
+/// Immutable copy of a [`CostMeter`]'s counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct CostSnapshot {
+    /// SHA-1 compression-function invocations for NSEC3 hashing.
+    pub sha1_compressions: u64,
+    /// NSEC3 hash chains computed.
+    pub nsec3_hashes: u64,
+    /// Signature verifications.
+    pub signatures_verified: u64,
+    /// Network messages sent.
+    pub messages_sent: u64,
+}
+
+impl CostSnapshot {
+    /// Difference vs an earlier snapshot.
+    pub fn since(&self, earlier: &CostSnapshot) -> CostSnapshot {
+        CostSnapshot {
+            sha1_compressions: self.sha1_compressions - earlier.sha1_compressions,
+            nsec3_hashes: self.nsec3_hashes - earlier.nsec3_hashes,
+            signatures_verified: self.signatures_verified - earlier.signatures_verified,
+            messages_sent: self.messages_sent - earlier.messages_sent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_resets() {
+        let m = CostMeter::new();
+        m.add_nsec3_hash(101);
+        m.add_nsec3_hash(101);
+        m.add_signature();
+        m.add_message();
+        assert_eq!(m.sha1_compressions(), 202);
+        assert_eq!(m.nsec3_hashes(), 2);
+        assert_eq!(m.signatures_verified(), 1);
+        assert_eq!(m.messages_sent(), 1);
+        m.reset();
+        assert_eq!(m.snapshot(), CostSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_diff() {
+        let m = CostMeter::new();
+        m.add_nsec3_hash(10);
+        let a = m.snapshot();
+        m.add_nsec3_hash(5);
+        let b = m.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.sha1_compressions, 5);
+        assert_eq!(d.nsec3_hashes, 1);
+    }
+}

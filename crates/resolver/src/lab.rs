@@ -1,0 +1,289 @@
+//! A miniature signed DNS hierarchy on the simulated network — the shared
+//! lab that resolver tests, the scanner, the `rfc9276-in-the-wild` testbed
+//! and the benchmarks all build on.
+//!
+//! [`LabBuilder`] takes zone specifications, wires them into a root → TLD →
+//! child delegation tree with automatic SOA/NS/glue/DS records, signs
+//! everything (optionally with injected faults), stands up one
+//! authoritative server per zone, and hands back the [`Lab`] with root
+//! hints and a trust anchor ready for [`crate::resolver::Resolver`]s.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::rc::Rc;
+
+use dns_auth::AuthServer;
+use dns_crypto::sha256::sha256;
+use dns_wire::name::Name;
+use dns_wire::rdata::RData;
+use dns_wire::record::Record;
+use dns_zone::signer::{sign_zone, Denial, SignedZone, SignerConfig, SigningKey};
+use dns_zone::Zone;
+use netsim::{AddrAlloc, Network};
+
+use crate::resolver::TrustAnchor;
+
+/// Post-signing mutation hook (fault injection).
+pub type PostSign = Box<dyn FnOnce(&mut SignedZone)>;
+
+/// Specification of one zone in the lab.
+pub struct ZoneSpec {
+    /// The zone contents (SOA/NS/glue added automatically if missing).
+    pub zone: Zone,
+    /// Denial mechanism and parameters.
+    pub denial: Denial,
+    /// Sign with an already-expired validity window.
+    pub expired: bool,
+    /// Parent publishes no DS (insecure delegation) despite signing.
+    pub unsigned_delegation: bool,
+    /// Do not sign at all: no DNSKEY, no denial chain (implies an
+    /// unsigned delegation).
+    pub unsigned: bool,
+    /// Arbitrary post-signing mutation (fault injection).
+    pub post_sign: Option<PostSign>,
+}
+
+impl ZoneSpec {
+    /// A plainly-signed zone with the given denial config.
+    pub fn new(zone: Zone, denial: Denial) -> Self {
+        ZoneSpec {
+            zone,
+            denial,
+            expired: false,
+            unsigned_delegation: false,
+            unsigned: false,
+            post_sign: None,
+        }
+    }
+
+    /// An entirely unsigned zone.
+    pub fn unsigned(zone: Zone) -> Self {
+        ZoneSpec { unsigned: true, unsigned_delegation: true, ..Self::new(zone, Denial::Nsec) }
+    }
+}
+
+/// The built lab.
+pub struct Lab {
+    /// The simulated network.
+    pub net: Rc<Network>,
+    /// Root server addresses for resolver configuration.
+    pub root_hints: Vec<IpAddr>,
+    /// Trust anchor over the root KSK.
+    pub anchor: TrustAnchor,
+    /// Per-zone server addresses `(v4, v6)`.
+    pub servers: HashMap<Name, (IpAddr, IpAddr)>,
+    /// Per-zone authoritative server handles (query logs etc.).
+    pub auths: HashMap<Name, Rc<AuthServer>>,
+    /// The signed zones, by apex.
+    pub zones: HashMap<Name, SignedZone>,
+    /// Address allocator for clients/resolvers joining the lab.
+    pub alloc: AddrAlloc,
+    /// The `now` timestamp the lab was signed at.
+    pub now: u32,
+}
+
+/// Builder for [`Lab`].
+pub struct LabBuilder {
+    now: u32,
+    seed: u64,
+    specs: Vec<ZoneSpec>,
+}
+
+impl LabBuilder {
+    /// Start a lab signed at `now` (epoch seconds).
+    pub fn new(now: u32) -> Self {
+        LabBuilder { now, seed: 42, specs: Vec::new() }
+    }
+
+    /// Network RNG seed (default 42).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Add a zone (the root is added automatically if absent).
+    pub fn zone(mut self, spec: ZoneSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Convenience: a leaf zone holding one `www` A record, with the given
+    /// denial config.
+    pub fn simple_zone(self, apex: &Name, denial: Denial) -> Self {
+        self.zone(ZoneSpec::new(simple_zone_contents(apex), denial))
+    }
+
+    /// Wire, sign, and register everything.
+    pub fn build(mut self) -> Lab {
+        let net = Rc::new(Network::new(self.seed));
+        let mut alloc = AddrAlloc::new();
+        let now = self.now;
+
+        // Ensure a root spec exists.
+        if !self.specs.iter().any(|s| s.zone.apex().is_root()) {
+            self.specs.insert(
+                0,
+                ZoneSpec::new(Zone::new(Name::root()), Denial::nsec3_rfc9276()),
+            );
+        }
+
+        // Allocate servers and index specs by apex.
+        let mut addrs: HashMap<Name, (IpAddr, IpAddr)> = HashMap::new();
+        for spec in &self.specs {
+            addrs.insert(spec.zone.apex().clone(), (alloc.v4(), alloc.v6()));
+        }
+
+        // Sort apexes so parents come before children.
+        let mut order: Vec<usize> = (0..self.specs.len()).collect();
+        order.sort_by_key(|&i| self.specs[i].zone.apex().label_count());
+
+        // Add SOA/NS/glue to every zone, then delegations into parents.
+        let apexes: Vec<Name> = self.specs.iter().map(|s| s.zone.apex().clone()).collect();
+        for spec in &mut self.specs {
+            let apex = spec.zone.apex().clone();
+            let (v4, v6) = addrs[&apex];
+            ensure_infrastructure(&mut spec.zone, &apex, v4, v6);
+        }
+        // Delegations: each non-root zone gets NS+glue(+DS) in its parent.
+        for i in 0..self.specs.len() {
+            let apex = self.specs[i].zone.apex().clone();
+            if apex.is_root() {
+                continue;
+            }
+            let parent_apex = apexes
+                .iter()
+                .filter(|a| **a != apex && apex.is_subdomain_of(a))
+                .max_by_key(|a| a.label_count())
+                .cloned()
+                .expect("root exists");
+            let (v4, v6) = addrs[&apex];
+            let ns_name = Name::parse("ns1").unwrap().concat(&apex).unwrap();
+            let insecure = self.specs[i].unsigned_delegation || self.specs[i].unsigned;
+            let ksk = SigningKey::ksk(&apex);
+            let parent = self
+                .specs
+                .iter_mut()
+                .find(|s| *s.zone.apex() == parent_apex)
+                .expect("parent spec");
+            parent
+                .zone
+                .add(Record::new(apex.clone(), 3600, RData::Ns(ns_name.clone())))
+                .unwrap();
+            match (v4, v6) {
+                (IpAddr::V4(a4), IpAddr::V6(a6)) => {
+                    parent.zone.add(Record::new(ns_name.clone(), 3600, RData::A(a4))).unwrap();
+                    parent.zone.add(Record::new(ns_name.clone(), 3600, RData::Aaaa(a6))).unwrap();
+                }
+                _ => unreachable!("alloc order"),
+            }
+            if !insecure {
+                parent.zone.add(ds_record(&apex, &ksk)).unwrap();
+            }
+        }
+
+        // Sign (parents before children is irrelevant for signing itself).
+        let mut zones: HashMap<Name, SignedZone> = HashMap::new();
+        let mut auths: HashMap<Name, Rc<AuthServer>> = HashMap::new();
+        for spec in self.specs.drain(..) {
+            let apex = spec.zone.apex().clone();
+            let mut signed = if spec.unsigned {
+                SignedZone {
+                    zone: spec.zone,
+                    denial: spec.denial.clone(),
+                    keys: Vec::new(),
+                    nsec3_index: Vec::new(),
+                }
+            } else {
+                let mut cfg = SignerConfig {
+                    denial: spec.denial.clone(),
+                    ..SignerConfig::standard(&apex, now)
+                };
+                if spec.expired {
+                    cfg.inception = now.saturating_sub(60 * 86_400);
+                    cfg.expiration = now.saturating_sub(30 * 86_400);
+                }
+                sign_zone(&spec.zone, &cfg).expect("lab zone signs")
+            };
+            if let Some(post) = spec.post_sign {
+                post(&mut signed);
+            }
+            let server = Rc::new(AuthServer::new());
+            server.add_zone(signed.clone());
+            let (v4, v6) = addrs[&apex];
+            net.register(v4, server.clone());
+            net.register(v6, server.clone());
+            zones.insert(apex.clone(), signed);
+            auths.insert(apex, server);
+        }
+
+        // Trust anchor over the root KSK.
+        let root_ksk = SigningKey::ksk(&Name::root());
+        let anchor = TrustAnchor {
+            zone: Name::root(),
+            key_tag: root_ksk.key_tag(),
+            digest: {
+                let mut buf = Name::root().to_canonical_wire();
+                buf.extend_from_slice(&root_ksk.dnskey_rdata().canonical_bytes());
+                sha256(&buf).to_vec()
+            },
+        };
+        let root_hints = vec![addrs[&Name::root()].0, addrs[&Name::root()].1];
+        Lab { net, root_hints, anchor, servers: addrs, auths, zones, alloc, now }
+    }
+}
+
+/// Give a zone SOA, apex NS and glue if it lacks them.
+fn ensure_infrastructure(zone: &mut Zone, apex: &Name, v4: IpAddr, v6: IpAddr) {
+    use dns_wire::rrtype::RrType;
+    let ns_name = Name::parse("ns1").unwrap().concat(apex).unwrap();
+    if zone.rrset(apex, RrType::SOA).is_none() {
+        zone.add(Record::new(
+            apex.clone(),
+            3600,
+            RData::Soa {
+                mname: ns_name.clone(),
+                rname: Name::parse("hostmaster").unwrap().concat(apex).unwrap(),
+                serial: 2024030501,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1_209_600,
+                minimum: 300,
+            },
+        ))
+        .unwrap();
+    }
+    if zone.rrset(apex, RrType::NS).is_none() {
+        zone.add(Record::new(apex.clone(), 3600, RData::Ns(ns_name.clone()))).unwrap();
+        if let (IpAddr::V4(a4), IpAddr::V6(a6)) = (v4, v6) {
+            zone.add(Record::new(ns_name.clone(), 3600, RData::A(a4))).unwrap();
+            zone.add(Record::new(ns_name, 3600, RData::Aaaa(a6))).unwrap();
+        }
+    }
+}
+
+/// The DS record the parent publishes for a child's KSK.
+pub fn ds_record(child_apex: &Name, ksk: &SigningKey) -> Record {
+    let rdata = ksk.dnskey_rdata();
+    let mut buf = child_apex.to_canonical_wire();
+    buf.extend_from_slice(&rdata.canonical_bytes());
+    Record::new(
+        child_apex.clone(),
+        3600,
+        RData::Ds {
+            key_tag: ksk.key_tag(),
+            algorithm: ksk.algorithm,
+            digest_type: 2,
+            digest: sha256(&buf).to_vec(),
+        },
+    )
+}
+
+/// Leaf-zone contents used by [`LabBuilder::simple_zone`]: a `www` A record
+/// and an apex A record.
+pub fn simple_zone_contents(apex: &Name) -> Zone {
+    let mut z = Zone::new(apex.clone());
+    let www = Name::parse("www").unwrap().concat(apex).unwrap();
+    z.add(Record::new(apex.clone(), 300, RData::A("192.0.2.80".parse().unwrap()))).unwrap();
+    z.add(Record::new(www, 300, RData::A("192.0.2.81".parse().unwrap()))).unwrap();
+    z
+}

@@ -1,0 +1,601 @@
+//! A validating recursive DNS resolver with configurable RFC 9276
+//! behaviour, vendor profiles, and CVE-2023-50868 cost accounting.
+//!
+//! * [`resolver`] — iterative resolution + DNSSEC chain validation.
+//! * [`validator`] — RRset signature checks and NSEC/NSEC3 proof
+//!   verification (the CVE cost center).
+//! * [`policy`] — the RFC 9276 items 6–12 knobs.
+//! * [`profiles`] — BIND/Unbound/Knot/PowerDNS/Google/Cloudflare/Quad9/
+//!   OpenDNS/Technitium behaviour presets.
+//! * [`broken`] — forwarders, query copiers, flaky resolvers.
+//! * [`cost`] — compression-count cost model.
+//! * [`lab`] — a signed root→TLD→child hierarchy on the simulated network,
+//!   shared by tests, the testbed, and benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggressive;
+pub mod broken;
+pub mod cache;
+pub mod cost;
+pub mod lab;
+pub mod policy;
+pub mod profiles;
+pub mod resolver;
+pub mod validator;
+
+pub use aggressive::AggressiveCache;
+pub use broken::{FlakyResolver, Forwarder, ObservedResponse, QueryCopier};
+pub use cache::TtlCache;
+pub use cost::{CostMeter, CostSnapshot};
+pub use lab::{Lab, LabBuilder, ZoneSpec};
+pub use policy::{LimitAction, Rfc9276Policy};
+pub use profiles::VendorProfile;
+pub use resolver::{ResolveOutcome, Resolver, ResolverConfig, TrustAnchor};
+pub use validator::{ValidationError, ZoneKeys};
+
+#[cfg(test)]
+mod e2e {
+    use super::*;
+    use dns_wire::edns::EdeCode;
+    use dns_wire::name::{name, Name};
+    use dns_wire::rrtype::{Rcode, RrType};
+    use dns_zone::nsec3hash::Nsec3Params;
+    use dns_zone::signer::Denial;
+    use dns_zone::{faults, Zone};
+    use std::rc::Rc;
+
+    const NOW: u32 = 1_710_000_000;
+
+    fn lab_with_params(params_list: &[(&str, Nsec3Params)]) -> Lab {
+        let mut b = LabBuilder::new(NOW)
+            .simple_zone(&name("com."), Denial::nsec3_rfc9276());
+        for (apex, params) in params_list {
+            b = b.simple_zone(
+                &name(apex),
+                Denial::Nsec3 { params: params.clone(), opt_out: false },
+            );
+        }
+        b.build()
+    }
+
+    fn resolver_for(lab: &mut Lab, policy: Rfc9276Policy) -> Resolver {
+        let addr = lab.alloc.v4();
+        let mut cfg = ResolverConfig::validating(
+            addr,
+            lab.root_hints.clone(),
+            lab.anchor.clone(),
+        );
+        cfg.now = lab.now;
+        cfg.policy = policy;
+        Resolver::new(cfg)
+    }
+
+    #[test]
+    fn positive_answer_is_secure() {
+        let mut lab = lab_with_params(&[("example.com.", Nsec3Params::rfc9276())]);
+        let r = resolver_for(&mut lab, Rfc9276Policy::unlimited());
+        let out = r.resolve(&lab.net, &name("www.example.com."), RrType::A);
+        assert_eq!(out.rcode, Rcode::NoError);
+        assert!(out.authenticated, "chain root→com→example.com must validate");
+        assert_eq!(out.answers.len(), 1);
+    }
+
+    #[test]
+    fn nxdomain_is_secure_with_compliant_params() {
+        let mut lab = lab_with_params(&[("example.com.", Nsec3Params::rfc9276())]);
+        let r = resolver_for(&mut lab, Rfc9276Policy::unlimited());
+        let out = r.resolve(&lab.net, &name("nope.example.com."), RrType::A);
+        assert_eq!(out.rcode, Rcode::NxDomain);
+        assert!(out.authenticated);
+        assert!(out.cost.nsec3_hashes >= 3);
+    }
+
+    #[test]
+    fn high_iterations_with_unlimited_policy_still_validates() {
+        let mut lab = lab_with_params(&[("it-500.example.com.", Nsec3Params::new(500, vec![]))]);
+        let r = resolver_for(&mut lab, Rfc9276Policy::unlimited());
+        let out = r.resolve(&lab.net, &name("probe.it-500.example.com."), RrType::A);
+        assert_eq!(out.rcode, Rcode::NxDomain);
+        assert!(out.authenticated);
+        // The cost blow-up: each hash chain is 501 compressions.
+        assert!(out.cost.sha1_compressions > 1000, "{:?}", out.cost);
+    }
+
+    #[test]
+    fn item6_insecure_above_threshold() {
+        let mut lab = lab_with_params(&[("it-200.example.com.", Nsec3Params::new(200, vec![]))]);
+        let r = resolver_for(&mut lab, Rfc9276Policy::insecure_above(150));
+        let out = r.resolve(&lab.net, &name("probe.it-200.example.com."), RrType::A);
+        assert_eq!(out.rcode, Rcode::NxDomain);
+        assert!(!out.authenticated, "above the limit: NXDOMAIN without AD");
+        assert_eq!(out.ede.as_ref().map(|e| e.0), Some(EdeCode::UNSUPPORTED_NSEC3_ITERATIONS));
+    }
+
+    #[test]
+    fn item6_below_threshold_still_secure() {
+        let mut lab = lab_with_params(&[("it-100.example.com.", Nsec3Params::new(100, vec![]))]);
+        let r = resolver_for(&mut lab, Rfc9276Policy::insecure_above(150));
+        let out = r.resolve(&lab.net, &name("probe.it-100.example.com."), RrType::A);
+        assert_eq!(out.rcode, Rcode::NxDomain);
+        assert!(out.authenticated);
+    }
+
+    #[test]
+    fn item8_servfail_above_threshold() {
+        let mut lab = lab_with_params(&[("it-200.example.com.", Nsec3Params::new(200, vec![]))]);
+        let r = resolver_for(&mut lab, Rfc9276Policy::servfail_above(150));
+        let out = r.resolve(&lab.net, &name("probe.it-200.example.com."), RrType::A);
+        assert_eq!(out.rcode, Rcode::ServFail);
+        assert_eq!(out.ede.as_ref().map(|e| e.0), Some(EdeCode::UNSUPPORTED_NSEC3_ITERATIONS));
+    }
+
+    #[test]
+    fn expired_signatures_servfail() {
+        let mut b = LabBuilder::new(NOW).simple_zone(&name("com."), Denial::nsec3_rfc9276());
+        let mut spec = ZoneSpec::new(
+            lab::simple_zone_contents(&name("expired.example.com.")),
+            Denial::nsec3_rfc9276(),
+        );
+        spec.expired = true;
+        b = b.simple_zone(&name("example.com."), Denial::nsec3_rfc9276()).zone(spec);
+        let mut lab = b.build();
+        let r = resolver_for(&mut lab, Rfc9276Policy::unlimited());
+        let out = r.resolve(&lab.net, &name("www.expired.example.com."), RrType::A);
+        assert_eq!(out.rcode, Rcode::ServFail);
+    }
+
+    #[test]
+    fn item7_compliant_resolver_catches_expired_nsec3_despite_limit() {
+        // The it-2501-expired scenario: iterations over every limit AND
+        // expired RRSIGs over the NSEC3 records. A compliant resolver
+        // (verify_nsec3_rrsig = true) must SERVFAIL, not downgrade.
+        let mut b = LabBuilder::new(NOW).simple_zone(&name("com."), Denial::nsec3_rfc9276());
+        let mut spec = ZoneSpec::new(
+            lab::simple_zone_contents(&name("it-2501-expired.example.com.")),
+            Denial::Nsec3 { params: Nsec3Params::new(2501, vec![]), opt_out: false },
+        );
+        spec.post_sign = Some(Box::new(|z| {
+            faults::expire_rrsigs(z, Some(RrType::NSEC3), NOW);
+        }));
+        b = b.simple_zone(&name("example.com."), Denial::nsec3_rfc9276()).zone(spec);
+        let mut lab = b.build();
+
+        let compliant = resolver_for(&mut lab, Rfc9276Policy::insecure_above(150));
+        let out = compliant.resolve(
+            &lab.net,
+            &name("probe.it-2501-expired.example.com."),
+            RrType::A,
+        );
+        assert_eq!(out.rcode, Rcode::ServFail, "item 7: must verify NSEC3 RRSIG first");
+
+        // The 0.2 % violator skips the check and returns insecure NXDOMAIN.
+        let mut violator_policy = Rfc9276Policy::insecure_above(150);
+        violator_policy.verify_nsec3_rrsig = false;
+        let violator = resolver_for(&mut lab, violator_policy);
+        let out = violator.resolve(
+            &lab.net,
+            &name("probe2.it-2501-expired.example.com."),
+            RrType::A,
+        );
+        assert_eq!(out.rcode, Rcode::NxDomain);
+        assert!(!out.authenticated);
+    }
+
+    #[test]
+    fn insecure_delegation_resolves_without_ad() {
+        let mut b = LabBuilder::new(NOW).simple_zone(&name("com."), Denial::nsec3_rfc9276());
+        let mut spec = ZoneSpec::new(
+            lab::simple_zone_contents(&name("unsigned.example.com.")),
+            Denial::nsec3_rfc9276(),
+        );
+        spec.unsigned_delegation = true;
+        b = b.simple_zone(&name("example.com."), Denial::nsec3_rfc9276()).zone(spec);
+        let mut lab = b.build();
+        let r = resolver_for(&mut lab, Rfc9276Policy::unlimited());
+        let out = r.resolve(&lab.net, &name("www.unsigned.example.com."), RrType::A);
+        assert_eq!(out.rcode, Rcode::NoError);
+        assert!(!out.authenticated, "insecure island: no AD");
+        assert_eq!(out.answers.len(), 1);
+    }
+
+    #[test]
+    fn non_validating_resolver_never_authenticates() {
+        let mut lab = lab_with_params(&[("example.com.", Nsec3Params::rfc9276())]);
+        let addr = lab.alloc.v4();
+        let mut cfg = ResolverConfig::stub(addr, lab.root_hints.clone());
+        cfg.now = lab.now;
+        let r = Resolver::new(cfg);
+        let out = r.resolve(&lab.net, &name("www.example.com."), RrType::A);
+        assert_eq!(out.rcode, Rcode::NoError);
+        assert!(!out.authenticated);
+    }
+
+    #[test]
+    fn resolver_as_node_sets_ad_and_ra() {
+        let mut lab = lab_with_params(&[("example.com.", Nsec3Params::rfc9276())]);
+        let raddr = lab.alloc.v4();
+        let client = lab.alloc.v4();
+        let mut cfg =
+            ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+        cfg.now = lab.now;
+        lab.net.register(raddr, Rc::new(Resolver::new(cfg)));
+        let q = dns_wire::Message::query(5, name("nope.example.com."), RrType::A).encode();
+        let resp = lab.net.send_query(client, raddr, &q);
+        let obs = ObservedResponse::from_wire(resp.payload().unwrap()).unwrap();
+        assert_eq!(obs.rcode, Rcode::NxDomain);
+        assert!(obs.ad);
+        assert!(obs.ra);
+    }
+
+    #[test]
+    fn query_copier_servfails_any_iterations_and_copies_ra() {
+        let mut lab = lab_with_params(&[("it-1.example.com.", Nsec3Params::new(1, vec![]))]);
+        let raddr = lab.alloc.v4();
+        let client = lab.alloc.v4();
+        let mut cfg =
+            ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+        cfg.now = lab.now;
+        lab.net.register(raddr, Rc::new(QueryCopier::new(Resolver::new(cfg))));
+        let q = dns_wire::Message::query(5, name("probe.it-1.example.com."), RrType::A).encode();
+        let resp = lab.net.send_query(client, raddr, &q);
+        let obs = ObservedResponse::from_wire(resp.payload().unwrap()).unwrap();
+        assert_eq!(obs.rcode, Rcode::ServFail);
+        assert!(!obs.ra, "copier mirrors the query's (unset) RA bit");
+    }
+
+    #[test]
+    fn forwarder_relays_and_strips_ede() {
+        let mut lab = lab_with_params(&[("it-200.example.com.", Nsec3Params::new(200, vec![]))]);
+        let upstream_addr = lab.alloc.v4();
+        let fwd_addr = lab.alloc.v4();
+        let client = lab.alloc.v4();
+        let mut cfg = ResolverConfig::validating(
+            upstream_addr,
+            lab.root_hints.clone(),
+            lab.anchor.clone(),
+        );
+        cfg.now = lab.now;
+        cfg.policy = Rfc9276Policy::servfail_above(150);
+        lab.net.register(upstream_addr, Rc::new(Resolver::new(cfg)));
+        lab.net.register(
+            fwd_addr,
+            Rc::new(Forwarder { addr: fwd_addr, upstream: upstream_addr, strip_ede: true }),
+        );
+        let q = dns_wire::Message::query(5, name("x.it-200.example.com."), RrType::A).encode();
+        let resp = lab.net.send_query(client, fwd_addr, &q);
+        let obs = ObservedResponse::from_wire(resp.payload().unwrap()).unwrap();
+        assert_eq!(obs.rcode, Rcode::ServFail);
+        assert_eq!(obs.ede, None, "forwarder stripped the EDE");
+        // The authoritative logs must show the upstream's address, not the
+        // client's — the paper's forwarder-identification trick.
+        let log = lab.auths[&name("it-200.example.com.")].query_log();
+        assert!(log.iter().all(|e| e.src == upstream_addr));
+    }
+
+    #[test]
+    fn tampered_answer_is_bogus() {
+        let mut b = LabBuilder::new(NOW).simple_zone(&name("com."), Denial::nsec3_rfc9276());
+        let mut spec = ZoneSpec::new(
+            lab::simple_zone_contents(&name("tampered.example.com.")),
+            Denial::nsec3_rfc9276(),
+        );
+        spec.post_sign = Some(Box::new(|z| {
+            faults::corrupt_rrsigs_covering(z, RrType::A);
+        }));
+        b = b.simple_zone(&name("example.com."), Denial::nsec3_rfc9276()).zone(spec);
+        let mut lab = b.build();
+        let r = resolver_for(&mut lab, Rfc9276Policy::unlimited());
+        let out = r.resolve(&lab.net, &name("www.tampered.example.com."), RrType::A);
+        assert_eq!(out.rcode, Rcode::ServFail);
+    }
+
+    #[test]
+    fn check_limits_first_saves_work() {
+        // Ablation: with limits checked first the resolver spends no hash
+        // work on an over-limit zone; with signature-first ordering it pays
+        // for signature checks (but still skips hashing).
+        let mut lab = lab_with_params(&[("it-500.example.com.", Nsec3Params::new(500, vec![]))]);
+        let fast = resolver_for(&mut lab, Rfc9276Policy::servfail_above(150));
+        let out = fast.resolve(&lab.net, &name("p1.it-500.example.com."), RrType::A);
+        assert_eq!(out.rcode, Rcode::ServFail);
+        assert_eq!(out.cost.nsec3_hashes, 0, "limit check shortcuts all hashing");
+    }
+
+    #[test]
+    fn signature_first_ordering_pays_for_verification() {
+        // Ablation: with check_limits_first = false the resolver verifies
+        // the NSEC3 RRSIGs even for an over-limit zone (and still refuses),
+        // so it performs signature work the default ordering skips.
+        let mut lab = lab_with_params(&[("it-500.example.com.", Nsec3Params::new(500, vec![]))]);
+        let mut policy = Rfc9276Policy::servfail_above(150);
+        policy.emit_ede = false;
+        let mut lazy = resolver_for(&mut lab, policy.clone());
+        lazy.config.check_limits_first = true;
+        let lazy_out = lazy.resolve(&lab.net, &name("p1.it-500.example.com."), RrType::A);
+        let mut eager = resolver_for(&mut lab, policy);
+        eager.config.check_limits_first = false;
+        let eager_out = eager.resolve(&lab.net, &name("p2.it-500.example.com."), RrType::A);
+        assert_eq!(lazy_out.rcode, Rcode::ServFail);
+        assert_eq!(eager_out.rcode, Rcode::ServFail);
+        assert!(
+            eager_out.cost.signatures_verified > lazy_out.cost.signatures_verified,
+            "sig-first {} vs limit-first {}",
+            eager_out.cost.signatures_verified,
+            lazy_out.cost.signatures_verified
+        );
+        // Neither arm hashes: the limit still gates hashing.
+        assert_eq!(eager_out.cost.nsec3_hashes, 0);
+    }
+
+    #[test]
+    fn caching_answers_and_keys() {
+        let mut lab = lab_with_params(&[("example.com.", Nsec3Params::rfc9276())]);
+        let r = resolver_for(&mut lab, Rfc9276Policy::unlimited());
+        let q = name("www.example.com.");
+        let first = r.resolve(&lab.net, &q, RrType::A);
+        assert!(first.cost.messages_sent > 0);
+        // Same question again: answered from cache, zero network cost.
+        let second = r.resolve(&lab.net, &q, RrType::A);
+        assert_eq!(second.rcode, first.rcode);
+        assert_eq!(second.answers, first.answers);
+        assert_eq!(second.cost.messages_sent, 0);
+        assert!(r.cache_hits() >= 1);
+        // A different name under the same zone reuses validated keys:
+        // fewer messages than the cold resolution.
+        let third = r.resolve(&lab.net, &name("nope.example.com."), RrType::A);
+        assert!(third.cost.messages_sent < first.cost.messages_sent);
+        // After the TTL (300 s for this zone) the answer expires.
+        lab.net.advance(400 * 1_000_000);
+        let fourth = r.resolve(&lab.net, &q, RrType::A);
+        assert!(fourth.cost.messages_sent > 0, "cache entry expired with TTL");
+    }
+
+    #[test]
+    fn oversized_nsec3_answers_fall_back_to_tcp() {
+        // A 255-byte salt makes the three-NSEC3 NXDOMAIN proof overflow
+        // the 1232-byte UDP budget: the server truncates, the resolver
+        // retries over TCP framing, and validation still succeeds.
+        let mut lab =
+            lab_with_params(&[("fat.example.com.", Nsec3Params::new(3, vec![0xEE; 255]))]);
+        let r = resolver_for(&mut lab, Rfc9276Policy::unlimited());
+        let out = r.resolve(&lab.net, &name("nope.fat.example.com."), RrType::A);
+        assert_eq!(out.rcode, Rcode::NxDomain);
+        assert!(out.authenticated, "TCP fallback preserved the proof");
+        // The denial actually came back oversized.
+        let proof_bytes: usize = out
+            .authorities
+            .iter()
+            .map(|rec| rec.rdata.canonical_bytes().len())
+            .sum();
+        // RDATA alone nears the UDP budget; with owner names, RRSIGs and
+        // the SOA the encoded message exceeds 1232 (hence the TC retry
+        // asserted below).
+        assert!(proof_bytes > 1000, "proof is genuinely oversized: {proof_bytes}");
+        // The TC exchange cost an extra message on the final hop.
+        let slim = lab_with_params(&[("slim.example.com.", Nsec3Params::new(3, vec![]))]);
+        let mut lab2 = slim;
+        let r2 = resolver_for(&mut lab2, Rfc9276Policy::unlimited());
+        let slim_out = r2.resolve(&lab2.net, &name("nope.slim.example.com."), RrType::A);
+        assert!(
+            out.cost.messages_sent > slim_out.cost.messages_sent,
+            "{} vs {}",
+            out.cost.messages_sent,
+            slim_out.cost.messages_sent
+        );
+    }
+
+    #[test]
+    fn qname_minimization_hides_the_full_name_from_upper_zones() {
+        let mut lab = lab_with_params(&[("example.com.", Nsec3Params::rfc9276())]);
+        let addr = lab.alloc.v4();
+        let mut cfg =
+            ResolverConfig::validating(addr, lab.root_hints.clone(), lab.anchor.clone());
+        cfg.now = lab.now;
+        cfg.qname_minimization = true;
+        cfg.cache_size = 0; // every query visible in the logs
+        let r = Resolver::new(cfg);
+        let out = r.resolve(&lab.net, &name("www.example.com."), RrType::A);
+        assert_eq!(out.rcode, Rcode::NoError);
+        assert!(out.authenticated, "minimization must not break validation");
+        // Privacy property: the root and com servers never saw the full
+        // name (DNSKEY fetches target the zone apexes and are fine).
+        let full = name("www.example.com.");
+        for apex in [Name::root(), name("com.")] {
+            let log = lab.auths[&apex].query_log();
+            assert!(!log.is_empty());
+            assert!(
+                log.iter().all(|e| e.qname != full),
+                "{apex} saw the full qname: {:?}",
+                log.iter().map(|e| e.qname.to_string()).collect::<Vec<_>>()
+            );
+        }
+        // The authoritative zone itself does see it, of course.
+        let leaf_log = lab.auths[&name("example.com.")].query_log();
+        assert!(leaf_log.iter().any(|e| e.qname == full));
+    }
+
+    #[test]
+    fn qname_minimization_descends_through_existing_names() {
+        // x.www.example.com: the minimized probe for www.example.com gets
+        // NODATA (the name exists), the resolver reveals one more label,
+        // and the final answer is a validated NXDOMAIN.
+        let mut lab = lab_with_params(&[("example.com.", Nsec3Params::rfc9276())]);
+        let addr = lab.alloc.v4();
+        let mut cfg =
+            ResolverConfig::validating(addr, lab.root_hints.clone(), lab.anchor.clone());
+        cfg.now = lab.now;
+        cfg.qname_minimization = true;
+        let r = Resolver::new(cfg);
+        let out = r.resolve(&lab.net, &name("x.www.example.com."), RrType::A);
+        assert_eq!(out.rcode, Rcode::NxDomain);
+        assert!(out.authenticated);
+        // And an intermediate NXDOMAIN short-circuits: nothing under the
+        // partial name exists either.
+        let out = r.resolve(&lab.net, &name("a.b.nope.example.com."), RrType::A);
+        assert_eq!(out.rcode, Rcode::NxDomain);
+        assert!(out.authenticated);
+    }
+
+    #[test]
+    fn dns0x20_rejects_case_mangling_servers() {
+        // A middlebox that rewrites the echoed question to lowercase
+        // defeats the 0x20 check; the resolver must treat its answers as
+        // spoofed (and, with no other server, fail).
+        struct CaseMangler(Rc<dyn netsim::Node>);
+        impl netsim::Node for CaseMangler {
+            fn handle(
+                &self,
+                net: &netsim::Network,
+                src: std::net::IpAddr,
+                payload: &[u8],
+            ) -> Option<Vec<u8>> {
+                let reply = self.0.handle(net, src, payload)?;
+                let mut msg = dns_wire::Message::decode(&reply).ok()?;
+                for q in &mut msg.questions {
+                    q.qname = q.qname.to_lowercase();
+                }
+                Some(msg.encode())
+            }
+        }
+        let mut lab = lab_with_params(&[("example.com.", Nsec3Params::rfc9276())]);
+        // Re-register the example.com. server behind the mangler, on both
+        // of its addresses (the resolver otherwise falls back to the
+        // clean dual-stack twin — which is itself a nice property).
+        let (v4, v6) = lab.servers[&name("example.com.")];
+        let auth = lab.auths[&name("example.com.")].clone();
+        let mangler: Rc<dyn netsim::Node> = Rc::new(CaseMangler(auth));
+        lab.net.unregister(v4);
+        lab.net.unregister(v6);
+        lab.net.register(v4, mangler.clone());
+        lab.net.register(v6, mangler);
+        let strict = resolver_for(&mut lab, Rfc9276Policy::unlimited());
+        assert!(strict.config.case_randomization, "0x20 on by default");
+        let out = strict.resolve(&lab.net, &name("www.example.com."), RrType::A);
+        assert_eq!(out.rcode, Rcode::ServFail, "mangled echo treated as spoof");
+        // With 0x20 disabled the same path works (mixed case is legal DNS).
+        let mut cfg = ResolverConfig::validating(
+            lab.alloc.v4(),
+            lab.root_hints.clone(),
+            lab.anchor.clone(),
+        );
+        cfg.now = lab.now;
+        cfg.case_randomization = false;
+        let lax = Resolver::new(cfg);
+        let out = lax.resolve(&lab.net, &name("www.example.com."), RrType::A);
+        assert_eq!(out.rcode, Rcode::NoError);
+        assert!(out.authenticated);
+    }
+
+    #[test]
+    fn aggressive_nsec3_synthesizes_second_nxdomain() {
+        let mut lab = lab_with_params(&[("example.com.", Nsec3Params::rfc9276())]);
+        let addr = lab.alloc.v4();
+        let mut cfg =
+            ResolverConfig::validating(addr, lab.root_hints.clone(), lab.anchor.clone());
+        cfg.now = lab.now;
+        cfg.aggressive_nsec3 = true;
+        let r = Resolver::new(cfg);
+        // First miss: full recursion, chain cached.
+        let first = r.resolve(&lab.net, &name("miss-one.example.com."), RrType::A);
+        assert_eq!(first.rcode, Rcode::NxDomain);
+        assert!(first.cost.messages_sent > 0);
+        // Second (different) miss: synthesized without any network I/O,
+        // but the hash work remains — RFC 8198 §5.4's caveat.
+        let second = r.resolve(&lab.net, &name("miss-two.example.com."), RrType::A);
+        assert_eq!(second.rcode, Rcode::NxDomain);
+        assert!(second.authenticated);
+        assert_eq!(second.cost.messages_sent, 0, "no upstream queries");
+        assert!(second.cost.nsec3_hashes >= 3, "synthesis still hashes");
+        assert_eq!(r.synthesized_nxdomains(), 1);
+        // Existing names are never wrongly denied.
+        let pos = r.resolve(&lab.net, &name("www.example.com."), RrType::A);
+        assert_eq!(pos.rcode, Rcode::NoError);
+        assert_eq!(pos.answers.len(), 1);
+    }
+
+    #[test]
+    fn cache_disabled_with_zero_capacity() {
+        let mut lab = lab_with_params(&[("example.com.", Nsec3Params::rfc9276())]);
+        let addr = lab.alloc.v4();
+        let mut cfg =
+            ResolverConfig::validating(addr, lab.root_hints.clone(), lab.anchor.clone());
+        cfg.now = lab.now;
+        cfg.cache_size = 0;
+        let r = Resolver::new(cfg);
+        let q = name("www.example.com.");
+        let first = r.resolve(&lab.net, &q, RrType::A);
+        let second = r.resolve(&lab.net, &q, RrType::A);
+        assert_eq!(second.cost.messages_sent, first.cost.messages_sent);
+        assert_eq!(r.cache_hits(), 0);
+    }
+
+    #[test]
+    fn nsec_zone_validates_too() {
+        let mut b = LabBuilder::new(NOW).simple_zone(&name("com."), Denial::nsec3_rfc9276());
+        b = b.simple_zone(&name("nsec.example.com."), Denial::Nsec);
+        b = b.simple_zone(&name("example.com."), Denial::nsec3_rfc9276());
+        let mut lab = b.build();
+        let r = resolver_for(&mut lab, Rfc9276Policy::unlimited());
+        let pos = r.resolve(&lab.net, &name("www.nsec.example.com."), RrType::A);
+        assert_eq!(pos.rcode, Rcode::NoError);
+        assert!(pos.authenticated);
+        let neg = r.resolve(&lab.net, &name("nope.nsec.example.com."), RrType::A);
+        assert_eq!(neg.rcode, Rcode::NxDomain);
+        assert!(neg.authenticated);
+        assert_eq!(neg.cost.nsec3_hashes, 0, "NSEC denial needs no hashing");
+    }
+
+    #[test]
+    fn flaky_resolver_varies_between_queries() {
+        let mut lab = lab_with_params(&[("it-120.example.com.", Nsec3Params::new(120, vec![]))]);
+        let raddr = lab.alloc.v4();
+        let client = lab.alloc.v4();
+        let mut cfg =
+            ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+        cfg.now = lab.now;
+        let flaky = FlakyResolver::with_gap(Resolver::new(cfg), 100, 150);
+        lab.net.register(raddr, Rc::new(flaky));
+        let mut rcodes = std::collections::HashSet::new();
+        let mut ads = std::collections::HashSet::new();
+        for i in 0..3 {
+            let q = dns_wire::Message::query(
+                i,
+                name(&format!("p{i}.it-120.example.com.")),
+                RrType::A,
+            )
+            .encode();
+            let resp = lab.net.send_query(client, raddr, &q);
+            let obs = ObservedResponse::from_wire(resp.payload().unwrap()).unwrap();
+            rcodes.insert(obs.rcode.to_u16());
+            ads.insert(obs.ad);
+        }
+        assert!(rcodes.len() > 1 || ads.len() > 1, "behaviour should wobble");
+    }
+
+    #[test]
+    fn wildcard_answer_validates_securely() {
+        let mut b = LabBuilder::new(NOW).simple_zone(&name("com."), Denial::nsec3_rfc9276());
+        let apex = name("wild.example.com.");
+        let mut z = Zone::new(apex.clone());
+        z.add(Record::new(
+            name("*.wild.example.com."),
+            300,
+            RData::A("192.0.2.42".parse().unwrap()),
+        ))
+        .unwrap();
+        b = b
+            .simple_zone(&name("example.com."), Denial::nsec3_rfc9276())
+            .zone(ZoneSpec::new(z, Denial::nsec3_rfc9276()));
+        let mut lab = b.build();
+        let r = resolver_for(&mut lab, Rfc9276Policy::unlimited());
+        let out = r.resolve(&lab.net, &name("anything.wild.example.com."), RrType::A);
+        assert_eq!(out.rcode, Rcode::NoError);
+        assert!(out.authenticated);
+        assert_eq!(out.answers[0].name, name("anything.wild.example.com."));
+    }
+
+    use dns_wire::record::Record;
+    use dns_wire::rdata::RData;
+}

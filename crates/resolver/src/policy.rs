@@ -1,0 +1,171 @@
+//! The RFC 9276 validator-side policy knobs (Table 1, items 6–12).
+
+use dns_wire::edns::EdeCode;
+
+/// How a validating resolver treats NSEC3 iteration counts and related
+/// corner cases. Every knob corresponds to an item of RFC 9276 Table 1.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rfc9276Policy {
+    /// Item 6 (MAY): treat responses whose NSEC3 records carry more than
+    /// this many additional iterations as *insecure* (strip AD, skip proof
+    /// validation). `None` = no limit.
+    pub insecure_above: Option<u16>,
+    /// Item 8 (MAY): return SERVFAIL when NSEC3 iterations exceed this.
+    /// `None` = never. When both limits are set RFC 9276 item 12 says they
+    /// SHOULD be equal; the paper found 4.3 % of validators with a gap.
+    pub servfail_above: Option<u16>,
+    /// Item 7 (SHOULD): verify the RRSIG over NSEC3 records *before*
+    /// honoring their iteration count for the insecure downgrade. The
+    /// paper found 0.2 % of validators skipping this.
+    pub verify_nsec3_rrsig: bool,
+    /// Items 10–11: attach EDE INFO-CODE 27 to insecure/SERVFAIL responses
+    /// triggered by the limits.
+    pub emit_ede: bool,
+    /// Some public resolvers attach a *different* EDE code (Google returns
+    /// 5 "DNSSEC Indeterminate" or 12 "NSEC Missing" instead of 27).
+    pub ede_code: EdeCode,
+    /// EXTRA-TEXT to attach alongside the EDE (Technitium style).
+    pub ede_extra_text: String,
+    /// Salt length above which the same limit treatment applies (no RFC
+    /// number assigns this, but CVE-2023-50868 patches bound total work;
+    /// `None` = salt ignored).
+    pub max_salt_len: Option<u8>,
+}
+
+impl Rfc9276Policy {
+    /// No limits at all: the pre-2021 validator behaviour.
+    pub fn unlimited() -> Self {
+        Rfc9276Policy {
+            insecure_above: None,
+            servfail_above: None,
+            verify_nsec3_rrsig: true,
+            emit_ede: false,
+            ede_code: EdeCode::UNSUPPORTED_NSEC3_ITERATIONS,
+            ede_extra_text: String::new(),
+            max_salt_len: None,
+        }
+    }
+
+    /// Insecure above `n` iterations (item 6), EDE 27 attached.
+    pub fn insecure_above(n: u16) -> Self {
+        Rfc9276Policy {
+            insecure_above: Some(n),
+            emit_ede: true,
+            ..Self::unlimited()
+        }
+    }
+
+    /// SERVFAIL above `n` iterations (item 8), EDE 27 attached.
+    pub fn servfail_above(n: u16) -> Self {
+        Rfc9276Policy {
+            servfail_above: Some(n),
+            emit_ede: true,
+            ..Self::unlimited()
+        }
+    }
+
+    /// The action the policy prescribes for a response using `iterations`
+    /// additional iterations and a salt of `salt_len` bytes.
+    pub fn action_for(&self, iterations: u16, salt_len: usize) -> LimitAction {
+        let over_salt = self
+            .max_salt_len
+            .map(|m| salt_len > m as usize)
+            .unwrap_or(false);
+        if let Some(limit) = self.servfail_above {
+            if iterations > limit || over_salt {
+                return LimitAction::ServFail;
+            }
+        }
+        if let Some(limit) = self.insecure_above {
+            if iterations > limit || over_salt {
+                return LimitAction::TreatInsecure;
+            }
+        }
+        LimitAction::Process
+    }
+}
+
+impl Default for Rfc9276Policy {
+    /// The RFC 9276-recommended modern default, matching the post-CVE
+    /// patches of BIND 9.19.19 / Knot / PowerDNS: insecure above 50.
+    fn default() -> Self {
+        Self::insecure_above(50)
+    }
+}
+
+/// The pre-RFC 9276 iteration cap of RFC 5155 §10.3: validators accepted
+/// up to 150/500/2,500 additional iterations depending on the signing key
+/// size (1024/2048/4096 bits). The testbed's `it-2501-expired` zone sits
+/// beyond even the largest cap — that is why the paper picked 2,501.
+pub fn rfc5155_max_iterations(key_bits: u16) -> u16 {
+    if key_bits <= 1024 {
+        150
+    } else if key_bits <= 2048 {
+        500
+    } else {
+        2500
+    }
+}
+
+/// Outcome of the iteration-limit check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LimitAction {
+    /// Within limits: validate normally.
+    Process,
+    /// Item 6: treat the response as insecure.
+    TreatInsecure,
+    /// Item 8: refuse with SERVFAIL.
+    ServFail,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_always_processes() {
+        let p = Rfc9276Policy::unlimited();
+        assert_eq!(p.action_for(2500, 255), LimitAction::Process);
+    }
+
+    #[test]
+    fn insecure_threshold_is_exclusive() {
+        let p = Rfc9276Policy::insecure_above(150);
+        assert_eq!(p.action_for(150, 0), LimitAction::Process);
+        assert_eq!(p.action_for(151, 0), LimitAction::TreatInsecure);
+    }
+
+    #[test]
+    fn servfail_takes_precedence() {
+        let mut p = Rfc9276Policy::servfail_above(150);
+        p.insecure_above = Some(150);
+        assert_eq!(p.action_for(151, 0), LimitAction::ServFail);
+        assert_eq!(p.action_for(150, 0), LimitAction::Process);
+    }
+
+    #[test]
+    fn zero_limit_rejects_any_iterations() {
+        // The paper's 418 resolvers SERVFAILing from it-1 behave like a
+        // servfail_above(0) policy.
+        let p = Rfc9276Policy::servfail_above(0);
+        assert_eq!(p.action_for(0, 0), LimitAction::Process);
+        assert_eq!(p.action_for(1, 0), LimitAction::ServFail);
+    }
+
+    #[test]
+    fn rfc5155_caps_by_key_size() {
+        assert_eq!(rfc5155_max_iterations(1024), 150);
+        assert_eq!(rfc5155_max_iterations(2048), 500);
+        assert_eq!(rfc5155_max_iterations(4096), 2500);
+        // 2,501 exceeds every cap — the paper's out-of-band test value.
+        assert!(2501 > rfc5155_max_iterations(4096));
+    }
+
+    #[test]
+    fn salt_limit_applies() {
+        let mut p = Rfc9276Policy::insecure_above(150);
+        p.max_salt_len = Some(8);
+        assert_eq!(p.action_for(0, 9), LimitAction::TreatInsecure);
+        assert_eq!(p.action_for(0, 8), LimitAction::Process);
+    }
+}

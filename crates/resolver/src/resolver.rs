@@ -1,0 +1,1038 @@
+//! The validating recursive resolver.
+//!
+//! Implements full iterative resolution over the simulated network —
+//! root hints, referrals with glue, DS/DNSKEY chain building — and DNSSEC
+//! validation with the RFC 9276 policy knobs applied exactly where real
+//! resolvers apply them (before or while verifying NSEC3 proofs).
+
+use std::cell::RefCell;
+use std::net::IpAddr;
+
+use dns_crypto::sha256::sha256;
+use dns_wire::edns::{EdeCode, Edns};
+use dns_wire::message::{frame_tcp, unframe_tcp, Message};
+use dns_wire::name::Name;
+use dns_wire::rdata::RData;
+use dns_wire::record::Record;
+use dns_wire::rrtype::{Rcode, RrType};
+use dns_zone::nsec3hash::Nsec3Params;
+use netsim::{Network, Node, Outcome};
+
+use crate::aggressive::AggressiveCache;
+use crate::cache::TtlCache;
+use crate::cost::{CostMeter, CostSnapshot};
+use crate::policy::{LimitAction, Rfc9276Policy};
+use crate::validator::{
+    self, parse_nsec3_set, validate_rrset, verify_nodata, verify_nxdomain,
+    verify_wildcard_expansion, ValidationError, ZoneKeys,
+};
+
+/// A trust anchor: the DS-style digest of a zone's KSK.
+#[derive(Clone, Debug)]
+pub struct TrustAnchor {
+    /// The anchored zone (the root, in every experiment here).
+    pub zone: Name,
+    /// Expected key tag.
+    pub key_tag: u16,
+    /// SHA-256 digest over `owner | DNSKEY rdata` (digest type 2).
+    pub digest: Vec<u8>,
+}
+
+/// Resolver configuration.
+#[derive(Clone, Debug)]
+pub struct ResolverConfig {
+    /// The egress address queries are sent from (also the service address).
+    pub addr: IpAddr,
+    /// Root server addresses.
+    pub root_hints: Vec<IpAddr>,
+    /// Trust anchors (empty = non-validating).
+    pub trust_anchors: Vec<TrustAnchor>,
+    /// Whether DNSSEC validation is enabled at all.
+    pub validate: bool,
+    /// The RFC 9276 policy.
+    pub policy: Rfc9276Policy,
+    /// Wall-clock now (epoch seconds) for temporal signature checks.
+    pub now: u32,
+    /// Per-upstream-query retry attempts.
+    pub retries: u32,
+    /// Check iteration limits before verifying NSEC3 RRSIGs (the cheap
+    /// order everyone implements). `false` is the ablation arm: full
+    /// signature verification before the limit check.
+    pub check_limits_first: bool,
+    /// Answer/key cache capacity (entries); 0 disables caching.
+    pub cache_size: usize,
+    /// RFC 8198 aggressive use of validated NSEC3: synthesize NXDOMAINs
+    /// from cached, verified denial chains (costs hashing per query; see
+    /// `crate::aggressive`).
+    pub aggressive_nsec3: bool,
+    /// 0x20 case randomization (dns-0x20): encode the qname of upstream
+    /// queries with per-query random case and reject responses that do not
+    /// echo it — the classic anti-spoofing hardening the paper's Kaminsky
+    /// citation motivates.
+    pub case_randomization: bool,
+    /// QNAME minimization (RFC 9156): expose only one extra label per
+    /// zone while walking the delegation tree. Off by default so the
+    /// calibrated experiments keep the classic query pattern.
+    pub qname_minimization: bool,
+}
+
+impl ResolverConfig {
+    /// A validating resolver with the given address, hints and anchor.
+    pub fn validating(addr: IpAddr, root_hints: Vec<IpAddr>, anchor: TrustAnchor) -> Self {
+        ResolverConfig {
+            addr,
+            root_hints,
+            trust_anchors: vec![anchor],
+            validate: true,
+            policy: Rfc9276Policy::unlimited(),
+            now: 0,
+            retries: 2,
+            check_limits_first: true,
+            cache_size: 4096,
+            aggressive_nsec3: false,
+            case_randomization: true,
+            qname_minimization: false,
+        }
+    }
+
+    /// A non-validating resolver.
+    pub fn stub(addr: IpAddr, root_hints: Vec<IpAddr>) -> Self {
+        ResolverConfig {
+            addr,
+            root_hints,
+            trust_anchors: Vec::new(),
+            validate: false,
+            policy: Rfc9276Policy::unlimited(),
+            now: 0,
+            retries: 2,
+            check_limits_first: true,
+            cache_size: 4096,
+            aggressive_nsec3: false,
+            case_randomization: true,
+            qname_minimization: false,
+        }
+    }
+}
+
+/// The result the resolver hands to its client.
+#[derive(Clone, Debug)]
+pub struct ResolveOutcome {
+    /// Response code.
+    pub rcode: Rcode,
+    /// Whether the data was DNSSEC-authenticated (AD bit).
+    pub authenticated: bool,
+    /// Answer records.
+    pub answers: Vec<Record>,
+    /// Authority-section records relayed to the client (SOA, NSEC/NSEC3
+    /// proofs) — the zdns-style census reads NSEC3 parameters from here.
+    pub authorities: Vec<Record>,
+    /// Extended DNS error attached, if any.
+    pub ede: Option<(EdeCode, String)>,
+    /// Validation cost spent on this resolution.
+    pub cost: CostSnapshot,
+}
+
+impl ResolveOutcome {
+    fn servfail(ede: Option<(EdeCode, String)>, cost: CostSnapshot) -> Self {
+        ResolveOutcome {
+            rcode: Rcode::ServFail,
+            authenticated: false,
+            answers: Vec::new(),
+            authorities: Vec::new(),
+            ede,
+            cost,
+        }
+    }
+}
+
+/// Security state of the validation chain at the current zone.
+#[derive(Clone, Debug)]
+enum Chain {
+    /// Chain of trust intact; we hold validated keys for the zone.
+    Secure(ZoneKeys),
+    /// Provably insecure (opt-out or missing DS): no validation expected.
+    Insecure,
+}
+
+/// A validating recursive resolver, usable directly (via
+/// [`Resolver::resolve`]) or as a network [`Node`] serving clients.
+pub struct Resolver {
+    /// Configuration (public for inspection in experiments).
+    pub config: ResolverConfig,
+    meter: CostMeter,
+    /// Query counter for deterministic message ids.
+    next_id: RefCell<u16>,
+    /// Final-answer cache (RFC 2308-style negative caching included).
+    answer_cache: TtlCache<(Name, RrType), CachedAnswer>,
+    /// Validated DNSKEY sets per zone (the big recursion saver).
+    key_cache: TtlCache<Name, ZoneKeys>,
+    /// RFC 8198 store of verified NSEC3 chains.
+    aggressive: AggressiveCache,
+}
+
+/// What the answer cache stores: an outcome minus its cost.
+#[derive(Clone, Debug)]
+struct CachedAnswer {
+    rcode: Rcode,
+    authenticated: bool,
+    answers: Vec<Record>,
+    authorities: Vec<Record>,
+    ede: Option<(EdeCode, String)>,
+}
+
+impl Resolver {
+    /// Build a resolver.
+    pub fn new(config: ResolverConfig) -> Self {
+        let cache_size = config.cache_size;
+        Resolver {
+            config,
+            meter: CostMeter::new(),
+            next_id: RefCell::new(1),
+            answer_cache: TtlCache::new(cache_size),
+            key_cache: TtlCache::new(cache_size.min(512)),
+            aggressive: AggressiveCache::new(),
+        }
+    }
+
+    /// Cumulative cost across all resolutions.
+    pub fn total_cost(&self) -> CostSnapshot {
+        self.meter.snapshot()
+    }
+
+    /// Answer-cache hit count (experiment instrumentation).
+    pub fn cache_hits(&self) -> u64 {
+        self.answer_cache.hits()
+    }
+
+    /// NXDOMAINs synthesized via RFC 8198 so far.
+    pub fn synthesized_nxdomains(&self) -> u64 {
+        self.aggressive.synthesized_count()
+    }
+
+    fn fresh_id(&self) -> u16 {
+        let mut id = self.next_id.borrow_mut();
+        *id = id.wrapping_add(1);
+        *id
+    }
+
+    /// Send one upstream query, with retries, and decode the reply.
+    fn ask(
+        &self,
+        net: &Network,
+        server: IpAddr,
+        qname: &Name,
+        qtype: RrType,
+    ) -> Option<Message> {
+        let id = self.fresh_id();
+        let sent_qname = if self.config.case_randomization {
+            randomize_case(qname, id)
+        } else {
+            qname.clone()
+        };
+        let query = Message::query(id, sent_qname.clone(), qtype);
+        let wire = query.encode();
+        self.meter.add_message();
+        let resp = match net.send_query_with_retries(
+            self.config.addr,
+            server,
+            &wire,
+            self.config.retries,
+        ) {
+            Outcome::Response { payload, .. } => Message::decode(&payload).ok()?,
+            _ => return None,
+        };
+        // Truncated over UDP: retry the exchange over "TCP" (RFC 7766
+        // length framing, no size limit).
+        let resp = if resp.flags.tc {
+            self.meter.add_message();
+            match net.send_query_with_retries(
+                self.config.addr,
+                server,
+                &frame_tcp(&wire),
+                self.config.retries,
+            ) {
+                Outcome::Response { payload, .. } => {
+                    Message::decode(unframe_tcp(&payload)?).ok()?
+                }
+                _ => return None,
+            }
+        } else {
+            resp
+        };
+        if resp.id != query.id || !resp.flags.qr {
+            return None;
+        }
+        if self.config.case_randomization {
+            // dns-0x20: the echoed question must match the sent case
+            // exactly; anything else is a spoof or a mangler.
+            let echoed = resp.question()?;
+            if echoed.qname.to_wire() != sent_qname.to_wire() {
+                return None;
+            }
+        }
+        Some(resp)
+    }
+
+    /// Try every server in order until one responds.
+    fn ask_any(
+        &self,
+        net: &Network,
+        servers: &[IpAddr],
+        qname: &Name,
+        qtype: RrType,
+    ) -> Option<Message> {
+        servers.iter().find_map(|s| self.ask(net, *s, qname, qtype))
+    }
+
+    /// Full recursive resolution of `qname`/`qtype`.
+    pub fn resolve(&self, net: &Network, qname: &Name, qtype: RrType) -> ResolveOutcome {
+        let key = (qname.clone(), qtype);
+        if let Some(hit) = self.answer_cache.get(&key, net.now_micros()) {
+            return ResolveOutcome {
+                rcode: hit.rcode,
+                authenticated: hit.authenticated,
+                answers: hit.answers,
+                authorities: hit.authorities,
+                ede: hit.ede,
+                cost: CostSnapshot::default(),
+            };
+        }
+        if self.config.aggressive_nsec3 {
+            let before = self.meter.snapshot();
+            if let Some(zone) = self.aggressive.zone_for(qname, net.now_micros()) {
+                if self.aggressive.synthesize_nxdomain(&zone, qname, net.now_micros(), &self.meter)
+                {
+                    return ResolveOutcome {
+                        rcode: Rcode::NxDomain,
+                        authenticated: true,
+                        answers: Vec::new(),
+                        authorities: Vec::new(),
+                        ede: None,
+                        cost: self.meter.snapshot().since(&before),
+                    };
+                }
+            }
+        }
+        let outcome = self.resolve_uncached(net, qname, qtype);
+        let ttl = answer_ttl(&outcome);
+        self.answer_cache.put(
+            key,
+            CachedAnswer {
+                rcode: outcome.rcode,
+                authenticated: outcome.authenticated,
+                answers: outcome.answers.clone(),
+                authorities: outcome.authorities.clone(),
+                ede: outcome.ede.clone(),
+            },
+            net.now_micros(),
+            ttl,
+        );
+        outcome
+    }
+
+    fn resolve_uncached(&self, net: &Network, qname: &Name, qtype: RrType) -> ResolveOutcome {
+        let before = self.meter.snapshot();
+        let mut answers: Vec<Record> = Vec::new();
+        let mut target = qname.clone();
+        for _hop in 0..8 {
+            let mut outcome = self.resolve_once(net, &target, qtype, &before);
+            // Follow in-answer CNAMEs (each hop re-resolves the target).
+            let cname = outcome
+                .answers
+                .iter()
+                .find_map(|r| match (&r.rdata, r.rrtype() == RrType::CNAME && qtype != RrType::CNAME) {
+                    (RData::Cname(next), true) => Some(next.clone()),
+                    _ => None,
+                });
+            let has_final = outcome.answers.iter().any(|r| r.rrtype() == qtype);
+            answers.append(&mut outcome.answers);
+            let authorities = std::mem::take(&mut outcome.authorities);
+            match cname {
+                Some(next) if !has_final && outcome.rcode == Rcode::NoError => {
+                    target = next;
+                    continue;
+                }
+                _ => {
+                    return ResolveOutcome {
+                        answers,
+                        authorities,
+                        cost: self.meter.snapshot().since(&before),
+                        ..outcome
+                    };
+                }
+            }
+        }
+        ResolveOutcome::servfail(None, self.meter.snapshot().since(&before))
+    }
+
+    /// One iterative walk from the root to the authoritative answer for
+    /// `qname` (no CNAME chasing).
+    fn resolve_once(
+        &self,
+        net: &Network,
+        qname: &Name,
+        qtype: RrType,
+        cost_base: &CostSnapshot,
+    ) -> ResolveOutcome {
+        let fail = |ede: Option<(EdeCode, String)>, meter: &CostMeter| {
+            ResolveOutcome::servfail(ede, meter.snapshot().since(cost_base))
+        };
+        let mut servers: Vec<IpAddr> = self.config.root_hints.clone();
+        let mut zone = Name::root();
+        let mut chain: Chain = if !self.config.validate {
+            Chain::Insecure
+        } else {
+            match self.cached_root_keys(net, &servers) {
+                Ok(Some(keys)) => Chain::Secure(keys),
+                Ok(None) => Chain::Insecure,
+                Err(e) => return fail(self.ede_for(e), &self.meter),
+            }
+        };
+        // Pending DS set for the next child zone.
+        // RFC 9156: how many labels below the current zone we reveal.
+        let mut min_labels = 1usize;
+        for _depth in 0..24 {
+            // Compute the (possibly minimized) question for this step.
+            let (send_name, send_type) = if self.config.qname_minimization {
+                match ancestor_below(qname, &zone, min_labels) {
+                    Some(partial) if partial != *qname => (partial, RrType::NS),
+                    _ => (qname.clone(), qtype),
+                }
+            } else {
+                (qname.clone(), qtype)
+            };
+            let minimized = send_name != *qname;
+            let resp = match self.ask_any(net, &servers, &send_name, send_type) {
+                Some(r) => r,
+                None => return fail(None, &self.meter),
+            };
+            // Referral: authority NS below current zone, not authoritative.
+            let referral_cut = resp
+                .authorities
+                .iter()
+                .find(|r| r.rrtype() == RrType::NS && r.name != zone)
+                .map(|r| r.name.clone())
+                .filter(|_| resp.answers.is_empty() && resp.rcode == Rcode::NoError && !resp.flags.aa);
+            if let Some(cut) = referral_cut {
+                // Collect glue.
+                let mut next_servers: Vec<IpAddr> = Vec::new();
+                for rec in &resp.additionals {
+                    match &rec.rdata {
+                        RData::A(a) => next_servers.push(IpAddr::V4(*a)),
+                        RData::Aaaa(a) => next_servers.push(IpAddr::V6(*a)),
+                        _ => {}
+                    }
+                }
+                if next_servers.is_empty() {
+                    return fail(None, &self.meter);
+                }
+                // Secure chain: establish the child's status via DS.
+                chain = match chain {
+                    Chain::Secure(parent_keys) => {
+                        let ds_records: Vec<Record> = resp
+                            .authorities
+                            .iter()
+                            .filter(|r| r.rrtype() == RrType::DS && r.name == cut)
+                            .cloned()
+                            .collect();
+                        if !ds_records.is_empty() {
+                            let sigs = rrsigs_at(&resp.authorities, &cut);
+                            if validate_rrset(
+                                &cut,
+                                &ds_records,
+                                &sigs,
+                                &parent_keys,
+                                self.config.now,
+                                &self.meter,
+                            )
+                            .is_err()
+                            {
+                                return fail(self.ede_for(ValidationError::BadSignature), &self.meter);
+                            }
+                            match self.cached_child_keys(net, &next_servers, &cut, &ds_records) {
+                                Ok(keys) => Chain::Secure(keys),
+                                Err(e) => return fail(self.ede_for(e), &self.meter),
+                            }
+                        } else {
+                            // No DS: must be proven absent.
+                            match self.check_insecure_delegation(&resp, &cut, &parent_keys) {
+                                Ok(LimitFlow::Continue) => Chain::Insecure,
+                                Ok(LimitFlow::ServFail) => {
+                                    return fail(self.limit_ede(), &self.meter)
+                                }
+                                Ok(LimitFlow::Insecure) => Chain::Insecure,
+                                Err(e) => return fail(self.ede_for(e), &self.meter),
+                            }
+                        }
+                    }
+                    Chain::Insecure => Chain::Insecure,
+                };
+                servers = next_servers;
+                zone = cut;
+                min_labels = 1;
+                continue;
+            }
+
+            if minimized {
+                match resp.rcode {
+                    // The partial name exists (NODATA or an in-zone NS
+                    // answer): reveal one more label to the same servers.
+                    Rcode::NoError => {
+                        min_labels += 1;
+                        continue;
+                    }
+                    // The partial name does not exist: neither does the
+                    // full qname. Validate the denial of the *partial*
+                    // name — that is what the proof in hand covers.
+                    Rcode::NxDomain => {
+                        let mut out =
+                            self.finish(net, &resp, &send_name, send_type, &zone, &chain, cost_base);
+                        out.answers.clear();
+                        return out;
+                    }
+                    _ => return fail(None, &self.meter),
+                }
+            }
+
+            // Final response from the authoritative side.
+            return self.finish(net, &resp, qname, qtype, &zone, &chain, cost_base);
+        }
+        fail(None, &self.meter)
+    }
+
+    /// Validate and classify the authoritative response.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        net: &Network,
+        resp: &Message,
+        qname: &Name,
+        qtype: RrType,
+        zone: &Name,
+        chain: &Chain,
+        cost_base: &CostSnapshot,
+    ) -> ResolveOutcome {
+        let cost = |m: &CostMeter| m.snapshot().since(cost_base);
+        let answers: Vec<Record> = resp
+            .answers
+            .iter()
+            .filter(|r| r.rrtype() != RrType::RRSIG)
+            .cloned()
+            .collect();
+        let keys = match chain {
+            Chain::Insecure => {
+                // No validation possible: relay as-is, never authenticated.
+                return ResolveOutcome {
+                    rcode: resp.rcode,
+                    authenticated: false,
+                    answers,
+                    authorities: resp.authorities.clone(),
+                    ede: None,
+                    cost: cost(&self.meter),
+                };
+            }
+            Chain::Secure(keys) => keys,
+        };
+
+        // Gather NSEC3/NSEC material early: the limit check may shortcut.
+        let nsec3_refs: Vec<&Record> = resp
+            .authorities
+            .iter()
+            .chain(resp.answers.iter())
+            .filter(|r| r.rrtype() == RrType::NSEC3)
+            .collect();
+        let parsed_nsec3 = if nsec3_refs.is_empty() {
+            None
+        } else {
+            match parse_nsec3_set(&nsec3_refs) {
+                Ok(x) => Some(x),
+                Err(ValidationError::UnknownNsec3Algorithm) => {
+                    // Unknown algorithm: zone is insecure for us.
+                    return ResolveOutcome {
+                        rcode: resp.rcode,
+                        authenticated: false,
+                        answers,
+                        authorities: resp.authorities.clone(),
+                        ede: None,
+                        cost: cost(&self.meter),
+                    };
+                }
+                Err(e) => return ResolveOutcome::servfail(self.ede_for(e), cost(&self.meter)),
+            }
+        };
+
+        // RFC 9276 limit enforcement (items 6/8).
+        if let Some((params, _)) = &parsed_nsec3 {
+            // Ablation arm (DESIGN.md §6.5): verify the NSEC3 RRSIGs
+            // *before* consulting the limits. Strictly more item-7-safe,
+            // strictly more expensive — the cost difference is what the
+            // `validation` bench quantifies.
+            if !self.config.check_limits_first {
+                if let Err(e) = self.validate_proof_sigs(resp, keys) {
+                    return ResolveOutcome::servfail(self.ede_for(e), cost(&self.meter));
+                }
+            }
+            match self.apply_limits(params, resp, zone, keys) {
+                LimitFlow::Continue => {}
+                LimitFlow::ServFail => {
+                    return ResolveOutcome::servfail(self.limit_ede(), cost(&self.meter));
+                }
+                LimitFlow::Insecure => {
+                    return ResolveOutcome {
+                        rcode: resp.rcode,
+                        authenticated: false,
+                        answers,
+                        authorities: resp.authorities.clone(),
+                        ede: if self.config.policy.emit_ede { self.limit_ede() } else { None },
+                        cost: cost(&self.meter),
+                    };
+                }
+            }
+        }
+
+        // Positive answers: validate each RRset.
+        if !answers.is_empty() {
+            let sets = dns_wire::record::group_rrsets(&answers);
+            for set in &sets {
+                let owner = &set[0].name;
+                let sigs = rrsigs_at(&resp.answers, owner);
+                match validate_rrset(owner, set, &sigs, keys, self.config.now, &self.meter) {
+                    Ok(()) => {}
+                    Err(e) => {
+                        return ResolveOutcome::servfail(self.ede_for(e), cost(&self.meter))
+                    }
+                }
+                // Wildcard expansion: labels < owner label count means the
+                // denial part must also be present and valid.
+                if let Some(labels) = wildcard_labels(&sigs, owner, set[0].rrtype()) {
+                    if let Some((params, views)) = &parsed_nsec3 {
+                        if self.validate_proof_sigs(resp, keys).is_err()
+                            || verify_wildcard_expansion(
+                                owner,
+                                labels,
+                                params,
+                                views,
+                                &self.meter,
+                            )
+                            .is_err()
+                        {
+                            return ResolveOutcome::servfail(
+                                self.ede_for(ValidationError::BadDenialProof),
+                                cost(&self.meter),
+                            );
+                        }
+                    }
+                }
+            }
+            return ResolveOutcome {
+                rcode: resp.rcode,
+                authenticated: true,
+                answers,
+                authorities: resp.authorities.clone(),
+                ede: None,
+                cost: cost(&self.meter),
+            };
+        }
+
+        // Negative answers: validate the denial.
+        let denial_ok = if let Some((params, views)) = &parsed_nsec3 {
+            self.validate_proof_sigs(resp, keys).and_then(|()| match resp.rcode {
+                Rcode::NxDomain => {
+                    verify_nxdomain(qname, zone, params, views, &self.meter).map(|_| ())
+                }
+                _ => verify_nodata(qname, qtype, params, views, &self.meter),
+            })
+        } else {
+            // NSEC-based or proofless denial.
+            let nsec_refs: Vec<&Record> = resp
+                .authorities
+                .iter()
+                .filter(|r| r.rrtype() == RrType::NSEC)
+                .collect();
+            if nsec_refs.is_empty() {
+                Err(ValidationError::BadDenialProof)
+            } else {
+                self.validate_nsec_sigs(resp, keys).and_then(|()| match resp.rcode {
+                    Rcode::NxDomain => validator::nsec::verify_nxdomain(qname, &nsec_refs),
+                    _ => Ok(()), // NODATA via NSEC: bitmap check
+                })
+            }
+        };
+        match denial_ok {
+            Ok(()) => {
+                // RFC 8198: a verified denial chain is synthesis material.
+                if self.config.aggressive_nsec3 {
+                    if let Some((params, views)) = &parsed_nsec3 {
+                        self.aggressive.insert(zone, params, views, net.now_micros(), 300);
+                    }
+                }
+                ResolveOutcome {
+                    rcode: resp.rcode,
+                    authenticated: true,
+                    answers,
+                    authorities: resp.authorities.clone(),
+                    ede: None,
+                    cost: cost(&self.meter),
+                }
+            }
+            Err(e) => ResolveOutcome::servfail(self.ede_for(e), cost(&self.meter)),
+        }
+    }
+
+    /// Apply the iteration/salt limits; the item-7 subtlety lives here.
+    fn apply_limits(
+        &self,
+        params: &Nsec3Params,
+        resp: &Message,
+        _zone: &Name,
+        keys: &ZoneKeys,
+    ) -> LimitFlow {
+        match self.config.policy.action_for(params.iterations, params.salt.len()) {
+            LimitAction::Process => LimitFlow::Continue,
+            LimitAction::ServFail => LimitFlow::ServFail,
+            LimitAction::TreatInsecure => {
+                if self.config.policy.verify_nsec3_rrsig {
+                    // Item 7: the downgrade decision must rest on
+                    // *authenticated* NSEC3 parameters.
+                    if self.validate_proof_sigs(resp, keys).is_err() {
+                        return LimitFlow::ServFail;
+                    }
+                }
+                LimitFlow::Insecure
+            }
+        }
+    }
+
+    /// Verify the RRSIGs over every NSEC3 RRset in the response.
+    fn validate_proof_sigs(&self, resp: &Message, keys: &ZoneKeys) -> Result<(), ValidationError> {
+        let all: Vec<&Record> = resp.authorities.iter().chain(resp.answers.iter()).collect();
+        let owners: Vec<Name> = {
+            let mut o: Vec<Name> = all
+                .iter()
+                .filter(|r| r.rrtype() == RrType::NSEC3)
+                .map(|r| r.name.clone())
+                .collect();
+            o.dedup();
+            o
+        };
+        for owner in owners {
+            let rrset: Vec<Record> = all
+                .iter()
+                .filter(|r| r.rrtype() == RrType::NSEC3 && r.name == owner)
+                .map(|r| (*r).clone())
+                .collect();
+            let sigs: Vec<Record> = all
+                .iter()
+                .filter(|r| r.rrtype() == RrType::RRSIG && r.name == owner)
+                .map(|r| (*r).clone())
+                .collect();
+            validate_rrset(&owner, &rrset, &sigs, keys, self.config.now, &self.meter)?;
+        }
+        Ok(())
+    }
+
+    /// Verify the RRSIGs over every NSEC RRset in the response.
+    fn validate_nsec_sigs(&self, resp: &Message, keys: &ZoneKeys) -> Result<(), ValidationError> {
+        let all: Vec<&Record> = resp.authorities.iter().collect();
+        for rec in all.iter().filter(|r| r.rrtype() == RrType::NSEC) {
+            let rrset = vec![(*rec).clone()];
+            let sigs: Vec<Record> = all
+                .iter()
+                .filter(|r| r.rrtype() == RrType::RRSIG && r.name == rec.name)
+                .map(|r| (*r).clone())
+                .collect();
+            validate_rrset(&rec.name, &rrset, &sigs, keys, self.config.now, &self.meter)?;
+        }
+        Ok(())
+    }
+
+    /// Handle a referral without DS records: validate the DS-absence proof
+    /// and apply limits to it.
+    fn check_insecure_delegation(
+        &self,
+        resp: &Message,
+        cut: &Name,
+        parent_keys: &ZoneKeys,
+    ) -> Result<LimitFlow, ValidationError> {
+        let nsec3_refs: Vec<&Record> = resp
+            .authorities
+            .iter()
+            .filter(|r| r.rrtype() == RrType::NSEC3)
+            .collect();
+        if nsec3_refs.is_empty() {
+            let nsec_refs: Vec<&Record> = resp
+                .authorities
+                .iter()
+                .filter(|r| r.rrtype() == RrType::NSEC)
+                .collect();
+            if nsec_refs.is_empty() {
+                // No proof at all: a strict validator would treat this as
+                // bogus; we match common practice and fail.
+                return Err(ValidationError::BadDenialProof);
+            }
+            self.validate_nsec_sigs(resp, parent_keys)?;
+            return Ok(LimitFlow::Continue);
+        }
+        let (params, views) = parse_nsec3_set(&nsec3_refs)?;
+        match self.config.policy.action_for(params.iterations, params.salt.len()) {
+            LimitAction::ServFail => return Ok(LimitFlow::ServFail),
+            LimitAction::TreatInsecure => {
+                if self.config.policy.verify_nsec3_rrsig {
+                    self.validate_proof_sigs(resp, parent_keys)?;
+                }
+                return Ok(LimitFlow::Insecure);
+            }
+            LimitAction::Process => {}
+        }
+        self.validate_proof_sigs(resp, parent_keys)?;
+        verify_nodata(cut, RrType::DS, &params, &views, &self.meter)?;
+        Ok(LimitFlow::Continue)
+    }
+
+    /// Key-cache wrapper around [`Resolver::fetch_keys_via_anchor`].
+    fn cached_root_keys(
+        &self,
+        net: &Network,
+        servers: &[IpAddr],
+    ) -> Result<Option<ZoneKeys>, ValidationError> {
+        if let Some(keys) = self.key_cache.get(&Name::root(), net.now_micros()) {
+            return Ok(Some(keys));
+        }
+        let fetched = self.fetch_keys_via_anchor(net, servers)?;
+        if let Some(keys) = &fetched {
+            self.key_cache.put(Name::root(), keys.clone(), net.now_micros(), 3600);
+        }
+        Ok(fetched)
+    }
+
+    /// Key-cache wrapper around [`Resolver::fetch_child_keys`].
+    fn cached_child_keys(
+        &self,
+        net: &Network,
+        servers: &[IpAddr],
+        child: &Name,
+        ds_records: &[Record],
+    ) -> Result<ZoneKeys, ValidationError> {
+        if let Some(keys) = self.key_cache.get(child, net.now_micros()) {
+            return Ok(keys);
+        }
+        let keys = self.fetch_child_keys(net, servers, child, ds_records)?;
+        self.key_cache.put(child.clone(), keys.clone(), net.now_micros(), 3600);
+        Ok(keys)
+    }
+
+    /// Fetch and validate the root DNSKEY RRset against the trust anchors.
+    fn fetch_keys_via_anchor(
+        &self,
+        net: &Network,
+        servers: &[IpAddr],
+    ) -> Result<Option<ZoneKeys>, ValidationError> {
+        let anchor = match self.config.trust_anchors.first() {
+            Some(a) => a.clone(),
+            None => return Ok(None),
+        };
+        let resp = self
+            .ask_any(net, servers, &anchor.zone, RrType::DNSKEY)
+            .ok_or(ValidationError::MissingSignature)?;
+        let dnskeys: Vec<Record> = resp
+            .answers
+            .iter()
+            .filter(|r| r.rrtype() == RrType::DNSKEY)
+            .cloned()
+            .collect();
+        // Anchor match.
+        let anchored = dnskeys.iter().any(|r| {
+            let tag = dns_crypto::keytag::key_tag(&r.rdata.canonical_bytes());
+            if tag != anchor.key_tag {
+                return false;
+            }
+            let mut buf = anchor.zone.to_canonical_wire();
+            buf.extend_from_slice(&r.rdata.canonical_bytes());
+            sha256(&buf).to_vec() == anchor.digest
+        });
+        if !anchored {
+            return Err(ValidationError::BadSignature);
+        }
+        let keys = ZoneKeys::from_dnskeys(anchor.zone.clone(), &dnskeys);
+        let sigs = rrsigs_at(&resp.answers, &anchor.zone);
+        validate_rrset(&anchor.zone, &dnskeys, &sigs, &keys, self.config.now, &self.meter)?;
+        Ok(Some(keys))
+    }
+
+    /// Fetch the child zone's DNSKEY RRset and validate it against the DS
+    /// set obtained from the parent.
+    fn fetch_child_keys(
+        &self,
+        net: &Network,
+        servers: &[IpAddr],
+        child: &Name,
+        ds_records: &[Record],
+    ) -> Result<ZoneKeys, ValidationError> {
+        let resp = self
+            .ask_any(net, servers, child, RrType::DNSKEY)
+            .ok_or(ValidationError::MissingSignature)?;
+        let dnskeys: Vec<Record> = resp
+            .answers
+            .iter()
+            .filter(|r| r.rrtype() == RrType::DNSKEY)
+            .cloned()
+            .collect();
+        if dnskeys.is_empty() {
+            return Err(ValidationError::MissingSignature);
+        }
+        // One DNSKEY must match a DS digest.
+        let sep_ok = dnskeys.iter().any(|dnskey| {
+            let tag = dns_crypto::keytag::key_tag(&dnskey.rdata.canonical_bytes());
+            ds_records.iter().any(|ds| match &ds.rdata {
+                RData::Ds { key_tag, digest_type: 2, digest, .. } if *key_tag == tag => {
+                    let mut buf = child.to_canonical_wire();
+                    buf.extend_from_slice(&dnskey.rdata.canonical_bytes());
+                    sha256(&buf).to_vec() == *digest
+                }
+                _ => false,
+            })
+        });
+        if !sep_ok {
+            return Err(ValidationError::BadSignature);
+        }
+        let keys = ZoneKeys::from_dnskeys(child.clone(), &dnskeys);
+        let sigs = rrsigs_at(&resp.answers, child);
+        validate_rrset(child, &dnskeys, &sigs, &keys, self.config.now, &self.meter)?;
+        Ok(keys)
+    }
+
+    fn ede_for(&self, e: ValidationError) -> Option<(EdeCode, String)> {
+        if !self.config.policy.emit_ede && !self.config.validate {
+            return None;
+        }
+        let code = match e {
+            ValidationError::Expired => EdeCode::SIGNATURE_EXPIRED,
+            ValidationError::MissingSignature => EdeCode::DNSKEY_MISSING,
+            ValidationError::BadDenialProof => EdeCode::NSEC_MISSING,
+            ValidationError::InconsistentNsec3 | ValidationError::UnknownNsec3Algorithm => {
+                EdeCode::DNSSEC_BOGUS
+            }
+            ValidationError::BadSignature => EdeCode::DNSSEC_BOGUS,
+        };
+        Some((code, String::new()))
+    }
+
+    fn limit_ede(&self) -> Option<(EdeCode, String)> {
+        if self.config.policy.emit_ede {
+            Some((self.config.policy.ede_code, self.config.policy.ede_extra_text.clone()))
+        } else {
+            None
+        }
+    }
+}
+
+/// What a limit check decided for control flow.
+enum LimitFlow {
+    Continue,
+    Insecure,
+    ServFail,
+}
+
+/// RRSIGs at `owner` within a section.
+fn rrsigs_at(section: &[Record], owner: &Name) -> Vec<Record> {
+    section
+        .iter()
+        .filter(|r| r.rrtype() == RrType::RRSIG && r.name == *owner)
+        .cloned()
+        .collect()
+}
+
+/// If the RRSIG covering (owner, rrtype) proves wildcard expansion, return
+/// its labels field.
+fn wildcard_labels(sigs: &[Record], owner: &Name, rrtype: RrType) -> Option<u8> {
+    sigs.iter().find_map(|s| match &s.rdata {
+        RData::Rrsig { type_covered, labels, .. }
+            if *type_covered == rrtype && (*labels as usize) < owner.label_count() =>
+        {
+            Some(*labels)
+        }
+        _ => None,
+    })
+}
+
+impl Node for Resolver {
+    /// Serve a stub client: run recursion, translate the outcome into a
+    /// response message.
+    fn handle(&self, net: &Network, _src: IpAddr, payload: &[u8]) -> Option<Vec<u8>> {
+        let query = Message::decode(payload).ok()?;
+        if query.flags.qr {
+            return None;
+        }
+        let q = query.question()?.clone();
+        let outcome = self.resolve(net, &q.qname, q.qtype);
+        let mut resp = Message::response_to(&query);
+        resp.flags.ra = true;
+        resp.rcode = outcome.rcode;
+        resp.flags.ad = outcome.authenticated && query.dnssec_ok();
+        resp.answers = outcome.answers;
+        if query.dnssec_ok() {
+            resp.authorities = outcome.authorities;
+        }
+        if let Some((code, text)) = outcome.ede {
+            let mut edns = resp.edns.take().unwrap_or_default();
+            edns.push_ede(code, text);
+            resp.edns = Some(edns);
+        }
+        Some(resp.encode())
+    }
+}
+
+/// Convenience: an [`Edns`] block is not required for the resolver's own
+/// upstream queries beyond the DO bit, which `Message::query` already sets.
+#[allow(dead_code)]
+fn _edns_doc(_: &Edns) {}
+
+/// The ancestor of `qname` exactly `below` labels below `zone`, or `None`
+/// when `qname` is not strictly below `zone`.
+fn ancestor_below(qname: &Name, zone: &Name, below: usize) -> Option<Name> {
+    if !qname.is_subdomain_of(zone) || qname == zone {
+        return None;
+    }
+    let want = zone.label_count() + below;
+    if qname.label_count() <= want {
+        return Some(qname.clone());
+    }
+    let mut n = qname.clone();
+    while n.label_count() > want {
+        n = n.parent()?;
+    }
+    Some(n)
+}
+
+/// dns-0x20: flip the case of each letter of `name` according to bits
+/// derived deterministically from the name and the query id.
+fn randomize_case(name: &Name, id: u16) -> Name {
+    let mut bits = 0x9e37_79b9u32 ^ (id as u32) << 7;
+    let labels: Vec<Vec<u8>> = name
+        .labels()
+        .map(|l| {
+            l.iter()
+                .map(|&b| {
+                    bits = bits.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                    if b.is_ascii_alphabetic() && bits & 0x10000 != 0 {
+                        b ^ 0x20
+                    } else {
+                        b
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Name::from_labels(labels).unwrap_or_else(|_| name.clone())
+}
+
+/// Cache TTL for an outcome: the minimum answer TTL, 300 s for negatives
+/// (the lab zones' SOA minimum), 30 s for SERVFAIL (RFC 2308 §7 caps
+/// failure caching at 5 minutes; resolvers commonly use far less).
+fn answer_ttl(outcome: &ResolveOutcome) -> u32 {
+    match outcome.rcode {
+        Rcode::ServFail => 30,
+        _ if outcome.answers.is_empty() => 300,
+        _ => outcome.answers.iter().map(|r| r.ttl).min().unwrap_or(300).min(86_400),
+    }
+}

@@ -1,0 +1,102 @@
+//! RIPE-Atlas-style measurement of *closed* resolvers (§4.2).
+//!
+//! Closed resolvers only answer clients inside their own network. The
+//! paper reached them through RIPE Atlas probes configured with those
+//! resolvers as their local DNS; the probe API does not expose EDE data,
+//! which is why the paper's EDE analysis covers open resolvers only.
+//! Both constraints are modeled here.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::net::IpAddr;
+use std::rc::Rc;
+
+use netsim::{Network, Node};
+
+use crate::prober::{ProbePlan, Prober, ResolverClassification};
+
+/// A wrapper that makes any resolver node *closed*: datagrams from
+/// addresses outside the allowlist are silently dropped.
+pub struct ClosedResolver {
+    inner: Rc<dyn Node>,
+    allowed: RefCell<HashSet<IpAddr>>,
+}
+
+impl ClosedResolver {
+    /// Close `inner` to everyone except `allowed`.
+    pub fn new(inner: Rc<dyn Node>, allowed: impl IntoIterator<Item = IpAddr>) -> Self {
+        ClosedResolver { inner, allowed: RefCell::new(allowed.into_iter().collect()) }
+    }
+
+    /// Admit another client (a new Atlas probe in the network).
+    pub fn allow(&self, addr: IpAddr) {
+        self.allowed.borrow_mut().insert(addr);
+    }
+}
+
+impl Node for ClosedResolver {
+    fn handle(&self, net: &Network, src: IpAddr, payload: &[u8]) -> Option<Vec<u8>> {
+        if !self.allowed.borrow().contains(&src) {
+            return None; // closed: drop silently
+        }
+        self.inner.handle(net, src, payload)
+    }
+}
+
+/// A RIPE-Atlas-like probe: a vantage point inside some network, bound to
+/// its local (closed) resolver.
+#[derive(Clone, Debug)]
+pub struct AtlasProbe {
+    /// The probe's own address (must be allow-listed on the resolver).
+    pub addr: IpAddr,
+    /// The probe's local resolver.
+    pub local_resolver: IpAddr,
+}
+
+/// Run the §4.2 classification from an Atlas probe. EDE data is not
+/// captured (the Atlas API does not supply it).
+pub fn classify_via_probe(
+    net: &Network,
+    probe: &AtlasProbe,
+    plan: &ProbePlan,
+) -> Option<ResolverClassification> {
+    let mut prober = Prober::new(net, probe.addr, plan);
+    prober.capture_ede = false;
+    prober.classify(probe.local_resolver)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl Node for Echo {
+        fn handle(&self, _net: &Network, _src: IpAddr, payload: &[u8]) -> Option<Vec<u8>> {
+            Some(payload.to_vec())
+        }
+    }
+
+    #[test]
+    fn closed_resolver_drops_outsiders() {
+        let net = Network::new(1);
+        let inside: IpAddr = "10.1.0.2".parse().unwrap();
+        let outside: IpAddr = "10.2.0.2".parse().unwrap();
+        let raddr: IpAddr = "10.1.0.53".parse().unwrap();
+        let closed = ClosedResolver::new(Rc::new(Echo), [inside]);
+        net.register(raddr, Rc::new(closed));
+        assert!(net.send_query(inside, raddr, b"q").payload().is_some());
+        assert!(net.send_query(outside, raddr, b"q").payload().is_none());
+    }
+
+    #[test]
+    fn allow_admits_new_probe() {
+        let net = Network::new(1);
+        let probe: IpAddr = "10.1.0.9".parse().unwrap();
+        let raddr: IpAddr = "10.1.0.53".parse().unwrap();
+        let closed = Rc::new(ClosedResolver::new(Rc::new(Echo), []));
+        net.register(raddr, closed.clone());
+        assert!(net.send_query(probe, raddr, b"q").payload().is_none());
+        closed.allow(probe);
+        assert!(net.send_query(probe, raddr, b"q").payload().is_some());
+    }
+}

@@ -1,0 +1,299 @@
+//! The §4.1 domain-census methodology, zdns-style.
+//!
+//! For every registered domain: query `DNSKEY` (through the configured
+//! recursive resolver, as the paper did through Cloudflare); if present,
+//! query `NSEC3PARAM` and `NS`; then query a random nonexistent subdomain
+//! to elicit NSEC3 records, and apply the paper's consistency filters
+//! (exactly one NSEC3PARAM; all NSEC3 records agree with each other and
+//! with the NSEC3PARAM).
+
+use std::net::IpAddr;
+
+use dns_wire::name::Name;
+use dns_wire::rdata::RData;
+use dns_wire::rrtype::{Rcode, RrType};
+use dns_zone::nsec3hash::Nsec3Params;
+use dns_resolver::resolver::Resolver;
+use netsim::Network;
+
+use crate::ratelimit::RateLimiter;
+
+/// Everything the census learned about one domain.
+#[derive(Clone, Debug)]
+pub struct DomainObservation {
+    /// The domain.
+    pub domain: Name,
+    /// DNSKEY records were returned.
+    pub dnssec_enabled: bool,
+    /// All NSEC3PARAM records seen at the apex.
+    pub nsec3params: Vec<Nsec3Params>,
+    /// NSEC3 parameter sets observed on the negative probe.
+    pub nsec3_observed: Vec<Nsec3Params>,
+    /// Any NSEC3 record had the opt-out flag.
+    pub opt_out: bool,
+    /// NSEC records seen instead (NSEC-signed domain).
+    pub uses_nsec: bool,
+    /// NS target names.
+    pub ns_targets: Vec<Name>,
+    /// Final classification.
+    pub class: DomainClass,
+}
+
+/// The census classification (§4.1's filtering rules).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DomainClass {
+    /// No DNSKEY records: not DNSSEC-enabled.
+    NotDnssec,
+    /// DNSSEC-enabled, NSEC denial.
+    DnssecNsec,
+    /// DNSSEC-enabled, no denial records observed (lame, unreachable, …).
+    DnssecUnknownDenial,
+    /// More than one NSEC3PARAM record — excluded from NSEC3 analysis.
+    MultipleNsec3Params,
+    /// NSEC3/NSEC3PARAM inconsistency (violates RFC 5155) — excluded.
+    InconsistentNsec3,
+    /// NSEC3-enabled with these parameters: the analysis population.
+    Nsec3Enabled(Nsec3Params),
+}
+
+impl DomainClass {
+    /// Is the domain in the paper's "NSEC3-enabled" analysis set?
+    pub fn nsec3_enabled(&self) -> Option<&Nsec3Params> {
+        match self {
+            DomainClass::Nsec3Enabled(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// The census scanner.
+pub struct Census<'a> {
+    /// The network.
+    pub net: &'a Network,
+    /// The recursive resolver queries go through.
+    pub resolver: &'a Resolver,
+    /// Source address label for the probe names (cache busting).
+    pub scan_id: String,
+    /// Paces queries like the paper's zdns configuration.
+    pub rate: RateLimiter,
+}
+
+impl<'a> Census<'a> {
+    /// Build a census using `resolver` (already registered or used
+    /// directly) as the vantage point.
+    pub fn new(net: &'a Network, resolver: &'a Resolver, scan_id: impl Into<String>) -> Self {
+        Census { net, resolver, scan_id: scan_id.into(), rate: RateLimiter::new(14_700) }
+    }
+
+    /// Run the three-phase §4.1 scan for one domain.
+    pub fn observe(&self, domain: &Name) -> DomainObservation {
+        let mut obs = DomainObservation {
+            domain: domain.clone(),
+            dnssec_enabled: false,
+            nsec3params: Vec::new(),
+            nsec3_observed: Vec::new(),
+            opt_out: false,
+            uses_nsec: false,
+            ns_targets: Vec::new(),
+            class: DomainClass::NotDnssec,
+        };
+
+        // Phase 1: DNSKEY.
+        self.rate.pace(self.net);
+        let dnskey = self.resolver.resolve(self.net, domain, RrType::DNSKEY);
+        obs.dnssec_enabled = dnskey
+            .answers
+            .iter()
+            .any(|r| r.rrtype() == RrType::DNSKEY);
+        if !obs.dnssec_enabled {
+            return obs;
+        }
+
+        // Phase 2: NSEC3PARAM and NS.
+        self.rate.pace(self.net);
+        let params = self.resolver.resolve(self.net, domain, RrType::NSEC3PARAM);
+        for rec in &params.answers {
+            if let Some(p) = Nsec3Params::from_rdata(&rec.rdata) {
+                obs.nsec3params.push(p);
+            }
+        }
+        self.rate.pace(self.net);
+        let ns = self.resolver.resolve(self.net, domain, RrType::NS);
+        for rec in &ns.answers {
+            if let RData::Ns(target) = &rec.rdata {
+                obs.ns_targets.push(target.clone());
+            }
+        }
+
+        // Phase 3: random-subdomain negative probe.
+        self.rate.pace(self.net);
+        let probe = Name::parse(&format!("zz-{}-probe", self.scan_id))
+            .and_then(|p| p.concat(domain))
+            .unwrap_or_else(|_| domain.clone());
+        let neg = self.resolver.resolve(self.net, &probe, RrType::A);
+        let denial_records = neg.authorities.iter().chain(neg.answers.iter());
+        for rec in denial_records {
+            match &rec.rdata {
+                RData::Nsec3 { .. } => {
+                    if let Some(p) = Nsec3Params::from_rdata(&rec.rdata) {
+                        obs.nsec3_observed.push(p);
+                    }
+                    if rec.rdata.nsec3_opt_out() == Some(true) {
+                        obs.opt_out = true;
+                    }
+                }
+                RData::Nsec { .. } => obs.uses_nsec = true,
+                _ => {}
+            }
+        }
+        let _ = neg.rcode == Rcode::NxDomain; // either NXDOMAIN or wildcard NOERROR is fine
+
+        obs.class = classify(&obs);
+        obs
+    }
+}
+
+/// Apply the paper's filters to raw observations.
+pub fn classify(obs: &DomainObservation) -> DomainClass {
+    if !obs.dnssec_enabled {
+        return DomainClass::NotDnssec;
+    }
+    if obs.uses_nsec && obs.nsec3params.is_empty() && obs.nsec3_observed.is_empty() {
+        return DomainClass::DnssecNsec;
+    }
+    if obs.nsec3params.is_empty() && obs.nsec3_observed.is_empty() {
+        return DomainClass::DnssecUnknownDenial;
+    }
+    if obs.nsec3params.len() > 1 {
+        return DomainClass::MultipleNsec3Params;
+    }
+    // All NSEC3 records must agree among themselves…
+    let mut iter = obs.nsec3_observed.iter();
+    let first = iter.next();
+    if let Some(first) = first {
+        if iter.any(|p| p != first) {
+            return DomainClass::InconsistentNsec3;
+        }
+        // …and with the NSEC3PARAM (when we saw one).
+        if let Some(param) = obs.nsec3params.first() {
+            if param != first {
+                return DomainClass::InconsistentNsec3;
+            }
+        }
+        return DomainClass::Nsec3Enabled(first.clone());
+    }
+    // Only an NSEC3PARAM, no NSEC3 observed (e.g. wildcard swallowed the
+    // probe): accept the advertised parameters, as the paper's pipeline
+    // does when the one-to-one mapping holds.
+    DomainClass::Nsec3Enabled(obs.nsec3params[0].clone())
+}
+
+/// Extract the "name server operator" for aggregation: the registered
+/// domain of an NS target, approximated as the last two labels (we carry
+/// no public-suffix list; the synthetic populations use two-label
+/// operator domains so the approximation is exact there).
+pub fn ns_operator(target: &Name) -> Option<Name> {
+    let labels: Vec<&[u8]> = target.labels().collect();
+    if labels.len() < 2 {
+        return None;
+    }
+    Name::from_labels(labels[labels.len() - 2..].iter().map(|l| l.to_vec()))
+        .ok()
+        .map(|n| n.to_lowercase())
+}
+
+/// Which operators serve a domain *exclusively* (all NS targets under one
+/// registered domain)? Returns that operator, else `None`.
+pub fn exclusive_operator(ns_targets: &[Name]) -> Option<Name> {
+    let mut ops: Vec<Name> = ns_targets.iter().filter_map(ns_operator).collect();
+    ops.sort();
+    ops.dedup();
+    match ops.len() {
+        1 => Some(ops.remove(0)),
+        _ => None,
+    }
+}
+
+/// Convenience: the scanner address bundled with its resolver, mirroring
+/// the paper's zdns + Cloudflare setup.
+pub fn census_vantage(resolver: &Resolver) -> IpAddr {
+    resolver.config.addr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::name::name;
+
+    fn obs(
+        dnssec: bool,
+        params: Vec<Nsec3Params>,
+        observed: Vec<Nsec3Params>,
+        nsec: bool,
+    ) -> DomainObservation {
+        DomainObservation {
+            domain: name("example.com."),
+            dnssec_enabled: dnssec,
+            nsec3params: params,
+            nsec3_observed: observed,
+            opt_out: false,
+            uses_nsec: nsec,
+            ns_targets: vec![],
+            class: DomainClass::NotDnssec,
+        }
+    }
+
+    #[test]
+    fn classification_rules() {
+        let p0 = Nsec3Params::rfc9276();
+        let p1 = Nsec3Params::new(1, vec![1]);
+        assert_eq!(classify(&obs(false, vec![], vec![], false)), DomainClass::NotDnssec);
+        assert_eq!(classify(&obs(true, vec![], vec![], true)), DomainClass::DnssecNsec);
+        assert_eq!(
+            classify(&obs(true, vec![], vec![], false)),
+            DomainClass::DnssecUnknownDenial
+        );
+        assert_eq!(
+            classify(&obs(true, vec![p0.clone(), p1.clone()], vec![], false)),
+            DomainClass::MultipleNsec3Params
+        );
+        assert_eq!(
+            classify(&obs(true, vec![p0.clone()], vec![p0.clone(), p1.clone()], false)),
+            DomainClass::InconsistentNsec3
+        );
+        assert_eq!(
+            classify(&obs(true, vec![p0.clone()], vec![p1.clone()], false)),
+            DomainClass::InconsistentNsec3
+        );
+        assert_eq!(
+            classify(&obs(true, vec![p1.clone()], vec![p1.clone()], false)),
+            DomainClass::Nsec3Enabled(p1.clone())
+        );
+        assert_eq!(
+            classify(&obs(true, vec![p0.clone()], vec![], false)),
+            DomainClass::Nsec3Enabled(p0)
+        );
+    }
+
+    #[test]
+    fn operator_extraction() {
+        assert_eq!(
+            ns_operator(&name("ns1.dns.squarespace-dns.com.")).unwrap(),
+            name("squarespace-dns.com.")
+        );
+        assert_eq!(ns_operator(&name("com.")), None);
+        assert_eq!(
+            exclusive_operator(&[
+                name("ns1.one.com."),
+                name("NS2.ONE.COM."),
+            ])
+            .unwrap(),
+            name("one.com.")
+        );
+        assert_eq!(
+            exclusive_operator(&[name("ns1.one.com."), name("ns1.two.net.")]),
+            None
+        );
+        assert_eq!(exclusive_operator(&[]), None);
+    }
+}

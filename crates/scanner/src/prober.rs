@@ -1,0 +1,460 @@
+//! The §4.2 resolver-classification methodology: probe each resolver with
+//! the `rfc9276-in-the-wild.com` testbed names and classify its RFC 9276
+//! behaviour from the observed RCODEs, AD bits, and EDEs.
+
+use std::net::IpAddr;
+
+use dns_resolver::broken::ObservedResponse;
+use dns_wire::message::Message;
+use dns_wire::name::Name;
+use dns_wire::rrtype::{Rcode, RrType};
+use netsim::{Network, Outcome};
+
+/// The probe plan derived from the testbed: which names to query.
+#[derive(Clone, Debug)]
+pub struct ProbePlan {
+    /// An existing, correctly-signed name (expect NOERROR + AD from a
+    /// validator).
+    pub valid: Name,
+    /// An existing name under the expired-signature zone (expect SERVFAIL
+    /// from a validator).
+    pub expired: Name,
+    /// `(additional iterations, zone apex)` pairs, ascending by N.
+    pub it_zones: Vec<(u16, Name)>,
+    /// The `it-2501-expired` zone apex (iterations beyond every RFC 5155
+    /// limit *and* expired NSEC3 RRSIGs), if deployed.
+    pub it_2501_expired: Option<Name>,
+}
+
+/// One resolver's full classification.
+#[derive(Clone, Debug)]
+pub struct ResolverClassification {
+    /// The probed resolver.
+    pub resolver: IpAddr,
+    /// Passed the validator test (AD on valid, SERVFAIL on expired).
+    pub is_validator: bool,
+    /// Per-N observation (N, response), ascending by N.
+    pub responses: Vec<(u16, ObservedResponse)>,
+    /// The delimiting value: AD set up to here, clear above (clean
+    /// threshold behaviour). Present for item 6 *and* clean item 8
+    /// resolvers; combine with [`ResolverClassification::has_insecure_band`]
+    /// to tell them apart.
+    pub insecure_limit: Option<u16>,
+    /// Some responses were plain NXDOMAIN without AD — the item 6
+    /// "insecure" band exists.
+    pub has_insecure_band: bool,
+    /// Item 8: first N answered with SERVFAIL (monotonically above).
+    pub servfail_start: Option<u16>,
+    /// Attached EDE 27 when limiting.
+    pub ede27_on_limit: bool,
+    /// Any EDE code observed on limited responses.
+    pub limit_ede_codes: Vec<u16>,
+    /// Item 7 violation: returned NXDOMAIN for `it-2501-expired` despite
+    /// implementing the insecure downgrade. `None` = not tested.
+    pub item7_violation: Option<bool>,
+    /// Item 12: a gap of insecure responses between the AD limit and the
+    /// SERVFAIL start.
+    pub item12_gap: bool,
+    /// Responses were non-monotone in N (the paper's "flaky" resolvers).
+    pub flaky: bool,
+    /// RA bit was clear on responses (query-copier fingerprint).
+    pub ra_missing: bool,
+}
+
+impl ResolverClassification {
+    /// Does this resolver limit iterations at all (item 6 or item 8)?
+    pub fn limits_iterations(&self) -> bool {
+        self.insecure_limit.is_some() || self.servfail_start.is_some()
+    }
+
+    /// RFC 9276 item 6: a delimiting value above which responses are
+    /// insecure NXDOMAINs.
+    pub fn implements_item6(&self) -> bool {
+        self.has_insecure_band && self.insecure_limit.is_some() && !self.flaky
+    }
+
+    /// RFC 9276 item 8: SERVFAIL above a threshold.
+    pub fn implements_item8(&self) -> bool {
+        self.servfail_start.is_some() && !self.flaky
+    }
+}
+
+/// The prober: one vantage address plus the plan.
+pub struct Prober<'a> {
+    /// The network.
+    pub net: &'a Network,
+    /// Source address for probe queries.
+    pub src: IpAddr,
+    /// The testbed name plan.
+    pub plan: &'a ProbePlan,
+    /// Capture EDE data (false when probing through RIPE-Atlas-style
+    /// vantage points, which do not expose EDE).
+    pub capture_ede: bool,
+    /// Per-query retry attempts.
+    pub retries: u32,
+}
+
+impl<'a> Prober<'a> {
+    /// Build a prober.
+    pub fn new(net: &'a Network, src: IpAddr, plan: &'a ProbePlan) -> Self {
+        Prober { net, src, plan, capture_ede: true, retries: 2 }
+    }
+
+    fn query(&self, resolver: IpAddr, qname: &Name) -> Option<ObservedResponse> {
+        let id = (qname.wire_len() as u16) ^ 0x5aa5;
+        let q = Message::query(id, qname.clone(), RrType::A).encode();
+        match self.net.send_query_with_retries(self.src, resolver, &q, self.retries) {
+            Outcome::Response { payload, .. } => {
+                let mut obs = ObservedResponse::from_wire(&payload)?;
+                if !self.capture_ede {
+                    obs.ede = None;
+                    obs.ede_has_text = false;
+                }
+                Some(obs)
+            }
+            _ => None,
+        }
+    }
+
+    /// A unique probe name under `apex` for this resolver (cache busting,
+    /// and the way the paper tied log lines to resolvers).
+    fn probe_name(&self, apex: &Name, resolver: IpAddr, tag: &str) -> Name {
+        let id = match resolver {
+            IpAddr::V4(a) => u32::from(a) as u64,
+            IpAddr::V6(a) => u128::from(a) as u64,
+        };
+        Name::parse(&format!("p{tag}-{id:x}"))
+            .and_then(|p| p.concat(apex))
+            .unwrap_or_else(|_| apex.clone())
+    }
+
+    /// Run the full §4.2 classification against one resolver.
+    pub fn classify(&self, resolver: IpAddr) -> Option<ResolverClassification> {
+        let valid = self.query(resolver, &self.plan.valid)?;
+        let expired = self.query(resolver, &self.plan.expired)?;
+        let is_validator = valid.ad
+            && valid.rcode == Rcode::NoError
+            && expired.rcode == Rcode::ServFail;
+        let mut out = ResolverClassification {
+            resolver,
+            is_validator,
+            responses: Vec::new(),
+            insecure_limit: None,
+            has_insecure_band: false,
+            servfail_start: None,
+            ede27_on_limit: false,
+            limit_ede_codes: Vec::new(),
+            item7_violation: None,
+            item12_gap: false,
+            flaky: false,
+            ra_missing: !valid.ra,
+        };
+        if !is_validator {
+            return Some(out);
+        }
+        for (n, apex) in &self.plan.it_zones {
+            let qname = self.probe_name(apex, resolver, "a");
+            if let Some(obs) = self.query(resolver, &qname) {
+                out.responses.push((*n, obs));
+            }
+        }
+        derive_limits(&mut out);
+        // Item 7 test only makes sense for insecure-downgrade resolvers.
+        if out.insecure_limit.is_some() {
+            if let Some(apex) = &self.plan.it_2501_expired {
+                let qname = self.probe_name(apex, resolver, "b");
+                if let Some(obs) = self.query(resolver, &qname) {
+                    out.item7_violation = Some(obs.rcode == Rcode::NxDomain);
+                }
+            }
+        }
+        Some(out)
+    }
+}
+
+impl<'a> Prober<'a> {
+    /// The paper's re-query check: classify `passes` times with distinct
+    /// probe names and compare. Resolvers whose limits differ between
+    /// passes are marked flaky — §5.2 found that the apparent item 12
+    /// violators were mostly these ("querying these resolvers again often
+    /// results in different response patterns").
+    pub fn classify_with_requery(
+        &self,
+        resolver: IpAddr,
+        passes: u32,
+    ) -> Option<ResolverClassification> {
+        let mut first = self.classify(resolver)?;
+        for pass in 1..passes.max(1) {
+            let again = self.classify_tagged(resolver, &format!("r{pass}"))?;
+            if again.insecure_limit != first.insecure_limit
+                || again.servfail_start != first.servfail_start
+                || again.flaky
+            {
+                first.flaky = true;
+            }
+        }
+        Some(first)
+    }
+
+    /// Like [`Prober::classify`] but with an extra tag in the probe names
+    /// so repeated passes stay cache-busted.
+    fn classify_tagged(&self, resolver: IpAddr, tag: &str) -> Option<ResolverClassification> {
+        let valid = self.query(resolver, &self.plan.valid)?;
+        let expired = self.query(resolver, &self.plan.expired)?;
+        let is_validator = valid.ad
+            && valid.rcode == Rcode::NoError
+            && expired.rcode == Rcode::ServFail;
+        let mut out = ResolverClassification {
+            resolver,
+            is_validator,
+            responses: Vec::new(),
+            insecure_limit: None,
+            has_insecure_band: false,
+            servfail_start: None,
+            ede27_on_limit: false,
+            limit_ede_codes: Vec::new(),
+            item7_violation: None,
+            item12_gap: false,
+            flaky: false,
+            ra_missing: !valid.ra,
+        };
+        if !is_validator {
+            return Some(out);
+        }
+        for (n, apex) in &self.plan.it_zones {
+            let qname = self.probe_name(apex, resolver, tag);
+            if let Some(obs) = self.query(resolver, &qname) {
+                out.responses.push((*n, obs));
+            }
+        }
+        derive_limits(&mut out);
+        Some(out)
+    }
+}
+
+/// Derive the limit values and compliance bits from raw per-N responses.
+pub fn derive_limits(c: &mut ResolverClassification) {
+    #[derive(PartialEq, Clone, Copy, Debug)]
+    enum Kind {
+        AdNx,
+        Nx,
+        ServFail,
+        Other,
+    }
+    let kinds: Vec<(u16, Kind)> = c
+        .responses
+        .iter()
+        .map(|(n, o)| {
+            let k = match (o.rcode, o.ad) {
+                (Rcode::NxDomain, true) => Kind::AdNx,
+                (Rcode::NxDomain, false) => Kind::Nx,
+                (Rcode::ServFail, _) => Kind::ServFail,
+                _ => Kind::Other,
+            };
+            (*n, k)
+        })
+        .collect();
+    if kinds.is_empty() {
+        return;
+    }
+    // Monotonicity check: AD+NXDOMAIN* then NXDOMAIN* then SERVFAIL*.
+    let rank = |k: Kind| match k {
+        Kind::AdNx => 0,
+        Kind::Nx => 1,
+        Kind::ServFail => 2,
+        Kind::Other => 3,
+    };
+    let mut last_rank = 0;
+    for (_, k) in &kinds {
+        let r = rank(*k);
+        if r == 3 {
+            continue;
+        }
+        if r < last_rank {
+            c.flaky = true;
+        }
+        last_rank = last_rank.max(r);
+    }
+    // Delimiting AD value.
+    let last_ad = kinds.iter().filter(|(_, k)| *k == Kind::AdNx).map(|(n, _)| *n).max();
+    let first_nonad = kinds
+        .iter()
+        .filter(|(_, k)| matches!(k, Kind::Nx | Kind::ServFail))
+        .map(|(n, _)| *n)
+        .min();
+    c.has_insecure_band = kinds.iter().any(|(_, k)| *k == Kind::Nx);
+    if let (Some(hi), Some(lo)) = (last_ad, first_nonad) {
+        if hi < lo {
+            c.insecure_limit = Some(hi);
+        }
+    } else if last_ad.is_none()
+        && kinds.first().map(|(_, k)| *k == Kind::Nx).unwrap_or(false)
+    {
+        // Never AD on any it-N yet NXDOMAINs throughout (but a validator
+        // on `valid`): the delimiting value is effectively 0.
+        c.insecure_limit = Some(0);
+    }
+    // SERVFAIL start.
+    c.servfail_start = kinds
+        .iter()
+        .filter(|(_, k)| *k == Kind::ServFail)
+        .map(|(n, _)| *n)
+        .min();
+    if let Some(start) = c.servfail_start {
+        // Confirm it holds above (otherwise flaky).
+        if kinds.iter().any(|(n, k)| *n > start && *k != Kind::ServFail) {
+            c.flaky = true;
+        }
+    }
+    // Item 12 gap: plain-NXDOMAIN band strictly between the AD limit and
+    // the SERVFAIL band.
+    if let Some(start) = c.servfail_start {
+        let gap_exists = kinds.iter().any(|(n, k)| *k == Kind::Nx && *n < start);
+        if gap_exists {
+            c.item12_gap = true;
+        }
+    }
+    // EDE on the first limited response.
+    let limited = c
+        .responses
+        .iter()
+        .find(|(n, o)| {
+            let past_insecure = c.insecure_limit.map(|l| *n > l).unwrap_or(false);
+            let past_servfail = c.servfail_start.map(|s| *n >= s).unwrap_or(false);
+            (past_insecure || past_servfail) && o.ede.is_some()
+        })
+        .and_then(|(_, o)| o.ede);
+    if let Some(code) = limited {
+        c.limit_ede_codes.push(code);
+        if code == 27 {
+            c.ede27_on_limit = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(rcode: Rcode, ad: bool, ede: Option<u16>) -> ObservedResponse {
+        ObservedResponse { rcode, ad, ra: true, ede, ede_has_text: false }
+    }
+
+    fn classification(responses: Vec<(u16, ObservedResponse)>) -> ResolverClassification {
+        let mut c = ResolverClassification {
+            resolver: "10.0.0.1".parse().unwrap(),
+            is_validator: true,
+            responses,
+            insecure_limit: None,
+            has_insecure_band: false,
+            servfail_start: None,
+            ede27_on_limit: false,
+            limit_ede_codes: Vec::new(),
+            item7_violation: None,
+            item12_gap: false,
+            flaky: false,
+            ra_missing: false,
+        };
+        derive_limits(&mut c);
+        c
+    }
+
+    #[test]
+    fn clean_item6_at_150() {
+        let mut rs = Vec::new();
+        for n in [1u16, 50, 100, 150] {
+            rs.push((n, obs(Rcode::NxDomain, true, None)));
+        }
+        for n in [151u16, 200, 500] {
+            rs.push((n, obs(Rcode::NxDomain, false, Some(27))));
+        }
+        let c = classification(rs);
+        assert_eq!(c.insecure_limit, Some(150));
+        assert_eq!(c.servfail_start, None);
+        assert!(c.ede27_on_limit);
+        assert!(c.implements_item6());
+        assert!(!c.implements_item8());
+        assert!(!c.item12_gap);
+        assert!(!c.flaky);
+        assert!(c.limits_iterations());
+    }
+
+    #[test]
+    fn clean_item8_at_151() {
+        let mut rs = Vec::new();
+        for n in [1u16, 100, 150] {
+            rs.push((n, obs(Rcode::NxDomain, true, None)));
+        }
+        for n in [151u16, 200, 500] {
+            rs.push((n, obs(Rcode::ServFail, false, None)));
+        }
+        let c = classification(rs);
+        assert_eq!(c.servfail_start, Some(151));
+        assert_eq!(c.insecure_limit, Some(150));
+        assert!(!c.has_insecure_band);
+        assert!(c.implements_item8());
+        assert!(!c.implements_item6());
+        assert!(!c.item12_gap);
+    }
+
+    #[test]
+    fn servfail_from_it1() {
+        let mut rs = Vec::new();
+        for n in [1u16, 2, 50, 500] {
+            rs.push((n, obs(Rcode::ServFail, false, None)));
+        }
+        let c = classification(rs);
+        assert_eq!(c.servfail_start, Some(1));
+        assert_eq!(c.insecure_limit, None);
+        assert!(c.implements_item8());
+        assert!(!c.implements_item6());
+    }
+
+    #[test]
+    fn item12_gap_detected() {
+        let rs = vec![
+            (50u16, obs(Rcode::NxDomain, true, None)),
+            (100, obs(Rcode::NxDomain, false, None)),
+            (150, obs(Rcode::NxDomain, false, None)),
+            (151, obs(Rcode::ServFail, false, None)),
+            (200, obs(Rcode::ServFail, false, None)),
+        ];
+        let c = classification(rs);
+        assert_eq!(c.insecure_limit, Some(50));
+        assert_eq!(c.servfail_start, Some(151));
+        assert!(c.item12_gap);
+    }
+
+    #[test]
+    fn flaky_non_monotone() {
+        let rs = vec![
+            (50u16, obs(Rcode::NxDomain, true, None)),
+            (100, obs(Rcode::ServFail, false, None)),
+            (150, obs(Rcode::NxDomain, true, None)),
+        ];
+        let c = classification(rs);
+        assert!(c.flaky);
+    }
+
+    #[test]
+    fn no_limit_resolver() {
+        let mut rs = Vec::new();
+        for n in [1u16, 150, 500] {
+            rs.push((n, obs(Rcode::NxDomain, true, None)));
+        }
+        let c = classification(rs);
+        assert_eq!(c.insecure_limit, None);
+        assert_eq!(c.servfail_start, None);
+        assert!(!c.limits_iterations());
+    }
+
+    #[test]
+    fn ad_never_set_means_limit_zero() {
+        let mut rs = Vec::new();
+        for n in [1u16, 25, 500] {
+            rs.push((n, obs(Rcode::NxDomain, false, None)));
+        }
+        let c = classification(rs);
+        assert_eq!(c.insecure_limit, Some(0));
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the classification logic: `derive_limits`
+//! must behave lawfully on *any* response pattern, not just the tidy ones.
+
+use proptest::prelude::*;
+
+use dns_resolver::broken::ObservedResponse;
+use dns_scanner::prober::{derive_limits, ResolverClassification};
+use dns_wire::rrtype::Rcode;
+
+fn classification(responses: Vec<(u16, Rcode, bool)>) -> ResolverClassification {
+    let mut c = ResolverClassification {
+        resolver: "10.0.0.1".parse().unwrap(),
+        is_validator: true,
+        responses: responses
+            .into_iter()
+            .map(|(n, rcode, ad)| {
+                (n, ObservedResponse { rcode, ad, ra: true, ede: None, ede_has_text: false })
+            })
+            .collect(),
+        insecure_limit: None,
+        has_insecure_band: false,
+        servfail_start: None,
+        ede27_on_limit: false,
+        limit_ede_codes: vec![],
+        item7_violation: None,
+        item12_gap: false,
+        flaky: false,
+        ra_missing: false,
+    };
+    derive_limits(&mut c);
+    c
+}
+
+fn rcode_strategy() -> impl Strategy<Value = (Rcode, bool)> {
+    prop_oneof![
+        Just((Rcode::NxDomain, true)),
+        Just((Rcode::NxDomain, false)),
+        Just((Rcode::ServFail, false)),
+        Just((Rcode::NoError, false)),
+    ]
+}
+
+proptest! {
+    /// derive_limits never panics and produces internally consistent
+    /// fields for arbitrary response patterns.
+    #[test]
+    fn derive_limits_total_and_consistent(
+        pattern in proptest::collection::vec((1u16..600, rcode_strategy()), 0..30),
+    ) {
+        let mut responses: Vec<(u16, Rcode, bool)> = pattern
+            .into_iter()
+            .map(|(n, (rcode, ad))| (n, rcode, ad))
+            .collect();
+        responses.sort_by_key(|(n, _, _)| *n);
+        responses.dedup_by_key(|(n, _, _)| *n);
+        let c = classification(responses.clone());
+        // servfail_start, when set, is an N that actually answered SERVFAIL.
+        if let Some(s) = c.servfail_start {
+            prop_assert!(responses.iter().any(|(n, r, _)| *n == s && *r == Rcode::ServFail));
+        }
+        // insecure_limit, when set with AD seen, is an N that had AD, or 0.
+        if let Some(l) = c.insecure_limit {
+            prop_assert!(
+                l == 0 || responses.iter().any(|(n, r, ad)| *n == l && *ad && *r == Rcode::NxDomain)
+            );
+        }
+        // item6/item8 imply their prerequisites.
+        if c.implements_item6() {
+            prop_assert!(c.has_insecure_band);
+            prop_assert!(!c.flaky);
+        }
+        if c.implements_item8() {
+            prop_assert!(c.servfail_start.is_some());
+            prop_assert!(!c.flaky);
+        }
+        // item12 gap requires both bands.
+        if c.item12_gap {
+            prop_assert!(c.servfail_start.is_some());
+            prop_assert!(c.has_insecure_band);
+        }
+    }
+
+    /// Clean monotone threshold patterns are never marked flaky, and the
+    /// derived limits equal the construction parameters.
+    #[test]
+    fn monotone_patterns_classify_exactly(
+        ad_until_idx in 0usize..5,
+        servfail_from_idx in 0usize..7,
+        ns in proptest::collection::btree_set(1u16..600, 6),
+    ) {
+        let ns: Vec<u16> = ns.into_iter().collect();
+        let servfail_from_idx = servfail_from_idx.max(ad_until_idx + 1);
+        let responses: Vec<(u16, Rcode, bool)> = ns
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                if i <= ad_until_idx {
+                    (n, Rcode::NxDomain, true)
+                } else if i < servfail_from_idx {
+                    (n, Rcode::NxDomain, false)
+                } else {
+                    (n, Rcode::ServFail, false)
+                }
+            })
+            .collect();
+        let c = classification(responses);
+        prop_assert!(!c.flaky);
+        prop_assert_eq!(c.insecure_limit, Some(ns[ad_until_idx]));
+        if servfail_from_idx < ns.len() {
+            prop_assert_eq!(c.servfail_start, Some(ns[servfail_from_idx]));
+            // A plain-NXDOMAIN band between the two = the item 12 gap.
+            prop_assert_eq!(c.item12_gap, servfail_from_idx > ad_until_idx + 1);
+        } else {
+            prop_assert_eq!(c.servfail_start, None);
+        }
+    }
+
+    /// Shuffled (non-monotone) mixes of AD and SERVFAIL are flagged flaky.
+    #[test]
+    fn sandwich_patterns_are_flaky(
+        ns in proptest::collection::btree_set(1u16..600, 3),
+    ) {
+        let ns: Vec<u16> = ns.into_iter().collect();
+        // SERVFAIL then AD again: impossible for a clean threshold resolver.
+        let responses = vec![
+            (ns[0], Rcode::NxDomain, true),
+            (ns[1], Rcode::ServFail, false),
+            (ns[2], Rcode::NxDomain, true),
+        ];
+        let c = classification(responses);
+        prop_assert!(c.flaky);
+        prop_assert!(!c.implements_item6());
+        prop_assert!(!c.implements_item8());
+    }
+}

@@ -1,0 +1,106 @@
+//! Base 64 (RFC 4648 §4), used for the presentation format of DNSKEY public
+//! keys and RRSIG signatures in zone files.
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encode bytes as padded base64.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(n >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 0x3f] as char);
+        out.push(if chunk.len() > 1 { ALPHABET[(n >> 6) as usize & 0x3f] as char } else { '=' });
+        out.push(if chunk.len() > 2 { ALPHABET[n as usize & 0x3f] as char } else { '=' });
+    }
+    out
+}
+
+fn val(c: u8) -> Option<u32> {
+    match c {
+        b'A'..=b'Z' => Some((c - b'A') as u32),
+        b'a'..=b'z' => Some((c - b'a') as u32 + 26),
+        b'0'..=b'9' => Some((c - b'0') as u32 + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decode padded or unpadded base64, ignoring ASCII whitespace (zone files
+/// wrap long keys across lines).
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(s.len() * 3 / 4);
+    let mut buffer: u32 = 0;
+    let mut bits: u32 = 0;
+    let mut padding = 0usize;
+    for c in s.bytes() {
+        if c.is_ascii_whitespace() {
+            continue;
+        }
+        if c == b'=' {
+            padding += 1;
+            continue;
+        }
+        if padding > 0 {
+            return None; // data after padding
+        }
+        let v = val(c)?;
+        buffer = (buffer << 6) | v;
+        bits += 6;
+        if bits >= 8 {
+            bits -= 8;
+            out.push(((buffer >> bits) & 0xff) as u8);
+        }
+    }
+    if padding > 2 {
+        return None;
+    }
+    // Leftover bits must be zero.
+    if bits > 0 && (buffer & ((1 << bits) - 1)) != 0 {
+        return None;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg==");
+        assert_eq!(encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn decode_vectors() {
+        assert_eq!(decode("Zm9vYmFy").unwrap(), b"foobar");
+        assert_eq!(decode("Zg==").unwrap(), b"f");
+        assert_eq!(decode("Zg").unwrap(), b"f"); // unpadded accepted
+        assert_eq!(decode("Zm9v\n  YmFy").unwrap(), b"foobar"); // whitespace
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode("Z!").is_none());
+        assert!(decode("====").is_none());
+        assert!(decode("Zg==Zg").is_none());
+    }
+
+    #[test]
+    fn roundtrip_all_lengths() {
+        for len in 0..100 {
+            let data: Vec<u8> = (0..len as u8).map(|i| i.wrapping_mul(73).wrapping_add(5)).collect();
+            assert_eq!(decode(&encode(&data)).unwrap(), data, "len {len}");
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Wire-format reader/writer with DNS name compression support
+//! (RFC 1035 §4.1.4).
+
+use std::collections::HashMap;
+
+use crate::name::{Name, MAX_NAME_LEN};
+use crate::WireError;
+
+/// Cursor over a received message buffer.
+///
+/// Name decompression needs random access to the whole message, so the
+/// reader keeps the full slice and a position rather than consuming a slice.
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a message buffer.
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    /// Current offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Read one octet.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.data.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Read a big-endian u16.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes([self.u8()?, self.u8()?]))
+    }
+
+    /// Read a big-endian u32.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes([self.u8()?, self.u8()?, self.u8()?, self.u8()?]))
+    }
+
+    /// Read `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read a possibly-compressed domain name.
+    ///
+    /// Compression pointers must point strictly backwards, which also bounds
+    /// the number of jumps and defeats pointer loops.
+    pub fn name(&mut self) -> Result<Name, WireError> {
+        let mut labels: Vec<Vec<u8>> = Vec::new();
+        let mut jumps = 0usize;
+        let mut pos = self.pos;
+        let mut end_of_name: Option<usize> = None; // position after first pointer
+        let mut total_len = 1usize;
+        loop {
+            let len = *self.data.get(pos).ok_or(WireError::Truncated)?;
+            match len {
+                0 => {
+                    pos += 1;
+                    break;
+                }
+                1..=63 => {
+                    let len = len as usize;
+                    let start = pos + 1;
+                    let label = self
+                        .data
+                        .get(start..start + len)
+                        .ok_or(WireError::Truncated)?;
+                    total_len += 1 + len;
+                    if total_len > MAX_NAME_LEN {
+                        return Err(WireError::BadName("compressed name too long"));
+                    }
+                    labels.push(label.to_vec());
+                    pos = start + len;
+                }
+                0xC0..=0xFF => {
+                    let lo = *self.data.get(pos + 1).ok_or(WireError::Truncated)?;
+                    let target = ((len as usize & 0x3f) << 8) | lo as usize;
+                    if target >= pos {
+                        return Err(WireError::BadName("forward compression pointer"));
+                    }
+                    if end_of_name.is_none() {
+                        end_of_name = Some(pos + 2);
+                    }
+                    jumps += 1;
+                    if jumps > 127 {
+                        return Err(WireError::BadName("too many compression pointers"));
+                    }
+                    pos = target;
+                }
+                _ => return Err(WireError::BadName("reserved label type")),
+            }
+        }
+        self.pos = end_of_name.unwrap_or(pos);
+        Name::from_labels(labels)
+    }
+}
+
+/// Message writer with optional name compression.
+pub struct Writer {
+    buf: Vec<u8>,
+    /// Map from lowercased wire-suffix to offset, when compression is on.
+    compress: Option<HashMap<Vec<u8>, u16>>,
+}
+
+impl Writer {
+    /// A writer that compresses names (normal responses).
+    pub fn compressing() -> Self {
+        Writer { buf: Vec::with_capacity(512), compress: Some(HashMap::new()) }
+    }
+
+    /// A writer that never compresses (canonical forms, digests, signing
+    /// buffers).
+    pub fn plain() -> Self {
+        Writer { buf: Vec::with_capacity(512), compress: None }
+    }
+
+    /// Current length (== next write offset).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one octet.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a big-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Overwrite a previously-written big-endian u16 (e.g. RDLENGTH
+    /// back-patching).
+    pub fn patch_u16(&mut self, at: usize, v: u16) {
+        self.buf[at..at + 2].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a domain name, compressing against earlier names when this
+    /// writer was created with [`Writer::compressing`].
+    pub fn name(&mut self, name: &Name) {
+        let labels: Vec<&[u8]> = name.labels().collect();
+        for i in 0..labels.len() {
+            if let Some(map) = &self.compress {
+                let suffix_key = suffix_key(&labels[i..]);
+                if let Some(&off) = map.get(&suffix_key) {
+                    self.u16(0xC000 | off);
+                    return;
+                }
+            }
+            // Record this suffix for future compression, if it fits in a
+            // 14-bit pointer.
+            let here = self.buf.len();
+            if let Some(map) = &mut self.compress {
+                if here < 0x4000 {
+                    map.insert(suffix_key(&labels[i..]), here as u16);
+                }
+            }
+            self.u8(labels[i].len() as u8);
+            self.bytes(labels[i]);
+        }
+        self.u8(0);
+    }
+
+    /// Finish and take the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Case-folded key identifying a label-suffix for the compression map.
+fn suffix_key(labels: &[&[u8]]) -> Vec<u8> {
+    let mut key = Vec::new();
+    for l in labels {
+        key.push(l.len() as u8);
+        key.extend(l.iter().map(|b| b.to_ascii_lowercase()));
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::name;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = Writer::plain();
+        w.u8(0xab);
+        w.u16(0x1234);
+        w.u32(0xdeadbeef);
+        w.bytes(b"xyz");
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xdeadbeef);
+        assert_eq!(r.bytes(3).unwrap(), b"xyz");
+        assert_eq!(r.remaining(), 0);
+        assert!(r.u8().is_err());
+    }
+
+    #[test]
+    fn name_roundtrip_uncompressed() {
+        let mut w = Writer::plain();
+        w.name(&name("www.example.com"));
+        let buf = w.finish();
+        assert_eq!(buf, b"\x03www\x07example\x03com\x00");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.name().unwrap(), name("www.example.com"));
+    }
+
+    #[test]
+    fn compression_shares_suffixes() {
+        let mut w = Writer::compressing();
+        w.name(&name("www.example.com"));
+        let first_len = w.len();
+        w.name(&name("mail.example.com"));
+        let buf = w.finish();
+        // Second name: 1+4 for "mail" + 2-byte pointer = 7 bytes.
+        assert_eq!(buf.len(), first_len + 7);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.name().unwrap(), name("www.example.com"));
+        assert_eq!(r.name().unwrap(), name("mail.example.com"));
+    }
+
+    #[test]
+    fn compression_is_case_insensitive() {
+        let mut w = Writer::compressing();
+        w.name(&name("EXAMPLE.com"));
+        let first_len = w.len();
+        w.name(&name("example.COM"));
+        let buf = w.finish();
+        assert_eq!(buf.len(), first_len + 2, "full name should be a pointer");
+        let mut r = Reader::new(&buf);
+        let _ = r.name().unwrap();
+        // Decompressed second name takes the case of the *first* occurrence,
+        // which is fine: names compare case-insensitively.
+        assert_eq!(r.name().unwrap(), name("example.com"));
+    }
+
+    #[test]
+    fn whole_name_pointer() {
+        let mut w = Writer::compressing();
+        w.name(&name("example.com"));
+        w.name(&name("example.com"));
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.name().unwrap(), name("example.com"));
+        assert_eq!(r.name().unwrap(), name("example.com"));
+    }
+
+    #[test]
+    fn rejects_forward_pointer_loop() {
+        // A name that points at itself.
+        let buf = [0xC0u8, 0x00];
+        let mut r = Reader::new(&buf);
+        assert!(r.name().is_err());
+    }
+
+    #[test]
+    fn rejects_reserved_label_type() {
+        let buf = [0x80u8, 0x00];
+        let mut r = Reader::new(&buf);
+        assert!(r.name().is_err());
+    }
+
+    #[test]
+    fn root_name_roundtrip() {
+        let mut w = Writer::plain();
+        w.name(&Name::root());
+        let buf = w.finish();
+        assert_eq!(buf, b"\x00");
+        let mut r = Reader::new(&buf);
+        assert!(r.name().unwrap().is_root());
+    }
+
+    #[test]
+    fn patch_u16_works() {
+        let mut w = Writer::plain();
+        w.u16(0);
+        w.bytes(b"abc");
+        w.patch_u16(0, 3);
+        let buf = w.finish();
+        assert_eq!(buf, b"\x00\x03abc");
+    }
+}

@@ -1,0 +1,506 @@
+//! Domain names: presentation format, wire format, canonical form and
+//! canonical ordering (RFC 1035 §3.1, RFC 4034 §6.1).
+//!
+//! `Name` stores labels in their original case but compares, hashes, and
+//! orders case-insensitively, as DNS requires. The *canonical form* used for
+//! DNSSEC signing and NSEC3 hashing is the lowercased, uncompressed wire
+//! form (RFC 4034 §6.2).
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::str::FromStr;
+
+use crate::WireError;
+
+/// Maximum length of a single label, in bytes.
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum length of a name in wire format, in bytes (including the root
+/// zero octet).
+pub const MAX_NAME_LEN: usize = 255;
+
+/// A fully-qualified domain name.
+///
+/// Internally a sequence of labels, *not* including the empty root label;
+/// the root name has zero labels. Labels are arbitrary bytes (DNS is 8-bit
+/// clean), though in practice they are ASCII hostnames.
+#[derive(Clone, Eq)]
+pub struct Name {
+    labels: Vec<Box<[u8]>>,
+    /// Cached wire length (sum of label lengths + per-label length octet +
+    /// trailing root octet).
+    wire_len: usize,
+}
+
+impl Name {
+    /// The root name (`.`).
+    pub fn root() -> Self {
+        Name { labels: Vec::new(), wire_len: 1 }
+    }
+
+    /// Build a name from raw labels. Fails if any label is empty or too
+    /// long, or the total wire length exceeds [`MAX_NAME_LEN`].
+    pub fn from_labels<I, L>(labels: I) -> Result<Self, WireError>
+    where
+        I: IntoIterator<Item = L>,
+        L: AsRef<[u8]>,
+    {
+        let mut out = Vec::new();
+        let mut wire_len = 1usize;
+        for l in labels {
+            let l = l.as_ref();
+            if l.is_empty() {
+                return Err(WireError::BadName("empty label"));
+            }
+            if l.len() > MAX_LABEL_LEN {
+                return Err(WireError::BadName("label longer than 63 octets"));
+            }
+            wire_len += 1 + l.len();
+            out.push(l.to_vec().into_boxed_slice());
+        }
+        if wire_len > MAX_NAME_LEN {
+            return Err(WireError::BadName("name longer than 255 octets"));
+        }
+        Ok(Name { labels: out, wire_len })
+    }
+
+    /// Parse presentation format (`www.example.com`, trailing dot optional;
+    /// `\.` and `\DDD` escapes supported).
+    pub fn parse(s: &str) -> Result<Self, WireError> {
+        if s == "." || s.is_empty() {
+            return Ok(Name::root());
+        }
+        let bytes = s.as_bytes();
+        let mut labels: Vec<Vec<u8>> = Vec::new();
+        let mut cur: Vec<u8> = Vec::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => {
+                    i += 1;
+                    if i >= bytes.len() {
+                        return Err(WireError::BadName("dangling escape"));
+                    }
+                    if bytes[i].is_ascii_digit() {
+                        if i + 2 >= bytes.len()
+                            || !bytes[i + 1].is_ascii_digit()
+                            || !bytes[i + 2].is_ascii_digit()
+                        {
+                            return Err(WireError::BadName("bad \\DDD escape"));
+                        }
+                        let v = (bytes[i] - b'0') as u32 * 100
+                            + (bytes[i + 1] - b'0') as u32 * 10
+                            + (bytes[i + 2] - b'0') as u32;
+                        if v > 255 {
+                            return Err(WireError::BadName("\\DDD escape out of range"));
+                        }
+                        cur.push(v as u8);
+                        i += 3;
+                    } else {
+                        cur.push(bytes[i]);
+                        i += 1;
+                    }
+                }
+                b'.' => {
+                    if cur.is_empty() {
+                        return Err(WireError::BadName("empty label"));
+                    }
+                    labels.push(std::mem::take(&mut cur));
+                    i += 1;
+                }
+                b => {
+                    cur.push(b);
+                    i += 1;
+                }
+            }
+        }
+        if !cur.is_empty() {
+            labels.push(cur);
+        }
+        Name::from_labels(labels)
+    }
+
+    /// Number of labels (the root has 0, `example.com` has 2).
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The labels, leftmost (least significant) first.
+    pub fn labels(&self) -> impl Iterator<Item = &[u8]> {
+        self.labels.iter().map(|l| l.as_ref())
+    }
+
+    /// Is this the root name?
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Is the leftmost label `*` (a wildcard owner name)?
+    pub fn is_wildcard(&self) -> bool {
+        self.labels.first().map(|l| l.as_ref() == b"*").unwrap_or(false)
+    }
+
+    /// Length of this name in (uncompressed) wire format.
+    pub fn wire_len(&self) -> usize {
+        self.wire_len
+    }
+
+    /// The parent name (one label removed from the left); `None` for the
+    /// root.
+    pub fn parent(&self) -> Option<Name> {
+        if self.labels.is_empty() {
+            return None;
+        }
+        let labels = self.labels[1..].to_vec();
+        let wire_len = self.wire_len - 1 - self.labels[0].len();
+        Some(Name { labels, wire_len })
+    }
+
+    /// `true` if `self` is `other` or a descendant of `other`.
+    pub fn is_subdomain_of(&self, other: &Name) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - other.labels.len();
+        self.labels[offset..]
+            .iter()
+            .zip(other.labels.iter())
+            .all(|(a, b)| eq_label(a, b))
+    }
+
+    /// Prepend a single label, returning the child name.
+    pub fn prepend(&self, label: &[u8]) -> Result<Name, WireError> {
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(label.to_vec());
+        labels.extend(self.labels.iter().map(|l| l.to_vec()));
+        Name::from_labels(labels)
+    }
+
+    /// Concatenate: `self` becomes a prefix of `suffix`
+    /// (`a.b` + `example.com` = `a.b.example.com`).
+    pub fn concat(&self, suffix: &Name) -> Result<Name, WireError> {
+        let labels = self
+            .labels
+            .iter()
+            .chain(suffix.labels.iter())
+            .map(|l| l.to_vec());
+        Name::from_labels(labels)
+    }
+
+    /// Replace the leftmost label with `*` — the *wildcard at* this name's
+    /// parent, used in denial-of-existence proofs.
+    pub fn to_wildcard_of_parent(&self) -> Option<Name> {
+        let parent = self.parent()?;
+        parent.prepend(b"*").ok()
+    }
+
+    /// Strip `suffix` from the right, returning the relative labels.
+    /// Returns `None` if `self` is not a subdomain of `suffix`.
+    pub fn strip_suffix(&self, suffix: &Name) -> Option<Vec<Vec<u8>>> {
+        if !self.is_subdomain_of(suffix) {
+            return None;
+        }
+        let keep = self.labels.len() - suffix.labels.len();
+        Some(self.labels[..keep].iter().map(|l| l.to_vec()).collect())
+    }
+
+    /// Uncompressed wire format in original case.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len);
+        for l in &self.labels {
+            out.push(l.len() as u8);
+            out.extend_from_slice(l);
+        }
+        out.push(0);
+        out
+    }
+
+    /// Canonical wire format (RFC 4034 §6.2): lowercase, uncompressed.
+    /// This is the exact input to NSEC3 hashing and RRSIG signing.
+    pub fn to_canonical_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len);
+        for l in &self.labels {
+            out.push(l.len() as u8);
+            out.extend(l.iter().map(|b| b.to_ascii_lowercase()));
+        }
+        out.push(0);
+        out
+    }
+
+    /// A lowercased copy (for canonical display and map keys).
+    pub fn to_lowercase(&self) -> Name {
+        let labels = self
+            .labels
+            .iter()
+            .map(|l| {
+                l.iter()
+                    .map(|b| b.to_ascii_lowercase())
+                    .collect::<Vec<u8>>()
+                    .into_boxed_slice()
+            })
+            .collect();
+        Name { labels, wire_len: self.wire_len }
+    }
+
+    /// RFC 4034 §6.1 canonical ordering.
+    ///
+    /// Names are ordered by comparing labels right-to-left; the absence of a
+    /// label sorts before any label; labels compare as case-folded byte
+    /// strings.
+    pub fn canonical_cmp(&self, other: &Name) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        let mut a = self.labels.iter().rev();
+        let mut b = other.labels.iter().rev();
+        loop {
+            match (a.next(), b.next()) {
+                (None, None) => return Ordering::Equal,
+                (None, Some(_)) => return Ordering::Less,
+                (Some(_), None) => return Ordering::Greater,
+                (Some(x), Some(y)) => {
+                    let ord = cmp_label(x, y);
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+            }
+        }
+    }
+
+    /// All ancestor names from `self` up to and including the root, starting
+    /// with `self`. (`a.b.example.` yields `a.b.example.`, `b.example.`,
+    /// `example.`, `.`.)
+    pub fn self_and_ancestors(&self) -> Vec<Name> {
+        let mut out = Vec::with_capacity(self.labels.len() + 1);
+        let mut cur = Some(self.clone());
+        while let Some(n) = cur {
+            cur = n.parent();
+            out.push(n);
+        }
+        out
+    }
+}
+
+fn eq_label(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.eq_ignore_ascii_case(y))
+}
+
+fn cmp_label(a: &[u8], b: &[u8]) -> std::cmp::Ordering {
+    let la = a.iter().map(|c| c.to_ascii_lowercase());
+    let lb = b.iter().map(|c| c.to_ascii_lowercase());
+    la.cmp(lb)
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        self.labels.len() == other.labels.len()
+            && self
+                .labels
+                .iter()
+                .zip(other.labels.iter())
+                .all(|(a, b)| eq_label(a, b))
+    }
+}
+
+impl Hash for Name {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for l in &self.labels {
+            state.write_usize(l.len());
+            for &b in l.iter() {
+                state.write_u8(b.to_ascii_lowercase());
+            }
+        }
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    /// Total order = RFC 4034 canonical order (so `BTreeMap<Name, _>` is a
+    /// canonically-ordered zone).
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.canonical_cmp(other)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return f.write_str(".");
+        }
+        for l in &self.labels {
+            for &b in l.iter() {
+                match b {
+                    b'.' | b'\\' => write!(f, "\\{}", b as char)?,
+                    0x21..=0x7e => write!(f, "{}", b as char)?,
+                    _ => write!(f, "\\{b:03}")?,
+                }
+            }
+            f.write_str(".")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({self})")
+    }
+}
+
+impl FromStr for Name {
+    type Err = WireError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Name::parse(s)
+    }
+}
+
+/// Shorthand used pervasively in tests and examples: parse a name, panicking
+/// on invalid input.
+pub fn name(s: &str) -> Name {
+    Name::parse(s).unwrap_or_else(|e| panic!("bad name {s:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["example.", "www.example.com.", "a.b.c.d.e."] {
+            assert_eq!(name(s).to_string(), s);
+        }
+        assert_eq!(name("example.com").to_string(), "example.com.");
+        assert_eq!(name(".").to_string(), ".");
+    }
+
+    #[test]
+    fn escapes() {
+        let n = name(r"ex\.ample.com");
+        assert_eq!(n.label_count(), 2);
+        assert_eq!(n.labels().next().unwrap(), b"ex.ample");
+        assert_eq!(n.to_string(), r"ex\.ample.com.");
+        let d = name(r"\065bc.com"); // \065 = 'A'
+        assert_eq!(d.labels().next().unwrap(), b"Abc");
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(Name::parse("a..b").is_err());
+        assert!(Name::parse(&"a".repeat(64)).is_err());
+        let long = vec!["a".repeat(63); 4].join(".") + "." + &"b".repeat(10);
+        assert!(Name::parse(&long).is_err());
+    }
+
+    #[test]
+    fn case_insensitive_eq_and_hash() {
+        use std::collections::HashSet;
+        let a = name("WWW.Example.COM");
+        let b = name("www.example.com");
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn wire_and_canonical_wire() {
+        let n = name("Ab.cD");
+        assert_eq!(n.to_wire(), b"\x02Ab\x02cD\x00");
+        assert_eq!(n.to_canonical_wire(), b"\x02ab\x02cd\x00");
+        assert_eq!(Name::root().to_wire(), b"\x00");
+        assert_eq!(n.wire_len(), 7);
+    }
+
+    #[test]
+    fn rfc4034_canonical_order_example() {
+        // The exact ordering example from RFC 4034 §6.1.
+        let ordered = [
+            "example.",
+            "a.example.",
+            "yljkjljk.a.example.",
+            "Z.a.example.",
+            "zABC.a.EXAMPLE.",
+            "z.example.",
+            r"\001.z.example.",
+            "*.z.example.",
+            r"\200.z.example.",
+        ];
+        let names: Vec<Name> = ordered.iter().map(|s| name(s)).collect();
+        for w in names.windows(2) {
+            assert_eq!(
+                w[0].canonical_cmp(&w[1]),
+                Ordering::Less,
+                "{} should sort before {}",
+                w[0],
+                w[1]
+            );
+        }
+        let mut shuffled = names.clone();
+        shuffled.reverse();
+        shuffled.sort();
+        assert_eq!(shuffled, names);
+    }
+
+    #[test]
+    fn subdomain_relationships() {
+        let apex = name("example.com");
+        assert!(name("www.example.com").is_subdomain_of(&apex));
+        assert!(apex.is_subdomain_of(&apex));
+        assert!(apex.is_subdomain_of(&Name::root()));
+        assert!(!name("example.org").is_subdomain_of(&apex));
+        assert!(!name("badexample.com").is_subdomain_of(&apex));
+        assert!(name("WWW.EXAMPLE.COM").is_subdomain_of(&apex));
+    }
+
+    #[test]
+    fn parent_and_prepend() {
+        let n = name("a.b.c");
+        assert_eq!(n.parent().unwrap(), name("b.c"));
+        assert_eq!(Name::root().parent(), None);
+        assert_eq!(name("b.c").prepend(b"a").unwrap(), n);
+    }
+
+    #[test]
+    fn wildcard_handling() {
+        assert!(name("*.example.com").is_wildcard());
+        assert!(!name("x.example.com").is_wildcard());
+        assert_eq!(
+            name("foo.example.com").to_wildcard_of_parent().unwrap(),
+            name("*.example.com")
+        );
+    }
+
+    #[test]
+    fn strip_suffix_works() {
+        let n = name("a.b.example.com");
+        let rel = n.strip_suffix(&name("example.com")).unwrap();
+        assert_eq!(rel, vec![b"a".to_vec(), b"b".to_vec()]);
+        assert!(n.strip_suffix(&name("example.org")).is_none());
+        assert_eq!(n.strip_suffix(&n).unwrap(), Vec::<Vec<u8>>::new());
+    }
+
+    #[test]
+    fn self_and_ancestors_order() {
+        let chain = name("a.b.example.").self_and_ancestors();
+        let expect = ["a.b.example.", "b.example.", "example.", "."];
+        assert_eq!(chain.len(), expect.len());
+        for (c, e) in chain.iter().zip(expect.iter()) {
+            assert_eq!(&c.to_string(), e);
+        }
+    }
+
+    #[test]
+    fn concat_names() {
+        assert_eq!(
+            name("www").concat(&name("example.com")).unwrap(),
+            name("www.example.com")
+        );
+    }
+}

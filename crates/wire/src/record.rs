@@ -1,0 +1,226 @@
+//! Resource records and RRset helpers.
+
+use std::fmt;
+
+use crate::buf::{Reader, Writer};
+use crate::name::Name;
+use crate::rdata::RData;
+use crate::rrtype::{Class, RrType};
+use crate::WireError;
+
+/// A resource record.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Record {
+    /// Owner name.
+    pub name: Name,
+    /// Class (IN everywhere in this system).
+    pub class: Class,
+    /// Time to live, seconds.
+    pub ttl: u32,
+    /// Typed record data.
+    pub rdata: RData,
+}
+
+impl Record {
+    /// Convenience constructor for class IN.
+    pub fn new(name: Name, ttl: u32, rdata: RData) -> Self {
+        Record { name, class: Class::IN, ttl, rdata }
+    }
+
+    /// The record type.
+    pub fn rrtype(&self) -> RrType {
+        self.rdata.rrtype()
+    }
+
+    /// Encode into `w` (whose compression setting governs the owner name).
+    pub fn encode(&self, w: &mut Writer) {
+        w.name(&self.name);
+        w.u16(self.rrtype().0);
+        w.u16(self.class.0);
+        w.u32(self.ttl);
+        let len_at = w.len();
+        w.u16(0);
+        let start = w.len();
+        self.rdata.encode(w, false);
+        let rdlen = w.len() - start;
+        w.patch_u16(len_at, rdlen as u16);
+    }
+
+    /// Decode one record.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let name = r.name()?;
+        let rtype = RrType(r.u16()?);
+        let class = Class(r.u16()?);
+        let ttl = r.u32()?;
+        let rdlength = r.u16()? as usize;
+        let rdata = RData::decode(r, rtype, rdlength)?;
+        Ok(Record { name, class, ttl, rdata })
+    }
+}
+
+impl fmt::Display for Record {
+    /// Zone-file-like presentation (sufficient for logs and zone printing).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} {}", self.name, self.ttl, self.class, self.rrtype())?;
+        match &self.rdata {
+            RData::A(a) => write!(f, " {a}"),
+            RData::Aaaa(a) => write!(f, " {a}"),
+            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => write!(f, " {n}"),
+            RData::Mx { preference, exchange } => write!(f, " {preference} {exchange}"),
+            RData::Txt(strings) => {
+                for s in strings {
+                    write!(f, " \"{}\"", String::from_utf8_lossy(s))?;
+                }
+                Ok(())
+            }
+            RData::Soa { mname, rname, serial, refresh, retry, expire, minimum } => write!(
+                f,
+                " {mname} {rname} {serial} {refresh} {retry} {expire} {minimum}"
+            ),
+            RData::Dnskey { flags, protocol, algorithm, public_key } => write!(
+                f,
+                " {flags} {protocol} {algorithm} {}",
+                crate::base64::encode(public_key)
+            ),
+            RData::Rrsig {
+                type_covered,
+                algorithm,
+                labels,
+                original_ttl,
+                expiration,
+                inception,
+                key_tag,
+                signer_name,
+                signature,
+            } => write!(
+                f,
+                " {type_covered} {algorithm} {labels} {original_ttl} {expiration} {inception} {key_tag} {signer_name} {}",
+                crate::base64::encode(signature)
+            ),
+            RData::Ds { key_tag, algorithm, digest_type, digest } => {
+                write!(f, " {key_tag} {algorithm} {digest_type} ")?;
+                for b in digest {
+                    write!(f, "{b:02x}")?;
+                }
+                Ok(())
+            }
+            RData::Nsec { next, types } => write!(f, " {next} {types}"),
+            RData::Nsec3 { hash_alg, flags, iterations, salt, next_hashed, types } => {
+                write!(f, " {hash_alg} {flags} {iterations} ")?;
+                if salt.is_empty() {
+                    write!(f, "-")?;
+                } else {
+                    for b in salt {
+                        write!(f, "{b:02x}")?;
+                    }
+                }
+                write!(f, " {} {types}", crate::base32::encode(next_hashed).to_uppercase())
+            }
+            RData::Nsec3Param { hash_alg, flags, iterations, salt } => {
+                write!(f, " {hash_alg} {flags} {iterations} ")?;
+                if salt.is_empty() {
+                    write!(f, "-")
+                } else {
+                    for b in salt {
+                        write!(f, "{b:02x}")?;
+                    }
+                    Ok(())
+                }
+            }
+            RData::Unknown { data, .. } => {
+                write!(f, " \\# {}", data.len())?;
+                for b in data {
+                    write!(f, " {b:02x}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Sort records of one RRset into RFC 4034 §6.3 canonical order
+/// (ascending canonical RDATA, duplicates removed), as required before
+/// signing or verifying.
+pub fn canonical_rrset_order(records: &mut Vec<Record>) {
+    records.sort_by_key(|a| a.rdata.canonical_bytes());
+    records.dedup_by(|a, b| a.rdata.canonical_bytes() == b.rdata.canonical_bytes());
+}
+
+/// Group records into RRsets keyed by (owner, type), preserving first-seen
+/// key order.
+pub fn group_rrsets(records: &[Record]) -> Vec<Vec<Record>> {
+    let mut order: Vec<(Name, RrType)> = Vec::new();
+    let mut sets: std::collections::HashMap<(Name, RrType), Vec<Record>> =
+        std::collections::HashMap::new();
+    for rec in records {
+        let key = (rec.name.clone(), rec.rrtype());
+        if !sets.contains_key(&key) {
+            order.push(key.clone());
+        }
+        sets.entry(key).or_default().push(rec.clone());
+    }
+    order.into_iter().map(|k| sets.remove(&k).unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::name;
+    use std::net::Ipv4Addr;
+
+    fn a(n: &str, ip: [u8; 4]) -> Record {
+        Record::new(name(n), 300, RData::A(Ipv4Addr::from(ip)))
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let rec = a("www.example.com", [192, 0, 2, 7]);
+        let mut w = Writer::plain();
+        rec.encode(&mut w);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(Record::decode(&mut r).unwrap(), rec);
+    }
+
+    #[test]
+    fn canonical_order_sorts_by_rdata() {
+        let mut set = vec![
+            a("x.example.", [10, 0, 0, 2]),
+            a("x.example.", [10, 0, 0, 1]),
+            a("x.example.", [10, 0, 0, 2]), // duplicate
+        ];
+        canonical_rrset_order(&mut set);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set[0].rdata, RData::A(Ipv4Addr::new(10, 0, 0, 1)));
+    }
+
+    #[test]
+    fn group_rrsets_by_owner_and_type() {
+        let recs = vec![
+            a("x.example.", [1, 1, 1, 1]),
+            Record::new(name("x.example."), 300, RData::Ns(name("ns.example."))),
+            a("x.example.", [2, 2, 2, 2]),
+            a("y.example.", [3, 3, 3, 3]),
+        ];
+        let sets = group_rrsets(&recs);
+        assert_eq!(sets.len(), 3);
+        assert_eq!(sets[0].len(), 2); // the two A records at x
+        assert_eq!(sets[1][0].rrtype(), RrType::NS);
+    }
+
+    #[test]
+    fn display_formats() {
+        let rec = Record::new(
+            name("example."),
+            3600,
+            RData::Nsec3Param { hash_alg: 1, flags: 0, iterations: 5, salt: vec![0xab, 0xcd] },
+        );
+        assert_eq!(rec.to_string(), "example. 3600 IN NSEC3PARAM 1 0 5 abcd");
+        let rec2 = Record::new(
+            name("example."),
+            3600,
+            RData::Nsec3Param { hash_alg: 1, flags: 0, iterations: 0, salt: vec![] },
+        );
+        assert!(rec2.to_string().ends_with("1 0 0 -"));
+    }
+}

@@ -1,0 +1,397 @@
+//! Authoritative-side denial-of-existence proof synthesis
+//! (RFC 4035 §3.1.3, RFC 5155 §7.2).
+//!
+//! Given a signed zone and a query that has no positive answer, these
+//! functions assemble the NSEC/NSEC3 records (plus their RRSIGs) that prove
+//! the negative — the records a validating resolver will burn CPU on when
+//! iteration counts are high.
+
+use dns_wire::name::Name;
+use dns_wire::rdata::RData;
+use dns_wire::record::Record;
+use dns_wire::rrtype::RrType;
+
+use crate::nsec3hash::nsec3_hash;
+use crate::signer::{Denial, SignedZone};
+use crate::ZoneError;
+
+/// What kind of negative answer the proof supports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DenialKind {
+    /// The name does not exist at all.
+    NxDomain,
+    /// The name exists but not with the queried type.
+    NoData,
+    /// The answer was synthesized from a wildcard; the proof shows the
+    /// exact name does not exist.
+    WildcardExpansion,
+}
+
+/// A denial proof: the authority-section records to attach.
+#[derive(Clone, Debug)]
+pub struct DenialProof {
+    /// Proof classification.
+    pub kind: DenialKind,
+    /// NSEC/NSEC3 records with their RRSIGs, ready for the authority
+    /// section.
+    pub records: Vec<Record>,
+    /// The closest encloser used (NSEC3 NXDOMAIN proofs).
+    pub closest_encloser: Option<Name>,
+}
+
+/// The record plus every RRSIG at `owner` covering `rrtype`.
+fn with_rrsigs(z: &SignedZone, owner: &Name, rrtype: RrType) -> Vec<Record> {
+    let mut out = Vec::new();
+    if let Some(recs) = z.zone.rrset(owner, rrtype) {
+        out.extend(recs.iter().cloned());
+    }
+    if let Some(sigs) = z.zone.rrset(owner, RrType::RRSIG) {
+        out.extend(
+            sigs.iter()
+                .filter(|s| matches!(&s.rdata, RData::Rrsig { type_covered, .. } if *type_covered == rrtype))
+                .cloned(),
+        );
+    }
+    out
+}
+
+/// The NSEC3 owner whose hash equals the hash of `name`, if any.
+pub fn nsec3_matching(z: &SignedZone, name: &Name) -> Option<Name> {
+    let params = z.nsec3_params()?;
+    let h = nsec3_hash(name, params).digest;
+    z.nsec3_index
+        .binary_search_by(|(hash, _)| hash.cmp(&h))
+        .ok()
+        .map(|i| z.nsec3_index[i].1.clone())
+}
+
+/// The NSEC3 owner whose (circular) hash interval strictly covers the hash
+/// of `name`. Returns `None` if the hash collides with an existing owner
+/// (then a *matching* record exists instead) or the index is empty.
+pub fn nsec3_covering(z: &SignedZone, name: &Name) -> Option<Name> {
+    let params = z.nsec3_params()?;
+    let h = nsec3_hash(name, params).digest;
+    nsec3_covering_hash(z, &h)
+}
+
+fn nsec3_covering_hash(z: &SignedZone, h: &[u8; 20]) -> Option<Name> {
+    if z.nsec3_index.is_empty() {
+        return None;
+    }
+    match z.nsec3_index.binary_search_by(|(hash, _)| hash.cmp(h)) {
+        Ok(_) => None, // exact match: not "covered", it's "matched"
+        Err(insert_at) => {
+            // Predecessor in circular order; index 0 wraps to the last.
+            let idx = if insert_at == 0 { z.nsec3_index.len() - 1 } else { insert_at - 1 };
+            Some(z.nsec3_index[idx].1.clone())
+        }
+    }
+}
+
+/// Assemble the NXDOMAIN proof for `qname`.
+///
+/// NSEC3 zones (RFC 5155 §7.2.2) need three records: one *matching* the
+/// closest encloser, one *covering* the next-closer name, and one *covering*
+/// the wildcard at the closest encloser. NSEC zones need the NSEC covering
+/// `qname` and the one covering the wildcard.
+pub fn nxdomain_proof(z: &SignedZone, qname: &Name) -> Result<DenialProof, ZoneError> {
+    match &z.denial {
+        Denial::Nsec3 { .. } => {
+            let ce = z.zone.closest_encloser(qname);
+            let next_closer = next_closer_name(qname, &ce)?;
+            let wildcard = ce.prepend(b"*").map_err(|_| ZoneError::NameTooLong)?;
+            let mut records = Vec::new();
+            let mut push_owner = |owner: Option<Name>| {
+                if let Some(o) = owner {
+                    records.extend(with_rrsigs(z, &o, RrType::NSEC3));
+                }
+            };
+            push_owner(nsec3_matching(z, &ce));
+            push_owner(nsec3_covering(z, &next_closer));
+            push_owner(nsec3_covering(z, &wildcard));
+            dedup_records(&mut records);
+            Ok(DenialProof { kind: DenialKind::NxDomain, records, closest_encloser: Some(ce) })
+        }
+        Denial::Nsec => {
+            let ce = z.zone.closest_encloser(qname);
+            let wildcard = ce.prepend(b"*").map_err(|_| ZoneError::NameTooLong)?;
+            let mut records = Vec::new();
+            if let Some(owner) = nsec_covering(z, qname) {
+                records.extend(with_rrsigs(z, &owner, RrType::NSEC));
+            }
+            if let Some(owner) = nsec_covering(z, &wildcard) {
+                records.extend(with_rrsigs(z, &owner, RrType::NSEC));
+            }
+            dedup_records(&mut records);
+            Ok(DenialProof { kind: DenialKind::NxDomain, records, closest_encloser: Some(ce) })
+        }
+    }
+}
+
+/// Assemble the NODATA proof: `qname` exists but lacks `qtype`.
+pub fn nodata_proof(z: &SignedZone, qname: &Name) -> Result<DenialProof, ZoneError> {
+    match &z.denial {
+        Denial::Nsec3 { .. } => {
+            let mut records = Vec::new();
+            if let Some(owner) = nsec3_matching(z, qname) {
+                records.extend(with_rrsigs(z, &owner, RrType::NSEC3));
+            } else if let Some(owner) = nsec3_covering(z, qname) {
+                // Opt-out zones may have no NSEC3 for an insecure
+                // delegation; the covering record (with opt-out set) proves
+                // the DS absence instead (RFC 5155 §7.2.4).
+                records.extend(with_rrsigs(z, &owner, RrType::NSEC3));
+            }
+            Ok(DenialProof { kind: DenialKind::NoData, records, closest_encloser: None })
+        }
+        Denial::Nsec => {
+            let mut records = Vec::new();
+            if let Some(recs) = z.zone.rrset(qname, RrType::NSEC) {
+                let _ = recs;
+                records.extend(with_rrsigs(z, qname, RrType::NSEC));
+            } else if let Some(owner) = nsec_covering(z, qname) {
+                records.extend(with_rrsigs(z, &owner, RrType::NSEC));
+            }
+            Ok(DenialProof { kind: DenialKind::NoData, records, closest_encloser: None })
+        }
+    }
+}
+
+/// Proof accompanying a wildcard-expanded answer: the exact `qname` does not
+/// exist (NSEC3 covering the next-closer name; NSEC covering `qname`).
+pub fn wildcard_expansion_proof(
+    z: &SignedZone,
+    qname: &Name,
+    closest_encloser: &Name,
+) -> Result<DenialProof, ZoneError> {
+    let mut records = Vec::new();
+    match &z.denial {
+        Denial::Nsec3 { .. } => {
+            let next_closer = next_closer_name(qname, closest_encloser)?;
+            if let Some(owner) = nsec3_covering(z, &next_closer) {
+                records.extend(with_rrsigs(z, &owner, RrType::NSEC3));
+            }
+        }
+        Denial::Nsec => {
+            if let Some(owner) = nsec_covering(z, qname) {
+                records.extend(with_rrsigs(z, &owner, RrType::NSEC));
+            }
+        }
+    }
+    Ok(DenialProof {
+        kind: DenialKind::WildcardExpansion,
+        records,
+        closest_encloser: Some(closest_encloser.clone()),
+    })
+}
+
+/// The *next closer* name: the ancestor of `qname` exactly one label longer
+/// than the closest encloser (RFC 5155 §1.3).
+pub fn next_closer_name(qname: &Name, closest_encloser: &Name) -> Result<Name, ZoneError> {
+    if qname == closest_encloser {
+        return Err(ZoneError::NotBelowEncloser);
+    }
+    let mut cur = qname.clone();
+    loop {
+        let parent = cur.parent().ok_or(ZoneError::NotBelowEncloser)?;
+        if &parent == closest_encloser {
+            return Ok(cur);
+        }
+        cur = parent;
+    }
+}
+
+/// The NSEC owner whose (circular, canonical-order) interval covers `name`.
+pub fn nsec_covering(z: &SignedZone, name: &Name) -> Option<Name> {
+    // NSEC owners in canonical order.
+    let owners: Vec<&Name> = z
+        .zone
+        .names()
+        .filter(|n| z.zone.rrset(n, RrType::NSEC).is_some())
+        .collect();
+    if owners.is_empty() {
+        return None;
+    }
+    // Predecessor of `name` (strictly before it). Wrap to last if `name`
+    // precedes every owner.
+    let idx = owners.partition_point(|o| o.canonical_cmp(name) == std::cmp::Ordering::Less);
+    let owner = if idx == 0 { owners[owners.len() - 1] } else { owners[idx - 1] };
+    if owner == name {
+        return None; // name exists: matched, not covered
+    }
+    Some(owner.clone())
+}
+
+fn dedup_records(records: &mut Vec<Record>) {
+    let mut seen: Vec<(Name, Vec<u8>)> = Vec::new();
+    records.retain(|r| {
+        let key = (r.name.clone(), r.rdata.canonical_bytes());
+        if seen.contains(&key) {
+            false
+        } else {
+            seen.push(key);
+            true
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signer::{sign_zone, Denial, SignerConfig};
+    use crate::zone::Zone;
+    use dns_wire::name::name;
+    use std::net::Ipv4Addr;
+
+    const NOW: u32 = 1_710_000_000;
+
+    fn build_signed(denial: Denial) -> SignedZone {
+        let mut z = Zone::new(name("example."));
+        z.add(Record::new(
+            name("example."),
+            3600,
+            RData::Soa {
+                mname: name("ns1.example."),
+                rname: name("host.example."),
+                serial: 1,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: 300,
+            },
+        ))
+        .unwrap();
+        z.add(Record::new(name("example."), 3600, RData::Ns(name("ns1.example.")))).unwrap();
+        z.add(Record::new(name("ns1.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 53))))
+            .unwrap();
+        z.add(Record::new(name("www.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 1))))
+            .unwrap();
+        z.add(Record::new(name("a.b.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 2))))
+            .unwrap();
+        let cfg = SignerConfig { denial, ..SignerConfig::standard(&name("example."), NOW) };
+        sign_zone(&z, &cfg).unwrap()
+    }
+
+    #[test]
+    fn next_closer_computation() {
+        let ce = name("example.");
+        assert_eq!(next_closer_name(&name("x.example."), &ce).unwrap(), name("x.example."));
+        assert_eq!(next_closer_name(&name("a.b.x.example."), &ce).unwrap(), name("x.example."));
+        assert!(next_closer_name(&ce, &ce).is_err());
+    }
+
+    #[test]
+    fn nsec3_nxdomain_proof_has_three_distinct_nsec3s() {
+        let z = build_signed(Denial::nsec3_rfc9276());
+        let proof = nxdomain_proof(&z, &name("nx.example.")).unwrap();
+        assert_eq!(proof.kind, DenialKind::NxDomain);
+        assert_eq!(proof.closest_encloser, Some(name("example.")));
+        let nsec3s: Vec<_> = proof.records.iter().filter(|r| r.rrtype() == RrType::NSEC3).collect();
+        let rrsigs: Vec<_> = proof.records.iter().filter(|r| r.rrtype() == RrType::RRSIG).collect();
+        assert!(
+            (1..=3).contains(&nsec3s.len()),
+            "expected 1..=3 NSEC3 records, got {}",
+            nsec3s.len()
+        );
+        assert_eq!(nsec3s.len(), rrsigs.len(), "each NSEC3 travels with its RRSIG");
+    }
+
+    #[test]
+    fn nsec3_matching_and_covering_are_disjoint() {
+        let z = build_signed(Denial::nsec3_rfc9276());
+        let existing = name("www.example.");
+        assert!(nsec3_matching(&z, &existing).is_some());
+        assert!(nsec3_covering(&z, &existing).is_none());
+        let missing = name("nx.example.");
+        assert!(nsec3_matching(&z, &missing).is_none());
+        assert!(nsec3_covering(&z, &missing).is_some());
+    }
+
+    #[test]
+    fn nodata_proof_matches_qname() {
+        let z = build_signed(Denial::nsec3_rfc9276());
+        let proof = nodata_proof(&z, &name("www.example.")).unwrap();
+        assert_eq!(proof.kind, DenialKind::NoData);
+        let nsec3s: Vec<_> = proof.records.iter().filter(|r| r.rrtype() == RrType::NSEC3).collect();
+        assert_eq!(nsec3s.len(), 1);
+        // Its bitmap must show A but (say) not TXT.
+        match &nsec3s[0].rdata {
+            RData::Nsec3 { types, .. } => {
+                assert!(types.contains(RrType::A));
+                assert!(!types.contains(RrType::TXT));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn nxdomain_proof_for_deep_name_uses_ent_closest_encloser() {
+        let z = build_signed(Denial::nsec3_rfc9276());
+        // b.example. is an ENT (only a.b.example. exists under it).
+        let proof = nxdomain_proof(&z, &name("zz.b.example.")).unwrap();
+        assert_eq!(proof.closest_encloser, Some(name("b.example.")));
+    }
+
+    #[test]
+    fn nsec_nxdomain_proof() {
+        let z = build_signed(Denial::Nsec);
+        let proof = nxdomain_proof(&z, &name("nx.example.")).unwrap();
+        let nsecs: Vec<_> = proof.records.iter().filter(|r| r.rrtype() == RrType::NSEC).collect();
+        assert!(!nsecs.is_empty() && nsecs.len() <= 2);
+        // Each NSEC must actually cover nx.example. or *.example.
+        for rec in &nsecs {
+            match &rec.rdata {
+                RData::Nsec { next, .. } => {
+                    let covers = |target: &Name| {
+                        let after_owner =
+                            rec.name.canonical_cmp(target) == std::cmp::Ordering::Less;
+                        let before_next = target.canonical_cmp(next)
+                            == std::cmp::Ordering::Less
+                            || next == z.zone.apex(); // wrap
+                        after_owner && before_next
+                    };
+                    assert!(covers(&name("nx.example.")) || covers(&name("*.example.")));
+                }
+                _ => panic!(),
+            }
+        }
+    }
+
+    #[test]
+    fn nsec_covering_wraps_circularly() {
+        let z = build_signed(Denial::Nsec);
+        // A name canonically before the apex's first successor but "below"
+        // everything — e.g. a name after the last owner wraps to last NSEC.
+        let covering = nsec_covering(&z, &name("zzz.example.")).unwrap();
+        assert!(z.zone.rrset(&covering, RrType::NSEC).is_some());
+    }
+
+    #[test]
+    fn wildcard_expansion_proof_covers_next_closer() {
+        let mut zone = Zone::new(name("example."));
+        zone.add(Record::new(
+            name("example."),
+            3600,
+            RData::Soa {
+                mname: name("ns1.example."),
+                rname: name("host.example."),
+                serial: 1,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: 300,
+            },
+        ))
+        .unwrap();
+        zone.add(Record::new(name("*.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 9))))
+            .unwrap();
+        let z = sign_zone(
+            &zone,
+            &SignerConfig::standard(&name("example."), NOW),
+        )
+        .unwrap();
+        let proof =
+            wildcard_expansion_proof(&z, &name("anything.example."), &name("example.")).unwrap();
+        assert_eq!(proof.kind, DenialKind::WildcardExpansion);
+        assert!(proof.records.iter().any(|r| r.rrtype() == RrType::NSEC3));
+    }
+}

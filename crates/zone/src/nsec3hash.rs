@@ -1,0 +1,200 @@
+//! The NSEC3 hash computation (RFC 5155 §5) and its cost accounting.
+//!
+//! ```text
+//! IH(salt, x, 0) = H(x || salt)
+//! IH(salt, x, k) = H(IH(salt, x, k-1) || salt)   for k > 0
+//! hash = IH(salt, owner-name-in-canonical-wire-form, iterations)
+//! ```
+//!
+//! where `H` is SHA-1 (the only defined algorithm) and `iterations` is the
+//! number of *additional* iterations — the parameter RFC 9276 item 2
+//! requires to be zero, and the lever CVE-2023-50868 pulls.
+
+use dns_crypto::sha1::Sha1;
+use dns_crypto::Digest;
+use dns_wire::name::Name;
+use dns_wire::rdata::{RData, NSEC3_HASH_SHA1};
+#[cfg(test)]
+use dns_wire::base32;
+
+/// Per-zone NSEC3 parameters, as carried in NSEC3PARAM and in every NSEC3
+/// record of a zone.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Nsec3Params {
+    /// Hash algorithm (1 = SHA-1; anything else is treated as unknown and
+    /// the zone as insecure, per RFC 5155 §8.1).
+    pub hash_alg: u8,
+    /// Number of *additional* hash iterations.
+    pub iterations: u16,
+    /// Salt appended to the name (and every intermediate digest).
+    pub salt: Vec<u8>,
+}
+
+impl Nsec3Params {
+    /// The RFC 9276-compliant parameter set: SHA-1, zero additional
+    /// iterations, empty salt ("1 0 0 -").
+    pub fn rfc9276() -> Self {
+        Nsec3Params { hash_alg: NSEC3_HASH_SHA1, iterations: 0, salt: Vec::new() }
+    }
+
+    /// Arbitrary parameters (the populations in the wild).
+    pub fn new(iterations: u16, salt: Vec<u8>) -> Self {
+        Nsec3Params { hash_alg: NSEC3_HASH_SHA1, iterations, salt }
+    }
+
+    /// Extract parameters from an NSEC3 or NSEC3PARAM RDATA.
+    pub fn from_rdata(rdata: &RData) -> Option<Self> {
+        match rdata {
+            RData::Nsec3 { hash_alg, iterations, salt, .. }
+            | RData::Nsec3Param { hash_alg, iterations, salt, .. } => Some(Nsec3Params {
+                hash_alg: *hash_alg,
+                iterations: *iterations,
+                salt: salt.clone(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Does this parameter set comply with RFC 9276 (items 2 and 3)?
+    /// Item 2 (MUST, iterations == 0) and item 3 (SHOULD NOT, salt) are
+    /// reported separately by the analysis crate; *full* compliance is both.
+    pub fn rfc9276_compliant(&self) -> bool {
+        self.iterations == 0 && self.salt.is_empty()
+    }
+}
+
+impl Default for Nsec3Params {
+    fn default() -> Self {
+        Self::rfc9276()
+    }
+}
+
+/// Result of hashing one name: the digest and what it cost.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Nsec3Hash {
+    /// The 20-byte SHA-1 based NSEC3 hash.
+    pub digest: [u8; 20],
+    /// SHA-1 compression-function invocations spent computing it — the
+    /// currency of CVE-2023-50868.
+    pub compressions: u64,
+}
+
+/// Compute the NSEC3 hash of `name` under `params`.
+///
+/// The name is hashed in canonical (lowercased, uncompressed) wire form per
+/// RFC 5155 §5.
+pub fn nsec3_hash(name: &Name, params: &Nsec3Params) -> Nsec3Hash {
+    let mut compressions = 0u64;
+    let mut h = Sha1::new();
+    h.update(&name.to_canonical_wire());
+    h.update(&params.salt);
+    compressions += h.padded_compressions();
+    let mut digest = h.finalize_fixed();
+    for _ in 0..params.iterations {
+        let mut h = Sha1::new();
+        h.update(&digest);
+        h.update(&params.salt);
+        compressions += h.padded_compressions();
+        digest = h.finalize_fixed();
+    }
+    Nsec3Hash { digest, compressions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::name::name;
+
+    /// RFC 5155 Appendix A: zone `example.`, salt `aabbccdd`, 12 additional
+    /// iterations.
+    fn appendix_a_params() -> Nsec3Params {
+        Nsec3Params::new(12, vec![0xaa, 0xbb, 0xcc, 0xdd])
+    }
+
+    fn hash_b32(n: &str) -> String {
+        base32::encode(&nsec3_hash(&name(n), &appendix_a_params()).digest)
+    }
+
+    #[test]
+    fn rfc5155_appendix_a_vectors() {
+        // Every (name, hash) pair published in RFC 5155 Appendix A.
+        let vectors = [
+            ("example.", "0p9mhaveqvm6t7vbl5lop2u3t2rp3tom"),
+            ("a.example.", "35mthgpgcu1qg68fab165klnsnk3dpvl"),
+            ("ai.example.", "gjeqe526plbf1g8mklp59enfd789njgi"),
+            ("ns1.example.", "2t7b4g4vsa5smi47k61mv5bv1a22bojr"),
+            ("ns2.example.", "q04jkcevqvmu85r014c7dkba38o0ji5r"),
+            ("w.example.", "k8udemvp1j2f7eg6jebps17vp3n8i58h"),
+            ("*.w.example.", "r53bq7cc2uvmubfu5ocmm6pers9tk9en"),
+            ("x.w.example.", "b4um86eghhds6nea196smvmlo4ors995"),
+            ("y.w.example.", "ji6neoaepv8b5o6k4ev33abha8ht9fgc"),
+            ("x.y.w.example.", "2vptu5timamqttgl4luu9kg21e0aor3s"),
+            ("xx.example.", "t644ebqk9bibcna874givr6joj62mlhv"),
+        ];
+        for (n, expected) in vectors {
+            assert_eq!(hash_b32(n), expected, "hash of {n}");
+        }
+    }
+
+    #[test]
+    fn hash_is_case_insensitive() {
+        let p = appendix_a_params();
+        assert_eq!(
+            nsec3_hash(&name("A.Example."), &p).digest,
+            nsec3_hash(&name("a.example."), &p).digest
+        );
+    }
+
+    #[test]
+    fn zero_iterations_is_one_hash() {
+        let p = Nsec3Params::rfc9276();
+        let h = nsec3_hash(&name("example.com."), &p);
+        // Short input: one compression.
+        assert_eq!(h.compressions, 1);
+    }
+
+    #[test]
+    fn compressions_scale_linearly_with_iterations() {
+        let short_salt = Nsec3Params::new(100, vec![0xab; 4]);
+        let h = nsec3_hash(&name("example.com."), &short_salt);
+        // 1 initial + 100 iterations, each 20+4+9 = 33 bytes = 1 block.
+        assert_eq!(h.compressions, 101);
+        // A big salt forces 2 blocks per iteration: 20+64+9 = 93 bytes.
+        let big_salt = Nsec3Params::new(100, vec![0xab; 64]);
+        let h2 = nsec3_hash(&name("example.com."), &big_salt);
+        assert_eq!(h2.compressions, 202);
+        // The CVE's lever: cost ratio vs the RFC 9276 setting.
+        let base = nsec3_hash(&name("example.com."), &Nsec3Params::rfc9276());
+        assert!(h2.compressions / base.compressions >= 100);
+    }
+
+    #[test]
+    fn salt_changes_hash() {
+        let a = nsec3_hash(&name("x.example."), &Nsec3Params::new(0, vec![]));
+        let b = nsec3_hash(&name("x.example."), &Nsec3Params::new(0, vec![1]));
+        assert_ne!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn iterations_change_hash() {
+        let a = nsec3_hash(&name("x.example."), &Nsec3Params::new(0, vec![]));
+        let b = nsec3_hash(&name("x.example."), &Nsec3Params::new(1, vec![]));
+        assert_ne!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn rfc9276_compliance_predicate() {
+        assert!(Nsec3Params::rfc9276().rfc9276_compliant());
+        assert!(!Nsec3Params::new(1, vec![]).rfc9276_compliant());
+        assert!(!Nsec3Params::new(0, vec![1]).rfc9276_compliant());
+    }
+
+    #[test]
+    fn params_from_rdata() {
+        let rd = RData::Nsec3Param { hash_alg: 1, flags: 0, iterations: 5, salt: vec![9] };
+        let p = Nsec3Params::from_rdata(&rd).unwrap();
+        assert_eq!(p.iterations, 5);
+        assert_eq!(p.salt, vec![9]);
+        assert!(Nsec3Params::from_rdata(&RData::Txt(vec![])).is_none());
+    }
+}

@@ -1,0 +1,680 @@
+//! Zone signing: DNSKEY publication, NSEC/NSEC3 chain construction, and
+//! RRSIG generation (RFC 4034/4035/5155), over the SimSig scheme.
+
+use dns_crypto::keytag::key_tag;
+use dns_crypto::sha256::sha256;
+use dns_crypto::simsig::{self, KeyPair};
+use dns_wire::buf::Writer;
+use dns_wire::name::Name;
+use dns_wire::rdata::{RData, NSEC3_FLAG_OPT_OUT};
+use dns_wire::record::{canonical_rrset_order, Record};
+use dns_wire::rrtype::RrType;
+use dns_wire::typebitmap::TypeBitmap;
+use dns_wire::base32;
+
+use crate::nsec3hash::{nsec3_hash, Nsec3Params};
+use crate::zone::Zone;
+use crate::ZoneError;
+
+/// DNSKEY flags value for a zone-signing key.
+pub const FLAGS_ZSK: u16 = 256;
+/// DNSKEY flags value for a key-signing key (SEP bit set).
+pub const FLAGS_KSK: u16 = 257;
+
+/// A signing key: the SimSig pair plus its DNSKEY presentation.
+#[derive(Clone, Debug)]
+pub struct SigningKey {
+    /// The key material.
+    pub pair: KeyPair,
+    /// DNSKEY flags (256 = ZSK, 257 = KSK).
+    pub flags: u16,
+    /// Algorithm number stamped on DNSKEY/RRSIG records (a label only; the
+    /// math is always SimSig — see `dns_crypto::simsig`).
+    pub algorithm: u8,
+}
+
+impl SigningKey {
+    /// Deterministic ZSK for a zone.
+    pub fn zsk(apex: &Name) -> Self {
+        SigningKey {
+            pair: KeyPair::from_seed(format!("zsk:{apex}").as_bytes()),
+            flags: FLAGS_ZSK,
+            algorithm: simsig::SIMSIG_ALGORITHM,
+        }
+    }
+
+    /// Deterministic KSK for a zone.
+    pub fn ksk(apex: &Name) -> Self {
+        SigningKey {
+            pair: KeyPair::from_seed(format!("ksk:{apex}").as_bytes()),
+            flags: FLAGS_KSK,
+            algorithm: simsig::SIMSIG_ALGORITHM,
+        }
+    }
+
+    /// The DNSKEY RDATA for this key.
+    pub fn dnskey_rdata(&self) -> RData {
+        RData::Dnskey {
+            flags: self.flags,
+            protocol: 3,
+            algorithm: self.algorithm,
+            public_key: self.pair.public_key().to_vec(),
+        }
+    }
+
+    /// The RFC 4034 key tag of this key's DNSKEY RDATA.
+    pub fn key_tag(&self) -> u16 {
+        key_tag(&self.dnskey_rdata().canonical_bytes())
+    }
+
+    /// Is this a KSK (SEP flag)?
+    pub fn is_ksk(&self) -> bool {
+        self.flags & 0x0001 != 0
+    }
+}
+
+/// Which denial-of-existence mechanism a zone uses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Denial {
+    /// Plain NSEC (RFC 4034).
+    Nsec,
+    /// Hashed denial (RFC 5155) with the given parameters.
+    Nsec3 {
+        /// Hash parameters (algorithm, iterations, salt).
+        params: Nsec3Params,
+        /// Whether NSEC3 records set the opt-out flag.
+        opt_out: bool,
+    },
+}
+
+impl Denial {
+    /// NSEC3 with RFC 9276-compliant parameters and no opt-out.
+    pub fn nsec3_rfc9276() -> Self {
+        Denial::Nsec3 { params: Nsec3Params::rfc9276(), opt_out: false }
+    }
+}
+
+/// Signer configuration.
+#[derive(Clone, Debug)]
+pub struct SignerConfig {
+    /// Keys; at least one. If both KSKs and ZSKs are present, the DNSKEY
+    /// RRset is signed by KSKs and everything else by ZSKs; with a single
+    /// kind, it signs everything.
+    pub keys: Vec<SigningKey>,
+    /// RRSIG inception (epoch seconds).
+    pub inception: u32,
+    /// RRSIG expiration (epoch seconds).
+    pub expiration: u32,
+    /// Denial mechanism.
+    pub denial: Denial,
+}
+
+impl SignerConfig {
+    /// A conventional setup for `apex`: deterministic KSK+ZSK, validity
+    /// `[now - 1h, now + 30d]`, NSEC3 per RFC 9276.
+    pub fn standard(apex: &Name, now: u32) -> Self {
+        SignerConfig {
+            keys: vec![SigningKey::ksk(apex), SigningKey::zsk(apex)],
+            inception: now.saturating_sub(3600),
+            expiration: now + 30 * 86_400,
+            denial: Denial::nsec3_rfc9276(),
+        }
+    }
+
+    /// Same but with explicit NSEC3 parameters (the wild populations).
+    pub fn with_nsec3(apex: &Name, now: u32, params: Nsec3Params, opt_out: bool) -> Self {
+        SignerConfig { denial: Denial::Nsec3 { params, opt_out }, ..Self::standard(apex, now) }
+    }
+}
+
+/// A zone after signing: records plus the indexes servers need.
+#[derive(Clone, Debug)]
+pub struct SignedZone {
+    /// The zone, now containing DNSKEY/RRSIG/NSEC(3)/NSEC3PARAM records.
+    pub zone: Zone,
+    /// The denial mechanism in force.
+    pub denial: Denial,
+    /// The signing keys (servers re-sign nothing; this supports DS export
+    /// and test assertions).
+    pub keys: Vec<SigningKey>,
+    /// For NSEC3 zones: `(hash, nsec3-owner-name)` sorted by hash.
+    pub nsec3_index: Vec<([u8; 20], Name)>,
+}
+
+impl SignedZone {
+    /// DS records (digest type 2, SHA-256) for every KSK — what the parent
+    /// zone publishes.
+    pub fn ds_records(&self, ttl: u32) -> Vec<Record> {
+        let apex = self.zone.apex().clone();
+        self.keys
+            .iter()
+            .filter(|k| k.is_ksk())
+            .map(|k| {
+                let rdata = k.dnskey_rdata();
+                let mut buf = apex.to_canonical_wire();
+                buf.extend_from_slice(&rdata.canonical_bytes());
+                Record::new(
+                    apex.clone(),
+                    ttl,
+                    RData::Ds {
+                        key_tag: key_tag(&rdata.canonical_bytes()),
+                        algorithm: k.algorithm,
+                        digest_type: 2,
+                        digest: sha256(&buf).to_vec(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// The NSEC3 parameters, if this zone is NSEC3-signed.
+    pub fn nsec3_params(&self) -> Option<&Nsec3Params> {
+        match &self.denial {
+            Denial::Nsec3 { params, .. } => Some(params),
+            Denial::Nsec => None,
+        }
+    }
+}
+
+/// Build the RFC 4034 §3.1.8.1 signing buffer: RRSIG RDATA (sans signature)
+/// followed by each RR in canonical form and order.
+///
+/// Shared verbatim by signer and validator, so any disagreement is a bug in
+/// exactly one place.
+pub fn signing_buffer(
+    rrsig_fields: &RData,
+    owner: &Name,
+    records: &[Record],
+) -> Result<Vec<u8>, ZoneError> {
+    let (type_covered, algorithm, labels, original_ttl, expiration, inception, key_tag, signer_name) =
+        match rrsig_fields {
+            RData::Rrsig {
+                type_covered,
+                algorithm,
+                labels,
+                original_ttl,
+                expiration,
+                inception,
+                key_tag,
+                signer_name,
+                ..
+            } => (
+                *type_covered,
+                *algorithm,
+                *labels,
+                *original_ttl,
+                *expiration,
+                *inception,
+                *key_tag,
+                signer_name,
+            ),
+            _ => return Err(ZoneError::NotAnRrsig),
+        };
+    let mut w = Writer::plain();
+    w.u16(type_covered.0);
+    w.u8(algorithm);
+    w.u8(labels);
+    w.u32(original_ttl);
+    w.u32(expiration);
+    w.u32(inception);
+    w.u16(key_tag);
+    w.bytes(&signer_name.to_canonical_wire());
+    let mut sorted = records.to_vec();
+    canonical_rrset_order(&mut sorted);
+    // RFC 4035 §5.3.2: if the RRSIG labels field is less than the owner's
+    // label count, the owner is replaced by the wildcard-expanded source
+    // (`*.<labels rightmost labels>`).
+    let owner_wire = effective_owner(owner, labels).to_canonical_wire();
+    for rec in &sorted {
+        w.bytes(&owner_wire);
+        w.u16(rec.rrtype().0);
+        w.u16(rec.class.0);
+        w.u32(original_ttl);
+        let rdata = rec.rdata.canonical_bytes();
+        w.u16(rdata.len() as u16);
+        w.bytes(&rdata);
+    }
+    Ok(w.finish())
+}
+
+/// Owner name as covered by a signature with `labels`: either the owner
+/// itself or the wildcard source it was expanded from.
+fn effective_owner(owner: &Name, labels: u8) -> Name {
+    let own = significant_labels(owner);
+    if (labels as usize) < own {
+        // Reconstruct *.<rightmost `labels` labels>.
+        let mut n = owner.clone();
+        while significant_labels(&n) > labels as usize {
+            n = n.parent().expect("label count > 0");
+        }
+        n.prepend(b"*").expect("wildcard fits")
+    } else {
+        owner.clone()
+    }
+}
+
+/// The RRSIG `labels` value for an owner: label count, not counting the
+/// root or a leading `*`.
+pub fn significant_labels(owner: &Name) -> usize {
+    owner.label_count() - usize::from(owner.is_wildcard())
+}
+
+/// Sign one RRset with one key, producing the RRSIG record.
+pub fn sign_rrset(
+    records: &[Record],
+    key: &SigningKey,
+    signer_name: &Name,
+    inception: u32,
+    expiration: u32,
+) -> Result<Record, ZoneError> {
+    let first = records.first().ok_or(ZoneError::EmptyRrset)?;
+    let owner = &first.name;
+    let fields = RData::Rrsig {
+        type_covered: first.rrtype(),
+        algorithm: key.algorithm,
+        labels: significant_labels(owner) as u8,
+        original_ttl: first.ttl,
+        expiration,
+        inception,
+        key_tag: key.key_tag(),
+        signer_name: signer_name.clone(),
+        signature: Vec::new(),
+    };
+    let buffer = signing_buffer(&fields, owner, records)?;
+    let signature = key.pair.sign(&buffer);
+    let rdata = match fields {
+        RData::Rrsig {
+            type_covered,
+            algorithm,
+            labels,
+            original_ttl,
+            expiration,
+            inception,
+            key_tag,
+            signer_name,
+            ..
+        } => RData::Rrsig {
+            type_covered,
+            algorithm,
+            labels,
+            original_ttl,
+            expiration,
+            inception,
+            key_tag,
+            signer_name,
+            signature,
+        },
+        _ => unreachable!(),
+    };
+    Ok(Record::new(owner.clone(), first.ttl, rdata))
+}
+
+/// Verify one RRSIG over an RRset against a DNSKEY public key.
+///
+/// Checks the cryptographic binding only; temporal validity and chain
+/// placement are the resolver's job.
+pub fn verify_rrsig(
+    rrsig: &RData,
+    owner: &Name,
+    records: &[Record],
+    public_key: &[u8],
+) -> bool {
+    let signature = match rrsig {
+        RData::Rrsig { signature, .. } => signature,
+        _ => return false,
+    };
+    match signing_buffer(rrsig, owner, records) {
+        Ok(buffer) => simsig::verify(public_key, &buffer, signature),
+        Err(_) => false,
+    }
+}
+
+/// Sign `zone` according to `config`, producing a [`SignedZone`].
+pub fn sign_zone(zone: &Zone, config: &SignerConfig) -> Result<SignedZone, ZoneError> {
+    if config.keys.is_empty() {
+        return Err(ZoneError::NoKeys);
+    }
+    let apex = zone.apex().clone();
+    let mut out = zone.clone();
+    let dnskey_ttl = 3600;
+
+    // 1. Publish DNSKEYs.
+    for key in &config.keys {
+        out.add(Record::new(apex.clone(), dnskey_ttl, key.dnskey_rdata()))?;
+    }
+
+    // 2. Build the denial chain.
+    let negative_ttl = zone.negative_ttl();
+    let mut nsec3_index = Vec::new();
+    match &config.denial {
+        Denial::Nsec3 { params, opt_out } => {
+            // NSEC3PARAM at the apex (flags MUST be zero there, RFC 5155 §4.1.2).
+            out.add(Record::new(
+                apex.clone(),
+                negative_ttl,
+                RData::Nsec3Param {
+                    hash_alg: params.hash_alg,
+                    flags: 0,
+                    iterations: params.iterations,
+                    salt: params.salt.clone(),
+                },
+            ))?;
+            let names = out.denial_names(*opt_out);
+            let mut hashed: Vec<([u8; 20], Name)> = names
+                .iter()
+                .map(|n| (nsec3_hash(n, params).digest, n.clone()))
+                .collect();
+            hashed.sort_by_key(|a| a.0);
+            let count = hashed.len();
+            for (i, (hash, original)) in hashed.iter().enumerate() {
+                let next = &hashed[(i + 1) % count].0;
+                let owner = Name::parse(&base32::encode(hash))
+                    .expect("base32 label is valid")
+                    .concat(&apex)
+                    .expect("owner fits");
+                let mut types = TypeBitmap::from_types(out.types_at(original));
+                if will_have_rrsig(&out, original) {
+                    types.insert(RrType::RRSIG);
+                }
+                let flags = if *opt_out { NSEC3_FLAG_OPT_OUT } else { 0 };
+                out.add(Record::new(
+                    owner.clone(),
+                    negative_ttl,
+                    RData::Nsec3 {
+                        hash_alg: params.hash_alg,
+                        flags,
+                        iterations: params.iterations,
+                        salt: params.salt.clone(),
+                        next_hashed: next.to_vec(),
+                        types,
+                    },
+                ))?;
+                nsec3_index.push((*hash, owner));
+            }
+            nsec3_index.sort_by_key(|a| a.0);
+        }
+        Denial::Nsec => {
+            let names = out.denial_names(false);
+            let count = names.len();
+            for (i, owner) in names.iter().enumerate() {
+                let next = names[(i + 1) % count].clone();
+                let mut types = TypeBitmap::from_types(out.types_at(owner));
+                types.insert(RrType::NSEC);
+                // Every NSEC owner carries at least the RRSIG of its NSEC.
+                types.insert(RrType::RRSIG);
+                out.add(Record::new(
+                    owner.clone(),
+                    negative_ttl,
+                    RData::Nsec { next, types },
+                ))?;
+            }
+        }
+    }
+
+    // 3. Sign every authoritative RRset.
+    let kss: Vec<&SigningKey> = config.keys.iter().filter(|k| k.is_ksk()).collect();
+    let zss: Vec<&SigningKey> = config.keys.iter().filter(|k| !k.is_ksk()).collect();
+    let mut signatures: Vec<Record> = Vec::new();
+    let names: Vec<Name> = out.names().cloned().collect();
+    for owner in &names {
+        if out.is_occluded(owner) {
+            continue;
+        }
+        let is_delegation = out.is_delegation(owner);
+        for rrtype in out.types_at(owner) {
+            // At a delegation point only the DS RRset is signed.
+            if is_delegation && rrtype != RrType::DS {
+                continue;
+            }
+            let signers: &[&SigningKey] = if rrtype == RrType::DNSKEY && !kss.is_empty() {
+                &kss
+            } else if !zss.is_empty() {
+                &zss
+            } else {
+                &kss
+            };
+            let rrset = out.rrset(owner, rrtype).expect("type listed").to_vec();
+            for key in signers {
+                signatures.push(sign_rrset(
+                    &rrset,
+                    key,
+                    &apex,
+                    config.inception,
+                    config.expiration,
+                )?);
+            }
+        }
+    }
+    for sig in signatures {
+        out.add(sig)?;
+    }
+
+    Ok(SignedZone {
+        zone: out,
+        denial: config.denial.clone(),
+        keys: config.keys.clone(),
+        nsec3_index,
+    })
+}
+
+/// Will `owner` carry at least one RRSIG after signing? (Everything
+/// authoritative does, except empty non-terminals and insecure delegation
+/// points.)
+fn will_have_rrsig(zone: &Zone, owner: &Name) -> bool {
+    if !zone.has_name(owner) {
+        return false; // empty non-terminal
+    }
+    if zone.is_delegation(owner) {
+        return zone.is_signed_delegation(owner);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::name::name;
+    use std::net::Ipv4Addr;
+
+    const NOW: u32 = 1_710_000_000;
+
+    fn build_zone() -> Zone {
+        let mut z = Zone::new(name("example."));
+        z.add(Record::new(
+            name("example."),
+            3600,
+            RData::Soa {
+                mname: name("ns1.example."),
+                rname: name("host.example."),
+                serial: 1,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: 300,
+            },
+        ))
+        .unwrap();
+        z.add(Record::new(name("example."), 3600, RData::Ns(name("ns1.example.")))).unwrap();
+        z.add(Record::new(name("ns1.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 53))))
+            .unwrap();
+        z.add(Record::new(name("www.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 1))))
+            .unwrap();
+        z.add(Record::new(name("*.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 99))))
+            .unwrap();
+        z
+    }
+
+    fn signed() -> SignedZone {
+        sign_zone(&build_zone(), &SignerConfig::standard(&name("example."), NOW)).unwrap()
+    }
+
+    #[test]
+    fn signing_adds_dnssec_records() {
+        let s = signed();
+        assert!(s.zone.rrset(&name("example."), RrType::DNSKEY).is_some());
+        assert!(s.zone.rrset(&name("example."), RrType::NSEC3PARAM).is_some());
+        assert!(s.zone.rrset(&name("example."), RrType::RRSIG).is_some());
+        assert_eq!(s.nsec3_index.len(), 4); // apex, ns1, www, *
+    }
+
+    #[test]
+    fn nsec3_chain_is_circular_and_sorted() {
+        let s = signed();
+        let hashes: Vec<[u8; 20]> = s.nsec3_index.iter().map(|(h, _)| *h).collect();
+        let mut sorted = hashes.clone();
+        sorted.sort();
+        assert_eq!(hashes, sorted);
+        // Each NSEC3's next_hashed is the following hash, wrapping.
+        for (i, (_, owner)) in s.nsec3_index.iter().enumerate() {
+            let rec = &s.zone.rrset(owner, RrType::NSEC3).unwrap()[0];
+            match &rec.rdata {
+                RData::Nsec3 { next_hashed, .. } => {
+                    assert_eq!(
+                        next_hashed.as_slice(),
+                        &hashes[(i + 1) % hashes.len()],
+                        "chain at {owner}"
+                    );
+                }
+                _ => panic!("not NSEC3"),
+            }
+        }
+    }
+
+    #[test]
+    fn rrsig_verifies_and_rejects_tamper() {
+        let s = signed();
+        let www = name("www.example.");
+        let rrset = s.zone.rrset(&www, RrType::A).unwrap().to_vec();
+        let sigs = s.zone.rrset(&www, RrType::RRSIG).unwrap();
+        let sig = sigs
+            .iter()
+            .find(|r| matches!(&r.rdata, RData::Rrsig { type_covered, .. } if *type_covered == RrType::A))
+            .unwrap();
+        let zsk = s.keys.iter().find(|k| !k.is_ksk()).unwrap();
+        assert!(verify_rrsig(&sig.rdata, &www, &rrset, zsk.pair.public_key()));
+        // Tampered record must fail.
+        let mut bad = rrset.clone();
+        bad[0].rdata = RData::A(Ipv4Addr::new(10, 0, 0, 1));
+        assert!(!verify_rrsig(&sig.rdata, &www, &bad, zsk.pair.public_key()));
+        // Wrong key must fail.
+        let ksk = s.keys.iter().find(|k| k.is_ksk()).unwrap();
+        assert!(!verify_rrsig(&sig.rdata, &www, &rrset, ksk.pair.public_key()));
+    }
+
+    #[test]
+    fn dnskey_signed_by_ksk_everything_else_by_zsk() {
+        let s = signed();
+        let apex = name("example.");
+        let ksk_tag = s.keys.iter().find(|k| k.is_ksk()).unwrap().key_tag();
+        let zsk_tag = s.keys.iter().find(|k| !k.is_ksk()).unwrap().key_tag();
+        let sigs = s.zone.rrset(&apex, RrType::RRSIG).unwrap();
+        for sig in sigs {
+            if let RData::Rrsig { type_covered, key_tag, .. } = &sig.rdata {
+                if *type_covered == RrType::DNSKEY {
+                    assert_eq!(*key_tag, ksk_tag);
+                } else {
+                    assert_eq!(*key_tag, zsk_tag);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ds_records_cover_ksks_only() {
+        let s = signed();
+        let ds = s.ds_records(3600);
+        assert_eq!(ds.len(), 1);
+        match &ds[0].rdata {
+            RData::Ds { key_tag: kt, digest_type, digest, .. } => {
+                assert_eq!(*kt, s.keys.iter().find(|k| k.is_ksk()).unwrap().key_tag());
+                assert_eq!(*digest_type, 2);
+                assert_eq!(digest.len(), 32);
+            }
+            _ => panic!("not DS"),
+        }
+    }
+
+    #[test]
+    fn wildcard_expansion_verifies() {
+        // Signature made over *.example. must verify for an expanded owner
+        // via the labels-field reconstruction.
+        let s = signed();
+        let wild = name("*.example.");
+        let rrset = s.zone.rrset(&wild, RrType::A).unwrap().to_vec();
+        let sigs = s.zone.rrset(&wild, RrType::RRSIG).unwrap();
+        let sig = sigs
+            .iter()
+            .find(|r| matches!(&r.rdata, RData::Rrsig { type_covered, .. } if *type_covered == RrType::A))
+            .unwrap();
+        let zsk = s.keys.iter().find(|k| !k.is_ksk()).unwrap();
+        // Expanded: pretend the answer was synthesized for q.example.
+        let expanded: Vec<Record> = rrset
+            .iter()
+            .map(|r| Record::new(name("q.example."), r.ttl, r.rdata.clone()))
+            .collect();
+        assert!(verify_rrsig(&sig.rdata, &name("q.example."), &expanded, zsk.pair.public_key()));
+        // And for a deeper expansion.
+        let deeper: Vec<Record> = rrset
+            .iter()
+            .map(|r| Record::new(name("a.b.example."), r.ttl, r.rdata.clone()))
+            .collect();
+        assert!(verify_rrsig(&sig.rdata, &name("a.b.example."), &deeper, zsk.pair.public_key()));
+    }
+
+    #[test]
+    fn nsec_signing_builds_linear_chain() {
+        let cfg = SignerConfig {
+            denial: Denial::Nsec,
+            ..SignerConfig::standard(&name("example."), NOW)
+        };
+        let s = sign_zone(&build_zone(), &cfg).unwrap();
+        // Walk the chain from the apex; it must return to the apex after
+        // covering every denial name.
+        let start = name("example.");
+        let mut cur = start.clone();
+        let mut seen = 0;
+        loop {
+            let nsec = &s.zone.rrset(&cur, RrType::NSEC).unwrap()[0];
+            let next = match &nsec.rdata {
+                RData::Nsec { next, .. } => next.clone(),
+                _ => panic!(),
+            };
+            seen += 1;
+            cur = next;
+            if cur == start {
+                break;
+            }
+            assert!(seen < 100, "chain does not close");
+        }
+        assert_eq!(seen, 4);
+    }
+
+    #[test]
+    fn apex_nsec3_bitmap_contains_zone_keys() {
+        let s = signed();
+        let apex_hash = nsec3_hash(&name("example."), s.nsec3_params().unwrap()).digest;
+        let (_, owner) = s
+            .nsec3_index
+            .iter()
+            .find(|(h, _)| *h == apex_hash)
+            .expect("apex in index");
+        let rec = &s.zone.rrset(owner, RrType::NSEC3).unwrap()[0];
+        match &rec.rdata {
+            RData::Nsec3 { types, .. } => {
+                for t in [RrType::SOA, RrType::NS, RrType::DNSKEY, RrType::NSEC3PARAM, RrType::RRSIG] {
+                    assert!(types.contains(t), "apex bitmap missing {t}");
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn signing_requires_keys() {
+        let cfg = SignerConfig {
+            keys: vec![],
+            ..SignerConfig::standard(&name("example."), NOW)
+        };
+        assert!(sign_zone(&build_zone(), &cfg).is_err());
+    }
+}

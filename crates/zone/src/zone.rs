@@ -1,0 +1,356 @@
+//! The zone model: a canonically-ordered collection of RRsets with the
+//! structural queries zone signing and denial-of-existence need.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dns_wire::name::Name;
+use dns_wire::rdata::RData;
+use dns_wire::record::Record;
+use dns_wire::rrtype::RrType;
+
+use crate::ZoneError;
+
+/// An (owner, type)-indexed zone. The owner index is a `BTreeMap` over
+/// [`Name`]'s RFC 4034 canonical ordering, so iteration *is* canonical
+/// order — exactly what NSEC chain building needs.
+#[derive(Clone, Debug)]
+pub struct Zone {
+    apex: Name,
+    rrsets: BTreeMap<Name, BTreeMap<RrType, Vec<Record>>>,
+}
+
+impl Zone {
+    /// An empty zone rooted at `apex`.
+    pub fn new(apex: Name) -> Self {
+        Zone { apex, rrsets: BTreeMap::new() }
+    }
+
+    /// The zone apex.
+    pub fn apex(&self) -> &Name {
+        &self.apex
+    }
+
+    /// Insert a record. Rejects out-of-bailiwick owners.
+    pub fn add(&mut self, record: Record) -> Result<(), ZoneError> {
+        if !record.name.is_subdomain_of(&self.apex) {
+            return Err(ZoneError::OutOfZone(record.name.clone()));
+        }
+        self.rrsets
+            .entry(record.name.clone())
+            .or_default()
+            .entry(record.rrtype())
+            .or_default()
+            .push(record);
+        Ok(())
+    }
+
+    /// Remove every record of `rrtype` at `name`.
+    pub fn remove_rrset(&mut self, name: &Name, rrtype: RrType) {
+        if let Some(types) = self.rrsets.get_mut(name) {
+            types.remove(&rrtype);
+            if types.is_empty() {
+                self.rrsets.remove(name);
+            }
+        }
+    }
+
+    /// The RRset of `rrtype` at `name`, if present.
+    pub fn rrset(&self, name: &Name, rrtype: RrType) -> Option<&[Record]> {
+        self.rrsets
+            .get(name)
+            .and_then(|t| t.get(&rrtype))
+            .map(|v| v.as_slice())
+    }
+
+    /// Mutable access to an RRset (used by fault injectors).
+    pub fn rrset_mut(&mut self, name: &Name, rrtype: RrType) -> Option<&mut Vec<Record>> {
+        self.rrsets.get_mut(name).and_then(|t| t.get_mut(&rrtype))
+    }
+
+    /// Does any record exist at exactly `name`?
+    pub fn has_name(&self, name: &Name) -> bool {
+        self.rrsets.contains_key(name)
+    }
+
+    /// RR types present at `name`, ascending.
+    pub fn types_at(&self, name: &Name) -> Vec<RrType> {
+        self.rrsets
+            .get(name)
+            .map(|t| t.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// All records at `name` across types.
+    pub fn records_at(&self, name: &Name) -> Vec<&Record> {
+        self.rrsets
+            .get(name)
+            .map(|t| t.values().flatten().collect())
+            .unwrap_or_default()
+    }
+
+    /// Owner names with explicit records, canonical order.
+    pub fn names(&self) -> impl Iterator<Item = &Name> {
+        self.rrsets.keys()
+    }
+
+    /// Every record in the zone, canonical owner order.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.rrsets.values().flat_map(|t| t.values().flatten())
+    }
+
+    /// Total record count.
+    pub fn len(&self) -> usize {
+        self.rrsets.values().map(|t| t.values().map(Vec::len).sum::<usize>()).sum()
+    }
+
+    /// True if the zone holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.rrsets.is_empty()
+    }
+
+    /// Is `name` a delegation point (NS RRset below the apex)?
+    pub fn is_delegation(&self, name: &Name) -> bool {
+        name != &self.apex && self.rrset(name, RrType::NS).is_some()
+    }
+
+    /// Is `name` a *secure* delegation (has a DS RRset)?
+    pub fn is_signed_delegation(&self, name: &Name) -> bool {
+        self.is_delegation(name) && self.rrset(name, RrType::DS).is_some()
+    }
+
+    /// Is `name` occluded — strictly below a delegation point (glue and
+    /// anything else under a zone cut), and therefore not authoritative?
+    pub fn is_occluded(&self, name: &Name) -> bool {
+        let mut cur = name.parent();
+        while let Some(n) = cur {
+            if !n.is_subdomain_of(&self.apex) || n == self.apex {
+                break;
+            }
+            if self.is_delegation(&n) {
+                return true;
+            }
+            cur = n.parent();
+        }
+        false
+    }
+
+    /// Empty non-terminals: names with no records of their own that
+    /// nevertheless exist because a descendant does (RFC 5155 needs NSEC3
+    /// records for these).
+    pub fn empty_non_terminals(&self) -> Vec<Name> {
+        let mut ents = BTreeSet::new();
+        for name in self.rrsets.keys() {
+            let mut cur = name.parent();
+            while let Some(n) = cur {
+                if !n.is_subdomain_of(&self.apex) || n == self.apex {
+                    break;
+                }
+                if !self.rrsets.contains_key(&n) {
+                    ents.insert(n.clone());
+                }
+                cur = n.parent();
+            }
+        }
+        ents.into_iter().collect()
+    }
+
+    /// Does `name` "exist" in the zone in the RFC 4035 sense — it has
+    /// records, or it is an empty non-terminal?
+    pub fn name_exists(&self, name: &Name) -> bool {
+        if self.rrsets.contains_key(name) {
+            return true;
+        }
+        // An ENT exists iff some stored name is strictly below `name`.
+        self.rrsets
+            .range(std::ops::RangeFrom { start: name.clone() })
+            .take_while(|(n, _)| n.is_subdomain_of(name))
+            .any(|(n, _)| n != name)
+    }
+
+    /// The names that get denial-of-existence records (RFC 5155 §7.1):
+    /// every authoritative name and delegation point plus empty
+    /// non-terminals; occluded names excluded. With `opt_out`, *insecure*
+    /// delegations (and ENTs that only exist because of them) are skipped.
+    pub fn denial_names(&self, opt_out: bool) -> Vec<Name> {
+        let mut out = BTreeSet::new();
+        for name in self.rrsets.keys() {
+            if self.is_occluded(name) {
+                continue;
+            }
+            if opt_out && self.is_delegation(name) && !self.is_signed_delegation(name) {
+                continue;
+            }
+            out.insert(name.clone());
+        }
+        for ent in self.empty_non_terminals() {
+            if self.is_occluded(&ent) {
+                continue;
+            }
+            if opt_out && !self.ent_has_in_chain_descendant(&ent, &out) {
+                continue;
+            }
+            out.insert(ent);
+        }
+        out.into_iter().collect()
+    }
+
+    /// With opt-out, an ENT only needs an NSEC3 record if some in-chain name
+    /// lives below it.
+    fn ent_has_in_chain_descendant(&self, ent: &Name, in_chain: &BTreeSet<Name>) -> bool {
+        in_chain.iter().any(|n| n != ent && n.is_subdomain_of(ent))
+    }
+
+    /// The closest encloser of `qname`: the longest existing (per
+    /// [`Zone::name_exists`]) ancestor-or-self of `qname` inside the zone.
+    pub fn closest_encloser(&self, qname: &Name) -> Name {
+        for candidate in qname.self_and_ancestors() {
+            if !candidate.is_subdomain_of(&self.apex) {
+                break;
+            }
+            if self.name_exists(&candidate) {
+                return candidate;
+            }
+        }
+        self.apex.clone()
+    }
+
+    /// The SOA minimum TTL (used as the TTL of denial records, RFC 2308).
+    pub fn negative_ttl(&self) -> u32 {
+        match self.rrset(&self.apex, RrType::SOA) {
+            Some([rec, ..]) => match &rec.rdata {
+                RData::Soa { minimum, .. } => (*minimum).min(rec.ttl),
+                _ => 3600,
+            },
+            _ => 3600,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_wire::name::name;
+    use std::net::Ipv4Addr;
+
+    fn a(n: &str, last: u8) -> Record {
+        Record::new(name(n), 300, RData::A(Ipv4Addr::new(192, 0, 2, last)))
+    }
+
+    fn soa(apex: &str) -> Record {
+        Record::new(
+            name(apex),
+            3600,
+            RData::Soa {
+                mname: name("ns1.example."),
+                rname: name("hostmaster.example."),
+                serial: 1,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: 900,
+            },
+        )
+    }
+
+    fn ns(owner: &str, target: &str) -> Record {
+        Record::new(name(owner), 3600, RData::Ns(name(target)))
+    }
+
+    fn sample_zone() -> Zone {
+        let mut z = Zone::new(name("example."));
+        z.add(soa("example.")).unwrap();
+        z.add(ns("example.", "ns1.example.")).unwrap();
+        z.add(a("ns1.example.", 53)).unwrap();
+        z.add(a("www.example.", 1)).unwrap();
+        z.add(a("a.b.c.example.", 2)).unwrap(); // creates ENTs b.c and c
+        z.add(ns("sub.example.", "ns1.sub.example.")).unwrap(); // insecure delegation
+        z.add(a("ns1.sub.example.", 54)).unwrap(); // glue (occluded)
+        z
+    }
+
+    #[test]
+    fn add_rejects_out_of_zone() {
+        let mut z = Zone::new(name("example."));
+        assert!(z.add(a("www.other.", 1)).is_err());
+    }
+
+    #[test]
+    fn rrset_lookup() {
+        let z = sample_zone();
+        assert_eq!(z.rrset(&name("www.example."), RrType::A).unwrap().len(), 1);
+        assert!(z.rrset(&name("www.example."), RrType::TXT).is_none());
+        assert!(z.rrset(&name("nx.example."), RrType::A).is_none());
+    }
+
+    #[test]
+    fn delegation_and_occlusion() {
+        let z = sample_zone();
+        assert!(z.is_delegation(&name("sub.example.")));
+        assert!(!z.is_delegation(&name("example.")));
+        assert!(!z.is_signed_delegation(&name("sub.example.")));
+        assert!(z.is_occluded(&name("ns1.sub.example.")));
+        assert!(!z.is_occluded(&name("www.example.")));
+    }
+
+    #[test]
+    fn empty_non_terminals_found() {
+        let z = sample_zone();
+        let ents = z.empty_non_terminals();
+        assert_eq!(ents, vec![name("c.example."), name("b.c.example.")]);
+    }
+
+    #[test]
+    fn name_exists_includes_ents() {
+        let z = sample_zone();
+        assert!(z.name_exists(&name("www.example.")));
+        assert!(z.name_exists(&name("b.c.example.")));
+        assert!(z.name_exists(&name("c.example.")));
+        assert!(!z.name_exists(&name("nx.example.")));
+        assert!(!z.name_exists(&name("z.b.c.example.")));
+    }
+
+    #[test]
+    fn closest_encloser_walks_up() {
+        let z = sample_zone();
+        assert_eq!(z.closest_encloser(&name("nx.example.")), name("example."));
+        assert_eq!(z.closest_encloser(&name("x.y.www.example.")), name("www.example."));
+        assert_eq!(z.closest_encloser(&name("q.b.c.example.")), name("b.c.example."));
+    }
+
+    #[test]
+    fn denial_names_full_chain() {
+        let z = sample_zone();
+        let names = z.denial_names(false);
+        // apex, ns1, www, a.b.c, b.c (ENT), c (ENT), sub (delegation);
+        // glue excluded.
+        assert!(names.contains(&name("example.")));
+        assert!(names.contains(&name("sub.example.")));
+        assert!(names.contains(&name("b.c.example.")));
+        assert!(!names.contains(&name("ns1.sub.example.")));
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn denial_names_opt_out_skips_insecure_delegations() {
+        let z = sample_zone();
+        let names = z.denial_names(true);
+        assert!(!names.contains(&name("sub.example.")));
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn negative_ttl_is_min_of_soa_minimum_and_ttl() {
+        let z = sample_zone();
+        assert_eq!(z.negative_ttl(), 900);
+        let z2 = Zone::new(name("x."));
+        assert_eq!(z2.negative_ttl(), 3600);
+    }
+
+    #[test]
+    fn len_and_iter() {
+        let z = sample_zone();
+        assert_eq!(z.len(), 7);
+        assert_eq!(z.iter().count(), 7);
+        assert!(!z.is_empty());
+    }
+}

@@ -1,0 +1,490 @@
+//! Master-file (zone file) parsing and printing (RFC 1035 §5) — the
+//! format CZDS downloads and AXFR dumps arrive in.
+//!
+//! Supported: `$ORIGIN` / `$TTL` directives, `@`, relative names,
+//! comments, parenthesized multi-line records (the conventional SOA
+//! layout), and the presentation formats of every record type this
+//! workspace handles — including RRSIG's `YYYYMMDDHHmmSS` timestamps and
+//! NSEC3's `-` empty salt.
+
+use dns_wire::base32;
+use dns_wire::base64;
+use dns_wire::name::Name;
+use dns_wire::rdata::RData;
+use dns_wire::record::Record;
+use dns_wire::rrtype::{Class, RrType};
+use dns_wire::typebitmap::TypeBitmap;
+
+use crate::zone::Zone;
+use crate::ZoneError;
+
+/// A zone-file parse error with its line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending record.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "zone file line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a zone file into a [`Zone`]. `default_origin` seeds `$ORIGIN`
+/// when the file does not declare one.
+pub fn parse_zone(text: &str, default_origin: &Name) -> Result<Zone, ParseError> {
+    let mut origin = default_origin.clone();
+    let mut default_ttl: u32 = 3600;
+    let mut last_owner: Option<Name> = None;
+    let mut records: Vec<Record> = Vec::new();
+
+    for (line_no, logical) in logical_lines(text) {
+        let err = |message: String| ParseError { line: line_no, message };
+        let mut tokens = tokenize(&logical);
+        if tokens.is_empty() {
+            continue;
+        }
+        // Directives.
+        if tokens[0].eq_ignore_ascii_case("$ORIGIN") {
+            let arg = tokens.get(1).ok_or_else(|| err("$ORIGIN needs a name".into()))?;
+            origin = parse_name(arg, &origin).map_err(&err)?;
+            continue;
+        }
+        if tokens[0].eq_ignore_ascii_case("$TTL") {
+            let arg = tokens.get(1).ok_or_else(|| err("$TTL needs a value".into()))?;
+            default_ttl = arg.parse().map_err(|_| err(format!("bad TTL {arg}")))?;
+            continue;
+        }
+        // Owner: present unless the line starts with whitespace.
+        let owner = if logical.starts_with(' ') || logical.starts_with('\t') {
+            last_owner.clone().ok_or_else(|| err("no previous owner".into()))?
+        } else {
+            let tok = tokens.remove(0);
+            parse_name(&tok, &origin).map_err(&err)?
+        };
+        last_owner = Some(owner.clone());
+        // Optional TTL and class, in either order.
+        let mut ttl = default_ttl;
+        let i = 0;
+        while i < tokens.len() {
+            if let Ok(v) = tokens[i].parse::<u32>() {
+                if RrType::from_mnemonic(&tokens[i]).is_none() {
+                    ttl = v;
+                    tokens.remove(i);
+                    continue;
+                }
+            }
+            if tokens[i].eq_ignore_ascii_case("IN") || tokens[i].eq_ignore_ascii_case("CH") {
+                tokens.remove(i);
+                continue;
+            }
+            break;
+        }
+        if tokens.is_empty() {
+            return Err(err("missing record type".into()));
+        }
+        let rtype = RrType::from_mnemonic(&tokens.remove(0))
+            .ok_or_else(|| err("unknown record type".into()))?;
+        let rdata = parse_rdata(rtype, &tokens, &origin).map_err(err)?;
+        records.push(Record { name: owner, class: Class::IN, ttl, rdata });
+    }
+
+    // The zone apex: the owner of the SOA, else the origin.
+    let apex = records
+        .iter()
+        .find(|r| r.rrtype() == RrType::SOA)
+        .map(|r| r.name.clone())
+        .unwrap_or(origin);
+    let mut zone = Zone::new(apex);
+    for rec in records {
+        let line = 0;
+        zone.add(rec).map_err(|e: ZoneError| ParseError { line, message: e.to_string() })?;
+    }
+    Ok(zone)
+}
+
+/// Print a zone in master-file format (stable, canonical owner order).
+pub fn print_zone(zone: &Zone) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("$ORIGIN {}\n", zone.apex()));
+    out.push_str("$TTL 3600\n");
+    for rec in zone.iter() {
+        out.push_str(&rec.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Merge parenthesized multi-line records and strip comments; yields
+/// `(starting line number, logical line)`.
+fn logical_lines(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut pending: Option<(usize, String, i32)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw);
+        let opens = line.matches('(').count() as i32;
+        let closes = line.matches(')').count() as i32;
+        match pending.take() {
+            None => {
+                if opens > closes {
+                    pending = Some((idx + 1, line.replace(['(', ')'], " "), opens - closes));
+                } else if !line.trim().is_empty() {
+                    out.push((idx + 1, line.replace(['(', ')'], " ")));
+                }
+            }
+            Some((start, mut acc, depth)) => {
+                acc.push(' ');
+                acc.push_str(&line.replace(['(', ')'], " "));
+                let depth = depth + opens - closes;
+                if depth <= 0 {
+                    out.push((start, acc));
+                } else {
+                    pending = Some((start, acc, depth));
+                }
+            }
+        }
+    }
+    if let Some((start, acc, _)) = pending {
+        out.push((start, acc));
+    }
+    out
+}
+
+/// Strip a `;` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> String {
+    let mut out = String::new();
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for c in line.chars() {
+        match c {
+            '\\' if !escaped => {
+                escaped = true;
+                out.push(c);
+                continue;
+            }
+            '"' if !escaped => in_quotes = !in_quotes,
+            ';' if !in_quotes && !escaped => break,
+            _ => {}
+        }
+        escaped = false;
+        out.push(c);
+    }
+    out
+}
+
+/// Split into tokens, keeping quoted strings together (quotes removed).
+fn tokenize(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut escaped = false;
+    let mut was_quoted = false;
+    for c in line.chars() {
+        if escaped {
+            cur.push(c);
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => {
+                in_quotes = !in_quotes;
+                was_quoted = true;
+            }
+            c if c.is_ascii_whitespace() && !in_quotes => {
+                if !cur.is_empty() || was_quoted {
+                    out.push(std::mem::take(&mut cur));
+                    was_quoted = false;
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() || was_quoted {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parse a possibly-relative name against the origin; `@` is the origin.
+fn parse_name(token: &str, origin: &Name) -> Result<Name, String> {
+    if token == "@" {
+        return Ok(origin.clone());
+    }
+    if token.ends_with('.') && !token.ends_with("\\.") {
+        return Name::parse(token).map_err(|e| e.to_string());
+    }
+    let rel = Name::parse(token).map_err(|e| e.to_string())?;
+    rel.concat(origin).map_err(|e| e.to_string())
+}
+
+/// RRSIG timestamp: either raw seconds or `YYYYMMDDHHmmSS`.
+fn parse_timestamp(token: &str) -> Result<u32, String> {
+    if token.len() == 14 && token.bytes().all(|b| b.is_ascii_digit()) {
+        let get = |range: std::ops::Range<usize>| -> u64 { token[range].parse().unwrap() };
+        let (y, m, d) = (get(0..4) as i64, get(4..6) as i64, get(6..8) as i64);
+        let (hh, mm, ss) = (get(8..10), get(10..12), get(12..14));
+        // days_from_civil (Howard Hinnant's algorithm).
+        let y_adj = if m <= 2 { y - 1 } else { y };
+        let era = if y_adj >= 0 { y_adj } else { y_adj - 399 } / 400;
+        let yoe = y_adj - era * 400;
+        let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        let days = era * 146_097 + doe - 719_468;
+        let secs = days as u64 * 86_400 + hh * 3_600 + mm * 60 + ss;
+        return u32::try_from(secs).map_err(|_| "timestamp out of range".into());
+    }
+    token.parse().map_err(|_| format!("bad timestamp {token}"))
+}
+
+fn parse_hex(token: &str) -> Result<Vec<u8>, String> {
+    if token == "-" {
+        return Ok(Vec::new());
+    }
+    dns_crypto::hex_parse(token).ok_or_else(|| format!("bad hex {token}"))
+}
+
+fn parse_bitmap(tokens: &[String]) -> Result<TypeBitmap, String> {
+    let mut bm = TypeBitmap::new();
+    for t in tokens {
+        bm.insert(RrType::from_mnemonic(t).ok_or_else(|| format!("unknown type {t}"))?);
+    }
+    Ok(bm)
+}
+
+fn need<'a>(tokens: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
+    tokens.get(i).map(|s| s.as_str()).ok_or_else(|| format!("missing {what}"))
+}
+
+fn parse_rdata(rtype: RrType, tokens: &[String], origin: &Name) -> Result<RData, String> {
+    let rd = match rtype {
+        RrType::A => RData::A(
+            need(tokens, 0, "address")?.parse().map_err(|_| "bad IPv4 address".to_string())?,
+        ),
+        RrType::AAAA => RData::Aaaa(
+            need(tokens, 0, "address")?.parse().map_err(|_| "bad IPv6 address".to_string())?,
+        ),
+        RrType::NS => RData::Ns(parse_name(need(tokens, 0, "target")?, origin)?),
+        RrType::CNAME => RData::Cname(parse_name(need(tokens, 0, "target")?, origin)?),
+        RrType::PTR => RData::Ptr(parse_name(need(tokens, 0, "target")?, origin)?),
+        RrType::MX => RData::Mx {
+            preference: need(tokens, 0, "preference")?.parse().map_err(|_| "bad preference")?,
+            exchange: parse_name(need(tokens, 1, "exchange")?, origin)?,
+        },
+        RrType::TXT => RData::Txt(tokens.iter().map(|t| t.as_bytes().to_vec()).collect()),
+        RrType::SOA => RData::Soa {
+            mname: parse_name(need(tokens, 0, "mname")?, origin)?,
+            rname: parse_name(need(tokens, 1, "rname")?, origin)?,
+            serial: need(tokens, 2, "serial")?.parse().map_err(|_| "bad serial")?,
+            refresh: need(tokens, 3, "refresh")?.parse().map_err(|_| "bad refresh")?,
+            retry: need(tokens, 4, "retry")?.parse().map_err(|_| "bad retry")?,
+            expire: need(tokens, 5, "expire")?.parse().map_err(|_| "bad expire")?,
+            minimum: need(tokens, 6, "minimum")?.parse().map_err(|_| "bad minimum")?,
+        },
+        RrType::DNSKEY => RData::Dnskey {
+            flags: need(tokens, 0, "flags")?.parse().map_err(|_| "bad flags")?,
+            protocol: need(tokens, 1, "protocol")?.parse().map_err(|_| "bad protocol")?,
+            algorithm: need(tokens, 2, "algorithm")?.parse().map_err(|_| "bad algorithm")?,
+            public_key: base64::decode(&tokens[3..].join(""))
+                .ok_or("bad base64 public key")?,
+        },
+        RrType::DS => RData::Ds {
+            key_tag: need(tokens, 0, "key tag")?.parse().map_err(|_| "bad key tag")?,
+            algorithm: need(tokens, 1, "algorithm")?.parse().map_err(|_| "bad algorithm")?,
+            digest_type: need(tokens, 2, "digest type")?.parse().map_err(|_| "bad digest type")?,
+            digest: parse_hex(&tokens[3..].join(""))?,
+        },
+        RrType::RRSIG => RData::Rrsig {
+            type_covered: RrType::from_mnemonic(need(tokens, 0, "type covered")?)
+                .ok_or("bad type covered")?,
+            algorithm: need(tokens, 1, "algorithm")?.parse().map_err(|_| "bad algorithm")?,
+            labels: need(tokens, 2, "labels")?.parse().map_err(|_| "bad labels")?,
+            original_ttl: need(tokens, 3, "original ttl")?.parse().map_err(|_| "bad ttl")?,
+            expiration: parse_timestamp(need(tokens, 4, "expiration")?)?,
+            inception: parse_timestamp(need(tokens, 5, "inception")?)?,
+            key_tag: need(tokens, 6, "key tag")?.parse().map_err(|_| "bad key tag")?,
+            signer_name: parse_name(need(tokens, 7, "signer")?, origin)?,
+            signature: base64::decode(&tokens[8..].join("")).ok_or("bad base64 signature")?,
+        },
+        RrType::NSEC => RData::Nsec {
+            next: parse_name(need(tokens, 0, "next name")?, origin)?,
+            types: parse_bitmap(&tokens[1..])?,
+        },
+        RrType::NSEC3 => {
+            let next = need(tokens, 4, "next hashed owner")?;
+            RData::Nsec3 {
+                hash_alg: need(tokens, 0, "hash alg")?.parse().map_err(|_| "bad hash alg")?,
+                flags: need(tokens, 1, "flags")?.parse().map_err(|_| "bad flags")?,
+                iterations: need(tokens, 2, "iterations")?
+                    .parse()
+                    .map_err(|_| "bad iterations")?,
+                salt: parse_hex(need(tokens, 3, "salt")?)?,
+                next_hashed: base32::decode(next).ok_or("bad base32 next hashed owner")?,
+                types: parse_bitmap(&tokens[5..])?,
+            }
+        }
+        RrType::NSEC3PARAM => RData::Nsec3Param {
+            hash_alg: need(tokens, 0, "hash alg")?.parse().map_err(|_| "bad hash alg")?,
+            flags: need(tokens, 1, "flags")?.parse().map_err(|_| "bad flags")?,
+            iterations: need(tokens, 2, "iterations")?.parse().map_err(|_| "bad iterations")?,
+            salt: parse_hex(need(tokens, 3, "salt")?)?,
+        },
+        other => {
+            // RFC 3597 generic encoding: `TYPE123 \# <len> <hex...>`.
+            if need(tokens, 0, "rdata")? == "\\#" {
+                let len: usize = need(tokens, 1, "rdata length")?
+                    .parse()
+                    .map_err(|_| "bad \\# length")?;
+                let data = parse_hex(&tokens[2..].join(""))?;
+                if data.len() != len {
+                    return Err(format!(
+                        "\\# length {len} does not match {} data bytes",
+                        data.len()
+                    ));
+                }
+                RData::Unknown { rtype: other.0, data }
+            } else {
+                return Err(format!("unsupported type {other} in zone file"));
+            }
+        }
+    };
+    Ok(rd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signer::{sign_zone, SignerConfig};
+    use dns_wire::name::name;
+
+    const SAMPLE: &str = r#"
+$ORIGIN example.com.
+$TTL 300
+@   3600 IN SOA ns1 hostmaster (
+        2024030501 ; serial
+        7200       ; refresh
+        3600       ; retry
+        1209600    ; expire
+        300 )      ; minimum
+@        IN NS  ns1
+ns1      IN A   192.0.2.53
+www 600  IN A   192.0.2.1
+         IN AAAA 2001:db8::1
+alias    IN CNAME www
+@        IN MX  10 mail
+mail     IN A   192.0.2.25
+txt      IN TXT "hello world" "second; string"
+"#;
+
+    #[test]
+    fn parses_the_sample() {
+        let zone = parse_zone(SAMPLE, &name(".")).unwrap();
+        assert_eq!(zone.apex(), &name("example.com."));
+        assert_eq!(zone.rrset(&name("www.example.com."), RrType::A).unwrap()[0].ttl, 600);
+        // Owner carried over from the previous line.
+        assert!(zone.rrset(&name("www.example.com."), RrType::AAAA).is_some());
+        // Relative names resolved against $ORIGIN.
+        match &zone.rrset(&name("alias.example.com."), RrType::CNAME).unwrap()[0].rdata {
+            RData::Cname(t) => assert_eq!(t, &name("www.example.com.")),
+            _ => panic!(),
+        }
+        // SOA across parentheses and comments.
+        match &zone.rrset(&name("example.com."), RrType::SOA).unwrap()[0].rdata {
+            RData::Soa { serial, minimum, .. } => {
+                assert_eq!(*serial, 2024030501);
+                assert_eq!(*minimum, 300);
+            }
+            _ => panic!(),
+        }
+        // Quoted TXT strings survive, including the semicolon.
+        match &zone.rrset(&name("txt.example.com."), RrType::TXT).unwrap()[0].rdata {
+            RData::Txt(strings) => {
+                assert_eq!(strings[0], b"hello world");
+                assert_eq!(strings[1], b"second; string");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn print_parse_roundtrip_of_a_signed_zone() {
+        let zone = parse_zone(SAMPLE, &name(".")).unwrap();
+        let signed = sign_zone(&zone, &SignerConfig::standard(zone.apex(), 1_710_000_000)).unwrap();
+        let text = print_zone(&signed.zone);
+        let reparsed = parse_zone(&text, &name(".")).unwrap();
+        assert_eq!(reparsed.len(), signed.zone.len());
+        // Every record survives byte-identically (canonical compare).
+        let a: Vec<String> = signed.zone.iter().map(|r| r.to_string()).collect();
+        let b: Vec<String> = reparsed.iter().map(|r| r.to_string()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rrsig_datetime_timestamps() {
+        assert_eq!(parse_timestamp("19700101000000").unwrap(), 0);
+        assert_eq!(parse_timestamp("20240315000000").unwrap(), 1_710_460_800);
+        assert_eq!(parse_timestamp("1710460800").unwrap(), 1_710_460_800);
+        assert!(parse_timestamp("garbage").is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "$ORIGIN example.com.\nwww IN A not-an-address\n";
+        let err = parse_zone(bad, &name(".")).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("IPv4"));
+    }
+
+    #[test]
+    fn rejects_unknown_type_and_missing_fields() {
+        assert!(parse_zone("www IN PTR\n", &name("example.com.")).is_err());
+        let err = parse_zone("www IN WKS 1 2 3\n", &name("example.com.")).unwrap_err();
+        assert!(err.message.contains("unknown record type"), "{}", err.message);
+    }
+
+    #[test]
+    fn rfc3597_generic_rdata() {
+        let text = "$ORIGIN example.\nx IN TYPE9999 \\# 3 01 02 ff\n";
+        let zone = parse_zone(text, &name(".")).unwrap();
+        let rec = zone.iter().next().unwrap();
+        assert_eq!(rec.rdata, RData::Unknown { rtype: 9999, data: vec![1, 2, 0xff] });
+        // And its Display form parses back.
+        let printed = format!("$ORIGIN example.\n{rec}\n");
+        let reparsed = parse_zone(&printed, &name(".")).unwrap();
+        assert_eq!(reparsed.iter().next().unwrap().rdata, rec.rdata);
+        // Length mismatch rejected.
+        assert!(parse_zone("x IN TYPE9 \\# 2 01\n", &name("example.")).is_err());
+    }
+
+    #[test]
+    fn at_sign_and_default_origin() {
+        let zone =
+            parse_zone("@ IN A 192.0.2.7\n", &name("fallback.example.")).unwrap();
+        assert!(zone.rrset(&name("fallback.example."), RrType::A).is_some());
+    }
+
+    #[test]
+    fn nsec3_presentation_roundtrip() {
+        let text = "$ORIGIN example.\nabc123 IN NSEC3 1 1 12 aabbccdd 2T7B4G4VSA5SMI47K61MV5BV1A22BOJR A RRSIG\n";
+        let zone = parse_zone(text, &name(".")).unwrap();
+        let rec = zone.iter().next().unwrap();
+        match &rec.rdata {
+            RData::Nsec3 { iterations, salt, next_hashed, types, flags, .. } => {
+                assert_eq!(*iterations, 12);
+                assert_eq!(salt, &vec![0xaa, 0xbb, 0xcc, 0xdd]);
+                assert_eq!(next_hashed.len(), 20);
+                assert_eq!(*flags, 1);
+                assert!(types.contains(RrType::A));
+            }
+            _ => panic!(),
+        }
+        // And back out through Display.
+        let printed = rec.to_string();
+        assert!(printed.contains("2T7B4G4VSA5SMI47K61MV5BV1A22BOJR"), "{printed}");
+    }
+}

@@ -1,0 +1,241 @@
+//! Property-based tests for the zone layer: NSEC3 chain invariants,
+//! signing/verification round trips, and denial-proof soundness on
+//! arbitrary zones and query names.
+
+use proptest::prelude::*;
+
+use dns_wire::name::Name;
+use dns_wire::rdata::RData;
+use dns_wire::record::Record;
+use dns_wire::rrtype::RrType;
+use dns_zone::denial::{nodata_proof, nxdomain_proof};
+use dns_zone::nsec3hash::{nsec3_hash, Nsec3Params};
+use dns_zone::signer::{sign_zone, verify_rrsig, Denial, SignedZone, SignerConfig};
+use dns_zone::Zone;
+
+const NOW: u32 = 1_710_000_000;
+
+fn label() -> impl Strategy<Value = String> {
+    proptest::collection::vec(proptest::char::range('a', 'z'), 1..=10)
+        .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// Names under the fixed apex `p.example.`.
+fn in_zone_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(label(), 1..=3).prop_filter_map("too long", |labels| {
+        let rel = labels.join(".");
+        Name::parse(&format!("{rel}.p.example.")).ok()
+    })
+}
+
+fn params() -> impl Strategy<Value = Nsec3Params> {
+    (0u16..30, proptest::collection::vec(any::<u8>(), 0..12))
+        .prop_map(|(iterations, salt)| Nsec3Params::new(iterations, salt))
+}
+
+fn build_signed(names: &[Name], params: Nsec3Params, opt_out: bool) -> SignedZone {
+    let apex = Name::parse("p.example.").unwrap();
+    let mut zone = Zone::new(apex.clone());
+    zone.add(Record::new(
+        apex.clone(),
+        3600,
+        RData::Soa {
+            mname: Name::parse("ns1.p.example.").unwrap(),
+            rname: Name::parse("host.p.example.").unwrap(),
+            serial: 1,
+            refresh: 7200,
+            retry: 3600,
+            expire: 1_209_600,
+            minimum: 300,
+        },
+    ))
+    .unwrap();
+    for n in names {
+        let _ = zone.add(Record::new(n.clone(), 300, RData::A("192.0.2.1".parse().unwrap())));
+    }
+    sign_zone(
+        &zone,
+        &SignerConfig {
+            denial: Denial::Nsec3 { params, opt_out },
+            ..SignerConfig::standard(&apex, NOW)
+        },
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The NSEC3 chain partitions hash space: every possible hash is
+    /// either an owner hash or covered by exactly one interval.
+    #[test]
+    fn nsec3_chain_partitions_hash_space(
+        names in proptest::collection::vec(in_zone_name(), 1..10),
+        probe in in_zone_name(),
+        p in params(),
+    ) {
+        let signed = build_signed(&names, p.clone(), false);
+        let h = nsec3_hash(&probe, &p).digest;
+        let owners: Vec<[u8; 20]> = signed.nsec3_index.iter().map(|(x, _)| *x).collect();
+        let is_owner = owners.contains(&h);
+        // Count intervals covering h.
+        let n = owners.len();
+        let mut covering = 0;
+        for i in 0..n {
+            let (a, b) = (owners[i], owners[(i + 1) % n]);
+            let covered = if a < b { a < h && h < b } else { h > a || h < b };
+            if covered {
+                covering += 1;
+            }
+        }
+        if is_owner {
+            prop_assert_eq!(covering, 0, "owner hash must not also be covered");
+        } else if n == 1 {
+            // Single-record chains cover everything except the owner.
+            prop_assert_eq!(covering, 1);
+        } else {
+            prop_assert_eq!(covering, 1, "exactly one covering interval");
+        }
+    }
+
+    /// Every RRSIG the signer produces verifies against the matching key,
+    /// regardless of zone contents.
+    #[test]
+    fn all_signatures_verify(
+        names in proptest::collection::vec(in_zone_name(), 1..8),
+        p in params(),
+    ) {
+        let signed = build_signed(&names, p, false);
+        let owners: Vec<Name> = signed.zone.names().cloned().collect();
+        for owner in owners {
+            let sigs = match signed.zone.rrset(&owner, RrType::RRSIG) {
+                Some(s) => s.to_vec(),
+                None => continue,
+            };
+            for sig in sigs {
+                let (covered, tag) = match &sig.rdata {
+                    RData::Rrsig { type_covered, key_tag, .. } => (*type_covered, *key_tag),
+                    _ => unreachable!(),
+                };
+                let rrset = signed.zone.rrset(&owner, covered).unwrap().to_vec();
+                let key = signed
+                    .keys
+                    .iter()
+                    .find(|k| k.key_tag() == tag)
+                    .expect("signing key present");
+                prop_assert!(
+                    verify_rrsig(&sig.rdata, &owner, &rrset, key.pair.public_key()),
+                    "RRSIG over {} {} must verify",
+                    owner,
+                    covered
+                );
+            }
+        }
+    }
+
+    /// For any name not in the zone, the NXDOMAIN proof synthesizes and
+    /// passes resolver-side verification; for any name in the zone, the
+    /// NODATA proof for an absent type does.
+    #[test]
+    fn denial_proofs_always_verify(
+        names in proptest::collection::vec(in_zone_name(), 1..8),
+        probe in in_zone_name(),
+        p in params(),
+        opt_out in any::<bool>(),
+    ) {
+        let signed = build_signed(&names, p.clone(), opt_out);
+        let apex = Name::parse("p.example.").unwrap();
+        if signed.zone.name_exists(&probe) {
+            if signed.zone.has_name(&probe) {
+                let proof = nodata_proof(&signed, &probe).unwrap();
+                prop_assert!(!proof.records.is_empty());
+            }
+        } else {
+            let proof = nxdomain_proof(&signed, &probe).unwrap();
+            let nsec3s: Vec<&Record> = proof
+                .records
+                .iter()
+                .filter(|r| r.rrtype() == RrType::NSEC3)
+                .collect();
+            prop_assert!(!nsec3s.is_empty());
+            // Resolver-side check must accept it.
+            use dns_resolver::cost::CostMeter;
+            use dns_resolver::validator::{parse_nsec3_set, verify_nxdomain};
+            let (vp, views) = parse_nsec3_set(&nsec3s).unwrap();
+            prop_assert_eq!(&vp, &p);
+            let meter = CostMeter::new();
+            prop_assert!(
+                verify_nxdomain(&probe, &apex, &vp, &views, &meter).is_ok(),
+                "NXDOMAIN proof for {} must verify",
+                probe
+            );
+            // Cost is bounded by (labels + 2) chains of (iterations + 1)
+            // hashes... loosely: it is nonzero and scales with params.
+            prop_assert!(meter.sha1_compressions() >= (p.iterations as u64 + 1) * 3);
+        }
+    }
+
+    /// Any signed zone survives a print → parse round trip through the
+    /// master-file format, record for record.
+    #[test]
+    fn zonefile_roundtrip_for_signed_zones(
+        names in proptest::collection::vec(in_zone_name(), 1..8),
+        p in params(),
+        opt_out in any::<bool>(),
+    ) {
+        use dns_zone::zonefile::{parse_zone, print_zone};
+        let signed = build_signed(&names, p, opt_out);
+        let text = print_zone(&signed.zone);
+        let reparsed = parse_zone(&text, &Name::root()).expect("printed zone parses");
+        prop_assert_eq!(reparsed.len(), signed.zone.len());
+        let a: Vec<String> = signed.zone.iter().map(|r| r.to_string()).collect();
+        let b: Vec<String> = reparsed.iter().map(|r| r.to_string()).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Hashing is deterministic and 20 bytes, for any params.
+    #[test]
+    fn nsec3_hash_shape(n in in_zone_name(), p in params()) {
+        let a = nsec3_hash(&n, &p);
+        let b = nsec3_hash(&n, &p);
+        prop_assert_eq!(a.digest, b.digest);
+        prop_assert_eq!(a.compressions, b.compressions);
+        prop_assert!(a.compressions > p.iterations as u64);
+    }
+
+    /// denial_names is stable under opt-out: opting out only removes
+    /// names, never adds.
+    #[test]
+    fn opt_out_shrinks_chain(names in proptest::collection::vec(in_zone_name(), 1..8)) {
+        let apex = Name::parse("p.example.").unwrap();
+        let mut zone = Zone::new(apex.clone());
+        zone.add(Record::new(
+            apex.clone(),
+            3600,
+            RData::Soa {
+                mname: Name::parse("ns1.p.example.").unwrap(),
+                rname: Name::parse("h.p.example.").unwrap(),
+                serial: 1,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1_209_600,
+                minimum: 300,
+            },
+        ))
+        .unwrap();
+        for (i, n) in names.iter().enumerate() {
+            if i % 2 == 0 {
+                let _ = zone.add(Record::new(n.clone(), 300, RData::A("192.0.2.1".parse().unwrap())));
+            } else {
+                // insecure delegation
+                let _ = zone.add(Record::new(n.clone(), 300, RData::Ns(Name::parse("ns.other.").unwrap())));
+            }
+        }
+        let full = zone.denial_names(false);
+        let thin = zone.denial_names(true);
+        prop_assert!(thin.len() <= full.len());
+        for n in &thin {
+            prop_assert!(full.contains(n));
+        }
+    }
+}

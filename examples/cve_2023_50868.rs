@@ -1,0 +1,83 @@
+//! CVE-2023-50868 demonstration: an attacker-controlled NSEC3 zone with a
+//! high iteration count forces a validating resolver to burn CPU on every
+//! negative lookup; an RFC 9276-compliant limit stops the attack cold.
+//!
+//! ```sh
+//! cargo run --release --example cve_2023_50868
+//! ```
+
+use dns_resolver::lab::LabBuilder;
+use dns_resolver::resolver::{Resolver, ResolverConfig};
+use dns_resolver::Rfc9276Policy;
+use dns_wire::name::name;
+use dns_wire::rrtype::{Rcode, RrType};
+use dns_zone::nsec3hash::Nsec3Params;
+use dns_zone::signer::Denial;
+
+fn main() {
+    let now = 1_710_000_000;
+    // The attacker's zone: everything legitimate except the insane
+    // iteration count (2,500 — the RFC 5155 ceiling for 4096-bit keys).
+    let mut lab = LabBuilder::new(now)
+        .simple_zone(&name("com."), Denial::nsec3_rfc9276())
+        .simple_zone(
+            &name("attacker.com."),
+            Denial::Nsec3 { params: Nsec3Params::new(2500, vec![0xee; 58]), opt_out: false },
+        )
+        .build();
+
+    println!("attacker zone: attacker.com., 2500 additional iterations, 58-byte salt\n");
+
+    // Victim 1: a pre-2021 resolver with no iteration limits.
+    let victim_addr = lab.alloc.v4();
+    let mut cfg =
+        ResolverConfig::validating(victim_addr, lab.root_hints.clone(), lab.anchor.clone());
+    cfg.now = lab.now;
+    cfg.policy = Rfc9276Policy::unlimited();
+    let victim = Resolver::new(cfg);
+
+    // Victim 2: a patched resolver (CVE-2023-50868 fix: limit 50).
+    let patched_addr = lab.alloc.v4();
+    let mut cfg =
+        ResolverConfig::validating(patched_addr, lab.root_hints.clone(), lab.anchor.clone());
+    cfg.now = lab.now;
+    cfg.policy = Rfc9276Policy::insecure_above(50);
+    let patched = Resolver::new(cfg);
+
+    // The attack: a burst of unique nonexistent names (cache-busting),
+    // each forcing a fresh closest-encloser proof validation.
+    const QUERIES: usize = 50;
+    let mut victim_cost = 0u64;
+    let mut patched_cost = 0u64;
+    let t_unlimited = std::time::Instant::now();
+    for i in 0..QUERIES {
+        let qname = name(&format!("a{i}.b.c.d.e.attacker.com."));
+        let out = victim.resolve(&lab.net, &qname, RrType::A);
+        assert_eq!(out.rcode, Rcode::NxDomain);
+        victim_cost += out.cost.sha1_compressions;
+    }
+    let unlimited_time = t_unlimited.elapsed();
+    let t_patched = std::time::Instant::now();
+    for i in 0..QUERIES {
+        let qname = name(&format!("x{i}.b.c.d.e.attacker.com."));
+        let out = patched.resolve(&lab.net, &qname, RrType::A);
+        assert_eq!(out.rcode, Rcode::NxDomain, "downgraded to insecure, still answers");
+        patched_cost += out.cost.sha1_compressions;
+    }
+    let patched_time = t_patched.elapsed();
+
+    println!("{QUERIES} unique NXDOMAIN queries against each resolver:");
+    println!(
+        "  unlimited validator: {victim_cost:>10} SHA-1 compressions  ({unlimited_time:?})"
+    );
+    println!(
+        "  patched (limit 50):  {patched_cost:>10} SHA-1 compressions  ({patched_time:?})"
+    );
+    println!(
+        "  amplification removed: {:.0}x",
+        victim_cost as f64 / patched_cost.max(1) as f64
+    );
+    println!("\nGruza et al. (WOOT '24) measured up to 72x CPU instructions on production");
+    println!("resolvers from the same primitive; the patched resolver answers insecurely");
+    println!("(NXDOMAIN without AD, EDE 27) and does no hashing at all.");
+}

@@ -1,0 +1,50 @@
+//! Resolver lab: stand up the `rfc9276-in-the-wild.com` testbed, deploy
+//! one resolver per vendor profile, and classify each one with the §4.2
+//! probing methodology.
+//!
+//! ```sh
+//! cargo run --release --example resolver_lab
+//! ```
+
+use std::rc::Rc;
+
+use dns_resolver::profiles::VendorProfile;
+use dns_resolver::resolver::{Resolver, ResolverConfig};
+use dns_scanner::prober::Prober;
+use nsec3_core::testbed::build_testbed;
+
+fn main() {
+    let mut tb = build_testbed(1_710_000_000);
+    println!(
+        "testbed up: {} zones under {} (valid, expired, it-1..it-500, it-2501-expired)",
+        tb.lab.zones.len(),
+        nsec3_core::TEST_DOMAIN
+    );
+
+    let scanner = tb.lab.alloc.v4();
+    println!("\n{:<26} {:>9} {:>9} {:>9} {:>6} {:>6}", "vendor", "validator", "insec@", "servfail@", "EDE27", "flaky");
+    for profile in VendorProfile::all() {
+        let addr = tb.lab.alloc.v4();
+        let mut cfg =
+            ResolverConfig::validating(addr, tb.lab.root_hints.clone(), tb.lab.anchor.clone());
+        cfg.now = tb.lab.now;
+        cfg.policy = profile.policy();
+        tb.lab.net.register(addr, Rc::new(Resolver::new(cfg)));
+        let c = Prober::new(&tb.lab.net, scanner, &tb.plan)
+            .classify(addr)
+            .expect("resolver answered");
+        println!(
+            "{:<26} {:>9} {:>9} {:>9} {:>6} {:>6}",
+            profile.name(),
+            if c.is_validator { "yes" } else { "no" },
+            c.insecure_limit.map(|v| v.to_string()).unwrap_or_else(|| "-".into()),
+            c.servfail_start.map(|v| v.to_string()).unwrap_or_else(|| "-".into()),
+            if c.ede27_on_limit { "yes" } else { "no" },
+            if c.flaky { "yes" } else { "no" },
+        );
+    }
+
+    println!("\nCompare with §4.2/§5.2: BIND/Unbound/Knot/PowerDNS (2021) go insecure above 150,");
+    println!("the 2023 CVE patches lower that to 50, Google to 100, Cloudflare/OpenDNS SERVFAIL");
+    println!("above 150, Technitium SERVFAILs from 101 with EDE 27 and EXTRA-TEXT.");
+}

@@ -1,0 +1,88 @@
+//! Zone files end to end: parse a master file (the format CZDS delivers),
+//! sign it with RFC 9276 parameters, print it back, and verify that a
+//! network AXFR of the served zone matches the printed file record for
+//! record.
+//!
+//! ```sh
+//! cargo run --release --example zone_files
+//! ```
+
+use std::rc::Rc;
+
+use dns_auth::AuthServer;
+use dns_scanner::walk;
+use dns_wire::name::name;
+use dns_zone::signer::{sign_zone, SignerConfig};
+use dns_zone::zonefile::{parse_zone, print_zone};
+
+const MASTER_FILE: &str = r#"
+; corp.example — the unsigned zone as an operator would maintain it
+$ORIGIN corp.example.
+$TTL 3600
+@       IN SOA ns1 hostmaster (
+            2024030501 ; serial
+            7200       ; refresh
+            3600       ; retry
+            1209600    ; expire
+            300 )      ; negative TTL
+@       IN NS  ns1
+ns1     IN A   192.0.2.53
+@       IN MX  10 mail
+mail    IN A   192.0.2.25
+www 600 IN A   192.0.2.80
+        IN AAAA 2001:db8::80
+api     IN CNAME www
+info    IN TXT "v=spf1 -all" "managed; by ops"
+"#;
+
+fn main() {
+    // 1. Parse.
+    let zone = parse_zone(MASTER_FILE, &name(".")).expect("master file parses");
+    println!(
+        "parsed {} records under {} from the master file",
+        zone.len(),
+        zone.apex()
+    );
+
+    // 2. Sign (RFC 9276 defaults: NSEC3, 0 iterations, no salt).
+    let signed = sign_zone(&zone, &SignerConfig::standard(zone.apex(), 1_710_000_000))
+        .expect("zone signs");
+    println!(
+        "signed: {} records ({} NSEC3 chain entries)",
+        signed.zone.len(),
+        signed.nsec3_index.len()
+    );
+
+    // 3. Print the signed zone back to master-file format.
+    let printed = print_zone(&signed.zone);
+    println!("\nfirst lines of the signed zone file:");
+    for line in printed.lines().take(8) {
+        println!("  {line}");
+    }
+
+    // 4. Serve it and fetch it back over the simulated network via AXFR.
+    let net = netsim::Network::new(1);
+    let server_addr: std::net::IpAddr = "10.0.0.53".parse().unwrap();
+    let client: std::net::IpAddr = "10.0.0.99".parse().unwrap();
+    let server = AuthServer::new();
+    server.add_zone(signed.clone());
+    server.allow_axfr(zone.apex());
+    net.register(server_addr, Rc::new(server));
+    let transferred =
+        walk::axfr(&net, client, server_addr, zone.apex()).expect("transfer allowed");
+    println!("\nAXFR returned {} records (TCP-framed transfer)", transferred.len());
+
+    // 5. The transfer matches the printed file, record for record.
+    let mut from_file: Vec<String> = parse_zone(&printed, &name("."))
+        .expect("printed file parses")
+        .iter()
+        .map(|r| r.to_string())
+        .collect();
+    let mut from_wire: Vec<String> = transferred.iter().map(|r| r.to_string()).collect();
+    from_file.sort();
+    from_wire.sort();
+    assert_eq!(from_file, from_wire, "file and wire views agree");
+    println!("zone file ≡ AXFR contents: verified");
+    println!("\nThis is the CZDS/AXFR loop of §4.1: the census's zone-data inputs and the");
+    println!("wire-level scans are two views of the same signed zone.");
+}

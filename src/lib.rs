@@ -1,0 +1,64 @@
+//! `heroes` — the umbrella crate of the *Zeros Are Heroes* (IMC 2024)
+//! reproduction.
+//!
+//! This crate re-exports the whole workspace so examples, integration
+//! tests, and downstream users can depend on one crate. The substance
+//! lives in the member crates:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`wire`] | DNS wire format: names, records, messages, EDNS/EDE |
+//! | [`crypto`] | SHA-1/SHA-256/HMAC/SimSig/key tags, from scratch |
+//! | [`zone`] | zones, NSEC/NSEC3 chains, signing, denial proofs, zone files |
+//! | [`net`] | the deterministic simulated Internet |
+//! | [`auth`] | the authoritative server engine (incl. AXFR) |
+//! | [`resolver`] | validating recursion, RFC 9276 policies, vendor profiles |
+//! | [`scanner`] | census + prober + Atlas probes + zone walking |
+//! | [`populations`] | calibrated synthetic populations |
+//! | [`stats`] | compliance analysis, CDFs, figure renderers |
+//! | [`core`] | the testbed and end-to-end experiment drivers |
+//!
+//! # One-screen tour
+//!
+//! ```
+//! use heroes::prelude::*;
+//!
+//! // Sign a zone the RFC 9276 way and hash a name the RFC 5155 way.
+//! let apex = name("demo.example.");
+//! let mut z = Zone::new(apex.clone());
+//! z.add(Record::new(apex.clone(), 300, RData::A("192.0.2.1".parse().unwrap()))).unwrap();
+//! let signed = sign_zone(&z, &SignerConfig::standard(&apex, 1_710_000_000)).unwrap();
+//! assert!(signed.nsec3_params().unwrap().rfc9276_compliant());
+//!
+//! let h = nsec3_hash(&name("www.demo.example."), &Nsec3Params::rfc9276());
+//! assert_eq!(h.compressions, 1); // zeros are heroes
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use analysis as stats;
+pub use dns_auth as auth;
+pub use dns_crypto as crypto;
+pub use dns_resolver as resolver;
+pub use dns_scanner as scanner;
+pub use dns_wire as wire;
+pub use dns_zone as zone;
+pub use netsim as net;
+pub use nsec3_core as core;
+pub use popgen as populations;
+
+/// The names most examples want in scope.
+pub mod prelude {
+    pub use analysis::{DomainStats, ResolverStats};
+    pub use dns_resolver::{Resolver, ResolverConfig, Rfc9276Policy, VendorProfile};
+    pub use dns_wire::name::{name, Name};
+    pub use dns_wire::rdata::RData;
+    pub use dns_wire::record::Record;
+    pub use dns_wire::rrtype::{Rcode, RrType};
+    pub use dns_zone::nsec3hash::{nsec3_hash, Nsec3Params};
+    pub use dns_zone::signer::{sign_zone, Denial, SignerConfig};
+    pub use dns_zone::Zone;
+    pub use nsec3_core::testbed::build_testbed;
+    pub use popgen::Scale;
+}

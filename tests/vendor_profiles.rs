@@ -1,0 +1,75 @@
+//! Every vendor profile deployed against the real testbed must classify
+//! back to exactly the thresholds the paper reports for that vendor.
+
+use std::rc::Rc;
+
+use dns_resolver::profiles::VendorProfile;
+use dns_resolver::resolver::{Resolver, ResolverConfig};
+use dns_scanner::prober::Prober;
+use nsec3_core::testbed::build_testbed;
+
+#[test]
+fn profiles_round_trip_through_the_testbed() {
+    let mut tb = build_testbed(1_710_000_000);
+    let scanner = tb.lab.alloc.v4();
+    // (profile, expected insecure-limit, expected servfail-start, EDE 27)
+    let expectations = [
+        (VendorProfile::Bind9_2021, Some(150), None, true),
+        (VendorProfile::Bind9_2023, Some(50), None, true),
+        (VendorProfile::Unbound, Some(150), None, true),
+        (VendorProfile::KnotResolver2021, Some(150), None, true),
+        (VendorProfile::KnotResolver2023, Some(50), None, true),
+        (VendorProfile::PowerDnsRecursor2021, Some(150), None, true),
+        (VendorProfile::PowerDnsRecursor2023, Some(50), None, true),
+        (VendorProfile::GooglePublicDns, Some(100), None, false),
+        (VendorProfile::Cloudflare, Some(150), Some(151), true),
+        (VendorProfile::OpenDns, Some(150), Some(151), false),
+        (VendorProfile::Quad9, Some(150), None, false),
+        (VendorProfile::Technitium, Some(100), Some(101), true),
+        (VendorProfile::LegacyUnlimited, None, None, false),
+    ];
+    for (profile, insecure, servfail, ede27) in expectations {
+        let addr = tb.lab.alloc.v4();
+        let mut cfg =
+            ResolverConfig::validating(addr, tb.lab.root_hints.clone(), tb.lab.anchor.clone());
+        cfg.now = tb.lab.now;
+        cfg.policy = profile.policy();
+        tb.lab.net.register(addr, Rc::new(Resolver::new(cfg)));
+        let c = Prober::new(&tb.lab.net, scanner, &tb.plan)
+            .classify(addr)
+            .expect("answered");
+        assert!(c.is_validator, "{}", profile.name());
+        assert_eq!(c.insecure_limit, insecure, "{} insecure limit", profile.name());
+        assert_eq!(c.servfail_start, servfail, "{} servfail start", profile.name());
+        assert_eq!(c.ede27_on_limit, ede27, "{} EDE 27", profile.name());
+        assert!(!c.flaky, "{} must be stable", profile.name());
+        // None of the stock profiles violate item 7.
+        assert_ne!(c.item7_violation, Some(true), "{}", profile.name());
+    }
+}
+
+#[test]
+fn google_threshold_is_exactly_100_101() {
+    let mut tb = build_testbed(1_710_000_000);
+    let scanner = tb.lab.alloc.v4();
+    let addr = tb.lab.alloc.v4();
+    let mut cfg =
+        ResolverConfig::validating(addr, tb.lab.root_hints.clone(), tb.lab.anchor.clone());
+    cfg.now = tb.lab.now;
+    cfg.policy = VendorProfile::GooglePublicDns.policy();
+    tb.lab.net.register(addr, Rc::new(Resolver::new(cfg)));
+    let c = Prober::new(&tb.lab.net, scanner, &tb.plan).classify(addr).unwrap();
+    // "38.3K open IPv4 resolvers returned NXDOMAIN with the AD bit set
+    // for 100 iterations and cleared for 101" — the successor zones in
+    // the testbed pin this down exactly.
+    let at = |n: u16| {
+        c.responses
+            .iter()
+            .find(|(x, _)| *x == n)
+            .map(|(_, o)| o.clone())
+            .unwrap()
+    };
+    assert!(at(100).ad);
+    assert!(!at(101).ad);
+    assert_eq!(at(101).rcode, dns_wire::rrtype::Rcode::NxDomain);
+}

@@ -49,9 +49,14 @@ impl DomainStats {
         let nsec3_records: Vec<&DomainRecord> =
             records.iter().filter(|r| r.nsec3.is_some()).collect();
         let nsec3 = nsec3_records.len() as u64;
-        let zero_iterations =
-            nsec3_records.iter().filter(|r| r.nsec3.unwrap().0 == 0).count() as u64;
-        let no_salt = nsec3_records.iter().filter(|r| r.nsec3.unwrap().1 == 0).count() as u64;
+        let zero_iterations = nsec3_records
+            .iter()
+            .filter(|r| r.nsec3.unwrap().0 == 0)
+            .count() as u64;
+        let no_salt = nsec3_records
+            .iter()
+            .filter(|r| r.nsec3.unwrap().1 == 0)
+            .count() as u64;
         let opt_out = nsec3_records.iter().filter(|r| r.opt_out).count() as u64;
         let iterations_cdf =
             Cdf::from_samples(nsec3_records.iter().map(|r| r.nsec3.unwrap().0 as u32));
@@ -171,7 +176,13 @@ mod tests {
             rec(Some((0, 0)), false, None),
             rec(Some((1, 8)), true, None),
             rec(Some((5, 0)), false, None),
-            DomainRecord { name: "n.com.".into(), dnssec: true, nsec3: None, opt_out: false, operator: None },
+            DomainRecord {
+                name: "n.com.".into(),
+                dnssec: true,
+                nsec3: None,
+                opt_out: false,
+                operator: None,
+            },
         ];
         let s = DomainStats::compute(&records);
         assert_eq!(s.total, 5);

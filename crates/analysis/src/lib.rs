@@ -13,7 +13,9 @@ pub mod stats;
 pub mod svg;
 
 pub use domains::{operator_table, DomainRecord, DomainStats, OperatorRow};
-pub use render::{cdf_csv, compare_line, figure3_csv, render_cdf, render_figure3_panel, render_table2};
+pub use render::{
+    cdf_csv, compare_line, figure3_csv, render_cdf, render_figure3_panel, render_table2,
+};
 pub use resolvers::{figure3_series, Panel, RcodeShares, ResolverStats};
 pub use rfc9276::{DomainCompliance, Item, Keyword, ITEMS};
 pub use stats::{fmt_count, fmt_pct, ks_uniform, pct, Cdf};

@@ -19,9 +19,12 @@ pub fn render_cdf(title: &str, cdf: &Cdf, x_max: u32) -> String {
         return out;
     }
     let mut grid = vec![vec![' '; WIDTH]; HEIGHT];
-    for (col, x) in (0..WIDTH)
-        .map(|c| (c, (c as f64 / (WIDTH - 1) as f64 * x_max as f64).round() as u32))
-    {
+    for (col, x) in (0..WIDTH).map(|c| {
+        (
+            c,
+            (c as f64 / (WIDTH - 1) as f64 * x_max as f64).round() as u32,
+        )
+    }) {
         let frac = cdf.fraction_at_most(x);
         let row = ((1.0 - frac) * (HEIGHT - 1) as f64).round() as usize;
         grid[row.min(HEIGHT - 1)][col] = '*';
@@ -128,8 +131,18 @@ mod tests {
     #[test]
     fn figure3_text_and_csv() {
         let series = vec![
-            RcodeShares { n: 1, nxdomain: 99.0, ad_nxdomain: 95.0, servfail: 1.0 },
-            RcodeShares { n: 151, nxdomain: 60.0, ad_nxdomain: 10.0, servfail: 39.0 },
+            RcodeShares {
+                n: 1,
+                nxdomain: 99.0,
+                ad_nxdomain: 95.0,
+                servfail: 1.0,
+            },
+            RcodeShares {
+                n: 151,
+                nxdomain: 60.0,
+                ad_nxdomain: 10.0,
+                servfail: 39.0,
+            },
         ];
         let text = render_figure3_panel("(a) Open, IPv4", &series);
         assert!(text.contains("(a) Open, IPv4"));

@@ -222,7 +222,16 @@ mod tests {
             responses: responses
                 .into_iter()
                 .map(|(n, rcode, ad)| {
-                    (n, ObservedResponse { rcode, ad, ra: true, ede: None, ede_has_text: false })
+                    (
+                        n,
+                        ObservedResponse {
+                            rcode,
+                            ad,
+                            ra: true,
+                            ede: None,
+                            ede_has_text: false,
+                        },
+                    )
                 })
                 .collect(),
             insecure_limit: None,
@@ -242,9 +251,18 @@ mod tests {
     #[test]
     fn stats_aggregate() {
         let classifications = vec![
-            mk(vec![(1, Rcode::NxDomain, true), (151, Rcode::NxDomain, false)], true),
-            mk(vec![(1, Rcode::NxDomain, true), (151, Rcode::ServFail, false)], true),
-            mk(vec![(1, Rcode::NxDomain, true), (151, Rcode::NxDomain, true)], true),
+            mk(
+                vec![(1, Rcode::NxDomain, true), (151, Rcode::NxDomain, false)],
+                true,
+            ),
+            mk(
+                vec![(1, Rcode::NxDomain, true), (151, Rcode::ServFail, false)],
+                true,
+            ),
+            mk(
+                vec![(1, Rcode::NxDomain, true), (151, Rcode::NxDomain, true)],
+                true,
+            ),
             mk(vec![], false),
         ];
         let s = ResolverStats::compute(&classifications);
@@ -261,8 +279,14 @@ mod tests {
     #[test]
     fn figure3_shares() {
         let classifications = vec![
-            mk(vec![(100, Rcode::NxDomain, true), (200, Rcode::NxDomain, false)], true),
-            mk(vec![(100, Rcode::NxDomain, true), (200, Rcode::ServFail, false)], true),
+            mk(
+                vec![(100, Rcode::NxDomain, true), (200, Rcode::NxDomain, false)],
+                true,
+            ),
+            mk(
+                vec![(100, Rcode::NxDomain, true), (200, Rcode::ServFail, false)],
+                true,
+            ),
         ];
         let series = figure3_series(&classifications);
         assert_eq!(series.len(), 2);

@@ -42,18 +42,66 @@ pub struct Item {
 
 /// All twelve items of Table 1.
 pub const ITEMS: [Item; 12] = [
-    Item { number: 1, keyword: Keyword::Should, guidance: "prefer NSEC over NSEC3 if NSEC3's features are not needed" },
-    Item { number: 2, keyword: Keyword::Must, guidance: "set the number of additional iterations to 0" },
-    Item { number: 3, keyword: Keyword::ShouldNot, guidance: "use a salt" },
-    Item { number: 4, keyword: Keyword::NotRecommended, guidance: "set the opt-out flag for small zones" },
-    Item { number: 5, keyword: Keyword::May, guidance: "set opt-out for very large, sparsely signed zones" },
-    Item { number: 6, keyword: Keyword::May, guidance: "return an insecure response for non-compliant NSEC3" },
-    Item { number: 7, keyword: Keyword::Should, guidance: "verify NSEC3 RRSIGs before honoring iteration counts" },
-    Item { number: 8, keyword: Keyword::May, guidance: "SERVFAIL for non-compliant NSEC3" },
-    Item { number: 9, keyword: Keyword::May, guidance: "ignore non-compliant responses (likely SERVFAIL)" },
-    Item { number: 10, keyword: Keyword::Should, guidance: "return EDE INFO-CODE 27 when items 6/8 trigger" },
-    Item { number: 11, keyword: Keyword::MustNot, guidance: "omit the EDE when item 9 is implemented" },
-    Item { number: 12, keyword: Keyword::Should, guidance: "use the same threshold for items 6 and 8" },
+    Item {
+        number: 1,
+        keyword: Keyword::Should,
+        guidance: "prefer NSEC over NSEC3 if NSEC3's features are not needed",
+    },
+    Item {
+        number: 2,
+        keyword: Keyword::Must,
+        guidance: "set the number of additional iterations to 0",
+    },
+    Item {
+        number: 3,
+        keyword: Keyword::ShouldNot,
+        guidance: "use a salt",
+    },
+    Item {
+        number: 4,
+        keyword: Keyword::NotRecommended,
+        guidance: "set the opt-out flag for small zones",
+    },
+    Item {
+        number: 5,
+        keyword: Keyword::May,
+        guidance: "set opt-out for very large, sparsely signed zones",
+    },
+    Item {
+        number: 6,
+        keyword: Keyword::May,
+        guidance: "return an insecure response for non-compliant NSEC3",
+    },
+    Item {
+        number: 7,
+        keyword: Keyword::Should,
+        guidance: "verify NSEC3 RRSIGs before honoring iteration counts",
+    },
+    Item {
+        number: 8,
+        keyword: Keyword::May,
+        guidance: "SERVFAIL for non-compliant NSEC3",
+    },
+    Item {
+        number: 9,
+        keyword: Keyword::May,
+        guidance: "ignore non-compliant responses (likely SERVFAIL)",
+    },
+    Item {
+        number: 10,
+        keyword: Keyword::Should,
+        guidance: "return EDE INFO-CODE 27 when items 6/8 trigger",
+    },
+    Item {
+        number: 11,
+        keyword: Keyword::MustNot,
+        guidance: "omit the EDE when item 9 is implemented",
+    },
+    Item {
+        number: 12,
+        keyword: Keyword::Should,
+        guidance: "use the same threshold for items 6 and 8",
+    },
 ];
 
 /// Domain-side compliance verdict for one zone's parameters.

@@ -169,7 +169,11 @@ mod tests {
     fn ks_statistic_detects_uniformity_and_skew() {
         // Uniform samples: small statistic.
         let uniform = Cdf::from_samples(0..1000);
-        assert!(ks_uniform(&uniform, 999) < 0.01, "{}", ks_uniform(&uniform, 999));
+        assert!(
+            ks_uniform(&uniform, 999) < 0.01,
+            "{}",
+            ks_uniform(&uniform, 999)
+        );
         // Heavily skewed samples: large statistic.
         let skewed = Cdf::from_samples((0..1000).map(|i| i / 10));
         assert!(ks_uniform(&skewed, 999) > 0.5);

@@ -105,7 +105,10 @@ fn x_ticks(x_max: f64, count: usize) -> String {
 }
 
 fn polyline(points: &[(f64, f64)], color: &str, dash: &str) -> String {
-    let coords: Vec<String> = points.iter().map(|(x, y)| format!("{x:.1},{y:.1}")).collect();
+    let coords: Vec<String> = points
+        .iter()
+        .map(|(x, y)| format!("{x:.1},{y:.1}"))
+        .collect();
     format!(
         r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2" stroke-dasharray="{dash}"/>"#,
         coords.join(" ")
@@ -113,7 +116,9 @@ fn polyline(points: &[(f64, f64)], color: &str, dash: &str) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Render a CDF (step curve) as an SVG document, clipped to `x_max`.
@@ -142,7 +147,10 @@ pub fn cdf_svg(title: &str, x_label: &str, cdf: &Cdf, x_max: u32) -> String {
             last_pct = pct;
         }
         // Extend to the right edge.
-        pts.push((MARGIN_L + plot_w(), H - MARGIN_B - plot_h() * last_pct / 100.0));
+        pts.push((
+            MARGIN_L + plot_w(),
+            H - MARGIN_B - plot_h() * last_pct / 100.0,
+        ));
         svg.push_str(&polyline(&pts, "#1b6ca8", ""));
     }
     svg.push_str("</svg>\n");
@@ -218,9 +226,24 @@ mod tests {
     #[test]
     fn figure3_svg_has_three_curves_and_legend() {
         let series = vec![
-            RcodeShares { n: 1, nxdomain: 100.0, ad_nxdomain: 98.0, servfail: 0.0 },
-            RcodeShares { n: 151, nxdomain: 80.0, ad_nxdomain: 15.0, servfail: 20.0 },
-            RcodeShares { n: 500, nxdomain: 80.0, ad_nxdomain: 14.0, servfail: 20.0 },
+            RcodeShares {
+                n: 1,
+                nxdomain: 100.0,
+                ad_nxdomain: 98.0,
+                servfail: 0.0,
+            },
+            RcodeShares {
+                n: 151,
+                nxdomain: 80.0,
+                ad_nxdomain: 15.0,
+                servfail: 20.0,
+            },
+            RcodeShares {
+                n: 500,
+                nxdomain: 80.0,
+                ad_nxdomain: 14.0,
+                servfail: 20.0,
+            },
         ];
         let svg = figure3_svg("(a) Open, IPv4", &series);
         assert_eq!(svg.matches("polyline").count(), 3);

@@ -1,70 +1,64 @@
 //! Property-based tests for the statistics toolkit.
 
-use proptest::prelude::*;
+use sim_check::{gens, props};
 
-use analysis::stats::{pct, Cdf};
 use analysis::domains::{operator_table, DomainRecord, DomainStats};
+use analysis::stats::{pct, Cdf};
 
-proptest! {
+props! {
     /// CDF fractions are monotone non-decreasing and bounded in [0, 1].
-    #[test]
-    fn cdf_monotone_bounded(samples in proptest::collection::vec(any::<u32>(), 0..200)) {
+    fn cdf_monotone_bounded(samples in gens::vec_of(gens::u32s(..), 0..200)) {
         let cdf = Cdf::from_samples(samples.clone());
         let mut last = 0.0f64;
         for x in [0u32, 1, 10, 100, 1000, u32::MAX / 2, u32::MAX] {
             let f = cdf.fraction_at_most(x);
-            prop_assert!((0.0..=1.0).contains(&f));
-            prop_assert!(f >= last);
+            assert!((0.0..=1.0).contains(&f));
+            assert!(f >= last);
             last = f;
         }
         if !samples.is_empty() {
-            prop_assert_eq!(cdf.fraction_at_most(u32::MAX), 1.0);
+            assert_eq!(cdf.fraction_at_most(u32::MAX), 1.0);
         }
     }
 
     /// count_over + count_at_most == len.
-    #[test]
-    fn cdf_counts_partition(samples in proptest::collection::vec(any::<u32>(), 0..200), x in any::<u32>()) {
+    fn cdf_counts_partition(samples in gens::vec_of(gens::u32s(..), 0..200), x in gens::u32s(..)) {
         let cdf = Cdf::from_samples(samples.clone());
         let at_most = (cdf.fraction_at_most(x) * samples.len() as f64).round() as usize;
-        prop_assert_eq!(at_most + cdf.count_over(x), samples.len());
+        assert_eq!(at_most + cdf.count_over(x), samples.len());
     }
 
     /// points() ends at 100 % and is strictly increasing in x.
-    #[test]
-    fn cdf_points_well_formed(samples in proptest::collection::vec(any::<u32>(), 1..100)) {
+    fn cdf_points_well_formed(samples in gens::vec_of(gens::u32s(..), 1..100)) {
         let cdf = Cdf::from_samples(samples);
         let pts = cdf.points();
-        prop_assert!(!pts.is_empty());
-        prop_assert!((pts.last().unwrap().1 - 100.0).abs() < 1e-9);
+        assert!(!pts.is_empty());
+        assert!((pts.last().unwrap().1 - 100.0).abs() < 1e-9);
         for w in pts.windows(2) {
-            prop_assert!(w[0].0 < w[1].0);
-            prop_assert!(w[0].1 < w[1].1 + 1e-12);
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 < w[1].1 + 1e-12);
         }
     }
 
     /// Quantiles are actual samples and ordered.
-    #[test]
-    fn cdf_quantiles_ordered(samples in proptest::collection::vec(any::<u32>(), 1..100)) {
+    fn cdf_quantiles_ordered(samples in gens::vec_of(gens::u32s(..), 1..100)) {
         let cdf = Cdf::from_samples(samples.clone());
         let q25 = cdf.quantile(0.25).unwrap();
         let q75 = cdf.quantile(0.75).unwrap();
-        prop_assert!(q25 <= q75);
-        prop_assert!(samples.contains(&q25));
-        prop_assert!(samples.contains(&q75));
+        assert!(q25 <= q75);
+        assert!(samples.contains(&q25));
+        assert!(samples.contains(&q75));
     }
 
     /// pct stays in range.
-    #[test]
-    fn pct_bounded(part in any::<u32>(), whole in any::<u32>()) {
+    fn pct_bounded(part in gens::u32s(..), whole in gens::u32s(..)) {
         let p = pct(part.min(whole) as u64, whole as u64);
-        prop_assert!((0.0..=100.0).contains(&p));
+        assert!((0.0..=100.0).contains(&p));
     }
 
     /// Operator table shares sum to at most 100 % and counts are sane.
-    #[test]
     fn operator_table_invariants(
-        assignments in proptest::collection::vec((0u8..6, 0u16..10, 0u8..10), 1..100),
+        assignments in gens::vec_of((gens::u8s(0..6), gens::u16s(0..10), gens::u8s(0..10)), 1..100),
     ) {
         let records: Vec<DomainRecord> = assignments
             .iter()
@@ -79,20 +73,20 @@ proptest! {
             .collect();
         let table = operator_table(&records, 10);
         let total_share: f64 = table.iter().map(|r| r.share_pct).sum();
-        prop_assert!(total_share <= 100.0 + 1e-9);
+        assert!(total_share <= 100.0 + 1e-9);
         let total_count: u64 = table.iter().map(|r| r.count).sum();
-        prop_assert_eq!(total_count, records.len() as u64);
+        assert_eq!(total_count, records.len() as u64);
         // Rows sorted by count descending.
         for w in table.windows(2) {
-            prop_assert!(w[0].count >= w[1].count);
+            assert!(w[0].count >= w[1].count);
         }
         // Per-row parameter shares sum to 100.
         for row in &table {
             let s: f64 = row.params.iter().map(|(_, _, p)| *p).sum();
-            prop_assert!((s - 100.0).abs() < 1e-6);
+            assert!((s - 100.0).abs() < 1e-6);
         }
         // Stats agree with raw counting.
         let stats = DomainStats::compute(&records);
-        prop_assert_eq!(stats.nsec3, records.len() as u64);
+        assert_eq!(stats.nsec3, records.len() as u64);
     }
 }

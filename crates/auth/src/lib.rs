@@ -66,7 +66,9 @@ impl AuthServer {
 
     /// Install (or replace) a zone.
     pub fn add_zone(&self, zone: SignedZone) {
-        self.zones.borrow_mut().insert(zone.zone.apex().clone(), zone);
+        self.zones
+            .borrow_mut()
+            .insert(zone.zone.apex().clone(), zone);
     }
 
     /// Remove a zone by apex.
@@ -119,7 +121,10 @@ impl AuthServer {
                     .unwrap_or_default();
                 resp.answers.extend(soa.iter().cloned());
                 resp.answers.extend(
-                    zone.zone.iter().filter(|r| r.rrtype() != RrType::SOA).cloned(),
+                    zone.zone
+                        .iter()
+                        .filter(|r| r.rrtype() != RrType::SOA)
+                        .cloned(),
                 );
                 resp.answers.extend(soa);
             } else {
@@ -220,7 +225,11 @@ impl AuthServer {
                         for sig in sigs {
                             if matches!(&sig.rdata, RData::Rrsig { type_covered, .. } if *type_covered == qtype)
                             {
-                                expanded.push(Record::new(qname.clone(), sig.ttl, sig.rdata.clone()));
+                                expanded.push(Record::new(
+                                    qname.clone(),
+                                    sig.ttl,
+                                    sig.rdata.clone(),
+                                ));
                             }
                         }
                     }
@@ -302,10 +311,7 @@ fn push_rrset(
 }
 
 /// Zone with the longest apex that is an ancestor-or-self of `qname`.
-fn best_zone<'a>(
-    zones: &'a HashMap<Name, SignedZone>,
-    qname: &Name,
-) -> Option<&'a SignedZone> {
+fn best_zone<'a>(zones: &'a HashMap<Name, SignedZone>, qname: &Name) -> Option<&'a SignedZone> {
     qname
         .self_and_ancestors()
         .into_iter()
@@ -353,7 +359,11 @@ impl Node for AuthServer {
         }
         // UDP truncation: the requester's EDNS payload size (512 without
         // EDNS) bounds the response; over it, send TC with empty sections.
-        let limit = query.edns.as_ref().map(|e| e.udp_payload_size as usize).unwrap_or(512);
+        let limit = query
+            .edns
+            .as_ref()
+            .map(|e| e.udp_payload_size as usize)
+            .unwrap_or(512);
         if encoded.len() > limit.max(512) {
             let mut truncated = Message::response_to(&query);
             truncated.flags.aa = response.flags.aa;
@@ -392,20 +402,49 @@ mod tests {
             },
         ))
         .unwrap();
-        z.add(Record::new(name("example."), 3600, RData::Ns(name("ns1.example.")))).unwrap();
-        z.add(Record::new(name("ns1.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 53))))
-            .unwrap();
-        z.add(Record::new(name("www.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 1))))
-            .unwrap();
-        z.add(Record::new(name("alias.example."), 300, RData::Cname(name("www.example."))))
-            .unwrap();
-        z.add(Record::new(name("*.wild.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 9))))
-            .unwrap();
+        z.add(Record::new(
+            name("example."),
+            3600,
+            RData::Ns(name("ns1.example.")),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            name("ns1.example."),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 53)),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            name("www.example."),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            name("alias.example."),
+            300,
+            RData::Cname(name("www.example.")),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            name("*.wild.example."),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 9)),
+        ))
+        .unwrap();
         // Insecure delegation.
-        z.add(Record::new(name("sub.example."), 3600, RData::Ns(name("ns1.sub.example."))))
-            .unwrap();
-        z.add(Record::new(name("ns1.sub.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 60))))
-            .unwrap();
+        z.add(Record::new(
+            name("sub.example."),
+            3600,
+            RData::Ns(name("ns1.sub.example.")),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            name("ns1.sub.example."),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 60)),
+        ))
+        .unwrap();
         let signed = sign_zone(&z, &SignerConfig::standard(&name("example."), NOW)).unwrap();
         let server = AuthServer::new();
         server.add_zone(signed);
@@ -581,11 +620,19 @@ mod tests {
             },
         ))
         .unwrap();
-        z.add(Record::new(name("a.b.ent.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 1))))
-            .unwrap();
+        z.add(Record::new(
+            name("a.b.ent.example."),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        ))
+        .unwrap();
         s.add_zone(sign_zone(&z, &SignerConfig::standard(&name("ent.example."), NOW)).unwrap());
         let resp = ask(&s, "b.ent.example.", RrType::A);
-        assert_eq!(resp.rcode, Rcode::NoError, "ENTs exist: NODATA, not NXDOMAIN");
+        assert_eq!(
+            resp.rcode,
+            Rcode::NoError,
+            "ENTs exist: NODATA, not NXDOMAIN"
+        );
         assert!(resp.answers.is_empty());
         let resp = ask(&s, "zz.b.ent.example.", RrType::A);
         assert_eq!(resp.rcode, Rcode::NxDomain);
@@ -609,8 +656,12 @@ mod tests {
             },
         ))
         .unwrap();
-        z.add(Record::new(name("www.plain.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 1))))
-            .unwrap();
+        z.add(Record::new(
+            name("www.plain.example."),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        ))
+        .unwrap();
         let cfg = SignerConfig {
             denial: dns_zone::signer::Denial::Nsec,
             ..SignerConfig::standard(&name("plain.example."), NOW)
@@ -677,8 +728,12 @@ mod tests {
             },
         ))
         .unwrap();
-        z.add(Record::new(name("x.sub2.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 77))))
-            .unwrap();
+        z.add(Record::new(
+            name("x.sub2.example."),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 77)),
+        ))
+        .unwrap();
         s.add_zone(sign_zone(&z, &SignerConfig::standard(&name("sub2.example."), NOW)).unwrap());
         let resp = ask(&s, "x.sub2.example.", RrType::A);
         assert_eq!(resp.rcode, Rcode::NoError);

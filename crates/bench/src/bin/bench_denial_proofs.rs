@@ -1,8 +1,10 @@
-//! Criterion bench: denial-of-existence proof synthesis (server side) and
+//! Bench: denial-of-existence proof synthesis (server side) and
 //! verification (resolver side), by query-name depth and iteration count
 //! (DESIGN.md ablation 2: the closest-encloser walk multiplier).
+//! Writes `BENCH_denial_proofs.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
 use dns_resolver::cost::CostMeter;
 use dns_resolver::validator::{parse_nsec3_set, verify_nxdomain};
 use dns_wire::name::{name, Name};
@@ -13,8 +15,8 @@ use dns_zone::denial::nxdomain_proof;
 use dns_zone::nsec3hash::Nsec3Params;
 use dns_zone::signer::{sign_zone, SignedZone, SignerConfig};
 use dns_zone::Zone;
-
-const NOW: u32 = 1_710_000_000;
+use heroes_bench::microbench::Suite;
+use heroes_bench::EXPERIMENT_NOW as NOW;
 
 fn make_signed(iterations: u16) -> SignedZone {
     let apex = name("bench.example.");
@@ -35,7 +37,12 @@ fn make_signed(iterations: u16) -> SignedZone {
     .unwrap();
     for i in 0..50 {
         let owner = Name::parse(&format!("host{i}.bench.example.")).unwrap();
-        z.add(Record::new(owner, 300, RData::A("10.0.0.1".parse().unwrap()))).unwrap();
+        z.add(Record::new(
+            owner,
+            300,
+            RData::A("10.0.0.1".parse().unwrap()),
+        ))
+        .unwrap();
     }
     sign_zone(
         &z,
@@ -49,75 +56,69 @@ fn make_signed(iterations: u16) -> SignedZone {
     .unwrap()
 }
 
-fn bench_synthesis(c: &mut Criterion) {
-    let mut g = c.benchmark_group("denial/nxdomain_proof_synthesis");
+fn main() {
+    let mut suite = Suite::new("denial_proofs");
+
     for iterations in [0u16, 150] {
         let z = make_signed(iterations);
         let qname = name("nx.bench.example.");
-        g.bench_with_input(BenchmarkId::from_parameter(iterations), &z, |b, z| {
-            b.iter(|| nxdomain_proof(black_box(z), black_box(&qname)).unwrap())
+        suite.bench(&format!("nxdomain_proof_synthesis/{iterations}"), || {
+            nxdomain_proof(black_box(&z), black_box(&qname)).unwrap()
         });
     }
-    g.finish();
-}
 
-fn bench_verification_by_depth(c: &mut Criterion) {
-    let mut g = c.benchmark_group("denial/nxdomain_verify_by_label_depth_it150");
     let z = make_signed(150);
     for depth in [1usize, 3, 6, 10] {
         let labels: Vec<String> = (0..depth).map(|i| format!("l{i}")).collect();
         let qname = Name::parse(&format!("{}.bench.example.", labels.join("."))).unwrap();
         let proof = nxdomain_proof(&z, &qname).unwrap();
-        let nsec3s: Vec<&Record> =
-            proof.records.iter().filter(|r| r.rrtype() == RrType::NSEC3).collect();
+        let nsec3s: Vec<&Record> = proof
+            .records
+            .iter()
+            .filter(|r| r.rrtype() == RrType::NSEC3)
+            .collect();
         let (params, views) = parse_nsec3_set(&nsec3s).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(depth), &qname, |b, q| {
-            b.iter(|| {
+        suite.bench(
+            &format!("nxdomain_verify_by_label_depth_it150/{depth}"),
+            || {
                 let meter = CostMeter::new();
                 verify_nxdomain(
-                    black_box(q),
+                    black_box(&qname),
                     &name("bench.example."),
                     &params,
                     &views,
                     &meter,
                 )
                 .unwrap()
-            })
-        });
+            },
+        );
     }
-    g.finish();
-}
 
-fn bench_verification_by_iterations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("denial/nxdomain_verify_by_iterations");
     for iterations in [0u16, 50, 150, 500] {
         let z = make_signed(iterations);
         let qname = name("a.b.c.nx.bench.example.");
         let proof = nxdomain_proof(&z, &qname).unwrap();
-        let nsec3s: Vec<&Record> =
-            proof.records.iter().filter(|r| r.rrtype() == RrType::NSEC3).collect();
+        let nsec3s: Vec<&Record> = proof
+            .records
+            .iter()
+            .filter(|r| r.rrtype() == RrType::NSEC3)
+            .collect();
         let (params, views) = parse_nsec3_set(&nsec3s).unwrap();
-        g.bench_with_input(BenchmarkId::from_parameter(iterations), &qname, |b, q| {
-            b.iter(|| {
+        suite.bench(
+            &format!("nxdomain_verify_by_iterations/{iterations}"),
+            || {
                 let meter = CostMeter::new();
                 verify_nxdomain(
-                    black_box(q),
+                    black_box(&qname),
                     &name("bench.example."),
                     &params,
                     &views,
                     &meter,
                 )
                 .unwrap()
-            })
-        });
+            },
+        );
     }
-    g.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_synthesis,
-    bench_verification_by_depth,
-    bench_verification_by_iterations
-);
-criterion_main!(benches);
+    suite.finish();
+}

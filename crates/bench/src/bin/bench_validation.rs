@@ -1,0 +1,131 @@
+//! Bench: end-to-end resolution cost through the full chain
+//! (root → com → leaf), positive and negative, plus the policy-ordering
+//! ablation (DESIGN.md ablation 5: limit check before vs after signature
+//! verification). Writes `BENCH_validation.json`.
+
+use std::hint::black_box;
+
+use dns_resolver::lab::LabBuilder;
+use dns_resolver::resolver::{Resolver, ResolverConfig};
+use dns_resolver::Rfc9276Policy;
+use dns_wire::name::name;
+use dns_wire::rrtype::RrType;
+use dns_zone::nsec3hash::Nsec3Params;
+use dns_zone::signer::Denial;
+use heroes_bench::microbench::Suite;
+use heroes_bench::EXPERIMENT_NOW as NOW;
+
+fn lab_and_resolver(
+    leaf_iterations: u16,
+    policy: Rfc9276Policy,
+) -> (dns_resolver::lab::Lab, Resolver) {
+    let mut lab = LabBuilder::new(NOW)
+        .simple_zone(&name("com."), Denial::nsec3_rfc9276())
+        .simple_zone(
+            &name("target.com."),
+            Denial::Nsec3 {
+                params: Nsec3Params::new(leaf_iterations, vec![]),
+                opt_out: false,
+            },
+        )
+        .build();
+    let addr = lab.alloc.v4();
+    let mut cfg = ResolverConfig::validating(addr, lab.root_hints.clone(), lab.anchor.clone());
+    cfg.now = lab.now;
+    cfg.policy = policy;
+    (lab, Resolver::new(cfg))
+}
+
+fn main() {
+    let mut suite = Suite::new("validation");
+
+    let (lab, r) = lab_and_resolver(0, Rfc9276Policy::unlimited());
+    suite.bench("resolve/positive_secure", || {
+        r.resolve(&lab.net, black_box(&name("www.target.com.")), RrType::A)
+    });
+    let mut i = 0u64;
+    suite.bench("resolve/nxdomain_secure_it0", || {
+        i += 1;
+        let q = name(&format!("q{i}.target.com."));
+        r.resolve(&lab.net, black_box(&q), RrType::A)
+    });
+
+    for it in [0u16, 150, 500] {
+        let (lab, r) = lab_and_resolver(it, Rfc9276Policy::unlimited());
+        let mut i = 0u64;
+        suite.bench(&format!("resolve/nxdomain_by_iterations/it{it}"), || {
+            i += 1;
+            let q = name(&format!("q{i}.target.com."));
+            r.resolve(&lab.net, black_box(&q), RrType::A)
+        });
+    }
+
+    // Over-limit zone (it=500). The limit-enforcing resolver refuses
+    // cheaply; the unlimited one pays the full hashing bill.
+    for (label, policy) in [
+        ("unlimited_pays_full_cost", Rfc9276Policy::unlimited()),
+        (
+            "servfail_above_150_refuses_cheaply",
+            Rfc9276Policy::servfail_above(150),
+        ),
+        (
+            "insecure_above_150_downgrades",
+            Rfc9276Policy::insecure_above(150),
+        ),
+    ] {
+        let (lab, r) = lab_and_resolver(500, policy);
+        let mut i = 0u64;
+        suite.bench(&format!("resolve/over_limit_policy/{label}"), || {
+            i += 1;
+            let q = name(&format!("q{i}.target.com."));
+            r.resolve(&lab.net, black_box(&q), RrType::A)
+        });
+    }
+
+    // Cold: every query unique (cache useless).
+    let (lab, r) = lab_and_resolver(0, Rfc9276Policy::unlimited());
+    let mut i = 0u64;
+    suite.bench("resolve/caching/unique_names_cold_path", || {
+        i += 1;
+        r.resolve(
+            &lab.net,
+            black_box(&name(&format!("c{i}.target.com."))),
+            RrType::A,
+        )
+    });
+    // Warm: the same name repeatedly (answer-cache hit).
+    let (lab, r) = lab_and_resolver(0, Rfc9276Policy::unlimited());
+    let q = name("www.target.com.");
+    let _ = r.resolve(&lab.net, &q, RrType::A);
+    suite.bench("resolve/caching/repeated_name_cache_hit", || {
+        r.resolve(&lab.net, black_box(&q), RrType::A)
+    });
+    // RFC 8198: unique nonexistent names, synthesized from one proof.
+    let mut lab3 = LabBuilder::new(NOW)
+        .simple_zone(&name("com."), Denial::nsec3_rfc9276())
+        .simple_zone(
+            &name("target.com."),
+            Denial::Nsec3 {
+                params: Nsec3Params::new(0, vec![]),
+                opt_out: false,
+            },
+        )
+        .build();
+    let addr = lab3.alloc.v4();
+    let mut cfg = ResolverConfig::validating(addr, lab3.root_hints.clone(), lab3.anchor.clone());
+    cfg.now = lab3.now;
+    cfg.aggressive_nsec3 = true;
+    let r3 = Resolver::new(cfg);
+    let _ = r3.resolve(&lab3.net, &name("warmup.target.com."), RrType::A);
+    let mut j = 0u64;
+    suite.bench("resolve/caching/unique_nxdomains_rfc8198_synthesis", || {
+        j += 1;
+        r3.resolve(
+            &lab3.net,
+            black_box(&name(&format!("s{j}.target.com."))),
+            RrType::A,
+        )
+    });
+
+    suite.finish();
+}

@@ -1,13 +1,15 @@
-//! Criterion bench: message encode/decode throughput and the name
-//! compression trade-off (DESIGN.md ablation 3).
+//! Bench: message encode/decode throughput and the name compression
+//! trade-off (DESIGN.md ablation 3). Writes `BENCH_wire.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
 use dns_wire::buf::Writer;
 use dns_wire::message::Message;
 use dns_wire::name::name;
 use dns_wire::rdata::RData;
 use dns_wire::record::Record;
 use dns_wire::rrtype::RrType;
+use heroes_bench::microbench::Suite;
 
 fn sample_response() -> Message {
     let q = Message::query(7, name("host.service.dept.example.com."), RrType::A);
@@ -35,37 +37,33 @@ fn sample_response() -> Message {
     resp
 }
 
-fn bench_encode_decode(c: &mut Criterion) {
-    let resp = sample_response();
-    c.bench_function("wire/encode_response", |b| b.iter(|| black_box(&resp).encode()));
-    let encoded = resp.encode();
-    c.bench_function("wire/decode_response", |b| {
-        b.iter(|| Message::decode(black_box(&encoded)).unwrap())
-    });
-}
+fn main() {
+    let mut suite = Suite::new("wire");
 
-fn bench_compression_tradeoff(c: &mut Criterion) {
+    let resp = sample_response();
+    suite.bench("encode_response", || black_box(&resp).encode());
+    let encoded = resp.encode();
+    suite.bench("decode_response", || {
+        Message::decode(black_box(&encoded)).unwrap()
+    });
+
     // Same 20 names written with and without compression.
     let names: Vec<_> = (0..20)
         .map(|i| name(&format!("host{i}.sub.department.example.com.")))
         .collect();
-    c.bench_function("wire/write_names_compressing", |b| {
-        b.iter(|| {
-            let mut w = Writer::compressing();
-            for n in &names {
-                w.name(black_box(n));
-            }
-            w.finish()
-        })
+    suite.bench("write_names_compressing", || {
+        let mut w = Writer::compressing();
+        for n in &names {
+            w.name(black_box(n));
+        }
+        w.finish()
     });
-    c.bench_function("wire/write_names_plain", |b| {
-        b.iter(|| {
-            let mut w = Writer::plain();
-            for n in &names {
-                w.name(black_box(n));
-            }
-            w.finish()
-        })
+    suite.bench("write_names_plain", || {
+        let mut w = Writer::plain();
+        for n in &names {
+            w.name(black_box(n));
+        }
+        w.finish()
     });
     // Size comparison printed once for the record.
     let mut wc = Writer::compressing();
@@ -79,9 +77,7 @@ fn bench_compression_tradeoff(c: &mut Criterion) {
         wp.len() - wc.len(),
         wp.len()
     );
-}
 
-fn bench_nsec3_record_roundtrip(c: &mut Criterion) {
     let rec = Record::new(
         name("0p9mhaveqvm6t7vbl5lop2u3t2rp3tom.example."),
         300,
@@ -94,14 +90,11 @@ fn bench_nsec3_record_roundtrip(c: &mut Criterion) {
             types: [RrType::A, RrType::RRSIG].into_iter().collect(),
         },
     );
-    c.bench_function("wire/nsec3_record_encode", |b| {
-        b.iter(|| {
-            let mut w = Writer::plain();
-            black_box(&rec).encode(&mut w);
-            w.finish()
-        })
+    suite.bench("nsec3_record_encode", || {
+        let mut w = Writer::plain();
+        black_box(&rec).encode(&mut w);
+        w.finish()
     });
-}
 
-criterion_group!(benches, bench_encode_decode, bench_compression_tradeoff, bench_nsec3_record_roundtrip);
-criterion_main!(benches);
+    suite.finish();
+}

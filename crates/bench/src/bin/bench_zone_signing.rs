@@ -1,15 +1,17 @@
-//! Criterion bench: zone signing cost by zone size and denial mechanism
+//! Bench: zone signing cost by zone size and denial mechanism
 //! (DESIGN.md ablation 4: opt-out vs full chain, NSEC vs NSEC3).
+//! Writes `BENCH_zone_signing.json`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
 use dns_wire::name::{name, Name};
 use dns_wire::rdata::RData;
 use dns_wire::record::Record;
 use dns_zone::nsec3hash::Nsec3Params;
 use dns_zone::signer::{sign_zone, Denial, SignerConfig};
 use dns_zone::Zone;
-
-const NOW: u32 = 1_710_000_000;
+use heroes_bench::microbench::Suite;
+use heroes_bench::EXPERIMENT_NOW as NOW;
 
 /// A zone with `n` hosts plus `n/4` insecure delegations.
 fn make_zone(n: usize) -> Zone {
@@ -31,49 +33,60 @@ fn make_zone(n: usize) -> Zone {
     .unwrap();
     for i in 0..n {
         let owner = Name::parse(&format!("host{i}.bench.example.")).unwrap();
-        z.add(Record::new(owner, 300, RData::A(format!("10.1.{}.{}", i / 256, i % 256).parse().unwrap())))
-            .unwrap();
+        z.add(Record::new(
+            owner,
+            300,
+            RData::A(format!("10.1.{}.{}", i / 256, i % 256).parse().unwrap()),
+        ))
+        .unwrap();
     }
     for i in 0..n / 4 {
         let cut = Name::parse(&format!("sub{i}.bench.example.")).unwrap();
-        z.add(Record::new(cut, 3600, RData::Ns(name("ns.other.example.")))).unwrap();
+        z.add(Record::new(cut, 3600, RData::Ns(name("ns.other.example."))))
+            .unwrap();
     }
     z
 }
 
-fn bench_sizes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("zone_signing/size_nsec3_rfc9276");
+fn main() {
+    let mut suite = Suite::new("zone_signing");
+
     for n in [10usize, 100, 1000] {
         let zone = make_zone(n);
         let cfg = SignerConfig::standard(zone.apex(), NOW);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &zone, |b, z| {
-            b.iter(|| sign_zone(black_box(z), &cfg).unwrap())
+        suite.bench(&format!("size_nsec3_rfc9276/{n}"), || {
+            sign_zone(black_box(&zone), &cfg).unwrap()
         });
     }
-    g.finish();
-}
 
-fn bench_denial_mechanisms(c: &mut Criterion) {
-    let mut g = c.benchmark_group("zone_signing/denial_mechanism_200_names");
     let zone = make_zone(200);
     let variants: Vec<(&str, Denial)> = vec![
         ("nsec", Denial::Nsec),
         ("nsec3_it0", Denial::nsec3_rfc9276()),
         (
             "nsec3_it0_optout",
-            Denial::Nsec3 { params: Nsec3Params::rfc9276(), opt_out: true },
+            Denial::Nsec3 {
+                params: Nsec3Params::rfc9276(),
+                opt_out: true,
+            },
         ),
         (
             "nsec3_it100_salt8",
-            Denial::Nsec3 { params: Nsec3Params::new(100, vec![0xab; 8]), opt_out: false },
+            Denial::Nsec3 {
+                params: Nsec3Params::new(100, vec![0xab; 8]),
+                opt_out: false,
+            },
         ),
     ];
     for (label, denial) in variants {
-        let cfg = SignerConfig { denial, ..SignerConfig::standard(zone.apex(), NOW) };
-        g.bench_function(label, |b| b.iter(|| sign_zone(black_box(&zone), &cfg).unwrap()));
+        let cfg = SignerConfig {
+            denial,
+            ..SignerConfig::standard(zone.apex(), NOW)
+        };
+        suite.bench(&format!("denial_mechanism_200_names/{label}"), || {
+            sign_zone(black_box(&zone), &cfg).unwrap()
+        });
     }
-    g.finish();
-}
 
-criterion_group!(benches, bench_sizes, bench_denial_mechanisms);
-criterion_main!(benches);
+    suite.finish();
+}

@@ -31,7 +31,11 @@ fn main() {
     let stats = DomainStats::compute(&records);
     print!(
         "{}",
-        compare_line("registered domains analyzed", "302 M", &fmt_count(stats.total))
+        compare_line(
+            "registered domains analyzed",
+            "302 M",
+            &fmt_count(stats.total)
+        )
     );
     print!(
         "{}",
@@ -59,10 +63,20 @@ fn main() {
     );
     print!(
         "{}",
-        compare_line("zero additional iterations", "12.2 %", &fmt_pct(stats.zero_iteration_pct()))
+        compare_line(
+            "zero additional iterations",
+            "12.2 %",
+            &fmt_pct(stats.zero_iteration_pct())
+        )
     );
-    print!("{}", compare_line("no salt", "8.6 %", &fmt_pct(stats.no_salt_pct())));
-    print!("{}", compare_line("opt-out flag set", "6.4 %", &fmt_pct(stats.opt_out_pct())));
+    print!(
+        "{}",
+        compare_line("no salt", "8.6 %", &fmt_pct(stats.no_salt_pct()))
+    );
+    print!(
+        "{}",
+        compare_line("opt-out flag set", "6.4 %", &fmt_pct(stats.opt_out_pct()))
+    );
     print!(
         "{}",
         compare_line(
@@ -127,9 +141,11 @@ fn main() {
     let nsec3: Vec<_> = tlds
         .iter()
         .filter_map(|t| match t.dnssec {
-            DnssecKind::Nsec3 { iterations, salt_len, opt_out } => {
-                Some((iterations, salt_len, opt_out, t))
-            }
+            DnssecKind::Nsec3 {
+                iterations,
+                salt_len,
+                opt_out,
+            } => Some((iterations, salt_len, opt_out, t)),
             _ => None,
         })
         .collect();
@@ -144,14 +160,38 @@ fn main() {
         .filter(|t| t.registry_provider.is_some())
         .map(|t| t.est_domains)
         .sum();
-    print!("{}", compare_line("delegated TLDs", "1,449", &total.to_string()));
-    print!("{}", compare_line("DNSSEC-enabled TLDs", "1,354", &dnssec.to_string()));
-    print!("{}", compare_line("NSEC3-enabled TLDs", "1,302", &nsec3.len().to_string()));
-    print!("{}", compare_line("TLDs with zero iterations", "688", &iter0.to_string()));
-    print!("{}", compare_line("TLDs with 100 iterations", "447", &iter100.to_string()));
-    print!("{}", compare_line("TLDs without salt", "672", &salt0.to_string()));
-    print!("{}", compare_line("TLDs with 8-byte salt", "558", &salt8.to_string()));
-    print!("{}", compare_line("TLDs with 10-byte salt (max)", "7", &salt10.to_string()));
+    print!(
+        "{}",
+        compare_line("delegated TLDs", "1,449", &total.to_string())
+    );
+    print!(
+        "{}",
+        compare_line("DNSSEC-enabled TLDs", "1,354", &dnssec.to_string())
+    );
+    print!(
+        "{}",
+        compare_line("NSEC3-enabled TLDs", "1,302", &nsec3.len().to_string())
+    );
+    print!(
+        "{}",
+        compare_line("TLDs with zero iterations", "688", &iter0.to_string())
+    );
+    print!(
+        "{}",
+        compare_line("TLDs with 100 iterations", "447", &iter100.to_string())
+    );
+    print!(
+        "{}",
+        compare_line("TLDs without salt", "672", &salt0.to_string())
+    );
+    print!(
+        "{}",
+        compare_line("TLDs with 8-byte salt", "558", &salt8.to_string())
+    );
+    print!(
+        "{}",
+        compare_line("TLDs with 10-byte salt (max)", "7", &salt10.to_string())
+    );
     print!(
         "{}",
         compare_line(
@@ -173,7 +213,10 @@ fn main() {
         compare_line(
             "non-compliant TLDs (item 2)",
             "47.2 %",
-            &fmt_pct(analysis::pct((nsec3.len() - iter0) as u64, nsec3.len() as u64))
+            &fmt_pct(analysis::pct(
+                (nsec3.len() - iter0) as u64,
+                nsec3.len() as u64
+            ))
         )
     );
 

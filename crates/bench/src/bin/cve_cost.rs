@@ -15,8 +15,10 @@ use popgen::Scale;
 fn main() {
     let _opts = Options::parse(Scale(1.0)); // no population involved
     header("Validation cost vs iterations (no salt)");
-    let iteration_points: Vec<(u16, u8)> =
-        [0u16, 1, 10, 50, 100, 150, 500, 1000, 2500].iter().map(|&i| (i, 0)).collect();
+    let iteration_points: Vec<(u16, u8)> = [0u16, 1, 10, 50, 100, 150, 500, 1000, 2500]
+        .iter()
+        .map(|&i| (i, 0))
+        .collect();
     let sweep = cve_cost_sweep(&iteration_points, EXPERIMENT_NOW);
     let base = sweep[0].compressions.max(1);
     println!("  iterations  SHA-1 compressions  hash chains   vs it-0");

@@ -12,39 +12,71 @@ use popgen::{generate_domains, Scale};
 
 fn main() {
     let opts = Options::parse(Scale::BENCH);
-    println!("Figure 1 at scale {} (seed {})", fmt_scale(opts.scale), opts.seed);
+    println!(
+        "Figure 1 at scale {} (seed {})",
+        fmt_scale(opts.scale),
+        opts.seed
+    );
     let specs = generate_domains(opts.scale, opts.seed);
     let records = records_from_specs(&specs);
     let stats = DomainStats::compute(&records);
 
     header("CDF of additional iterations (NSEC3-enabled domains)");
-    print!("{}", render_cdf("No. of additional iterations", &stats.iterations_cdf, 50));
     print!(
         "{}",
-        compare_line("at 0 iterations", "12.2 %", &fmt_pct(stats.iterations_cdf.fraction_at_most(0) * 100.0))
+        render_cdf("No. of additional iterations", &stats.iterations_cdf, 50)
     );
     print!(
         "{}",
-        compare_line("at ≤ 25 iterations", "99.9 %", &format!("{:.2} %", stats.iterations_cdf.fraction_at_most(25) * 100.0))
+        compare_line(
+            "at 0 iterations",
+            "12.2 %",
+            &fmt_pct(stats.iterations_cdf.fraction_at_most(0) * 100.0)
+        )
     );
     print!(
         "{}",
-        compare_line("domains at exactly 500 (max)", "12", &(stats.iterations_cdf.count_over(499) - stats.iterations_cdf.count_over(500)).to_string())
+        compare_line(
+            "at ≤ 25 iterations",
+            "99.9 %",
+            &format!("{:.2} %", stats.iterations_cdf.fraction_at_most(25) * 100.0)
+        )
+    );
+    print!(
+        "{}",
+        compare_line(
+            "domains at exactly 500 (max)",
+            "12",
+            &(stats.iterations_cdf.count_over(499) - stats.iterations_cdf.count_over(500))
+                .to_string()
+        )
     );
 
     header("CDF of salt length (NSEC3-enabled domains)");
     print!("{}", render_cdf("Salt length (bytes)", &stats.salt_cdf, 50));
     print!(
         "{}",
-        compare_line("at 0 bytes (no salt)", "8.6 %", &fmt_pct(stats.salt_cdf.fraction_at_most(0) * 100.0))
+        compare_line(
+            "at 0 bytes (no salt)",
+            "8.6 %",
+            &fmt_pct(stats.salt_cdf.fraction_at_most(0) * 100.0)
+        )
     );
     print!(
         "{}",
-        compare_line("at ≤ 10 bytes", "97.2 %", &format!("{:.2} %", stats.salt_cdf.fraction_at_most(10) * 100.0))
+        compare_line(
+            "at ≤ 10 bytes",
+            "97.2 %",
+            &format!("{:.2} %", stats.salt_cdf.fraction_at_most(10) * 100.0)
+        )
     );
     print!(
         "{}",
-        compare_line("salts at exactly 160 bytes (max)", "9", &(stats.salt_cdf.count_over(159) - stats.salt_cdf.count_over(160)).to_string())
+        compare_line(
+            "salts at exactly 160 bytes (max)",
+            "9",
+            &(stats.salt_cdf.count_over(159) - stats.salt_cdf.count_over(160)).to_string()
+        )
     );
 
     write_artifact("fig1_iterations_cdf.csv", &cdf_csv(&stats.iterations_cdf));

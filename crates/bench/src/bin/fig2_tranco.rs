@@ -13,22 +13,38 @@ use popgen::{generate_tranco, Scale};
 
 fn main() {
     let opts = Options::parse(Scale(1.0)); // 1 M ranks is cheap enough
-    println!("Figure 2 at scale {} (seed {})", fmt_scale(opts.scale), opts.seed);
+    println!(
+        "Figure 2 at scale {} (seed {})",
+        fmt_scale(opts.scale),
+        opts.seed
+    );
     let list = generate_tranco(opts.scale, opts.seed);
 
-    let dnssec: Vec<_> = list.iter().filter(|e| e.dnssec != DnssecKind::None).collect();
+    let dnssec: Vec<_> = list
+        .iter()
+        .filter(|e| e.dnssec != DnssecKind::None)
+        .collect();
     let nsec3: Vec<_> = list
         .iter()
         .filter_map(|e| match e.dnssec {
-            DnssecKind::Nsec3 { iterations, salt_len, .. } => {
-                Some((e.rank, iterations, salt_len))
-            }
+            DnssecKind::Nsec3 {
+                iterations,
+                salt_len,
+                ..
+            } => Some((e.rank, iterations, salt_len)),
             _ => None,
         })
         .collect();
 
     header("Tranco composition");
-    print!("{}", compare_line("DNSSEC-enabled entries", "66.6 K", &dnssec.len().to_string()));
+    print!(
+        "{}",
+        compare_line(
+            "DNSSEC-enabled entries",
+            "66.6 K",
+            &dnssec.len().to_string()
+        )
+    );
     print!(
         "{}",
         compare_line(
@@ -39,29 +55,59 @@ fn main() {
     );
     let zero = nsec3.iter().filter(|(_, it, _)| *it == 0).count() as u64;
     let nosalt = nsec3.iter().filter(|(_, _, s)| *s == 0).count() as u64;
-    let both = nsec3.iter().filter(|(_, it, s)| *it == 0 && *s == 0).count() as u64;
+    let both = nsec3
+        .iter()
+        .filter(|(_, it, s)| *it == 0 && *s == 0)
+        .count() as u64;
     print!(
         "{}",
-        compare_line("zero iterations", "22.8 %", &fmt_pct(pct(zero, nsec3.len() as u64)))
+        compare_line(
+            "zero iterations",
+            "22.8 %",
+            &fmt_pct(pct(zero, nsec3.len() as u64))
+        )
     );
-    print!("{}", compare_line("no salt", "23.6 %", &fmt_pct(pct(nosalt, nsec3.len() as u64))));
     print!(
         "{}",
-        compare_line("compliant with both", "12.7 %", &fmt_pct(pct(both, nsec3.len() as u64)))
+        compare_line(
+            "no salt",
+            "23.6 %",
+            &fmt_pct(pct(nosalt, nsec3.len() as u64))
+        )
+    );
+    print!(
+        "{}",
+        compare_line(
+            "compliant with both",
+            "12.7 %",
+            &fmt_pct(pct(both, nsec3.len() as u64))
+        )
     );
 
     header("CDF of popularity ranks (it = 0 and no-salt subsets)");
     // Rank CDFs in units of 10K ranks so the u32 samples stay small.
     let rank_bucket = |r: u64| (r / 10_000) as u32;
     let it0_cdf = Cdf::from_samples(
-        nsec3.iter().filter(|(_, it, _)| *it == 0).map(|(r, _, _)| rank_bucket(*r)),
+        nsec3
+            .iter()
+            .filter(|(_, it, _)| *it == 0)
+            .map(|(r, _, _)| rank_bucket(*r)),
     );
     let nosalt_cdf = Cdf::from_samples(
-        nsec3.iter().filter(|(_, _, s)| *s == 0).map(|(r, _, _)| rank_bucket(*r)),
+        nsec3
+            .iter()
+            .filter(|(_, _, s)| *s == 0)
+            .map(|(r, _, _)| rank_bucket(*r)),
     );
     let max_bucket = rank_bucket(list.len() as u64);
-    print!("{}", render_cdf("it = 0 (x = rank / 10K)", &it0_cdf, max_bucket));
-    print!("{}", render_cdf("without salt (x = rank / 10K)", &nosalt_cdf, max_bucket));
+    print!(
+        "{}",
+        render_cdf("it = 0 (x = rank / 10K)", &it0_cdf, max_bucket)
+    );
+    print!(
+        "{}",
+        render_cdf("without salt (x = rank / 10K)", &nosalt_cdf, max_bucket)
+    );
 
     // Uniformity check: the median rank of compliant entries should sit
     // near the middle of the list.

@@ -5,9 +5,7 @@
 
 use std::fmt::Write as _;
 
-use analysis::{
-    figure3_series, operator_table, DomainStats, ResolverStats,
-};
+use analysis::{figure3_series, operator_table, DomainStats, ResolverStats};
 use heroes_bench::{fmt_scale, write_artifact, Options, EXPERIMENT_NOW};
 use nsec3_core::experiments::{records_from_specs, run_resolver_study, run_tld_census};
 use nsec3_core::testbed::build_testbed;
@@ -20,7 +18,9 @@ struct Report {
 
 impl Report {
     fn new() -> Self {
-        Report { body: String::from("# Zeros Are Heroes — generated reproduction report\n") }
+        Report {
+            body: String::from("# Zeros Are Heroes — generated reproduction report\n"),
+        }
     }
 
     fn section(&mut self, title: &str) {
@@ -55,15 +55,43 @@ fn main() {
     let specs = generate_domains(opts.scale, opts.seed);
     let stats = DomainStats::compute(&records_from_specs(&specs));
     report.section("§5.1 registered domains (Figure 1, headline)");
-    report.row("DNSSEC-enabled", "8.8 %", format!("{:.1} %", stats.dnssec_pct()));
-    report.row("NSEC3-enabled of DNSSEC", "58.9 %", format!("{:.1} %", stats.nsec3_of_dnssec_pct()));
-    report.row("non-compliant (item 2)", "87.8 %", format!("{:.1} %", stats.non_compliant_pct()));
-    report.row("zero iterations", "12.2 %", format!("{:.1} %", stats.zero_iteration_pct()));
+    report.row(
+        "DNSSEC-enabled",
+        "8.8 %",
+        format!("{:.1} %", stats.dnssec_pct()),
+    );
+    report.row(
+        "NSEC3-enabled of DNSSEC",
+        "58.9 %",
+        format!("{:.1} %", stats.nsec3_of_dnssec_pct()),
+    );
+    report.row(
+        "non-compliant (item 2)",
+        "87.8 %",
+        format!("{:.1} %", stats.non_compliant_pct()),
+    );
+    report.row(
+        "zero iterations",
+        "12.2 %",
+        format!("{:.1} %", stats.zero_iteration_pct()),
+    );
     report.row("no salt", "8.6 %", format!("{:.1} %", stats.no_salt_pct()));
     report.row("opt-out", "6.4 %", format!("{:.1} %", stats.opt_out_pct()));
-    report.row("> 150 iterations", "43", stats.iterations_cdf.count_over(150).to_string());
-    report.row("max iterations", "500", stats.iterations_cdf.max().unwrap_or(0).to_string());
-    report.row("salts > 45 B", "170", stats.salt_cdf.count_over(45).to_string());
+    report.row(
+        "> 150 iterations",
+        "43",
+        stats.iterations_cdf.count_over(150).to_string(),
+    );
+    report.row(
+        "max iterations",
+        "500",
+        stats.iterations_cdf.max().unwrap_or(0).to_string(),
+    );
+    report.row(
+        "salts > 45 B",
+        "170",
+        stats.salt_cdf.count_over(45).to_string(),
+    );
 
     // Table 2.
     eprintln!("[2/5] operator table…");
@@ -73,7 +101,11 @@ fn main() {
     report.row("top-10 exclusive share", "77.7 %", format!("{top10:.1} %"));
     if let Some(first) = table.first() {
         report.row("largest operator", "39.4 % (1/8)", {
-            let p = first.params.first().map(|(i, s, _)| format!("{i}/{s}")).unwrap_or_default();
+            let p = first
+                .params
+                .first()
+                .map(|(i, s, _)| format!("{i}/{s}"))
+                .unwrap_or_default();
             format!("{:.1} % ({p})", first.share_pct)
         });
     }
@@ -84,15 +116,18 @@ fn main() {
     let nsec3: Vec<_> = tranco
         .iter()
         .filter_map(|e| match e.dnssec {
-            DnssecKind::Nsec3 { iterations, salt_len, .. } => Some((iterations, salt_len)),
+            DnssecKind::Nsec3 {
+                iterations,
+                salt_len,
+                ..
+            } => Some((iterations, salt_len)),
             _ => None,
         })
         .collect();
     report.section("Figure 2 (Tranco)");
     report.row("NSEC3-enabled entries", "27.2 K", nsec3.len().to_string());
     let z = nsec3.iter().filter(|(i, _)| *i == 0).count() as f64 / nsec3.len() as f64 * 100.0;
-    let b = nsec3.iter().filter(|(i, s)| *i == 0 && *s == 0).count() as f64
-        / nsec3.len() as f64
+    let b = nsec3.iter().filter(|(i, s)| *i == 0 && *s == 0).count() as f64 / nsec3.len() as f64
         * 100.0;
     report.row("zero iterations", "22.8 %", format!("{z:.1} %"));
     report.row("both compliant", "12.7 %", format!("{b:.1} %"));
@@ -103,17 +138,29 @@ fn main() {
     let observed = run_tld_census(&tlds, EXPERIMENT_NOW, 1.0 / 2_000.0);
     let nsec3_tlds: Vec<_> = observed.iter().filter(|t| t.nsec3.is_some()).collect();
     report.section("§5.1 TLDs (measured end to end)");
-    report.row("DNSSEC-enabled", "1,354", observed.iter().filter(|t| t.dnssec).count().to_string());
+    report.row(
+        "DNSSEC-enabled",
+        "1,354",
+        observed.iter().filter(|t| t.dnssec).count().to_string(),
+    );
     report.row("NSEC3-enabled", "1,302", nsec3_tlds.len().to_string());
     report.row(
         "zero iterations",
         "688",
-        nsec3_tlds.iter().filter(|t| t.nsec3.unwrap().0 == 0).count().to_string(),
+        nsec3_tlds
+            .iter()
+            .filter(|t| t.nsec3.unwrap().0 == 0)
+            .count()
+            .to_string(),
     );
     report.row(
         "100 iterations",
         "447",
-        nsec3_tlds.iter().filter(|t| t.nsec3.unwrap().0 == 100).count().to_string(),
+        nsec3_tlds
+            .iter()
+            .filter(|t| t.nsec3.unwrap().0 == 100)
+            .count()
+            .to_string(),
     );
     report.row(
         "zones transferable",
@@ -128,12 +175,28 @@ fn main() {
     let study = run_resolver_study(&mut tb, &fleet);
     let rstats = ResolverStats::compute(&study.all());
     report.section("§5.2 validating resolvers (Figure 3, items 6–12)");
-    report.row("validators found", "114 K (full scale)", rstats.validators.to_string());
-    report.row("limit iterations", "78.3 %", format!("{:.1} %", rstats.limiting_pct()));
+    report.row(
+        "validators found",
+        "114 K (full scale)",
+        rstats.validators.to_string(),
+    );
+    report.row(
+        "limit iterations",
+        "78.3 %",
+        format!("{:.1} %", rstats.limiting_pct()),
+    );
     report.row("item 6", "59.9 %", format!("{:.1} %", rstats.item6_pct()));
     report.row("item 8", "18.4 %", format!("{:.1} %", rstats.item8_pct()));
-    report.row("item 12 gap", "4.3 %", format!("{:.1} %", rstats.item12_gap_pct()));
-    report.row("item 7 violations", "0.2 %", format!("{:.1} %", rstats.item7_violation_pct()));
+    report.row(
+        "item 12 gap",
+        "4.3 %",
+        format!("{:.1} %", rstats.item12_gap_pct()),
+    );
+    report.row(
+        "item 7 violations",
+        "0.2 %",
+        format!("{:.1} %", rstats.item7_violation_pct()),
+    );
     report.row(
         "EDE 27 of limiting",
         "< 18 %",

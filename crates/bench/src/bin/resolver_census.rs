@@ -36,19 +36,46 @@ fn main() {
     header("Validator discovery");
     for (panel, cls) in &study.per_panel {
         let v = cls.iter().filter(|c| c.is_validator).count();
-        println!("  {:<18} {:>6} responsive, {:>5} validators", panel.title(), cls.len(), v);
+        println!(
+            "  {:<18} {:>6} responsive, {:>5} validators",
+            panel.title(),
+            cls.len(),
+            v
+        );
     }
 
     header("RFC 9276 adoption among validators");
     print!(
         "{}",
-        compare_line("limit iterations at all", "78.3 %", &fmt_pct(stats.limiting_pct()))
+        compare_line(
+            "limit iterations at all",
+            "78.3 %",
+            &fmt_pct(stats.limiting_pct())
+        )
     );
-    print!("{}", compare_line("item 6 (insecure above limit)", "59.9 %", &fmt_pct(stats.item6_pct())));
-    print!("{}", compare_line("item 8 (SERVFAIL above limit)", "18.4 %", &fmt_pct(stats.item8_pct())));
     print!(
         "{}",
-        compare_line("item 12 gap (insecure then SERVFAIL)", "4.3 %", &fmt_pct(stats.item12_gap_pct()))
+        compare_line(
+            "item 6 (insecure above limit)",
+            "59.9 %",
+            &fmt_pct(stats.item6_pct())
+        )
+    );
+    print!(
+        "{}",
+        compare_line(
+            "item 8 (SERVFAIL above limit)",
+            "18.4 %",
+            &fmt_pct(stats.item8_pct())
+        )
+    );
+    print!(
+        "{}",
+        compare_line(
+            "item 12 gap (insecure then SERVFAIL)",
+            "4.3 %",
+            &fmt_pct(stats.item12_gap_pct())
+        )
     );
     print!(
         "{}",
@@ -91,7 +118,12 @@ fn main() {
         compare_line(
             "SERVFAIL from it-1 (query copiers)",
             "418 (full scale)",
-            &stats.servfail_starts.get(&1).copied().unwrap_or(0).to_string()
+            &stats
+                .servfail_starts
+                .get(&1)
+                .copied()
+                .unwrap_or(0)
+                .to_string()
         )
     );
     print!(
@@ -99,7 +131,12 @@ fn main() {
         compare_line(
             "SERVFAIL from it-101 (Technitium-style)",
             "92 (full scale)",
-            &stats.servfail_starts.get(&101).copied().unwrap_or(0).to_string()
+            &stats
+                .servfail_starts
+                .get(&101)
+                .copied()
+                .unwrap_or(0)
+                .to_string()
         )
     );
     print!(
@@ -134,8 +171,6 @@ fn main() {
             &fmt_pct(result.unreachable_pct())
         )
     );
-    println!(
-        "  (the paper's 13.6 M = 87.8 % of 15.5 M NSEC3-enabled domains; the strict class"
-    );
+    println!("  (the paper's 13.6 M = 87.8 % of 15.5 M NSEC3-enabled domains; the strict class");
     println!("  is the 418 it-1 SERVFAIL resolvers observed in §5.2)");
 }

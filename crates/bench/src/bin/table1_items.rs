@@ -5,7 +5,10 @@ use analysis::rfc9276::ITEMS;
 
 fn main() {
     println!("RFC 9276 guidance items (Table 1) and where this system checks them\n");
-    println!("{:<4} {:<16} {:<64} checked by", "item", "keyword", "guidance");
+    println!(
+        "{:<4} {:<16} {:<64} checked by",
+        "item", "keyword", "guidance"
+    );
     println!("{}", "-".repeat(120));
     for item in ITEMS {
         let checker = match item.number {

@@ -13,7 +13,11 @@ use popgen::{generate_domains, Scale};
 
 fn main() {
     let opts = Options::parse(Scale::BENCH);
-    println!("Table 2 at scale {} (seed {})", fmt_scale(opts.scale), opts.seed);
+    println!(
+        "Table 2 at scale {} (seed {})",
+        fmt_scale(opts.scale),
+        opts.seed
+    );
     let specs = generate_domains(opts.scale, opts.seed);
     let records = records_from_specs(&specs);
     let table = operator_table(&records, 10);
@@ -24,7 +28,11 @@ fn main() {
     let top10_share: f64 = table.iter().map(|r| r.share_pct).sum();
     print!(
         "{}",
-        compare_line("top-10 exclusive share of NSEC3-enabled", "77.7 %", &fmt_pct(top10_share))
+        compare_line(
+            "top-10 exclusive share of NSEC3-enabled",
+            "77.7 %",
+            &fmt_pct(top10_share)
+        )
     );
     // Landmark rows.
     if let Some(first) = table.first() {

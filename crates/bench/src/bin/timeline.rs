@@ -31,7 +31,9 @@ fn main() {
         .filter(|r| r.nsec3.map(|(it, _)| it > 0).unwrap_or(false))
         .count() as u64;
 
-    header("era | limiting | item 6 | item 8 | dominant limit | domains at risk on strict resolvers");
+    header(
+        "era | limiting | item 6 | item 8 | dominant limit | domains at risk on strict resolvers",
+    );
     for era in eras() {
         let mut tb = build_testbed(EXPERIMENT_NOW);
         let fleet = generate_fleet_with_mix(opts.scale, opts.seed, era.mix);
@@ -60,9 +62,7 @@ fn main() {
     }
 
     header("Interpretation");
-    println!(
-        "  The enforced maximum tightens 2020 → 2026 (none → 150 → 150/100 → 50), while"
-    );
+    println!("  The enforced maximum tightens 2020 → 2026 (none → 150 → 150/100 → 50), while");
     println!(
         "  {:.1} % of the NSEC3-enabled domain population ({over_zero} of {nsec3_total} here) still",
         pct(over_zero, nsec3_total)

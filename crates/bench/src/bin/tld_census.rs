@@ -27,11 +27,30 @@ fn main() {
     let it100 = nsec3.iter().filter(|t| t.nsec3.unwrap().0 == 100).count();
     let optout = nsec3.iter().filter(|t| t.opt_out).count();
     let shared = observed.iter().filter(|t| t.axfr_ok).count();
-    print!("{}", compare_line("delegated TLDs scanned", "1,449", &observed.len().to_string()));
-    print!("{}", compare_line("DNSSEC-enabled", "1,354", &dnssec.to_string()));
-    print!("{}", compare_line("NSEC3-enabled", "1,302", &nsec3.len().to_string()));
-    print!("{}", compare_line("zero iterations", "688", &it0.to_string()));
-    print!("{}", compare_line("100 iterations", "447", &it100.to_string()));
+    print!(
+        "{}",
+        compare_line(
+            "delegated TLDs scanned",
+            "1,449",
+            &observed.len().to_string()
+        )
+    );
+    print!(
+        "{}",
+        compare_line("DNSSEC-enabled", "1,354", &dnssec.to_string())
+    );
+    print!(
+        "{}",
+        compare_line("NSEC3-enabled", "1,302", &nsec3.len().to_string())
+    );
+    print!(
+        "{}",
+        compare_line("zero iterations", "688", &it0.to_string())
+    );
+    print!(
+        "{}",
+        compare_line("100 iterations", "447", &it100.to_string())
+    );
     print!(
         "{}",
         compare_line(
@@ -42,7 +61,11 @@ fn main() {
     );
     print!(
         "{}",
-        compare_line("TLD zones retrievable via AXFR/CZDS", "≥ 1,105", &shared.to_string())
+        compare_line(
+            "TLD zones retrievable via AXFR/CZDS",
+            "≥ 1,105",
+            &shared.to_string()
+        )
     );
     let counted: u64 = observed
         .iter()

@@ -9,6 +9,8 @@
 
 use popgen::Scale;
 
+pub mod microbench;
+
 /// The fixed "now" all experiments sign and validate at (March 2024-ish,
 /// matching the paper's measurement window; any fixed value works — the
 /// simulation has no wall clock).
@@ -28,8 +30,11 @@ pub struct Options {
 impl Options {
     /// Parse `--scale 1/1000`, `--seed N`, `--e2e-sample N` from argv.
     pub fn parse(default_scale: Scale) -> Options {
-        let mut opts =
-            Options { scale: default_scale, seed: 42, e2e_sample: 600 };
+        let mut opts = Options {
+            scale: default_scale,
+            seed: 42,
+            e2e_sample: 600,
+        };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {

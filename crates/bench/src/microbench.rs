@@ -1,0 +1,262 @@
+//! A minimal benchmark runner — the in-workspace replacement for the
+//! external `criterion` crate.
+//!
+//! Each `src/bin/bench_*.rs` harness builds a [`Suite`], registers timed
+//! closures with [`Suite::bench`], and calls [`Suite::finish`], which
+//! prints a human-readable table and writes machine-readable JSON to
+//! `BENCH_<suite>.json` in the working directory so runs can be diffed
+//! over time.
+//!
+//! Methodology per benchmark:
+//!
+//! 1. warm up for a fixed wall-clock budget,
+//! 2. calibrate a batch size so one timed sample lasts ≈2 ms (amortising
+//!    `Instant` overhead),
+//! 3. time ~30 batches and report per-iteration min / median / p99 /
+//!    mean nanoseconds.
+//!
+//! `MICROBENCH_SAMPLES` overrides the sample count (e.g. in CI smoke
+//! runs).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(60);
+const TARGET_SAMPLE: Duration = Duration::from_millis(2);
+const DEFAULT_SAMPLES: usize = 30;
+
+/// Per-iteration summary statistics, in nanoseconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Stats {
+    /// Fastest observed sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// 99th-percentile sample (nearest-rank).
+    pub p99_ns: f64,
+    /// Mean across samples.
+    pub mean_ns: f64,
+}
+
+/// Summarize per-iteration timings (ns). Panics on an empty slice.
+pub fn summarize(samples_ns: &[f64]) -> Stats {
+    assert!(!samples_ns.is_empty(), "no samples");
+    let mut sorted = samples_ns.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let rank = |q: f64| {
+        let idx = (q * sorted.len() as f64).ceil() as usize;
+        sorted[idx.clamp(1, sorted.len()) - 1]
+    };
+    Stats {
+        min_ns: sorted[0],
+        median_ns: rank(0.50),
+        p99_ns: rank(0.99),
+        mean_ns: sorted.iter().sum::<f64>() / sorted.len() as f64,
+    }
+}
+
+/// One finished benchmark within a suite.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark id, e.g. `"iterations/150"`.
+    pub name: String,
+    /// Iterations per timed sample (after calibration).
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Per-iteration statistics.
+    pub stats: Stats,
+}
+
+/// A named collection of benchmarks sharing one JSON artifact.
+pub struct Suite {
+    name: String,
+    samples: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Suite {
+    /// Start a suite; `name` becomes the `BENCH_<name>.json` artifact.
+    pub fn new(name: &str) -> Suite {
+        let samples = std::env::var("MICROBENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(DEFAULT_SAMPLES)
+            .max(1);
+        Suite {
+            name: name.to_string(),
+            samples,
+            results: Vec::new(),
+        }
+    }
+
+    /// Time `f` (its return value is black-boxed so work is not
+    /// optimised away) and record the result under `id`.
+    pub fn bench<T>(&mut self, id: &str, mut f: impl FnMut() -> T) {
+        // Warm up: caches, allocator, branch predictors.
+        let start = Instant::now();
+        while start.elapsed() < WARMUP {
+            black_box(f());
+        }
+
+        // Calibrate the batch size from a single measured iteration.
+        let once = Instant::now();
+        black_box(f());
+        let per_iter = once.elapsed().max(Duration::from_nanos(1));
+        let batch = (TARGET_SAMPLE.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000_000) as u64;
+
+        let mut samples_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        let stats = summarize(&samples_ns);
+        println!(
+            "  {:<44} min {:>12}  median {:>12}  p99 {:>12}",
+            id,
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.p99_ns),
+        );
+        self.results.push(BenchResult {
+            name: id.to_string(),
+            iters_per_sample: batch,
+            samples: self.samples,
+            stats,
+        });
+    }
+
+    /// Render the suite as JSON (stable key order, no external deps).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"suite\": \"{}\",\n  \"results\": [\n",
+            self.name
+        ));
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"iters_per_sample\": {}, \"samples\": {}, \
+                 \"min_ns\": {:.1}, \"median_ns\": {:.1}, \"p99_ns\": {:.1}, \"mean_ns\": {:.1}}}{}\n",
+                r.name,
+                r.iters_per_sample,
+                r.samples,
+                r.stats.min_ns,
+                r.stats.median_ns,
+                r.stats.p99_ns,
+                r.stats.mean_ns,
+                if i + 1 < self.results.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write `BENCH_<suite>.json` and report the path. Consumes the
+    /// suite; call last.
+    pub fn finish(self) {
+        let path = format!("BENCH_{}.json", self.name);
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => println!("  [wrote {path}]"),
+            Err(e) => eprintln!("  [failed to write {path}: {e}]"),
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_known_distribution() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = summarize(&samples);
+        assert_eq!(s.min_ns, 1.0);
+        assert_eq!(s.median_ns, 50.0);
+        assert_eq!(s.p99_ns, 99.0);
+        assert!((s.mean_ns - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summarize_single_sample() {
+        let s = summarize(&[7.0]);
+        assert_eq!(s.min_ns, 7.0);
+        assert_eq!(s.median_ns, 7.0);
+        assert_eq!(s.p99_ns, 7.0);
+        assert_eq!(s.mean_ns, 7.0);
+    }
+
+    #[test]
+    fn json_shape_is_machine_readable() {
+        let mut suite = Suite {
+            name: "unit".to_string(),
+            samples: 3,
+            results: vec![BenchResult {
+                name: "op/1".to_string(),
+                iters_per_sample: 10,
+                samples: 3,
+                stats: Stats {
+                    min_ns: 1.0,
+                    median_ns: 2.0,
+                    p99_ns: 3.0,
+                    mean_ns: 2.0,
+                },
+            }],
+        };
+        suite.results.push(suite.results[0].clone());
+        let json = suite.to_json();
+        assert!(json.contains("\"suite\": \"unit\""));
+        assert!(json.contains("\"name\": \"op/1\""));
+        assert!(json.contains("\"median_ns\": 2.0"));
+        assert_eq!(json.matches("{\"name\"").count(), 2);
+        // Trailing-comma discipline: exactly one separator for two rows.
+        assert_eq!(
+            json.matches("}},\n").count() + json.matches("},\n").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn bench_records_plausible_timings() {
+        let mut suite = Suite {
+            name: "selftest".to_string(),
+            samples: 5,
+            results: vec![],
+        };
+        let mut acc = 0u64;
+        suite.bench("wrapping_sum", || {
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i);
+            }
+            acc
+        });
+        let r = &suite.results[0];
+        assert_eq!(r.samples, 5);
+        assert!(r.iters_per_sample >= 1);
+        assert!(r.stats.min_ns > 0.0);
+        assert!(r.stats.min_ns <= r.stats.median_ns);
+        assert!(r.stats.median_ns <= r.stats.p99_ns);
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(12.0), "12 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.00 s");
+    }
+}

@@ -1,0 +1,361 @@
+//! Generator combinators: the vocabulary [`props!`](crate::props)
+//! properties draw their inputs from.
+//!
+//! Integer generators accept any range form (`3..10`, `1..=20`, `..`).
+//! Collection generators additionally bound their lengths by the
+//! harness's ramping `size` budget, which is what makes
+//! minimization-lite effective.
+
+use std::collections::BTreeSet;
+
+use sim_rng::{Rng, Xoshiro256pp};
+
+use crate::Gen;
+
+type DynGen<T> = dyn Fn(&mut Xoshiro256pp, usize) -> T;
+
+/// A boxed generator, for heterogeneous collections of choices
+/// ([`one_of`], [`weighted`]).
+pub struct BoxGen<T>(Box<DynGen<T>>);
+
+impl<T> Gen<T> for BoxGen<T> {
+    fn generate(&self, rng: &mut Xoshiro256pp, size: usize) -> T {
+        (self.0)(rng, size)
+    }
+}
+
+/// Box a generator for use with [`one_of`] / [`weighted`].
+pub fn boxed<T: 'static>(g: impl Gen<T> + 'static) -> BoxGen<T> {
+    BoxGen(Box::new(move |rng, size| g.generate(rng, size)))
+}
+
+/// An inclusive-bounds conversion for integer range arguments.
+pub trait IntoInclusive<T> {
+    /// The `(lo, hi)` inclusive bounds.
+    fn bounds(self) -> (T, T);
+}
+
+macro_rules! int_gen {
+    ($fn_name:ident, $t:ty, $doc:literal) => {
+        impl IntoInclusive<$t> for std::ops::Range<$t> {
+            fn bounds(self) -> ($t, $t) {
+                assert!(self.start < self.end, "empty range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl IntoInclusive<$t> for std::ops::RangeInclusive<$t> {
+            fn bounds(self) -> ($t, $t) {
+                assert!(self.start() <= self.end(), "empty range");
+                (*self.start(), *self.end())
+            }
+        }
+        impl IntoInclusive<$t> for std::ops::RangeFull {
+            fn bounds(self) -> ($t, $t) {
+                (<$t>::MIN, <$t>::MAX)
+            }
+        }
+        #[doc = $doc]
+        pub fn $fn_name(range: impl IntoInclusive<$t>) -> impl Gen<$t> {
+            let (lo, hi) = range.bounds();
+            move |rng: &mut Xoshiro256pp, _size: usize| {
+                if lo as u64 == 0 && hi as u128 == <$t>::MAX as u128 {
+                    rng.next_u64() as $t
+                } else {
+                    let span = (hi as u64) - (lo as u64) + 1;
+                    lo + (rng.gen_range(0u64..span) as $t)
+                }
+            }
+        }
+    };
+}
+
+int_gen!(
+    u8s,
+    u8,
+    "Uniform `u8` in the given range (`..` for the full domain)."
+);
+int_gen!(
+    u16s,
+    u16,
+    "Uniform `u16` in the given range (`..` for the full domain)."
+);
+int_gen!(
+    u32s,
+    u32,
+    "Uniform `u32` in the given range (`..` for the full domain)."
+);
+int_gen!(
+    u64s,
+    u64,
+    "Uniform `u64` in the given range (`..` for the full domain)."
+);
+int_gen!(
+    usizes,
+    usize,
+    "Uniform `usize` in the given range (`..` for the full domain)."
+);
+
+/// Uniform `f64` in the half-open range.
+pub fn f64s(range: std::ops::Range<f64>) -> impl Gen<f64> {
+    move |rng: &mut Xoshiro256pp, _size: usize| rng.gen_range(range.start..range.end)
+}
+
+/// A fair coin.
+pub fn bools() -> impl Gen<bool> {
+    |rng: &mut Xoshiro256pp, _size: usize| rng.next_u64() & 1 == 1
+}
+
+/// Always the same value.
+pub fn just<T: Clone>(value: T) -> impl Gen<T> {
+    move |_rng: &mut Xoshiro256pp, _size: usize| value.clone()
+}
+
+/// Uniform `char` in the inclusive code-point range.
+pub fn char_range(lo: char, hi: char) -> impl Gen<char> {
+    assert!(lo <= hi, "empty char range");
+    move |rng: &mut Xoshiro256pp, _size: usize| loop {
+        let cp = rng.gen_range(lo as u32..hi as u32 + 1);
+        if let Some(c) = char::from_u32(cp) {
+            return c; // skips the surrogate gap
+        }
+    }
+}
+
+/// Length specifications for collection generators: an exact `usize`, a
+/// half-open `Range`, or an inclusive `RangeInclusive`.
+pub trait LenRange {
+    /// The `(lo, hi)` inclusive length bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl LenRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl LenRange for std::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty length range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl LenRange for std::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty length range");
+        (*self.start(), *self.end())
+    }
+}
+
+fn pick_len(rng: &mut Xoshiro256pp, len: &impl LenRange, size: usize) -> usize {
+    let (lo, hi) = len.bounds();
+    // The size budget caps how far above the minimum a length may go —
+    // exact lengths (lo == hi) are honoured at every size.
+    let hi = lo.max(hi.min(lo.saturating_add(size)));
+    if lo == hi {
+        lo
+    } else {
+        rng.gen_range(lo..hi + 1)
+    }
+}
+
+/// A vector of `len` elements drawn from `g`.
+pub fn vec_of<T>(g: impl Gen<T>, len: impl LenRange) -> impl Gen<Vec<T>> {
+    move |rng: &mut Xoshiro256pp, size: usize| {
+        let n = pick_len(rng, &len, size);
+        (0..n).map(|_| g.generate(rng, size)).collect()
+    }
+}
+
+/// A fixed-size array of elements drawn from `g`.
+pub fn array_of<T, const N: usize>(g: impl Gen<T>) -> impl Gen<[T; N]> {
+    move |rng: &mut Xoshiro256pp, size: usize| std::array::from_fn(|_| g.generate(rng, size))
+}
+
+/// A `String` of `len` chars drawn from `g`.
+pub fn string_of(g: impl Gen<char>, len: impl LenRange) -> impl Gen<String> {
+    move |rng: &mut Xoshiro256pp, size: usize| {
+        let n = pick_len(rng, &len, size);
+        (0..n).map(|_| g.generate(rng, size)).collect()
+    }
+}
+
+/// A `BTreeSet` of exactly `count` distinct elements. Panics if `g`
+/// cannot produce that many distinct values in a reasonable number of
+/// draws.
+pub fn set_of<T: Ord>(g: impl Gen<T>, count: usize) -> impl Gen<BTreeSet<T>> {
+    move |rng: &mut Xoshiro256pp, size: usize| {
+        let mut out = BTreeSet::new();
+        let mut attempts = 0usize;
+        while out.len() < count {
+            out.insert(g.generate(rng, size));
+            attempts += 1;
+            assert!(
+                attempts < count * 1000 + 100,
+                "set_of: could not draw {count} distinct values"
+            );
+        }
+        out
+    }
+}
+
+/// Transform generated values.
+pub fn map<A, B>(g: impl Gen<A>, f: impl Fn(A) -> B) -> impl Gen<B> {
+    move |rng: &mut Xoshiro256pp, size: usize| f(g.generate(rng, size))
+}
+
+/// Keep only values `f` accepts, retrying generation. Panics (failing the
+/// property run) after 100 consecutive rejections — make generators
+/// mostly-accepting, as with proptest.
+pub fn filter_map<A, B>(
+    g: impl Gen<A>,
+    f: impl Fn(A) -> Option<B>,
+    what: &'static str,
+) -> impl Gen<B> {
+    move |rng: &mut Xoshiro256pp, size: usize| {
+        for _ in 0..100 {
+            if let Some(b) = f(g.generate(rng, size)) {
+                return b;
+            }
+        }
+        panic!("filter_map: '{what}' rejected 100 candidates in a row");
+    }
+}
+
+/// Keep only values satisfying `pred` (see [`filter_map`]).
+pub fn filter<T>(g: impl Gen<T>, pred: impl Fn(&T) -> bool, what: &'static str) -> impl Gen<T> {
+    move |rng: &mut Xoshiro256pp, size: usize| {
+        for _ in 0..100 {
+            let v = g.generate(rng, size);
+            if pred(&v) {
+                return v;
+            }
+        }
+        panic!("filter: '{what}' rejected 100 candidates in a row");
+    }
+}
+
+/// Draw from one of the choices, uniformly.
+pub fn one_of<T>(choices: Vec<BoxGen<T>>) -> impl Gen<T> {
+    assert!(!choices.is_empty(), "one_of: no choices");
+    move |rng: &mut Xoshiro256pp, size: usize| {
+        let i = rng.gen_range(0..choices.len());
+        choices[i].generate(rng, size)
+    }
+}
+
+/// Draw from one of the choices with the given relative weights.
+pub fn weighted<T>(choices: Vec<(f64, BoxGen<T>)>) -> impl Gen<T> {
+    assert!(
+        choices.iter().any(|(w, _)| *w > 0.0),
+        "weighted: no positive weight"
+    );
+    move |rng: &mut Xoshiro256pp, size: usize| {
+        let (_, g) = rng
+            .choose_weighted(&choices, |(w, _)| *w)
+            .expect("weighted: no positive weight");
+        g.generate(rng, size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(42)
+    }
+
+    #[test]
+    fn int_range_forms() {
+        let mut r = rng();
+        for _ in 0..2_000 {
+            assert!((3..10).contains(&u8s(3..10).generate(&mut r, 0)));
+            assert!((1..=20).contains(&u16s(1..=20).generate(&mut r, 0)));
+            let _ = u64s(..).generate(&mut r, 0);
+            assert!(u32s(7..8).generate(&mut r, 0) == 7);
+        }
+    }
+
+    #[test]
+    fn full_domain_hits_extremes_eventually() {
+        let mut r = rng();
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..20_000 {
+            let v = u8s(..).generate(&mut r, 0);
+            lo |= v == 0;
+            hi |= v == 255;
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn vec_len_respects_bounds_and_size() {
+        let mut r = rng();
+        for size in [0usize, 3, 50] {
+            for _ in 0..200 {
+                let v = vec_of(u8s(..), 2..30).generate(&mut r, size);
+                assert!(v.len() >= 2 && v.len() <= 29);
+                assert!(v.len() <= 2 + size, "size budget respected");
+            }
+        }
+        // Exact lengths ignore the budget.
+        assert_eq!(vec_of(u8s(..), 20).generate(&mut r, 0).len(), 20);
+    }
+
+    #[test]
+    fn set_of_exact_count() {
+        let mut r = rng();
+        let s = set_of(u16s(1..600), 6).generate(&mut r, 0);
+        assert_eq!(s.len(), 6);
+        assert!(s.iter().all(|&v| (1..600).contains(&v)));
+    }
+
+    #[test]
+    fn string_and_char_ranges() {
+        let mut r = rng();
+        let s = string_of(char_range('a', 'z'), 1..=10).generate(&mut r, 30);
+        assert!((1..=10).contains(&s.len()));
+        assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+    }
+
+    #[test]
+    fn one_of_and_weighted_cover_choices() {
+        let mut r = rng();
+        let g = one_of(vec![boxed(just(1u8)), boxed(just(2u8))]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[g.generate(&mut r, 0) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+
+        let g = weighted(vec![(9.0, boxed(just('x'))), (1.0, boxed(just('y')))]);
+        let xs = (0..5_000).filter(|_| g.generate(&mut r, 0) == 'x').count();
+        assert!((4_200..4_800).contains(&xs), "≈90 % x: {xs}");
+    }
+
+    #[test]
+    fn map_filter_array() {
+        let mut r = rng();
+        let g = map(u8s(0..10), |v| v * 2);
+        for _ in 0..100 {
+            assert_eq!(g.generate(&mut r, 0) % 2, 0);
+        }
+        let g = filter(u8s(..), |v| v % 2 == 1, "odd");
+        for _ in 0..100 {
+            assert_eq!(g.generate(&mut r, 0) % 2, 1);
+        }
+        let a: [u8; 4] = array_of(u8s(..)).generate(&mut r, 0);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected 100 candidates")]
+    fn impossible_filter_panics() {
+        let mut r = rng();
+        let g = filter(u8s(..), |_| false, "nothing");
+        let _ = g.generate(&mut r, 0);
+    }
+}

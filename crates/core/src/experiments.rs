@@ -10,9 +10,9 @@ use analysis::resolvers::Panel;
 use dns_resolver::lab::{LabBuilder, ZoneSpec};
 use dns_resolver::resolver::{Resolver, ResolverConfig};
 use dns_resolver::Rfc9276Policy;
+use dns_scanner::atlas::classify_via_probe;
 use dns_scanner::census::{exclusive_operator, Census};
 use dns_scanner::prober::{Prober, ResolverClassification};
-use dns_scanner::atlas::classify_via_probe;
 use dns_wire::name::Name;
 use dns_wire::rdata::RData;
 use dns_wire::record::Record;
@@ -30,9 +30,19 @@ use crate::testbed::Testbed;
 fn zone_spec_for_domain(spec: &DomainSpec) -> Option<ZoneSpec> {
     let apex = Name::parse(&spec.name).ok()?;
     let mut zone = Zone::new(apex.clone());
-    zone.add(Record::new(apex.clone(), 300, RData::A("192.0.2.10".parse().unwrap()))).ok()?;
+    zone.add(Record::new(
+        apex.clone(),
+        300,
+        RData::A("192.0.2.10".parse().unwrap()),
+    ))
+    .ok()?;
     let www = Name::parse("www").ok()?.concat(&apex).ok()?;
-    zone.add(Record::new(www, 300, RData::A("192.0.2.11".parse().unwrap()))).ok()?;
+    zone.add(Record::new(
+        www,
+        300,
+        RData::A("192.0.2.11".parse().unwrap()),
+    ))
+    .ok()?;
     // Operator attribution travels in the apex NS RRset (child side), as
     // the census reads it. Parent-side delegation NS records are wired by
     // the lab independently (mismatched parent/child NS is routine in the
@@ -40,13 +50,18 @@ fn zone_spec_for_domain(spec: &DomainSpec) -> Option<ZoneSpec> {
     if let Some(op) = spec.operator {
         for ns in ["ns1", "ns2"] {
             let target = Name::parse(ns).ok()?.concat(&Name::parse(op).ok()?).ok()?;
-            zone.add(Record::new(apex.clone(), 3600, RData::Ns(target))).ok()?;
+            zone.add(Record::new(apex.clone(), 3600, RData::Ns(target)))
+                .ok()?;
         }
     }
     let zs = match &spec.dnssec {
         DnssecKind::None => ZoneSpec::unsigned(zone),
         DnssecKind::Nsec => ZoneSpec::new(zone, Denial::Nsec),
-        DnssecKind::Nsec3 { iterations, salt_len, opt_out } => ZoneSpec::new(
+        DnssecKind::Nsec3 {
+            iterations,
+            salt_len,
+            opt_out,
+        } => ZoneSpec::new(
             zone,
             Denial::Nsec3 {
                 params: Nsec3Params::new(*iterations, vec![0xA5; *salt_len as usize]),
@@ -83,8 +98,7 @@ pub fn run_domain_census(specs: &[DomainSpec], now: u32, batch_size: usize) -> V
         }
         let mut lab = builder.build();
         let raddr = lab.alloc.v4();
-        let mut cfg =
-            ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+        let mut cfg = ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
         cfg.now = lab.now;
         cfg.policy = Rfc9276Policy::unlimited();
         let resolver = Resolver::new(cfg);
@@ -162,8 +176,12 @@ pub fn run_tld_census(
             Err(_) => continue,
         };
         let mut zone = Zone::new(apex.clone());
-        zone.add(Record::new(apex.clone(), 300, RData::A("192.0.2.77".parse().unwrap())))
-            .unwrap();
+        zone.add(Record::new(
+            apex.clone(),
+            300,
+            RData::A("192.0.2.77".parse().unwrap()),
+        ))
+        .unwrap();
         // Scaled registry contents: insecure delegations, the bulk of a
         // real TLD zone (and what opt-out exists for).
         let delegations = ((tld.est_domains as f64 * domains_scale).round() as u64).min(200);
@@ -178,7 +196,11 @@ pub fn run_tld_census(
         let spec = match &tld.dnssec {
             DnssecKind::None => ZoneSpec::unsigned(zone),
             DnssecKind::Nsec => ZoneSpec::new(zone, Denial::Nsec),
-            DnssecKind::Nsec3 { iterations, salt_len, opt_out } => ZoneSpec::new(
+            DnssecKind::Nsec3 {
+                iterations,
+                salt_len,
+                opt_out,
+            } => ZoneSpec::new(
                 zone,
                 Denial::Nsec3 {
                     params: Nsec3Params::new(*iterations, vec![0xA5; *salt_len as usize]),
@@ -227,7 +249,10 @@ pub fn run_tld_census(
         out.push(TldObservation {
             name: tld.name.clone(),
             dnssec: obs.dnssec_enabled,
-            nsec3: obs.class.nsec3_enabled().map(|p| (p.iterations, p.salt.len() as u8)),
+            nsec3: obs
+                .class
+                .nsec3_enabled()
+                .map(|p| (p.iterations, p.salt.len() as u8)),
             opt_out: obs.opt_out,
             axfr_ok: transferred.is_some(),
             delegations,
@@ -309,9 +334,16 @@ impl Unreachability {
 /// name under each through a SERVFAIL-from-it-1 resolver (the 418
 /// query-copier class), and count the failures.
 pub fn run_unreachability(specs: &[DomainSpec], now: u32, batch_size: usize) -> Unreachability {
-    let nsec3_sample: Vec<DomainSpec> =
-        specs.iter().filter(|s| s.nsec3().is_some()).cloned().collect();
-    let mut result = Unreachability { probed: 0, unreachable: 0, reachable: 0 };
+    let nsec3_sample: Vec<DomainSpec> = specs
+        .iter()
+        .filter(|s| s.nsec3().is_some())
+        .cloned()
+        .collect();
+    let mut result = Unreachability {
+        probed: 0,
+        unreachable: 0,
+        reachable: 0,
+    };
     for batch in nsec3_sample.chunks(batch_size.max(1)) {
         let tlds: BTreeSet<Name> = batch
             .iter()
@@ -329,8 +361,7 @@ pub fn run_unreachability(specs: &[DomainSpec], now: u32, batch_size: usize) -> 
         }
         let mut lab = builder.build();
         let raddr = lab.alloc.v4();
-        let mut cfg =
-            ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+        let mut cfg = ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
         cfg.now = lab.now;
         // The strict class: SERVFAIL for any NSEC3 iteration count > 0.
         cfg.policy = Rfc9276Policy::servfail_above(0);
@@ -340,7 +371,10 @@ pub fn run_unreachability(specs: &[DomainSpec], now: u32, batch_size: usize) -> 
                 Ok(n) => n,
                 Err(_) => continue,
             };
-            let probe = Name::parse("does-not-exist").unwrap().concat(&domain).unwrap();
+            let probe = Name::parse("does-not-exist")
+                .unwrap()
+                .concat(&domain)
+                .unwrap();
             let out = resolver.resolve(&lab.net, &probe, RrType::A);
             result.probed += 1;
             match out.rcode {
@@ -394,8 +428,7 @@ pub fn cve_cost_sweep(points: &[(u16, u8)], now: u32) -> Vec<CvePoint> {
             ));
         let mut lab = lab_builder.build();
         let raddr = lab.alloc.v4();
-        let mut cfg =
-            ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+        let mut cfg = ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
         cfg.now = lab.now;
         cfg.policy = Rfc9276Policy::unlimited();
         let resolver = Resolver::new(cfg);
@@ -447,8 +480,7 @@ mod tests {
         let specs = popgen::generate_domains(Scale(1.0 / 1_000_000.0), 9);
         let nsec3: Vec<_> = specs.iter().filter(|s| s.nsec3().is_some()).collect();
         assert!(nsec3.len() >= 10, "sample large enough: {}", nsec3.len());
-        let expected_unreachable =
-            nsec3.iter().filter(|s| s.nsec3().unwrap().0 > 0).count() as u64;
+        let expected_unreachable = nsec3.iter().filter(|s| s.nsec3().unwrap().0 > 0).count() as u64;
         let result = run_unreachability(&specs, NOW, 100);
         assert_eq!(result.probed, nsec3.len() as u64);
         assert_eq!(result.unreachable, expected_unreachable);
@@ -469,7 +501,11 @@ mod tests {
                     assert!(obs.dnssec);
                     assert_eq!(obs.nsec3, None, "{}", obs.name);
                 }
-                popgen::domains::DnssecKind::Nsec3 { iterations, salt_len, opt_out } => {
+                popgen::domains::DnssecKind::Nsec3 {
+                    iterations,
+                    salt_len,
+                    opt_out,
+                } => {
                     assert_eq!(obs.nsec3, Some((*iterations, *salt_len)), "{}", obs.name);
                     // Opt-out observable only when an NSEC3 record was
                     // returned with the flag (needs the probe to hit an

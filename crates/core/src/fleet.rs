@@ -6,9 +6,9 @@ use std::net::IpAddr;
 use std::rc::Rc;
 
 use dns_resolver::broken::{FlakyResolver, QueryCopier};
+use dns_resolver::lab::Lab;
 use dns_resolver::policy::Rfc9276Policy;
 use dns_resolver::resolver::{Resolver, ResolverConfig};
-use dns_resolver::lab::Lab;
 use dns_scanner::atlas::{AtlasProbe, ClosedResolver};
 use dns_wire::edns::EdeCode;
 use popgen::resolvers::{Access, Behavior, Family, ResolverSpec};
@@ -29,7 +29,10 @@ pub struct DeployedResolver {
 pub fn policy_for(behavior: &Behavior, ede_visible: bool) -> Rfc9276Policy {
     let mut policy = match behavior {
         Behavior::NonValidator | Behavior::ValidatorUnlimited => Rfc9276Policy::unlimited(),
-        Behavior::InsecureAt { limit, google_style } => {
+        Behavior::InsecureAt {
+            limit,
+            google_style,
+        } => {
             let mut p = Rfc9276Policy::insecure_above(*limit);
             if *google_style {
                 p.ede_code = EdeCode::DNSSEC_INDETERMINATE;
@@ -68,8 +71,7 @@ pub fn deploy_fleet(lab: &mut Lab, specs: &[ResolverSpec]) -> Vec<DeployedResolv
             Family::V4 => lab.alloc.v4(),
             Family::V6 => lab.alloc.v6(),
         };
-        let mut cfg =
-            ResolverConfig::validating(addr, lab.root_hints.clone(), lab.anchor.clone());
+        let mut cfg = ResolverConfig::validating(addr, lab.root_hints.clone(), lab.anchor.clone());
         cfg.now = lab.now;
         cfg.policy = policy_for(&spec.behavior, spec.ede_visible);
         if spec.behavior == Behavior::NonValidator {
@@ -78,7 +80,10 @@ pub fn deploy_fleet(lab: &mut Lab, specs: &[ResolverSpec]) -> Vec<DeployedResolv
         }
         let node: Rc<dyn netsim::Node> = match spec.behavior {
             Behavior::QueryCopier => Rc::new(QueryCopier::new(Resolver::new(cfg))),
-            Behavior::FlakyGap { insecure, servfail_from } => Rc::new(FlakyResolver::with_gap(
+            Behavior::FlakyGap {
+                insecure,
+                servfail_from,
+            } => Rc::new(FlakyResolver::with_gap(
                 Resolver::new(cfg),
                 insecure,
                 servfail_from.saturating_sub(1),
@@ -97,10 +102,17 @@ pub fn deploy_fleet(lab: &mut Lab, specs: &[ResolverSpec]) -> Vec<DeployedResolv
                 };
                 let closed = ClosedResolver::new(node, [probe_addr]);
                 lab.net.register(addr, Rc::new(closed));
-                Some(AtlasProbe { addr: probe_addr, local_resolver: addr })
+                Some(AtlasProbe {
+                    addr: probe_addr,
+                    local_resolver: addr,
+                })
             }
         };
-        out.push(DeployedResolver { spec: spec.clone(), addr, probe });
+        out.push(DeployedResolver {
+            spec: spec.clone(),
+            addr,
+            probe,
+        });
     }
     out
 }
@@ -111,24 +123,54 @@ mod tests {
 
     #[test]
     fn policies_match_behaviors() {
-        let p = policy_for(&Behavior::InsecureAt { limit: 150, google_style: false }, true);
+        let p = policy_for(
+            &Behavior::InsecureAt {
+                limit: 150,
+                google_style: false,
+            },
+            true,
+        );
         assert_eq!(p.insecure_above, Some(150));
         assert!(p.emit_ede);
 
-        let p = policy_for(&Behavior::InsecureAt { limit: 100, google_style: true }, true);
+        let p = policy_for(
+            &Behavior::InsecureAt {
+                limit: 100,
+                google_style: true,
+            },
+            true,
+        );
         assert_eq!(p.ede_code, EdeCode::DNSSEC_INDETERMINATE);
 
-        let p = policy_for(&Behavior::ServfailFrom { first: 151, technitium: false }, true);
+        let p = policy_for(
+            &Behavior::ServfailFrom {
+                first: 151,
+                technitium: false,
+            },
+            true,
+        );
         assert_eq!(p.servfail_above, Some(150));
 
-        let p = policy_for(&Behavior::ServfailFrom { first: 101, technitium: true }, true);
+        let p = policy_for(
+            &Behavior::ServfailFrom {
+                first: 101,
+                technitium: true,
+            },
+            true,
+        );
         assert_eq!(p.servfail_above, Some(100));
         assert!(!p.ede_extra_text.is_empty());
 
         let p = policy_for(&Behavior::Item7Violator { limit: 150 }, true);
         assert!(!p.verify_nsec3_rrsig);
 
-        let p = policy_for(&Behavior::InsecureAt { limit: 150, google_style: false }, false);
+        let p = policy_for(
+            &Behavior::InsecureAt {
+                limit: 150,
+                google_style: false,
+            },
+            false,
+        );
         assert!(!p.emit_ede, "stripped EDE");
     }
 }

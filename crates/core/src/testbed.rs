@@ -62,12 +62,27 @@ pub fn iteration_values() -> Vec<u16> {
 /// wildcard branch.
 fn testbed_zone(apex: &Name) -> Zone {
     let mut z = Zone::new(apex.clone());
-    z.add(Record::new(apex.clone(), 300, RData::A("192.0.2.80".parse().unwrap()))).unwrap();
+    z.add(Record::new(
+        apex.clone(),
+        300,
+        RData::A("192.0.2.80".parse().unwrap()),
+    ))
+    .unwrap();
     let www = name("www").concat(apex).unwrap();
-    z.add(Record::new(www, 300, RData::A("192.0.2.81".parse().unwrap()))).unwrap();
+    z.add(Record::new(
+        www,
+        300,
+        RData::A("192.0.2.81".parse().unwrap()),
+    ))
+    .unwrap();
     // The wildcard branch: *.wc.<apex> answers any name beneath it.
     let wc = name("*.wc").concat(apex).unwrap();
-    z.add(Record::new(wc, 300, RData::A("192.0.2.82".parse().unwrap()))).unwrap();
+    z.add(Record::new(
+        wc,
+        300,
+        RData::A("192.0.2.82".parse().unwrap()),
+    ))
+    .unwrap();
     z
 }
 
@@ -76,11 +91,17 @@ pub fn build_testbed(now: u32) -> Testbed {
     let parent = name(TEST_DOMAIN);
     let mut b = LabBuilder::new(now)
         .simple_zone(&name("com."), Denial::nsec3_rfc9276())
-        .zone(ZoneSpec::new(testbed_zone(&parent), Denial::nsec3_rfc9276()));
+        .zone(ZoneSpec::new(
+            testbed_zone(&parent),
+            Denial::nsec3_rfc9276(),
+        ));
 
     // valid.
     let valid_apex = name("valid").concat(&parent).unwrap();
-    b = b.zone(ZoneSpec::new(testbed_zone(&valid_apex), Denial::nsec3_rfc9276()));
+    b = b.zone(ZoneSpec::new(
+        testbed_zone(&valid_apex),
+        Denial::nsec3_rfc9276(),
+    ));
 
     // expired.
     let expired_apex = name("expired").concat(&parent).unwrap();
@@ -95,7 +116,10 @@ pub fn build_testbed(now: u32) -> Testbed {
         let apex = name(&format!("it-{n}")).concat(&parent).unwrap();
         b = b.zone(ZoneSpec::new(
             testbed_zone(&apex),
-            Denial::Nsec3 { params: Nsec3Params::new(n, Vec::new()), opt_out: false },
+            Denial::Nsec3 {
+                params: Nsec3Params::new(n, Vec::new()),
+                opt_out: false,
+            },
         ));
         it_zones.push((n, apex));
     }
@@ -105,7 +129,10 @@ pub fn build_testbed(now: u32) -> Testbed {
     let it2501_apex = name("it-2501-expired").concat(&parent).unwrap();
     let mut it2501 = ZoneSpec::new(
         testbed_zone(&it2501_apex),
-        Denial::Nsec3 { params: Nsec3Params::new(2501, Vec::new()), opt_out: false },
+        Denial::Nsec3 {
+            params: Nsec3Params::new(2501, Vec::new()),
+            opt_out: false,
+        },
     );
     it2501.post_sign = Some(Box::new(move |z| {
         faults::expire_rrsigs(z, Some(dns_wire::rrtype::RrType::NSEC3), now);
@@ -119,7 +146,11 @@ pub fn build_testbed(now: u32) -> Testbed {
         it_zones,
         it_2501_expired: Some(it2501_apex),
     };
-    Testbed { lab, plan, iteration_values: values }
+    Testbed {
+        lab,
+        plan,
+        iteration_values: values,
+    }
 }
 
 /// The number of subdomains the paper deploys (excluding
@@ -157,7 +188,10 @@ mod tests {
         for (n, apex) in &tb.plan.it_zones {
             let z = &tb.lab.zones[apex];
             assert_eq!(z.nsec3_params().unwrap().iterations, *n, "{apex}");
-            assert!(z.nsec3_params().unwrap().salt.is_empty(), "no salt per §4.2");
+            assert!(
+                z.nsec3_params().unwrap().salt.is_empty(),
+                "no salt per §4.2"
+            );
         }
         // Dual stack.
         for (apex, (v4, v6)) in &tb.lab.servers {
@@ -175,7 +209,12 @@ mod tests {
         assert_eq!(z.nsec3_params().unwrap().iterations, 2501);
         let mut saw_nsec3_sig = false;
         for rec in z.zone.iter() {
-            if let RData::Rrsig { type_covered, expiration, .. } = &rec.rdata {
+            if let RData::Rrsig {
+                type_covered,
+                expiration,
+                ..
+            } = &rec.rdata
+            {
                 if *type_covered == dns_wire::rrtype::RrType::NSEC3 {
                     assert!(*expiration < now, "NSEC3 sigs expired");
                     saw_nsec3_sig = true;

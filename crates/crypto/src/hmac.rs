@@ -33,7 +33,10 @@ impl<D: Digest> Hmac<D> {
         let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
         let mut inner = D::default();
         inner.update(&ipad);
-        Hmac { inner, opad_key: opad }
+        Hmac {
+            inner,
+            opad_key: opad,
+        }
     }
 
     /// Absorb message data.
@@ -95,7 +98,10 @@ mod tests {
     #[test]
     fn rfc4231_case6_long_key() {
         let key = [0xaa; 131];
-        let tag = Hmac::<Sha256>::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let tag = Hmac::<Sha256>::mac(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             hex_lower(&tag),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"

@@ -24,7 +24,13 @@ pub struct Sha1 {
 
 impl Default for Sha1 {
     fn default() -> Self {
-        Sha1 { state: H0, len: 0, buf: [0; 64], buf_len: 0, compressions: 0 }
+        Sha1 {
+            state: H0,
+            len: 0,
+            buf: [0; 64],
+            buf_len: 0,
+            compressions: 0,
+        }
     }
 }
 
@@ -167,18 +173,27 @@ mod tests {
 
     #[test]
     fn fips_vector_empty() {
-        assert_eq!(hex_lower(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            hex_lower(&sha1(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
     }
 
     #[test]
     fn fips_vector_abc() {
-        assert_eq!(hex_lower(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex_lower(&sha1(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
     }
 
     #[test]
     fn fips_vector_two_blocks() {
         let msg = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
-        assert_eq!(hex_lower(&sha1(msg)), "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+        assert_eq!(
+            hex_lower(&sha1(msg)),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
     }
 
     #[test]

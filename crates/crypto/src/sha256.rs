@@ -32,7 +32,13 @@ pub struct Sha256 {
 
 impl Default for Sha256 {
     fn default() -> Self {
-        Sha256 { state: H0, len: 0, buf: [0; 64], buf_len: 0, compressions: 0 }
+        Sha256 {
+            state: H0,
+            len: 0,
+            buf: [0; 64],
+            buf_len: 0,
+            compressions: 0,
+        }
     }
 }
 

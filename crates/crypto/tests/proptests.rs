@@ -1,6 +1,6 @@
 //! Property-based tests for the crypto layer.
 
-use proptest::prelude::*;
+use sim_check::{gens, props};
 
 use dns_crypto::hmac::Hmac;
 use dns_crypto::keytag::key_tag;
@@ -9,12 +9,11 @@ use dns_crypto::sha256::{sha256, Sha256};
 use dns_crypto::simsig::{verify, KeyPair};
 use dns_crypto::{ct_eq, hex_lower, hex_parse, Digest};
 
-proptest! {
+props! {
     /// Streaming in arbitrary chunkings equals the one-shot digest.
-    #[test]
     fn sha1_chunking_invariance(
-        data in proptest::collection::vec(any::<u8>(), 0..512),
-        splits in proptest::collection::vec(any::<usize>(), 0..6),
+        data in gens::vec_of(gens::u8s(..), 0..512),
+        splits in gens::vec_of(gens::usizes(..), 0..6),
     ) {
         let expected = sha1(&data);
         let mut h = Sha1::new();
@@ -29,90 +28,82 @@ proptest! {
             rest = tail;
         }
         h.update(rest);
-        prop_assert_eq!(h.finalize_fixed(), expected);
+        assert_eq!(h.finalize_fixed(), expected);
     }
 
-    #[test]
     fn sha256_chunking_invariance(
-        data in proptest::collection::vec(any::<u8>(), 0..512),
-        cut in any::<usize>(),
+        data in gens::vec_of(gens::u8s(..), 0..512),
+        cut in gens::usizes(..),
     ) {
         let expected = sha256(&data);
         let cut = cut % (data.len() + 1);
         let mut h = Sha256::new();
         h.update(&data[..cut]);
         h.update(&data[cut..]);
-        prop_assert_eq!(h.finalize_fixed(), expected);
+        assert_eq!(h.finalize_fixed(), expected);
     }
 
     /// padded_compressions predicts exactly what finalize performs.
-    #[test]
-    fn padded_compressions_exact(len in 0usize..600) {
+    fn padded_compressions_exact(len in gens::usizes(0..600)) {
         let data = vec![0xabu8; len];
         let mut h = Sha1::new();
         h.update(&data);
         let predicted = h.padded_compressions();
         let expected = (len + 9).div_ceil(64) as u64;
-        prop_assert_eq!(predicted, expected);
+        assert_eq!(predicted, expected);
     }
 
     /// Different inputs yield different digests (collision smoke).
-    #[test]
-    fn sha1_injective_smoke(a in proptest::collection::vec(any::<u8>(), 0..64),
-                            b in proptest::collection::vec(any::<u8>(), 0..64)) {
+    fn sha1_injective_smoke(a in gens::vec_of(gens::u8s(..), 0..64),
+                            b in gens::vec_of(gens::u8s(..), 0..64)) {
         if a != b {
-            prop_assert_ne!(sha1(&a), sha1(&b));
+            assert_ne!(sha1(&a), sha1(&b));
         }
     }
 
     /// HMAC verifies its own tags and rejects modified ones.
-    #[test]
     fn hmac_verify_roundtrip(
-        key in proptest::collection::vec(any::<u8>(), 0..100),
-        data in proptest::collection::vec(any::<u8>(), 0..100),
-        flip in any::<u8>(),
+        key in gens::vec_of(gens::u8s(..), 0..100),
+        data in gens::vec_of(gens::u8s(..), 0..100),
+        flip in gens::u8s(..),
     ) {
         let tag = Hmac::<Sha256>::mac(&key, &data);
-        prop_assert!(Hmac::<Sha256>::verify(&key, &data, &tag));
+        assert!(Hmac::<Sha256>::verify(&key, &data, &tag));
         let mut bad = tag.clone();
         let idx = (flip as usize) % bad.len();
         bad[idx] ^= 0x01;
-        prop_assert!(!Hmac::<Sha256>::verify(&key, &data, &bad));
+        assert!(!Hmac::<Sha256>::verify(&key, &data, &bad));
     }
 
     /// SimSig: sign/verify holds for any seed and message; cross-key
     /// verification fails.
-    #[test]
     fn simsig_soundness(
-        seed_a in proptest::collection::vec(any::<u8>(), 1..32),
-        seed_b in proptest::collection::vec(any::<u8>(), 1..32),
-        msg in proptest::collection::vec(any::<u8>(), 0..200),
+        seed_a in gens::vec_of(gens::u8s(..), 1..32),
+        seed_b in gens::vec_of(gens::u8s(..), 1..32),
+        msg in gens::vec_of(gens::u8s(..), 0..200),
     ) {
         let a = KeyPair::from_seed(&seed_a);
         let sig = a.sign(&msg);
-        prop_assert!(verify(a.public_key(), &msg, &sig));
+        assert!(verify(a.public_key(), &msg, &sig));
         if seed_a != seed_b {
             let b = KeyPair::from_seed(&seed_b);
-            prop_assert!(!verify(b.public_key(), &msg, &sig));
+            assert!(!verify(b.public_key(), &msg, &sig));
         }
     }
 
     /// Key tags: deterministic and within u16.
-    #[test]
-    fn keytag_deterministic(rdata in proptest::collection::vec(any::<u8>(), 0..200)) {
-        prop_assert_eq!(key_tag(&rdata), key_tag(&rdata));
+    fn keytag_deterministic(rdata in gens::vec_of(gens::u8s(..), 0..200)) {
+        assert_eq!(key_tag(&rdata), key_tag(&rdata));
     }
 
     /// Hex round trip.
-    #[test]
-    fn hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..64)) {
-        prop_assert_eq!(hex_parse(&hex_lower(&data)).unwrap(), data);
+    fn hex_roundtrip(data in gens::vec_of(gens::u8s(..), 0..64)) {
+        assert_eq!(hex_parse(&hex_lower(&data)).unwrap(), data);
     }
 
     /// ct_eq agrees with ==.
-    #[test]
-    fn ct_eq_matches_eq(a in proptest::collection::vec(any::<u8>(), 0..32),
-                        b in proptest::collection::vec(any::<u8>(), 0..32)) {
-        prop_assert_eq!(ct_eq(&a, &b), a == b);
+    fn ct_eq_matches_eq(a in gens::vec_of(gens::u8s(..), 0..32),
+                        b in gens::vec_of(gens::u8s(..), 0..32)) {
+        assert_eq!(ct_eq(&a, &b), a == b);
     }
 }

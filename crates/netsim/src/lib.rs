@@ -26,8 +26,7 @@ use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 use std::rc::Rc;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use sim_rng::{Rng, Xoshiro256pp};
 
 /// A host on the simulated network.
 ///
@@ -60,7 +59,12 @@ pub struct FaultConfig {
 
 impl Default for FaultConfig {
     fn default() -> Self {
-        FaultConfig { drop_chance: 0.0, corrupt_chance: 0.0, duplicate_chance: 0.0, size_limit: None }
+        FaultConfig {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+            duplicate_chance: 0.0,
+            size_limit: None,
+        }
     }
 }
 
@@ -130,7 +134,7 @@ pub struct Network {
     /// Default one-way latency in µs when a node has none configured.
     default_latency: u64,
     faults: RefCell<FaultConfig>,
-    rng: RefCell<SmallRng>,
+    rng: RefCell<Xoshiro256pp>,
     clock: Cell<u64>,
     trace: RefCell<Vec<TraceEntry>>,
     trace_cap: Cell<usize>,
@@ -147,7 +151,7 @@ impl Network {
             latency: RefCell::new(HashMap::new()),
             default_latency: 5_000, // 5 ms one-way
             faults: RefCell::new(FaultConfig::default()),
-            rng: RefCell::new(SmallRng::seed_from_u64(seed)),
+            rng: RefCell::new(Xoshiro256pp::seed_from_u64(seed)),
             clock: Cell::new(0),
             trace: RefCell::new(Vec::new()),
             trace_cap: Cell::new(0),
@@ -270,7 +274,10 @@ impl Network {
                     Some(reply) => match self.transmit(dst, src, &reply, false) {
                         Leg::Delivered(reply_payload) => {
                             let rtt = self.clock.get() - start;
-                            Outcome::Response { payload: reply_payload, rtt_micros: rtt }
+                            Outcome::Response {
+                                payload: reply_payload,
+                                rtt_micros: rtt,
+                            }
                         }
                         _ => {
                             self.advance_timeout();
@@ -384,13 +391,19 @@ impl Network {
             && rng.gen_bool(faults.corrupt_chance.clamp(0.0, 1.0))
         {
             let idx = rng.gen_range(0..delivered.len());
-            delivered[idx] ^= 1 << rng.gen_range(0..8);
+            delivered[idx] ^= 1 << rng.gen_range(0u32..8);
             verdict = TraceVerdict::Corrupted;
         }
         drop(rng);
         self.clock.set(at + self.one_way_latency(src, dst));
         self.delivered.set(self.delivered.get() + 1);
-        self.record(TraceEntry { at_micros: at, src, dst, len: payload.len(), verdict });
+        self.record(TraceEntry {
+            at_micros: at,
+            src,
+            dst,
+            len: payload.len(),
+            verdict,
+        });
         Leg::Delivered(delivered)
     }
 }
@@ -420,9 +433,7 @@ impl AddrAlloc {
     pub fn new() -> Self {
         AddrAlloc {
             next_v4: u32::from(Ipv4Addr::new(10, 0, 0, 1)),
-            next_v6: u128::from_be_bytes([
-                0xfd, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1,
-            ]),
+            next_v6: u128::from_be_bytes([0xfd, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1]),
         }
     }
 
@@ -487,7 +498,10 @@ mod tests {
         net.register(addr(2), Rc::new(Echo));
         let out = net.send_query(addr(1), addr(2), b"hello");
         match out {
-            Outcome::Response { payload, rtt_micros } => {
+            Outcome::Response {
+                payload,
+                rtt_micros,
+            } => {
                 assert_eq!(payload, b"olleh");
                 assert_eq!(rtt_micros, 2 * 2 * 5_000); // two legs, 5ms+5ms each
             }
@@ -515,7 +529,13 @@ mod tests {
     fn relay_reaches_target_through_intermediate() {
         let net = Network::new(1);
         net.register(addr(3), Rc::new(Echo));
-        net.register(addr(2), Rc::new(Relay { target: addr(3), own: addr(2) }));
+        net.register(
+            addr(2),
+            Rc::new(Relay {
+                target: addr(3),
+                own: addr(2),
+            }),
+        );
         let out = net.send_query(addr(1), addr(2), b"ab");
         assert_eq!(out.payload().unwrap(), b"ba");
     }
@@ -524,7 +544,13 @@ mod tests {
     fn loop_is_dropped_not_stack_overflowed() {
         let net = Network::new(1);
         // A relay that forwards to itself.
-        net.register(addr(2), Rc::new(Relay { target: addr(2), own: addr(2) }));
+        net.register(
+            addr(2),
+            Rc::new(Relay {
+                target: addr(2),
+                own: addr(2),
+            }),
+        );
         assert_eq!(net.send_query(addr(1), addr(2), b"x"), Outcome::Timeout);
     }
 
@@ -532,7 +558,10 @@ mod tests {
     fn full_drop_rate_loses_everything() {
         let net = Network::new(1);
         net.register(addr(2), Rc::new(Echo));
-        net.set_faults(FaultConfig { drop_chance: 1.0, ..Default::default() });
+        net.set_faults(FaultConfig {
+            drop_chance: 1.0,
+            ..Default::default()
+        });
         assert_eq!(net.send_query(addr(1), addr(2), b"x"), Outcome::Timeout);
         assert_eq!(net.lost_count(), 1);
     }
@@ -541,7 +570,10 @@ mod tests {
     fn retries_can_survive_partial_loss() {
         let net = Network::new(42);
         net.register(addr(2), Rc::new(Echo));
-        net.set_faults(FaultConfig { drop_chance: 0.5, ..Default::default() });
+        net.set_faults(FaultConfig {
+            drop_chance: 0.5,
+            ..Default::default()
+        });
         let mut got = 0;
         for _ in 0..50 {
             if let Outcome::Response { .. } =
@@ -557,7 +589,10 @@ mod tests {
     fn corruption_changes_exactly_one_bit() {
         let net = Network::new(7);
         net.register(addr(2), Rc::new(Echo));
-        net.set_faults(FaultConfig { corrupt_chance: 1.0, ..Default::default() });
+        net.set_faults(FaultConfig {
+            corrupt_chance: 1.0,
+            ..Default::default()
+        });
         let out = net.send_query(addr(1), addr(2), b"aaaa");
         // Both legs corrupt one bit each; the reversed reply differs from
         // clean "aaaa" in at most 2 bits.
@@ -574,9 +609,15 @@ mod tests {
     fn size_limit_drops_large_datagrams() {
         let net = Network::new(1);
         net.register(addr(2), Rc::new(Echo));
-        net.set_faults(FaultConfig { size_limit: Some(4), ..Default::default() });
+        net.set_faults(FaultConfig {
+            size_limit: Some(4),
+            ..Default::default()
+        });
         assert_eq!(net.send_query(addr(1), addr(2), b"small"), Outcome::Timeout);
-        assert!(matches!(net.send_query(addr(1), addr(2), b"ok"), Outcome::Response { .. }));
+        assert!(matches!(
+            net.send_query(addr(1), addr(2), b"ok"),
+            Outcome::Response { .. }
+        ));
     }
 
     #[test]
@@ -617,9 +658,15 @@ mod tests {
         let net = Network::new(3);
         let counter = Rc::new(Counter(std::cell::Cell::new(0)));
         net.register(addr(2), counter.clone());
-        net.set_faults(FaultConfig { duplicate_chance: 1.0, ..Default::default() });
+        net.set_faults(FaultConfig {
+            duplicate_chance: 1.0,
+            ..Default::default()
+        });
         let out = net.send_query(addr(1), addr(2), b"q");
-        assert!(matches!(out, Outcome::Response { .. }), "sender still gets one reply");
+        assert!(
+            matches!(out, Outcome::Response { .. }),
+            "sender still gets one reply"
+        );
         assert_eq!(counter.0.get(), 2, "handler ran for both copies");
         net.set_faults(FaultConfig::default());
         let _ = net.send_query(addr(1), addr(2), b"q");
@@ -631,9 +678,17 @@ mod tests {
         let run = |seed| {
             let net = Network::new(seed);
             net.register(addr(2), Rc::new(Echo));
-            net.set_faults(FaultConfig { drop_chance: 0.3, ..Default::default() });
+            net.set_faults(FaultConfig {
+                drop_chance: 0.3,
+                ..Default::default()
+            });
             (0..30)
-                .map(|_| matches!(net.send_query(addr(1), addr(2), b"x"), Outcome::Response { .. }))
+                .map(|_| {
+                    matches!(
+                        net.send_query(addr(1), addr(2), b"x"),
+                        Outcome::Response { .. }
+                    )
+                })
                 .collect::<Vec<bool>>()
         };
         assert_eq!(run(99), run(99));

@@ -5,7 +5,7 @@ use std::net::{IpAddr, Ipv4Addr};
 use std::rc::Rc;
 
 use netsim::{FaultConfig, Network, Node, Outcome};
-use proptest::prelude::*;
+use sim_check::{gens, props};
 
 struct Echo;
 impl Node for Echo {
@@ -18,15 +18,14 @@ fn addr(last: u8) -> IpAddr {
     IpAddr::V4(Ipv4Addr::new(10, 0, 0, last))
 }
 
-proptest! {
+props! {
     /// Identical seeds and fault configs produce identical outcome
     /// sequences; the virtual clock never goes backwards.
-    #[test]
     fn deterministic_and_monotone(
-        seed in any::<u64>(),
-        drop in 0.0f64..0.9,
-        corrupt in 0.0f64..0.9,
-        n in 1usize..40,
+        seed in gens::u64s(..),
+        drop in gens::f64s(0.0..0.9),
+        corrupt in gens::f64s(0.0..0.9),
+        n in gens::usizes(1..40),
     ) {
         let run = || {
             let net = Network::new(seed);
@@ -36,35 +35,33 @@ proptest! {
             let mut last_clock = 0;
             for _ in 0..n {
                 let o = matches!(net.send_query(addr(1), addr(2), b"payload"), Outcome::Response { .. });
-                prop_assert!(net.now_micros() >= last_clock);
+                assert!(net.now_micros() >= last_clock);
                 last_clock = net.now_micros();
                 outcomes.push(o);
             }
-            Ok(outcomes)
+            outcomes
         };
-        prop_assert_eq!(run()?, run()?);
+        assert_eq!(run(), run());
     }
 
     /// With zero faults every exchange succeeds; with certain loss nothing
     /// does.
-    #[test]
-    fn loss_extremes(seed in any::<u64>(), n in 1usize..20) {
+    fn loss_extremes(seed in gens::u64s(..), n in gens::usizes(1..20)) {
         let net = Network::new(seed);
         net.register(addr(2), Rc::new(Echo));
         for _ in 0..n {
             let ok = matches!(net.send_query(addr(1), addr(2), b"x"), Outcome::Response { .. });
-            prop_assert!(ok);
+            assert!(ok);
         }
         net.set_faults(FaultConfig { drop_chance: 1.0, ..Default::default() });
         for _ in 0..n {
-            prop_assert_eq!(net.send_query(addr(1), addr(2), b"x"), Outcome::Timeout);
+            assert_eq!(net.send_query(addr(1), addr(2), b"x"), Outcome::Timeout);
         }
     }
 
     /// Observed loss rate over many samples lands near the configured
     /// probability (per-exchange success = both legs survive).
-    #[test]
-    fn loss_rate_statistics(seed in any::<u64>()) {
+    fn loss_rate_statistics(seed in gens::u64s(..)) {
         let net = Network::new(seed);
         net.register(addr(2), Rc::new(Echo));
         let p = 0.2f64;
@@ -78,21 +75,20 @@ proptest! {
         }
         let expected = (1.0 - p) * (1.0 - p);
         let observed = ok as f64 / trials as f64;
-        prop_assert!((observed - expected).abs() < 0.08, "observed {observed}, expected {expected}");
+        assert!((observed - expected).abs() < 0.08, "observed {observed}, expected {expected}");
     }
 
     /// Corruption preserves length and flips at most one bit per leg.
-    #[test]
-    fn corruption_is_single_bit_per_leg(seed in any::<u64>(), len in 1usize..64) {
+    fn corruption_is_single_bit_per_leg(seed in gens::u64s(..), len in gens::usizes(1..64)) {
         let net = Network::new(seed);
         net.register(addr(2), Rc::new(Echo));
         net.set_faults(FaultConfig { corrupt_chance: 1.0, ..Default::default() });
         let payload = vec![0u8; len];
         if let Outcome::Response { payload: got, .. } = net.send_query(addr(1), addr(2), &payload) {
-            prop_assert_eq!(got.len(), len);
+            assert_eq!(got.len(), len);
             let flipped: u32 = got.iter().map(|b| b.count_ones()).sum();
             // Each leg flips exactly one bit; the two flips may cancel.
-            prop_assert!(flipped <= 2, "at most one bit per leg: {flipped}");
+            assert!(flipped <= 2, "at most one bit per leg: {flipped}");
         }
     }
 }

@@ -10,9 +10,7 @@
 //!   at 500; 170 salts > 45 bytes of which 9 at 160 bytes from a single
 //!   operator).
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use sim_rng::{Rng, Xoshiro256pp};
 
 use crate::scale::{allocate, Scale};
 
@@ -50,9 +48,11 @@ impl DomainSpec {
     /// Is the domain NSEC3-enabled?
     pub fn nsec3(&self) -> Option<(u16, u8, bool)> {
         match self.dnssec {
-            DnssecKind::Nsec3 { iterations, salt_len, opt_out } => {
-                Some((iterations, salt_len, opt_out))
-            }
+            DnssecKind::Nsec3 {
+                iterations,
+                salt_len,
+                opt_out,
+            } => Some((iterations, salt_len, opt_out)),
             _ => None,
         }
     }
@@ -64,7 +64,12 @@ pub type ParamMix = &'static [(u16, u8, f64)];
 /// Table 2: `(operator registered-domain, display name, share % of
 /// NSEC3-enabled domains, parameter mix)`.
 pub const TABLE2_OPERATORS: &[(&str, &str, f64, ParamMix)] = &[
-    ("squarespacedns.example.", "Squarespace", 39.4, &[(1, 8, 1.0)]),
+    (
+        "squarespacedns.example.",
+        "Squarespace",
+        39.4,
+        &[(1, 8, 1.0)],
+    ),
     (
         "onecom-dns.example.",
         "one.com",
@@ -74,11 +79,26 @@ pub const TABLE2_OPERATORS: &[(&str, &str, f64, ParamMix)] = &[
     ("ovhcloud-dns.example.", "OVHcloud", 8.4, &[(8, 8, 1.0)]),
     ("wix-dns.example.", "Wix.com", 5.0, &[(1, 8, 1.0)]),
     // TransIP: 0.3 % stragglers still on the pre-2021 value of 100.
-    ("transip-dns.example.", "TransIP", 4.2, &[(0, 8, 0.997), (100, 8, 0.003)]),
+    (
+        "transip-dns.example.",
+        "TransIP",
+        4.2,
+        &[(0, 8, 0.997), (100, 8, 0.003)],
+    ),
     ("loopia-dns.example.", "Loopia", 3.6, &[(1, 1, 1.0)]),
-    ("domainnameshop-dns.example.", "domainname.shop", 2.7, &[(0, 0, 1.0)]),
+    (
+        "domainnameshop-dns.example.",
+        "domainname.shop",
+        2.7,
+        &[(0, 0, 1.0)],
+    ),
     ("timeweb-dns.example.", "TimeWeb", 2.1, &[(3, 0, 1.0)]),
-    ("hostnet-dns.example.", "Hostnet", 1.5, &[(1, 4, 0.5), (0, 0, 0.5)]),
+    (
+        "hostnet-dns.example.",
+        "Hostnet",
+        1.5,
+        &[(1, 4, 0.5), (0, 0, 0.5)],
+    ),
     ("hostpoint-dns.example.", "Hostpoint", 1.3, &[(1, 40, 1.0)]),
 ];
 
@@ -158,7 +178,7 @@ const TLD_MIX: &[(&str, f64)] = &[
 /// Deterministic for a given `(scale, seed)`. The output order is
 /// shuffled so consumers can take prefixes as unbiased samples.
 pub fn generate_domains(scale: Scale, seed: u64) -> Vec<DomainSpec> {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xd05a1e5u64);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0xd05a1e5u64);
     let total = scale.apply(totals::REGISTERED);
     let dnssec = scale.apply(totals::DNSSEC).min(total);
     let nsec3_bulk = scale.apply(totals::NSEC3).min(dnssec);
@@ -167,7 +187,7 @@ pub fn generate_domains(scale: Scale, seed: u64) -> Vec<DomainSpec> {
 
     let mut out: Vec<DomainSpec> = Vec::with_capacity(total as usize + 300);
     let mut serial = 0u64;
-    let mut next_name = |rng: &mut SmallRng| {
+    let mut next_name = |rng: &mut Xoshiro256pp| {
         serial += 1;
         let pick: f64 = rng.gen_range(0.0..100.0);
         let mut acc = 0.0;
@@ -185,11 +205,19 @@ pub fn generate_domains(scale: Scale, seed: u64) -> Vec<DomainSpec> {
     // Plain and NSEC-signed domains.
     for _ in 0..plain {
         let name = next_name(&mut rng);
-        out.push(DomainSpec { name, operator: None, dnssec: DnssecKind::None });
+        out.push(DomainSpec {
+            name,
+            operator: None,
+            dnssec: DnssecKind::None,
+        });
     }
     for _ in 0..nsec {
         let name = next_name(&mut rng);
-        out.push(DomainSpec { name, operator: None, dnssec: DnssecKind::Nsec });
+        out.push(DomainSpec {
+            name,
+            operator: None,
+            dnssec: DnssecKind::Nsec,
+        });
     }
 
     // NSEC3-enabled: operator-structured.
@@ -214,7 +242,11 @@ pub fn generate_domains(scale: Scale, seed: u64) -> Vec<DomainSpec> {
                 out.push(DomainSpec {
                     name,
                     operator,
-                    dnssec: DnssecKind::Nsec3 { iterations, salt_len, opt_out },
+                    dnssec: DnssecKind::Nsec3 {
+                        iterations,
+                        salt_len,
+                        opt_out,
+                    },
                 });
             }
         }
@@ -227,23 +259,35 @@ pub fn generate_domains(scale: Scale, seed: u64) -> Vec<DomainSpec> {
             out.push(DomainSpec {
                 name,
                 operator: Some(TAIL_OPERATOR),
-                dnssec: DnssecKind::Nsec3 { iterations, salt_len, opt_out: false },
+                dnssec: DnssecKind::Nsec3 {
+                    iterations,
+                    salt_len,
+                    opt_out: false,
+                },
             });
         }
     }
     for &(iterations, salt_len, count) in SALT_TAIL {
-        let operator = if salt_len == 160 { Some(SALTY_OPERATOR) } else { None };
+        let operator = if salt_len == 160 {
+            Some(SALTY_OPERATOR)
+        } else {
+            None
+        };
         for _ in 0..count {
             let name = next_name(&mut rng);
             out.push(DomainSpec {
                 name,
                 operator,
-                dnssec: DnssecKind::Nsec3 { iterations, salt_len, opt_out: false },
+                dnssec: DnssecKind::Nsec3 {
+                    iterations,
+                    salt_len,
+                    opt_out: false,
+                },
             });
         }
     }
 
-    out.shuffle(&mut rng);
+    rng.shuffle(&mut out);
     out
 }
 
@@ -261,7 +305,11 @@ mod tests {
     fn totals_scale() {
         let p = pop();
         // 302M / 1k = 302K bulk + ~213 tail outliers.
-        assert!((301_500..303_000).contains(&(p.len() as u64)), "{}", p.len());
+        assert!(
+            (301_500..303_000).contains(&(p.len() as u64)),
+            "{}",
+            p.len()
+        );
         let dnssec = p.iter().filter(|d| d.dnssec != DnssecKind::None).count() as f64;
         let pct = dnssec / p.len() as f64 * 100.0;
         assert!((8.0..10.5).contains(&pct), "DNSSEC share {pct}");
@@ -282,7 +330,10 @@ mod tests {
         let nsec3: Vec<_> = p.iter().filter_map(|d| d.nsec3()).collect();
         let zero = nsec3.iter().filter(|(it, _, _)| *it == 0).count() as f64;
         let pct = zero / nsec3.len() as f64 * 100.0;
-        assert!((10.5..14.0).contains(&pct), "it=0 share {pct} (paper: 12.2)");
+        assert!(
+            (10.5..14.0).contains(&pct),
+            "it=0 share {pct} (paper: 12.2)"
+        );
     }
 
     #[test]
@@ -291,7 +342,10 @@ mod tests {
         let nsec3: Vec<_> = p.iter().filter_map(|d| d.nsec3()).collect();
         let none = nsec3.iter().filter(|(_, s, _)| *s == 0).count() as f64;
         let pct = none / nsec3.len() as f64 * 100.0;
-        assert!((7.0..10.5).contains(&pct), "no-salt share {pct} (paper: 8.6)");
+        assert!(
+            (7.0..10.5).contains(&pct),
+            "no-salt share {pct} (paper: 8.6)"
+        );
     }
 
     #[test]
@@ -321,7 +375,10 @@ mod tests {
         let nsec3: Vec<_> = p.iter().filter_map(|d| d.nsec3()).collect();
         let oo = nsec3.iter().filter(|(_, _, o)| *o).count() as f64;
         let pct = oo / nsec3.len() as f64 * 100.0;
-        assert!((4.5..8.5).contains(&pct), "opt-out share {pct} (paper: 6.4)");
+        assert!(
+            (4.5..8.5).contains(&pct),
+            "opt-out share {pct} (paper: 6.4)"
+        );
     }
 
     #[test]
@@ -333,7 +390,10 @@ mod tests {
             .filter(|d| d.operator == Some("squarespacedns.example."))
             .count() as f64;
         let pct = sq / nsec3_total * 100.0;
-        assert!((37.0..41.0).contains(&pct), "Squarespace share {pct} (paper: 39.4)");
+        assert!(
+            (37.0..41.0).contains(&pct),
+            "Squarespace share {pct} (paper: 39.4)"
+        );
         // Its parameters are 1/8.
         assert!(p
             .iter()

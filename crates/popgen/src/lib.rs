@@ -22,8 +22,10 @@ pub mod tlds;
 pub mod tranco;
 
 pub use domains::{generate_domains, DnssecKind, DomainSpec};
-pub use resolvers::{generate_fleet, generate_fleet_with_mix, Access, Behavior, Family, ResolverSpec};
-pub use timeline::{eras, Era};
+pub use resolvers::{
+    generate_fleet, generate_fleet_with_mix, Access, Behavior, Family, ResolverSpec,
+};
 pub use scale::{allocate, Scale};
+pub use timeline::{eras, Era};
 pub use tlds::{generate_tlds, generate_tlds_after_remediation, TldSpec};
 pub use tranco::{generate_tranco, TrancoEntry};

@@ -12,9 +12,7 @@
 //!   two-threshold resolvers (item 12); < 18 % of limiting open resolvers
 //!   expose EDE 27.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use sim_rng::{Rng, Xoshiro256pp};
 
 use crate::scale::{allocate, Scale};
 
@@ -125,14 +123,56 @@ pub mod totals {
 /// Validator behaviour mix, weights in percent of each validator pool.
 /// Sums to 100. See the module docs for the §5.2 derivation.
 const VALIDATOR_MIX: &[(Behavior, f64)] = &[
-    (Behavior::InsecureAt { limit: 100, google_style: true }, 36.40),
-    (Behavior::InsecureAt { limit: 150, google_style: false }, 21.54),
-    (Behavior::InsecureAt { limit: 50, google_style: false }, 1.72),
+    (
+        Behavior::InsecureAt {
+            limit: 100,
+            google_style: true,
+        },
+        36.40,
+    ),
+    (
+        Behavior::InsecureAt {
+            limit: 150,
+            google_style: false,
+        },
+        21.54,
+    ),
+    (
+        Behavior::InsecureAt {
+            limit: 50,
+            google_style: false,
+        },
+        1.72,
+    ),
     (Behavior::Item7Violator { limit: 150 }, 0.12),
-    (Behavior::ServfailFrom { first: 151, technitium: false }, 17.95),
-    (Behavior::ServfailFrom { first: 1, technitium: false }, 0.37), // copiers, see below
-    (Behavior::ServfailFrom { first: 101, technitium: true }, 0.08),
-    (Behavior::FlakyGap { insecure: 100, servfail_from: 151 }, 4.30),
+    (
+        Behavior::ServfailFrom {
+            first: 151,
+            technitium: false,
+        },
+        17.95,
+    ),
+    (
+        Behavior::ServfailFrom {
+            first: 1,
+            technitium: false,
+        },
+        0.37,
+    ), // copiers, see below
+    (
+        Behavior::ServfailFrom {
+            first: 101,
+            technitium: true,
+        },
+        0.08,
+    ),
+    (
+        Behavior::FlakyGap {
+            insecure: 100,
+            servfail_from: 151,
+        },
+        4.30,
+    ),
     (Behavior::ValidatorUnlimited, 17.52),
 ];
 
@@ -154,12 +194,22 @@ pub fn generate_fleet_with_mix(
     seed: u64,
     mix: &[(Behavior, f64)],
 ) -> Vec<ResolverSpec> {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0xf1ee7);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0xf1ee7);
     let mut out: Vec<ResolverSpec> = Vec::new();
     let mut idx = 0u64;
     let pools: &[(Family, Access, u64, u64)] = &[
-        (Family::V4, Access::Open, totals::OPEN_V4, totals::OPEN_V4_VALIDATORS),
-        (Family::V6, Access::Open, totals::OPEN_V6, totals::OPEN_V6_VALIDATORS),
+        (
+            Family::V4,
+            Access::Open,
+            totals::OPEN_V4,
+            totals::OPEN_V4_VALIDATORS,
+        ),
+        (
+            Family::V6,
+            Access::Open,
+            totals::OPEN_V6,
+            totals::OPEN_V6_VALIDATORS,
+        ),
         (
             Family::V4,
             Access::Closed,
@@ -209,11 +259,18 @@ pub fn generate_fleet_with_mix(
             };
             let misplaced = matches!(
                 behavior,
-                Behavior::QueryCopier | Behavior::ServfailFrom { technitium: true, .. }
+                Behavior::QueryCopier
+                    | Behavior::ServfailFrom {
+                        technitium: true,
+                        ..
+                    }
             ) && !(family == Family::V4 && access == Access::Open);
             for _ in 0..count {
                 let effective = if misplaced {
-                    Behavior::ServfailFrom { first: 151, technitium: false }
+                    Behavior::ServfailFrom {
+                        first: 151,
+                        technitium: false,
+                    }
                 } else {
                     behavior
                 };
@@ -221,7 +278,13 @@ pub fn generate_fleet_with_mix(
                     Access::Closed => false, // Atlas never shows EDE anyway
                     Access::Open => !rng.gen_bool(EDE_STRIP_P),
                 };
-                pool.push(ResolverSpec { idx, family, access, behavior: effective, ede_visible });
+                pool.push(ResolverSpec {
+                    idx,
+                    family,
+                    access,
+                    behavior: effective,
+                    ede_visible,
+                });
                 idx += 1;
             }
         }
@@ -235,7 +298,7 @@ pub fn generate_fleet_with_mix(
             });
             idx += 1;
         }
-        pool.shuffle(&mut rng);
+        rng.shuffle(&mut pool);
         out.extend(pool);
     }
     out
@@ -263,7 +326,10 @@ mod tests {
                 r.family == Family::V4 && r.access == Access::Open && r.behavior.validates()
             })
             .count() as u64;
-        assert!((100..=110).contains(&v), "validators {v} (paper: 105.2K/1000)");
+        assert!(
+            (100..=110).contains(&v),
+            "validators {v} (paper: 105.2K/1000)"
+        );
     }
 
     #[test]
@@ -283,7 +349,10 @@ mod tests {
         let item8 = validators
             .iter()
             .filter(|r| {
-                matches!(r.behavior, Behavior::ServfailFrom { .. } | Behavior::QueryCopier)
+                matches!(
+                    r.behavior,
+                    Behavior::ServfailFrom { .. } | Behavior::QueryCopier
+                )
             })
             .count() as f64;
         let p6 = item6 / total * 100.0;
@@ -297,7 +366,9 @@ mod tests {
         let f = fleet();
         let at = |limit: u16| {
             f.iter()
-                .filter(|r| matches!(r.behavior, Behavior::InsecureAt { limit: l, .. } if l == limit))
+                .filter(
+                    |r| matches!(r.behavior, Behavior::InsecureAt { limit: l, .. } if l == limit),
+                )
                 .count() as f64
         };
         let at150 = at(150);
@@ -306,7 +377,10 @@ mod tests {
         assert!(at100 > at150, "Google-style dominates open pools");
         assert!(at150 > at50);
         let ratio = at150 / at50;
-        assert!((9.0..16.0).contains(&ratio), "150:50 ratio {ratio} (paper: 12.5)");
+        assert!(
+            (9.0..16.0).contains(&ratio),
+            "150:50 ratio {ratio} (paper: 12.5)"
+        );
     }
 
     #[test]
@@ -314,14 +388,20 @@ mod tests {
         let f = fleet();
         for r in &f {
             match r.behavior {
-                Behavior::QueryCopier | Behavior::ServfailFrom { technitium: true, .. } => {
+                Behavior::QueryCopier
+                | Behavior::ServfailFrom {
+                    technitium: true, ..
+                } => {
                     assert_eq!(r.family, Family::V4);
                     assert_eq!(r.access, Access::Open);
                 }
                 _ => {}
             }
         }
-        let copiers = f.iter().filter(|r| r.behavior == Behavior::QueryCopier).count();
+        let copiers = f
+            .iter()
+            .filter(|r| r.behavior == Behavior::QueryCopier)
+            .count();
         assert!(copiers >= 1, "copier slice survives scaling");
     }
 
@@ -355,10 +435,12 @@ mod tests {
                     && !matches!(r.behavior, Behavior::ValidatorUnlimited)
             })
             .collect();
-        let visible =
-            limiting_open.iter().filter(|r| r.ede_visible).count() as f64;
+        let visible = limiting_open.iter().filter(|r| r.ede_visible).count() as f64;
         let pct = visible / limiting_open.len() as f64 * 100.0;
-        assert!((17.0..28.0).contains(&pct), "visible EDE {pct}% (strip p = 0.78)");
+        assert!(
+            (17.0..28.0).contains(&pct),
+            "visible EDE {pct}% (strip p = 0.78)"
+        );
     }
 
     #[test]
@@ -366,6 +448,9 @@ mod tests {
         let a = generate_fleet(Scale(1.0 / 1_000.0), 9);
         let b = generate_fleet(Scale(1.0 / 1_000.0), 9);
         assert_eq!(a.len(), b.len());
-        assert!(a.iter().zip(b.iter()).all(|(x, y)| x.behavior == y.behavior));
+        assert!(a
+            .iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.behavior == y.behavior));
     }
 }

@@ -22,50 +22,174 @@ pub struct Era {
 /// resolver-side iteration limit in practice.
 const MIX_2020: &[(Behavior, f64)] = &[
     (Behavior::ValidatorUnlimited, 97.0),
-    (Behavior::ServfailFrom { first: 1, technitium: false }, 0.4),
-    (Behavior::InsecureAt { limit: 150, google_style: false }, 2.6),
+    (
+        Behavior::ServfailFrom {
+            first: 1,
+            technitium: false,
+        },
+        0.4,
+    ),
+    (
+        Behavior::InsecureAt {
+            limit: 150,
+            google_style: false,
+        },
+        2.6,
+    ),
 ];
 
 /// 2021–2022: BIND 9.16.16 / Unbound 1.13.2 / Knot 5.3.1 / PowerDNS 4.5
 /// ship the 150 limit; Google moves to 100.
 const MIX_2022: &[(Behavior, f64)] = &[
     (Behavior::ValidatorUnlimited, 45.0),
-    (Behavior::InsecureAt { limit: 150, google_style: false }, 25.0),
-    (Behavior::InsecureAt { limit: 100, google_style: true }, 20.0),
-    (Behavior::ServfailFrom { first: 151, technitium: false }, 9.3),
-    (Behavior::ServfailFrom { first: 1, technitium: false }, 0.4),
-    (Behavior::FlakyGap { insecure: 100, servfail_from: 151 }, 0.3),
+    (
+        Behavior::InsecureAt {
+            limit: 150,
+            google_style: false,
+        },
+        25.0,
+    ),
+    (
+        Behavior::InsecureAt {
+            limit: 100,
+            google_style: true,
+        },
+        20.0,
+    ),
+    (
+        Behavior::ServfailFrom {
+            first: 151,
+            technitium: false,
+        },
+        9.3,
+    ),
+    (
+        Behavior::ServfailFrom {
+            first: 1,
+            technitium: false,
+        },
+        0.4,
+    ),
+    (
+        Behavior::FlakyGap {
+            insecure: 100,
+            servfail_from: 151,
+        },
+        0.3,
+    ),
 ];
 
 /// March–April 2024: the paper's measured mix (see `resolvers`).
 const MIX_2024: &[(Behavior, f64)] = &[
-    (Behavior::InsecureAt { limit: 100, google_style: true }, 36.40),
-    (Behavior::InsecureAt { limit: 150, google_style: false }, 21.54),
-    (Behavior::InsecureAt { limit: 50, google_style: false }, 1.72),
+    (
+        Behavior::InsecureAt {
+            limit: 100,
+            google_style: true,
+        },
+        36.40,
+    ),
+    (
+        Behavior::InsecureAt {
+            limit: 150,
+            google_style: false,
+        },
+        21.54,
+    ),
+    (
+        Behavior::InsecureAt {
+            limit: 50,
+            google_style: false,
+        },
+        1.72,
+    ),
     (Behavior::Item7Violator { limit: 150 }, 0.12),
-    (Behavior::ServfailFrom { first: 151, technitium: false }, 17.95),
-    (Behavior::ServfailFrom { first: 1, technitium: false }, 0.37),
-    (Behavior::ServfailFrom { first: 101, technitium: true }, 0.08),
-    (Behavior::FlakyGap { insecure: 100, servfail_from: 151 }, 4.30),
+    (
+        Behavior::ServfailFrom {
+            first: 151,
+            technitium: false,
+        },
+        17.95,
+    ),
+    (
+        Behavior::ServfailFrom {
+            first: 1,
+            technitium: false,
+        },
+        0.37,
+    ),
+    (
+        Behavior::ServfailFrom {
+            first: 101,
+            technitium: true,
+        },
+        0.08,
+    ),
+    (
+        Behavior::FlakyGap {
+            insecure: 100,
+            servfail_from: 151,
+        },
+        4.30,
+    ),
     (Behavior::ValidatorUnlimited, 17.52),
 ];
 
 /// Projection: the CVE-2023-50868 patches (limit 50) fully deployed.
 const MIX_PATCHED: &[(Behavior, f64)] = &[
-    (Behavior::InsecureAt { limit: 50, google_style: false }, 55.0),
-    (Behavior::InsecureAt { limit: 100, google_style: true }, 30.0),
-    (Behavior::ServfailFrom { first: 51, technitium: false }, 12.0),
-    (Behavior::ServfailFrom { first: 1, technitium: false }, 0.4),
+    (
+        Behavior::InsecureAt {
+            limit: 50,
+            google_style: false,
+        },
+        55.0,
+    ),
+    (
+        Behavior::InsecureAt {
+            limit: 100,
+            google_style: true,
+        },
+        30.0,
+    ),
+    (
+        Behavior::ServfailFrom {
+            first: 51,
+            technitium: false,
+        },
+        12.0,
+    ),
+    (
+        Behavior::ServfailFrom {
+            first: 1,
+            technitium: false,
+        },
+        0.4,
+    ),
     (Behavior::ValidatorUnlimited, 2.6),
 ];
 
 /// The monitored timeline.
 pub fn eras() -> Vec<Era> {
     vec![
-        Era { label: "pre-guidance", year: 2020, mix: MIX_2020 },
-        Era { label: "post-2021 vendor updates", year: 2022, mix: MIX_2022 },
-        Era { label: "paper measurement", year: 2024, mix: MIX_2024 },
-        Era { label: "CVE patches fully deployed", year: 2026, mix: MIX_PATCHED },
+        Era {
+            label: "pre-guidance",
+            year: 2020,
+            mix: MIX_2020,
+        },
+        Era {
+            label: "post-2021 vendor updates",
+            year: 2022,
+            mix: MIX_2022,
+        },
+        Era {
+            label: "paper measurement",
+            year: 2024,
+            mix: MIX_2024,
+        },
+        Era {
+            label: "CVE patches fully deployed",
+            year: 2026,
+            mix: MIX_PATCHED,
+        },
     ]
 }
 

@@ -180,10 +180,20 @@ mod tests {
         assert_eq!(zero, totals::ITER_ZERO);
         let hundred: Vec<_> = tlds
             .iter()
-            .filter(|t| matches!(t.dnssec, DnssecKind::Nsec3 { iterations: 100, .. }))
+            .filter(|t| {
+                matches!(
+                    t.dnssec,
+                    DnssecKind::Nsec3 {
+                        iterations: 100,
+                        ..
+                    }
+                )
+            })
             .collect();
         assert_eq!(hundred.len() as u64, totals::ITER_100);
-        assert!(hundred.iter().all(|t| t.registry_provider == Some(IDENTITY_DIGITAL)));
+        assert!(hundred
+            .iter()
+            .all(|t| t.registry_provider == Some(IDENTITY_DIGITAL)));
         // Max iterations observed at TLDs is 100.
         assert!(tlds.iter().all(|t| match t.dnssec {
             DnssecKind::Nsec3 { iterations, .. } => iterations <= 100,
@@ -196,7 +206,9 @@ mod tests {
         let tlds = generate_tlds();
         let salt = |len: u8| {
             tlds.iter()
-                .filter(|t| matches!(t.dnssec, DnssecKind::Nsec3 { salt_len, .. } if salt_len == len))
+                .filter(
+                    |t| matches!(t.dnssec, DnssecKind::Nsec3 { salt_len, .. } if salt_len == len),
+                )
                 .count() as u64
         };
         assert_eq!(salt(0), totals::SALT_NONE);
@@ -236,7 +248,10 @@ mod tests {
         assert_eq!(zero, totals::ITER_ZERO + totals::ITER_100); // 688 + 447
         assert!(after.iter().all(|t| !matches!(
             t.dnssec,
-            DnssecKind::Nsec3 { iterations: 100, .. }
+            DnssecKind::Nsec3 {
+                iterations: 100,
+                ..
+            }
         )));
         // Compliance after remediation: (688+447)/1302 = 87.2 %.
         let pct = zero as f64 / totals::NSEC3 as f64 * 100.0;

@@ -6,8 +6,7 @@
 //! both. Compliance is uniform across ranks (that uniformity is what
 //! Figure 2 demonstrates).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use sim_rng::{Rng, Xoshiro256pp};
 
 use crate::domains::DnssecKind;
 use crate::scale::Scale;
@@ -41,7 +40,7 @@ pub mod totals {
 
 /// Generate the list at `scale`, uniform compliance across ranks.
 pub fn generate_tranco(scale: Scale, seed: u64) -> Vec<TrancoEntry> {
-    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7a4c0);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0x7a4c0);
     let ranks = scale.apply(totals::RANKS);
     let p_dnssec = totals::DNSSEC as f64 / totals::RANKS as f64;
     let p_nsec3_given_dnssec = totals::NSEC3 as f64 / totals::DNSSEC as f64;
@@ -54,7 +53,7 @@ pub fn generate_tranco(scale: Scale, seed: u64) -> Vec<TrancoEntry> {
         let name = format!("site{rank}.com.");
         let dnssec = if rng.gen_bool(p_dnssec) {
             if rng.gen_bool(p_nsec3_given_dnssec) {
-                let roll: f64 = rng.gen();
+                let roll: f64 = rng.next_f64();
                 let (iterations, salt_len) = if roll < p_both {
                     (0, 0)
                 } else if roll < p_both + p_zero_only {
@@ -64,7 +63,11 @@ pub fn generate_tranco(scale: Scale, seed: u64) -> Vec<TrancoEntry> {
                 } else {
                     (1, 8)
                 };
-                DnssecKind::Nsec3 { iterations, salt_len, opt_out: false }
+                DnssecKind::Nsec3 {
+                    iterations,
+                    salt_len,
+                    opt_out: false,
+                }
             } else {
                 DnssecKind::Nsec
             }
@@ -95,7 +98,10 @@ mod tests {
         let d_pct = dnssec / l.len() as f64 * 100.0;
         assert!((6.0..7.4).contains(&d_pct), "DNSSEC {d_pct} (paper: 6.66)");
         let n_pct = nsec3 / dnssec * 100.0;
-        assert!((38.0..44.0).contains(&n_pct), "NSEC3|DNSSEC {n_pct} (paper: 40.8)");
+        assert!(
+            (38.0..44.0).contains(&n_pct),
+            "NSEC3|DNSSEC {n_pct} (paper: 40.8)"
+        );
     }
 
     #[test]
@@ -104,16 +110,24 @@ mod tests {
         let nsec3: Vec<_> = l
             .iter()
             .filter_map(|e| match e.dnssec {
-                DnssecKind::Nsec3 { iterations, salt_len, .. } => Some((iterations, salt_len)),
+                DnssecKind::Nsec3 {
+                    iterations,
+                    salt_len,
+                    ..
+                } => Some((iterations, salt_len)),
                 _ => None,
             })
             .collect();
         let total = nsec3.len() as f64;
         let zero = nsec3.iter().filter(|(it, _)| *it == 0).count() as f64 / total * 100.0;
         let nosalt = nsec3.iter().filter(|(_, s)| *s == 0).count() as f64 / total * 100.0;
-        let both = nsec3.iter().filter(|(it, s)| *it == 0 && *s == 0).count() as f64 / total * 100.0;
+        let both =
+            nsec3.iter().filter(|(it, s)| *it == 0 && *s == 0).count() as f64 / total * 100.0;
         assert!((20.0..26.0).contains(&zero), "it=0: {zero} (paper: 22.8)");
-        assert!((21.0..27.0).contains(&nosalt), "no salt: {nosalt} (paper: 23.6)");
+        assert!(
+            (21.0..27.0).contains(&nosalt),
+            "no salt: {nosalt} (paper: 23.6)"
+        );
         assert!((10.0..15.5).contains(&both), "both: {both} (paper: 12.7)");
     }
 

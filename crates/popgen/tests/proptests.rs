@@ -3,69 +3,66 @@
 
 use popgen::domains::{DnssecKind, TAIL_OPERATOR};
 use popgen::{allocate, generate_domains, generate_fleet, generate_tranco, Scale};
-use proptest::prelude::*;
+use sim_check::{gens, props};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+props! {
+    #![cases = 24]
 
     /// allocate() is exact, non-negative, and order-respecting for any
     /// weights.
-    #[test]
     fn allocate_invariants(
-        total in 0u64..100_000,
-        weights in proptest::collection::vec(0.0f64..100.0, 1..12),
+        total in gens::u64s(0..100_000),
+        weights in gens::vec_of(gens::f64s(0.0..100.0), 1..12),
     ) {
         let parts = allocate(total, &weights);
-        prop_assert_eq!(parts.len(), weights.len());
+        assert_eq!(parts.len(), weights.len());
         let sum: f64 = weights.iter().sum();
         if sum > 0.0 {
-            prop_assert_eq!(parts.iter().sum::<u64>(), total);
+            assert_eq!(parts.iter().sum::<u64>(), total);
         } else {
-            prop_assert!(parts.iter().all(|&p| p == 0));
+            assert!(parts.iter().all(|&p| p == 0));
         }
         // A strictly larger weight never gets a smaller share by more than
         // the rounding unit.
         for i in 0..weights.len() {
             for j in 0..weights.len() {
                 if weights[i] > weights[j] {
-                    prop_assert!(parts[i] + 1 >= parts[j], "{:?} vs {:?}", weights, parts);
+                    assert!(parts[i] + 1 >= parts[j], "{:?} vs {:?}", weights, parts);
                 }
             }
         }
     }
 
     /// Domain populations hold their calibration for any seed.
-    #[test]
-    fn domain_population_invariants(seed in any::<u64>()) {
+    fn domain_population_invariants(seed in gens::u64s(..)) {
         let specs = generate_domains(Scale(1.0 / 20_000.0), seed);
         let total = specs.len() as f64;
         let dnssec = specs.iter().filter(|d| d.dnssec != DnssecKind::None).count() as f64;
         let nsec3: Vec<_> = specs.iter().filter_map(|d| d.nsec3()).collect();
         // Marginals within generous tolerances at this scale.
-        prop_assert!((dnssec / total * 100.0 - 8.8).abs() < 2.5);
+        assert!((dnssec / total * 100.0 - 8.8).abs() < 2.5);
         let zero = nsec3.iter().filter(|(it, _, _)| *it == 0).count() as f64;
-        prop_assert!((zero / nsec3.len() as f64 * 100.0 - 12.2).abs() < 4.0);
+        assert!((zero / nsec3.len() as f64 * 100.0 - 12.2).abs() < 4.0);
         // Absolute tails always present and attributed.
         let at500: Vec<_> = specs
             .iter()
             .filter(|d| matches!(d.nsec3(), Some((500, _, _))))
             .collect();
-        prop_assert_eq!(at500.len(), 12);
-        prop_assert!(at500.iter().all(|d| d.operator == Some(TAIL_OPERATOR)));
+        assert_eq!(at500.len(), 12);
+        assert!(at500.iter().all(|d| d.operator == Some(TAIL_OPERATOR)));
         // Names are unique.
         let mut names: Vec<&str> = specs.iter().map(|d| d.name.as_str()).collect();
         names.sort_unstable();
         let before = names.len();
         names.dedup();
-        prop_assert_eq!(names.len(), before);
+        assert_eq!(names.len(), before);
     }
 
     /// Fleet pools and behaviour groups survive every seed.
-    #[test]
-    fn fleet_invariants(seed in any::<u64>()) {
+    fn fleet_invariants(seed in gens::u64s(..)) {
         let fleet = generate_fleet(Scale(1.0 / 2_000.0), seed);
         let validators = fleet.iter().filter(|r| r.behavior.validates()).count() as f64;
-        prop_assert!(validators > 40.0);
+        assert!(validators > 40.0);
         // Validator share of open v4 near the paper's 7.5 %.
         let open_v4: Vec<_> = fleet
             .iter()
@@ -75,17 +72,16 @@ proptest! {
             .collect();
         let v = open_v4.iter().filter(|r| r.behavior.validates()).count() as f64;
         let share = v / open_v4.len() as f64 * 100.0;
-        prop_assert!((share - 7.5).abs() < 2.0, "open v4 validator share {share}");
+        assert!((share - 7.5).abs() < 2.0, "open v4 validator share {share}");
         // The copier class always survives.
-        prop_assert!(fleet.iter().any(|r| r.behavior == popgen::Behavior::QueryCopier));
+        assert!(fleet.iter().any(|r| r.behavior == popgen::Behavior::QueryCopier));
     }
 
     /// Tranco entries keep ranks unique and ascending for any seed/scale.
-    #[test]
-    fn tranco_invariants(seed in any::<u64>(), denom in 10u32..200) {
+    fn tranco_invariants(seed in gens::u64s(..), denom in gens::u32s(10..200)) {
         let list = generate_tranco(Scale(1.0 / denom as f64), seed);
-        prop_assert!(!list.is_empty());
-        prop_assert!(list.windows(2).all(|w| w[0].rank < w[1].rank));
-        prop_assert_eq!(list.first().unwrap().rank, 1);
+        assert!(!list.is_empty());
+        assert!(list.windows(2).all(|w| w[0].rank < w[1].rank));
+        assert_eq!(list.first().unwrap().rank, 1);
     }
 }

@@ -69,7 +69,11 @@ impl AggressiveCache {
             _ => {
                 zones.insert(
                     zone.clone(),
-                    ZoneDenials { params: params.clone(), views: views.to_vec(), expires_micros },
+                    ZoneDenials {
+                        params: params.clone(),
+                        views: views.to_vec(),
+                        expires_micros,
+                    },
                 );
             }
         }
@@ -136,7 +140,9 @@ impl AggressiveCache {
         self.zones
             .borrow()
             .iter()
-            .filter(|(z, d)| d.expires_micros > now_micros && qname.is_subdomain_of(z) && *z != qname)
+            .filter(|(z, d)| {
+                d.expires_micros > now_micros && qname.is_subdomain_of(z) && *z != qname
+            })
             .max_by_key(|(z, _)| z.label_count())
             .map(|(z, _)| z.clone())
     }
@@ -155,13 +161,13 @@ impl AggressiveCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::validator::parse_nsec3_set;
     use dns_wire::name::name;
     use dns_wire::record::Record;
     use dns_wire::rrtype::RrType;
     use dns_zone::denial::nxdomain_proof;
     use dns_zone::signer::{sign_zone, Denial, SignerConfig};
     use dns_zone::Zone;
-    use crate::validator::parse_nsec3_set;
 
     const NOW: u32 = 1_710_000_000;
 
@@ -191,7 +197,10 @@ mod tests {
         sign_zone(
             &z,
             &SignerConfig {
-                denial: Denial::Nsec3 { params, opt_out: false },
+                denial: Denial::Nsec3 {
+                    params,
+                    opt_out: false,
+                },
                 ..SignerConfig::standard(&apex, NOW)
             },
         )
@@ -200,8 +209,11 @@ mod tests {
 
     fn harvest(z: &dns_zone::SignedZone, qname: &Name) -> (Nsec3Params, Vec<Nsec3View>) {
         let proof = nxdomain_proof(z, qname).unwrap();
-        let nsec3s: Vec<&Record> =
-            proof.records.iter().filter(|r| r.rrtype() == RrType::NSEC3).collect();
+        let nsec3s: Vec<&Record> = proof
+            .records
+            .iter()
+            .filter(|r| r.rrtype() == RrType::NSEC3)
+            .collect();
         parse_nsec3_set(&nsec3s).unwrap()
     }
 
@@ -241,12 +253,7 @@ mod tests {
         let cache = AggressiveCache::new();
         cache.insert(&apex, &params, &views, 0, 300);
         let meter = CostMeter::new();
-        assert!(!cache.synthesize_nxdomain(
-            &apex,
-            &name("x.agg.example."),
-            301_000_000,
-            &meter
-        ));
+        assert!(!cache.synthesize_nxdomain(&apex, &name("x.agg.example."), 301_000_000, &meter));
     }
 
     #[test]

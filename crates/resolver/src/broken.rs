@@ -29,13 +29,17 @@ pub struct Forwarder {
 impl Node for Forwarder {
     fn handle(&self, net: &Network, _src: IpAddr, payload: &[u8]) -> Option<Vec<u8>> {
         match net.send_query(self.addr, self.upstream, payload) {
-            Outcome::Response { payload: upstream_reply, .. } => {
+            Outcome::Response {
+                payload: upstream_reply,
+                ..
+            } => {
                 if !self.strip_ede {
                     return Some(upstream_reply);
                 }
                 let mut msg = Message::decode(&upstream_reply).ok()?;
                 if let Some(edns) = &mut msg.edns {
-                    edns.options.retain(|o| !matches!(o, dns_wire::edns::EdnsOption::Ede { .. }));
+                    edns.options
+                        .retain(|o| !matches!(o, dns_wire::edns::EdnsOption::Ede { .. }));
                 }
                 Some(msg.encode())
             }
@@ -97,14 +101,24 @@ impl FlakyResolver {
     /// Cycle through `phases` on successive queries.
     pub fn new(inner: Resolver, phases: Vec<Rfc9276Policy>) -> Self {
         assert!(!phases.is_empty());
-        FlakyResolver { inner, phases, counter: Cell::new(0) }
+        FlakyResolver {
+            inner,
+            phases,
+            counter: Cell::new(0),
+        }
     }
 
     /// The classic gap: insecure above `n`, SERVFAIL above `m` (> n), with
     /// the exact split drifting between queries.
     pub fn with_gap(inner: Resolver, n: u16, m: u16) -> Self {
-        let a = Rfc9276Policy { insecure_above: Some(n), ..Rfc9276Policy::servfail_above(m) };
-        let b = Rfc9276Policy { insecure_above: Some(n), ..Rfc9276Policy::unlimited() };
+        let a = Rfc9276Policy {
+            insecure_above: Some(n),
+            ..Rfc9276Policy::servfail_above(m)
+        };
+        let b = Rfc9276Policy {
+            insecure_above: Some(n),
+            ..Rfc9276Policy::unlimited()
+        };
         let c = Rfc9276Policy::servfail_above(m);
         Self::new(inner, vec![a, b, c])
     }

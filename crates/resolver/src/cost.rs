@@ -27,13 +27,15 @@ impl CostMeter {
 
     /// Record the cost of one NSEC3 hash chain.
     pub fn add_nsec3_hash(&self, compressions: u64) {
-        self.sha1_compressions.set(self.sha1_compressions.get() + compressions);
+        self.sha1_compressions
+            .set(self.sha1_compressions.get() + compressions);
         self.nsec3_hashes.set(self.nsec3_hashes.get() + 1);
     }
 
     /// Record one signature verification.
     pub fn add_signature(&self) {
-        self.signatures_verified.set(self.signatures_verified.get() + 1);
+        self.signatures_verified
+            .set(self.signatures_verified.get() + 1);
     }
 
     /// Record one network message sent.

@@ -58,7 +58,11 @@ impl ZoneSpec {
 
     /// An entirely unsigned zone.
     pub fn unsigned(zone: Zone) -> Self {
-        ZoneSpec { unsigned: true, unsigned_delegation: true, ..Self::new(zone, Denial::Nsec) }
+        ZoneSpec {
+            unsigned: true,
+            unsigned_delegation: true,
+            ..Self::new(zone, Denial::Nsec)
+        }
     }
 }
 
@@ -92,7 +96,11 @@ pub struct LabBuilder {
 impl LabBuilder {
     /// Start a lab signed at `now` (epoch seconds).
     pub fn new(now: u32) -> Self {
-        LabBuilder { now, seed: 42, specs: Vec::new() }
+        LabBuilder {
+            now,
+            seed: 42,
+            specs: Vec::new(),
+        }
     }
 
     /// Network RNG seed (default 42).
@@ -171,8 +179,14 @@ impl LabBuilder {
                 .unwrap();
             match (v4, v6) {
                 (IpAddr::V4(a4), IpAddr::V6(a6)) => {
-                    parent.zone.add(Record::new(ns_name.clone(), 3600, RData::A(a4))).unwrap();
-                    parent.zone.add(Record::new(ns_name.clone(), 3600, RData::Aaaa(a6))).unwrap();
+                    parent
+                        .zone
+                        .add(Record::new(ns_name.clone(), 3600, RData::A(a4)))
+                        .unwrap();
+                    parent
+                        .zone
+                        .add(Record::new(ns_name.clone(), 3600, RData::Aaaa(a6)))
+                        .unwrap();
                 }
                 _ => unreachable!("alloc order"),
             }
@@ -228,7 +242,16 @@ impl LabBuilder {
             },
         };
         let root_hints = vec![addrs[&Name::root()].0, addrs[&Name::root()].1];
-        Lab { net, root_hints, anchor, servers: addrs, auths, zones, alloc, now }
+        Lab {
+            net,
+            root_hints,
+            anchor,
+            servers: addrs,
+            auths,
+            zones,
+            alloc,
+            now,
+        }
     }
 }
 
@@ -253,10 +276,13 @@ fn ensure_infrastructure(zone: &mut Zone, apex: &Name, v4: IpAddr, v6: IpAddr) {
         .unwrap();
     }
     if zone.rrset(apex, RrType::NS).is_none() {
-        zone.add(Record::new(apex.clone(), 3600, RData::Ns(ns_name.clone()))).unwrap();
+        zone.add(Record::new(apex.clone(), 3600, RData::Ns(ns_name.clone())))
+            .unwrap();
         if let (IpAddr::V4(a4), IpAddr::V6(a6)) = (v4, v6) {
-            zone.add(Record::new(ns_name.clone(), 3600, RData::A(a4))).unwrap();
-            zone.add(Record::new(ns_name, 3600, RData::Aaaa(a6))).unwrap();
+            zone.add(Record::new(ns_name.clone(), 3600, RData::A(a4)))
+                .unwrap();
+            zone.add(Record::new(ns_name, 3600, RData::Aaaa(a6)))
+                .unwrap();
         }
     }
 }
@@ -283,7 +309,17 @@ pub fn ds_record(child_apex: &Name, ksk: &SigningKey) -> Record {
 pub fn simple_zone_contents(apex: &Name) -> Zone {
     let mut z = Zone::new(apex.clone());
     let www = Name::parse("www").unwrap().concat(apex).unwrap();
-    z.add(Record::new(apex.clone(), 300, RData::A("192.0.2.80".parse().unwrap()))).unwrap();
-    z.add(Record::new(www, 300, RData::A("192.0.2.81".parse().unwrap()))).unwrap();
+    z.add(Record::new(
+        apex.clone(),
+        300,
+        RData::A("192.0.2.80".parse().unwrap()),
+    ))
+    .unwrap();
+    z.add(Record::new(
+        www,
+        300,
+        RData::A("192.0.2.81".parse().unwrap()),
+    ))
+    .unwrap();
     z
 }

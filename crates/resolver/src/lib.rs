@@ -49,12 +49,14 @@ mod e2e {
     const NOW: u32 = 1_710_000_000;
 
     fn lab_with_params(params_list: &[(&str, Nsec3Params)]) -> Lab {
-        let mut b = LabBuilder::new(NOW)
-            .simple_zone(&name("com."), Denial::nsec3_rfc9276());
+        let mut b = LabBuilder::new(NOW).simple_zone(&name("com."), Denial::nsec3_rfc9276());
         for (apex, params) in params_list {
             b = b.simple_zone(
                 &name(apex),
-                Denial::Nsec3 { params: params.clone(), opt_out: false },
+                Denial::Nsec3 {
+                    params: params.clone(),
+                    opt_out: false,
+                },
             );
         }
         b.build()
@@ -62,11 +64,7 @@ mod e2e {
 
     fn resolver_for(lab: &mut Lab, policy: Rfc9276Policy) -> Resolver {
         let addr = lab.alloc.v4();
-        let mut cfg = ResolverConfig::validating(
-            addr,
-            lab.root_hints.clone(),
-            lab.anchor.clone(),
-        );
+        let mut cfg = ResolverConfig::validating(addr, lab.root_hints.clone(), lab.anchor.clone());
         cfg.now = lab.now;
         cfg.policy = policy;
         Resolver::new(cfg)
@@ -78,7 +76,10 @@ mod e2e {
         let r = resolver_for(&mut lab, Rfc9276Policy::unlimited());
         let out = r.resolve(&lab.net, &name("www.example.com."), RrType::A);
         assert_eq!(out.rcode, Rcode::NoError);
-        assert!(out.authenticated, "chain root→com→example.com must validate");
+        assert!(
+            out.authenticated,
+            "chain root→com→example.com must validate"
+        );
         assert_eq!(out.answers.len(), 1);
     }
 
@@ -110,7 +111,10 @@ mod e2e {
         let out = r.resolve(&lab.net, &name("probe.it-200.example.com."), RrType::A);
         assert_eq!(out.rcode, Rcode::NxDomain);
         assert!(!out.authenticated, "above the limit: NXDOMAIN without AD");
-        assert_eq!(out.ede.as_ref().map(|e| e.0), Some(EdeCode::UNSUPPORTED_NSEC3_ITERATIONS));
+        assert_eq!(
+            out.ede.as_ref().map(|e| e.0),
+            Some(EdeCode::UNSUPPORTED_NSEC3_ITERATIONS)
+        );
     }
 
     #[test]
@@ -128,7 +132,10 @@ mod e2e {
         let r = resolver_for(&mut lab, Rfc9276Policy::servfail_above(150));
         let out = r.resolve(&lab.net, &name("probe.it-200.example.com."), RrType::A);
         assert_eq!(out.rcode, Rcode::ServFail);
-        assert_eq!(out.ede.as_ref().map(|e| e.0), Some(EdeCode::UNSUPPORTED_NSEC3_ITERATIONS));
+        assert_eq!(
+            out.ede.as_ref().map(|e| e.0),
+            Some(EdeCode::UNSUPPORTED_NSEC3_ITERATIONS)
+        );
     }
 
     #[test]
@@ -139,7 +146,9 @@ mod e2e {
             Denial::nsec3_rfc9276(),
         );
         spec.expired = true;
-        b = b.simple_zone(&name("example.com."), Denial::nsec3_rfc9276()).zone(spec);
+        b = b
+            .simple_zone(&name("example.com."), Denial::nsec3_rfc9276())
+            .zone(spec);
         let mut lab = b.build();
         let r = resolver_for(&mut lab, Rfc9276Policy::unlimited());
         let out = r.resolve(&lab.net, &name("www.expired.example.com."), RrType::A);
@@ -154,12 +163,17 @@ mod e2e {
         let mut b = LabBuilder::new(NOW).simple_zone(&name("com."), Denial::nsec3_rfc9276());
         let mut spec = ZoneSpec::new(
             lab::simple_zone_contents(&name("it-2501-expired.example.com.")),
-            Denial::Nsec3 { params: Nsec3Params::new(2501, vec![]), opt_out: false },
+            Denial::Nsec3 {
+                params: Nsec3Params::new(2501, vec![]),
+                opt_out: false,
+            },
         );
         spec.post_sign = Some(Box::new(|z| {
             faults::expire_rrsigs(z, Some(RrType::NSEC3), NOW);
         }));
-        b = b.simple_zone(&name("example.com."), Denial::nsec3_rfc9276()).zone(spec);
+        b = b
+            .simple_zone(&name("example.com."), Denial::nsec3_rfc9276())
+            .zone(spec);
         let mut lab = b.build();
 
         let compliant = resolver_for(&mut lab, Rfc9276Policy::insecure_above(150));
@@ -168,7 +182,11 @@ mod e2e {
             &name("probe.it-2501-expired.example.com."),
             RrType::A,
         );
-        assert_eq!(out.rcode, Rcode::ServFail, "item 7: must verify NSEC3 RRSIG first");
+        assert_eq!(
+            out.rcode,
+            Rcode::ServFail,
+            "item 7: must verify NSEC3 RRSIG first"
+        );
 
         // The 0.2 % violator skips the check and returns insecure NXDOMAIN.
         let mut violator_policy = Rfc9276Policy::insecure_above(150);
@@ -191,7 +209,9 @@ mod e2e {
             Denial::nsec3_rfc9276(),
         );
         spec.unsigned_delegation = true;
-        b = b.simple_zone(&name("example.com."), Denial::nsec3_rfc9276()).zone(spec);
+        b = b
+            .simple_zone(&name("example.com."), Denial::nsec3_rfc9276())
+            .zone(spec);
         let mut lab = b.build();
         let r = resolver_for(&mut lab, Rfc9276Policy::unlimited());
         let out = r.resolve(&lab.net, &name("www.unsigned.example.com."), RrType::A);
@@ -217,8 +237,7 @@ mod e2e {
         let mut lab = lab_with_params(&[("example.com.", Nsec3Params::rfc9276())]);
         let raddr = lab.alloc.v4();
         let client = lab.alloc.v4();
-        let mut cfg =
-            ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+        let mut cfg = ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
         cfg.now = lab.now;
         lab.net.register(raddr, Rc::new(Resolver::new(cfg)));
         let q = dns_wire::Message::query(5, name("nope.example.com."), RrType::A).encode();
@@ -234,10 +253,10 @@ mod e2e {
         let mut lab = lab_with_params(&[("it-1.example.com.", Nsec3Params::new(1, vec![]))]);
         let raddr = lab.alloc.v4();
         let client = lab.alloc.v4();
-        let mut cfg =
-            ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+        let mut cfg = ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
         cfg.now = lab.now;
-        lab.net.register(raddr, Rc::new(QueryCopier::new(Resolver::new(cfg))));
+        lab.net
+            .register(raddr, Rc::new(QueryCopier::new(Resolver::new(cfg))));
         let q = dns_wire::Message::query(5, name("probe.it-1.example.com."), RrType::A).encode();
         let resp = lab.net.send_query(client, raddr, &q);
         let obs = ObservedResponse::from_wire(resp.payload().unwrap()).unwrap();
@@ -251,17 +270,18 @@ mod e2e {
         let upstream_addr = lab.alloc.v4();
         let fwd_addr = lab.alloc.v4();
         let client = lab.alloc.v4();
-        let mut cfg = ResolverConfig::validating(
-            upstream_addr,
-            lab.root_hints.clone(),
-            lab.anchor.clone(),
-        );
+        let mut cfg =
+            ResolverConfig::validating(upstream_addr, lab.root_hints.clone(), lab.anchor.clone());
         cfg.now = lab.now;
         cfg.policy = Rfc9276Policy::servfail_above(150);
         lab.net.register(upstream_addr, Rc::new(Resolver::new(cfg)));
         lab.net.register(
             fwd_addr,
-            Rc::new(Forwarder { addr: fwd_addr, upstream: upstream_addr, strip_ede: true }),
+            Rc::new(Forwarder {
+                addr: fwd_addr,
+                upstream: upstream_addr,
+                strip_ede: true,
+            }),
         );
         let q = dns_wire::Message::query(5, name("x.it-200.example.com."), RrType::A).encode();
         let resp = lab.net.send_query(client, fwd_addr, &q);
@@ -284,7 +304,9 @@ mod e2e {
         spec.post_sign = Some(Box::new(|z| {
             faults::corrupt_rrsigs_covering(z, RrType::A);
         }));
-        b = b.simple_zone(&name("example.com."), Denial::nsec3_rfc9276()).zone(spec);
+        b = b
+            .simple_zone(&name("example.com."), Denial::nsec3_rfc9276())
+            .zone(spec);
         let mut lab = b.build();
         let r = resolver_for(&mut lab, Rfc9276Policy::unlimited());
         let out = r.resolve(&lab.net, &name("www.tampered.example.com."), RrType::A);
@@ -300,7 +322,10 @@ mod e2e {
         let fast = resolver_for(&mut lab, Rfc9276Policy::servfail_above(150));
         let out = fast.resolve(&lab.net, &name("p1.it-500.example.com."), RrType::A);
         assert_eq!(out.rcode, Rcode::ServFail);
-        assert_eq!(out.cost.nsec3_hashes, 0, "limit check shortcuts all hashing");
+        assert_eq!(
+            out.cost.nsec3_hashes, 0,
+            "limit check shortcuts all hashing"
+        );
     }
 
     #[test]
@@ -349,7 +374,10 @@ mod e2e {
         // After the TTL (300 s for this zone) the answer expires.
         lab.net.advance(400 * 1_000_000);
         let fourth = r.resolve(&lab.net, &q, RrType::A);
-        assert!(fourth.cost.messages_sent > 0, "cache entry expired with TTL");
+        assert!(
+            fourth.cost.messages_sent > 0,
+            "cache entry expired with TTL"
+        );
     }
 
     #[test]
@@ -372,7 +400,10 @@ mod e2e {
         // RDATA alone nears the UDP budget; with owner names, RRSIGs and
         // the SOA the encoded message exceeds 1232 (hence the TC retry
         // asserted below).
-        assert!(proof_bytes > 1000, "proof is genuinely oversized: {proof_bytes}");
+        assert!(
+            proof_bytes > 1000,
+            "proof is genuinely oversized: {proof_bytes}"
+        );
         // The TC exchange cost an extra message on the final hop.
         let slim = lab_with_params(&[("slim.example.com.", Nsec3Params::new(3, vec![]))]);
         let mut lab2 = slim;
@@ -390,8 +421,7 @@ mod e2e {
     fn qname_minimization_hides_the_full_name_from_upper_zones() {
         let mut lab = lab_with_params(&[("example.com.", Nsec3Params::rfc9276())]);
         let addr = lab.alloc.v4();
-        let mut cfg =
-            ResolverConfig::validating(addr, lab.root_hints.clone(), lab.anchor.clone());
+        let mut cfg = ResolverConfig::validating(addr, lab.root_hints.clone(), lab.anchor.clone());
         cfg.now = lab.now;
         cfg.qname_minimization = true;
         cfg.cache_size = 0; // every query visible in the logs
@@ -423,8 +453,7 @@ mod e2e {
         // and the final answer is a validated NXDOMAIN.
         let mut lab = lab_with_params(&[("example.com.", Nsec3Params::rfc9276())]);
         let addr = lab.alloc.v4();
-        let mut cfg =
-            ResolverConfig::validating(addr, lab.root_hints.clone(), lab.anchor.clone());
+        let mut cfg = ResolverConfig::validating(addr, lab.root_hints.clone(), lab.anchor.clone());
         cfg.now = lab.now;
         cfg.qname_minimization = true;
         let r = Resolver::new(cfg);
@@ -475,11 +504,8 @@ mod e2e {
         let out = strict.resolve(&lab.net, &name("www.example.com."), RrType::A);
         assert_eq!(out.rcode, Rcode::ServFail, "mangled echo treated as spoof");
         // With 0x20 disabled the same path works (mixed case is legal DNS).
-        let mut cfg = ResolverConfig::validating(
-            lab.alloc.v4(),
-            lab.root_hints.clone(),
-            lab.anchor.clone(),
-        );
+        let mut cfg =
+            ResolverConfig::validating(lab.alloc.v4(), lab.root_hints.clone(), lab.anchor.clone());
         cfg.now = lab.now;
         cfg.case_randomization = false;
         let lax = Resolver::new(cfg);
@@ -492,8 +518,7 @@ mod e2e {
     fn aggressive_nsec3_synthesizes_second_nxdomain() {
         let mut lab = lab_with_params(&[("example.com.", Nsec3Params::rfc9276())]);
         let addr = lab.alloc.v4();
-        let mut cfg =
-            ResolverConfig::validating(addr, lab.root_hints.clone(), lab.anchor.clone());
+        let mut cfg = ResolverConfig::validating(addr, lab.root_hints.clone(), lab.anchor.clone());
         cfg.now = lab.now;
         cfg.aggressive_nsec3 = true;
         let r = Resolver::new(cfg);
@@ -519,8 +544,7 @@ mod e2e {
     fn cache_disabled_with_zero_capacity() {
         let mut lab = lab_with_params(&[("example.com.", Nsec3Params::rfc9276())]);
         let addr = lab.alloc.v4();
-        let mut cfg =
-            ResolverConfig::validating(addr, lab.root_hints.clone(), lab.anchor.clone());
+        let mut cfg = ResolverConfig::validating(addr, lab.root_hints.clone(), lab.anchor.clone());
         cfg.now = lab.now;
         cfg.cache_size = 0;
         let r = Resolver::new(cfg);
@@ -552,20 +576,16 @@ mod e2e {
         let mut lab = lab_with_params(&[("it-120.example.com.", Nsec3Params::new(120, vec![]))]);
         let raddr = lab.alloc.v4();
         let client = lab.alloc.v4();
-        let mut cfg =
-            ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+        let mut cfg = ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
         cfg.now = lab.now;
         let flaky = FlakyResolver::with_gap(Resolver::new(cfg), 100, 150);
         lab.net.register(raddr, Rc::new(flaky));
         let mut rcodes = std::collections::HashSet::new();
         let mut ads = std::collections::HashSet::new();
         for i in 0..3 {
-            let q = dns_wire::Message::query(
-                i,
-                name(&format!("p{i}.it-120.example.com.")),
-                RrType::A,
-            )
-            .encode();
+            let q =
+                dns_wire::Message::query(i, name(&format!("p{i}.it-120.example.com.")), RrType::A)
+                    .encode();
             let resp = lab.net.send_query(client, raddr, &q);
             let obs = ObservedResponse::from_wire(resp.payload().unwrap()).unwrap();
             rcodes.insert(obs.rcode.to_u16());
@@ -596,6 +616,6 @@ mod e2e {
         assert_eq!(out.answers[0].name, name("anything.wild.example.com."));
     }
 
-    use dns_wire::record::Record;
     use dns_wire::rdata::RData;
+    use dns_wire::record::Record;
 }

@@ -139,7 +139,11 @@ mod tests {
     #[test]
     fn servfail_vs_insecure_split() {
         // SERVFAIL camp.
-        for v in [VendorProfile::Cloudflare, VendorProfile::OpenDns, VendorProfile::Technitium] {
+        for v in [
+            VendorProfile::Cloudflare,
+            VendorProfile::OpenDns,
+            VendorProfile::Technitium,
+        ] {
             let p = v.policy();
             assert!(p.servfail_above.is_some(), "{}", v.name());
             assert_eq!(p.action_for(151, 0), LimitAction::ServFail, "{}", v.name());
@@ -152,7 +156,12 @@ mod tests {
         ] {
             let p = v.policy();
             assert!(p.servfail_above.is_none(), "{}", v.name());
-            assert_eq!(p.action_for(151, 0), LimitAction::TreatInsecure, "{}", v.name());
+            assert_eq!(
+                p.action_for(151, 0),
+                LimitAction::TreatInsecure,
+                "{}",
+                v.name()
+            );
         }
     }
 

@@ -216,13 +216,7 @@ impl Resolver {
     }
 
     /// Send one upstream query, with retries, and decode the reply.
-    fn ask(
-        &self,
-        net: &Network,
-        server: IpAddr,
-        qname: &Name,
-        qtype: RrType,
-    ) -> Option<Message> {
+    fn ask(&self, net: &Network, server: IpAddr, qname: &Name, qtype: RrType) -> Option<Message> {
         let id = self.fresh_id();
         let sent_qname = if self.config.case_randomization {
             randomize_case(qname, id)
@@ -232,15 +226,12 @@ impl Resolver {
         let query = Message::query(id, sent_qname.clone(), qtype);
         let wire = query.encode();
         self.meter.add_message();
-        let resp = match net.send_query_with_retries(
-            self.config.addr,
-            server,
-            &wire,
-            self.config.retries,
-        ) {
-            Outcome::Response { payload, .. } => Message::decode(&payload).ok()?,
-            _ => return None,
-        };
+        let resp =
+            match net.send_query_with_retries(self.config.addr, server, &wire, self.config.retries)
+            {
+                Outcome::Response { payload, .. } => Message::decode(&payload).ok()?,
+                _ => return None,
+            };
         // Truncated over UDP: retry the exchange over "TCP" (RFC 7766
         // length framing, no size limit).
         let resp = if resp.flags.tc {
@@ -300,7 +291,9 @@ impl Resolver {
         if self.config.aggressive_nsec3 {
             let before = self.meter.snapshot();
             if let Some(zone) = self.aggressive.zone_for(qname, net.now_micros()) {
-                if self.aggressive.synthesize_nxdomain(&zone, qname, net.now_micros(), &self.meter)
+                if self
+                    .aggressive
+                    .synthesize_nxdomain(&zone, qname, net.now_micros(), &self.meter)
                 {
                     return ResolveOutcome {
                         rcode: Rcode::NxDomain,
@@ -337,13 +330,15 @@ impl Resolver {
         for _hop in 0..8 {
             let mut outcome = self.resolve_once(net, &target, qtype, &before);
             // Follow in-answer CNAMEs (each hop re-resolves the target).
-            let cname = outcome
-                .answers
-                .iter()
-                .find_map(|r| match (&r.rdata, r.rrtype() == RrType::CNAME && qtype != RrType::CNAME) {
+            let cname = outcome.answers.iter().find_map(|r| {
+                match (
+                    &r.rdata,
+                    r.rrtype() == RrType::CNAME && qtype != RrType::CNAME,
+                ) {
                     (RData::Cname(next), true) => Some(next.clone()),
                     _ => None,
-                });
+                }
+            });
             let has_final = outcome.answers.iter().any(|r| r.rrtype() == qtype);
             answers.append(&mut outcome.answers);
             let authorities = std::mem::take(&mut outcome.authorities);
@@ -412,7 +407,9 @@ impl Resolver {
                 .iter()
                 .find(|r| r.rrtype() == RrType::NS && r.name != zone)
                 .map(|r| r.name.clone())
-                .filter(|_| resp.answers.is_empty() && resp.rcode == Rcode::NoError && !resp.flags.aa);
+                .filter(|_| {
+                    resp.answers.is_empty() && resp.rcode == Rcode::NoError && !resp.flags.aa
+                });
             if let Some(cut) = referral_cut {
                 // Collect glue.
                 let mut next_servers: Vec<IpAddr> = Vec::new();
@@ -447,7 +444,10 @@ impl Resolver {
                             )
                             .is_err()
                             {
-                                return fail(self.ede_for(ValidationError::BadSignature), &self.meter);
+                                return fail(
+                                    self.ede_for(ValidationError::BadSignature),
+                                    &self.meter,
+                                );
                             }
                             match self.cached_child_keys(net, &next_servers, &cut, &ds_records) {
                                 Ok(keys) => Chain::Secure(keys),
@@ -485,8 +485,8 @@ impl Resolver {
                     // full qname. Validate the denial of the *partial*
                     // name — that is what the proof in hand covers.
                     Rcode::NxDomain => {
-                        let mut out =
-                            self.finish(net, &resp, &send_name, send_type, &zone, &chain, cost_base);
+                        let mut out = self
+                            .finish(net, &resp, &send_name, send_type, &zone, &chain, cost_base);
                         out.answers.clear();
                         return out;
                     }
@@ -583,7 +583,11 @@ impl Resolver {
                         authenticated: false,
                         answers,
                         authorities: resp.authorities.clone(),
-                        ede: if self.config.policy.emit_ede { self.limit_ede() } else { None },
+                        ede: if self.config.policy.emit_ede {
+                            self.limit_ede()
+                        } else {
+                            None
+                        },
                         cost: cost(&self.meter),
                     };
                 }
@@ -598,23 +602,15 @@ impl Resolver {
                 let sigs = rrsigs_at(&resp.answers, owner);
                 match validate_rrset(owner, set, &sigs, keys, self.config.now, &self.meter) {
                     Ok(()) => {}
-                    Err(e) => {
-                        return ResolveOutcome::servfail(self.ede_for(e), cost(&self.meter))
-                    }
+                    Err(e) => return ResolveOutcome::servfail(self.ede_for(e), cost(&self.meter)),
                 }
                 // Wildcard expansion: labels < owner label count means the
                 // denial part must also be present and valid.
                 if let Some(labels) = wildcard_labels(&sigs, owner, set[0].rrtype()) {
                     if let Some((params, views)) = &parsed_nsec3 {
                         if self.validate_proof_sigs(resp, keys).is_err()
-                            || verify_wildcard_expansion(
-                                owner,
-                                labels,
-                                params,
-                                views,
-                                &self.meter,
-                            )
-                            .is_err()
+                            || verify_wildcard_expansion(owner, labels, params, views, &self.meter)
+                                .is_err()
                         {
                             return ResolveOutcome::servfail(
                                 self.ede_for(ValidationError::BadDenialProof),
@@ -636,12 +632,13 @@ impl Resolver {
 
         // Negative answers: validate the denial.
         let denial_ok = if let Some((params, views)) = &parsed_nsec3 {
-            self.validate_proof_sigs(resp, keys).and_then(|()| match resp.rcode {
-                Rcode::NxDomain => {
-                    verify_nxdomain(qname, zone, params, views, &self.meter).map(|_| ())
-                }
-                _ => verify_nodata(qname, qtype, params, views, &self.meter),
-            })
+            self.validate_proof_sigs(resp, keys)
+                .and_then(|()| match resp.rcode {
+                    Rcode::NxDomain => {
+                        verify_nxdomain(qname, zone, params, views, &self.meter).map(|_| ())
+                    }
+                    _ => verify_nodata(qname, qtype, params, views, &self.meter),
+                })
         } else {
             // NSEC-based or proofless denial.
             let nsec_refs: Vec<&Record> = resp
@@ -652,10 +649,11 @@ impl Resolver {
             if nsec_refs.is_empty() {
                 Err(ValidationError::BadDenialProof)
             } else {
-                self.validate_nsec_sigs(resp, keys).and_then(|()| match resp.rcode {
-                    Rcode::NxDomain => validator::nsec::verify_nxdomain(qname, &nsec_refs),
-                    _ => Ok(()), // NODATA via NSEC: bitmap check
-                })
+                self.validate_nsec_sigs(resp, keys)
+                    .and_then(|()| match resp.rcode {
+                        Rcode::NxDomain => validator::nsec::verify_nxdomain(qname, &nsec_refs),
+                        _ => Ok(()), // NODATA via NSEC: bitmap check
+                    })
             }
         };
         match denial_ok {
@@ -663,7 +661,8 @@ impl Resolver {
                 // RFC 8198: a verified denial chain is synthesis material.
                 if self.config.aggressive_nsec3 {
                     if let Some((params, views)) = &parsed_nsec3 {
-                        self.aggressive.insert(zone, params, views, net.now_micros(), 300);
+                        self.aggressive
+                            .insert(zone, params, views, net.now_micros(), 300);
                     }
                 }
                 ResolveOutcome {
@@ -687,7 +686,11 @@ impl Resolver {
         _zone: &Name,
         keys: &ZoneKeys,
     ) -> LimitFlow {
-        match self.config.policy.action_for(params.iterations, params.salt.len()) {
+        match self
+            .config
+            .policy
+            .action_for(params.iterations, params.salt.len())
+        {
             LimitAction::Process => LimitFlow::Continue,
             LimitAction::ServFail => LimitFlow::ServFail,
             LimitAction::TreatInsecure => {
@@ -774,7 +777,11 @@ impl Resolver {
             return Ok(LimitFlow::Continue);
         }
         let (params, views) = parse_nsec3_set(&nsec3_refs)?;
-        match self.config.policy.action_for(params.iterations, params.salt.len()) {
+        match self
+            .config
+            .policy
+            .action_for(params.iterations, params.salt.len())
+        {
             LimitAction::ServFail => return Ok(LimitFlow::ServFail),
             LimitAction::TreatInsecure => {
                 if self.config.policy.verify_nsec3_rrsig {
@@ -800,7 +807,8 @@ impl Resolver {
         }
         let fetched = self.fetch_keys_via_anchor(net, servers)?;
         if let Some(keys) = &fetched {
-            self.key_cache.put(Name::root(), keys.clone(), net.now_micros(), 3600);
+            self.key_cache
+                .put(Name::root(), keys.clone(), net.now_micros(), 3600);
         }
         Ok(fetched)
     }
@@ -817,7 +825,8 @@ impl Resolver {
             return Ok(keys);
         }
         let keys = self.fetch_child_keys(net, servers, child, ds_records)?;
-        self.key_cache.put(child.clone(), keys.clone(), net.now_micros(), 3600);
+        self.key_cache
+            .put(child.clone(), keys.clone(), net.now_micros(), 3600);
         Ok(keys)
     }
 
@@ -855,7 +864,14 @@ impl Resolver {
         }
         let keys = ZoneKeys::from_dnskeys(anchor.zone.clone(), &dnskeys);
         let sigs = rrsigs_at(&resp.answers, &anchor.zone);
-        validate_rrset(&anchor.zone, &dnskeys, &sigs, &keys, self.config.now, &self.meter)?;
+        validate_rrset(
+            &anchor.zone,
+            &dnskeys,
+            &sigs,
+            &keys,
+            self.config.now,
+            &self.meter,
+        )?;
         Ok(Some(keys))
     }
 
@@ -884,7 +900,12 @@ impl Resolver {
         let sep_ok = dnskeys.iter().any(|dnskey| {
             let tag = dns_crypto::keytag::key_tag(&dnskey.rdata.canonical_bytes());
             ds_records.iter().any(|ds| match &ds.rdata {
-                RData::Ds { key_tag, digest_type: 2, digest, .. } if *key_tag == tag => {
+                RData::Ds {
+                    key_tag,
+                    digest_type: 2,
+                    digest,
+                    ..
+                } if *key_tag == tag => {
                     let mut buf = child.to_canonical_wire();
                     buf.extend_from_slice(&dnskey.rdata.canonical_bytes());
                     sha256(&buf).to_vec() == *digest
@@ -919,7 +940,10 @@ impl Resolver {
 
     fn limit_ede(&self) -> Option<(EdeCode, String)> {
         if self.config.policy.emit_ede {
-            Some((self.config.policy.ede_code, self.config.policy.ede_extra_text.clone()))
+            Some((
+                self.config.policy.ede_code,
+                self.config.policy.ede_extra_text.clone(),
+            ))
         } else {
             None
         }
@@ -946,11 +970,11 @@ fn rrsigs_at(section: &[Record], owner: &Name) -> Vec<Record> {
 /// its labels field.
 fn wildcard_labels(sigs: &[Record], owner: &Name, rrtype: RrType) -> Option<u8> {
     sigs.iter().find_map(|s| match &s.rdata {
-        RData::Rrsig { type_covered, labels, .. }
-            if *type_covered == rrtype && (*labels as usize) < owner.label_count() =>
-        {
-            Some(*labels)
-        }
+        RData::Rrsig {
+            type_covered,
+            labels,
+            ..
+        } if *type_covered == rrtype && (*labels as usize) < owner.label_count() => Some(*labels),
         _ => None,
     })
 }
@@ -1033,6 +1057,12 @@ fn answer_ttl(outcome: &ResolveOutcome) -> u32 {
     match outcome.rcode {
         Rcode::ServFail => 30,
         _ if outcome.answers.is_empty() => 300,
-        _ => outcome.answers.iter().map(|r| r.ttl).min().unwrap_or(300).min(86_400),
+        _ => outcome
+            .answers
+            .iter()
+            .map(|r| r.ttl)
+            .min()
+            .unwrap_or(300)
+            .min(86_400),
     }
 }

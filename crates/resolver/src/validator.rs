@@ -31,7 +31,11 @@ impl ZoneKeys {
         let keys = records
             .iter()
             .filter_map(|r| match &r.rdata {
-                RData::Dnskey { algorithm, public_key, .. } => Some((
+                RData::Dnskey {
+                    algorithm,
+                    public_key,
+                    ..
+                } => Some((
                     dns_crypto::keytag::key_tag(&r.rdata.canonical_bytes()),
                     *algorithm,
                     public_key.clone(),
@@ -79,9 +83,20 @@ pub fn validate_rrset(
     let mut saw_expired = false;
     for sig in rrsigs {
         let (covered, key_tag, signer, inception, expiration) = match &sig.rdata {
-            RData::Rrsig { type_covered, key_tag, signer_name, inception, expiration, .. } => {
-                (*type_covered, *key_tag, signer_name, *inception, *expiration)
-            }
+            RData::Rrsig {
+                type_covered,
+                key_tag,
+                signer_name,
+                inception,
+                expiration,
+                ..
+            } => (
+                *type_covered,
+                *key_tag,
+                signer_name,
+                *inception,
+                *expiration,
+            ),
             _ => continue,
         };
         if covered != rrtype || signer != &keys.apex {
@@ -137,20 +152,27 @@ pub fn parse_nsec3_set(
     let mut views = Vec::new();
     for rec in records {
         let (hash_alg, flags, iterations, salt, next_hashed, types) = match &rec.rdata {
-            RData::Nsec3 { hash_alg, flags, iterations, salt, next_hashed, types } => {
-                (*hash_alg, *flags, *iterations, salt, next_hashed, types)
-            }
+            RData::Nsec3 {
+                hash_alg,
+                flags,
+                iterations,
+                salt,
+                next_hashed,
+                types,
+            } => (*hash_alg, *flags, *iterations, salt, next_hashed, types),
             _ => continue,
         };
         if hash_alg != NSEC3_HASH_SHA1 {
             return Err(ValidationError::UnknownNsec3Algorithm);
         }
-        let p = Nsec3Params { hash_alg, iterations, salt: salt.clone() };
+        let p = Nsec3Params {
+            hash_alg,
+            iterations,
+            salt: salt.clone(),
+        };
         match &params {
             None => params = Some(p),
-            Some(existing) if *existing != p => {
-                return Err(ValidationError::InconsistentNsec3)
-            }
+            Some(existing) if *existing != p => return Err(ValidationError::InconsistentNsec3),
             _ => {}
         }
         let label = rec
@@ -325,10 +347,11 @@ pub fn verify_wildcard_expansion(
     }
     let mut next_closer = qname.clone();
     while next_closer.label_count() as u8 > rrsig_labels + 1 {
-        next_closer = next_closer.parent().ok_or(ValidationError::BadDenialProof)?;
+        next_closer = next_closer
+            .parent()
+            .ok_or(ValidationError::BadDenialProof)?;
     }
-    find_covering(views, &next_closer, params, meter)
-        .ok_or(ValidationError::BadDenialProof)?;
+    find_covering(views, &next_closer, params, meter).ok_or(ValidationError::BadDenialProof)?;
     Ok(())
 }
 
@@ -350,10 +373,7 @@ pub mod nsec {
 
     /// Verify an NSEC NXDOMAIN proof: some NSEC covers `qname` and some
     /// NSEC covers the source-of-synthesis wildcard.
-    pub fn verify_nxdomain(
-        qname: &Name,
-        nsec_records: &[&Record],
-    ) -> Result<(), ValidationError> {
+    pub fn verify_nxdomain(qname: &Name, nsec_records: &[&Record]) -> Result<(), ValidationError> {
         let mut covered_qname = None;
         for rec in nsec_records {
             if let RData::Nsec { next, .. } = &rec.rdata {
@@ -368,7 +388,9 @@ pub mod nsec {
         // covering NSEC's owner and qname; the wildcard at it must be
         // covered too.
         let ce = longest_common_ancestor(&covering.name, qname);
-        let wildcard = ce.prepend(b"*").map_err(|_| ValidationError::BadDenialProof)?;
+        let wildcard = ce
+            .prepend(b"*")
+            .map_err(|_| ValidationError::BadDenialProof)?;
         let wildcard_ok = nsec_records.iter().any(|rec| {
             if let RData::Nsec { next, .. } = &rec.rdata {
                 nsec_covers(&rec.name, next, &wildcard) || rec.name == wildcard
@@ -427,10 +449,18 @@ mod tests {
             },
         ))
         .unwrap();
-        z.add(Record::new(name("www.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 1))))
-            .unwrap();
-        z.add(Record::new(name("a.b.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 2))))
-            .unwrap();
+        z.add(Record::new(
+            name("www.example."),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            name("a.b.example."),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 2)),
+        ))
+        .unwrap();
         sign_zone(
             &z,
             &SignerConfig::with_nsec3(&name("example."), NOW, params, false),
@@ -438,13 +468,13 @@ mod tests {
         .unwrap()
     }
 
-    fn nxdomain_views(
-        z: &dns_zone::SignedZone,
-        qname: &Name,
-    ) -> (Nsec3Params, Vec<Nsec3View>) {
+    fn nxdomain_views(z: &dns_zone::SignedZone, qname: &Name) -> (Nsec3Params, Vec<Nsec3View>) {
         let proof = denial::nxdomain_proof(z, qname).unwrap();
-        let nsec3s: Vec<&Record> =
-            proof.records.iter().filter(|r| r.rrtype() == RrType::NSEC3).collect();
+        let nsec3s: Vec<&Record> = proof
+            .records
+            .iter()
+            .filter(|r| r.rrtype() == RrType::NSEC3)
+            .collect();
         parse_nsec3_set(&nsec3s).unwrap()
     }
 
@@ -486,8 +516,7 @@ mod tests {
         let qname = name("nx.example.");
         let (params, views) = nxdomain_views(&z, &qname);
         let meter = CostMeter::new();
-        let proof =
-            verify_nxdomain(&qname, &name("example."), &params, &views, &meter).unwrap();
+        let proof = verify_nxdomain(&qname, &name("example."), &params, &views, &meter).unwrap();
         assert_eq!(proof.closest_encloser, name("example."));
         assert_eq!(proof.next_closer, name("nx.example."));
         assert!(meter.nsec3_hashes() >= 3);
@@ -522,8 +551,11 @@ mod tests {
         let z = signed_zone(Nsec3Params::rfc9276());
         let qname = name("www.example.");
         let proof = denial::nodata_proof(&z, &qname).unwrap();
-        let nsec3s: Vec<&Record> =
-            proof.records.iter().filter(|r| r.rrtype() == RrType::NSEC3).collect();
+        let nsec3s: Vec<&Record> = proof
+            .records
+            .iter()
+            .filter(|r| r.rrtype() == RrType::NSEC3)
+            .collect();
         let (params, views) = parse_nsec3_set(&nsec3s).unwrap();
         let meter = CostMeter::new();
         // TXT absent: proof valid.
@@ -537,8 +569,12 @@ mod tests {
         let z = signed_zone(Nsec3Params::rfc9276());
         let qname = name("nx.example.");
         let proof = denial::nxdomain_proof(&z, &qname).unwrap();
-        let mut recs: Vec<Record> =
-            proof.records.iter().filter(|r| r.rrtype() == RrType::NSEC3).cloned().collect();
+        let mut recs: Vec<Record> = proof
+            .records
+            .iter()
+            .filter(|r| r.rrtype() == RrType::NSEC3)
+            .cloned()
+            .collect();
         if let RData::Nsec3 { iterations, .. } = &mut recs[0].rdata {
             *iterations += 1;
         }
@@ -577,8 +613,14 @@ mod tests {
         // Take a valid NXDOMAIN proof but claim it denies www.example.
         let (params, views) = nxdomain_views(&z, &name("nx.example."));
         let meter = CostMeter::new();
-        assert!(verify_nxdomain(&name("www.example."), &name("example."), &params, &views, &meter)
-            .is_err());
+        assert!(verify_nxdomain(
+            &name("www.example."),
+            &name("example."),
+            &params,
+            &views,
+            &meter
+        )
+        .is_err());
     }
 
     #[test]
@@ -611,10 +653,22 @@ mod tests {
     fn nsec_cover_logic() {
         use super::nsec::nsec_covers;
         // owner=a.example., next=c.example. covers b.example.
-        assert!(nsec_covers(&name("a.example."), &name("c.example."), &name("b.example.")));
-        assert!(!nsec_covers(&name("a.example."), &name("c.example."), &name("d.example.")));
+        assert!(nsec_covers(
+            &name("a.example."),
+            &name("c.example."),
+            &name("b.example.")
+        ));
+        assert!(!nsec_covers(
+            &name("a.example."),
+            &name("c.example."),
+            &name("d.example.")
+        ));
         // Wrap: owner=z.example., next=example. covers zz.example.
-        assert!(nsec_covers(&name("z.example."), &name("example."), &name("zz.example.")));
+        assert!(nsec_covers(
+            &name("z.example."),
+            &name("example."),
+            &name("zz.example.")
+        ));
     }
 
     #[test]
@@ -634,14 +688,20 @@ mod tests {
             },
         ))
         .unwrap();
-        z.add(Record::new(name("*.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 9))))
-            .unwrap();
+        z.add(Record::new(
+            name("*.example."),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 9)),
+        ))
+        .unwrap();
         let s = sign_zone(&z, &SignerConfig::standard(&name("example."), NOW)).unwrap();
         let qname = name("synth.example.");
-        let proof =
-            denial::wildcard_expansion_proof(&s, &qname, &name("example.")).unwrap();
-        let nsec3s: Vec<&Record> =
-            proof.records.iter().filter(|r| r.rrtype() == RrType::NSEC3).collect();
+        let proof = denial::wildcard_expansion_proof(&s, &qname, &name("example.")).unwrap();
+        let nsec3s: Vec<&Record> = proof
+            .records
+            .iter()
+            .filter(|r| r.rrtype() == RrType::NSEC3)
+            .collect();
         let (params, views) = parse_nsec3_set(&nsec3s).unwrap();
         let meter = CostMeter::new();
         // RRSIG over *.example. has labels=1; qname has 2.

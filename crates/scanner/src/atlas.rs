@@ -25,7 +25,10 @@ pub struct ClosedResolver {
 impl ClosedResolver {
     /// Close `inner` to everyone except `allowed`.
     pub fn new(inner: Rc<dyn Node>, allowed: impl IntoIterator<Item = IpAddr>) -> Self {
-        ClosedResolver { inner, allowed: RefCell::new(allowed.into_iter().collect()) }
+        ClosedResolver {
+            inner,
+            allowed: RefCell::new(allowed.into_iter().collect()),
+        }
     }
 
     /// Admit another client (a new Atlas probe in the network).

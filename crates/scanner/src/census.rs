@@ -9,11 +9,11 @@
 
 use std::net::IpAddr;
 
+use dns_resolver::resolver::Resolver;
 use dns_wire::name::Name;
 use dns_wire::rdata::RData;
 use dns_wire::rrtype::{Rcode, RrType};
 use dns_zone::nsec3hash::Nsec3Params;
-use dns_resolver::resolver::Resolver;
 use netsim::Network;
 
 use crate::ratelimit::RateLimiter;
@@ -82,7 +82,12 @@ impl<'a> Census<'a> {
     /// Build a census using `resolver` (already registered or used
     /// directly) as the vantage point.
     pub fn new(net: &'a Network, resolver: &'a Resolver, scan_id: impl Into<String>) -> Self {
-        Census { net, resolver, scan_id: scan_id.into(), rate: RateLimiter::new(14_700) }
+        Census {
+            net,
+            resolver,
+            scan_id: scan_id.into(),
+            rate: RateLimiter::new(14_700),
+        }
     }
 
     /// Run the three-phase §4.1 scan for one domain.
@@ -101,10 +106,7 @@ impl<'a> Census<'a> {
         // Phase 1: DNSKEY.
         self.rate.pace(self.net);
         let dnskey = self.resolver.resolve(self.net, domain, RrType::DNSKEY);
-        obs.dnssec_enabled = dnskey
-            .answers
-            .iter()
-            .any(|r| r.rrtype() == RrType::DNSKEY);
+        obs.dnssec_enabled = dnskey.answers.iter().any(|r| r.rrtype() == RrType::DNSKEY);
         if !obs.dnssec_enabled {
             return obs;
         }
@@ -247,8 +249,14 @@ mod tests {
     fn classification_rules() {
         let p0 = Nsec3Params::rfc9276();
         let p1 = Nsec3Params::new(1, vec![1]);
-        assert_eq!(classify(&obs(false, vec![], vec![], false)), DomainClass::NotDnssec);
-        assert_eq!(classify(&obs(true, vec![], vec![], true)), DomainClass::DnssecNsec);
+        assert_eq!(
+            classify(&obs(false, vec![], vec![], false)),
+            DomainClass::NotDnssec
+        );
+        assert_eq!(
+            classify(&obs(true, vec![], vec![], true)),
+            DomainClass::DnssecNsec
+        );
         assert_eq!(
             classify(&obs(true, vec![], vec![], false)),
             DomainClass::DnssecUnknownDenial
@@ -258,7 +266,12 @@ mod tests {
             DomainClass::MultipleNsec3Params
         );
         assert_eq!(
-            classify(&obs(true, vec![p0.clone()], vec![p0.clone(), p1.clone()], false)),
+            classify(&obs(
+                true,
+                vec![p0.clone()],
+                vec![p0.clone(), p1.clone()],
+                false
+            )),
             DomainClass::InconsistentNsec3
         );
         assert_eq!(
@@ -283,11 +296,7 @@ mod tests {
         );
         assert_eq!(ns_operator(&name("com.")), None);
         assert_eq!(
-            exclusive_operator(&[
-                name("ns1.one.com."),
-                name("NS2.ONE.COM."),
-            ])
-            .unwrap(),
+            exclusive_operator(&[name("ns1.one.com."), name("NS2.ONE.COM."),]).unwrap(),
             name("one.com.")
         );
         assert_eq!(

@@ -36,11 +36,17 @@ mod e2e {
             .simple_zone(&name("com."), Denial::nsec3_rfc9276())
             .simple_zone(
                 &name("compliant.com."),
-                Denial::Nsec3 { params: Nsec3Params::rfc9276(), opt_out: false },
+                Denial::Nsec3 {
+                    params: Nsec3Params::rfc9276(),
+                    opt_out: false,
+                },
             )
             .simple_zone(
                 &name("dirty.com."),
-                Denial::Nsec3 { params: Nsec3Params::new(10, vec![0xab; 8]), opt_out: true },
+                Denial::Nsec3 {
+                    params: Nsec3Params::new(10, vec![0xab; 8]),
+                    opt_out: true,
+                },
             )
             .simple_zone(&name("nsec.com."), Denial::Nsec)
             .build();
@@ -86,12 +92,19 @@ mod e2e {
         );
         expired_spec.expired = true;
         b = b.zone(expired_spec);
-        let its: Vec<(u16, &str)> =
-            vec![(100, "it-100.tb.com."), (150, "it-150.tb.com."), (151, "it-151.tb.com."), (200, "it-200.tb.com.")];
+        let its: Vec<(u16, &str)> = vec![
+            (100, "it-100.tb.com."),
+            (150, "it-150.tb.com."),
+            (151, "it-151.tb.com."),
+            (200, "it-200.tb.com."),
+        ];
         for (n, apex) in &its {
             b = b.simple_zone(
                 &name(apex),
-                Denial::Nsec3 { params: Nsec3Params::new(*n, vec![]), opt_out: false },
+                Denial::Nsec3 {
+                    params: Nsec3Params::new(*n, vec![]),
+                    opt_out: false,
+                },
             );
         }
         let mut lab = b.build();
@@ -142,8 +155,13 @@ mod e2e {
             it_2501_expired: None,
         };
         let probe_src = lab.alloc.v4();
-        let c = Prober::new(&lab.net, probe_src, &plan).classify(raddr).unwrap();
-        assert!(!c.is_validator, "stub resolves expired zones fine and sets no AD");
+        let c = Prober::new(&lab.net, probe_src, &plan)
+            .classify(raddr)
+            .unwrap();
+        assert!(
+            !c.is_validator,
+            "stub resolves expired zones fine and sets no AD"
+        );
     }
 
     #[test]
@@ -162,17 +180,17 @@ mod e2e {
         for n in [120u16, 160] {
             b = b.simple_zone(
                 &name(&format!("it-{n}.tb.com.")),
-                Denial::Nsec3 { params: Nsec3Params::new(n, vec![]), opt_out: false },
+                Denial::Nsec3 {
+                    params: Nsec3Params::new(n, vec![]),
+                    opt_out: false,
+                },
             );
         }
         let mut lab = b.build();
         let plan = ProbePlan {
             valid: name("www.valid.tb.com."),
             expired: name("www.expired.tb.com."),
-            it_zones: vec![
-                (120, name("it-120.tb.com.")),
-                (160, name("it-160.tb.com.")),
-            ],
+            it_zones: vec![(120, name("it-120.tb.com.")), (160, name("it-160.tb.com."))],
             it_2501_expired: None,
         };
         // A stable BIND-like resolver.
@@ -181,7 +199,8 @@ mod e2e {
             ResolverConfig::validating(stable_addr, lab.root_hints.clone(), lab.anchor.clone());
         cfg.now = lab.now;
         cfg.policy = Rfc9276Policy::insecure_above(150);
-        lab.net.register(stable_addr, Rc::new(Resolver::new(cfg.clone())));
+        lab.net
+            .register(stable_addr, Rc::new(Resolver::new(cfg.clone())));
         // A flaky resolver whose thresholds wobble per query.
         let flaky_addr = lab.alloc.v4();
         let mut fcfg = cfg.clone();
@@ -193,7 +212,10 @@ mod e2e {
         let src = lab.alloc.v4();
         let prober = Prober::new(&lab.net, src, &plan);
         let stable = prober.classify_with_requery(stable_addr, 3).unwrap();
-        assert!(!stable.flaky, "stable resolver stays stable over re-queries");
+        assert!(
+            !stable.flaky,
+            "stable resolver stays stable over re-queries"
+        );
         assert_eq!(stable.insecure_limit, Some(120));
         let flaky = prober.classify_with_requery(flaky_addr, 3).unwrap();
         assert!(flaky.flaky, "re-querying exposes the wobble");
@@ -226,9 +248,14 @@ mod e2e {
             it_2501_expired: None,
         };
         // Open-Internet prober: nothing.
-        assert!(Prober::new(&lab.net, outside, &plan).classify(raddr).is_none());
+        assert!(Prober::new(&lab.net, outside, &plan)
+            .classify(raddr)
+            .is_none());
         // Atlas probe: full classification, EDE suppressed.
-        let probe = AtlasProbe { addr: probe_addr, local_resolver: raddr };
+        let probe = AtlasProbe {
+            addr: probe_addr,
+            local_resolver: raddr,
+        };
         let c = classify_via_probe(&lab.net, &probe, &plan).unwrap();
         assert!(c.is_validator);
     }

@@ -97,13 +97,22 @@ pub struct Prober<'a> {
 impl<'a> Prober<'a> {
     /// Build a prober.
     pub fn new(net: &'a Network, src: IpAddr, plan: &'a ProbePlan) -> Self {
-        Prober { net, src, plan, capture_ede: true, retries: 2 }
+        Prober {
+            net,
+            src,
+            plan,
+            capture_ede: true,
+            retries: 2,
+        }
     }
 
     fn query(&self, resolver: IpAddr, qname: &Name) -> Option<ObservedResponse> {
         let id = (qname.wire_len() as u16) ^ 0x5aa5;
         let q = Message::query(id, qname.clone(), RrType::A).encode();
-        match self.net.send_query_with_retries(self.src, resolver, &q, self.retries) {
+        match self
+            .net
+            .send_query_with_retries(self.src, resolver, &q, self.retries)
+        {
             Outcome::Response { payload, .. } => {
                 let mut obs = ObservedResponse::from_wire(&payload)?;
                 if !self.capture_ede {
@@ -132,9 +141,8 @@ impl<'a> Prober<'a> {
     pub fn classify(&self, resolver: IpAddr) -> Option<ResolverClassification> {
         let valid = self.query(resolver, &self.plan.valid)?;
         let expired = self.query(resolver, &self.plan.expired)?;
-        let is_validator = valid.ad
-            && valid.rcode == Rcode::NoError
-            && expired.rcode == Rcode::ServFail;
+        let is_validator =
+            valid.ad && valid.rcode == Rcode::NoError && expired.rcode == Rcode::ServFail;
         let mut out = ResolverClassification {
             resolver,
             is_validator,
@@ -201,9 +209,8 @@ impl<'a> Prober<'a> {
     fn classify_tagged(&self, resolver: IpAddr, tag: &str) -> Option<ResolverClassification> {
         let valid = self.query(resolver, &self.plan.valid)?;
         let expired = self.query(resolver, &self.plan.expired)?;
-        let is_validator = valid.ad
-            && valid.rcode == Rcode::NoError
-            && expired.rcode == Rcode::ServFail;
+        let is_validator =
+            valid.ad && valid.rcode == Rcode::NoError && expired.rcode == Rcode::ServFail;
         let mut out = ResolverClassification {
             resolver,
             is_validator,
@@ -276,7 +283,11 @@ pub fn derive_limits(c: &mut ResolverClassification) {
         last_rank = last_rank.max(r);
     }
     // Delimiting AD value.
-    let last_ad = kinds.iter().filter(|(_, k)| *k == Kind::AdNx).map(|(n, _)| *n).max();
+    let last_ad = kinds
+        .iter()
+        .filter(|(_, k)| *k == Kind::AdNx)
+        .map(|(n, _)| *n)
+        .max();
     let first_nonad = kinds
         .iter()
         .filter(|(_, k)| matches!(k, Kind::Nx | Kind::ServFail))
@@ -287,9 +298,7 @@ pub fn derive_limits(c: &mut ResolverClassification) {
         if hi < lo {
             c.insecure_limit = Some(hi);
         }
-    } else if last_ad.is_none()
-        && kinds.first().map(|(_, k)| *k == Kind::Nx).unwrap_or(false)
-    {
+    } else if last_ad.is_none() && kinds.first().map(|(_, k)| *k == Kind::Nx).unwrap_or(false) {
         // Never AD on any it-N yet NXDOMAINs throughout (but a validator
         // on `valid`): the delimiting value is effectively 0.
         c.insecure_limit = Some(0);
@@ -302,7 +311,10 @@ pub fn derive_limits(c: &mut ResolverClassification) {
         .min();
     if let Some(start) = c.servfail_start {
         // Confirm it holds above (otherwise flaky).
-        if kinds.iter().any(|(n, k)| *n > start && *k != Kind::ServFail) {
+        if kinds
+            .iter()
+            .any(|(n, k)| *n > start && *k != Kind::ServFail)
+        {
             c.flaky = true;
         }
     }
@@ -337,7 +349,13 @@ mod tests {
     use super::*;
 
     fn obs(rcode: Rcode, ad: bool, ede: Option<u16>) -> ObservedResponse {
-        ObservedResponse { rcode, ad, ra: true, ede, ede_has_text: false }
+        ObservedResponse {
+            rcode,
+            ad,
+            ra: true,
+            ede,
+            ede_has_text: false,
+        }
     }
 
     fn classification(responses: Vec<(u16, ObservedResponse)>) -> ResolverClassification {

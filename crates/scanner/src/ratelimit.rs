@@ -20,7 +20,10 @@ impl RateLimiter {
     /// Limit to `per_second` queries per (virtual) second.
     pub fn new(per_second: u64) -> Self {
         let per_second = per_second.max(1);
-        RateLimiter { interval_micros: 1_000_000 / per_second, sent: Cell::new(0) }
+        RateLimiter {
+            interval_micros: 1_000_000 / per_second,
+            sent: Cell::new(0),
+        }
     }
 
     /// Account for one query about to be sent, advancing virtual time.

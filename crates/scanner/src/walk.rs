@@ -114,9 +114,7 @@ pub fn nsec3_collect(
                 }
                 // Owner hash from the first label…
                 if let Some(label) = rec.name.labels().next() {
-                    if let Some(h) =
-                        dns_wire::base32::decode(&String::from_utf8_lossy(label))
-                    {
+                    if let Some(h) = dns_wire::base32::decode(&String::from_utf8_lossy(label)) {
                         hashes.insert(h);
                     }
                 }
@@ -194,7 +192,10 @@ mod tests {
         }
         sign_zone(
             &z,
-            &SignerConfig { denial, ..SignerConfig::standard(&apex, NOW) },
+            &SignerConfig {
+                denial,
+                ..SignerConfig::standard(&apex, NOW)
+            },
         )
         .unwrap()
     }
@@ -239,8 +240,7 @@ mod tests {
             },
             false,
         );
-        let harvest =
-            nsec3_collect(&net, src, server, &name("victim.test."), 40).unwrap();
+        let harvest = nsec3_collect(&net, src, server, &name("victim.test."), 40).unwrap();
         assert_eq!(harvest.params.iterations, 2);
         // 5 existing names → at most 5 distinct hashes; probes should find
         // most of the small chain.
@@ -250,8 +250,7 @@ mod tests {
             &name("victim.test."),
             &["www", "api", "ftp", "mail", "smtp"],
         );
-        let cracked_names: Vec<String> =
-            cracked.iter().map(|(n, _)| n.to_string()).collect();
+        let cracked_names: Vec<String> = cracked.iter().map(|(n, _)| n.to_string()).collect();
         assert!(cracked_names.contains(&"www.victim.test.".to_string()));
         assert!(!cracked_names.iter().any(|n| n.contains("hidden")));
         // Work accounting is monotone.

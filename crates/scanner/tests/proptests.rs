@@ -1,7 +1,7 @@
 //! Property-based tests for the classification logic: `derive_limits`
 //! must behave lawfully on *any* response pattern, not just the tidy ones.
 
-use proptest::prelude::*;
+use sim_check::{gens, props, Gen};
 
 use dns_resolver::broken::ObservedResponse;
 use dns_scanner::prober::{derive_limits, ResolverClassification};
@@ -14,7 +14,16 @@ fn classification(responses: Vec<(u16, Rcode, bool)>) -> ResolverClassification 
         responses: responses
             .into_iter()
             .map(|(n, rcode, ad)| {
-                (n, ObservedResponse { rcode, ad, ra: true, ede: None, ede_has_text: false })
+                (
+                    n,
+                    ObservedResponse {
+                        rcode,
+                        ad,
+                        ra: true,
+                        ede: None,
+                        ede_has_text: false,
+                    },
+                )
             })
             .collect(),
         insecure_limit: None,
@@ -31,21 +40,20 @@ fn classification(responses: Vec<(u16, Rcode, bool)>) -> ResolverClassification 
     c
 }
 
-fn rcode_strategy() -> impl Strategy<Value = (Rcode, bool)> {
-    prop_oneof![
-        Just((Rcode::NxDomain, true)),
-        Just((Rcode::NxDomain, false)),
-        Just((Rcode::ServFail, false)),
-        Just((Rcode::NoError, false)),
-    ]
+fn rcode_gen() -> impl Gen<(Rcode, bool)> {
+    gens::one_of(vec![
+        gens::boxed(gens::just((Rcode::NxDomain, true))),
+        gens::boxed(gens::just((Rcode::NxDomain, false))),
+        gens::boxed(gens::just((Rcode::ServFail, false))),
+        gens::boxed(gens::just((Rcode::NoError, false))),
+    ])
 }
 
-proptest! {
+props! {
     /// derive_limits never panics and produces internally consistent
     /// fields for arbitrary response patterns.
-    #[test]
     fn derive_limits_total_and_consistent(
-        pattern in proptest::collection::vec((1u16..600, rcode_strategy()), 0..30),
+        pattern in gens::vec_of((gens::u16s(1..600), rcode_gen()), 0..30),
     ) {
         let mut responses: Vec<(u16, Rcode, bool)> = pattern
             .into_iter()
@@ -56,37 +64,36 @@ proptest! {
         let c = classification(responses.clone());
         // servfail_start, when set, is an N that actually answered SERVFAIL.
         if let Some(s) = c.servfail_start {
-            prop_assert!(responses.iter().any(|(n, r, _)| *n == s && *r == Rcode::ServFail));
+            assert!(responses.iter().any(|(n, r, _)| *n == s && *r == Rcode::ServFail));
         }
         // insecure_limit, when set with AD seen, is an N that had AD, or 0.
         if let Some(l) = c.insecure_limit {
-            prop_assert!(
+            assert!(
                 l == 0 || responses.iter().any(|(n, r, ad)| *n == l && *ad && *r == Rcode::NxDomain)
             );
         }
         // item6/item8 imply their prerequisites.
         if c.implements_item6() {
-            prop_assert!(c.has_insecure_band);
-            prop_assert!(!c.flaky);
+            assert!(c.has_insecure_band);
+            assert!(!c.flaky);
         }
         if c.implements_item8() {
-            prop_assert!(c.servfail_start.is_some());
-            prop_assert!(!c.flaky);
+            assert!(c.servfail_start.is_some());
+            assert!(!c.flaky);
         }
         // item12 gap requires both bands.
         if c.item12_gap {
-            prop_assert!(c.servfail_start.is_some());
-            prop_assert!(c.has_insecure_band);
+            assert!(c.servfail_start.is_some());
+            assert!(c.has_insecure_band);
         }
     }
 
     /// Clean monotone threshold patterns are never marked flaky, and the
     /// derived limits equal the construction parameters.
-    #[test]
     fn monotone_patterns_classify_exactly(
-        ad_until_idx in 0usize..5,
-        servfail_from_idx in 0usize..7,
-        ns in proptest::collection::btree_set(1u16..600, 6),
+        ad_until_idx in gens::usizes(0..5),
+        servfail_from_idx in gens::usizes(0..7),
+        ns in gens::set_of(gens::u16s(1..600), 6),
     ) {
         let ns: Vec<u16> = ns.into_iter().collect();
         let servfail_from_idx = servfail_from_idx.max(ad_until_idx + 1);
@@ -104,21 +111,20 @@ proptest! {
             })
             .collect();
         let c = classification(responses);
-        prop_assert!(!c.flaky);
-        prop_assert_eq!(c.insecure_limit, Some(ns[ad_until_idx]));
+        assert!(!c.flaky);
+        assert_eq!(c.insecure_limit, Some(ns[ad_until_idx]));
         if servfail_from_idx < ns.len() {
-            prop_assert_eq!(c.servfail_start, Some(ns[servfail_from_idx]));
+            assert_eq!(c.servfail_start, Some(ns[servfail_from_idx]));
             // A plain-NXDOMAIN band between the two = the item 12 gap.
-            prop_assert_eq!(c.item12_gap, servfail_from_idx > ad_until_idx + 1);
+            assert_eq!(c.item12_gap, servfail_from_idx > ad_until_idx + 1);
         } else {
-            prop_assert_eq!(c.servfail_start, None);
+            assert_eq!(c.servfail_start, None);
         }
     }
 
     /// Shuffled (non-monotone) mixes of AD and SERVFAIL are flagged flaky.
-    #[test]
     fn sandwich_patterns_are_flaky(
-        ns in proptest::collection::btree_set(1u16..600, 3),
+        ns in gens::set_of(gens::u16s(1..600), 3),
     ) {
         let ns: Vec<u16> = ns.into_iter().collect();
         // SERVFAIL then AD again: impossible for a clean threshold resolver.
@@ -128,8 +134,8 @@ proptest! {
             (ns[2], Rcode::NxDomain, true),
         ];
         let c = classification(responses);
-        prop_assert!(c.flaky);
-        prop_assert!(!c.implements_item6());
-        prop_assert!(!c.implements_item8());
+        assert!(c.flaky);
+        assert!(!c.implements_item6());
+        assert!(!c.implements_item8());
     }
 }

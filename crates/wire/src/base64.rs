@@ -13,8 +13,16 @@ pub fn encode(data: &[u8]) -> String {
         let n = (b0 << 16) | (b1 << 8) | b2;
         out.push(ALPHABET[(n >> 18) as usize & 0x3f] as char);
         out.push(ALPHABET[(n >> 12) as usize & 0x3f] as char);
-        out.push(if chunk.len() > 1 { ALPHABET[(n >> 6) as usize & 0x3f] as char } else { '=' });
-        out.push(if chunk.len() > 2 { ALPHABET[n as usize & 0x3f] as char } else { '=' });
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 0x3f] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 0x3f] as char
+        } else {
+            '='
+        });
     }
     out
 }
@@ -99,7 +107,9 @@ mod tests {
     #[test]
     fn roundtrip_all_lengths() {
         for len in 0..100 {
-            let data: Vec<u8> = (0..len as u8).map(|i| i.wrapping_mul(73).wrapping_add(5)).collect();
+            let data: Vec<u8> = (0..len as u8)
+                .map(|i| i.wrapping_mul(73).wrapping_add(5))
+                .collect();
             assert_eq!(decode(&encode(&data)).unwrap(), data, "len {len}");
         }
     }

@@ -45,7 +45,12 @@ impl<'a> Reader<'a> {
 
     /// Read a big-endian u32.
     pub fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_be_bytes([self.u8()?, self.u8()?, self.u8()?, self.u8()?]))
+        Ok(u32::from_be_bytes([
+            self.u8()?,
+            self.u8()?,
+            self.u8()?,
+            self.u8()?,
+        ]))
     }
 
     /// Read `n` raw bytes.
@@ -122,13 +127,19 @@ pub struct Writer {
 impl Writer {
     /// A writer that compresses names (normal responses).
     pub fn compressing() -> Self {
-        Writer { buf: Vec::with_capacity(512), compress: Some(HashMap::new()) }
+        Writer {
+            buf: Vec::with_capacity(512),
+            compress: Some(HashMap::new()),
+        }
     }
 
     /// A writer that never compresses (canonical forms, digests, signing
     /// buffers).
     pub fn plain() -> Self {
-        Writer { buf: Vec::with_capacity(512), compress: None }
+        Writer {
+            buf: Vec::with_capacity(512),
+            compress: None,
+        }
     }
 
     /// Current length (== next write offset).

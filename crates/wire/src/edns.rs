@@ -92,12 +92,18 @@ impl Default for Edns {
 impl Edns {
     /// An EDNS block with the DO bit set — what a validating resolver sends.
     pub fn with_do() -> Self {
-        Edns { dnssec_ok: true, ..Default::default() }
+        Edns {
+            dnssec_ok: true,
+            ..Default::default()
+        }
     }
 
     /// Append an EDE option.
     pub fn push_ede(&mut self, code: EdeCode, extra_text: impl Into<String>) {
-        self.options.push(EdnsOption::Ede { code, extra_text: extra_text.into() });
+        self.options.push(EdnsOption::Ede {
+            code,
+            extra_text: extra_text.into(),
+        });
     }
 
     /// First EDE option, if any.
@@ -140,11 +146,7 @@ impl Edns {
 
     /// Decode the body of an OPT record whose owner/type have already been
     /// consumed. `class`/`ttl` are the raw fields that OPT repurposes.
-    pub fn decode_body(
-        r: &mut Reader<'_>,
-        class: u16,
-        ttl: u32,
-    ) -> Result<Self, WireError> {
+    pub fn decode_body(r: &mut Reader<'_>, class: u16, ttl: u32) -> Result<Self, WireError> {
         let udp_payload_size = class;
         let extended_rcode_hi = (ttl >> 24) as u8;
         let version = (ttl >> 16) as u8;
@@ -169,13 +171,22 @@ impl Edns {
                     extra_text: String::from_utf8_lossy(text).into_owned(),
                 });
             } else {
-                options.push(EdnsOption::Unknown { code, data: r.bytes(olen)?.to_vec() });
+                options.push(EdnsOption::Unknown {
+                    code,
+                    data: r.bytes(olen)?.to_vec(),
+                });
             }
         }
         if r.pos() != end {
             return Err(WireError::BadRdata("OPT rdata overrun"));
         }
-        Ok(Edns { udp_payload_size, extended_rcode_hi, version, dnssec_ok, options })
+        Ok(Edns {
+            udp_payload_size,
+            extended_rcode_hi,
+            version,
+            dnssec_ok,
+            options,
+        })
     }
 }
 
@@ -206,7 +217,10 @@ mod tests {
     #[test]
     fn do_bit_roundtrips() {
         for do_bit in [false, true] {
-            let edns = Edns { dnssec_ok: do_bit, ..Default::default() };
+            let edns = Edns {
+                dnssec_ok: do_bit,
+                ..Default::default()
+            };
             let mut w = Writer::plain();
             edns.encode(&mut w);
             let buf = w.finish();
@@ -232,7 +246,10 @@ mod tests {
     #[test]
     fn unknown_options_preserved() {
         let edns = Edns {
-            options: vec![EdnsOption::Unknown { code: 10, data: vec![1, 2, 3] }],
+            options: vec![EdnsOption::Unknown {
+                code: 10,
+                data: vec![1, 2, 3],
+            }],
             ..Default::default()
         };
         let mut w = Writer::plain();

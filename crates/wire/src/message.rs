@@ -44,7 +44,11 @@ pub struct Question {
 impl Question {
     /// Convenience constructor for class IN.
     pub fn new(qname: Name, qtype: RrType) -> Self {
-        Question { qname, qtype, qclass: Class::IN }
+        Question {
+            qname,
+            qtype,
+            qclass: Class::IN,
+        }
     }
 }
 
@@ -74,7 +78,10 @@ impl Message {
     pub fn query(id: u16, qname: Name, qtype: RrType) -> Self {
         Message {
             id,
-            flags: Flags { rd: true, ..Default::default() },
+            flags: Flags {
+                rd: true,
+                ..Default::default()
+            },
             rcode: Rcode::NoError,
             questions: vec![Question::new(qname, qtype)],
             answers: Vec::new(),
@@ -162,7 +169,12 @@ impl Message {
             w.u16(q.qtype.0);
             w.u16(q.qclass.0);
         }
-        for rec in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
+        for rec in self
+            .answers
+            .iter()
+            .chain(&self.authorities)
+            .chain(&self.additionals)
+        {
             rec.encode(&mut w);
         }
         if let Some(edns) = &self.edns {
@@ -201,8 +213,8 @@ impl Message {
             });
         }
         let read_section = |r: &mut Reader<'_>,
-                                count: usize,
-                                edns: &mut Option<Edns>|
+                            count: usize,
+                            edns: &mut Option<Edns>|
          -> Result<Vec<Record>, WireError> {
             let mut out = Vec::with_capacity(count);
             for _ in 0..count {
@@ -224,7 +236,12 @@ impl Message {
                     let ttl = r.u32()?;
                     let rdlength = r.u16()? as usize;
                     let rdata = RData::decode(r, rtype, rdlength)?;
-                    out.push(Record { name, class, ttl, rdata });
+                    out.push(Record {
+                        name,
+                        class,
+                        ttl,
+                        rdata,
+                    });
                 }
             }
             Ok(out)
@@ -236,7 +253,16 @@ impl Message {
         let rcode_lo = flags_word & 0x000f;
         let rcode_hi = edns.as_ref().map(|e| e.extended_rcode_hi).unwrap_or(0) as u16;
         let rcode = Rcode::from_u16((rcode_hi << 4) | rcode_lo);
-        Ok(Message { id, flags, rcode, questions, answers, authorities, additionals, edns })
+        Ok(Message {
+            id,
+            flags,
+            rcode,
+            questions,
+            answers,
+            authorities,
+            additionals,
+            edns,
+        })
     }
 }
 

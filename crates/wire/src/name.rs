@@ -34,7 +34,10 @@ pub struct Name {
 impl Name {
     /// The root name (`.`).
     pub fn root() -> Self {
-        Name { labels: Vec::new(), wire_len: 1 }
+        Name {
+            labels: Vec::new(),
+            wire_len: 1,
+        }
     }
 
     /// Build a name from raw labels. Fails if any label is empty or too
@@ -60,7 +63,10 @@ impl Name {
         if wire_len > MAX_NAME_LEN {
             return Err(WireError::BadName("name longer than 255 octets"));
         }
-        Ok(Name { labels: out, wire_len })
+        Ok(Name {
+            labels: out,
+            wire_len,
+        })
     }
 
     /// Parse presentation format (`www.example.com`, trailing dot optional;
@@ -136,7 +142,10 @@ impl Name {
 
     /// Is the leftmost label `*` (a wildcard owner name)?
     pub fn is_wildcard(&self) -> bool {
-        self.labels.first().map(|l| l.as_ref() == b"*").unwrap_or(false)
+        self.labels
+            .first()
+            .map(|l| l.as_ref() == b"*")
+            .unwrap_or(false)
     }
 
     /// Length of this name in (uncompressed) wire format.
@@ -238,7 +247,10 @@ impl Name {
                     .into_boxed_slice()
             })
             .collect();
-        Name { labels, wire_len: self.wire_len }
+        Name {
+            labels,
+            wire_len: self.wire_len,
+        }
     }
 
     /// RFC 4034 §6.1 canonical ordering.

@@ -44,7 +44,12 @@ pub enum RData {
         minimum: u32,
     },
     /// DNSSEC public key (RFC 4034 §2).
-    Dnskey { flags: u16, protocol: u8, algorithm: u8, public_key: Vec<u8> },
+    Dnskey {
+        flags: u16,
+        protocol: u8,
+        algorithm: u8,
+        public_key: Vec<u8>,
+    },
     /// DNSSEC signature (RFC 4034 §3).
     Rrsig {
         type_covered: RrType,
@@ -58,7 +63,12 @@ pub enum RData {
         signature: Vec<u8>,
     },
     /// Delegation signer (RFC 4034 §5).
-    Ds { key_tag: u16, algorithm: u8, digest_type: u8, digest: Vec<u8> },
+    Ds {
+        key_tag: u16,
+        algorithm: u8,
+        digest_type: u8,
+        digest: Vec<u8>,
+    },
     /// Authenticated denial of existence (RFC 4034 §4).
     Nsec { next: Name, types: TypeBitmap },
     /// Hashed authenticated denial of existence (RFC 5155 §3).
@@ -71,7 +81,12 @@ pub enum RData {
         types: TypeBitmap,
     },
     /// NSEC3 parameters advertised at the zone apex (RFC 5155 §4).
-    Nsec3Param { hash_alg: u8, flags: u8, iterations: u16, salt: Vec<u8> },
+    Nsec3Param {
+        hash_alg: u8,
+        flags: u8,
+        iterations: u16,
+        salt: Vec<u8>,
+    },
     /// Anything else, kept verbatim (RFC 3597).
     Unknown { rtype: u16, data: Vec<u8> },
 }
@@ -116,7 +131,10 @@ impl RData {
             RData::A(addr) => w.bytes(&addr.octets()),
             RData::Aaaa(addr) => w.bytes(&addr.octets()),
             RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => put_name(w, n),
-            RData::Mx { preference, exchange } => {
+            RData::Mx {
+                preference,
+                exchange,
+            } => {
                 w.u16(*preference);
                 put_name(w, exchange);
             }
@@ -126,7 +144,15 @@ impl RData {
                     w.bytes(s);
                 }
             }
-            RData::Soa { mname, rname, serial, refresh, retry, expire, minimum } => {
+            RData::Soa {
+                mname,
+                rname,
+                serial,
+                refresh,
+                retry,
+                expire,
+                minimum,
+            } => {
                 put_name(w, mname);
                 put_name(w, rname);
                 w.u32(*serial);
@@ -135,7 +161,12 @@ impl RData {
                 w.u32(*expire);
                 w.u32(*minimum);
             }
-            RData::Dnskey { flags, protocol, algorithm, public_key } => {
+            RData::Dnskey {
+                flags,
+                protocol,
+                algorithm,
+                public_key,
+            } => {
                 w.u16(*flags);
                 w.u8(*protocol);
                 w.u8(*algorithm);
@@ -162,7 +193,12 @@ impl RData {
                 put_name(w, signer_name);
                 w.bytes(signature);
             }
-            RData::Ds { key_tag, algorithm, digest_type, digest } => {
+            RData::Ds {
+                key_tag,
+                algorithm,
+                digest_type,
+                digest,
+            } => {
                 w.u16(*key_tag);
                 w.u8(*algorithm);
                 w.u8(*digest_type);
@@ -172,7 +208,14 @@ impl RData {
                 put_name(w, next);
                 types.encode(w);
             }
-            RData::Nsec3 { hash_alg, flags, iterations, salt, next_hashed, types } => {
+            RData::Nsec3 {
+                hash_alg,
+                flags,
+                iterations,
+                salt,
+                next_hashed,
+                types,
+            } => {
                 w.u8(*hash_alg);
                 w.u8(*flags);
                 w.u16(*iterations);
@@ -182,7 +225,12 @@ impl RData {
                 w.bytes(next_hashed);
                 types.encode(w);
             }
-            RData::Nsec3Param { hash_alg, flags, iterations, salt } => {
+            RData::Nsec3Param {
+                hash_alg,
+                flags,
+                iterations,
+                salt,
+            } => {
                 w.u8(*hash_alg);
                 w.u8(*flags);
                 w.u16(*iterations);
@@ -218,7 +266,10 @@ impl RData {
             RrType::NS => RData::Ns(r.name()?),
             RrType::CNAME => RData::Cname(r.name()?),
             RrType::PTR => RData::Ptr(r.name()?),
-            RrType::MX => RData::Mx { preference: r.u16()?, exchange: r.name()? },
+            RrType::MX => RData::Mx {
+                preference: r.u16()?,
+                exchange: r.name()?,
+            },
             RrType::TXT => {
                 let mut strings = Vec::new();
                 while r.pos() < end {
@@ -243,7 +294,12 @@ impl RData {
                 let key_len = end
                     .checked_sub(r.pos())
                     .ok_or(WireError::BadRdata("DNSKEY rdlength too small"))?;
-                RData::Dnskey { flags, protocol, algorithm, public_key: r.bytes(key_len)?.to_vec() }
+                RData::Dnskey {
+                    flags,
+                    protocol,
+                    algorithm,
+                    public_key: r.bytes(key_len)?.to_vec(),
+                }
             }
             RrType::RRSIG => {
                 let type_covered = RrType(r.u16()?);
@@ -276,14 +332,22 @@ impl RData {
                 let dig_len = end
                     .checked_sub(r.pos())
                     .ok_or(WireError::BadRdata("DS rdlength too small"))?;
-                RData::Ds { key_tag, algorithm, digest_type, digest: r.bytes(dig_len)?.to_vec() }
+                RData::Ds {
+                    key_tag,
+                    algorithm,
+                    digest_type,
+                    digest: r.bytes(dig_len)?.to_vec(),
+                }
             }
             RrType::NSEC => {
                 let next = r.name()?;
                 let bm_len = end
                     .checked_sub(r.pos())
                     .ok_or(WireError::BadRdata("NSEC rdlength too small"))?;
-                RData::Nsec { next, types: TypeBitmap::decode(r, bm_len)? }
+                RData::Nsec {
+                    next,
+                    types: TypeBitmap::decode(r, bm_len)?,
+                }
             }
             RrType::NSEC3 => {
                 let hash_alg = r.u8()?;
@@ -311,9 +375,17 @@ impl RData {
                 let iterations = r.u16()?;
                 let salt_len = r.u8()? as usize;
                 let salt = r.bytes(salt_len)?.to_vec();
-                RData::Nsec3Param { hash_alg, flags, iterations, salt }
+                RData::Nsec3Param {
+                    hash_alg,
+                    flags,
+                    iterations,
+                    salt,
+                }
             }
-            RrType(other) => RData::Unknown { rtype: other, data: r.bytes(rdlength)?.to_vec() },
+            RrType(other) => RData::Unknown {
+                rtype: other,
+                data: r.bytes(rdlength)?.to_vec(),
+            },
         };
         if r.pos() != end {
             return Err(WireError::BadRdata("rdata length mismatch"));
@@ -443,9 +515,15 @@ mod tests {
 
     #[test]
     fn mx_and_unknown_roundtrip() {
-        let rd = RData::Mx { preference: 10, exchange: name("mx.example.") };
+        let rd = RData::Mx {
+            preference: 10,
+            exchange: name("mx.example."),
+        };
         assert_eq!(roundtrip(&rd), rd);
-        let rd = RData::Unknown { rtype: 9999, data: vec![1, 2, 3] };
+        let rd = RData::Unknown {
+            rtype: 9999,
+            data: vec![1, 2, 3],
+        };
         assert_eq!(roundtrip(&rd), rd);
     }
 

@@ -24,7 +24,12 @@ pub struct Record {
 impl Record {
     /// Convenience constructor for class IN.
     pub fn new(name: Name, ttl: u32, rdata: RData) -> Self {
-        Record { name, class: Class::IN, ttl, rdata }
+        Record {
+            name,
+            class: Class::IN,
+            ttl,
+            rdata,
+        }
     }
 
     /// The record type.
@@ -54,14 +59,26 @@ impl Record {
         let ttl = r.u32()?;
         let rdlength = r.u16()? as usize;
         let rdata = RData::decode(r, rtype, rdlength)?;
-        Ok(Record { name, class, ttl, rdata })
+        Ok(Record {
+            name,
+            class,
+            ttl,
+            rdata,
+        })
     }
 }
 
 impl fmt::Display for Record {
     /// Zone-file-like presentation (sufficient for logs and zone printing).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} {} {}", self.name, self.ttl, self.class, self.rrtype())?;
+        write!(
+            f,
+            "{} {} {} {}",
+            self.name,
+            self.ttl,
+            self.class,
+            self.rrtype()
+        )?;
         match &self.rdata {
             RData::A(a) => write!(f, " {a}"),
             RData::Aaaa(a) => write!(f, " {a}"),
@@ -159,7 +176,10 @@ pub fn group_rrsets(records: &[Record]) -> Vec<Vec<Record>> {
         }
         sets.entry(key).or_default().push(rec.clone());
     }
-    order.into_iter().map(|k| sets.remove(&k).unwrap()).collect()
+    order
+        .into_iter()
+        .map(|k| sets.remove(&k).unwrap())
+        .collect()
 }
 
 #[cfg(test)]
@@ -213,13 +233,23 @@ mod tests {
         let rec = Record::new(
             name("example."),
             3600,
-            RData::Nsec3Param { hash_alg: 1, flags: 0, iterations: 5, salt: vec![0xab, 0xcd] },
+            RData::Nsec3Param {
+                hash_alg: 1,
+                flags: 0,
+                iterations: 5,
+                salt: vec![0xab, 0xcd],
+            },
         );
         assert_eq!(rec.to_string(), "example. 3600 IN NSEC3PARAM 1 0 5 abcd");
         let rec2 = Record::new(
             name("example."),
             3600,
-            RData::Nsec3Param { hash_alg: 1, flags: 0, iterations: 0, salt: vec![] },
+            RData::Nsec3Param {
+                hash_alg: 1,
+                flags: 0,
+                iterations: 0,
+                salt: vec![],
+            },
         );
         assert!(rec2.to_string().ends_with("1 0 0 -"));
     }

@@ -1,7 +1,7 @@
 //! Property-based tests for the wire layer: every encode has a decode
 //! that returns the original, orderings are lawful, codecs round-trip.
 
-use proptest::prelude::*;
+use sim_check::{gens, props, Gen};
 
 use dns_wire::base32;
 use dns_wire::base64;
@@ -15,80 +15,108 @@ use dns_wire::typebitmap::TypeBitmap;
 
 /// A DNS label: 1–63 bytes. Generation sticks to letters/digits/hyphens
 /// plus a few oddballs to exercise escaping.
-fn label() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(
-        prop_oneof![
-            96 => proptest::char::range('a', 'z').prop_map(|c| c as u8),
-            2 => Just(b'-'),
-            1 => Just(b'.'),
-            1 => Just(0xC3u8),
-        ],
+fn label() -> impl Gen<Vec<u8>> {
+    gens::vec_of(
+        gens::weighted(vec![
+            (
+                96.0,
+                gens::boxed(gens::map(gens::char_range('a', 'z'), |c| c as u8)),
+            ),
+            (2.0, gens::boxed(gens::just(b'-'))),
+            (1.0, gens::boxed(gens::just(b'.'))),
+            (1.0, gens::boxed(gens::just(0xC3u8))),
+        ]),
         1..=20,
     )
 }
 
-fn name() -> impl Strategy<Value = Name> {
-    proptest::collection::vec(label(), 0..=6)
-        .prop_filter_map("name too long", |labels| Name::from_labels(labels).ok())
+fn name() -> impl Gen<Name> {
+    gens::filter_map(
+        gens::vec_of(label(), 0..=6),
+        |labels| Name::from_labels(labels).ok(),
+        "name too long",
+    )
 }
 
-fn rdata() -> impl Strategy<Value = RData> {
-    prop_oneof![
-        any::<[u8; 4]>().prop_map(|o| RData::A(o.into())),
-        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(o.into())),
-        name().prop_map(RData::Ns),
-        name().prop_map(RData::Cname),
-        (any::<u16>(), name()).prop_map(|(preference, exchange)| RData::Mx { preference, exchange }),
-        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..3)
-            .prop_map(RData::Txt),
-        (any::<u16>(), any::<u8>(), proptest::collection::vec(any::<u8>(), 0..40)).prop_map(
+fn rdata() -> impl Gen<RData> {
+    gens::one_of(vec![
+        gens::boxed(gens::map(gens::array_of::<u8, 4>(gens::u8s(..)), |o| {
+            RData::A(o.into())
+        })),
+        gens::boxed(gens::map(gens::array_of::<u8, 16>(gens::u8s(..)), |o| {
+            RData::Aaaa(o.into())
+        })),
+        gens::boxed(gens::map(name(), RData::Ns)),
+        gens::boxed(gens::map(name(), RData::Cname)),
+        gens::boxed(gens::map(
+            (gens::u16s(..), name()),
+            |(preference, exchange)| RData::Mx {
+                preference,
+                exchange,
+            },
+        )),
+        gens::boxed(gens::map(
+            gens::vec_of(gens::vec_of(gens::u8s(..), 0..40), 0..3),
+            RData::Txt,
+        )),
+        gens::boxed(gens::map(
+            (
+                gens::u16s(..),
+                gens::u8s(..),
+                gens::vec_of(gens::u8s(..), 0..40),
+            ),
             |(flags, algorithm, public_key)| RData::Dnskey {
                 flags,
                 protocol: 3,
                 algorithm,
                 public_key,
-            }
-        ),
-        (
-            any::<u8>(),
-            any::<u16>(),
-            proptest::collection::vec(any::<u8>(), 0..16),
-            proptest::collection::vec(any::<u8>(), 20),
-            proptest::collection::vec(any::<u16>(), 0..6),
-        )
-            .prop_map(|(flags, iterations, salt, next_hashed, types)| RData::Nsec3 {
+            },
+        )),
+        gens::boxed(gens::map(
+            (
+                gens::u8s(..),
+                gens::u16s(..),
+                gens::vec_of(gens::u8s(..), 0..16),
+                gens::vec_of(gens::u8s(..), 20),
+                gens::vec_of(gens::u16s(..), 0..6),
+            ),
+            |(flags, iterations, salt, next_hashed, types)| RData::Nsec3 {
                 hash_alg: 1,
                 flags,
                 iterations,
                 salt,
                 next_hashed,
                 types: types.into_iter().map(RrType).collect(),
-            }),
-        (any::<u16>(), proptest::collection::vec(any::<u8>(), 0..16)).prop_map(
-            |(iterations, salt)| RData::Nsec3Param { hash_alg: 1, flags: 0, iterations, salt }
-        ),
-    ]
+            },
+        )),
+        gens::boxed(gens::map(
+            (gens::u16s(..), gens::vec_of(gens::u8s(..), 0..16)),
+            |(iterations, salt)| RData::Nsec3Param {
+                hash_alg: 1,
+                flags: 0,
+                iterations,
+                salt,
+            },
+        )),
+    ])
 }
 
-proptest! {
-    #[test]
+props! {
     fn name_wire_roundtrip(n in name()) {
         let mut w = Writer::plain();
         w.name(&n);
         let buf = w.finish();
         let mut r = Reader::new(&buf);
-        prop_assert_eq!(r.name().unwrap(), n);
+        assert_eq!(r.name().unwrap(), n);
     }
 
-    #[test]
     fn name_display_parse_roundtrip(n in name()) {
         let shown = n.to_string();
         let parsed = Name::parse(&shown).unwrap();
-        prop_assert_eq!(parsed, n);
+        assert_eq!(parsed, n);
     }
 
-    #[test]
-    fn name_compressed_roundtrip(names in proptest::collection::vec(name(), 1..6)) {
+    fn name_compressed_roundtrip(names in gens::vec_of(name(), 1..6)) {
         let mut w = Writer::compressing();
         for n in &names {
             w.name(n);
@@ -96,48 +124,45 @@ proptest! {
         let buf = w.finish();
         let mut r = Reader::new(&buf);
         for n in &names {
-            prop_assert_eq!(&r.name().unwrap(), n);
+            assert_eq!(&r.name().unwrap(), n);
         }
-        prop_assert_eq!(r.remaining(), 0);
+        assert_eq!(r.remaining(), 0);
     }
 
-    #[test]
-    fn canonical_order_is_total_and_consistent(mut names in proptest::collection::vec(name(), 2..8)) {
+    fn canonical_order_is_total_and_consistent(names in gens::vec_of(name(), 2..8)) {
+        let mut names = names;
         names.sort();
         // Sorted ⇒ pairwise ordered (antisymmetry + transitivity smoke).
         for w in names.windows(2) {
-            prop_assert_ne!(w[0].canonical_cmp(&w[1]), std::cmp::Ordering::Greater);
+            assert_ne!(w[0].canonical_cmp(&w[1]), std::cmp::Ordering::Greater);
         }
         // Equal names compare equal regardless of case.
         for n in &names {
-            prop_assert_eq!(n.canonical_cmp(&n.to_lowercase()), std::cmp::Ordering::Equal);
+            assert_eq!(n.canonical_cmp(&n.to_lowercase()), std::cmp::Ordering::Equal);
         }
     }
 
-    #[test]
     fn subdomain_of_concat_holds(a in name(), b in name()) {
         if let Ok(joined) = a.concat(&b) {
-            prop_assert!(joined.is_subdomain_of(&b));
+            assert!(joined.is_subdomain_of(&b));
         }
     }
 
-    #[test]
-    fn record_roundtrip(n in name(), ttl in any::<u32>(), rd in rdata()) {
+    fn record_roundtrip(n in name(), ttl in gens::u32s(..), rd in rdata()) {
         let rec = Record { name: n, class: Class::IN, ttl, rdata: rd };
         let mut w = Writer::plain();
         rec.encode(&mut w);
         let buf = w.finish();
         let mut r = Reader::new(&buf);
-        prop_assert_eq!(Record::decode(&mut r).unwrap(), rec);
+        assert_eq!(Record::decode(&mut r).unwrap(), rec);
     }
 
-    #[test]
     fn message_roundtrip(
-        id in any::<u16>(),
+        id in gens::u16s(..),
         qname in name(),
-        answers in proptest::collection::vec((name(), any::<u32>(), rdata()), 0..5),
-        rcode in 0u16..16,
-        ad in any::<bool>(),
+        answers in gens::vec_of((name(), gens::u32s(..), rdata()), 0..5),
+        rcode in gens::u16s(0..16),
+        ad in gens::bools(),
     ) {
         let msg = Message {
             id,
@@ -152,49 +177,43 @@ proptest! {
             additionals: vec![],
             edns: Some(Default::default()),
         };
-        prop_assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+        assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
     }
 
-    #[test]
-    fn base32_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..64)) {
-        prop_assert_eq!(base32::decode(&base32::encode(&data)).unwrap(), data);
+    fn base32_roundtrip(data in gens::vec_of(gens::u8s(..), 0..64)) {
+        assert_eq!(base32::decode(&base32::encode(&data)).unwrap(), data);
     }
 
-    #[test]
-    fn base64_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..96)) {
-        prop_assert_eq!(base64::decode(&base64::encode(&data)).unwrap(), data);
+    fn base64_roundtrip(data in gens::vec_of(gens::u8s(..), 0..96)) {
+        assert_eq!(base64::decode(&base64::encode(&data)).unwrap(), data);
     }
 
-    #[test]
-    fn base32_encoding_is_canonical(data in proptest::collection::vec(any::<u8>(), 0..32)) {
+    fn base32_encoding_is_canonical(data in gens::vec_of(gens::u8s(..), 0..32)) {
         // Same bytes → same string; different bytes → different string.
         let a = base32::encode(&data);
         let mut data2 = data.clone();
         if let Some(first) = data2.first_mut() {
             *first ^= 1;
-            prop_assert_ne!(base32::encode(&data2), a.clone());
+            assert_ne!(base32::encode(&data2), a);
         }
-        prop_assert_eq!(base32::encode(&data), a);
+        assert_eq!(base32::encode(&data), a);
     }
 
-    #[test]
-    fn typebitmap_roundtrip(types in proptest::collection::vec(any::<u16>(), 0..24)) {
+    fn typebitmap_roundtrip(types in gens::vec_of(gens::u16s(..), 0..24)) {
         let bm: TypeBitmap = types.into_iter().map(RrType).collect();
         let mut w = Writer::plain();
         bm.encode(&mut w);
         let buf = w.finish();
         let mut r = Reader::new(&buf);
-        prop_assert_eq!(TypeBitmap::decode(&mut r, buf.len()).unwrap(), bm);
+        assert_eq!(TypeBitmap::decode(&mut r, buf.len()).unwrap(), bm);
     }
 
-    #[test]
-    fn decoder_never_panics_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..200)) {
+    fn decoder_never_panics_on_garbage(data in gens::vec_of(gens::u8s(..), 0..200)) {
         let _ = Message::decode(&data); // must not panic
         let mut r = Reader::new(&data);
         let _ = r.name();
     }
 
-    #[test]
     fn truncations_never_panic(qname in name()) {
         let msg = Message::query(1, qname, RrType::A).encode();
         for cut in 0..msg.len() {

@@ -82,7 +82,11 @@ fn nsec3_covering_hash(z: &SignedZone, h: &[u8; 20]) -> Option<Name> {
         Ok(_) => None, // exact match: not "covered", it's "matched"
         Err(insert_at) => {
             // Predecessor in circular order; index 0 wraps to the last.
-            let idx = if insert_at == 0 { z.nsec3_index.len() - 1 } else { insert_at - 1 };
+            let idx = if insert_at == 0 {
+                z.nsec3_index.len() - 1
+            } else {
+                insert_at - 1
+            };
             Some(z.nsec3_index[idx].1.clone())
         }
     }
@@ -110,7 +114,11 @@ pub fn nxdomain_proof(z: &SignedZone, qname: &Name) -> Result<DenialProof, ZoneE
             push_owner(nsec3_covering(z, &next_closer));
             push_owner(nsec3_covering(z, &wildcard));
             dedup_records(&mut records);
-            Ok(DenialProof { kind: DenialKind::NxDomain, records, closest_encloser: Some(ce) })
+            Ok(DenialProof {
+                kind: DenialKind::NxDomain,
+                records,
+                closest_encloser: Some(ce),
+            })
         }
         Denial::Nsec => {
             let ce = z.zone.closest_encloser(qname);
@@ -123,7 +131,11 @@ pub fn nxdomain_proof(z: &SignedZone, qname: &Name) -> Result<DenialProof, ZoneE
                 records.extend(with_rrsigs(z, &owner, RrType::NSEC));
             }
             dedup_records(&mut records);
-            Ok(DenialProof { kind: DenialKind::NxDomain, records, closest_encloser: Some(ce) })
+            Ok(DenialProof {
+                kind: DenialKind::NxDomain,
+                records,
+                closest_encloser: Some(ce),
+            })
         }
     }
 }
@@ -141,7 +153,11 @@ pub fn nodata_proof(z: &SignedZone, qname: &Name) -> Result<DenialProof, ZoneErr
                 // the DS absence instead (RFC 5155 §7.2.4).
                 records.extend(with_rrsigs(z, &owner, RrType::NSEC3));
             }
-            Ok(DenialProof { kind: DenialKind::NoData, records, closest_encloser: None })
+            Ok(DenialProof {
+                kind: DenialKind::NoData,
+                records,
+                closest_encloser: None,
+            })
         }
         Denial::Nsec => {
             let mut records = Vec::new();
@@ -151,7 +167,11 @@ pub fn nodata_proof(z: &SignedZone, qname: &Name) -> Result<DenialProof, ZoneErr
             } else if let Some(owner) = nsec_covering(z, qname) {
                 records.extend(with_rrsigs(z, &owner, RrType::NSEC));
             }
-            Ok(DenialProof { kind: DenialKind::NoData, records, closest_encloser: None })
+            Ok(DenialProof {
+                kind: DenialKind::NoData,
+                records,
+                closest_encloser: None,
+            })
         }
     }
 }
@@ -214,7 +234,11 @@ pub fn nsec_covering(z: &SignedZone, name: &Name) -> Option<Name> {
     // Predecessor of `name` (strictly before it). Wrap to last if `name`
     // precedes every owner.
     let idx = owners.partition_point(|o| o.canonical_cmp(name) == std::cmp::Ordering::Less);
-    let owner = if idx == 0 { owners[owners.len() - 1] } else { owners[idx - 1] };
+    let owner = if idx == 0 {
+        owners[owners.len() - 1]
+    } else {
+        owners[idx - 1]
+    };
     if owner == name {
         return None; // name exists: matched, not covered
     }
@@ -260,22 +284,48 @@ mod tests {
             },
         ))
         .unwrap();
-        z.add(Record::new(name("example."), 3600, RData::Ns(name("ns1.example.")))).unwrap();
-        z.add(Record::new(name("ns1.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 53))))
-            .unwrap();
-        z.add(Record::new(name("www.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 1))))
-            .unwrap();
-        z.add(Record::new(name("a.b.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 2))))
-            .unwrap();
-        let cfg = SignerConfig { denial, ..SignerConfig::standard(&name("example."), NOW) };
+        z.add(Record::new(
+            name("example."),
+            3600,
+            RData::Ns(name("ns1.example.")),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            name("ns1.example."),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 53)),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            name("www.example."),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            name("a.b.example."),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 2)),
+        ))
+        .unwrap();
+        let cfg = SignerConfig {
+            denial,
+            ..SignerConfig::standard(&name("example."), NOW)
+        };
         sign_zone(&z, &cfg).unwrap()
     }
 
     #[test]
     fn next_closer_computation() {
         let ce = name("example.");
-        assert_eq!(next_closer_name(&name("x.example."), &ce).unwrap(), name("x.example."));
-        assert_eq!(next_closer_name(&name("a.b.x.example."), &ce).unwrap(), name("x.example."));
+        assert_eq!(
+            next_closer_name(&name("x.example."), &ce).unwrap(),
+            name("x.example.")
+        );
+        assert_eq!(
+            next_closer_name(&name("a.b.x.example."), &ce).unwrap(),
+            name("x.example.")
+        );
         assert!(next_closer_name(&ce, &ce).is_err());
     }
 
@@ -285,14 +335,26 @@ mod tests {
         let proof = nxdomain_proof(&z, &name("nx.example.")).unwrap();
         assert_eq!(proof.kind, DenialKind::NxDomain);
         assert_eq!(proof.closest_encloser, Some(name("example.")));
-        let nsec3s: Vec<_> = proof.records.iter().filter(|r| r.rrtype() == RrType::NSEC3).collect();
-        let rrsigs: Vec<_> = proof.records.iter().filter(|r| r.rrtype() == RrType::RRSIG).collect();
+        let nsec3s: Vec<_> = proof
+            .records
+            .iter()
+            .filter(|r| r.rrtype() == RrType::NSEC3)
+            .collect();
+        let rrsigs: Vec<_> = proof
+            .records
+            .iter()
+            .filter(|r| r.rrtype() == RrType::RRSIG)
+            .collect();
         assert!(
             (1..=3).contains(&nsec3s.len()),
             "expected 1..=3 NSEC3 records, got {}",
             nsec3s.len()
         );
-        assert_eq!(nsec3s.len(), rrsigs.len(), "each NSEC3 travels with its RRSIG");
+        assert_eq!(
+            nsec3s.len(),
+            rrsigs.len(),
+            "each NSEC3 travels with its RRSIG"
+        );
     }
 
     #[test]
@@ -311,7 +373,11 @@ mod tests {
         let z = build_signed(Denial::nsec3_rfc9276());
         let proof = nodata_proof(&z, &name("www.example.")).unwrap();
         assert_eq!(proof.kind, DenialKind::NoData);
-        let nsec3s: Vec<_> = proof.records.iter().filter(|r| r.rrtype() == RrType::NSEC3).collect();
+        let nsec3s: Vec<_> = proof
+            .records
+            .iter()
+            .filter(|r| r.rrtype() == RrType::NSEC3)
+            .collect();
         assert_eq!(nsec3s.len(), 1);
         // Its bitmap must show A but (say) not TXT.
         match &nsec3s[0].rdata {
@@ -335,7 +401,11 @@ mod tests {
     fn nsec_nxdomain_proof() {
         let z = build_signed(Denial::Nsec);
         let proof = nxdomain_proof(&z, &name("nx.example.")).unwrap();
-        let nsecs: Vec<_> = proof.records.iter().filter(|r| r.rrtype() == RrType::NSEC).collect();
+        let nsecs: Vec<_> = proof
+            .records
+            .iter()
+            .filter(|r| r.rrtype() == RrType::NSEC)
+            .collect();
         assert!(!nsecs.is_empty() && nsecs.len() <= 2);
         // Each NSEC must actually cover nx.example. or *.example.
         for rec in &nsecs {
@@ -344,8 +414,7 @@ mod tests {
                     let covers = |target: &Name| {
                         let after_owner =
                             rec.name.canonical_cmp(target) == std::cmp::Ordering::Less;
-                        let before_next = target.canonical_cmp(next)
-                            == std::cmp::Ordering::Less
+                        let before_next = target.canonical_cmp(next) == std::cmp::Ordering::Less
                             || next == z.zone.apex(); // wrap
                         after_owner && before_next
                     };
@@ -382,13 +451,13 @@ mod tests {
             },
         ))
         .unwrap();
-        zone.add(Record::new(name("*.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 9))))
-            .unwrap();
-        let z = sign_zone(
-            &zone,
-            &SignerConfig::standard(&name("example."), NOW),
-        )
+        zone.add(Record::new(
+            name("*.example."),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 9)),
+        ))
         .unwrap();
+        let z = sign_zone(&zone, &SignerConfig::standard(&name("example."), NOW)).unwrap();
         let proof =
             wildcard_expansion_proof(&z, &name("anything.example."), &name("example.")).unwrap();
         assert_eq!(proof.kind, DenialKind::WildcardExpansion);

@@ -18,7 +18,12 @@ pub fn corrupt_rrsigs_covering(z: &mut SignedZone, covered: RrType) -> usize {
     for name in names {
         if let Some(sigs) = z.zone.rrset_mut(&name, RrType::RRSIG) {
             for sig in sigs.iter_mut() {
-                if let RData::Rrsig { type_covered, signature, .. } = &mut sig.rdata {
+                if let RData::Rrsig {
+                    type_covered,
+                    signature,
+                    ..
+                } = &mut sig.rdata
+                {
                     if *type_covered == covered && !signature.is_empty() {
                         signature[0] ^= 0xff;
                         corrupted += 1;
@@ -41,7 +46,13 @@ pub fn expire_rrsigs(z: &mut SignedZone, covered: Option<RrType>, now: u32) -> u
     for name in names {
         if let Some(sigs) = z.zone.rrset_mut(&name, RrType::RRSIG) {
             for sig in sigs.iter_mut() {
-                if let RData::Rrsig { type_covered, expiration, inception, .. } = &mut sig.rdata {
+                if let RData::Rrsig {
+                    type_covered,
+                    expiration,
+                    inception,
+                    ..
+                } = &mut sig.rdata
+                {
                     if covered.map(|c| c == *type_covered).unwrap_or(true) {
                         *inception = now.saturating_sub(60 * 86_400);
                         *expiration = now.saturating_sub(30 * 86_400);
@@ -83,7 +94,12 @@ pub fn add_second_nsec3param(z: &mut SignedZone, iterations: u16, salt: Vec<u8>)
         .add(Record::new(
             apex,
             ttl,
-            RData::Nsec3Param { hash_alg: 1, flags: 0, iterations, salt },
+            RData::Nsec3Param {
+                hash_alg: 1,
+                flags: 0,
+                iterations,
+                salt,
+            },
         ))
         .expect("apex is in zone");
 }
@@ -153,8 +169,12 @@ mod tests {
             },
         ))
         .unwrap();
-        z.add(Record::new(name("www.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 1))))
-            .unwrap();
+        z.add(Record::new(
+            name("www.example."),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        ))
+        .unwrap();
         sign_zone(&z, &SignerConfig::standard(&name("example."), NOW)).unwrap()
     }
 
@@ -180,7 +200,12 @@ mod tests {
             .cloned()
             .unwrap();
         let zsk = z.keys.iter().find(|k| !k.is_ksk()).unwrap();
-        assert!(!verify_rrsig(&sig.rdata, &owner, &rrset, zsk.pair.public_key()));
+        assert!(!verify_rrsig(
+            &sig.rdata,
+            &owner,
+            &rrset,
+            zsk.pair.public_key()
+        ));
     }
 
     #[test]
@@ -200,7 +225,12 @@ mod tests {
         let mut z = signed();
         expire_rrsigs(&mut z, Some(RrType::NSEC3), NOW);
         for rec in z.zone.iter() {
-            if let RData::Rrsig { type_covered, expiration, .. } = &rec.rdata {
+            if let RData::Rrsig {
+                type_covered,
+                expiration,
+                ..
+            } = &rec.rdata
+            {
                 if *type_covered == RrType::NSEC3 {
                     assert!(*expiration < NOW);
                 } else {

@@ -23,7 +23,7 @@ pub mod signer;
 pub mod zone;
 pub mod zonefile;
 
-pub use denial::{nxdomain_proof, nodata_proof, wildcard_expansion_proof, DenialKind, DenialProof};
+pub use denial::{nodata_proof, nxdomain_proof, wildcard_expansion_proof, DenialKind, DenialProof};
 pub use nsec3hash::{nsec3_hash, Nsec3Hash, Nsec3Params};
 pub use signer::{sign_zone, verify_rrsig, Denial, SignedZone, SignerConfig, SigningKey};
 pub use zone::Zone;

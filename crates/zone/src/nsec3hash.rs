@@ -12,10 +12,10 @@
 
 use dns_crypto::sha1::Sha1;
 use dns_crypto::Digest;
-use dns_wire::name::Name;
-use dns_wire::rdata::{RData, NSEC3_HASH_SHA1};
 #[cfg(test)]
 use dns_wire::base32;
+use dns_wire::name::Name;
+use dns_wire::rdata::{RData, NSEC3_HASH_SHA1};
 
 /// Per-zone NSEC3 parameters, as carried in NSEC3PARAM and in every NSEC3
 /// record of a zone.
@@ -34,19 +34,37 @@ impl Nsec3Params {
     /// The RFC 9276-compliant parameter set: SHA-1, zero additional
     /// iterations, empty salt ("1 0 0 -").
     pub fn rfc9276() -> Self {
-        Nsec3Params { hash_alg: NSEC3_HASH_SHA1, iterations: 0, salt: Vec::new() }
+        Nsec3Params {
+            hash_alg: NSEC3_HASH_SHA1,
+            iterations: 0,
+            salt: Vec::new(),
+        }
     }
 
     /// Arbitrary parameters (the populations in the wild).
     pub fn new(iterations: u16, salt: Vec<u8>) -> Self {
-        Nsec3Params { hash_alg: NSEC3_HASH_SHA1, iterations, salt }
+        Nsec3Params {
+            hash_alg: NSEC3_HASH_SHA1,
+            iterations,
+            salt,
+        }
     }
 
     /// Extract parameters from an NSEC3 or NSEC3PARAM RDATA.
     pub fn from_rdata(rdata: &RData) -> Option<Self> {
         match rdata {
-            RData::Nsec3 { hash_alg, iterations, salt, .. }
-            | RData::Nsec3Param { hash_alg, iterations, salt, .. } => Some(Nsec3Params {
+            RData::Nsec3 {
+                hash_alg,
+                iterations,
+                salt,
+                ..
+            }
+            | RData::Nsec3Param {
+                hash_alg,
+                iterations,
+                salt,
+                ..
+            } => Some(Nsec3Params {
                 hash_alg: *hash_alg,
                 iterations: *iterations,
                 salt: salt.clone(),
@@ -97,7 +115,10 @@ pub fn nsec3_hash(name: &Name, params: &Nsec3Params) -> Nsec3Hash {
         compressions += h.padded_compressions();
         digest = h.finalize_fixed();
     }
-    Nsec3Hash { digest, compressions }
+    Nsec3Hash {
+        digest,
+        compressions,
+    }
 }
 
 #[cfg(test)]
@@ -191,7 +212,12 @@ mod tests {
 
     #[test]
     fn params_from_rdata() {
-        let rd = RData::Nsec3Param { hash_alg: 1, flags: 0, iterations: 5, salt: vec![9] };
+        let rd = RData::Nsec3Param {
+            hash_alg: 1,
+            flags: 0,
+            iterations: 5,
+            salt: vec![9],
+        };
         let p = Nsec3Params::from_rdata(&rd).unwrap();
         assert_eq!(p.iterations, 5);
         assert_eq!(p.salt, vec![9]);

@@ -4,13 +4,13 @@
 use dns_crypto::keytag::key_tag;
 use dns_crypto::sha256::sha256;
 use dns_crypto::simsig::{self, KeyPair};
+use dns_wire::base32;
 use dns_wire::buf::Writer;
 use dns_wire::name::Name;
 use dns_wire::rdata::{RData, NSEC3_FLAG_OPT_OUT};
 use dns_wire::record::{canonical_rrset_order, Record};
 use dns_wire::rrtype::RrType;
 use dns_wire::typebitmap::TypeBitmap;
-use dns_wire::base32;
 
 use crate::nsec3hash::{nsec3_hash, Nsec3Params};
 use crate::zone::Zone;
@@ -90,7 +90,10 @@ pub enum Denial {
 impl Denial {
     /// NSEC3 with RFC 9276-compliant parameters and no opt-out.
     pub fn nsec3_rfc9276() -> Self {
-        Denial::Nsec3 { params: Nsec3Params::rfc9276(), opt_out: false }
+        Denial::Nsec3 {
+            params: Nsec3Params::rfc9276(),
+            opt_out: false,
+        }
     }
 }
 
@@ -123,7 +126,10 @@ impl SignerConfig {
 
     /// Same but with explicit NSEC3 parameters (the wild populations).
     pub fn with_nsec3(apex: &Name, now: u32, params: Nsec3Params, opt_out: bool) -> Self {
-        SignerConfig { denial: Denial::Nsec3 { params, opt_out }, ..Self::standard(apex, now) }
+        SignerConfig {
+            denial: Denial::Nsec3 { params, opt_out },
+            ..Self::standard(apex, now)
+        }
     }
 }
 
@@ -186,30 +192,38 @@ pub fn signing_buffer(
     owner: &Name,
     records: &[Record],
 ) -> Result<Vec<u8>, ZoneError> {
-    let (type_covered, algorithm, labels, original_ttl, expiration, inception, key_tag, signer_name) =
-        match rrsig_fields {
-            RData::Rrsig {
-                type_covered,
-                algorithm,
-                labels,
-                original_ttl,
-                expiration,
-                inception,
-                key_tag,
-                signer_name,
-                ..
-            } => (
-                *type_covered,
-                *algorithm,
-                *labels,
-                *original_ttl,
-                *expiration,
-                *inception,
-                *key_tag,
-                signer_name,
-            ),
-            _ => return Err(ZoneError::NotAnRrsig),
-        };
+    let (
+        type_covered,
+        algorithm,
+        labels,
+        original_ttl,
+        expiration,
+        inception,
+        key_tag,
+        signer_name,
+    ) = match rrsig_fields {
+        RData::Rrsig {
+            type_covered,
+            algorithm,
+            labels,
+            original_ttl,
+            expiration,
+            inception,
+            key_tag,
+            signer_name,
+            ..
+        } => (
+            *type_covered,
+            *algorithm,
+            *labels,
+            *original_ttl,
+            *expiration,
+            *inception,
+            *key_tag,
+            signer_name,
+        ),
+        _ => return Err(ZoneError::NotAnRrsig),
+    };
     let mut w = Writer::plain();
     w.u16(type_covered.0);
     w.u8(algorithm);
@@ -313,12 +327,7 @@ pub fn sign_rrset(
 ///
 /// Checks the cryptographic binding only; temporal validity and chain
 /// placement are the resolver's job.
-pub fn verify_rrsig(
-    rrsig: &RData,
-    owner: &Name,
-    records: &[Record],
-    public_key: &[u8],
-) -> bool {
+pub fn verify_rrsig(rrsig: &RData, owner: &Name, records: &[Record], public_key: &[u8]) -> bool {
     let signature = match rrsig {
         RData::Rrsig { signature, .. } => signature,
         _ => return false,
@@ -494,25 +503,49 @@ mod tests {
             },
         ))
         .unwrap();
-        z.add(Record::new(name("example."), 3600, RData::Ns(name("ns1.example.")))).unwrap();
-        z.add(Record::new(name("ns1.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 53))))
-            .unwrap();
-        z.add(Record::new(name("www.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 1))))
-            .unwrap();
-        z.add(Record::new(name("*.example."), 300, RData::A(Ipv4Addr::new(192, 0, 2, 99))))
-            .unwrap();
+        z.add(Record::new(
+            name("example."),
+            3600,
+            RData::Ns(name("ns1.example.")),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            name("ns1.example."),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 53)),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            name("www.example."),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        ))
+        .unwrap();
+        z.add(Record::new(
+            name("*.example."),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, 99)),
+        ))
+        .unwrap();
         z
     }
 
     fn signed() -> SignedZone {
-        sign_zone(&build_zone(), &SignerConfig::standard(&name("example."), NOW)).unwrap()
+        sign_zone(
+            &build_zone(),
+            &SignerConfig::standard(&name("example."), NOW),
+        )
+        .unwrap()
     }
 
     #[test]
     fn signing_adds_dnssec_records() {
         let s = signed();
         assert!(s.zone.rrset(&name("example."), RrType::DNSKEY).is_some());
-        assert!(s.zone.rrset(&name("example."), RrType::NSEC3PARAM).is_some());
+        assert!(s
+            .zone
+            .rrset(&name("example."), RrType::NSEC3PARAM)
+            .is_some());
         assert!(s.zone.rrset(&name("example."), RrType::RRSIG).is_some());
         assert_eq!(s.nsec3_index.len(), 4); // apex, ns1, www, *
     }
@@ -551,14 +584,24 @@ mod tests {
             .find(|r| matches!(&r.rdata, RData::Rrsig { type_covered, .. } if *type_covered == RrType::A))
             .unwrap();
         let zsk = s.keys.iter().find(|k| !k.is_ksk()).unwrap();
-        assert!(verify_rrsig(&sig.rdata, &www, &rrset, zsk.pair.public_key()));
+        assert!(verify_rrsig(
+            &sig.rdata,
+            &www,
+            &rrset,
+            zsk.pair.public_key()
+        ));
         // Tampered record must fail.
         let mut bad = rrset.clone();
         bad[0].rdata = RData::A(Ipv4Addr::new(10, 0, 0, 1));
         assert!(!verify_rrsig(&sig.rdata, &www, &bad, zsk.pair.public_key()));
         // Wrong key must fail.
         let ksk = s.keys.iter().find(|k| k.is_ksk()).unwrap();
-        assert!(!verify_rrsig(&sig.rdata, &www, &rrset, ksk.pair.public_key()));
+        assert!(!verify_rrsig(
+            &sig.rdata,
+            &www,
+            &rrset,
+            ksk.pair.public_key()
+        ));
     }
 
     #[test]
@@ -569,7 +612,12 @@ mod tests {
         let zsk_tag = s.keys.iter().find(|k| !k.is_ksk()).unwrap().key_tag();
         let sigs = s.zone.rrset(&apex, RrType::RRSIG).unwrap();
         for sig in sigs {
-            if let RData::Rrsig { type_covered, key_tag, .. } = &sig.rdata {
+            if let RData::Rrsig {
+                type_covered,
+                key_tag,
+                ..
+            } = &sig.rdata
+            {
                 if *type_covered == RrType::DNSKEY {
                     assert_eq!(*key_tag, ksk_tag);
                 } else {
@@ -585,7 +633,12 @@ mod tests {
         let ds = s.ds_records(3600);
         assert_eq!(ds.len(), 1);
         match &ds[0].rdata {
-            RData::Ds { key_tag: kt, digest_type, digest, .. } => {
+            RData::Ds {
+                key_tag: kt,
+                digest_type,
+                digest,
+                ..
+            } => {
                 assert_eq!(*kt, s.keys.iter().find(|k| k.is_ksk()).unwrap().key_tag());
                 assert_eq!(*digest_type, 2);
                 assert_eq!(digest.len(), 32);
@@ -612,13 +665,23 @@ mod tests {
             .iter()
             .map(|r| Record::new(name("q.example."), r.ttl, r.rdata.clone()))
             .collect();
-        assert!(verify_rrsig(&sig.rdata, &name("q.example."), &expanded, zsk.pair.public_key()));
+        assert!(verify_rrsig(
+            &sig.rdata,
+            &name("q.example."),
+            &expanded,
+            zsk.pair.public_key()
+        ));
         // And for a deeper expansion.
         let deeper: Vec<Record> = rrset
             .iter()
             .map(|r| Record::new(name("a.b.example."), r.ttl, r.rdata.clone()))
             .collect();
-        assert!(verify_rrsig(&sig.rdata, &name("a.b.example."), &deeper, zsk.pair.public_key()));
+        assert!(verify_rrsig(
+            &sig.rdata,
+            &name("a.b.example."),
+            &deeper,
+            zsk.pair.public_key()
+        ));
     }
 
     #[test]
@@ -661,7 +724,13 @@ mod tests {
         let rec = &s.zone.rrset(owner, RrType::NSEC3).unwrap()[0];
         match &rec.rdata {
             RData::Nsec3 { types, .. } => {
-                for t in [RrType::SOA, RrType::NS, RrType::DNSKEY, RrType::NSEC3PARAM, RrType::RRSIG] {
+                for t in [
+                    RrType::SOA,
+                    RrType::NS,
+                    RrType::DNSKEY,
+                    RrType::NSEC3PARAM,
+                    RrType::RRSIG,
+                ] {
                     assert!(types.contains(t), "apex bitmap missing {t}");
                 }
             }

@@ -22,7 +22,10 @@ pub struct Zone {
 impl Zone {
     /// An empty zone rooted at `apex`.
     pub fn new(apex: Name) -> Self {
-        Zone { apex, rrsets: BTreeMap::new() }
+        Zone {
+            apex,
+            rrsets: BTreeMap::new(),
+        }
     }
 
     /// The zone apex.
@@ -100,7 +103,10 @@ impl Zone {
 
     /// Total record count.
     pub fn len(&self) -> usize {
-        self.rrsets.values().map(|t| t.values().map(Vec::len).sum::<usize>()).sum()
+        self.rrsets
+            .values()
+            .map(|t| t.values().map(Vec::len).sum::<usize>())
+            .sum()
     }
 
     /// True if the zone holds no records.
@@ -162,7 +168,9 @@ impl Zone {
         }
         // An ENT exists iff some stored name is strictly below `name`.
         self.rrsets
-            .range(std::ops::RangeFrom { start: name.clone() })
+            .range(std::ops::RangeFrom {
+                start: name.clone(),
+            })
             .take_while(|(n, _)| n.is_subdomain_of(name))
             .any(|(n, _)| n != name)
     }
@@ -313,8 +321,14 @@ mod tests {
     fn closest_encloser_walks_up() {
         let z = sample_zone();
         assert_eq!(z.closest_encloser(&name("nx.example.")), name("example."));
-        assert_eq!(z.closest_encloser(&name("x.y.www.example.")), name("www.example."));
-        assert_eq!(z.closest_encloser(&name("q.b.c.example.")), name("b.c.example."));
+        assert_eq!(
+            z.closest_encloser(&name("x.y.www.example.")),
+            name("www.example.")
+        );
+        assert_eq!(
+            z.closest_encloser(&name("q.b.c.example.")),
+            name("b.c.example.")
+        );
     }
 
     #[test]

@@ -44,25 +44,34 @@ pub fn parse_zone(text: &str, default_origin: &Name) -> Result<Zone, ParseError>
     let mut records: Vec<Record> = Vec::new();
 
     for (line_no, logical) in logical_lines(text) {
-        let err = |message: String| ParseError { line: line_no, message };
+        let err = |message: String| ParseError {
+            line: line_no,
+            message,
+        };
         let mut tokens = tokenize(&logical);
         if tokens.is_empty() {
             continue;
         }
         // Directives.
         if tokens[0].eq_ignore_ascii_case("$ORIGIN") {
-            let arg = tokens.get(1).ok_or_else(|| err("$ORIGIN needs a name".into()))?;
+            let arg = tokens
+                .get(1)
+                .ok_or_else(|| err("$ORIGIN needs a name".into()))?;
             origin = parse_name(arg, &origin).map_err(&err)?;
             continue;
         }
         if tokens[0].eq_ignore_ascii_case("$TTL") {
-            let arg = tokens.get(1).ok_or_else(|| err("$TTL needs a value".into()))?;
+            let arg = tokens
+                .get(1)
+                .ok_or_else(|| err("$TTL needs a value".into()))?;
             default_ttl = arg.parse().map_err(|_| err(format!("bad TTL {arg}")))?;
             continue;
         }
         // Owner: present unless the line starts with whitespace.
         let owner = if logical.starts_with(' ') || logical.starts_with('\t') {
-            last_owner.clone().ok_or_else(|| err("no previous owner".into()))?
+            last_owner
+                .clone()
+                .ok_or_else(|| err("no previous owner".into()))?
         } else {
             let tok = tokens.remove(0);
             parse_name(&tok, &origin).map_err(&err)?
@@ -91,7 +100,12 @@ pub fn parse_zone(text: &str, default_origin: &Name) -> Result<Zone, ParseError>
         let rtype = RrType::from_mnemonic(&tokens.remove(0))
             .ok_or_else(|| err("unknown record type".into()))?;
         let rdata = parse_rdata(rtype, &tokens, &origin).map_err(err)?;
-        records.push(Record { name: owner, class: Class::IN, ttl, rdata });
+        records.push(Record {
+            name: owner,
+            class: Class::IN,
+            ttl,
+            rdata,
+        });
     }
 
     // The zone apex: the owner of the SOA, else the origin.
@@ -103,7 +117,10 @@ pub fn parse_zone(text: &str, default_origin: &Name) -> Result<Zone, ParseError>
     let mut zone = Zone::new(apex);
     for rec in records {
         let line = 0;
-        zone.add(rec).map_err(|e: ZoneError| ParseError { line, message: e.to_string() })?;
+        zone.add(rec).map_err(|e: ZoneError| ParseError {
+            line,
+            message: e.to_string(),
+        })?;
     }
     Ok(zone)
 }
@@ -258,56 +275,90 @@ fn parse_bitmap(tokens: &[String]) -> Result<TypeBitmap, String> {
 }
 
 fn need<'a>(tokens: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
-    tokens.get(i).map(|s| s.as_str()).ok_or_else(|| format!("missing {what}"))
+    tokens
+        .get(i)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing {what}"))
 }
 
 fn parse_rdata(rtype: RrType, tokens: &[String], origin: &Name) -> Result<RData, String> {
     let rd = match rtype {
         RrType::A => RData::A(
-            need(tokens, 0, "address")?.parse().map_err(|_| "bad IPv4 address".to_string())?,
+            need(tokens, 0, "address")?
+                .parse()
+                .map_err(|_| "bad IPv4 address".to_string())?,
         ),
         RrType::AAAA => RData::Aaaa(
-            need(tokens, 0, "address")?.parse().map_err(|_| "bad IPv6 address".to_string())?,
+            need(tokens, 0, "address")?
+                .parse()
+                .map_err(|_| "bad IPv6 address".to_string())?,
         ),
         RrType::NS => RData::Ns(parse_name(need(tokens, 0, "target")?, origin)?),
         RrType::CNAME => RData::Cname(parse_name(need(tokens, 0, "target")?, origin)?),
         RrType::PTR => RData::Ptr(parse_name(need(tokens, 0, "target")?, origin)?),
         RrType::MX => RData::Mx {
-            preference: need(tokens, 0, "preference")?.parse().map_err(|_| "bad preference")?,
+            preference: need(tokens, 0, "preference")?
+                .parse()
+                .map_err(|_| "bad preference")?,
             exchange: parse_name(need(tokens, 1, "exchange")?, origin)?,
         },
         RrType::TXT => RData::Txt(tokens.iter().map(|t| t.as_bytes().to_vec()).collect()),
         RrType::SOA => RData::Soa {
             mname: parse_name(need(tokens, 0, "mname")?, origin)?,
             rname: parse_name(need(tokens, 1, "rname")?, origin)?,
-            serial: need(tokens, 2, "serial")?.parse().map_err(|_| "bad serial")?,
-            refresh: need(tokens, 3, "refresh")?.parse().map_err(|_| "bad refresh")?,
+            serial: need(tokens, 2, "serial")?
+                .parse()
+                .map_err(|_| "bad serial")?,
+            refresh: need(tokens, 3, "refresh")?
+                .parse()
+                .map_err(|_| "bad refresh")?,
             retry: need(tokens, 4, "retry")?.parse().map_err(|_| "bad retry")?,
-            expire: need(tokens, 5, "expire")?.parse().map_err(|_| "bad expire")?,
-            minimum: need(tokens, 6, "minimum")?.parse().map_err(|_| "bad minimum")?,
+            expire: need(tokens, 5, "expire")?
+                .parse()
+                .map_err(|_| "bad expire")?,
+            minimum: need(tokens, 6, "minimum")?
+                .parse()
+                .map_err(|_| "bad minimum")?,
         },
         RrType::DNSKEY => RData::Dnskey {
             flags: need(tokens, 0, "flags")?.parse().map_err(|_| "bad flags")?,
-            protocol: need(tokens, 1, "protocol")?.parse().map_err(|_| "bad protocol")?,
-            algorithm: need(tokens, 2, "algorithm")?.parse().map_err(|_| "bad algorithm")?,
-            public_key: base64::decode(&tokens[3..].join(""))
-                .ok_or("bad base64 public key")?,
+            protocol: need(tokens, 1, "protocol")?
+                .parse()
+                .map_err(|_| "bad protocol")?,
+            algorithm: need(tokens, 2, "algorithm")?
+                .parse()
+                .map_err(|_| "bad algorithm")?,
+            public_key: base64::decode(&tokens[3..].join("")).ok_or("bad base64 public key")?,
         },
         RrType::DS => RData::Ds {
-            key_tag: need(tokens, 0, "key tag")?.parse().map_err(|_| "bad key tag")?,
-            algorithm: need(tokens, 1, "algorithm")?.parse().map_err(|_| "bad algorithm")?,
-            digest_type: need(tokens, 2, "digest type")?.parse().map_err(|_| "bad digest type")?,
+            key_tag: need(tokens, 0, "key tag")?
+                .parse()
+                .map_err(|_| "bad key tag")?,
+            algorithm: need(tokens, 1, "algorithm")?
+                .parse()
+                .map_err(|_| "bad algorithm")?,
+            digest_type: need(tokens, 2, "digest type")?
+                .parse()
+                .map_err(|_| "bad digest type")?,
             digest: parse_hex(&tokens[3..].join(""))?,
         },
         RrType::RRSIG => RData::Rrsig {
             type_covered: RrType::from_mnemonic(need(tokens, 0, "type covered")?)
                 .ok_or("bad type covered")?,
-            algorithm: need(tokens, 1, "algorithm")?.parse().map_err(|_| "bad algorithm")?,
-            labels: need(tokens, 2, "labels")?.parse().map_err(|_| "bad labels")?,
-            original_ttl: need(tokens, 3, "original ttl")?.parse().map_err(|_| "bad ttl")?,
+            algorithm: need(tokens, 1, "algorithm")?
+                .parse()
+                .map_err(|_| "bad algorithm")?,
+            labels: need(tokens, 2, "labels")?
+                .parse()
+                .map_err(|_| "bad labels")?,
+            original_ttl: need(tokens, 3, "original ttl")?
+                .parse()
+                .map_err(|_| "bad ttl")?,
             expiration: parse_timestamp(need(tokens, 4, "expiration")?)?,
             inception: parse_timestamp(need(tokens, 5, "inception")?)?,
-            key_tag: need(tokens, 6, "key tag")?.parse().map_err(|_| "bad key tag")?,
+            key_tag: need(tokens, 6, "key tag")?
+                .parse()
+                .map_err(|_| "bad key tag")?,
             signer_name: parse_name(need(tokens, 7, "signer")?, origin)?,
             signature: base64::decode(&tokens[8..].join("")).ok_or("bad base64 signature")?,
         },
@@ -318,7 +369,9 @@ fn parse_rdata(rtype: RrType, tokens: &[String], origin: &Name) -> Result<RData,
         RrType::NSEC3 => {
             let next = need(tokens, 4, "next hashed owner")?;
             RData::Nsec3 {
-                hash_alg: need(tokens, 0, "hash alg")?.parse().map_err(|_| "bad hash alg")?,
+                hash_alg: need(tokens, 0, "hash alg")?
+                    .parse()
+                    .map_err(|_| "bad hash alg")?,
                 flags: need(tokens, 1, "flags")?.parse().map_err(|_| "bad flags")?,
                 iterations: need(tokens, 2, "iterations")?
                     .parse()
@@ -329,9 +382,13 @@ fn parse_rdata(rtype: RrType, tokens: &[String], origin: &Name) -> Result<RData,
             }
         }
         RrType::NSEC3PARAM => RData::Nsec3Param {
-            hash_alg: need(tokens, 0, "hash alg")?.parse().map_err(|_| "bad hash alg")?,
+            hash_alg: need(tokens, 0, "hash alg")?
+                .parse()
+                .map_err(|_| "bad hash alg")?,
             flags: need(tokens, 1, "flags")?.parse().map_err(|_| "bad flags")?,
-            iterations: need(tokens, 2, "iterations")?.parse().map_err(|_| "bad iterations")?,
+            iterations: need(tokens, 2, "iterations")?
+                .parse()
+                .map_err(|_| "bad iterations")?,
             salt: parse_hex(need(tokens, 3, "salt")?)?,
         },
         other => {
@@ -347,7 +404,10 @@ fn parse_rdata(rtype: RrType, tokens: &[String], origin: &Name) -> Result<RData,
                         data.len()
                     ));
                 }
-                RData::Unknown { rtype: other.0, data }
+                RData::Unknown {
+                    rtype: other.0,
+                    data,
+                }
             } else {
                 return Err(format!("unsupported type {other} in zone file"));
             }
@@ -385,17 +445,28 @@ txt      IN TXT "hello world" "second; string"
     fn parses_the_sample() {
         let zone = parse_zone(SAMPLE, &name(".")).unwrap();
         assert_eq!(zone.apex(), &name("example.com."));
-        assert_eq!(zone.rrset(&name("www.example.com."), RrType::A).unwrap()[0].ttl, 600);
+        assert_eq!(
+            zone.rrset(&name("www.example.com."), RrType::A).unwrap()[0].ttl,
+            600
+        );
         // Owner carried over from the previous line.
-        assert!(zone.rrset(&name("www.example.com."), RrType::AAAA).is_some());
+        assert!(zone
+            .rrset(&name("www.example.com."), RrType::AAAA)
+            .is_some());
         // Relative names resolved against $ORIGIN.
-        match &zone.rrset(&name("alias.example.com."), RrType::CNAME).unwrap()[0].rdata {
+        match &zone
+            .rrset(&name("alias.example.com."), RrType::CNAME)
+            .unwrap()[0]
+            .rdata
+        {
             RData::Cname(t) => assert_eq!(t, &name("www.example.com.")),
             _ => panic!(),
         }
         // SOA across parentheses and comments.
         match &zone.rrset(&name("example.com."), RrType::SOA).unwrap()[0].rdata {
-            RData::Soa { serial, minimum, .. } => {
+            RData::Soa {
+                serial, minimum, ..
+            } => {
                 assert_eq!(*serial, 2024030501);
                 assert_eq!(*minimum, 300);
             }
@@ -444,7 +515,11 @@ txt      IN TXT "hello world" "second; string"
     fn rejects_unknown_type_and_missing_fields() {
         assert!(parse_zone("www IN PTR\n", &name("example.com.")).is_err());
         let err = parse_zone("www IN WKS 1 2 3\n", &name("example.com.")).unwrap_err();
-        assert!(err.message.contains("unknown record type"), "{}", err.message);
+        assert!(
+            err.message.contains("unknown record type"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]
@@ -452,7 +527,13 @@ txt      IN TXT "hello world" "second; string"
         let text = "$ORIGIN example.\nx IN TYPE9999 \\# 3 01 02 ff\n";
         let zone = parse_zone(text, &name(".")).unwrap();
         let rec = zone.iter().next().unwrap();
-        assert_eq!(rec.rdata, RData::Unknown { rtype: 9999, data: vec![1, 2, 0xff] });
+        assert_eq!(
+            rec.rdata,
+            RData::Unknown {
+                rtype: 9999,
+                data: vec![1, 2, 0xff]
+            }
+        );
         // And its Display form parses back.
         let printed = format!("$ORIGIN example.\n{rec}\n");
         let reparsed = parse_zone(&printed, &name(".")).unwrap();
@@ -463,8 +544,7 @@ txt      IN TXT "hello world" "second; string"
 
     #[test]
     fn at_sign_and_default_origin() {
-        let zone =
-            parse_zone("@ IN A 192.0.2.7\n", &name("fallback.example.")).unwrap();
+        let zone = parse_zone("@ IN A 192.0.2.7\n", &name("fallback.example.")).unwrap();
         assert!(zone.rrset(&name("fallback.example."), RrType::A).is_some());
     }
 
@@ -474,7 +554,14 @@ txt      IN TXT "hello world" "second; string"
         let zone = parse_zone(text, &name(".")).unwrap();
         let rec = zone.iter().next().unwrap();
         match &rec.rdata {
-            RData::Nsec3 { iterations, salt, next_hashed, types, flags, .. } => {
+            RData::Nsec3 {
+                iterations,
+                salt,
+                next_hashed,
+                types,
+                flags,
+                ..
+            } => {
                 assert_eq!(*iterations, 12);
                 assert_eq!(salt, &vec![0xaa, 0xbb, 0xcc, 0xdd]);
                 assert_eq!(next_hashed.len(), 20);
@@ -485,6 +572,9 @@ txt      IN TXT "hello world" "second; string"
         }
         // And back out through Display.
         let printed = rec.to_string();
-        assert!(printed.contains("2T7B4G4VSA5SMI47K61MV5BV1A22BOJR"), "{printed}");
+        assert!(
+            printed.contains("2T7B4G4VSA5SMI47K61MV5BV1A22BOJR"),
+            "{printed}"
+        );
     }
 }

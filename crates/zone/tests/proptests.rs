@@ -2,7 +2,7 @@
 //! signing/verification round trips, and denial-proof soundness on
 //! arbitrary zones and query names.
 
-use proptest::prelude::*;
+use sim_check::{gens, props, Gen};
 
 use dns_wire::name::Name;
 use dns_wire::rdata::RData;
@@ -15,22 +15,27 @@ use dns_zone::Zone;
 
 const NOW: u32 = 1_710_000_000;
 
-fn label() -> impl Strategy<Value = String> {
-    proptest::collection::vec(proptest::char::range('a', 'z'), 1..=10)
-        .prop_map(|chars| chars.into_iter().collect())
+fn label() -> impl Gen<String> {
+    gens::string_of(gens::char_range('a', 'z'), 1..=10)
 }
 
 /// Names under the fixed apex `p.example.`.
-fn in_zone_name() -> impl Strategy<Value = Name> {
-    proptest::collection::vec(label(), 1..=3).prop_filter_map("too long", |labels| {
-        let rel = labels.join(".");
-        Name::parse(&format!("{rel}.p.example.")).ok()
-    })
+fn in_zone_name() -> impl Gen<Name> {
+    gens::filter_map(
+        gens::vec_of(label(), 1..=3),
+        |labels| {
+            let rel = labels.join(".");
+            Name::parse(&format!("{rel}.p.example.")).ok()
+        },
+        "too long",
+    )
 }
 
-fn params() -> impl Strategy<Value = Nsec3Params> {
-    (0u16..30, proptest::collection::vec(any::<u8>(), 0..12))
-        .prop_map(|(iterations, salt)| Nsec3Params::new(iterations, salt))
+fn params() -> impl Gen<Nsec3Params> {
+    gens::map(
+        (gens::u16s(0..30), gens::vec_of(gens::u8s(..), 0..12)),
+        |(iterations, salt)| Nsec3Params::new(iterations, salt),
+    )
 }
 
 fn build_signed(names: &[Name], params: Nsec3Params, opt_out: bool) -> SignedZone {
@@ -51,7 +56,11 @@ fn build_signed(names: &[Name], params: Nsec3Params, opt_out: bool) -> SignedZon
     ))
     .unwrap();
     for n in names {
-        let _ = zone.add(Record::new(n.clone(), 300, RData::A("192.0.2.1".parse().unwrap())));
+        let _ = zone.add(Record::new(
+            n.clone(),
+            300,
+            RData::A("192.0.2.1".parse().unwrap()),
+        ));
     }
     sign_zone(
         &zone,
@@ -63,14 +72,13 @@ fn build_signed(names: &[Name], params: Nsec3Params, opt_out: bool) -> SignedZon
     .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    #![cases = 64]
 
     /// The NSEC3 chain partitions hash space: every possible hash is
     /// either an owner hash or covered by exactly one interval.
-    #[test]
     fn nsec3_chain_partitions_hash_space(
-        names in proptest::collection::vec(in_zone_name(), 1..10),
+        names in gens::vec_of(in_zone_name(), 1..10),
         probe in in_zone_name(),
         p in params(),
     ) {
@@ -89,20 +97,19 @@ proptest! {
             }
         }
         if is_owner {
-            prop_assert_eq!(covering, 0, "owner hash must not also be covered");
+            assert_eq!(covering, 0, "owner hash must not also be covered");
         } else if n == 1 {
             // Single-record chains cover everything except the owner.
-            prop_assert_eq!(covering, 1);
+            assert_eq!(covering, 1);
         } else {
-            prop_assert_eq!(covering, 1, "exactly one covering interval");
+            assert_eq!(covering, 1, "exactly one covering interval");
         }
     }
 
     /// Every RRSIG the signer produces verifies against the matching key,
     /// regardless of zone contents.
-    #[test]
     fn all_signatures_verify(
-        names in proptest::collection::vec(in_zone_name(), 1..8),
+        names in gens::vec_of(in_zone_name(), 1..8),
         p in params(),
     ) {
         let signed = build_signed(&names, p, false);
@@ -123,7 +130,7 @@ proptest! {
                     .iter()
                     .find(|k| k.key_tag() == tag)
                     .expect("signing key present");
-                prop_assert!(
+                assert!(
                     verify_rrsig(&sig.rdata, &owner, &rrset, key.pair.public_key()),
                     "RRSIG over {} {} must verify",
                     owner,
@@ -136,19 +143,18 @@ proptest! {
     /// For any name not in the zone, the NXDOMAIN proof synthesizes and
     /// passes resolver-side verification; for any name in the zone, the
     /// NODATA proof for an absent type does.
-    #[test]
     fn denial_proofs_always_verify(
-        names in proptest::collection::vec(in_zone_name(), 1..8),
+        names in gens::vec_of(in_zone_name(), 1..8),
         probe in in_zone_name(),
         p in params(),
-        opt_out in any::<bool>(),
+        opt_out in gens::bools(),
     ) {
         let signed = build_signed(&names, p.clone(), opt_out);
         let apex = Name::parse("p.example.").unwrap();
         if signed.zone.name_exists(&probe) {
             if signed.zone.has_name(&probe) {
                 let proof = nodata_proof(&signed, &probe).unwrap();
-                prop_assert!(!proof.records.is_empty());
+                assert!(!proof.records.is_empty());
             }
         } else {
             let proof = nxdomain_proof(&signed, &probe).unwrap();
@@ -157,56 +163,53 @@ proptest! {
                 .iter()
                 .filter(|r| r.rrtype() == RrType::NSEC3)
                 .collect();
-            prop_assert!(!nsec3s.is_empty());
+            assert!(!nsec3s.is_empty());
             // Resolver-side check must accept it.
             use dns_resolver::cost::CostMeter;
             use dns_resolver::validator::{parse_nsec3_set, verify_nxdomain};
             let (vp, views) = parse_nsec3_set(&nsec3s).unwrap();
-            prop_assert_eq!(&vp, &p);
+            assert_eq!(&vp, &p);
             let meter = CostMeter::new();
-            prop_assert!(
+            assert!(
                 verify_nxdomain(&probe, &apex, &vp, &views, &meter).is_ok(),
                 "NXDOMAIN proof for {} must verify",
                 probe
             );
             // Cost is bounded by (labels + 2) chains of (iterations + 1)
             // hashes... loosely: it is nonzero and scales with params.
-            prop_assert!(meter.sha1_compressions() >= (p.iterations as u64 + 1) * 3);
+            assert!(meter.sha1_compressions() >= (p.iterations as u64 + 1) * 3);
         }
     }
 
     /// Any signed zone survives a print → parse round trip through the
     /// master-file format, record for record.
-    #[test]
     fn zonefile_roundtrip_for_signed_zones(
-        names in proptest::collection::vec(in_zone_name(), 1..8),
+        names in gens::vec_of(in_zone_name(), 1..8),
         p in params(),
-        opt_out in any::<bool>(),
+        opt_out in gens::bools(),
     ) {
         use dns_zone::zonefile::{parse_zone, print_zone};
         let signed = build_signed(&names, p, opt_out);
         let text = print_zone(&signed.zone);
         let reparsed = parse_zone(&text, &Name::root()).expect("printed zone parses");
-        prop_assert_eq!(reparsed.len(), signed.zone.len());
+        assert_eq!(reparsed.len(), signed.zone.len());
         let a: Vec<String> = signed.zone.iter().map(|r| r.to_string()).collect();
         let b: Vec<String> = reparsed.iter().map(|r| r.to_string()).collect();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 
     /// Hashing is deterministic and 20 bytes, for any params.
-    #[test]
     fn nsec3_hash_shape(n in in_zone_name(), p in params()) {
         let a = nsec3_hash(&n, &p);
         let b = nsec3_hash(&n, &p);
-        prop_assert_eq!(a.digest, b.digest);
-        prop_assert_eq!(a.compressions, b.compressions);
-        prop_assert!(a.compressions > p.iterations as u64);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.compressions, b.compressions);
+        assert!(a.compressions > p.iterations as u64);
     }
 
     /// denial_names is stable under opt-out: opting out only removes
     /// names, never adds.
-    #[test]
-    fn opt_out_shrinks_chain(names in proptest::collection::vec(in_zone_name(), 1..8)) {
+    fn opt_out_shrinks_chain(names in gens::vec_of(in_zone_name(), 1..8)) {
         let apex = Name::parse("p.example.").unwrap();
         let mut zone = Zone::new(apex.clone());
         zone.add(Record::new(
@@ -233,9 +236,9 @@ proptest! {
         }
         let full = zone.denial_names(false);
         let thin = zone.denial_names(true);
-        prop_assert!(thin.len() <= full.len());
+        assert!(thin.len() <= full.len());
         for n in &thin {
-            prop_assert!(full.contains(n));
+            assert!(full.contains(n));
         }
     }
 }

@@ -14,7 +14,10 @@ use popgen::{generate_domains, Scale};
 fn main() {
     let scale = Scale(1.0 / 200_000.0); // ~1.5 K domains: quick but meaningful
     let specs = generate_domains(scale, 42);
-    println!("population: {} registered domains (scale 1/200000)", specs.len());
+    println!(
+        "population: {} registered domains (scale 1/200000)",
+        specs.len()
+    );
 
     let t0 = std::time::Instant::now();
     let measured = run_domain_census(&specs, 1_710_000_000, 250);
@@ -26,7 +29,10 @@ fn main() {
 
     let stats = DomainStats::compute(&measured);
     println!("\n--- measured (paper values in parentheses) ---");
-    println!("DNSSEC-enabled:      {} (8.8 %)", fmt_pct(stats.dnssec_pct()));
+    println!(
+        "DNSSEC-enabled:      {} (8.8 %)",
+        fmt_pct(stats.dnssec_pct())
+    );
     println!(
         "NSEC3 of DNSSEC:     {} (58.9 %)",
         fmt_pct(stats.nsec3_of_dnssec_pct())
@@ -35,16 +41,24 @@ fn main() {
         "RFC 9276 violations: {} (87.8 %)",
         fmt_pct(stats.non_compliant_pct())
     );
-    println!("zero iterations:     {} (12.2 %)", fmt_pct(stats.zero_iteration_pct()));
-    println!("no salt:             {} (8.6 %)", fmt_pct(stats.no_salt_pct()));
-    println!("opt-out set:         {} (6.4 %)", fmt_pct(stats.opt_out_pct()));
+    println!(
+        "zero iterations:     {} (12.2 %)",
+        fmt_pct(stats.zero_iteration_pct())
+    );
+    println!(
+        "no salt:             {} (8.6 %)",
+        fmt_pct(stats.no_salt_pct())
+    );
+    println!(
+        "opt-out set:         {} (6.4 %)",
+        fmt_pct(stats.opt_out_pct())
+    );
 
     println!("\n--- top operators (measured from NS records) ---");
     print!("{}", render_table2(&operator_table(&measured, 5)));
 
     // Closed loop: measured == declared?
     let declared = DomainStats::compute(&records_from_specs(&specs));
-    let drift =
-        (stats.zero_iteration_pct() - declared.zero_iteration_pct()).abs();
+    let drift = (stats.zero_iteration_pct() - declared.zero_iteration_pct()).abs();
     println!("\nclosed-loop drift on the it=0 share: {drift:.3} points (expect ~0)");
 }

@@ -22,7 +22,10 @@ fn main() {
         .simple_zone(&name("com."), Denial::nsec3_rfc9276())
         .simple_zone(
             &name("attacker.com."),
-            Denial::Nsec3 { params: Nsec3Params::new(2500, vec![0xee; 58]), opt_out: false },
+            Denial::Nsec3 {
+                params: Nsec3Params::new(2500, vec![0xee; 58]),
+                opt_out: false,
+            },
         )
         .build();
 
@@ -61,18 +64,18 @@ fn main() {
     for i in 0..QUERIES {
         let qname = name(&format!("x{i}.b.c.d.e.attacker.com."));
         let out = patched.resolve(&lab.net, &qname, RrType::A);
-        assert_eq!(out.rcode, Rcode::NxDomain, "downgraded to insecure, still answers");
+        assert_eq!(
+            out.rcode,
+            Rcode::NxDomain,
+            "downgraded to insecure, still answers"
+        );
         patched_cost += out.cost.sha1_compressions;
     }
     let patched_time = t_patched.elapsed();
 
     println!("{QUERIES} unique NXDOMAIN queries against each resolver:");
-    println!(
-        "  unlimited validator: {victim_cost:>10} SHA-1 compressions  ({unlimited_time:?})"
-    );
-    println!(
-        "  patched (limit 50):  {patched_cost:>10} SHA-1 compressions  ({patched_time:?})"
-    );
+    println!("  unlimited validator: {victim_cost:>10} SHA-1 compressions  ({unlimited_time:?})");
+    println!("  patched (limit 50):  {patched_cost:>10} SHA-1 compressions  ({patched_time:?})");
     println!(
         "  amplification removed: {:.0}x",
         victim_cost as f64 / patched_cost.max(1) as f64

@@ -37,7 +37,11 @@ fn main() {
         },
     ))
     .unwrap();
-    for (label, ip) in [("www", "192.0.2.1"), ("api", "192.0.2.2"), ("mail", "192.0.2.3")] {
+    for (label, ip) in [
+        ("www", "192.0.2.1"),
+        ("api", "192.0.2.2"),
+        ("mail", "192.0.2.3"),
+    ] {
         zone.add(Record::new(
             name(&format!("{label}.example.org.")),
             300,
@@ -49,10 +53,15 @@ fn main() {
     // 2. Sign it, RFC 9276-style (0 additional iterations, no salt).
     let config = SignerConfig::standard(&apex, now);
     let signed = sign_zone(&zone, &config).unwrap();
-    println!("signed zone holds {} records, including:", signed.zone.len());
-    for rec in signed.zone.iter().filter(|r| {
-        matches!(r.rrtype(), t if t == RrType::NSEC3PARAM || t == RrType::NSEC3)
-    }) {
+    println!(
+        "signed zone holds {} records, including:",
+        signed.zone.len()
+    );
+    for rec in signed
+        .zone
+        .iter()
+        .filter(|r| matches!(r.rrtype(), t if t == RrType::NSEC3PARAM || t == RrType::NSEC3))
+    {
         println!("  {rec}");
     }
 
@@ -74,8 +83,11 @@ fn main() {
     }
 
     // 5. Validate it the way a resolver would, metering the hash cost.
-    let nsec3s: Vec<&Record> =
-        proof.records.iter().filter(|r| r.rrtype() == RrType::NSEC3).collect();
+    let nsec3s: Vec<&Record> = proof
+        .records
+        .iter()
+        .filter(|r| r.rrtype() == RrType::NSEC3)
+        .collect();
     let (proof_params, views) = parse_nsec3_set(&nsec3s).unwrap();
     let meter = CostMeter::new();
     let verified = verify_nxdomain(&qname, &apex, &proof_params, &views, &meter).unwrap();

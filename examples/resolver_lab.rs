@@ -22,7 +22,10 @@ fn main() {
     );
 
     let scanner = tb.lab.alloc.v4();
-    println!("\n{:<26} {:>9} {:>9} {:>9} {:>6} {:>6}", "vendor", "validator", "insec@", "servfail@", "EDE27", "flaky");
+    println!(
+        "\n{:<26} {:>9} {:>9} {:>9} {:>6} {:>6}",
+        "vendor", "validator", "insec@", "servfail@", "EDE27", "flaky"
+    );
     for profile in VendorProfile::all() {
         let addr = tb.lab.alloc.v4();
         let mut cfg =
@@ -37,8 +40,12 @@ fn main() {
             "{:<26} {:>9} {:>9} {:>9} {:>6} {:>6}",
             profile.name(),
             if c.is_validator { "yes" } else { "no" },
-            c.insecure_limit.map(|v| v.to_string()).unwrap_or_else(|| "-".into()),
-            c.servfail_start.map(|v| v.to_string()).unwrap_or_else(|| "-".into()),
+            c.insecure_limit
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into()),
+            c.servfail_start
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into()),
             if c.ede27_on_limit { "yes" } else { "no" },
             if c.flaky { "yes" } else { "no" },
         );

@@ -45,8 +45,8 @@ fn main() {
     );
 
     // 2. Sign (RFC 9276 defaults: NSEC3, 0 iterations, no salt).
-    let signed = sign_zone(&zone, &SignerConfig::standard(zone.apex(), 1_710_000_000))
-        .expect("zone signs");
+    let signed =
+        sign_zone(&zone, &SignerConfig::standard(zone.apex(), 1_710_000_000)).expect("zone signs");
     println!(
         "signed: {} records ({} NSEC3 chain entries)",
         signed.zone.len(),
@@ -68,9 +68,11 @@ fn main() {
     server.add_zone(signed.clone());
     server.allow_axfr(zone.apex());
     net.register(server_addr, Rc::new(server));
-    let transferred =
-        walk::axfr(&net, client, server_addr, zone.apex()).expect("transfer allowed");
-    println!("\nAXFR returned {} records (TCP-framed transfer)", transferred.len());
+    let transferred = walk::axfr(&net, client, server_addr, zone.apex()).expect("transfer allowed");
+    println!(
+        "\nAXFR returned {} records (TCP-framed transfer)",
+        transferred.len()
+    );
 
     // 5. The transfer matches the printed file, record for record.
     let mut from_file: Vec<String> = parse_zone(&printed, &name("."))

@@ -37,7 +37,14 @@ fn build_zone() -> Zone {
     ))
     .unwrap();
     // A mix of guessable and secret subdomains.
-    for label in ["www", "api", "mail", "vpn", "internal-dashboard-x7k2", "secret-project-zeta"] {
+    for label in [
+        "www",
+        "api",
+        "mail",
+        "vpn",
+        "internal-dashboard-x7k2",
+        "secret-project-zeta",
+    ] {
         z.add(Record::new(
             name(&format!("{label}.victim.example.")),
             300,
@@ -55,7 +62,10 @@ fn main() {
     // --- NSEC: full enumeration by following the chain. ---
     let nsec_signed = sign_zone(
         &build_zone(),
-        &SignerConfig { denial: Denial::Nsec, ..SignerConfig::standard(&apex, now) },
+        &SignerConfig {
+            denial: Denial::Nsec,
+            ..SignerConfig::standard(&apex, now)
+        },
     )
     .unwrap();
     println!("NSEC zone walk (each NSEC record names its successor):");
@@ -76,11 +86,13 @@ fn main() {
     for n in &walked {
         println!("  {n}");
     }
-    println!("  -> the whole zone, including the secret names, in {} steps\n", walked.len());
+    println!(
+        "  -> the whole zone, including the secret names, in {} steps\n",
+        walked.len()
+    );
 
     // --- NSEC3: the chain only leaks hashes… ---
-    let nsec3_signed =
-        sign_zone(&build_zone(), &SignerConfig::standard(&apex, now)).unwrap();
+    let nsec3_signed = sign_zone(&build_zone(), &SignerConfig::standard(&apex, now)).unwrap();
     println!("NSEC3 chain (hashes only):");
     for (hash, _) in &nsec3_signed.nsec3_index {
         println!("  {}", base32::encode(hash));
@@ -89,15 +101,22 @@ fn main() {
     // --- …but a dictionary breaks the guessable ones offline. ---
     let params = nsec3_signed.nsec3_params().unwrap().clone();
     let dictionary = [
-        "www", "api", "mail", "ftp", "vpn", "smtp", "ns1", "dev", "staging", "admin",
-        "webmail", "portal", "shop", "blog", "cdn",
+        "www", "api", "mail", "ftp", "vpn", "smtp", "ns1", "dev", "staging", "admin", "webmail",
+        "portal", "shop", "blog", "cdn",
     ];
-    println!("\noffline dictionary attack against the hashes ({} candidates):", dictionary.len());
+    println!(
+        "\noffline dictionary attack against the hashes ({} candidates):",
+        dictionary.len()
+    );
     let mut cracked = 0;
     for word in dictionary {
         let candidate: Name = name(&format!("{word}.victim.example."));
         let h = nsec3_hash(&candidate, &params).digest;
-        if nsec3_signed.nsec3_index.binary_search_by(|(x, _)| x.cmp(&h)).is_ok() {
+        if nsec3_signed
+            .nsec3_index
+            .binary_search_by(|(x, _)| x.cmp(&h))
+            .is_ok()
+        {
             println!("  cracked: {candidate}");
             cracked += 1;
         }
@@ -123,7 +142,10 @@ fn main() {
         harvest.hashes.len()
     );
     let cracked = walk::dictionary_attack(&harvest, &apex, &dictionary);
-    println!("network-side dictionary attack cracked {} names:", cracked.len());
+    println!(
+        "network-side dictionary attack cracked {} names:",
+        cracked.len()
+    );
     for (name, work) in &cracked {
         println!("  {name} (after {work} SHA-1 compressions of attacker work)");
     }

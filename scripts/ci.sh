@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Canonical offline verification for this repository. Run before every
+# push; CI runs exactly this script.
+#
+# The workspace is 100 % self-contained: no network, no registry, no
+# external crates. --offline makes any accidental dependency regression
+# fail loudly right here.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build (release, offline)"
+cargo build --release --offline --workspace
+
+echo "== tier 1: tests (offline)"
+cargo test -q --offline --workspace
+
+if command -v rustfmt >/dev/null 2>&1; then
+    echo "== rustfmt --check"
+    cargo fmt --all -- --check
+else
+    echo "== rustfmt not installed; skipping"
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== clippy (-D warnings)"
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+else
+    echo "== clippy not installed; skipping"
+fi
+
+echo "== external-dependency guard"
+if grep -rn --include=Cargo.toml -E '^\s*((rand|proptest|criterion)\b|\[[a-z-]+\.(rand|proptest|criterion)\])' . ; then
+    echo "error: external dependency crept back into a manifest" >&2
+    exit 1
+fi
+
+echo "ci.sh: all checks passed"

@@ -21,10 +21,16 @@ fn census_survives_packet_loss_via_retries() {
         .simple_zone(&name("com."), Denial::nsec3_rfc9276())
         .simple_zone(
             &name("lossy.com."),
-            Denial::Nsec3 { params: Nsec3Params::new(7, vec![0xaa; 4]), opt_out: false },
+            Denial::Nsec3 {
+                params: Nsec3Params::new(7, vec![0xaa; 4]),
+                opt_out: false,
+            },
         )
         .build();
-    lab.net.set_faults(FaultConfig { drop_chance: 0.15, ..Default::default() });
+    lab.net.set_faults(FaultConfig {
+        drop_chance: 0.15,
+        ..Default::default()
+    });
     let raddr = lab.alloc.v4();
     let mut cfg = ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
     cfg.now = lab.now;
@@ -41,7 +47,10 @@ fn census_survives_packet_loss_via_retries() {
         }
     }
     assert!(seen.len() >= 7, "most scans succeed: {}/10", seen.len());
-    assert!(seen.iter().all(|&p| p == (7, 4)), "never a wrong parameter: {seen:?}");
+    assert!(
+        seen.iter().all(|&p| p == (7, 4)),
+        "never a wrong parameter: {seen:?}"
+    );
 }
 
 #[test]
@@ -59,11 +68,17 @@ fn prober_classification_stable_under_duplication() {
     for n in [100u16, 150, 151, 200] {
         b = b.simple_zone(
             &name(&format!("it-{n}.tb.com.")),
-            Denial::Nsec3 { params: Nsec3Params::new(n, vec![]), opt_out: false },
+            Denial::Nsec3 {
+                params: Nsec3Params::new(n, vec![]),
+                opt_out: false,
+            },
         );
     }
     let mut lab = b.build();
-    lab.net.set_faults(FaultConfig { duplicate_chance: 0.3, ..Default::default() });
+    lab.net.set_faults(FaultConfig {
+        duplicate_chance: 0.3,
+        ..Default::default()
+    });
     let raddr = lab.alloc.v4();
     let mut cfg = ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
     cfg.now = lab.now;
@@ -81,7 +96,11 @@ fn prober_classification_stable_under_duplication() {
     let src = lab.alloc.v4();
     let c = Prober::new(&lab.net, src, &plan).classify(raddr).unwrap();
     assert!(c.is_validator);
-    assert_eq!(c.insecure_limit, Some(150), "duplication must not shift the threshold");
+    assert_eq!(
+        c.insecure_limit,
+        Some(150),
+        "duplication must not shift the threshold"
+    );
     assert!(!c.flaky);
 }
 
@@ -94,10 +113,16 @@ fn corruption_leads_to_retries_not_misclassification() {
         .simple_zone(&name("com."), Denial::nsec3_rfc9276())
         .simple_zone(
             &name("noisy.com."),
-            Denial::Nsec3 { params: Nsec3Params::new(3, vec![]), opt_out: false },
+            Denial::Nsec3 {
+                params: Nsec3Params::new(3, vec![]),
+                opt_out: false,
+            },
         )
         .build();
-    lab.net.set_faults(FaultConfig { corrupt_chance: 0.10, ..Default::default() });
+    lab.net.set_faults(FaultConfig {
+        corrupt_chance: 0.10,
+        ..Default::default()
+    });
     let raddr = lab.alloc.v4();
     let mut cfg = ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
     cfg.now = lab.now;
@@ -113,7 +138,10 @@ fn corruption_leads_to_retries_not_misclassification() {
             params_seen.insert((p.iterations, p.salt.len()));
         }
     }
-    assert!(params_seen.len() <= 1, "no wrong parameters: {params_seen:?}");
+    assert!(
+        params_seen.len() <= 1,
+        "no wrong parameters: {params_seen:?}"
+    );
     // Statistics computed over whatever was measured are still well formed.
     let stats = DomainStats::compute(&[]);
     assert_eq!(stats.total, 0);

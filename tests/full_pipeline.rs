@@ -23,11 +23,41 @@ fn mixed_fleet_classifies_exactly() {
     let mut tb = build_testbed(NOW);
     let fleet = vec![
         spec(0, Behavior::ValidatorUnlimited),
-        spec(1, Behavior::InsecureAt { limit: 150, google_style: false }),
-        spec(2, Behavior::InsecureAt { limit: 100, google_style: true }),
-        spec(3, Behavior::InsecureAt { limit: 50, google_style: false }),
-        spec(4, Behavior::ServfailFrom { first: 151, technitium: false }),
-        spec(5, Behavior::ServfailFrom { first: 101, technitium: true }),
+        spec(
+            1,
+            Behavior::InsecureAt {
+                limit: 150,
+                google_style: false,
+            },
+        ),
+        spec(
+            2,
+            Behavior::InsecureAt {
+                limit: 100,
+                google_style: true,
+            },
+        ),
+        spec(
+            3,
+            Behavior::InsecureAt {
+                limit: 50,
+                google_style: false,
+            },
+        ),
+        spec(
+            4,
+            Behavior::ServfailFrom {
+                first: 151,
+                technitium: false,
+            },
+        ),
+        spec(
+            5,
+            Behavior::ServfailFrom {
+                first: 101,
+                technitium: true,
+            },
+        ),
         spec(6, Behavior::QueryCopier),
         spec(7, Behavior::Item7Violator { limit: 150 }),
         spec(8, Behavior::NonValidator),
@@ -68,13 +98,31 @@ fn figure3_curves_have_paper_shape() {
     // SERVFAIL-at-151 block.
     let mut fleet = Vec::new();
     for i in 0..6 {
-        fleet.push(spec(i, Behavior::InsecureAt { limit: 150, google_style: false }));
+        fleet.push(spec(
+            i,
+            Behavior::InsecureAt {
+                limit: 150,
+                google_style: false,
+            },
+        ));
     }
     for i in 6..10 {
-        fleet.push(spec(i, Behavior::InsecureAt { limit: 100, google_style: true }));
+        fleet.push(spec(
+            i,
+            Behavior::InsecureAt {
+                limit: 100,
+                google_style: true,
+            },
+        ));
     }
     for i in 10..13 {
-        fleet.push(spec(i, Behavior::ServfailFrom { first: 151, technitium: false }));
+        fleet.push(spec(
+            i,
+            Behavior::ServfailFrom {
+                first: 151,
+                technitium: false,
+            },
+        ));
     }
     let study = run_resolver_study(&mut tb, &fleet);
     let series = figure3_series(&study.all());
@@ -103,11 +151,17 @@ fn closed_resolvers_only_reachable_via_their_probes() {
         idx: 0,
         family: Family::V4,
         access: Access::Closed,
-        behavior: Behavior::InsecureAt { limit: 150, google_style: false },
+        behavior: Behavior::InsecureAt {
+            limit: 150,
+            google_style: false,
+        },
         ede_visible: true,
     }];
     let deployed = nsec3_core::deploy_fleet(&mut tb.lab, &fleet);
-    let probe = deployed[0].probe.clone().expect("closed resolver has a probe");
+    let probe = deployed[0]
+        .probe
+        .clone()
+        .expect("closed resolver has a probe");
     // Direct prober from a random address: silence.
     let outsider = tb.lab.alloc.v4();
     let direct = dns_scanner::prober::Prober::new(&tb.lab.net, outsider, &tb.plan)

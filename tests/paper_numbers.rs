@@ -21,7 +21,12 @@ fn section_5_1_domain_marginals() {
     };
     close(stats.dnssec_pct(), 8.8, 0.7, "DNSSEC share");
     close(stats.nsec3_of_dnssec_pct(), 58.9, 2.0, "NSEC3 of DNSSEC");
-    close(stats.non_compliant_pct(), 87.8, 2.0, "headline non-compliance");
+    close(
+        stats.non_compliant_pct(),
+        87.8,
+        2.0,
+        "headline non-compliance",
+    );
     close(stats.zero_iteration_pct(), 12.2, 2.0, "zero iterations");
     close(stats.no_salt_pct(), 8.6, 2.0, "no salt");
     close(stats.opt_out_pct(), 6.4, 1.5, "opt-out");
@@ -60,7 +65,11 @@ fn section_5_2_resolver_shares_end_to_end() {
     let fleet = generate_fleet(Scale(1.0 / 2_000.0), 7);
     let study = run_resolver_study(&mut tb, &fleet);
     let stats = ResolverStats::compute(&study.all());
-    assert!(stats.validators >= 40, "enough validators: {}", stats.validators);
+    assert!(
+        stats.validators >= 40,
+        "enough validators: {}",
+        stats.validators
+    );
 
     let close = |measured: f64, paper: f64, tol: f64, what: &str| {
         assert!(
@@ -90,7 +99,10 @@ fn section_5_2_resolver_shares_end_to_end() {
     assert!(sf151 >= sf_other, "151 dominates: {sf151} vs {sf_other}");
     // The special groups exist.
     assert!(stats.servfail_starts.contains_key(&1), "copiers present");
-    assert!(stats.servfail_starts.contains_key(&101), "Technitium present");
+    assert!(
+        stats.servfail_starts.contains_key(&101),
+        "Technitium present"
+    );
     assert!(stats.ra_missing >= 1, "copier RA fingerprint observed");
 }
 
@@ -115,5 +127,8 @@ fn figure_2_tranco_uniformity() {
     let a = share(0, third);
     let b = share(third, 2 * third);
     let c = share(2 * third, 3 * third);
-    assert!((a - b).abs() < 0.06 && (b - c).abs() < 0.06, "{a:.3} {b:.3} {c:.3}");
+    assert!(
+        (a - b).abs() < 0.06 && (b - c).abs() < 0.06,
+        "{a:.3} {b:.3} {c:.3}"
+    );
 }

@@ -21,7 +21,10 @@ fn rfc5155_appendix_a_hash_through_public_api() {
     // additional iterations.
     let params = Nsec3Params::new(12, vec![0xaa, 0xbb, 0xcc, 0xdd]);
     let h = nsec3_hash(&name("example."), &params);
-    assert_eq!(base32::encode(&h.digest), "0p9mhaveqvm6t7vbl5lop2u3t2rp3tom");
+    assert_eq!(
+        base32::encode(&h.digest),
+        "0p9mhaveqvm6t7vbl5lop2u3t2rp3tom"
+    );
     // Iterated cost: 13 hashes, each one compression (short input).
     assert_eq!(h.compressions, 13);
 }
@@ -151,5 +154,9 @@ fn nxdomain_response_from_auth_validates_in_resolver_types() {
     assert_eq!(proof.closest_encloser, apex);
     // 3 labels to walk + wildcard + next-closer coverage: ≥ 5 chains at 6
     // hashes each.
-    assert!(meter.sha1_compressions() >= 5 * 6, "{}", meter.sha1_compressions());
+    assert!(
+        meter.sha1_compressions() >= 5 * 6,
+        "{}",
+        meter.sha1_compressions()
+    );
 }

@@ -39,8 +39,18 @@ fn profiles_round_trip_through_the_testbed() {
             .classify(addr)
             .expect("answered");
         assert!(c.is_validator, "{}", profile.name());
-        assert_eq!(c.insecure_limit, insecure, "{} insecure limit", profile.name());
-        assert_eq!(c.servfail_start, servfail, "{} servfail start", profile.name());
+        assert_eq!(
+            c.insecure_limit,
+            insecure,
+            "{} insecure limit",
+            profile.name()
+        );
+        assert_eq!(
+            c.servfail_start,
+            servfail,
+            "{} servfail start",
+            profile.name()
+        );
         assert_eq!(c.ede27_on_limit, ede27, "{} EDE 27", profile.name());
         assert!(!c.flaky, "{} must be stable", profile.name());
         // None of the stock profiles violate item 7.
@@ -58,7 +68,9 @@ fn google_threshold_is_exactly_100_101() {
     cfg.now = tb.lab.now;
     cfg.policy = VendorProfile::GooglePublicDns.policy();
     tb.lab.net.register(addr, Rc::new(Resolver::new(cfg)));
-    let c = Prober::new(&tb.lab.net, scanner, &tb.plan).classify(addr).unwrap();
+    let c = Prober::new(&tb.lab.net, scanner, &tb.plan)
+        .classify(addr)
+        .unwrap();
     // "38.3K open IPv4 resolvers returned NXDOMAIN with the AD bit set
     // for 100 iterations and cleared for 101" — the successor zones in
     // the testbed pin this down exactly.

@@ -1,0 +1,86 @@
+//! Thread-scaling sweep for the sharded domain census: run the same
+//! end-to-end census at 1, 2, 4, and 8 worker threads, verify every
+//! sweep point reproduces the single-threaded output byte for byte, and
+//! write the wall-clock numbers to `BENCH_census.json`.
+//!
+//! Speedup is hardware-bound — on a single-core host every point
+//! measures about the same — so nothing here asserts on it; the host's
+//! core count is printed alongside the numbers for interpretation. The
+//! determinism check, by contrast, is absolute and always enforced.
+//!
+//! `MICROBENCH_SAMPLES` overrides the repetitions per sweep point
+//! (default 3; the best run counts, standard practice for wall-clock
+//! sweeps).
+
+use heroes_bench::{fmt_scale, header, Options, EXPERIMENT_NOW};
+use nsec3_core::experiments::{run_domain_census_with, DEFAULT_LAB_SEED};
+use popgen::{generate_domains, Scale};
+
+const SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let opts = Options::parse(Scale(1.0 / 200_000.0));
+    let reps: usize = std::env::var("MICROBENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "census thread-scaling sweep at scale {} (seed {}, {} reps per point, host has {} core(s))",
+        fmt_scale(opts.scale),
+        opts.seed,
+        reps,
+        cores
+    );
+    let specs = generate_domains(opts.scale, opts.seed);
+    println!("population: {} domains, batch size 200", specs.len());
+
+    header("Sweep (best of reps per point)");
+    let reference = run_domain_census_with(&specs, EXPERIMENT_NOW, 200, 1, DEFAULT_LAB_SEED);
+    let mut rows: Vec<(usize, f64)> = Vec::new();
+    for &threads in &SWEEP {
+        let mut best_ms = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = std::time::Instant::now();
+            let out =
+                run_domain_census_with(&specs, EXPERIMENT_NOW, 200, threads, DEFAULT_LAB_SEED);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            best_ms = best_ms.min(ms);
+            // The whole point of fixed sharding: every thread count
+            // yields the single-threaded output, byte for byte.
+            assert_eq!(
+                format!("{out:?}"),
+                format!("{reference:?}"),
+                "threads={threads} diverged from the sequential census"
+            );
+        }
+        let speedup = rows.first().map(|(_, t1)| t1 / best_ms).unwrap_or(1.0);
+        println!(
+            "  threads {threads}: best {best_ms:>9.1} ms   speedup vs 1: {speedup:>5.2}x   output identical: yes"
+        );
+        rows.push((threads, best_ms));
+    }
+
+    let t1 = rows[0].1;
+    let mut json = String::from("{\n  \"suite\": \"census\",\n");
+    json.push_str(&format!("  \"host_cores\": {cores},\n"));
+    json.push_str(&format!(
+        "  \"domains\": {},\n  \"results\": [\n",
+        specs.len()
+    ));
+    for (i, (threads, best_ms)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"threads/{threads}\", \"threads\": {threads}, \"best_ms\": {best_ms:.1}, \"speedup_vs_1\": {:.3}}}{}\n",
+            t1 / best_ms,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_census.json", &json) {
+        Ok(()) => println!("  [wrote BENCH_census.json]"),
+        Err(e) => eprintln!("  [failed to write BENCH_census.json: {e}]"),
+    }
+}

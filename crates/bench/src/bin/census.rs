@@ -12,16 +12,17 @@
 
 use analysis::{compare_line, fmt_count, fmt_pct, DomainStats};
 use heroes_bench::{fmt_scale, header, Options, EXPERIMENT_NOW};
-use nsec3_core::experiments::{records_from_specs, run_domain_census};
+use nsec3_core::experiments::{records_from_specs, run_domain_census_with, DEFAULT_LAB_SEED};
 use popgen::domains::DnssecKind;
 use popgen::{generate_domains, generate_tlds, generate_tlds_after_remediation, Scale};
 
 fn main() {
     let opts = Options::parse(Scale::BENCH);
     println!(
-        "§5.1 domain census at scale {} (seed {})",
+        "§5.1 domain census at scale {} (seed {}, {} worker thread(s))",
         fmt_scale(opts.scale),
-        opts.seed
+        opts.seed,
+        opts.threads
     );
 
     // Pass 1: aggregate analysis over the declared population.
@@ -109,7 +110,8 @@ fn main() {
     ));
     let sample: Vec<_> = specs.iter().take(opts.e2e_sample).cloned().collect();
     let t0 = std::time::Instant::now();
-    let measured = run_domain_census(&sample, EXPERIMENT_NOW, 200);
+    let measured =
+        run_domain_census_with(&sample, EXPERIMENT_NOW, 200, opts.threads, DEFAULT_LAB_SEED);
     let declared = records_from_specs(&sample);
     let mut mismatches = 0;
     for (m, d) in measured.iter().zip(declared.iter()) {

@@ -8,8 +8,8 @@
 use analysis::resolvers::Panel;
 use analysis::{figure3_csv, figure3_series, figure3_svg, render_figure3_panel};
 use heroes_bench::{fmt_scale, header, write_artifact, Options, EXPERIMENT_NOW};
-use nsec3_core::experiments::run_resolver_study;
-use nsec3_core::testbed::build_testbed;
+use nsec3_core::experiments::{run_resolver_study_with, DEFAULT_LAB_SEED};
+use nsec3_core::testbed::paper_subdomain_count;
 use popgen::{generate_fleet, Scale};
 
 fn main() {
@@ -19,15 +19,14 @@ fn main() {
         fmt_scale(opts.scale),
         opts.seed
     );
-    let mut tb = build_testbed(EXPERIMENT_NOW);
     let fleet = generate_fleet(opts.scale, opts.seed);
     println!(
-        "testbed: {} zones; fleet: {} resolvers",
-        tb.lab.zones.len(),
+        "testbed: {} subdomains (+ it-2501-expired); fleet: {} resolvers",
+        paper_subdomain_count(),
         fleet.len()
     );
     let t0 = std::time::Instant::now();
-    let study = run_resolver_study(&mut tb, &fleet);
+    let study = run_resolver_study_with(EXPERIMENT_NOW, &fleet, opts.threads, DEFAULT_LAB_SEED);
     println!("study completed in {:?}", t0.elapsed());
 
     for (panel, classifications) in &study.per_panel {

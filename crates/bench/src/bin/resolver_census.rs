@@ -10,8 +10,7 @@
 
 use analysis::{compare_line, fmt_pct, ResolverStats};
 use heroes_bench::{fmt_scale, header, Options, EXPERIMENT_NOW};
-use nsec3_core::experiments::{run_resolver_study, run_unreachability};
-use nsec3_core::testbed::build_testbed;
+use nsec3_core::experiments::{run_resolver_study_with, run_unreachability_with, DEFAULT_LAB_SEED};
 use popgen::{generate_domains, generate_fleet, Scale};
 
 fn main() {
@@ -21,15 +20,15 @@ fn main() {
         fmt_scale(opts.scale),
         opts.seed
     );
-    let mut tb = build_testbed(EXPERIMENT_NOW);
     let fleet = generate_fleet(opts.scale, opts.seed);
     let t0 = std::time::Instant::now();
-    let study = run_resolver_study(&mut tb, &fleet);
+    let study = run_resolver_study_with(EXPERIMENT_NOW, &fleet, opts.threads, DEFAULT_LAB_SEED);
     let all = study.all();
     println!(
-        "probed {} resolvers across 4 pools in {:?}",
+        "probed {} resolvers across 4 pools in {:?} ({} worker thread(s))",
         all.len(),
-        t0.elapsed()
+        t0.elapsed(),
+        opts.threads
     );
 
     let stats = ResolverStats::compute(&all);
@@ -154,7 +153,13 @@ fn main() {
     // 1/10,000 keeps the absolute tail injections (213 domains) a small
     // fraction of the NSEC3 sample, so the share stays calibrated.
     let domains = generate_domains(Scale(1.0 / 10_000.0), opts.seed);
-    let result = run_unreachability(&domains, EXPERIMENT_NOW, 250);
+    let result = run_unreachability_with(
+        &domains,
+        EXPERIMENT_NOW,
+        250,
+        opts.threads,
+        DEFAULT_LAB_SEED,
+    );
     print!(
         "{}",
         compare_line(

@@ -8,8 +8,7 @@
 
 use analysis::{pct, ResolverStats};
 use heroes_bench::{fmt_scale, header, Options, EXPERIMENT_NOW};
-use nsec3_core::experiments::{records_from_specs, run_resolver_study};
-use nsec3_core::testbed::build_testbed;
+use nsec3_core::experiments::{records_from_specs, run_resolver_study_with, DEFAULT_LAB_SEED};
 use popgen::resolvers::generate_fleet_with_mix;
 use popgen::{eras, generate_domains, Scale};
 
@@ -35,9 +34,8 @@ fn main() {
         "era | limiting | item 6 | item 8 | dominant limit | domains at risk on strict resolvers",
     );
     for era in eras() {
-        let mut tb = build_testbed(EXPERIMENT_NOW);
         let fleet = generate_fleet_with_mix(opts.scale, opts.seed, era.mix);
-        let study = run_resolver_study(&mut tb, &fleet);
+        let study = run_resolver_study_with(EXPERIMENT_NOW, &fleet, opts.threads, DEFAULT_LAB_SEED);
         let stats = ResolverStats::compute(&study.all());
         let dominant = stats
             .insecure_limits

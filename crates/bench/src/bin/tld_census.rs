@@ -5,19 +5,26 @@
 
 use analysis::{compare_line, fmt_pct, pct};
 use heroes_bench::{header, Options, EXPERIMENT_NOW};
-use nsec3_core::run_tld_census;
+use nsec3_core::{run_tld_census_with, DEFAULT_LAB_SEED};
 use popgen::{generate_tlds, Scale};
 
 fn main() {
-    let _opts = Options::parse(Scale(1.0)); // the TLD set is always exact
+    let opts = Options::parse(Scale(1.0)); // the TLD set is always exact
     let tlds = generate_tlds();
     // Delegation contents scaled 1/1000 inside each zone (capped at 200).
     let t0 = std::time::Instant::now();
-    let observed = run_tld_census(&tlds, EXPERIMENT_NOW, 1.0 / 1_000.0);
+    let observed = run_tld_census_with(
+        &tlds,
+        EXPERIMENT_NOW,
+        1.0 / 1_000.0,
+        opts.threads,
+        DEFAULT_LAB_SEED,
+    );
     println!(
-        "scanned {} TLD zones end to end in {:?}",
+        "scanned {} TLD zones end to end in {:?} ({} worker thread(s))",
         observed.len(),
-        t0.elapsed()
+        t0.elapsed(),
+        opts.threads
     );
 
     header("Measured TLD population (vs paper §5.1)");

@@ -25,15 +25,21 @@ pub struct Options {
     pub seed: u64,
     /// End-to-end sample size for closed-loop validation runs.
     pub e2e_sample: usize,
+    /// Worker threads for the sharded experiment drivers (default: the
+    /// `HEROES_THREADS` environment variable, else 1). Output is
+    /// byte-identical for every value.
+    pub threads: usize,
 }
 
 impl Options {
-    /// Parse `--scale 1/1000`, `--seed N`, `--e2e-sample N` from argv.
+    /// Parse `--scale 1/1000`, `--seed N`, `--e2e-sample N`,
+    /// `--threads N` from argv.
     pub fn parse(default_scale: Scale) -> Options {
         let mut opts = Options {
             scale: default_scale,
             seed: 42,
             e2e_sample: 600,
+            threads: sim_par::default_threads(),
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -51,9 +57,16 @@ impl Options {
                     opts.e2e_sample = args[i + 1].parse().unwrap_or(600);
                     i += 2;
                 }
+                "--threads" if i + 1 < args.len() => {
+                    opts.threads = args[i + 1]
+                        .parse::<usize>()
+                        .map(|n| n.clamp(1, sim_par::MAX_THREADS))
+                        .unwrap_or(opts.threads);
+                    i += 2;
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "options: --scale 1/N | --seed N | --e2e-sample N (defaults: scale {}, seed 42, sample 600)",
+                        "options: --scale 1/N | --seed N | --e2e-sample N | --threads N (defaults: scale {}, seed 42, sample 600, threads from HEROES_THREADS else 1)",
                         fmt_scale(default_scale)
                     );
                     std::process::exit(0);

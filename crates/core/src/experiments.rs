@@ -2,6 +2,24 @@
 //! resolver study, and the CVE-2023-50868 cost sweep — each runs the full
 //! pipeline (generate → instantiate zones/resolvers → scan over the
 //! simulated network → aggregate).
+//!
+//! # Parallelism and determinism
+//!
+//! Each driver comes in two flavors: the plain entry point (thread count
+//! from `HEROES_THREADS`, lab seed [`DEFAULT_LAB_SEED`]) and a `_with`
+//! variant taking both explicitly. Work is split into contiguous
+//! index-range shards via [`sim_par`]; every shard builds its **own** lab
+//! (the `Rc`-based simulation is deliberately not `Send`) from a
+//! per-shard seed, and results merge strictly in spec-index order. Three
+//! invariants make `threads = 1` and `threads = N` byte-identical:
+//!
+//! 1. per-spec observations never depend on which other specs share a
+//!    batch or lab (each domain/TLD/resolver is probed in isolation);
+//! 2. fault-free lab networks never consume their RNG, so differing
+//!    per-shard lab seeds cannot influence observations;
+//! 3. anything address-valued in the output (resolver classifications)
+//!    is pinned by replaying the allocation offsets a shard's
+//!    predecessors would have consumed (see [`run_resolver_study_with`]).
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -24,7 +42,11 @@ use popgen::domains::{DnssecKind, DomainSpec};
 use popgen::resolvers::{Access, Family, ResolverSpec};
 
 use crate::fleet::deploy_fleet;
-use crate::testbed::Testbed;
+use crate::testbed::build_testbed_seeded;
+
+/// Default lab-network seed for every experiment driver — the value the
+/// sequential drivers have always used.
+pub const DEFAULT_LAB_SEED: u64 = 42;
 
 /// Turn a population spec into lab zone contents.
 fn zone_spec_for_domain(spec: &DomainSpec) -> Option<ZoneSpec> {
@@ -76,7 +98,43 @@ fn zone_spec_for_domain(spec: &DomainSpec) -> Option<ZoneSpec> {
 /// batches of `batch_size` and scanning them through a validating
 /// resolver on the simulated network. Returns one [`DomainRecord`] per
 /// domain, as measured (not as declared).
+///
+/// Thread count from `HEROES_THREADS` (default 1); output is identical
+/// for every thread count.
 pub fn run_domain_census(specs: &[DomainSpec], now: u32, batch_size: usize) -> Vec<DomainRecord> {
+    run_domain_census_with(
+        specs,
+        now,
+        batch_size,
+        sim_par::default_threads(),
+        DEFAULT_LAB_SEED,
+    )
+}
+
+/// [`run_domain_census`] with explicit thread count and lab seed. Specs
+/// are split into contiguous shards, one worker per shard; each worker
+/// runs the batched census on its own labs and results merge in spec
+/// order.
+pub fn run_domain_census_with(
+    specs: &[DomainSpec],
+    now: u32,
+    batch_size: usize,
+    threads: usize,
+    lab_seed: u64,
+) -> Vec<DomainRecord> {
+    sim_par::run_sharded(specs, threads, lab_seed, |shard, slice| {
+        census_shard(slice, now, batch_size, shard.seed)
+    })
+}
+
+/// One shard of the domain census: the sequential batched pipeline over
+/// `specs`, with every lab seeded from `lab_seed`.
+fn census_shard(
+    specs: &[DomainSpec],
+    now: u32,
+    batch_size: usize,
+    lab_seed: u64,
+) -> Vec<DomainRecord> {
     let mut records = Vec::with_capacity(specs.len());
     for batch in specs.chunks(batch_size.max(1)) {
         // TLD zones needed by this batch.
@@ -85,15 +143,19 @@ pub fn run_domain_census(specs: &[DomainSpec], now: u32, batch_size: usize) -> V
             .filter_map(|s| Name::parse(&s.name).ok()?.parent())
             .filter(|p| !p.is_root())
             .collect();
-        let mut builder = LabBuilder::new(now);
+        let mut builder = LabBuilder::new(now).seed(lab_seed);
         for tld in &tlds {
             builder = builder.simple_zone(tld, Denial::nsec3_rfc9276());
         }
-        let mut skipped = Vec::new();
+        // Set, not Vec: the per-spec membership probe below would
+        // otherwise make the batch loop quadratic.
+        let mut skipped: BTreeSet<String> = BTreeSet::new();
         for spec in batch {
             match zone_spec_for_domain(spec) {
                 Some(zs) => builder = builder.zone(zs),
-                None => skipped.push(spec.name.clone()),
+                None => {
+                    skipped.insert(spec.name.clone());
+                }
             }
         }
         let mut lab = builder.build();
@@ -164,12 +226,47 @@ pub struct TldObservation {
 /// zone under the root (with `domains_scale`-scaled delegations inside),
 /// scan each one, and attempt the paper's zone-file collection via AXFR
 /// for the TLDs that share zone data.
+///
+/// Thread count from `HEROES_THREADS` (default 1); output is identical
+/// for every thread count.
 pub fn run_tld_census(
     tlds: &[popgen::tlds::TldSpec],
     now: u32,
     domains_scale: f64,
 ) -> Vec<TldObservation> {
-    let mut builder = LabBuilder::new(now);
+    run_tld_census_with(
+        tlds,
+        now,
+        domains_scale,
+        sim_par::default_threads(),
+        DEFAULT_LAB_SEED,
+    )
+}
+
+/// [`run_tld_census`] with explicit thread count and lab seed. Each shard
+/// instantiates only its own TLDs (plus the root) in a private lab; a
+/// TLD's observation never depends on which siblings share the root, so
+/// the merged output equals the sequential one.
+pub fn run_tld_census_with(
+    tlds: &[popgen::tlds::TldSpec],
+    now: u32,
+    domains_scale: f64,
+    threads: usize,
+    lab_seed: u64,
+) -> Vec<TldObservation> {
+    sim_par::run_sharded(tlds, threads, lab_seed, |shard, slice| {
+        tld_shard(slice, now, domains_scale, shard.seed)
+    })
+}
+
+/// One shard of the TLD census: the sequential pipeline over `tlds`.
+fn tld_shard(
+    tlds: &[popgen::tlds::TldSpec],
+    now: u32,
+    domains_scale: f64,
+    lab_seed: u64,
+) -> Vec<TldObservation> {
+    let mut builder = LabBuilder::new(now).seed(lab_seed);
     for tld in tlds {
         let apex = match Name::parse(&tld.name) {
             Ok(n) => n,
@@ -274,35 +371,103 @@ impl ResolverStudy {
     }
 }
 
-/// Deploy `specs` against a testbed and classify every resolver: open ones
-/// from the scanner's vantage, closed ones through their Atlas probes.
-pub fn run_resolver_study(testbed: &mut Testbed, specs: &[ResolverSpec]) -> ResolverStudy {
-    let deployed = deploy_fleet(&mut testbed.lab, specs);
-    let scanner_v4 = testbed.lab.alloc.v4();
-    let scanner_v6 = testbed.lab.alloc.v6();
+/// Lab addresses `deploy_fleet` consumes for `specs`, per family: one
+/// per open resolver, two per closed resolver (resolver + Atlas probe).
+/// A shard pre-skips the amounts its predecessors would consume so every
+/// resolver receives the same address regardless of sharding.
+fn fleet_addr_consumption(specs: &[ResolverSpec]) -> (u32, u128) {
+    let mut v4 = 0u32;
+    let mut v6 = 0u128;
+    for s in specs {
+        let n = match s.access {
+            Access::Open => 1u32,
+            Access::Closed => 2,
+        };
+        match s.family {
+            Family::V4 => v4 += n,
+            Family::V6 => v6 += u128::from(n),
+        }
+    }
+    (v4, v6)
+}
+
+/// Build a fresh `rfc9276-in-the-wild.com` testbed at `now`, deploy
+/// `specs` against it, and classify every resolver: open ones from the
+/// scanner's vantage, closed ones through their Atlas probes.
+///
+/// Thread count from `HEROES_THREADS` (default 1); output is identical
+/// for every thread count.
+pub fn run_resolver_study(now: u32, specs: &[ResolverSpec]) -> ResolverStudy {
+    run_resolver_study_with(now, specs, sim_par::default_threads(), DEFAULT_LAB_SEED)
+}
+
+/// [`run_resolver_study`] with explicit thread count and lab seed. Each
+/// shard builds its own testbed (identical zone hierarchy and address
+/// allocation), allocates the scanner vantage addresses, pre-skips the
+/// fleet addresses consumed by the specs before its range
+/// ([`fleet_addr_consumption`]), and deploys only its own slice — so a
+/// resolver's address, and therefore its cache-busting probe labels and
+/// classification, are independent of the thread count.
+pub fn run_resolver_study_with(
+    now: u32,
+    specs: &[ResolverSpec],
+    threads: usize,
+    lab_seed: u64,
+) -> ResolverStudy {
+    let merged = sim_par::run_sharded(specs, threads, lab_seed, |shard, slice| {
+        resolver_shard(now, shard.seed, specs, shard.start, slice)
+    });
     let mut per_panel: BTreeMap<Panel, Vec<ResolverClassification>> = BTreeMap::new();
-    for d in &deployed {
-        let panel = match (d.spec.access, d.spec.family) {
-            (Access::Open, Family::V4) => Panel::OpenV4,
-            (Access::Open, Family::V6) => Panel::OpenV6,
-            (Access::Closed, Family::V4) => Panel::ClosedV4,
-            (Access::Closed, Family::V6) => Panel::ClosedV6,
-        };
-        let classification = match &d.probe {
-            Some(probe) => classify_via_probe(&testbed.lab.net, probe, &testbed.plan),
-            None => {
-                let src = match d.spec.family {
-                    Family::V4 => scanner_v4,
-                    Family::V6 => scanner_v6,
-                };
-                Prober::new(&testbed.lab.net, src, &testbed.plan).classify(d.addr)
-            }
-        };
+    for (panel, classification) in merged {
         if let Some(c) = classification {
             per_panel.entry(panel).or_default().push(c);
         }
     }
     ResolverStudy { per_panel }
+}
+
+/// One shard of the resolver study: classify `slice`
+/// (= `specs[start..start + slice.len()]`) on a private testbed.
+fn resolver_shard(
+    now: u32,
+    lab_seed: u64,
+    specs: &[ResolverSpec],
+    start: usize,
+    slice: &[ResolverSpec],
+) -> Vec<(Panel, Option<ResolverClassification>)> {
+    let mut tb = build_testbed_seeded(now, lab_seed);
+    // Scanner vantages first (before the fleet, at a fixed offset), then
+    // pre-skip the predecessors' fleet allocations: both keep every
+    // address shard-invariant. Scanner source addresses never appear in
+    // the output, only resolver addresses do.
+    let scanner_v4 = tb.lab.alloc.v4();
+    let scanner_v6 = tb.lab.alloc.v6();
+    let (consumed_v4, consumed_v6) = fleet_addr_consumption(&specs[..start]);
+    tb.lab.alloc.skip_v4(consumed_v4);
+    tb.lab.alloc.skip_v6(consumed_v6);
+    let deployed = deploy_fleet(&mut tb.lab, slice);
+    deployed
+        .iter()
+        .map(|d| {
+            let panel = match (d.spec.access, d.spec.family) {
+                (Access::Open, Family::V4) => Panel::OpenV4,
+                (Access::Open, Family::V6) => Panel::OpenV6,
+                (Access::Closed, Family::V4) => Panel::ClosedV4,
+                (Access::Closed, Family::V6) => Panel::ClosedV6,
+            };
+            let classification = match &d.probe {
+                Some(probe) => classify_via_probe(&tb.lab.net, probe, &tb.plan),
+                None => {
+                    let src = match d.spec.family {
+                        Family::V4 => scanner_v4,
+                        Family::V6 => scanner_v6,
+                    };
+                    Prober::new(&tb.lab.net, src, &tb.plan).classify(d.addr)
+                }
+            };
+            (panel, classification)
+        })
+        .collect()
 }
 
 /// Result of the unreachability experiment (§5.2 / abstract: "as 418
@@ -333,24 +498,70 @@ impl Unreachability {
 /// sample of NSEC3-enabled domains as real zones, resolve a nonexistent
 /// name under each through a SERVFAIL-from-it-1 resolver (the 418
 /// query-copier class), and count the failures.
+///
+/// Thread count from `HEROES_THREADS` (default 1); counts are identical
+/// for every thread count.
 pub fn run_unreachability(specs: &[DomainSpec], now: u32, batch_size: usize) -> Unreachability {
+    run_unreachability_with(
+        specs,
+        now,
+        batch_size,
+        sim_par::default_threads(),
+        DEFAULT_LAB_SEED,
+    )
+}
+
+/// [`run_unreachability`] with explicit thread count and lab seed. Shards
+/// return partial counts which sum to the sequential totals (addition is
+/// order-independent, so this driver needs no merge-order argument).
+pub fn run_unreachability_with(
+    specs: &[DomainSpec],
+    now: u32,
+    batch_size: usize,
+    threads: usize,
+    lab_seed: u64,
+) -> Unreachability {
     let nsec3_sample: Vec<DomainSpec> = specs
         .iter()
         .filter(|s| s.nsec3().is_some())
         .cloned()
         .collect();
+    let partials = sim_par::run_sharded(&nsec3_sample, threads, lab_seed, |shard, slice| {
+        vec![unreachability_shard(slice, now, batch_size, shard.seed)]
+    });
     let mut result = Unreachability {
         probed: 0,
         unreachable: 0,
         reachable: 0,
     };
-    for batch in nsec3_sample.chunks(batch_size.max(1)) {
+    for p in partials {
+        result.probed += p.probed;
+        result.unreachable += p.unreachable;
+        result.reachable += p.reachable;
+    }
+    result
+}
+
+/// One shard of the unreachability probe: the sequential batched pipeline
+/// over `sample` (already filtered to NSEC3-enabled specs).
+fn unreachability_shard(
+    sample: &[DomainSpec],
+    now: u32,
+    batch_size: usize,
+    lab_seed: u64,
+) -> Unreachability {
+    let mut result = Unreachability {
+        probed: 0,
+        unreachable: 0,
+        reachable: 0,
+    };
+    for batch in sample.chunks(batch_size.max(1)) {
         let tlds: BTreeSet<Name> = batch
             .iter()
             .filter_map(|s| Name::parse(&s.name).ok()?.parent())
             .filter(|p| !p.is_root())
             .collect();
-        let mut builder = LabBuilder::new(now);
+        let mut builder = LabBuilder::new(now).seed(lab_seed);
         for tld in &tlds {
             builder = builder.simple_zone(tld, Denial::nsec3_rfc9276());
         }
@@ -519,6 +730,24 @@ mod tests {
             assert_eq!(obs.axfr_ok, spec.shares_zone, "{}", obs.name);
             if spec.shares_zone {
                 assert!(obs.delegations.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_census_matches_sequential() {
+        let specs = popgen::generate_domains(Scale(1.0 / 2_000_000.0), 3);
+        let sample: Vec<DomainSpec> = specs.into_iter().take(24).collect();
+        let sequential = run_domain_census_with(&sample, NOW, 10, 1, DEFAULT_LAB_SEED);
+        for threads in [2, 3] {
+            let sharded = run_domain_census_with(&sample, NOW, 10, threads, DEFAULT_LAB_SEED);
+            assert_eq!(sharded.len(), sequential.len(), "threads = {threads}");
+            for (a, b) in sharded.iter().zip(sequential.iter()) {
+                assert_eq!(a.name, b.name, "threads = {threads}");
+                assert_eq!(a.dnssec, b.dnssec, "{}", a.name);
+                assert_eq!(a.nsec3, b.nsec3, "{}", a.name);
+                assert_eq!(a.opt_out, b.opt_out, "{}", a.name);
+                assert_eq!(a.operator, b.operator, "{}", a.name);
             }
         }
     }

@@ -9,14 +9,16 @@
 //! * [`experiments`] — end-to-end drivers: the §4.1 domain census, the
 //!   §4.2 resolver study, and the CVE-2023-50868 cost sweep.
 //!
+//! Every driver also has a `_with` variant taking an explicit worker
+//! thread count (default: the `HEROES_THREADS` environment variable);
+//! output is byte-identical for every thread count.
+//!
 //! ```no_run
-//! use nsec3_core::testbed::build_testbed;
 //! use nsec3_core::experiments::run_resolver_study;
 //! use popgen::{generate_fleet, Scale};
 //!
-//! let mut tb = build_testbed(1_710_000_000);
 //! let fleet = generate_fleet(Scale(1.0 / 10_000.0), 42);
-//! let study = run_resolver_study(&mut tb, &fleet);
+//! let study = run_resolver_study(1_710_000_000, &fleet);
 //! let stats = analysis::ResolverStats::compute(&study.all());
 //! println!("item 6: {:.1} % (paper: 59.9 %)", stats.item6_pct());
 //! ```
@@ -29,8 +31,10 @@ pub mod fleet;
 pub mod testbed;
 
 pub use experiments::{
-    cve_cost_sweep, records_from_specs, run_domain_census, run_resolver_study, run_tld_census,
-    run_unreachability, CvePoint, ResolverStudy, TldObservation, Unreachability,
+    cve_cost_sweep, records_from_specs, run_domain_census, run_domain_census_with,
+    run_resolver_study, run_resolver_study_with, run_tld_census, run_tld_census_with,
+    run_unreachability, run_unreachability_with, CvePoint, ResolverStudy, TldObservation,
+    Unreachability, DEFAULT_LAB_SEED,
 };
 pub use fleet::{deploy_fleet, policy_for, DeployedResolver};
-pub use testbed::{build_testbed, iteration_values, Testbed, TEST_DOMAIN};
+pub use testbed::{build_testbed, build_testbed_seeded, iteration_values, Testbed, TEST_DOMAIN};

@@ -86,10 +86,19 @@ fn testbed_zone(apex: &Name) -> Zone {
     z
 }
 
-/// Build the full testbed at `now`.
+/// Build the full testbed at `now` with the default lab seed (42).
 pub fn build_testbed(now: u32) -> Testbed {
+    build_testbed_seeded(now, 42)
+}
+
+/// Build the full testbed at `now` with an explicit lab seed. The zone
+/// hierarchy and address allocation sequence are seed-independent; the
+/// seed only feeds the lab network's fault RNG, so parallel shards can
+/// each build a private testbed without sharing state.
+pub fn build_testbed_seeded(now: u32, seed: u64) -> Testbed {
     let parent = name(TEST_DOMAIN);
     let mut b = LabBuilder::new(now)
+        .seed(seed)
         .simple_zone(&name("com."), Denial::nsec3_rfc9276())
         .zone(ZoneSpec::new(
             testbed_zone(&parent),

@@ -450,6 +450,19 @@ impl AddrAlloc {
         self.next_v6 += 1;
         IpAddr::V6(addr)
     }
+
+    /// Advance the IPv4 sequence by `n` without handing out addresses.
+    /// Parallel shards use this to pre-skip the allocations earlier
+    /// shards perform, so every consumer receives the same address no
+    /// matter how the work list is sharded.
+    pub fn skip_v4(&mut self, n: u32) {
+        self.next_v4 += n;
+    }
+
+    /// Advance the IPv6 sequence by `n` without handing out addresses.
+    pub fn skip_v6(&mut self, n: u128) {
+        self.next_v6 += n;
+    }
 }
 
 #[cfg(test)]
@@ -705,6 +718,22 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(c, d);
         assert!(matches!(c, IpAddr::V6(_)));
+    }
+
+    #[test]
+    fn addr_alloc_skip_equals_discarded_allocs() {
+        let mut skipped = AddrAlloc::new();
+        skipped.skip_v4(5);
+        skipped.skip_v6(3);
+        let mut walked = AddrAlloc::new();
+        for _ in 0..5 {
+            walked.v4();
+        }
+        for _ in 0..3 {
+            walked.v6();
+        }
+        assert_eq!(skipped.v4(), walked.v4());
+        assert_eq!(skipped.v6(), walked.v6());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!   at 500; 170 salts > 45 bytes of which 9 at 160 bytes from a single
 //!   operator).
 
-use sim_rng::{Rng, Xoshiro256pp};
+use sim_rng::{Permutation, Rng, SplitMix64, Xoshiro256pp};
 
 use crate::scale::{allocate, Scale};
 
@@ -173,122 +173,217 @@ const TLD_MIX: &[(&str, f64)] = &[
     ("xyz", 10.0),
 ];
 
-/// Generate the registered-domain population at `scale`.
-///
-/// Deterministic for a given `(scale, seed)`. The output order is
-/// shuffled so consumers can take prefixes as unbiased samples.
-pub fn generate_domains(scale: Scale, seed: u64) -> Vec<DomainSpec> {
-    let mut rng = Xoshiro256pp::seed_from_u64(seed ^ 0xd05a1e5u64);
-    let total = scale.apply(totals::REGISTERED);
-    let dnssec = scale.apply(totals::DNSSEC).min(total);
-    let nsec3_bulk = scale.apply(totals::NSEC3).min(dnssec);
-    let nsec = dnssec - nsec3_bulk;
-    let plain = total - dnssec;
+/// Per-domain denial template shared by every member of a [`Block`].
+#[derive(Clone, Copy, Debug)]
+enum Template {
+    Plain,
+    Nsec,
+    Nsec3 {
+        iterations: u16,
+        salt_len: u8,
+        /// Mix-block domains draw the opt-out flag per domain at the
+        /// paper's 6.4 % rate; tail-block domains never set it.
+        random_opt_out: bool,
+    },
+}
 
-    let mut out: Vec<DomainSpec> = Vec::with_capacity(total as usize + 300);
-    let mut serial = 0u64;
-    let mut next_name = |rng: &mut Xoshiro256pp| {
-        serial += 1;
-        let pick: f64 = rng.gen_range(0.0..100.0);
-        let mut acc = 0.0;
-        let mut tld = TLD_MIX[0].0;
-        for (t, w) in TLD_MIX {
-            acc += w;
-            if pick < acc {
-                tld = t;
-                break;
-            }
-        }
-        format!("d{serial}.{tld}.")
-    };
+/// A contiguous run of identically configured domains in canonical
+/// (pre-permutation) index order.
+#[derive(Clone, Copy, Debug)]
+struct Block {
+    count: u64,
+    operator: Option<&'static str>,
+    template: Template,
+}
 
-    // Plain and NSEC-signed domains.
-    for _ in 0..plain {
-        let name = next_name(&mut rng);
-        out.push(DomainSpec {
-            name,
+/// The population layout at one scale: every block with its canonical
+/// start index. Marginals live entirely here — generation only reads it
+/// — so the shard-stable path and the legacy full-list path cannot
+/// disagree on counts.
+struct Layout {
+    blocks: Vec<Block>,
+    /// `starts[i]` = canonical index of the first domain in `blocks[i]`.
+    starts: Vec<u64>,
+    total: u64,
+}
+
+impl Layout {
+    fn new(scale: Scale) -> Self {
+        let total = scale.apply(totals::REGISTERED);
+        let dnssec = scale.apply(totals::DNSSEC).min(total);
+        let nsec3_bulk = scale.apply(totals::NSEC3).min(dnssec);
+        let nsec = dnssec - nsec3_bulk;
+        let plain = total - dnssec;
+
+        let mut blocks = Vec::new();
+        blocks.push(Block {
+            count: plain,
             operator: None,
-            dnssec: DnssecKind::None,
+            template: Template::Plain,
         });
-    }
-    for _ in 0..nsec {
-        let name = next_name(&mut rng);
-        out.push(DomainSpec {
-            name,
+        blocks.push(Block {
+            count: nsec,
             operator: None,
-            dnssec: DnssecKind::Nsec,
+            template: Template::Nsec,
         });
-    }
 
-    // NSEC3-enabled: operator-structured.
-    let mut op_weights: Vec<f64> = TABLE2_OPERATORS.iter().map(|(_, _, w, _)| *w).collect();
-    op_weights.push(22.3); // "other"
-    let op_counts = allocate(nsec3_bulk, &op_weights);
-    for (op_idx, &count) in op_counts.iter().enumerate() {
-        let (operator, mix): (Option<&'static str>, &[(u16, u8, f64)]) =
-            if op_idx < TABLE2_OPERATORS.len() {
-                let (domain, _, _, mix) = TABLE2_OPERATORS[op_idx];
-                (Some(domain), mix)
-            } else {
-                (None, OTHER_MIX)
-            };
-        let mix_weights: Vec<f64> = mix.iter().map(|(_, _, w)| *w).collect();
-        let mix_counts = allocate(count, &mix_weights);
-        for (m_idx, &m_count) in mix_counts.iter().enumerate() {
-            let (iterations, salt_len, _) = mix[m_idx];
-            for _ in 0..m_count {
-                let name = next_name(&mut rng);
-                let opt_out = rng.gen_bool(totals::OPT_OUT_PCT / 100.0);
-                out.push(DomainSpec {
-                    name,
+        // NSEC3-enabled: operator-structured per Table 2.
+        let mut op_weights: Vec<f64> = TABLE2_OPERATORS.iter().map(|(_, _, w, _)| *w).collect();
+        op_weights.push(22.3); // "other"
+        let op_counts = allocate(nsec3_bulk, &op_weights);
+        for (op_idx, &count) in op_counts.iter().enumerate() {
+            let (operator, mix): (Option<&'static str>, &[(u16, u8, f64)]) =
+                if op_idx < TABLE2_OPERATORS.len() {
+                    let (domain, _, _, mix) = TABLE2_OPERATORS[op_idx];
+                    (Some(domain), mix)
+                } else {
+                    (None, OTHER_MIX)
+                };
+            let mix_weights: Vec<f64> = mix.iter().map(|(_, _, w)| *w).collect();
+            let mix_counts = allocate(count, &mix_weights);
+            for (m_idx, &m_count) in mix_counts.iter().enumerate() {
+                let (iterations, salt_len, _) = mix[m_idx];
+                blocks.push(Block {
+                    count: m_count,
                     operator,
-                    dnssec: DnssecKind::Nsec3 {
+                    template: Template::Nsec3 {
                         iterations,
                         salt_len,
-                        opt_out,
+                        random_opt_out: true,
                     },
                 });
             }
         }
-    }
 
-    // Absolute long tails.
-    for &(iterations, salt_len, count) in ITERATION_TAIL {
-        for _ in 0..count {
-            let name = next_name(&mut rng);
-            out.push(DomainSpec {
-                name,
+        // Absolute long tails (unscaled; see DESIGN.md §5).
+        for &(iterations, salt_len, count) in ITERATION_TAIL {
+            blocks.push(Block {
+                count,
                 operator: Some(TAIL_OPERATOR),
-                dnssec: DnssecKind::Nsec3 {
+                template: Template::Nsec3 {
                     iterations,
                     salt_len,
-                    opt_out: false,
+                    random_opt_out: false,
                 },
             });
         }
-    }
-    for &(iterations, salt_len, count) in SALT_TAIL {
-        let operator = if salt_len == 160 {
-            Some(SALTY_OPERATOR)
-        } else {
-            None
-        };
-        for _ in 0..count {
-            let name = next_name(&mut rng);
-            out.push(DomainSpec {
-                name,
-                operator,
-                dnssec: DnssecKind::Nsec3 {
+        for &(iterations, salt_len, count) in SALT_TAIL {
+            blocks.push(Block {
+                count,
+                operator: if salt_len == 160 {
+                    Some(SALTY_OPERATOR)
+                } else {
+                    None
+                },
+                template: Template::Nsec3 {
                     iterations,
                     salt_len,
-                    opt_out: false,
+                    random_opt_out: false,
                 },
             });
+        }
+
+        // Zero-count blocks (tiny scales) would break `locate`'s
+        // partition-point arithmetic: drop them.
+        blocks.retain(|b| b.count > 0);
+        let mut starts = Vec::with_capacity(blocks.len());
+        let mut acc = 0u64;
+        for b in &blocks {
+            starts.push(acc);
+            acc += b.count;
+        }
+        Layout {
+            blocks,
+            starts,
+            total: acc,
         }
     }
 
-    rng.shuffle(&mut out);
-    out
+    /// The block containing canonical index `j`. O(log blocks).
+    fn locate(&self, j: u64) -> &Block {
+        debug_assert!(j < self.total);
+        let idx = self.starts.partition_point(|&s| s <= j) - 1;
+        &self.blocks[idx]
+    }
+}
+
+/// Total population size at `scale`, tails included — the `len` that
+/// [`generate_domains_range`] ranges over.
+pub fn domain_count(scale: Scale) -> u64 {
+    Layout::new(scale).total
+}
+
+/// Generate output positions `range` of the population at `scale` —
+/// exactly the slice `generate_domains(scale, seed)[range]`, computed in
+/// O(|range|) regardless of where the range starts.
+///
+/// Output position `i` holds the domain at canonical index
+/// `perm.apply(i)`, where `perm` is a keyed [`Permutation`] of the whole
+/// population (the random-access stand-in for a final shuffle); each
+/// domain's name TLD and opt-out flag come from a private RNG seeded
+/// from `(seed, canonical index)`. No state spans positions, so any
+/// sharding of `0..domain_count(scale)` concatenates to the full list.
+pub fn generate_domains_range(
+    scale: Scale,
+    seed: u64,
+    range: std::ops::Range<u64>,
+) -> Vec<DomainSpec> {
+    let layout = Layout::new(scale);
+    assert!(
+        range.end <= layout.total,
+        "range {range:?} exceeds population {}",
+        layout.total
+    );
+    let base = SplitMix64::new(seed ^ 0xd05a1e5u64).next_u64();
+    let perm = Permutation::new(layout.total, SplitMix64::new(seed ^ 0x7e57_ab1e).next_u64());
+    range
+        .map(|i| {
+            let j = perm.apply(i);
+            let block = layout.locate(j);
+            let mut rng = Xoshiro256pp::seed_from_u64(
+                base.wrapping_add(j.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            );
+            let pick: f64 = rng.gen_range(0.0..100.0);
+            let mut acc = 0.0;
+            let mut tld = TLD_MIX[0].0;
+            for (t, w) in TLD_MIX {
+                acc += w;
+                if pick < acc {
+                    tld = t;
+                    break;
+                }
+            }
+            let dnssec = match block.template {
+                Template::Plain => DnssecKind::None,
+                Template::Nsec => DnssecKind::Nsec,
+                Template::Nsec3 {
+                    iterations,
+                    salt_len,
+                    random_opt_out,
+                } => DnssecKind::Nsec3 {
+                    iterations,
+                    salt_len,
+                    opt_out: random_opt_out && rng.gen_bool(totals::OPT_OUT_PCT / 100.0),
+                },
+            };
+            DomainSpec {
+                name: format!("d{}.{tld}.", j + 1),
+                operator: block.operator,
+                dnssec,
+            }
+        })
+        .collect()
+}
+
+/// Generate the registered-domain population at `scale`.
+///
+/// Deterministic for a given `(scale, seed)`. The output order is a
+/// keyed permutation of the block layout, so consumers can take prefixes
+/// as unbiased samples — and any contiguous slice can be regenerated
+/// independently with [`generate_domains_range`].
+pub fn generate_domains(scale: Scale, seed: u64) -> Vec<DomainSpec> {
+    let total = domain_count(scale);
+    generate_domains_range(scale, seed, 0..total)
 }
 
 #[cfg(test)]
@@ -407,6 +502,53 @@ mod tests {
         let b = generate_domains(Scale(1.0 / 100_000.0), 5);
         assert_eq!(a.len(), b.len());
         assert!(a.iter().zip(b.iter()).all(|(x, y)| x.name == y.name));
+    }
+
+    #[test]
+    fn different_seed_different_order() {
+        let a = generate_domains(Scale(1.0 / 100_000.0), 5);
+        let b = generate_domains(Scale(1.0 / 100_000.0), 6);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(b.iter()).any(|(x, y)| x.name != y.name));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let p = generate_domains(Scale(1.0 / 10_000.0), 3);
+        let mut names: Vec<&str> = p.iter().map(|d| d.name.as_str()).collect();
+        let count = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), count);
+    }
+
+    #[test]
+    fn range_generation_matches_full_list_slices() {
+        let scale = Scale(1.0 / 100_000.0);
+        let seed = 11;
+        let total = domain_count(scale);
+        let full = generate_domains(scale, seed);
+        assert_eq!(full.len() as u64, total);
+        // Arbitrary shard boundaries, including empty and whole-list.
+        let cuts = [
+            0..0,
+            0..1,
+            0..total / 3,
+            total / 3..total / 2,
+            total / 2..total,
+            total - 1..total,
+            0..total,
+        ];
+        for range in cuts {
+            let part = generate_domains_range(scale, seed, range.clone());
+            let expect = &full[range.start as usize..range.end as usize];
+            assert_eq!(part.len(), expect.len(), "{range:?}");
+            for (a, b) in part.iter().zip(expect) {
+                assert_eq!(a.name, b.name, "{range:?}");
+                assert_eq!(a.operator, b.operator, "{range:?}");
+                assert_eq!(a.dnssec, b.dnssec, "{range:?}");
+            }
+        }
     }
 
     #[test]

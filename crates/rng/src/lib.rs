@@ -98,6 +98,83 @@ impl Rng for Xoshiro256pp {
     }
 }
 
+/// A keyed pseudorandom **bijection** over `0..len`, evaluable in O(1)
+/// per index — the random-access replacement for materialising a
+/// Fisher–Yates shuffle of `0..len`.
+///
+/// Built as a 4-round Feistel network over the smallest balanced bit
+/// width covering `len`, with cycle-walking to stay inside the domain:
+/// if a round output lands at or beyond `len`, it is re-encrypted until
+/// it falls inside. Because the underlying Feistel permutation is a
+/// bijection on the padded power-of-two domain, cycle-walking preserves
+/// bijectivity on `0..len` (Black & Rogaway, "Ciphers with Arbitrary
+/// Finite Domains").
+///
+/// Population generation uses this to answer "which domain sits at
+/// output position `i`?" without generating positions `0..i` first —
+/// the property that makes sharded generation start mid-list.
+#[derive(Clone, Copy, Debug)]
+pub struct Permutation {
+    len: u64,
+    half_bits: u32,
+    keys: [u64; 4],
+}
+
+impl Permutation {
+    /// A permutation of `0..len` keyed by `key`. `len = 0` is allowed
+    /// (the empty permutation; `apply` must then never be called).
+    pub fn new(len: u64, key: u64) -> Self {
+        let bits = 64 - len.saturating_sub(1).leading_zeros();
+        let half_bits = bits.div_ceil(2).max(1);
+        let mut sm = SplitMix64::new(key);
+        Permutation {
+            len,
+            half_bits,
+            keys: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Number of elements the permutation ranges over.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True for the empty permutation.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn round(&self, r: u64, key: u64) -> u64 {
+        let mask = (1u64 << self.half_bits) - 1;
+        SplitMix64::new(r ^ key).next_u64() & mask
+    }
+
+    fn encrypt(&self, x: u64) -> u64 {
+        let mask = (1u64 << self.half_bits) - 1;
+        let mut left = (x >> self.half_bits) & mask;
+        let mut right = x & mask;
+        for &key in &self.keys {
+            let next = left ^ self.round(right, key);
+            left = right;
+            right = next;
+        }
+        (left << self.half_bits) | right
+    }
+
+    /// The position `index` maps to. Panics if `index >= len`.
+    pub fn apply(&self, index: u64) -> u64 {
+        assert!(index < self.len, "Permutation::apply out of range");
+        let mut x = self.encrypt(index);
+        // Cycle-walk: the Feistel domain is the padded power of two, so
+        // re-encrypt until we land back inside 0..len. Expected walk
+        // length is < 4 because the padded domain is < 4·len.
+        while x >= self.len {
+            x = self.encrypt(x);
+        }
+        x
+    }
+}
+
 /// Types that can be sampled uniformly from a half-open `lo..hi` range.
 pub trait SampleUniform: Copy + PartialOrd {
     /// Draw uniformly from `lo..hi`. Panics if the range is empty.
@@ -496,5 +573,51 @@ mod tests {
     fn empty_range_panics() {
         let mut rng = Xoshiro256pp::seed_from_u64(1);
         let _ = rng.gen_range(5u32..5);
+    }
+
+    #[test]
+    fn permutation_is_a_bijection_for_awkward_lengths() {
+        // Powers of two, one-off-powers, primes, and tiny domains.
+        for len in [1u64, 2, 3, 4, 5, 7, 8, 9, 16, 17, 63, 64, 65, 97, 1000] {
+            let perm = Permutation::new(len, 0xfeed);
+            let mut seen = vec![false; len as usize];
+            for i in 0..len {
+                let j = perm.apply(i);
+                assert!(j < len, "len {len}: {i} -> {j} out of range");
+                assert!(!seen[j as usize], "len {len}: {j} hit twice");
+                seen[j as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "len {len}: not surjective");
+        }
+    }
+
+    #[test]
+    fn permutation_is_keyed_and_deterministic() {
+        let a = Permutation::new(500, 1);
+        let b = Permutation::new(500, 1);
+        let c = Permutation::new(500, 2);
+        let va: Vec<u64> = (0..500).map(|i| a.apply(i)).collect();
+        let vb: Vec<u64> = (0..500).map(|i| b.apply(i)).collect();
+        let vc: Vec<u64> = (0..500).map(|i| c.apply(i)).collect();
+        assert_eq!(va, vb, "same key, same permutation");
+        assert_ne!(va, vc, "different key, different permutation");
+        // And it actually scrambles: the identity would defeat the point.
+        assert_ne!(va, (0..500).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn permutation_empty_and_len_accessors() {
+        let empty = Permutation::new(0, 9);
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
+        let one = Permutation::new(1, 9);
+        assert_eq!(one.apply(0), 0);
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn permutation_apply_out_of_range_panics() {
+        Permutation::new(10, 3).apply(10);
     }
 }

@@ -15,6 +15,10 @@ cargo build --release --offline --workspace
 echo "== tier 1: tests (offline)"
 cargo test -q --offline --workspace
 
+echo "== determinism across thread counts (HEROES_THREADS=1 vs 4)"
+HEROES_THREADS=1 cargo test -q --offline --test determinism
+HEROES_THREADS=4 cargo test -q --offline --test determinism
+
 if command -v rustfmt >/dev/null 2>&1; then
     echo "== rustfmt --check"
     cargo fmt --all -- --check
@@ -30,7 +34,7 @@ else
 fi
 
 echo "== external-dependency guard"
-if grep -rn --include=Cargo.toml -E '^\s*((rand|proptest|criterion)\b|\[[a-z-]+\.(rand|proptest|criterion)\])' . ; then
+if grep -rn --include=Cargo.toml -E '^\s*((rand|proptest|criterion|rayon|crossbeam|threadpool)\b|\[[a-z-]+\.(rand|proptest|criterion|rayon|crossbeam|threadpool)\])' . ; then
     echo "error: external dependency crept back into a manifest" >&2
     exit 1
 fi

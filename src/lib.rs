@@ -17,6 +17,7 @@
 //! | [`populations`] | calibrated synthetic populations |
 //! | [`stats`] | compliance analysis, CDFs, figure renderers |
 //! | [`core`] | the testbed and end-to-end experiment drivers |
+//! | [`par`] | deterministic fixed-shard parallelism for the drivers |
 //!
 //! # One-screen tour
 //!
@@ -47,6 +48,7 @@ pub use dns_zone as zone;
 pub use netsim as net;
 pub use nsec3_core as core;
 pub use popgen as populations;
+pub use sim_par as par;
 
 /// The names most examples want in scope.
 pub mod prelude {

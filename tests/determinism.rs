@@ -5,13 +5,19 @@
 //!
 //! This is the contract that makes every experiment in this repository
 //! reproducible from its command line alone (see "Seed threading" in the
-//! README).
+//! README) — and, since the drivers went parallel, the contract extends
+//! across thread counts: `threads = 1` and `threads = N` must render to
+//! the same bytes. `scripts/ci.sh` runs this suite under both
+//! `HEROES_THREADS=1` and `HEROES_THREADS=4` to pin the environment
+//! plumbing as well as the explicit `_with` paths exercised here.
 
 use analysis::domains::DomainStats;
 use analysis::ResolverStats;
-use nsec3_core::experiments::{run_domain_census, run_resolver_study};
-use nsec3_core::testbed::build_testbed;
-use popgen::{generate_domains, generate_fleet, Scale};
+use nsec3_core::experiments::{
+    run_domain_census, run_domain_census_with, run_resolver_study, run_resolver_study_with,
+    run_tld_census_with, DEFAULT_LAB_SEED,
+};
+use popgen::{generate_domains, generate_fleet, generate_tlds, Scale};
 
 const NOW: u32 = 1_710_000_000;
 
@@ -27,8 +33,7 @@ fn census_report(seed: u64) -> String {
 /// A resolver study rendered to one comparable string.
 fn resolver_report(seed: u64) -> String {
     let fleet = generate_fleet(Scale(1.0 / 20_000.0), seed);
-    let mut tb = build_testbed(NOW);
-    let study = run_resolver_study(&mut tb, &fleet);
+    let study = run_resolver_study(NOW, &fleet);
     let all = study.all();
     let stats = ResolverStats::compute(&all);
     format!("{all:?}\n{stats:?}")
@@ -52,4 +57,44 @@ fn resolver_study_is_deterministic_per_seed() {
 
     let c = resolver_report(8);
     assert_ne!(a, c, "different seeds must sample different fleets");
+}
+
+#[test]
+fn domain_census_is_identical_across_thread_counts() {
+    let specs = generate_domains(Scale(1.0 / 50_000.0), 42);
+    let sequential = run_domain_census_with(&specs, NOW, 64, 1, DEFAULT_LAB_SEED);
+    let sharded = run_domain_census_with(&specs, NOW, 64, 4, DEFAULT_LAB_SEED);
+    assert_eq!(
+        format!("{sequential:?}"),
+        format!("{sharded:?}"),
+        "threads=1 and threads=4 must render byte-identically"
+    );
+}
+
+#[test]
+fn resolver_study_is_identical_across_thread_counts() {
+    let fleet = generate_fleet(Scale(1.0 / 20_000.0), 42);
+    let sequential = run_resolver_study_with(NOW, &fleet, 1, DEFAULT_LAB_SEED);
+    let sharded = run_resolver_study_with(NOW, &fleet, 4, DEFAULT_LAB_SEED);
+    assert_eq!(
+        format!("{:?}", sequential.all()),
+        format!("{:?}", sharded.all()),
+        "resolver classifications (addresses included) must not depend on sharding"
+    );
+    assert_eq!(
+        format!("{:?}", ResolverStats::compute(&sequential.all())),
+        format!("{:?}", ResolverStats::compute(&sharded.all())),
+    );
+}
+
+#[test]
+fn tld_census_is_identical_across_thread_counts() {
+    let tlds: Vec<_> = generate_tlds().into_iter().step_by(97).collect();
+    let sequential = run_tld_census_with(&tlds, NOW, 1.0 / 100_000.0, 1, DEFAULT_LAB_SEED);
+    let sharded = run_tld_census_with(&tlds, NOW, 1.0 / 100_000.0, 3, DEFAULT_LAB_SEED);
+    assert_eq!(
+        format!("{sequential:?}"),
+        format!("{sharded:?}"),
+        "threads=1 and threads=3 must render byte-identically"
+    );
 }

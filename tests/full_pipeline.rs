@@ -20,7 +20,6 @@ fn spec(idx: u64, behavior: Behavior) -> ResolverSpec {
 
 #[test]
 fn mixed_fleet_classifies_exactly() {
-    let mut tb = build_testbed(NOW);
     let fleet = vec![
         spec(0, Behavior::ValidatorUnlimited),
         spec(
@@ -62,7 +61,7 @@ fn mixed_fleet_classifies_exactly() {
         spec(7, Behavior::Item7Violator { limit: 150 }),
         spec(8, Behavior::NonValidator),
     ];
-    let study = run_resolver_study(&mut tb, &fleet);
+    let study = run_resolver_study(NOW, &fleet);
     let all = study.all();
     assert_eq!(all.len(), 9, "every resolver answered the prober");
 
@@ -93,7 +92,6 @@ fn mixed_fleet_classifies_exactly() {
 
 #[test]
 fn figure3_curves_have_paper_shape() {
-    let mut tb = build_testbed(NOW);
     // A fleet shaped like §5.2: mostly 150-limits, some Google-100s, a
     // SERVFAIL-at-151 block.
     let mut fleet = Vec::new();
@@ -124,7 +122,7 @@ fn figure3_curves_have_paper_shape() {
             },
         ));
     }
-    let study = run_resolver_study(&mut tb, &fleet);
+    let study = run_resolver_study(NOW, &fleet);
     let series = figure3_series(&study.all());
     let at = |n: u16| series.iter().find(|p| p.n == n).copied().unwrap();
 

@@ -4,7 +4,6 @@
 
 use analysis::{DomainStats, ResolverStats};
 use nsec3_core::experiments::{records_from_specs, run_resolver_study};
-use nsec3_core::testbed::build_testbed;
 use popgen::{generate_domains, generate_fleet, generate_tlds, Scale};
 
 const NOW: u32 = 1_710_000_000;
@@ -61,9 +60,8 @@ fn section_5_1_tld_exact_numbers() {
 fn section_5_2_resolver_shares_end_to_end() {
     // Full pipeline at a scale that still finishes quickly: ~1 K
     // resolvers, ~115 validators, each probed with 50 testbed queries.
-    let mut tb = build_testbed(NOW);
     let fleet = generate_fleet(Scale(1.0 / 2_000.0), 7);
-    let study = run_resolver_study(&mut tb, &fleet);
+    let study = run_resolver_study(NOW, &fleet);
     let stats = ResolverStats::compute(&study.all());
     assert!(
         stats.validators >= 40,

@@ -18,6 +18,9 @@ pub struct DomainRecord {
     pub opt_out: bool,
     /// Exclusive operator (registered domain of all NS targets), if any.
     pub operator: Option<String>,
+    /// Probe traffic for this domain was lost to network faults: the
+    /// record carries no measurement and must not be classified.
+    pub probe_loss: bool,
 }
 
 /// Aggregate statistics over a domain population (the §5.1 numbers).
@@ -25,6 +28,10 @@ pub struct DomainRecord {
 pub struct DomainStats {
     /// Total domains analyzed.
     pub total: u64,
+    /// Domains whose probes were lost to network faults. Lost records
+    /// carry no measurement: they are excluded from every other tally
+    /// and from percentage denominators (clean runs have `lost = 0`).
+    pub lost: u64,
     /// DNSSEC-enabled count.
     pub dnssec: u64,
     /// NSEC3-enabled count.
@@ -45,9 +52,12 @@ impl DomainStats {
     /// Compute from records.
     pub fn compute(records: &[DomainRecord]) -> Self {
         let total = records.len() as u64;
-        let dnssec = records.iter().filter(|r| r.dnssec).count() as u64;
-        let nsec3_records: Vec<&DomainRecord> =
-            records.iter().filter(|r| r.nsec3.is_some()).collect();
+        let lost = records.iter().filter(|r| r.probe_loss).count() as u64;
+        let dnssec = records.iter().filter(|r| !r.probe_loss && r.dnssec).count() as u64;
+        let nsec3_records: Vec<&DomainRecord> = records
+            .iter()
+            .filter(|r| !r.probe_loss && r.nsec3.is_some())
+            .collect();
         let nsec3 = nsec3_records.len() as u64;
         let zero_iterations = nsec3_records
             .iter()
@@ -63,6 +73,7 @@ impl DomainStats {
         let salt_cdf = Cdf::from_samples(nsec3_records.iter().map(|r| r.nsec3.unwrap().1 as u32));
         DomainStats {
             total,
+            lost,
             dnssec,
             nsec3,
             zero_iterations,
@@ -73,9 +84,11 @@ impl DomainStats {
         }
     }
 
-    /// DNSSEC share of all domains (paper: 8.8 %).
+    /// DNSSEC share of all measured domains (paper: 8.8 %). Lost
+    /// records drop out of the denominator rather than masquerading as
+    /// not-DNSSEC.
     pub fn dnssec_pct(&self) -> f64 {
-        pct(self.dnssec, self.total)
+        pct(self.dnssec, self.total - self.lost)
     }
 
     /// NSEC3 share of DNSSEC-enabled (paper: 58.9 %).
@@ -166,6 +179,7 @@ mod tests {
             nsec3,
             opt_out,
             operator: op.map(String::from),
+            probe_loss: false,
         }
     }
 
@@ -182,10 +196,12 @@ mod tests {
                 nsec3: None,
                 opt_out: false,
                 operator: None,
+                probe_loss: false,
             },
         ];
         let s = DomainStats::compute(&records);
         assert_eq!(s.total, 5);
+        assert_eq!(s.lost, 0);
         assert_eq!(s.dnssec, 4);
         assert_eq!(s.nsec3, 3);
         assert_eq!(s.zero_iterations, 1);
@@ -214,6 +230,25 @@ mod tests {
         assert!((table[0].share_pct - 60.0).abs() < 1e-9);
         assert_eq!(table[0].params[0], (1, 8, 100.0));
         assert_eq!(table[1].count, 30);
+    }
+
+    #[test]
+    fn lost_records_never_skew_shares() {
+        // 8 measured (4 DNSSEC) + 2 lost: the lost pair must neither
+        // count as not-DNSSEC nor dilute the share.
+        let mut records: Vec<DomainRecord> = (0..8)
+            .map(|i| rec((i % 2 == 0).then_some((0, 0)), false, None))
+            .collect();
+        for _ in 0..2 {
+            let mut r = rec(None, false, None);
+            r.probe_loss = true;
+            records.push(r);
+        }
+        let s = DomainStats::compute(&records);
+        assert_eq!(s.total, 10);
+        assert_eq!(s.lost, 2);
+        assert_eq!(s.dnssec, 4);
+        assert!((s.dnssec_pct() - 50.0).abs() < 1e-9);
     }
 
     #[test]

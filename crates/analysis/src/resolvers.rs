@@ -50,8 +50,15 @@ pub struct RcodeShares {
 /// Aggregated §5.2 statistics over one set of classifications.
 #[derive(Clone, Debug)]
 pub struct ResolverStats {
-    /// Resolvers that answered probes at all.
+    /// Resolvers that answered probes at all (classified minus
+    /// unreachable).
     pub responsive: u64,
+    /// Resolvers whose baseline probes never got an answer. They stay in
+    /// the study denominator instead of silently vanishing.
+    pub unreachable: u64,
+    /// Resolvers with incomplete per-N coverage (probe loss): observed
+    /// responses are tallied but no thresholds were derived for them.
+    pub partial: u64,
     /// Validators found.
     pub validators: u64,
     /// Validators limiting iterations in any way (paper: 78.3 %).
@@ -81,11 +88,15 @@ pub struct ResolverStats {
 impl ResolverStats {
     /// Aggregate a batch of classifications.
     pub fn compute(classifications: &[ResolverClassification]) -> Self {
-        let responsive = classifications.len() as u64;
+        let unreachable = classifications.iter().filter(|c| c.unreachable).count() as u64;
+        let partial = classifications.iter().filter(|c| c.partial).count() as u64;
+        let responsive = classifications.len() as u64 - unreachable;
         let validators: Vec<&ResolverClassification> =
             classifications.iter().filter(|c| c.is_validator).collect();
         let mut stats = ResolverStats {
             responsive,
+            unreachable,
+            partial,
             validators: validators.len() as u64,
             limiting: 0,
             item6: 0,
@@ -216,34 +227,23 @@ mod tests {
     use dns_resolver::broken::ObservedResponse;
 
     fn mk(responses: Vec<(u16, Rcode, bool)>, validator: bool) -> ResolverClassification {
-        let mut c = ResolverClassification {
-            resolver: "10.0.0.1".parse().unwrap(),
-            is_validator: validator,
-            responses: responses
-                .into_iter()
-                .map(|(n, rcode, ad)| {
-                    (
-                        n,
-                        ObservedResponse {
-                            rcode,
-                            ad,
-                            ra: true,
-                            ede: None,
-                            ede_has_text: false,
-                        },
-                    )
-                })
-                .collect(),
-            insecure_limit: None,
-            has_insecure_band: false,
-            servfail_start: None,
-            ede27_on_limit: false,
-            limit_ede_codes: vec![],
-            item7_violation: None,
-            item12_gap: false,
-            flaky: false,
-            ra_missing: false,
-        };
+        let mut c = ResolverClassification::empty("10.0.0.1".parse().unwrap());
+        c.is_validator = validator;
+        c.responses = responses
+            .into_iter()
+            .map(|(n, rcode, ad)| {
+                (
+                    n,
+                    ObservedResponse {
+                        rcode,
+                        ad,
+                        ra: true,
+                        ede: None,
+                        ede_has_text: false,
+                    },
+                )
+            })
+            .collect();
         dns_scanner::prober::derive_limits(&mut c);
         c
     }
@@ -267,6 +267,8 @@ mod tests {
         ];
         let s = ResolverStats::compute(&classifications);
         assert_eq!(s.responsive, 4);
+        assert_eq!(s.unreachable, 0);
+        assert_eq!(s.partial, 0);
         assert_eq!(s.validators, 3);
         assert_eq!(s.item6, 1);
         assert_eq!(s.item8, 1);
@@ -274,6 +276,23 @@ mod tests {
         assert!((s.limiting_pct() - 66.666).abs() < 0.01);
         assert_eq!(s.insecure_limits.get(&1), Some(&1));
         assert_eq!(s.servfail_starts.get(&151), Some(&1));
+    }
+
+    #[test]
+    fn unreachable_and_partial_stay_in_the_denominator() {
+        let mut dead = ResolverClassification::empty("10.0.0.9".parse().unwrap());
+        dead.unreachable = true;
+        let mut part = mk(vec![(1, Rcode::NxDomain, true)], true);
+        part.partial = true;
+        let fine = mk(
+            vec![(1, Rcode::NxDomain, true), (151, Rcode::NxDomain, false)],
+            true,
+        );
+        let s = ResolverStats::compute(&[dead, part, fine]);
+        assert_eq!(s.responsive, 2);
+        assert_eq!(s.unreachable, 1);
+        assert_eq!(s.partial, 1);
+        assert_eq!(s.validators, 2);
     }
 
     #[test]

@@ -69,6 +69,7 @@ props! {
                 nsec3: Some((*it, *salt)),
                 opt_out: false,
                 operator: Some(format!("op{op}.example.")),
+                probe_loss: false,
             })
             .collect();
         let table = operator_table(&records, 10);

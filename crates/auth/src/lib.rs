@@ -332,12 +332,16 @@ fn delegation_cut(zone: &SignedZone, qname: &Name) -> Option<Name> {
 impl Node for AuthServer {
     fn handle(&self, _net: &Network, src: IpAddr, payload: &[u8]) -> Option<Vec<u8>> {
         // RFC 7766: a length-framed payload is a stream ("TCP") exchange —
-        // no size limit and a framed response.
-        let (wire, tcp) = match unframe_tcp(payload) {
-            Some(inner) => (inner, true),
-            None => (payload, false),
+        // no size limit and a framed response. The length prefix is the
+        // only framing signal, and a UDP message whose ID bytes happen to
+        // equal its length minus two looks framed as well — so fall back
+        // to a raw decode when the framed interpretation does not parse,
+        // instead of answering such queries with silence.
+        let (query, tcp) = match unframe_tcp(payload).and_then(|inner| Message::decode(inner).ok())
+        {
+            Some(q) => (q, true),
+            None => (Message::decode(payload).ok()?, false),
         };
-        let query = Message::decode(wire).ok()?;
         if query.flags.qr {
             return None; // not a query
         }

@@ -1,0 +1,188 @@
+//! Fault-tolerance sweep: what does packet loss cost the census, and how
+//! fast does the adaptive retry policy recover from an outage?
+//!
+//! Two experiments, both written to `BENCH_faults.json`:
+//!
+//! * **Loss sweep** — the domain census under flow-keyed loss at 0 %,
+//!   1 %, 5 % and 20 % drop chance, same adaptive retry policy at every
+//!   point. Reports wall-clock per point, the retry volume, and the
+//!   answered share from the merged [`ProbeStats`], so retry overhead is
+//!   the ratio against the 0 % row.
+//! * **Outage recovery** — a lone probe target behind a scheduled
+//!   outage of 1 s / 5 s / 15 s of virtual time. The client re-probes
+//!   under the adaptive policy until the first response and the sweep
+//!   reports how much *virtual* time past the outage end that took —
+//!   the latency cost of backing off (timeouts cost 2 s, backoff up to
+//!   4 s, so recovery is never instant).
+//!
+//! `MICROBENCH_SAMPLES` overrides the repetitions per loss point
+//! (default 3; best run counts).
+
+use std::net::IpAddr;
+use std::rc::Rc;
+
+use dns_scanner::retry::BreakerConfig;
+use heroes_bench::{fmt_scale, header, Options, EXPERIMENT_NOW};
+use netsim::{Episode, EpisodeKind, FaultSchedule, Network, Node, Outcome, RetryPolicy, Scope};
+use nsec3_core::experiments::{run_domain_census_profiled, ScanProfile, DEFAULT_LAB_SEED};
+use popgen::{generate_domains, Scale};
+
+const LOSS_SWEEP: [f64; 4] = [0.0, 0.01, 0.05, 0.20];
+const OUTAGES_MICROS: [u64; 3] = [1_000_000, 5_000_000, 15_000_000];
+
+/// Answers every datagram with its own payload — the cheapest possible
+/// responder, so the recovery experiment measures only the fault engine
+/// and the retry policy.
+struct Echo;
+
+impl Node for Echo {
+    fn handle(&self, _net: &Network, _src: IpAddr, payload: &[u8]) -> Option<Vec<u8>> {
+        Some(payload.to_vec())
+    }
+}
+
+fn loss_profile(drop_chance: f64) -> ScanProfile {
+    let mut episodes = Vec::new();
+    if drop_chance > 0.0 {
+        episodes.push(Episode::always(EpisodeKind::Flap {
+            scope: Scope::All,
+            drop_chance,
+        }));
+    }
+    ScanProfile {
+        schedule: FaultSchedule {
+            base: Default::default(),
+            seed: DEFAULT_LAB_SEED,
+            episodes,
+        },
+        retry: RetryPolicy::adaptive(DEFAULT_LAB_SEED ^ 0x9276),
+        breaker: BreakerConfig::default(),
+    }
+}
+
+fn main() {
+    let opts = Options::parse(Scale(1.0 / 200_000.0));
+    let reps: usize = std::env::var("MICROBENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    println!(
+        "fault-tolerance sweep at scale {} (seed {}, {} reps per loss point)",
+        fmt_scale(opts.scale),
+        opts.seed,
+        reps
+    );
+    let specs = generate_domains(opts.scale, opts.seed);
+    println!(
+        "population: {} domains, batch size 200, adaptive retry + breaker",
+        specs.len()
+    );
+
+    header("Census under loss (best of reps per point)");
+    let mut loss_rows: Vec<(f64, f64, dns_scanner::retry::ProbeStats)> = Vec::new();
+    for &drop in &LOSS_SWEEP {
+        let profile = loss_profile(drop);
+        let mut best_ms = f64::INFINITY;
+        let mut stats = Default::default();
+        for _ in 0..reps {
+            let t0 = std::time::Instant::now();
+            let (_, st) = run_domain_census_profiled(
+                &specs,
+                EXPERIMENT_NOW,
+                200,
+                1,
+                DEFAULT_LAB_SEED,
+                &profile,
+            );
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            if ms < best_ms {
+                best_ms = ms;
+                stats = st;
+            }
+            assert!(st.is_consistent(), "loss accounting must balance at {drop}");
+        }
+        let overhead = loss_rows
+            .first()
+            .map(|(_, ms0, _)| best_ms / ms0)
+            .unwrap_or(1.0);
+        println!(
+            "  loss {:>4.0} %: best {best_ms:>9.1} ms   overhead vs 0%: {overhead:>5.2}x   retried {:>6}   answered {:>6.2} %",
+            drop * 100.0,
+            stats.retried,
+            stats.answered_share() * 100.0,
+        );
+        loss_rows.push((drop, best_ms, stats));
+    }
+
+    header("Outage recovery (virtual time past outage end until first answer)");
+    let target: IpAddr = "10.0.0.1".parse().unwrap();
+    let client: IpAddr = "10.0.0.9".parse().unwrap();
+    let policy = RetryPolicy::adaptive(DEFAULT_LAB_SEED ^ 0x9276);
+    let mut outage_rows: Vec<(u64, u64, u32)> = Vec::new();
+    for &outage in &OUTAGES_MICROS {
+        let net = Network::new(DEFAULT_LAB_SEED);
+        net.register(target, Rc::new(Echo));
+        net.set_schedule(FaultSchedule {
+            base: Default::default(),
+            seed: DEFAULT_LAB_SEED,
+            episodes: vec![Episode::window(
+                0,
+                outage,
+                EpisodeKind::Outage {
+                    scope: Scope::Addr(target),
+                },
+            )],
+        });
+        let mut rounds = 0u32;
+        loop {
+            rounds += 1;
+            let report = net.send_query_with_policy(client, target, b"ping", &policy);
+            if matches!(report.outcome, Outcome::Response { .. }) {
+                break;
+            }
+            assert!(
+                net.now_micros() < outage + 120_000_000,
+                "no recovery within 2 virtual minutes of a {outage} us outage"
+            );
+        }
+        let recovered_at = net.now_micros();
+        let recovery = recovered_at.saturating_sub(outage);
+        println!(
+            "  outage {:>5.1} s: first answer {:>6.2} s after outage end ({rounds} probe round(s))",
+            outage as f64 / 1e6,
+            recovery as f64 / 1e6,
+        );
+        outage_rows.push((outage, recovery, rounds));
+    }
+
+    let ms0 = loss_rows[0].1;
+    let mut json = String::from("{\n  \"suite\": \"faults\",\n");
+    json.push_str(&format!("  \"domains\": {},\n", specs.len()));
+    json.push_str("  \"loss_sweep\": [\n");
+    for (i, (drop, best_ms, st)) in loss_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"loss/{drop}\", \"drop_chance\": {drop}, \"best_ms\": {best_ms:.1}, \"overhead_vs_0\": {:.3}, \"sent\": {}, \"answered\": {}, \"retried\": {}, \"timed_out\": {}, \"circuit_skipped\": {}, \"answered_share\": {:.4}}}{}\n",
+            best_ms / ms0,
+            st.sent,
+            st.answered,
+            st.retried,
+            st.timed_out,
+            st.circuit_skipped,
+            st.answered_share(),
+            if i + 1 < loss_rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n  \"outage_recovery\": [\n");
+    for (i, (outage, recovery, rounds)) in outage_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"outage/{outage}us\", \"outage_micros\": {outage}, \"recovery_micros\": {recovery}, \"probe_rounds\": {rounds}}}{}\n",
+            if i + 1 < outage_rows.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_faults.json", &json) {
+        Ok(()) => println!("  [wrote BENCH_faults.json]"),
+        Err(e) => eprintln!("  [failed to write BENCH_faults.json: {e}]"),
+    }
+}

@@ -20,6 +20,24 @@
 //! 3. anything address-valued in the output (resolver classifications)
 //!    is pinned by replaying the allocation offsets a shard's
 //!    predecessors would have consumed (see [`run_resolver_study_with`]).
+//!
+//! # Faults and loss accounting
+//!
+//! Every driver also comes in a `_profiled` flavor taking a
+//! [`ScanProfile`]: a [`FaultSchedule`] layered onto each lab network, a
+//! [`RetryPolicy`] for every probe, and a circuit-breaker config. Probe
+//! traffic is accounted in a [`ProbeStats`] (merged shard-wise; plain
+//! sums, so order-independent) satisfying
+//! `sent = answered + timed_out + circuit_skipped`. The plain entry
+//! points consult `HEROES_FAULTS` (see [`fault_profile_from_env`]); the
+//! `_with` variants stay explicitly clean so golden outputs never move.
+//! Fault *episodes* key their decisions off the schedule seed and
+//! per-flow counters — never the lab RNG — so flow-keyed episodes
+//! (always-on [`EpisodeKind::Flap`], [`EpisodeKind::LatencySpike`],
+//! always-on [`EpisodeKind::Outage`]) replay identically across thread
+//! counts; time-windowed and rate-limit episodes additionally need
+//! `batch_size = 1` (census drivers) to be shard-invariant, because the
+//! virtual clock within a lab depends on batch composition.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -28,9 +46,10 @@ use analysis::resolvers::Panel;
 use dns_resolver::lab::{LabBuilder, ZoneSpec};
 use dns_resolver::resolver::{Resolver, ResolverConfig};
 use dns_resolver::Rfc9276Policy;
-use dns_scanner::atlas::classify_via_probe;
+use dns_scanner::atlas::classify_via_probe_with;
 use dns_scanner::census::{exclusive_operator, Census};
 use dns_scanner::prober::{Prober, ResolverClassification};
+use dns_scanner::retry::{BreakerConfig, ProbeStats, ScanSession};
 use dns_wire::name::Name;
 use dns_wire::rdata::RData;
 use dns_wire::record::Record;
@@ -38,6 +57,7 @@ use dns_wire::rrtype::RrType;
 use dns_zone::nsec3hash::Nsec3Params;
 use dns_zone::signer::Denial;
 use dns_zone::Zone;
+use netsim::{Episode, EpisodeKind, FaultSchedule, RetryPolicy, Scope};
 use popgen::domains::{DnssecKind, DomainSpec};
 use popgen::resolvers::{Access, Family, ResolverSpec};
 
@@ -47,6 +67,70 @@ use crate::testbed::build_testbed_seeded;
 /// Default lab-network seed for every experiment driver — the value the
 /// sequential drivers have always used.
 pub const DEFAULT_LAB_SEED: u64 = 42;
+
+/// How a scan run deals with an imperfect network: the faults to inject,
+/// the retry policy every probe uses, and the per-target circuit
+/// breaker. [`ScanProfile::clean`] reproduces the historical drivers
+/// byte for byte.
+#[derive(Clone, Debug)]
+pub struct ScanProfile {
+    /// Fault schedule installed on every lab network the driver builds.
+    pub schedule: FaultSchedule,
+    /// Retry policy for every probe (resolver upstream queries included).
+    pub retry: RetryPolicy,
+    /// Circuit-breaker configuration for direct prober traffic.
+    pub breaker: BreakerConfig,
+}
+
+impl ScanProfile {
+    /// No faults, the historical fixed two-attempt retry, breaker off —
+    /// behaviorally identical to the pre-profile drivers.
+    pub fn clean() -> Self {
+        ScanProfile {
+            schedule: FaultSchedule::default(),
+            retry: RetryPolicy::fixed(2),
+            breaker: BreakerConfig::disabled(),
+        }
+    }
+
+    /// A reproducible lossy Internet: 5 % flow-keyed loss plus a small
+    /// jittered latency spike everywhere, adaptive backoff, breaker on.
+    /// Episodes are flow-keyed (no time windows, no rate limits), so the
+    /// resolver study replays identically across thread counts; census
+    /// drivers additionally need `batch_size = 1` for that.
+    pub fn lossy(seed: u64) -> Self {
+        ScanProfile {
+            schedule: FaultSchedule {
+                base: Default::default(),
+                seed,
+                episodes: vec![
+                    Episode::always(EpisodeKind::Flap {
+                        scope: Scope::All,
+                        drop_chance: 0.05,
+                    }),
+                    Episode::always(EpisodeKind::LatencySpike {
+                        scope: Scope::All,
+                        extra_micros: 2_000,
+                        jitter_micros: 1_000,
+                    }),
+                ],
+            },
+            retry: RetryPolicy::adaptive(seed ^ 0x9276),
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// The profile the plain (non-`_with`, non-`_profiled`) drivers run
+/// under: `HEROES_FAULTS=lossy` selects [`ScanProfile::lossy`] (seeded
+/// from [`DEFAULT_LAB_SEED`]), anything else — including unset — the
+/// clean profile.
+pub fn fault_profile_from_env() -> ScanProfile {
+    match std::env::var("HEROES_FAULTS") {
+        Ok(v) if v.trim() == "lossy" => ScanProfile::lossy(DEFAULT_LAB_SEED),
+        _ => ScanProfile::clean(),
+    }
+}
 
 /// Turn a population spec into lab zone contents.
 fn zone_spec_for_domain(spec: &DomainSpec) -> Option<ZoneSpec> {
@@ -102,19 +186,21 @@ fn zone_spec_for_domain(spec: &DomainSpec) -> Option<ZoneSpec> {
 /// Thread count from `HEROES_THREADS` (default 1); output is identical
 /// for every thread count.
 pub fn run_domain_census(specs: &[DomainSpec], now: u32, batch_size: usize) -> Vec<DomainRecord> {
-    run_domain_census_with(
+    run_domain_census_profiled(
         specs,
         now,
         batch_size,
         sim_par::default_threads(),
         DEFAULT_LAB_SEED,
+        &fault_profile_from_env(),
     )
+    .0
 }
 
-/// [`run_domain_census`] with explicit thread count and lab seed. Specs
-/// are split into contiguous shards, one worker per shard; each worker
-/// runs the batched census on its own labs and results merge in spec
-/// order.
+/// [`run_domain_census`] with explicit thread count and lab seed,
+/// always on a clean network. Specs are split into contiguous shards,
+/// one worker per shard; each worker runs the batched census on its own
+/// labs and results merge in spec order.
 pub fn run_domain_census_with(
     specs: &[DomainSpec],
     now: u32,
@@ -122,19 +208,51 @@ pub fn run_domain_census_with(
     threads: usize,
     lab_seed: u64,
 ) -> Vec<DomainRecord> {
-    sim_par::run_sharded(specs, threads, lab_seed, |shard, slice| {
-        census_shard(slice, now, batch_size, shard.seed)
-    })
+    run_domain_census_profiled(
+        specs,
+        now,
+        batch_size,
+        threads,
+        lab_seed,
+        &ScanProfile::clean(),
+    )
+    .0
+}
+
+/// [`run_domain_census_with`] under an explicit [`ScanProfile`], with
+/// probe traffic loss-accounted: returns the records plus the merged
+/// [`ProbeStats`] of every shard.
+pub fn run_domain_census_profiled(
+    specs: &[DomainSpec],
+    now: u32,
+    batch_size: usize,
+    threads: usize,
+    lab_seed: u64,
+    profile: &ScanProfile,
+) -> (Vec<DomainRecord>, ProbeStats) {
+    let partials = sim_par::run_sharded(specs, threads, lab_seed, |shard, slice| {
+        vec![census_shard(slice, now, batch_size, shard.seed, profile)]
+    });
+    let mut records = Vec::with_capacity(specs.len());
+    let mut stats = ProbeStats::default();
+    for (shard_records, shard_stats) in partials {
+        records.extend(shard_records);
+        stats.merge(&shard_stats);
+    }
+    (records, stats)
 }
 
 /// One shard of the domain census: the sequential batched pipeline over
-/// `specs`, with every lab seeded from `lab_seed`.
+/// `specs`, with every lab seeded from `lab_seed` and carrying
+/// `profile`'s fault schedule.
 fn census_shard(
     specs: &[DomainSpec],
     now: u32,
     batch_size: usize,
     lab_seed: u64,
-) -> Vec<DomainRecord> {
+    profile: &ScanProfile,
+) -> (Vec<DomainRecord>, ProbeStats) {
+    let session = ScanSession::new(profile.breaker);
     let mut records = Vec::with_capacity(specs.len());
     for batch in specs.chunks(batch_size.max(1)) {
         // TLD zones needed by this batch.
@@ -159,12 +277,14 @@ fn census_shard(
             }
         }
         let mut lab = builder.build();
+        lab.net.set_schedule(profile.schedule.clone());
         let raddr = lab.alloc.v4();
         let mut cfg = ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
         cfg.now = lab.now;
         cfg.policy = Rfc9276Policy::unlimited();
+        cfg.retry = profile.retry;
         let resolver = Resolver::new(cfg);
-        let census = Census::new(&lab.net, &resolver, "census");
+        let census = Census::new(&lab.net, &resolver, "census").with_session(&session);
         for spec in batch {
             if skipped.contains(&spec.name) {
                 continue;
@@ -183,10 +303,12 @@ fn census_shard(
                     .map(|p| (p.iterations, p.salt.len() as u8)),
                 opt_out: obs.opt_out,
                 operator: exclusive_operator(&obs.ns_targets).map(|n| n.to_string()),
+                probe_loss: obs.probe_loss,
             });
         }
     }
-    records
+    let stats = session.stats();
+    (records, stats)
 }
 
 /// Fast path: convert declared specs directly into analysis records
@@ -201,6 +323,7 @@ pub fn records_from_specs(specs: &[DomainSpec]) -> Vec<DomainRecord> {
             nsec3: s.nsec3().map(|(it, salt, _)| (it, salt)),
             opt_out: s.nsec3().map(|(_, _, o)| o).unwrap_or(false),
             operator: s.operator.map(String::from),
+            probe_loss: false,
         })
         .collect()
 }
@@ -234,19 +357,22 @@ pub fn run_tld_census(
     now: u32,
     domains_scale: f64,
 ) -> Vec<TldObservation> {
-    run_tld_census_with(
+    run_tld_census_profiled(
         tlds,
         now,
         domains_scale,
         sim_par::default_threads(),
         DEFAULT_LAB_SEED,
+        &fault_profile_from_env(),
     )
+    .0
 }
 
-/// [`run_tld_census`] with explicit thread count and lab seed. Each shard
-/// instantiates only its own TLDs (plus the root) in a private lab; a
-/// TLD's observation never depends on which siblings share the root, so
-/// the merged output equals the sequential one.
+/// [`run_tld_census`] with explicit thread count and lab seed, always on
+/// a clean network. Each shard instantiates only its own TLDs (plus the
+/// root) in a private lab; a TLD's observation never depends on which
+/// siblings share the root, so the merged output equals the sequential
+/// one.
 pub fn run_tld_census_with(
     tlds: &[popgen::tlds::TldSpec],
     now: u32,
@@ -254,9 +380,37 @@ pub fn run_tld_census_with(
     threads: usize,
     lab_seed: u64,
 ) -> Vec<TldObservation> {
-    sim_par::run_sharded(tlds, threads, lab_seed, |shard, slice| {
-        tld_shard(slice, now, domains_scale, shard.seed)
-    })
+    run_tld_census_profiled(
+        tlds,
+        now,
+        domains_scale,
+        threads,
+        lab_seed,
+        &ScanProfile::clean(),
+    )
+    .0
+}
+
+/// [`run_tld_census_with`] under an explicit [`ScanProfile`], returning
+/// the merged per-shard [`ProbeStats`] alongside the observations.
+pub fn run_tld_census_profiled(
+    tlds: &[popgen::tlds::TldSpec],
+    now: u32,
+    domains_scale: f64,
+    threads: usize,
+    lab_seed: u64,
+    profile: &ScanProfile,
+) -> (Vec<TldObservation>, ProbeStats) {
+    let partials = sim_par::run_sharded(tlds, threads, lab_seed, |shard, slice| {
+        vec![tld_shard(slice, now, domains_scale, shard.seed, profile)]
+    });
+    let mut out = Vec::with_capacity(tlds.len());
+    let mut stats = ProbeStats::default();
+    for (shard_out, shard_stats) in partials {
+        out.extend(shard_out);
+        stats.merge(&shard_stats);
+    }
+    (out, stats)
 }
 
 /// One shard of the TLD census: the sequential pipeline over `tlds`.
@@ -265,7 +419,8 @@ fn tld_shard(
     now: u32,
     domains_scale: f64,
     lab_seed: u64,
-) -> Vec<TldObservation> {
+    profile: &ScanProfile,
+) -> (Vec<TldObservation>, ProbeStats) {
     let mut builder = LabBuilder::new(now).seed(lab_seed);
     for tld in tlds {
         let apex = match Name::parse(&tld.name) {
@@ -318,12 +473,15 @@ fn tld_shard(
             }
         }
     }
+    lab.net.set_schedule(profile.schedule.clone());
+    let session = ScanSession::new(profile.breaker);
     let raddr = lab.alloc.v4();
     let mut cfg = ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
     cfg.now = lab.now;
     cfg.policy = Rfc9276Policy::unlimited();
+    cfg.retry = profile.retry;
     let resolver = Resolver::new(cfg);
-    let census = Census::new(&lab.net, &resolver, "tlds");
+    let census = Census::new(&lab.net, &resolver, "tlds").with_session(&session);
     let xfer_src = lab.alloc.v4();
     let mut out = Vec::with_capacity(tlds.len());
     for tld in tlds {
@@ -355,13 +513,17 @@ fn tld_shard(
             delegations,
         });
     }
-    out
+    let stats = session.stats();
+    (out, stats)
 }
 
 /// Results of the §4.2 resolver study, grouped into Figure 3 panels.
 pub struct ResolverStudy {
-    /// Classifications per panel.
+    /// Classifications per panel. Unreachable and partially-probed
+    /// resolvers are included — they stay in the study denominator.
     pub per_panel: BTreeMap<Panel, Vec<ResolverClassification>>,
+    /// Loss-accounted probe traffic, merged across shards.
+    pub stats: ProbeStats,
 }
 
 impl ResolverStudy {
@@ -398,7 +560,13 @@ fn fleet_addr_consumption(specs: &[ResolverSpec]) -> (u32, u128) {
 /// Thread count from `HEROES_THREADS` (default 1); output is identical
 /// for every thread count.
 pub fn run_resolver_study(now: u32, specs: &[ResolverSpec]) -> ResolverStudy {
-    run_resolver_study_with(now, specs, sim_par::default_threads(), DEFAULT_LAB_SEED)
+    run_resolver_study_profiled(
+        now,
+        specs,
+        sim_par::default_threads(),
+        DEFAULT_LAB_SEED,
+        &fault_profile_from_env(),
+    )
 }
 
 /// [`run_resolver_study`] with explicit thread count and lab seed. Each
@@ -414,16 +582,39 @@ pub fn run_resolver_study_with(
     threads: usize,
     lab_seed: u64,
 ) -> ResolverStudy {
-    let merged = sim_par::run_sharded(specs, threads, lab_seed, |shard, slice| {
-        resolver_shard(now, shard.seed, specs, shard.start, slice)
+    run_resolver_study_profiled(now, specs, threads, lab_seed, &ScanProfile::clean())
+}
+
+/// [`run_resolver_study_with`] under an explicit [`ScanProfile`]. Every
+/// classification is kept — resolvers whose probes were all lost come
+/// back `unreachable`, partially-covered ones `partial` — and the merged
+/// [`ProbeStats`] ride along in [`ResolverStudy::stats`].
+pub fn run_resolver_study_profiled(
+    now: u32,
+    specs: &[ResolverSpec],
+    threads: usize,
+    lab_seed: u64,
+    profile: &ScanProfile,
+) -> ResolverStudy {
+    let partials = sim_par::run_sharded(specs, threads, lab_seed, |shard, slice| {
+        vec![resolver_shard(
+            now,
+            shard.seed,
+            specs,
+            shard.start,
+            slice,
+            profile,
+        )]
     });
     let mut per_panel: BTreeMap<Panel, Vec<ResolverClassification>> = BTreeMap::new();
-    for (panel, classification) in merged {
-        if let Some(c) = classification {
-            per_panel.entry(panel).or_default().push(c);
+    let mut stats = ProbeStats::default();
+    for (shard_pairs, shard_stats) in partials {
+        for (panel, classification) in shard_pairs {
+            per_panel.entry(panel).or_default().push(classification);
         }
+        stats.merge(&shard_stats);
     }
-    ResolverStudy { per_panel }
+    ResolverStudy { per_panel, stats }
 }
 
 /// One shard of the resolver study: classify `slice`
@@ -434,8 +625,11 @@ fn resolver_shard(
     specs: &[ResolverSpec],
     start: usize,
     slice: &[ResolverSpec],
-) -> Vec<(Panel, Option<ResolverClassification>)> {
+    profile: &ScanProfile,
+) -> (Vec<(Panel, ResolverClassification)>, ProbeStats) {
     let mut tb = build_testbed_seeded(now, lab_seed);
+    tb.lab.net.set_schedule(profile.schedule.clone());
+    let session = ScanSession::new(profile.breaker);
     // Scanner vantages first (before the fleet, at a fixed offset), then
     // pre-skip the predecessors' fleet allocations: both keep every
     // address shard-invariant. Scanner source addresses never appear in
@@ -446,7 +640,7 @@ fn resolver_shard(
     tb.lab.alloc.skip_v4(consumed_v4);
     tb.lab.alloc.skip_v6(consumed_v6);
     let deployed = deploy_fleet(&mut tb.lab, slice);
-    deployed
+    let pairs = deployed
         .iter()
         .map(|d| {
             let panel = match (d.spec.access, d.spec.family) {
@@ -456,18 +650,24 @@ fn resolver_shard(
                 (Access::Closed, Family::V6) => Panel::ClosedV6,
             };
             let classification = match &d.probe {
-                Some(probe) => classify_via_probe(&tb.lab.net, probe, &tb.plan),
+                Some(probe) => {
+                    classify_via_probe_with(&tb.lab.net, probe, &tb.plan, profile.retry, &session)
+                }
                 None => {
                     let src = match d.spec.family {
                         Family::V4 => scanner_v4,
                         Family::V6 => scanner_v6,
                     };
-                    Prober::new(&tb.lab.net, src, &tb.plan).classify(d.addr)
+                    Prober::new(&tb.lab.net, src, &tb.plan)
+                        .with_session(&session, profile.retry)
+                        .classify(d.addr)
                 }
             };
             (panel, classification)
         })
-        .collect()
+        .collect();
+    let stats = session.stats();
+    (pairs, stats)
 }
 
 /// Result of the unreachability experiment (§5.2 / abstract: "as 418
@@ -481,6 +681,10 @@ pub struct Unreachability {
     pub unreachable: u64,
     /// Domains that keep working (zero additional iterations).
     pub reachable: u64,
+    /// Domains whose probes were lost to network faults: neither
+    /// reachable nor unreachable, just unmeasured.
+    /// `reachable + unreachable + lost == probed` always holds.
+    pub lost: u64,
 }
 
 impl Unreachability {
@@ -502,18 +706,21 @@ impl Unreachability {
 /// Thread count from `HEROES_THREADS` (default 1); counts are identical
 /// for every thread count.
 pub fn run_unreachability(specs: &[DomainSpec], now: u32, batch_size: usize) -> Unreachability {
-    run_unreachability_with(
+    run_unreachability_profiled(
         specs,
         now,
         batch_size,
         sim_par::default_threads(),
         DEFAULT_LAB_SEED,
+        &fault_profile_from_env(),
     )
+    .0
 }
 
-/// [`run_unreachability`] with explicit thread count and lab seed. Shards
-/// return partial counts which sum to the sequential totals (addition is
-/// order-independent, so this driver needs no merge-order argument).
+/// [`run_unreachability`] with explicit thread count and lab seed, always
+/// on a clean network. Shards return partial counts which sum to the
+/// sequential totals (addition is order-independent, so this driver needs
+/// no merge-order argument).
 pub fn run_unreachability_with(
     specs: &[DomainSpec],
     now: u32,
@@ -521,25 +728,53 @@ pub fn run_unreachability_with(
     threads: usize,
     lab_seed: u64,
 ) -> Unreachability {
+    run_unreachability_profiled(
+        specs,
+        now,
+        batch_size,
+        threads,
+        lab_seed,
+        &ScanProfile::clean(),
+    )
+    .0
+}
+
+/// [`run_unreachability_with`] under an explicit [`ScanProfile`]: lost
+/// probes land in [`Unreachability::lost`] instead of inflating the
+/// unreachable count, and the merged [`ProbeStats`] ride along.
+pub fn run_unreachability_profiled(
+    specs: &[DomainSpec],
+    now: u32,
+    batch_size: usize,
+    threads: usize,
+    lab_seed: u64,
+    profile: &ScanProfile,
+) -> (Unreachability, ProbeStats) {
     let nsec3_sample: Vec<DomainSpec> = specs
         .iter()
         .filter(|s| s.nsec3().is_some())
         .cloned()
         .collect();
     let partials = sim_par::run_sharded(&nsec3_sample, threads, lab_seed, |shard, slice| {
-        vec![unreachability_shard(slice, now, batch_size, shard.seed)]
+        vec![unreachability_shard(
+            slice, now, batch_size, shard.seed, profile,
+        )]
     });
     let mut result = Unreachability {
         probed: 0,
         unreachable: 0,
         reachable: 0,
+        lost: 0,
     };
-    for p in partials {
+    let mut stats = ProbeStats::default();
+    for (p, shard_stats) in partials {
         result.probed += p.probed;
         result.unreachable += p.unreachable;
         result.reachable += p.reachable;
+        result.lost += p.lost;
+        stats.merge(&shard_stats);
     }
-    result
+    (result, stats)
 }
 
 /// One shard of the unreachability probe: the sequential batched pipeline
@@ -549,11 +784,14 @@ fn unreachability_shard(
     now: u32,
     batch_size: usize,
     lab_seed: u64,
-) -> Unreachability {
+    profile: &ScanProfile,
+) -> (Unreachability, ProbeStats) {
+    let session = ScanSession::new(profile.breaker);
     let mut result = Unreachability {
         probed: 0,
         unreachable: 0,
         reachable: 0,
+        lost: 0,
     };
     for batch in sample.chunks(batch_size.max(1)) {
         let tlds: BTreeSet<Name> = batch
@@ -571,11 +809,13 @@ fn unreachability_shard(
             }
         }
         let mut lab = builder.build();
+        lab.net.set_schedule(profile.schedule.clone());
         let raddr = lab.alloc.v4();
         let mut cfg = ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
         cfg.now = lab.now;
         // The strict class: SERVFAIL for any NSEC3 iteration count > 0.
         cfg.policy = Rfc9276Policy::servfail_above(0);
+        cfg.retry = profile.retry;
         let resolver = Resolver::new(cfg);
         for spec in batch {
             let domain = match Name::parse(&spec.name) {
@@ -588,13 +828,23 @@ fn unreachability_shard(
                 .unwrap();
             let out = resolver.resolve(&lab.net, &probe, RrType::A);
             result.probed += 1;
-            match out.rcode {
-                dns_wire::rrtype::Rcode::ServFail => result.unreachable += 1,
-                _ => result.reachable += 1,
+            // A SERVFAIL that spent upstream timeouts is probe loss, not
+            // a policy verdict (clean networks never spend timeouts).
+            let lost = out.rcode == dns_wire::rrtype::Rcode::ServFail && out.cost.timeouts > 0;
+            if lost {
+                session.note_timed_out(out.cost.retries);
+                result.lost += 1;
+            } else {
+                session.note_answered(out.cost.retries);
+                match out.rcode {
+                    dns_wire::rrtype::Rcode::ServFail => result.unreachable += 1,
+                    _ => result.reachable += 1,
+                }
             }
         }
     }
-    result
+    let stats = session.stats();
+    (result, stats)
 }
 
 /// One point of the CVE-2023-50868 cost sweep.
@@ -695,7 +945,36 @@ mod tests {
         let result = run_unreachability(&specs, NOW, 100);
         assert_eq!(result.probed, nsec3.len() as u64);
         assert_eq!(result.unreachable, expected_unreachable);
-        assert_eq!(result.reachable + result.unreachable, result.probed);
+        assert_eq!(result.lost, 0, "clean network loses nothing");
+        assert_eq!(
+            result.reachable + result.unreachable + result.lost,
+            result.probed
+        );
+    }
+
+    #[test]
+    fn clean_profile_matches_legacy_driver_and_accounts_probes() {
+        let specs = popgen::generate_domains(Scale(1.0 / 2_000_000.0), 3);
+        let sample: Vec<DomainSpec> = specs.into_iter().take(20).collect();
+        let legacy = run_domain_census_with(&sample, NOW, 10, 1, DEFAULT_LAB_SEED);
+        let (profiled, stats) = run_domain_census_profiled(
+            &sample,
+            NOW,
+            10,
+            1,
+            DEFAULT_LAB_SEED,
+            &ScanProfile::clean(),
+        );
+        assert_eq!(profiled.len(), legacy.len());
+        for (a, b) in profiled.iter().zip(legacy.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.nsec3, b.nsec3);
+            assert!(!a.probe_loss, "clean network never loses probes");
+        }
+        assert!(stats.is_consistent(), "{stats:?}");
+        assert!(stats.sent > 0, "census probes are accounted");
+        assert_eq!(stats.timed_out, 0, "clean network times nothing out");
+        assert_eq!(stats.circuit_skipped, 0);
     }
 
     #[test]

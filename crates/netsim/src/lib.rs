@@ -26,7 +26,7 @@ use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 use std::rc::Rc;
 
-use sim_rng::{Rng, Xoshiro256pp};
+use sim_rng::{Rng, SplitMix64, Xoshiro256pp};
 
 /// A host on the simulated network.
 ///
@@ -66,6 +66,251 @@ impl Default for FaultConfig {
             size_limit: None,
         }
     }
+}
+
+/// Which destinations a fault episode applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scope {
+    /// Every address.
+    All,
+    /// Exactly one address.
+    Addr(IpAddr),
+    /// An IPv4 prefix, `bits` leading bits.
+    V4Prefix(Ipv4Addr, u8),
+    /// An IPv6 prefix, `bits` leading bits.
+    V6Prefix(Ipv6Addr, u8),
+}
+
+impl Scope {
+    /// Does `ip` fall inside this scope?
+    pub fn matches(&self, ip: IpAddr) -> bool {
+        match (self, ip) {
+            (Scope::All, _) => true,
+            (Scope::Addr(a), ip) => *a == ip,
+            (Scope::V4Prefix(p, bits), IpAddr::V4(v)) => {
+                let bits = (*bits).min(32) as u32;
+                if bits == 0 {
+                    return true;
+                }
+                let mask = u32::MAX << (32 - bits);
+                (u32::from(*p) & mask) == (u32::from(v) & mask)
+            }
+            (Scope::V6Prefix(p, bits), IpAddr::V6(v)) => {
+                let bits = (*bits).min(128) as u32;
+                if bits == 0 {
+                    return true;
+                }
+                let mask = u128::MAX << (128 - bits);
+                (u128::from(*p) & mask) == (u128::from(v) & mask)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// What a fault episode does to traffic it matches.
+#[derive(Clone, Debug)]
+pub enum EpisodeKind {
+    /// Destinations in `scope` are completely unreachable: every datagram
+    /// toward them is silently dropped.
+    Outage {
+        /// Affected destinations.
+        scope: Scope,
+    },
+    /// Destinations in `scope` lose each datagram with `drop_chance`
+    /// probability, decided by a seeded hash of the flow (never the
+    /// network RNG, so observations elsewhere are unaffected).
+    Flap {
+        /// Affected destinations.
+        scope: Scope,
+        /// Per-datagram loss probability in `[0, 1]`.
+        drop_chance: f64,
+    },
+    /// Deliveries toward `scope` take `extra_micros` longer, plus a
+    /// seeded jitter in `[0, jitter_micros]`.
+    LatencySpike {
+        /// Affected destinations.
+        scope: Scope,
+        /// Fixed extra one-way delay in µs.
+        extra_micros: u64,
+        /// Upper bound on additional hash-derived jitter in µs.
+        jitter_micros: u64,
+    },
+    /// Per-destination response-rate limiting: a token bucket holding
+    /// `capacity` tokens, one regained every `refill_interval_micros`.
+    /// A request toward a limited destination with an empty bucket is
+    /// answered with silence (the datagram vanishes). Response legs are
+    /// never limited — the model is an authoritative answering only so
+    /// many queries per second.
+    RateLimit {
+        /// Affected destinations.
+        scope: Scope,
+        /// Bucket size (burst allowance).
+        capacity: u64,
+        /// Virtual µs to regain one token.
+        refill_interval_micros: u64,
+    },
+    /// Traffic between `a` and `b` (either direction) is dropped; traffic
+    /// inside each side is unaffected.
+    Partition {
+        /// One side of the cut.
+        a: Scope,
+        /// The other side.
+        b: Scope,
+    },
+}
+
+/// One virtual-time window during which an [`EpisodeKind`] is active.
+#[derive(Clone, Debug)]
+pub struct Episode {
+    /// Virtual timestamp (µs) at which the episode starts (inclusive).
+    pub from_micros: u64,
+    /// Virtual timestamp (µs) at which it ends (exclusive).
+    pub until_micros: u64,
+    /// The fault applied while active.
+    pub kind: EpisodeKind,
+}
+
+impl Episode {
+    /// An episode active for the whole run.
+    pub fn always(kind: EpisodeKind) -> Self {
+        Episode {
+            from_micros: 0,
+            until_micros: u64::MAX,
+            kind,
+        }
+    }
+
+    /// An episode active in `[from_micros, until_micros)`.
+    pub fn window(from_micros: u64, until_micros: u64, kind: EpisodeKind) -> Self {
+        Episode {
+            from_micros,
+            until_micros,
+            kind,
+        }
+    }
+
+    fn active_at(&self, at: u64) -> bool {
+        at >= self.from_micros && at < self.until_micros
+    }
+}
+
+/// A full fault plan: the global [`FaultConfig`] knobs layered under a
+/// list of time-scheduled [`Episode`]s, all reproducible from `seed`.
+///
+/// Episode decisions (flap losses, latency jitter) are derived by hashing
+/// `seed` with the episode index and the flow — **not** drawn from the
+/// network's RNG stream — so adding or removing an episode never perturbs
+/// fault decisions made elsewhere, and a schedule replays identically
+/// wherever the same flows occur.
+#[derive(Clone, Debug, Default)]
+pub struct FaultSchedule {
+    /// The always-on global knobs (drop / corrupt / duplicate / MTU).
+    pub base: FaultConfig,
+    /// Seed for hash-derived episode decisions.
+    pub seed: u64,
+    /// Time-scheduled fault episodes, evaluated in order.
+    pub episodes: Vec<Episode>,
+}
+
+/// Deterministic retry schedule for one query exchange: exponential
+/// backoff with seeded jitter, bounded by an attempt count and an
+/// optional virtual-time budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of attempts (at least 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in virtual µs. Doubles per retry.
+    pub base_backoff_micros: u64,
+    /// Upper bound on a single backoff interval.
+    pub max_backoff_micros: u64,
+    /// Upper bound on hash-derived jitter added to each backoff.
+    pub jitter_micros: u64,
+    /// Total virtual-time budget for the exchange (0 = unlimited): once
+    /// this much virtual time has elapsed, no further attempts are made.
+    pub budget_micros: u64,
+    /// Seed for the deterministic jitter hash.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// A policy that reproduces the legacy fixed-retry loop exactly:
+    /// `attempts` tries, no backoff, no budget.
+    pub fn fixed(attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: attempts.max(1),
+            base_backoff_micros: 0,
+            max_backoff_micros: 0,
+            jitter_micros: 0,
+            budget_micros: 0,
+            seed: 0,
+        }
+    }
+
+    /// The default adaptive policy used by the fault-aware scanners:
+    /// 5 attempts, 250 ms base backoff doubling to a 4 s cap, 50 ms
+    /// jitter, 30 s total budget.
+    pub fn adaptive(seed: u64) -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_backoff_micros: 250_000,
+            max_backoff_micros: 4_000_000,
+            jitter_micros: 50_000,
+            budget_micros: 30_000_000,
+            seed,
+        }
+    }
+
+    /// Backoff before retry number `retry` (1-based), jitter included.
+    pub fn backoff_micros(&self, dst: IpAddr, retry: u32) -> u64 {
+        let exp = retry.saturating_sub(1).min(32);
+        let base = self
+            .base_backoff_micros
+            .saturating_mul(1u64 << exp)
+            .min(self.max_backoff_micros.max(self.base_backoff_micros));
+        let jitter = if self.jitter_micros == 0 {
+            0
+        } else {
+            hash_mix(&[self.seed, addr_key(dst), retry as u64]) % (self.jitter_micros + 1)
+        };
+        base + jitter
+    }
+}
+
+/// What one policy-driven exchange did, beyond its [`Outcome`]: how many
+/// attempts were actually sent on the wire.
+#[derive(Clone, Debug)]
+pub struct ExchangeReport {
+    /// Final outcome (first response, or the last failure).
+    pub outcome: Outcome,
+    /// Attempts actually made (≥ 1 unless the budget was already spent).
+    pub attempts: u32,
+}
+
+/// Fold an address into a hashable word.
+fn addr_key(ip: IpAddr) -> u64 {
+    match ip {
+        IpAddr::V4(v) => u64::from(u32::from(v)),
+        IpAddr::V6(v) => {
+            let x = u128::from(v);
+            (x as u64) ^ ((x >> 64) as u64) ^ 0x6c62_272e_07bb_0142
+        }
+    }
+}
+
+/// Deterministic mixing of several words into one, via chained SplitMix64
+/// steps. Used for every hash-derived fault decision.
+fn hash_mix(parts: &[u64]) -> u64 {
+    let mut acc = 0x9e37_79b9_7f4a_7c15u64;
+    for &p in parts {
+        acc = SplitMix64::new(acc ^ p).next_u64();
+    }
+    acc
+}
+
+/// Map a hash word onto `[0, 1)` for probability decisions.
+fn hash_unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// Outcome of one query exchange.
@@ -125,6 +370,12 @@ pub enum TraceVerdict {
     NoRoute,
     /// Dropped: delivery would re-enter a node already on the call stack.
     Loop,
+    /// Dropped by an [`EpisodeKind::Outage`] episode.
+    Outage,
+    /// Dropped by an [`EpisodeKind::RateLimit`] episode (bucket empty).
+    RateLimited,
+    /// Dropped by an [`EpisodeKind::Partition`] episode.
+    Partitioned,
 }
 
 /// The simulated Internet.
@@ -134,13 +385,32 @@ pub struct Network {
     /// Default one-way latency in µs when a node has none configured.
     default_latency: u64,
     faults: RefCell<FaultConfig>,
+    episodes: RefCell<Vec<Episode>>,
+    episode_seed: Cell<u64>,
+    /// Per-(src, dst) datagram counter; feeds the hash that decides flap
+    /// losses and latency jitter, so decisions replay identically for a
+    /// given flow regardless of what other flows exist.
+    flow_seq: RefCell<HashMap<(IpAddr, IpAddr), u64>>,
+    /// Token buckets for `RateLimit` episodes, keyed by (episode index,
+    /// destination).
+    buckets: RefCell<HashMap<(usize, IpAddr), Bucket>>,
     rng: RefCell<Xoshiro256pp>,
     clock: Cell<u64>,
     trace: RefCell<Vec<TraceEntry>>,
     trace_cap: Cell<usize>,
+    /// Ring-buffer write head: index of the oldest entry once the trace
+    /// is full (entries are chronological starting there).
+    trace_head: Cell<usize>,
     in_flight: RefCell<Vec<IpAddr>>,
     delivered: Cell<u64>,
     lost: Cell<u64>,
+}
+
+/// Token-bucket state for one rate-limited destination.
+#[derive(Clone, Copy, Debug)]
+struct Bucket {
+    tokens: u64,
+    last_refill_micros: u64,
 }
 
 impl Network {
@@ -151,10 +421,15 @@ impl Network {
             latency: RefCell::new(HashMap::new()),
             default_latency: 5_000, // 5 ms one-way
             faults: RefCell::new(FaultConfig::default()),
+            episodes: RefCell::new(Vec::new()),
+            episode_seed: Cell::new(0),
+            flow_seq: RefCell::new(HashMap::new()),
+            buckets: RefCell::new(HashMap::new()),
             rng: RefCell::new(Xoshiro256pp::seed_from_u64(seed)),
             clock: Cell::new(0),
             trace: RefCell::new(Vec::new()),
             trace_cap: Cell::new(0),
+            trace_head: Cell::new(0),
             in_flight: RefCell::new(Vec::new()),
             delivered: Cell::new(0),
             lost: Cell::new(0),
@@ -166,10 +441,28 @@ impl Network {
         *self.faults.borrow_mut() = faults;
     }
 
-    /// Keep at most `cap` trace entries (0 disables tracing).
+    /// Install a full [`FaultSchedule`]: the base knobs replace the
+    /// current [`FaultConfig`], the episodes replace any previous ones,
+    /// and flow counters / token buckets start fresh.
+    pub fn set_schedule(&self, schedule: FaultSchedule) {
+        *self.faults.borrow_mut() = schedule.base;
+        *self.episodes.borrow_mut() = schedule.episodes;
+        self.episode_seed.set(schedule.seed);
+        self.flow_seq.borrow_mut().clear();
+        self.buckets.borrow_mut().clear();
+    }
+
+    /// Keep at most `cap` most-recent trace entries (0 disables tracing).
     pub fn set_trace_capacity(&self, cap: usize) {
+        // Normalize whatever is buffered to chronological order, keep the
+        // newest `cap` entries, and restart the ring from a zero head.
+        let mut chronological = self.trace_chronological();
+        if chronological.len() > cap {
+            chronological.drain(..chronological.len() - cap);
+        }
+        *self.trace.borrow_mut() = chronological;
+        self.trace_head.set(0);
         self.trace_cap.set(cap);
-        self.trace.borrow_mut().truncate(cap);
     }
 
     /// Register `node` at `addr`. A node may hold many addresses
@@ -222,9 +515,20 @@ impl Network {
         self.lost.get()
     }
 
-    /// A copy of the trace.
+    /// A copy of the trace, oldest entry first. At most the configured
+    /// capacity of **most recent** entries is retained: once full, each
+    /// new datagram evicts the oldest record (true ring buffer).
     pub fn trace(&self) -> Vec<TraceEntry> {
-        self.trace.borrow().clone()
+        self.trace_chronological()
+    }
+
+    fn trace_chronological(&self) -> Vec<TraceEntry> {
+        let trace = self.trace.borrow();
+        let head = self.trace_head.get();
+        let mut out = Vec::with_capacity(trace.len());
+        out.extend_from_slice(&trace[head..]);
+        out.extend_from_slice(&trace[..head]);
+        out
     }
 
     /// Send `payload` from `src` to `dst` and wait (virtually) for the
@@ -290,7 +594,8 @@ impl Network {
     }
 
     /// A sender-side retry loop: up to `attempts` tries, returning the
-    /// first response.
+    /// first response. Equivalent to [`Network::send_query_with_policy`]
+    /// with [`RetryPolicy::fixed`].
     pub fn send_query_with_retries(
         &self,
         src: IpAddr,
@@ -298,14 +603,48 @@ impl Network {
         payload: &[u8],
         attempts: u32,
     ) -> Outcome {
-        let mut last = Outcome::Timeout;
-        for _ in 0..attempts.max(1) {
+        self.send_query_with_policy(src, dst, payload, &RetryPolicy::fixed(attempts))
+            .outcome
+    }
+
+    /// Policy-driven exchange: up to `policy.max_attempts` tries with
+    /// exponential, deterministically-jittered backoff between failed
+    /// attempts (backoff advances the virtual clock), stopping early on
+    /// a response, a missing route, or an exhausted time budget.
+    pub fn send_query_with_policy(
+        &self,
+        src: IpAddr,
+        dst: IpAddr,
+        payload: &[u8],
+        policy: &RetryPolicy,
+    ) -> ExchangeReport {
+        let start = self.clock.get();
+        let max_attempts = policy.max_attempts.max(1);
+        let mut attempts = 0u32;
+        let mut last;
+        loop {
+            attempts += 1;
             last = self.send_query(src, dst, payload);
             if matches!(last, Outcome::Response { .. } | Outcome::NoRoute) {
-                return last;
+                break;
+            }
+            if attempts >= max_attempts {
+                break;
+            }
+            if policy.budget_micros > 0
+                && self.clock.get().saturating_sub(start) >= policy.budget_micros
+            {
+                break;
+            }
+            let backoff = policy.backoff_micros(dst, attempts);
+            if backoff > 0 {
+                self.advance(backoff);
             }
         }
-        last
+        ExchangeReport {
+            outcome: last,
+            attempts,
+        }
     }
 
     fn advance_timeout(&self) {
@@ -329,6 +668,12 @@ impl Network {
         let mut trace = self.trace.borrow_mut();
         if trace.len() < cap {
             trace.push(entry);
+        } else {
+            // Full: overwrite the oldest entry and advance the head, so
+            // the buffer always holds the `cap` most recent datagrams.
+            let head = self.trace_head.get();
+            trace[head] = entry;
+            self.trace_head.set((head + 1) % cap);
         }
     }
 
@@ -372,6 +717,20 @@ impl Network {
             });
             return Leg::LoopDrop;
         }
+        let episode_extra = match self.evaluate_episodes(src, dst, at, require_route) {
+            Ok(extra_latency) => extra_latency,
+            Err(verdict) => {
+                self.lost.set(self.lost.get() + 1);
+                self.record(TraceEntry {
+                    at_micros: at,
+                    src,
+                    dst,
+                    len: payload.len(),
+                    verdict,
+                });
+                return Leg::Lost;
+            }
+        };
         let mut rng = self.rng.borrow_mut();
         if faults.drop_chance > 0.0 && rng.gen_bool(faults.drop_chance.clamp(0.0, 1.0)) {
             self.lost.set(self.lost.get() + 1);
@@ -395,7 +754,8 @@ impl Network {
             verdict = TraceVerdict::Corrupted;
         }
         drop(rng);
-        self.clock.set(at + self.one_way_latency(src, dst));
+        self.clock
+            .set(at + self.one_way_latency(src, dst) + episode_extra);
         self.delivered.set(self.delivered.get() + 1);
         self.record(TraceEntry {
             at_micros: at,
@@ -405,6 +765,105 @@ impl Network {
             verdict,
         });
         Leg::Delivered(delivered)
+    }
+
+    /// Evaluate the active fault episodes for one datagram. Returns the
+    /// extra one-way latency to apply (`Ok`) or the verdict that kills
+    /// the datagram (`Err`). Decisions hash the schedule seed with the
+    /// episode index and the per-(src, dst) flow counter — the network
+    /// RNG is never consulted, so episode evaluation cannot perturb the
+    /// base fault stream or any observation made elsewhere.
+    fn evaluate_episodes(
+        &self,
+        src: IpAddr,
+        dst: IpAddr,
+        at: u64,
+        request_leg: bool,
+    ) -> Result<u64, TraceVerdict> {
+        let episodes = self.episodes.borrow();
+        if episodes.is_empty() {
+            return Ok(0);
+        }
+        let seq = {
+            let mut flows = self.flow_seq.borrow_mut();
+            let counter = flows.entry((src, dst)).or_insert(0);
+            let seq = *counter;
+            *counter += 1;
+            seq
+        };
+        let seed = self.episode_seed.get();
+        let mut extra_latency = 0u64;
+        for (idx, episode) in episodes.iter().enumerate() {
+            if !episode.active_at(at) {
+                continue;
+            }
+            match &episode.kind {
+                EpisodeKind::Outage { scope } => {
+                    if scope.matches(dst) {
+                        return Err(TraceVerdict::Outage);
+                    }
+                }
+                EpisodeKind::Flap { scope, drop_chance } => {
+                    if scope.matches(dst) {
+                        let h = hash_mix(&[seed, idx as u64, addr_key(src), addr_key(dst), seq]);
+                        if hash_unit(h) < drop_chance.clamp(0.0, 1.0) {
+                            return Err(TraceVerdict::Dropped);
+                        }
+                    }
+                }
+                EpisodeKind::LatencySpike {
+                    scope,
+                    extra_micros,
+                    jitter_micros,
+                } => {
+                    if scope.matches(dst) {
+                        let jitter = if *jitter_micros == 0 {
+                            0
+                        } else {
+                            hash_mix(&[
+                                seed ^ 0x1a7e,
+                                idx as u64,
+                                addr_key(src),
+                                addr_key(dst),
+                                seq,
+                            ]) % (*jitter_micros + 1)
+                        };
+                        extra_latency = extra_latency.saturating_add(extra_micros + jitter);
+                    }
+                }
+                EpisodeKind::RateLimit {
+                    scope,
+                    capacity,
+                    refill_interval_micros,
+                } => {
+                    // Responses flow back to a waiting socket; only
+                    // requests consume the destination's answer budget.
+                    if request_leg && scope.matches(dst) {
+                        let interval = (*refill_interval_micros).max(1);
+                        let mut buckets = self.buckets.borrow_mut();
+                        let bucket = buckets.entry((idx, dst)).or_insert(Bucket {
+                            tokens: *capacity,
+                            last_refill_micros: at,
+                        });
+                        let refills = at.saturating_sub(bucket.last_refill_micros) / interval;
+                        if refills > 0 {
+                            bucket.tokens = bucket.tokens.saturating_add(refills).min(*capacity);
+                            bucket.last_refill_micros += refills * interval;
+                        }
+                        if bucket.tokens == 0 {
+                            return Err(TraceVerdict::RateLimited);
+                        }
+                        bucket.tokens -= 1;
+                    }
+                }
+                EpisodeKind::Partition { a, b } => {
+                    if (a.matches(src) && b.matches(dst)) || (b.matches(src) && a.matches(dst)) {
+                        return Err(TraceVerdict::Partitioned);
+                    }
+                }
+            }
+        }
+        Ok(extra_latency)
     }
 }
 
@@ -655,6 +1114,333 @@ mod tests {
             let _ = net.send_query(addr(1), addr(2), b"x");
         }
         assert_eq!(net.trace().len(), 3);
+    }
+
+    #[test]
+    fn trace_ring_buffer_keeps_newest_entries() {
+        let net = Network::new(1);
+        net.register(addr(2), Rc::new(Echo));
+        net.set_trace_capacity(4);
+        // 6 exchanges x 2 legs = 12 datagrams with distinct lengths.
+        for i in 1..=6usize {
+            let _ = net.send_query(addr(1), addr(2), &vec![0u8; i]);
+        }
+        let trace = net.trace();
+        assert_eq!(trace.len(), 4);
+        // The survivors are the 4 most recent legs (exchanges 5 and 6),
+        // in chronological order.
+        assert_eq!(
+            trace.iter().map(|e| e.len).collect::<Vec<_>>(),
+            vec![5, 5, 6, 6]
+        );
+        assert!(trace.windows(2).all(|w| w[0].at_micros <= w[1].at_micros));
+        // Late drops survive too: a NoRoute verdict lands in the buffer.
+        let _ = net.send_query(addr(1), addr(9), b"zzzzzzz");
+        let trace = net.trace();
+        assert_eq!(trace.last().unwrap().verdict, TraceVerdict::NoRoute);
+        // Shrinking keeps the newest entries.
+        net.set_trace_capacity(2);
+        let trace = net.trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.last().unwrap().verdict, TraceVerdict::NoRoute);
+        assert_eq!(trace[0].len, 6);
+    }
+
+    #[test]
+    fn outage_episode_window_controls_reachability() {
+        let net = Network::new(1);
+        net.register(addr(2), Rc::new(Echo));
+        net.set_schedule(FaultSchedule {
+            episodes: vec![Episode::window(
+                1_000_000,
+                50_000_000,
+                EpisodeKind::Outage {
+                    scope: Scope::Addr(addr(2)),
+                },
+            )],
+            ..Default::default()
+        });
+        // Before the window: reachable.
+        assert!(matches!(
+            net.send_query(addr(1), addr(2), b"x"),
+            Outcome::Response { .. }
+        ));
+        net.advance(2_000_000);
+        // Inside the window: silence.
+        assert_eq!(net.send_query(addr(1), addr(2), b"x"), Outcome::Timeout);
+        let trace_free = net.send_query(addr(1), addr(3), b"x");
+        assert_eq!(trace_free, Outcome::NoRoute, "other dsts unaffected");
+        // After the window: recovered.
+        while net.now_micros() < 50_000_000 {
+            net.advance(10_000_000);
+        }
+        assert!(matches!(
+            net.send_query(addr(1), addr(2), b"x"),
+            Outcome::Response { .. }
+        ));
+    }
+
+    #[test]
+    fn flap_decisions_replay_per_flow_not_per_network_history() {
+        let schedule = || FaultSchedule {
+            seed: 77,
+            episodes: vec![Episode::always(EpisodeKind::Flap {
+                scope: Scope::Addr(addr(2)),
+                drop_chance: 0.5,
+            })],
+            ..Default::default()
+        };
+        let run = |extra_traffic: bool| {
+            let net = Network::new(9);
+            net.register(addr(2), Rc::new(Echo));
+            net.register(addr(3), Rc::new(Echo));
+            net.set_schedule(schedule());
+            (0..40)
+                .map(|i| {
+                    if extra_traffic && i % 3 == 0 {
+                        // Unrelated flow: must not shift addr(2) decisions.
+                        let _ = net.send_query(addr(1), addr(3), b"noise");
+                    }
+                    matches!(
+                        net.send_query(addr(1), addr(2), b"x"),
+                        Outcome::Response { .. }
+                    )
+                })
+                .collect::<Vec<bool>>()
+        };
+        let quiet = run(false);
+        assert_eq!(quiet, run(true), "flap decisions are flow-keyed");
+        assert!(quiet.iter().any(|ok| *ok) && quiet.iter().any(|ok| !*ok));
+        // A different schedule seed flips some decisions.
+        let net = Network::new(9);
+        net.register(addr(2), Rc::new(Echo));
+        net.set_schedule(FaultSchedule {
+            seed: 78,
+            ..schedule()
+        });
+        let other: Vec<bool> = (0..40)
+            .map(|_| {
+                matches!(
+                    net.send_query(addr(1), addr(2), b"x"),
+                    Outcome::Response { .. }
+                )
+            })
+            .collect();
+        assert_ne!(quiet, other);
+    }
+
+    #[test]
+    fn latency_spike_slows_matching_destinations() {
+        let net = Network::new(1);
+        net.register(addr(2), Rc::new(Echo));
+        net.register(addr(3), Rc::new(Echo));
+        net.set_schedule(FaultSchedule {
+            episodes: vec![Episode::always(EpisodeKind::LatencySpike {
+                scope: Scope::Addr(addr(2)),
+                extra_micros: 100_000,
+                jitter_micros: 0,
+            })],
+            ..Default::default()
+        });
+        // Only the request leg matches dst = addr(2).
+        match net.send_query(addr(1), addr(2), b"x") {
+            Outcome::Response { rtt_micros, .. } => assert_eq!(rtt_micros, 20_000 + 100_000),
+            other => panic!("{other:?}"),
+        }
+        match net.send_query(addr(1), addr(3), b"x") {
+            Outcome::Response { rtt_micros, .. } => assert_eq!(rtt_micros, 20_000),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rate_limit_answers_burst_then_goes_silent_then_refills() {
+        let net = Network::new(1);
+        net.register(addr(2), Rc::new(Echo));
+        net.set_schedule(FaultSchedule {
+            episodes: vec![Episode::always(EpisodeKind::RateLimit {
+                scope: Scope::Addr(addr(2)),
+                capacity: 3,
+                refill_interval_micros: 60_000_000,
+            })],
+            ..Default::default()
+        });
+        let mut answered = 0;
+        for _ in 0..5 {
+            if matches!(
+                net.send_query(addr(1), addr(2), b"x"),
+                Outcome::Response { .. }
+            ) {
+                answered += 1;
+            }
+        }
+        assert_eq!(answered, 3, "burst capacity, then silence");
+        net.advance(120_000_000); // two refill intervals
+        let mut recovered = 0;
+        for _ in 0..3 {
+            if matches!(
+                net.send_query(addr(1), addr(2), b"x"),
+                Outcome::Response { .. }
+            ) {
+                recovered += 1;
+            }
+        }
+        assert_eq!(recovered, 2, "tokens regained at the refill rate");
+    }
+
+    #[test]
+    fn partition_cuts_both_directions_but_not_inside() {
+        let net = Network::new(1);
+        net.register(addr(2), Rc::new(Echo));
+        net.register(addr(12), Rc::new(Echo));
+        let left = Scope::V4Prefix(Ipv4Addr::new(10, 0, 0, 0), 29); // .0-.7
+        let right = Scope::V4Prefix(Ipv4Addr::new(10, 0, 0, 8), 29); // .8-.15
+        net.set_schedule(FaultSchedule {
+            episodes: vec![Episode::always(EpisodeKind::Partition {
+                a: left,
+                b: right,
+            })],
+            ..Default::default()
+        });
+        assert_eq!(
+            net.send_query(addr(1), addr(12), b"x"),
+            Outcome::Timeout,
+            "across the cut"
+        );
+        assert_eq!(
+            net.send_query(addr(9), addr(2), b"x"),
+            Outcome::Timeout,
+            "reverse direction"
+        );
+        assert!(
+            matches!(
+                net.send_query(addr(1), addr(2), b"x"),
+                Outcome::Response { .. }
+            ),
+            "same side unaffected"
+        );
+    }
+
+    #[test]
+    fn scope_prefix_matching() {
+        let v4 = |a, b, c, d| IpAddr::V4(Ipv4Addr::new(a, b, c, d));
+        let p = Scope::V4Prefix(Ipv4Addr::new(10, 1, 0, 0), 16);
+        assert!(p.matches(v4(10, 1, 200, 7)));
+        assert!(!p.matches(v4(10, 2, 0, 1)));
+        assert!(!p.matches("fd00::1".parse().unwrap()));
+        let p6 = Scope::V6Prefix("fd00::".parse().unwrap(), 8);
+        assert!(p6.matches("fd00::42".parse().unwrap()));
+        assert!(!p6.matches(v4(10, 0, 0, 1)));
+        assert!(Scope::All.matches(v4(1, 2, 3, 4)));
+        assert!(Scope::V4Prefix(Ipv4Addr::new(0, 0, 0, 0), 0).matches(v4(9, 9, 9, 9)));
+    }
+
+    #[test]
+    fn fixed_policy_reproduces_legacy_retry_loop() {
+        let run_legacy = || {
+            let net = Network::new(42);
+            net.register(addr(2), Rc::new(Echo));
+            net.set_faults(FaultConfig {
+                drop_chance: 0.5,
+                ..Default::default()
+            });
+            (0..30)
+                .map(|_| {
+                    let out = net.send_query_with_retries(addr(1), addr(2), b"x", 4);
+                    (matches!(out, Outcome::Response { .. }), net.now_micros())
+                })
+                .collect::<Vec<_>>()
+        };
+        let run_policy = || {
+            let net = Network::new(42);
+            net.register(addr(2), Rc::new(Echo));
+            net.set_faults(FaultConfig {
+                drop_chance: 0.5,
+                ..Default::default()
+            });
+            let policy = RetryPolicy::fixed(4);
+            (0..30)
+                .map(|_| {
+                    let report = net.send_query_with_policy(addr(1), addr(2), b"x", &policy);
+                    (
+                        matches!(report.outcome, Outcome::Response { .. }),
+                        net.now_micros(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run_legacy(), run_policy());
+    }
+
+    #[test]
+    fn adaptive_policy_backs_off_and_respects_budget() {
+        let net = Network::new(1);
+        net.register(addr(2), Rc::new(Silent));
+        let policy = RetryPolicy::adaptive(7);
+        let before = net.now_micros();
+        let report = net.send_query_with_policy(addr(1), addr(2), b"x", &policy);
+        assert!(matches!(report.outcome, Outcome::Timeout));
+        assert!(report.attempts >= 2, "silent target is retried");
+        let elapsed = net.now_micros() - before;
+        // Budget bounds total virtual time: attempts stop once 30 s elapse,
+        // so the whole exchange stays under budget + one timeout + max backoff.
+        assert!(
+            elapsed
+                <= policy.budget_micros
+                    + 2_000_000
+                    + policy.max_backoff_micros
+                    + policy.jitter_micros,
+            "elapsed {elapsed}"
+        );
+        // Backoff grows: the same dst/attempt pair always jitters identically.
+        assert_eq!(
+            policy.backoff_micros(addr(2), 1),
+            policy.backoff_micros(addr(2), 1)
+        );
+        assert!(policy.backoff_micros(addr(2), 3) >= policy.backoff_micros(addr(2), 1));
+    }
+
+    #[test]
+    fn no_route_short_circuits_policy_retries() {
+        let net = Network::new(1);
+        let report = net.send_query_with_policy(addr(1), addr(9), b"x", &RetryPolicy::adaptive(1));
+        assert!(matches!(report.outcome, Outcome::NoRoute));
+        assert_eq!(report.attempts, 1, "dead routes are not retried");
+    }
+
+    #[test]
+    fn schedule_replays_identically_for_same_seed() {
+        let run = |seed: u64| {
+            let net = Network::new(5);
+            net.register(addr(2), Rc::new(Echo));
+            net.set_schedule(FaultSchedule {
+                seed,
+                episodes: vec![
+                    Episode::always(EpisodeKind::Flap {
+                        scope: Scope::All,
+                        drop_chance: 0.3,
+                    }),
+                    Episode::window(
+                        3_000_000,
+                        9_000_000,
+                        EpisodeKind::Outage {
+                            scope: Scope::Addr(addr(2)),
+                        },
+                    ),
+                ],
+                ..Default::default()
+            });
+            (0..60)
+                .map(|_| {
+                    matches!(
+                        net.send_query(addr(1), addr(2), b"x"),
+                        Outcome::Response { .. }
+                    )
+                })
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
     }
 
     /// A node that counts how many datagrams it handled.

@@ -17,6 +17,8 @@ pub struct CostMeter {
     nsec3_hashes: Cell<u64>,
     signatures_verified: Cell<u64>,
     messages_sent: Cell<u64>,
+    timeouts: Cell<u64>,
+    retries: Cell<u64>,
 }
 
 impl CostMeter {
@@ -43,6 +45,17 @@ impl CostMeter {
         self.messages_sent.set(self.messages_sent.get() + 1);
     }
 
+    /// Record one upstream exchange that ended in silence (all retries
+    /// exhausted without a usable reply).
+    pub fn add_timeout(&self) {
+        self.timeouts.set(self.timeouts.get() + 1);
+    }
+
+    /// Record `n` extra attempts beyond the first for one exchange.
+    pub fn add_retries(&self, n: u64) {
+        self.retries.set(self.retries.get() + n);
+    }
+
     /// Total SHA-1 compressions spent on NSEC3 hashing.
     pub fn sha1_compressions(&self) -> u64 {
         self.sha1_compressions.get()
@@ -63,12 +76,24 @@ impl CostMeter {
         self.messages_sent.get()
     }
 
+    /// Upstream exchanges that timed out entirely.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.get()
+    }
+
+    /// Extra wire attempts beyond the first, summed over exchanges.
+    pub fn retries(&self) -> u64 {
+        self.retries.get()
+    }
+
     /// Zero every counter.
     pub fn reset(&self) {
         self.sha1_compressions.set(0);
         self.nsec3_hashes.set(0);
         self.signatures_verified.set(0);
         self.messages_sent.set(0);
+        self.timeouts.set(0);
+        self.retries.set(0);
     }
 
     /// A point-in-time copy of the counters.
@@ -78,6 +103,8 @@ impl CostMeter {
             nsec3_hashes: self.nsec3_hashes.get(),
             signatures_verified: self.signatures_verified.get(),
             messages_sent: self.messages_sent.get(),
+            timeouts: self.timeouts.get(),
+            retries: self.retries.get(),
         }
     }
 }
@@ -93,6 +120,12 @@ pub struct CostSnapshot {
     pub signatures_verified: u64,
     /// Network messages sent.
     pub messages_sent: u64,
+    /// Upstream exchanges that ended in silence (all retries exhausted).
+    /// Zero on a fault-free network — scanners use this to tell genuine
+    /// SERVFAIL verdicts apart from probe loss.
+    pub timeouts: u64,
+    /// Extra wire attempts beyond the first, summed over exchanges.
+    pub retries: u64,
 }
 
 impl CostSnapshot {
@@ -103,6 +136,8 @@ impl CostSnapshot {
             nsec3_hashes: self.nsec3_hashes - earlier.nsec3_hashes,
             signatures_verified: self.signatures_verified - earlier.signatures_verified,
             messages_sent: self.messages_sent - earlier.messages_sent,
+            timeouts: self.timeouts - earlier.timeouts,
+            retries: self.retries - earlier.retries,
         }
     }
 }

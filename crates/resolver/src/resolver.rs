@@ -16,7 +16,7 @@ use dns_wire::rdata::RData;
 use dns_wire::record::Record;
 use dns_wire::rrtype::{Rcode, RrType};
 use dns_zone::nsec3hash::Nsec3Params;
-use netsim::{Network, Node, Outcome};
+use netsim::{Network, Node, Outcome, RetryPolicy};
 
 use crate::aggressive::AggressiveCache;
 use crate::cache::TtlCache;
@@ -53,8 +53,9 @@ pub struct ResolverConfig {
     pub policy: Rfc9276Policy,
     /// Wall-clock now (epoch seconds) for temporal signature checks.
     pub now: u32,
-    /// Per-upstream-query retry attempts.
-    pub retries: u32,
+    /// Per-upstream-query retry schedule (attempts, backoff, budget).
+    /// [`RetryPolicy::fixed`] reproduces the legacy flat retry loop.
+    pub retry: RetryPolicy,
     /// Check iteration limits before verifying NSEC3 RRSIGs (the cheap
     /// order everyone implements). `false` is the ablation arm: full
     /// signature verification before the limit check.
@@ -86,7 +87,7 @@ impl ResolverConfig {
             validate: true,
             policy: Rfc9276Policy::unlimited(),
             now: 0,
-            retries: 2,
+            retry: RetryPolicy::fixed(2),
             check_limits_first: true,
             cache_size: 4096,
             aggressive_nsec3: false,
@@ -104,7 +105,7 @@ impl ResolverConfig {
             validate: false,
             policy: Rfc9276Policy::unlimited(),
             now: 0,
-            retries: 2,
+            retry: RetryPolicy::fixed(2),
             check_limits_first: true,
             cache_size: 4096,
             aggressive_nsec3: false,
@@ -226,26 +227,42 @@ impl Resolver {
         let query = Message::query(id, sent_qname.clone(), qtype);
         let wire = query.encode();
         self.meter.add_message();
-        let resp =
-            match net.send_query_with_retries(self.config.addr, server, &wire, self.config.retries)
-            {
-                Outcome::Response { payload, .. } => Message::decode(&payload).ok()?,
-                _ => return None,
-            };
+        let report =
+            net.send_query_with_policy(self.config.addr, server, &wire, &self.config.retry);
+        self.meter
+            .add_retries(u64::from(report.attempts.saturating_sub(1)));
+        let resp = match report.outcome {
+            Outcome::Response { payload, .. } => Message::decode(&payload).ok()?,
+            // NoRoute is a definitive "no path" (wrong address family,
+            // unregistered server) that clean networks produce too — only
+            // genuine timeouts count as spent loss budget.
+            Outcome::NoRoute => return None,
+            Outcome::Timeout => {
+                self.meter.add_timeout();
+                return None;
+            }
+        };
         // Truncated over UDP: retry the exchange over "TCP" (RFC 7766
         // length framing, no size limit).
         let resp = if resp.flags.tc {
             self.meter.add_message();
-            match net.send_query_with_retries(
+            let report = net.send_query_with_policy(
                 self.config.addr,
                 server,
                 &frame_tcp(&wire),
-                self.config.retries,
-            ) {
+                &self.config.retry,
+            );
+            self.meter
+                .add_retries(u64::from(report.attempts.saturating_sub(1)));
+            match report.outcome {
                 Outcome::Response { payload, .. } => {
                     Message::decode(unframe_tcp(&payload)?).ok()?
                 }
-                _ => return None,
+                Outcome::NoRoute => return None,
+                Outcome::Timeout => {
+                    self.meter.add_timeout();
+                    return None;
+                }
             }
         } else {
             resp

@@ -11,9 +11,10 @@ use std::collections::HashSet;
 use std::net::IpAddr;
 use std::rc::Rc;
 
-use netsim::{Network, Node};
+use netsim::{Network, Node, RetryPolicy};
 
 use crate::prober::{ProbePlan, Prober, ResolverClassification};
+use crate::retry::ScanSession;
 
 /// A wrapper that makes any resolver node *closed*: datagrams from
 /// addresses outside the allowlist are silently dropped.
@@ -57,13 +58,30 @@ pub struct AtlasProbe {
 }
 
 /// Run the §4.2 classification from an Atlas probe. EDE data is not
-/// captured (the Atlas API does not supply it).
+/// captured (the Atlas API does not supply it). A resolver that never
+/// answers comes back with `unreachable = true` — it stays in the study
+/// denominator.
 pub fn classify_via_probe(
     net: &Network,
     probe: &AtlasProbe,
     plan: &ProbePlan,
-) -> Option<ResolverClassification> {
+) -> ResolverClassification {
     let mut prober = Prober::new(net, probe.addr, plan);
+    prober.capture_ede = false;
+    prober.classify(probe.local_resolver)
+}
+
+/// [`classify_via_probe`] threaded through a retry/breaker session so
+/// the probe's traffic is loss-accounted alongside the open-resolver
+/// scan.
+pub fn classify_via_probe_with(
+    net: &Network,
+    probe: &AtlasProbe,
+    plan: &ProbePlan,
+    policy: RetryPolicy,
+    session: &ScanSession,
+) -> ResolverClassification {
+    let mut prober = Prober::new(net, probe.addr, plan).with_session(session, policy);
     prober.capture_ede = false;
     prober.classify(probe.local_resolver)
 }

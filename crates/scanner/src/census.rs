@@ -9,7 +9,7 @@
 
 use std::net::IpAddr;
 
-use dns_resolver::resolver::Resolver;
+use dns_resolver::resolver::{ResolveOutcome, Resolver};
 use dns_wire::name::Name;
 use dns_wire::rdata::RData;
 use dns_wire::rrtype::{Rcode, RrType};
@@ -17,6 +17,7 @@ use dns_zone::nsec3hash::Nsec3Params;
 use netsim::Network;
 
 use crate::ratelimit::RateLimiter;
+use crate::retry::ScanSession;
 
 /// Everything the census learned about one domain.
 #[derive(Clone, Debug)]
@@ -35,6 +36,10 @@ pub struct DomainObservation {
     pub uses_nsec: bool,
     /// NS target names.
     pub ns_targets: Vec<Name>,
+    /// At least one probe phase was lost to timeouts (detected as a
+    /// SERVFAIL whose resolution spent upstream timeouts): the
+    /// observation is incomplete and must not be classified.
+    pub probe_loss: bool,
     /// Final classification.
     pub class: DomainClass,
 }
@@ -54,6 +59,10 @@ pub enum DomainClass {
     InconsistentNsec3,
     /// NSEC3-enabled with these parameters: the analysis population.
     Nsec3Enabled(Nsec3Params),
+    /// Probe traffic was lost before the domain could be observed: the
+    /// domain is reported as *lost coverage*, never misclassified as
+    /// NotDnssec (graceful degradation).
+    Unprobed,
 }
 
 impl DomainClass {
@@ -76,6 +85,9 @@ pub struct Census<'a> {
     pub scan_id: String,
     /// Paces queries like the paper's zdns configuration.
     pub rate: RateLimiter,
+    /// When set, every probe phase is loss-accounted in this session's
+    /// [`crate::retry::ProbeStats`].
+    pub session: Option<&'a ScanSession>,
 }
 
 impl<'a> Census<'a> {
@@ -87,6 +99,33 @@ impl<'a> Census<'a> {
             resolver,
             scan_id: scan_id.into(),
             rate: RateLimiter::new(14_700),
+            session: None,
+        }
+    }
+
+    /// The same census, loss-accounted through `session`.
+    pub fn with_session(mut self, session: &'a ScanSession) -> Self {
+        self.session = Some(session);
+        self
+    }
+
+    /// Did this resolution lose its probe, rather than observe a genuine
+    /// answer? A SERVFAIL that spent upstream timeouts is probe loss; a
+    /// SERVFAIL resolved entirely from answered traffic (validation
+    /// failure, policy SERVFAIL) is a real observation. Fault-free
+    /// networks never spend timeouts, so this is always `false` there.
+    fn phase_lost(out: &ResolveOutcome) -> bool {
+        out.rcode == Rcode::ServFail && out.cost.timeouts > 0
+    }
+
+    /// Account one phase's outcome in the session, if any.
+    fn note_phase(&self, out: &ResolveOutcome, lost: bool) {
+        if let Some(session) = self.session {
+            if lost {
+                session.note_timed_out(out.cost.retries);
+            } else {
+                session.note_answered(out.cost.retries);
+            }
         }
     }
 
@@ -100,12 +139,29 @@ impl<'a> Census<'a> {
             opt_out: false,
             uses_nsec: false,
             ns_targets: Vec::new(),
+            probe_loss: false,
             class: DomainClass::NotDnssec,
         };
 
         // Phase 1: DNSKEY.
         self.rate.pace(self.net);
         let dnskey = self.resolver.resolve(self.net, domain, RrType::DNSKEY);
+        if Self::phase_lost(&dnskey) {
+            // The bootstrap phase never completed: without it we cannot
+            // even tell DNSSEC from plain DNS, so the domain is lost
+            // coverage, not "NotDnssec". The remaining phases are given
+            // up on (accounted as skipped, not silently dropped).
+            self.note_phase(&dnskey, true);
+            if let Some(session) = self.session {
+                for _ in 0..3 {
+                    session.note_skipped();
+                }
+            }
+            obs.probe_loss = true;
+            obs.class = DomainClass::Unprobed;
+            return obs;
+        }
+        self.note_phase(&dnskey, false);
         obs.dnssec_enabled = dnskey.answers.iter().any(|r| r.rrtype() == RrType::DNSKEY);
         if !obs.dnssec_enabled {
             return obs;
@@ -114,6 +170,9 @@ impl<'a> Census<'a> {
         // Phase 2: NSEC3PARAM and NS.
         self.rate.pace(self.net);
         let params = self.resolver.resolve(self.net, domain, RrType::NSEC3PARAM);
+        let params_lost = Self::phase_lost(&params);
+        self.note_phase(&params, params_lost);
+        obs.probe_loss |= params_lost;
         for rec in &params.answers {
             if let Some(p) = Nsec3Params::from_rdata(&rec.rdata) {
                 obs.nsec3params.push(p);
@@ -121,6 +180,9 @@ impl<'a> Census<'a> {
         }
         self.rate.pace(self.net);
         let ns = self.resolver.resolve(self.net, domain, RrType::NS);
+        let ns_lost = Self::phase_lost(&ns);
+        self.note_phase(&ns, ns_lost);
+        obs.probe_loss |= ns_lost;
         for rec in &ns.answers {
             if let RData::Ns(target) = &rec.rdata {
                 obs.ns_targets.push(target.clone());
@@ -133,6 +195,9 @@ impl<'a> Census<'a> {
             .and_then(|p| p.concat(domain))
             .unwrap_or_else(|_| domain.clone());
         let neg = self.resolver.resolve(self.net, &probe, RrType::A);
+        let neg_lost = Self::phase_lost(&neg);
+        self.note_phase(&neg, neg_lost);
+        obs.probe_loss |= neg_lost;
         let denial_records = neg.authorities.iter().chain(neg.answers.iter());
         for rec in denial_records {
             match &rec.rdata {
@@ -157,6 +222,12 @@ impl<'a> Census<'a> {
 
 /// Apply the paper's filters to raw observations.
 pub fn classify(obs: &DomainObservation) -> DomainClass {
+    if obs.probe_loss {
+        // Incomplete observations are never classified: a domain whose
+        // probes were lost would otherwise masquerade as NotDnssec or
+        // DnssecUnknownDenial and silently skew every share.
+        return DomainClass::Unprobed;
+    }
     if !obs.dnssec_enabled {
         return DomainClass::NotDnssec;
     }
@@ -241,6 +312,7 @@ mod tests {
             opt_out: false,
             uses_nsec: nsec,
             ns_targets: vec![],
+            probe_loss: false,
             class: DomainClass::NotDnssec,
         }
     }
@@ -286,6 +358,19 @@ mod tests {
             classify(&obs(true, vec![p0.clone()], vec![], false)),
             DomainClass::Nsec3Enabled(p0)
         );
+    }
+
+    #[test]
+    fn probe_loss_is_never_misclassified() {
+        // Even an observation that "looks" NotDnssec or NSEC3-enabled is
+        // reported as lost coverage once any phase went unanswered.
+        let mut lossy = obs(false, vec![], vec![], false);
+        lossy.probe_loss = true;
+        assert_eq!(classify(&lossy), DomainClass::Unprobed);
+        let mut lossy = obs(true, vec![Nsec3Params::rfc9276()], vec![], false);
+        lossy.probe_loss = true;
+        assert_eq!(classify(&lossy), DomainClass::Unprobed);
+        assert!(classify(&lossy).nsec3_enabled().is_none());
     }
 
     #[test]

@@ -10,12 +10,14 @@ pub mod atlas;
 pub mod census;
 pub mod prober;
 pub mod ratelimit;
+pub mod retry;
 pub mod walk;
 
-pub use atlas::{classify_via_probe, AtlasProbe, ClosedResolver};
+pub use atlas::{classify_via_probe, classify_via_probe_with, AtlasProbe, ClosedResolver};
 pub use census::{Census, DomainClass, DomainObservation};
 pub use prober::{derive_limits, ProbePlan, Prober, ResolverClassification};
 pub use ratelimit::RateLimiter;
+pub use retry::{BreakerConfig, ProbeStats, ScanSession};
 pub use walk::{axfr, dictionary_attack, nsec3_collect, nsec_walk, Nsec3Harvest};
 
 #[cfg(test)]
@@ -123,7 +125,9 @@ mod e2e {
         };
         let probe_src = lab.alloc.v4();
         let prober = Prober::new(&lab.net, probe_src, &plan);
-        let c = prober.classify(raddr).expect("resolver answered");
+        let c = prober.classify(raddr);
+        assert!(!c.unreachable, "resolver answered");
+        assert!(!c.partial, "full per-N coverage on a clean network");
         assert!(c.is_validator);
         assert_eq!(c.insecure_limit, Some(150));
         assert_eq!(c.servfail_start, None);
@@ -155,9 +159,8 @@ mod e2e {
             it_2501_expired: None,
         };
         let probe_src = lab.alloc.v4();
-        let c = Prober::new(&lab.net, probe_src, &plan)
-            .classify(raddr)
-            .unwrap();
+        let c = Prober::new(&lab.net, probe_src, &plan).classify(raddr);
+        assert!(!c.unreachable);
         assert!(
             !c.is_validator,
             "stub resolves expired zones fine and sets no AD"
@@ -211,13 +214,13 @@ mod e2e {
         );
         let src = lab.alloc.v4();
         let prober = Prober::new(&lab.net, src, &plan);
-        let stable = prober.classify_with_requery(stable_addr, 3).unwrap();
+        let stable = prober.classify_with_requery(stable_addr, 3);
         assert!(
             !stable.flaky,
             "stable resolver stays stable over re-queries"
         );
         assert_eq!(stable.insecure_limit, Some(120));
-        let flaky = prober.classify_with_requery(flaky_addr, 3).unwrap();
+        let flaky = prober.classify_with_requery(flaky_addr, 3);
         assert!(flaky.flaky, "re-querying exposes the wobble");
     }
 
@@ -247,16 +250,18 @@ mod e2e {
             it_zones: vec![],
             it_2501_expired: None,
         };
-        // Open-Internet prober: nothing.
-        assert!(Prober::new(&lab.net, outside, &plan)
-            .classify(raddr)
-            .is_none());
+        // Open-Internet prober: the closed resolver looks unreachable —
+        // and stays in the denominator as such rather than vanishing.
+        let from_outside = Prober::new(&lab.net, outside, &plan).classify(raddr);
+        assert!(from_outside.unreachable);
+        assert!(!from_outside.is_validator);
         // Atlas probe: full classification, EDE suppressed.
         let probe = AtlasProbe {
             addr: probe_addr,
             local_resolver: raddr,
         };
-        let c = classify_via_probe(&lab.net, &probe, &plan).unwrap();
+        let c = classify_via_probe(&lab.net, &probe, &plan);
+        assert!(!c.unreachable);
         assert!(c.is_validator);
     }
 }

@@ -8,7 +8,9 @@ use dns_resolver::broken::ObservedResponse;
 use dns_wire::message::Message;
 use dns_wire::name::Name;
 use dns_wire::rrtype::{Rcode, RrType};
-use netsim::{Network, Outcome};
+use netsim::{Network, Outcome, RetryPolicy};
+
+use crate::retry::ScanSession;
 
 /// The probe plan derived from the testbed: which names to query.
 #[derive(Clone, Debug)]
@@ -59,9 +61,41 @@ pub struct ResolverClassification {
     pub flaky: bool,
     /// RA bit was clear on responses (query-copier fingerprint).
     pub ra_missing: bool,
+    /// Every N the plan intended to probe (ascending). Compared against
+    /// `responses` to detect coverage gaps.
+    pub probed_ns: Vec<u16>,
+    /// The bootstrap probes (`valid` / `expired`) never got an answer:
+    /// the resolver could not be classified at all. It still counts in
+    /// the study denominator — unreachable, not absent.
+    pub unreachable: bool,
+    /// Some per-N probes went unanswered: the observation is incomplete
+    /// and derived limits are suppressed rather than guessed from a
+    /// subset (graceful degradation).
+    pub partial: bool,
 }
 
 impl ResolverClassification {
+    /// A blank classification for `resolver`: nothing observed yet.
+    pub fn empty(resolver: IpAddr) -> Self {
+        ResolverClassification {
+            resolver,
+            is_validator: false,
+            responses: Vec::new(),
+            insecure_limit: None,
+            has_insecure_band: false,
+            servfail_start: None,
+            ede27_on_limit: false,
+            limit_ede_codes: Vec::new(),
+            item7_violation: None,
+            item12_gap: false,
+            flaky: false,
+            ra_missing: false,
+            probed_ns: Vec::new(),
+            unreachable: false,
+            partial: false,
+        }
+    }
+
     /// Does this resolver limit iterations at all (item 6 or item 8)?
     pub fn limits_iterations(&self) -> bool {
         self.insecure_limit.is_some() || self.servfail_start.is_some()
@@ -90,8 +124,13 @@ pub struct Prober<'a> {
     /// Capture EDE data (false when probing through RIPE-Atlas-style
     /// vantage points, which do not expose EDE).
     pub capture_ede: bool,
-    /// Per-query retry attempts.
-    pub retries: u32,
+    /// Per-query retry schedule. [`RetryPolicy::fixed`] reproduces the
+    /// legacy flat retry loop exactly.
+    pub policy: RetryPolicy,
+    /// Shared retry/breaker session: when set, every probe is accounted
+    /// in its [`crate::retry::ProbeStats`] and dead resolvers are
+    /// short-circuited by its breaker.
+    pub session: Option<&'a ScanSession>,
 }
 
 impl<'a> Prober<'a> {
@@ -102,17 +141,30 @@ impl<'a> Prober<'a> {
             src,
             plan,
             capture_ede: true,
-            retries: 2,
+            policy: RetryPolicy::fixed(2),
+            session: None,
         }
+    }
+
+    /// The same prober, threaded through a [`ScanSession`] with `policy`.
+    pub fn with_session(mut self, session: &'a ScanSession, policy: RetryPolicy) -> Self {
+        self.session = Some(session);
+        self.policy = policy;
+        self
     }
 
     fn query(&self, resolver: IpAddr, qname: &Name) -> Option<ObservedResponse> {
         let id = (qname.wire_len() as u16) ^ 0x5aa5;
         let q = Message::query(id, qname.clone(), RrType::A).encode();
-        match self
-            .net
-            .send_query_with_retries(self.src, resolver, &q, self.retries)
-        {
+        let outcome = match self.session {
+            Some(session) => session.exchange(self.net, self.src, resolver, &q, &self.policy),
+            None => {
+                self.net
+                    .send_query_with_policy(self.src, resolver, &q, &self.policy)
+                    .outcome
+            }
+        };
+        match outcome {
             Outcome::Response { payload, .. } => {
                 let mut obs = ObservedResponse::from_wire(&payload)?;
                 if !self.capture_ede {
@@ -137,36 +189,13 @@ impl<'a> Prober<'a> {
             .unwrap_or_else(|_| apex.clone())
     }
 
-    /// Run the full §4.2 classification against one resolver.
-    pub fn classify(&self, resolver: IpAddr) -> Option<ResolverClassification> {
-        let valid = self.query(resolver, &self.plan.valid)?;
-        let expired = self.query(resolver, &self.plan.expired)?;
-        let is_validator =
-            valid.ad && valid.rcode == Rcode::NoError && expired.rcode == Rcode::ServFail;
-        let mut out = ResolverClassification {
-            resolver,
-            is_validator,
-            responses: Vec::new(),
-            insecure_limit: None,
-            has_insecure_band: false,
-            servfail_start: None,
-            ede27_on_limit: false,
-            limit_ede_codes: Vec::new(),
-            item7_violation: None,
-            item12_gap: false,
-            flaky: false,
-            ra_missing: !valid.ra,
-        };
-        if !is_validator {
-            return Some(out);
-        }
-        for (n, apex) in &self.plan.it_zones {
-            let qname = self.probe_name(apex, resolver, "a");
-            if let Some(obs) = self.query(resolver, &qname) {
-                out.responses.push((*n, obs));
-            }
-        }
-        derive_limits(&mut out);
+    /// Run the full §4.2 classification against one resolver. Always
+    /// returns a classification: a resolver whose bootstrap probes stay
+    /// silent comes back with `unreachable = true` (it stays in the
+    /// study denominator), and one with per-N coverage gaps comes back
+    /// `partial` with derived limits suppressed.
+    pub fn classify(&self, resolver: IpAddr) -> ResolverClassification {
+        let mut out = self.classify_tagged(resolver, "a");
         // Item 7 test only makes sense for insecure-downgrade resolvers.
         if out.insecure_limit.is_some() {
             if let Some(apex) = &self.plan.it_2501_expired {
@@ -176,7 +205,7 @@ impl<'a> Prober<'a> {
                 }
             }
         }
-        Some(out)
+        out
     }
 }
 
@@ -186,14 +215,19 @@ impl<'a> Prober<'a> {
     /// passes are marked flaky — §5.2 found that the apparent item 12
     /// violators were mostly these ("querying these resolvers again often
     /// results in different response patterns").
-    pub fn classify_with_requery(
-        &self,
-        resolver: IpAddr,
-        passes: u32,
-    ) -> Option<ResolverClassification> {
-        let mut first = self.classify(resolver)?;
+    pub fn classify_with_requery(&self, resolver: IpAddr, passes: u32) -> ResolverClassification {
+        let mut first = self.classify(resolver);
+        if first.unreachable {
+            return first;
+        }
         for pass in 1..passes.max(1) {
-            let again = self.classify_tagged(resolver, &format!("r{pass}"))?;
+            let again = self.classify_tagged(resolver, &format!("r{pass}"));
+            if again.unreachable || again.partial {
+                // A lossy pass is a coverage gap, not evidence of
+                // flakiness: degrade to partial instead.
+                first.partial = true;
+                continue;
+            }
             if again.insecure_limit != first.insecure_limit
                 || again.servfail_start != first.servfail_start
                 || again.flaky
@@ -201,46 +235,53 @@ impl<'a> Prober<'a> {
                 first.flaky = true;
             }
         }
-        Some(first)
+        first
     }
 
     /// Like [`Prober::classify`] but with an extra tag in the probe names
-    /// so repeated passes stay cache-busted.
-    fn classify_tagged(&self, resolver: IpAddr, tag: &str) -> Option<ResolverClassification> {
-        let valid = self.query(resolver, &self.plan.valid)?;
-        let expired = self.query(resolver, &self.plan.expired)?;
-        let is_validator =
-            valid.ad && valid.rcode == Rcode::NoError && expired.rcode == Rcode::ServFail;
-        let mut out = ResolverClassification {
-            resolver,
-            is_validator,
-            responses: Vec::new(),
-            insecure_limit: None,
-            has_insecure_band: false,
-            servfail_start: None,
-            ede27_on_limit: false,
-            limit_ede_codes: Vec::new(),
-            item7_violation: None,
-            item12_gap: false,
-            flaky: false,
-            ra_missing: !valid.ra,
+    /// so repeated passes stay cache-busted (no item 7 follow-up).
+    fn classify_tagged(&self, resolver: IpAddr, tag: &str) -> ResolverClassification {
+        let mut out = ResolverClassification::empty(resolver);
+        let (valid, expired) = match (
+            self.query(resolver, &self.plan.valid),
+            self.query(resolver, &self.plan.expired),
+        ) {
+            (Some(v), Some(e)) => (v, e),
+            _ => {
+                // Bootstrap probes lost: no basis for any classification.
+                out.unreachable = true;
+                return out;
+            }
         };
-        if !is_validator {
-            return Some(out);
+        out.is_validator =
+            valid.ad && valid.rcode == Rcode::NoError && expired.rcode == Rcode::ServFail;
+        out.ra_missing = !valid.ra;
+        if !out.is_validator {
+            return out;
         }
         for (n, apex) in &self.plan.it_zones {
+            out.probed_ns.push(*n);
             let qname = self.probe_name(apex, resolver, tag);
             if let Some(obs) = self.query(resolver, &qname) {
                 out.responses.push((*n, obs));
             }
         }
         derive_limits(&mut out);
-        Some(out)
+        out
     }
 }
 
 /// Derive the limit values and compliance bits from raw per-N responses.
+///
+/// Graceful degradation: when `probed_ns` records the plan's intent and
+/// some of those probes went unanswered, the classification is marked
+/// `partial` and the derived limits (`insecure_limit`, `servfail_start`,
+/// and everything downstream of them) are **suppressed** — a subset of
+/// responses must never invent a limit the missing responses could
+/// contradict. Flakiness detection still runs on whatever was observed:
+/// an out-of-order pattern is flaky no matter how incomplete.
 pub fn derive_limits(c: &mut ResolverClassification) {
+    c.partial = !c.probed_ns.is_empty() && c.responses.len() < c.probed_ns.len();
     #[derive(PartialEq, Clone, Copy, Debug)]
     enum Kind {
         AdNx,
@@ -342,6 +383,13 @@ pub fn derive_limits(c: &mut ResolverClassification) {
             c.ede27_on_limit = true;
         }
     }
+    if c.partial {
+        c.insecure_limit = None;
+        c.servfail_start = None;
+        c.item12_gap = false;
+        c.ede27_on_limit = false;
+        c.limit_ede_codes.clear();
+    }
 }
 
 #[cfg(test)]
@@ -359,20 +407,9 @@ mod tests {
     }
 
     fn classification(responses: Vec<(u16, ObservedResponse)>) -> ResolverClassification {
-        let mut c = ResolverClassification {
-            resolver: "10.0.0.1".parse().unwrap(),
-            is_validator: true,
-            responses,
-            insecure_limit: None,
-            has_insecure_band: false,
-            servfail_start: None,
-            ede27_on_limit: false,
-            limit_ede_codes: Vec::new(),
-            item7_violation: None,
-            item12_gap: false,
-            flaky: false,
-            ra_missing: false,
-        };
+        let mut c = ResolverClassification::empty("10.0.0.1".parse().unwrap());
+        c.is_validator = true;
+        c.responses = responses;
         derive_limits(&mut c);
         c
     }
@@ -464,6 +501,59 @@ mod tests {
         assert_eq!(c.insecure_limit, None);
         assert_eq!(c.servfail_start, None);
         assert!(!c.limits_iterations());
+    }
+
+    #[test]
+    fn partial_coverage_suppresses_derived_limits() {
+        let mut c = ResolverClassification::empty("10.0.0.1".parse().unwrap());
+        c.is_validator = true;
+        c.probed_ns = vec![1, 50, 100, 150, 151, 200, 500];
+        // Looks exactly like a clean item-6 resolver at 50 — but three
+        // probes never came back, so 50 must not be presented as the
+        // limit (the missing 100/150 answers could contradict it).
+        c.responses = vec![
+            (1, obs(Rcode::NxDomain, true, None)),
+            (50, obs(Rcode::NxDomain, true, None)),
+            (151, obs(Rcode::NxDomain, false, Some(27))),
+            (200, obs(Rcode::NxDomain, false, None)),
+        ];
+        derive_limits(&mut c);
+        assert!(c.partial);
+        assert_eq!(c.insecure_limit, None);
+        assert_eq!(c.servfail_start, None);
+        assert!(!c.ede27_on_limit);
+        assert!(c.limit_ede_codes.is_empty());
+        assert!(!c.implements_item6());
+        assert!(!c.implements_item8());
+    }
+
+    #[test]
+    fn full_coverage_with_probed_ns_classifies_normally() {
+        let mut c = ResolverClassification::empty("10.0.0.1".parse().unwrap());
+        c.is_validator = true;
+        c.probed_ns = vec![1, 150, 151];
+        c.responses = vec![
+            (1, obs(Rcode::NxDomain, true, None)),
+            (150, obs(Rcode::NxDomain, true, None)),
+            (151, obs(Rcode::NxDomain, false, None)),
+        ];
+        derive_limits(&mut c);
+        assert!(!c.partial);
+        assert_eq!(c.insecure_limit, Some(150));
+    }
+
+    #[test]
+    fn partial_observation_still_detects_flakiness() {
+        let mut c = ResolverClassification::empty("10.0.0.1".parse().unwrap());
+        c.is_validator = true;
+        c.probed_ns = vec![1, 50, 100, 150];
+        c.responses = vec![
+            (50, obs(Rcode::ServFail, false, None)),
+            (150, obs(Rcode::NxDomain, true, None)),
+        ];
+        derive_limits(&mut c);
+        assert!(c.partial);
+        assert!(c.flaky, "out-of-order even on the observed subset");
     }
 
     #[test]

@@ -8,34 +8,23 @@ use dns_scanner::prober::{derive_limits, ResolverClassification};
 use dns_wire::rrtype::Rcode;
 
 fn classification(responses: Vec<(u16, Rcode, bool)>) -> ResolverClassification {
-    let mut c = ResolverClassification {
-        resolver: "10.0.0.1".parse().unwrap(),
-        is_validator: true,
-        responses: responses
-            .into_iter()
-            .map(|(n, rcode, ad)| {
-                (
-                    n,
-                    ObservedResponse {
-                        rcode,
-                        ad,
-                        ra: true,
-                        ede: None,
-                        ede_has_text: false,
-                    },
-                )
-            })
-            .collect(),
-        insecure_limit: None,
-        has_insecure_band: false,
-        servfail_start: None,
-        ede27_on_limit: false,
-        limit_ede_codes: vec![],
-        item7_violation: None,
-        item12_gap: false,
-        flaky: false,
-        ra_missing: false,
-    };
+    let mut c = ResolverClassification::empty("10.0.0.1".parse().unwrap());
+    c.is_validator = true;
+    c.responses = responses
+        .into_iter()
+        .map(|(n, rcode, ad)| {
+            (
+                n,
+                ObservedResponse {
+                    rcode,
+                    ad,
+                    ra: true,
+                    ede: None,
+                    ede_has_text: false,
+                },
+            )
+        })
+        .collect();
     derive_limits(&mut c);
     c
 }
@@ -119,6 +108,75 @@ props! {
             assert_eq!(c.item12_gap, servfail_from_idx > ad_until_idx + 1);
         } else {
             assert_eq!(c.servfail_start, None);
+        }
+    }
+
+    /// Losing responses never invents limits: when `probed_ns` records
+    /// the intended coverage, a proper subset derives *no* thresholds at
+    /// all (partial), and the complete set derives exactly what the
+    /// unrecorded classification does. Probe loss can only widen the
+    /// "unknown" bucket, never flip a resolver's class.
+    fn subsets_never_invent_limits(
+        ad_until_idx in gens::usizes(0..5),
+        servfail_from_idx in gens::usizes(0..7),
+        ns in gens::set_of(gens::u16s(1..600), 6),
+        drop_idx in gens::usizes(0..7),
+    ) {
+        let ns: Vec<u16> = ns.into_iter().collect();
+        let servfail_from_idx = servfail_from_idx.max(ad_until_idx + 1);
+        let full: Vec<(u16, Rcode, bool)> = ns
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                if i <= ad_until_idx {
+                    (n, Rcode::NxDomain, true)
+                } else if i < servfail_from_idx {
+                    (n, Rcode::NxDomain, false)
+                } else {
+                    (n, Rcode::ServFail, false)
+                }
+            })
+            .collect();
+        let classify_covered = |resps: Vec<(u16, Rcode, bool)>| {
+            let mut c = ResolverClassification::empty("10.0.0.1".parse().unwrap());
+            c.is_validator = true;
+            c.probed_ns = ns.clone();
+            c.responses = resps
+                .into_iter()
+                .map(|(n, rcode, ad)| {
+                    (
+                        n,
+                        ObservedResponse {
+                            rcode,
+                            ad,
+                            ra: true,
+                            ede: None,
+                            ede_has_text: false,
+                        },
+                    )
+                })
+                .collect();
+            derive_limits(&mut c);
+            c
+        };
+        if drop_idx < full.len() {
+            let mut subset = full.clone();
+            subset.remove(drop_idx);
+            let partial = classify_covered(subset);
+            assert!(partial.partial, "missing response must mark partial");
+            assert_eq!(partial.insecure_limit, None);
+            assert_eq!(partial.servfail_start, None);
+            assert!(!partial.item12_gap);
+            assert!(!partial.implements_item6());
+            assert!(!partial.implements_item8());
+            assert!(!partial.flaky, "a monotone subset is not flakiness");
+        } else {
+            let complete = classify_covered(full.clone());
+            let unrecorded = classification(full);
+            assert!(!complete.partial);
+            assert_eq!(complete.insecure_limit, unrecorded.insecure_limit);
+            assert_eq!(complete.servfail_start, unrecorded.servfail_start);
+            assert_eq!(complete.item12_gap, unrecorded.item12_gap);
         }
     }
 

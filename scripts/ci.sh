@@ -19,6 +19,10 @@ echo "== determinism across thread counts (HEROES_THREADS=1 vs 4)"
 HEROES_THREADS=1 cargo test -q --offline --test determinism
 HEROES_THREADS=4 cargo test -q --offline --test determinism
 
+echo "== fault matrix: lossy profile smoke (HEROES_FAULTS=lossy)"
+HEROES_FAULTS=lossy HEROES_THREADS=2 cargo test -q --offline --test determinism --test fault_tolerance
+cargo test -q --offline -p nsec3-core --test fault_props
+
 if command -v rustfmt >/dev/null 2>&1; then
     echo "== rustfmt --check"
     cargo fmt --all -- --check

@@ -13,9 +13,12 @@
 
 use analysis::domains::DomainStats;
 use analysis::ResolverStats;
+use dns_scanner::retry::BreakerConfig;
+use netsim::{Episode, EpisodeKind, FaultSchedule, RetryPolicy, Scope};
 use nsec3_core::experiments::{
-    run_domain_census, run_domain_census_with, run_resolver_study, run_resolver_study_with,
-    run_tld_census_with, DEFAULT_LAB_SEED,
+    run_domain_census, run_domain_census_profiled, run_domain_census_with, run_resolver_study,
+    run_resolver_study_profiled, run_resolver_study_with, run_tld_census_profiled,
+    run_tld_census_with, run_unreachability_profiled, ScanProfile, DEFAULT_LAB_SEED,
 };
 use popgen::{generate_domains, generate_fleet, generate_tlds, Scale};
 
@@ -84,6 +87,149 @@ fn resolver_study_is_identical_across_thread_counts() {
     assert_eq!(
         format!("{:?}", ResolverStats::compute(&sequential.all())),
         format!("{:?}", ResolverStats::compute(&sharded.all())),
+    );
+}
+
+/// Flow-keyed faults only (loss + jittered latency): shard-invariant for
+/// every driver, because decisions hash the schedule seed with the flow,
+/// never the shard-local clock or RNG.
+fn flow_keyed_lossy() -> ScanProfile {
+    ScanProfile {
+        schedule: FaultSchedule {
+            base: Default::default(),
+            seed: 0x9276,
+            episodes: vec![
+                Episode::always(EpisodeKind::Flap {
+                    scope: Scope::All,
+                    drop_chance: 0.2,
+                }),
+                Episode::always(EpisodeKind::LatencySpike {
+                    scope: Scope::All,
+                    extra_micros: 3_000,
+                    jitter_micros: 2_000,
+                }),
+            ],
+        },
+        retry: RetryPolicy::adaptive(7),
+        breaker: BreakerConfig::default(),
+    }
+}
+
+#[test]
+fn faulty_census_is_identical_across_thread_counts() {
+    // Time-windowed and stateful episodes (an outage window, token-bucket
+    // rate limiting) are clock-sensitive, so the census runs them at
+    // `batch_size = 1`: every domain gets a fresh lab whose virtual clock
+    // starts at zero, and the schedule replays identically no matter how
+    // the specs are sharded.
+    let specs: Vec<_> = generate_domains(Scale(1.0 / 100_000.0), 42)
+        .into_iter()
+        .take(40)
+        .collect();
+    let mut profile = flow_keyed_lossy();
+    profile.schedule.episodes.push(Episode::window(
+        0,
+        25_000,
+        EpisodeKind::Outage { scope: Scope::All },
+    ));
+    profile
+        .schedule
+        .episodes
+        .push(Episode::always(EpisodeKind::RateLimit {
+            scope: Scope::All,
+            capacity: 6,
+            refill_interval_micros: 40_000,
+        }));
+    let (rec1, st1) = run_domain_census_profiled(&specs, NOW, 1, 1, DEFAULT_LAB_SEED, &profile);
+    let (rec2, st2) = run_domain_census_profiled(&specs, NOW, 1, 2, DEFAULT_LAB_SEED, &profile);
+    let (rec4, st4) = run_domain_census_profiled(&specs, NOW, 1, 4, DEFAULT_LAB_SEED, &profile);
+    assert_eq!(
+        format!("{rec1:?}"),
+        format!("{rec2:?}"),
+        "faulty census must render byte-identically at threads=1 and 2"
+    );
+    assert_eq!(
+        format!("{rec1:?}"),
+        format!("{rec4:?}"),
+        "faulty census must render byte-identically at threads=1 and 4"
+    );
+    assert_eq!(st1, st2);
+    assert_eq!(st1, st4);
+    assert!(st1.is_consistent(), "sent = answered + timed_out + skipped");
+    assert!(
+        st1.retried > 0,
+        "a lossy profile must show retries: {st1:?}"
+    );
+    assert_eq!(rec1.len(), specs.len(), "no record may be dropped");
+}
+
+#[test]
+fn faulty_resolver_study_is_identical_across_thread_counts() {
+    let fleet = generate_fleet(Scale(1.0 / 20_000.0), 42);
+    let profile = flow_keyed_lossy();
+    let s1 = run_resolver_study_profiled(NOW, &fleet, 1, DEFAULT_LAB_SEED, &profile);
+    let s2 = run_resolver_study_profiled(NOW, &fleet, 2, DEFAULT_LAB_SEED, &profile);
+    let s4 = run_resolver_study_profiled(NOW, &fleet, 4, DEFAULT_LAB_SEED, &profile);
+    assert_eq!(
+        format!("{:?}", s1.all()),
+        format!("{:?}", s2.all()),
+        "faulty study must render byte-identically at threads=1 and 2"
+    );
+    assert_eq!(
+        format!("{:?}", s1.all()),
+        format!("{:?}", s4.all()),
+        "faulty study must render byte-identically at threads=1 and 4"
+    );
+    assert_eq!(s1.stats, s2.stats);
+    assert_eq!(s1.stats, s4.stats);
+    assert!(s1.stats.is_consistent());
+    assert!(
+        s1.stats.retried > 0,
+        "a lossy profile must show retries: {:?}",
+        s1.stats
+    );
+    assert_eq!(
+        s1.all().len(),
+        fleet.len(),
+        "every resolver keeps a classification, reachable or not"
+    );
+}
+
+#[test]
+fn faulty_tld_census_and_unreachability_account_probes() {
+    let profile = flow_keyed_lossy();
+
+    // The TLD census shares one registry lab per shard, so under faults
+    // the slicing is part of the experiment input: a fixed thread count
+    // replays byte for byte, and the loss accounting always balances.
+    let tlds: Vec<_> = generate_tlds().into_iter().step_by(97).collect();
+    let (obs_a, tld_st_a) =
+        run_tld_census_profiled(&tlds, NOW, 1.0 / 100_000.0, 3, DEFAULT_LAB_SEED, &profile);
+    let (obs_b, tld_st_b) =
+        run_tld_census_profiled(&tlds, NOW, 1.0 / 100_000.0, 3, DEFAULT_LAB_SEED, &profile);
+    assert_eq!(
+        format!("{obs_a:?}"),
+        format!("{obs_b:?}"),
+        "a faulty TLD census must replay byte for byte at a fixed thread count"
+    );
+    assert_eq!(tld_st_a, tld_st_b);
+    assert!(tld_st_a.is_consistent());
+
+    // Unreachability at batch_size = 1 is shard-invariant like the
+    // census: every NSEC3 domain gets a fresh zero-clock lab.
+    let specs: Vec<_> = generate_domains(Scale(1.0 / 100_000.0), 42)
+        .into_iter()
+        .take(60)
+        .collect();
+    let (un1, un_st1) = run_unreachability_profiled(&specs, NOW, 1, 1, DEFAULT_LAB_SEED, &profile);
+    let (un4, un_st4) = run_unreachability_profiled(&specs, NOW, 1, 4, DEFAULT_LAB_SEED, &profile);
+    assert_eq!(format!("{un1:?}"), format!("{un4:?}"));
+    assert_eq!(un_st1, un_st4);
+    assert!(un_st1.is_consistent());
+    assert_eq!(
+        un1.reachable + un1.unreachable + un1.lost,
+        un1.probed,
+        "unreachability accounting must cover every probe"
     );
 }
 

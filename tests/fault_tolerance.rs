@@ -10,7 +10,7 @@ use dns_scanner::prober::{ProbePlan, Prober};
 use dns_wire::name::name;
 use dns_zone::nsec3hash::Nsec3Params;
 use dns_zone::signer::Denial;
-use netsim::FaultConfig;
+use netsim::{FaultConfig, RetryPolicy};
 use std::rc::Rc;
 
 const NOW: u32 = 1_710_000_000;
@@ -34,7 +34,7 @@ fn census_survives_packet_loss_via_retries() {
     let raddr = lab.alloc.v4();
     let mut cfg = ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
     cfg.now = lab.now;
-    cfg.retries = 6;
+    cfg.retry = RetryPolicy::fixed(6);
     let resolver = Resolver::new(cfg);
     let census = Census::new(&lab.net, &resolver, "lossy");
     // Scan the same domain repeatedly: with 15 % loss and 6 retries, the
@@ -94,7 +94,8 @@ fn prober_classification_stable_under_duplication() {
         it_2501_expired: None,
     };
     let src = lab.alloc.v4();
-    let c = Prober::new(&lab.net, src, &plan).classify(raddr).unwrap();
+    let c = Prober::new(&lab.net, src, &plan).classify(raddr);
+    assert!(!c.unreachable);
     assert!(c.is_validator);
     assert_eq!(
         c.insecure_limit,
@@ -126,7 +127,7 @@ fn corruption_leads_to_retries_not_misclassification() {
     let raddr = lab.alloc.v4();
     let mut cfg = ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
     cfg.now = lab.now;
-    cfg.retries = 6;
+    cfg.retry = RetryPolicy::fixed(6);
     // Corruption can flip signature bits: validation fails (SERVFAIL), but
     // it must never report *different parameters*.
     let resolver = Resolver::new(cfg);

@@ -164,9 +164,10 @@ fn closed_resolvers_only_reachable_via_their_probes() {
     let outsider = tb.lab.alloc.v4();
     let direct = dns_scanner::prober::Prober::new(&tb.lab.net, outsider, &tb.plan)
         .classify(deployed[0].addr);
-    assert!(direct.is_none());
+    assert!(direct.unreachable, "closed resolver is silent from outside");
     // Via the Atlas probe: full classification, EDE hidden.
-    let c = dns_scanner::classify_via_probe(&tb.lab.net, &probe, &tb.plan).unwrap();
+    let c = dns_scanner::classify_via_probe(&tb.lab.net, &probe, &tb.plan);
+    assert!(!c.unreachable);
     assert!(c.is_validator);
     assert_eq!(c.insecure_limit, Some(150));
     assert!(!c.ede27_on_limit, "Atlas supplies no EDE data");

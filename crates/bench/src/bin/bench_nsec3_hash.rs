@@ -1,17 +1,37 @@
 //! Micro-bench: the NSEC3 hash itself — the primitive whose repetition
 //! is CVE-2023-50868. Sweeps iterations and salt length (DESIGN.md
-//! ablation 1). Writes `BENCH_nsec3_hash.json`.
+//! ablation 1), then races the single-block fast engine against the
+//! streaming reference (`fastpath_vs_reference`) after asserting the two
+//! agree byte for byte — digest *and* compressions — on every measured
+//! parameter set. Writes `BENCH_nsec3_hash.json`.
 
 use std::hint::black_box;
 
 use dns_wire::name::name;
-use dns_zone::nsec3hash::{nsec3_hash, Nsec3Params};
+use dns_zone::nsec3hash::{
+    clear_thread_cache, nsec3_hash, nsec3_hash_cached, nsec3_hash_reference, Nsec3Params,
+};
 use heroes_bench::microbench::Suite;
 
 fn main() {
     let mut suite = Suite::new("nsec3_hash");
 
     let n = name("some-average-length-label.example.com.");
+
+    // Parity gate: a speedup that changes a digest or a compressions
+    // count would invalidate every number below.
+    for iterations in [0u16, 1, 10, 50, 150, 500, 2500] {
+        for salt_len in [0usize, 8, 35, 36, 64, 255] {
+            let params = Nsec3Params::new(iterations, vec![0xab; salt_len]);
+            let fast = nsec3_hash(&n, &params);
+            let reference = nsec3_hash_reference(&n, &params);
+            assert_eq!(
+                fast, reference,
+                "fast engine diverged at iterations={iterations} salt_len={salt_len}"
+            );
+        }
+    }
+    println!("  parity: fast engine == streaming reference on all measured parameter sets");
     for iterations in [0u16, 1, 10, 50, 150, 500, 2500] {
         let params = Nsec3Params::new(iterations, vec![]);
         suite.bench(&format!("iterations/{iterations}"), || {
@@ -45,6 +65,25 @@ fn main() {
     for (label, p) in presets {
         suite.bench(label, || nsec3_hash(black_box(&www), &p));
     }
+
+    // Head-to-head rows: the single-block engine vs the streaming
+    // reference it replaced, at the iteration counts the paper's cost
+    // model cares about, plus the thread-local cache on a hot key.
+    for iterations in [0u16, 150, 500] {
+        let params = Nsec3Params::new(iterations, vec![]);
+        suite.bench(&format!("fastpath_vs_reference/fast_{iterations}"), || {
+            nsec3_hash(black_box(&n), black_box(&params))
+        });
+        suite.bench(
+            &format!("fastpath_vs_reference/reference_{iterations}"),
+            || nsec3_hash_reference(black_box(&n), black_box(&params)),
+        );
+    }
+    let params = Nsec3Params::new(500, vec![]);
+    clear_thread_cache();
+    suite.bench("fastpath_vs_reference/cached_500", || {
+        nsec3_hash_cached(black_box(&n), black_box(&params))
+    });
 
     suite.finish();
 }

@@ -1,5 +1,7 @@
 //! Bench: zone signing cost by zone size and denial mechanism
-//! (DESIGN.md ablation 4: opt-out vs full chain, NSEC vs NSEC3).
+//! (DESIGN.md ablation 4: opt-out vs full chain, NSEC vs NSEC3), plus an
+//! explicit thread sweep over the sharded signer — after asserting that
+//! every thread count renders the same signed zone byte for byte.
 //! Writes `BENCH_zone_signing.json`.
 
 use std::hint::black_box;
@@ -8,7 +10,7 @@ use dns_wire::name::{name, Name};
 use dns_wire::rdata::RData;
 use dns_wire::record::Record;
 use dns_zone::nsec3hash::Nsec3Params;
-use dns_zone::signer::{sign_zone, Denial, SignerConfig};
+use dns_zone::signer::{sign_zone, sign_zone_with_threads, Denial, SignerConfig};
 use dns_zone::Zone;
 use heroes_bench::microbench::Suite;
 use heroes_bench::EXPERIMENT_NOW as NOW;
@@ -57,6 +59,30 @@ fn main() {
         suite.bench(&format!("size_nsec3_rfc9276/{n}"), || {
             sign_zone(black_box(&zone), &cfg).unwrap()
         });
+    }
+
+    // Thread sweep at n = 1000, gated on determinism: every thread count
+    // must produce the identical signed zone before its timing counts.
+    {
+        let zone = make_zone(1000);
+        let cfg = SignerConfig::standard(zone.apex(), NOW);
+        let baseline = format!("{:?}", sign_zone_with_threads(&zone, &cfg, 1).unwrap().zone);
+        for threads in [2usize, 4] {
+            let sharded = format!(
+                "{:?}",
+                sign_zone_with_threads(&zone, &cfg, threads).unwrap().zone
+            );
+            assert_eq!(
+                baseline, sharded,
+                "signed zone diverged between threads=1 and threads={threads}"
+            );
+        }
+        println!("  parity: signed zone byte-identical at threads=1/2/4");
+        for threads in [1usize, 2, 4] {
+            suite.bench(&format!("size_nsec3_rfc9276_threads/{threads}"), || {
+                sign_zone_with_threads(black_box(&zone), &cfg, threads).unwrap()
+            });
+        }
     }
 
     let zone = make_zone(200);

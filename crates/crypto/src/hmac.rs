@@ -2,6 +2,61 @@
 
 use crate::{ct_eq, Digest};
 
+/// A precomputed HMAC key: the inner and outer hashers with their pad
+/// blocks already absorbed. One key authenticating many messages (the
+/// zone signer: one ZSK, thousands of RRsets) pays the key schedule and
+/// the two pad compressions once instead of per message.
+#[derive(Clone)]
+pub struct HmacKey<D: Digest> {
+    inner: D,
+    outer: D,
+}
+
+impl<D: Digest> HmacKey<D> {
+    /// Derive the pad states for `key` (any length; keys longer than the
+    /// digest block length are hashed first, per RFC 2104).
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = vec![0u8; D::BLOCK_LEN];
+        if key.len() > D::BLOCK_LEN {
+            let mut h = D::default();
+            h.update(key);
+            h.finalize_into(&mut key_block[..D::OUTPUT_LEN]);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+        let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+        let mut inner = D::default();
+        inner.update(&ipad);
+        let mut outer = D::default();
+        outer.update(&opad);
+        HmacKey { inner, outer }
+    }
+
+    /// Start a streaming MAC under this key.
+    pub fn begin(&self) -> Hmac<D> {
+        Hmac {
+            inner: self.inner.clone(),
+            outer: self.outer.clone(),
+        }
+    }
+
+    /// MAC `data` into `out` (exactly `D::OUTPUT_LEN` bytes) without
+    /// allocating.
+    pub fn mac_into(&self, data: &[u8], out: &mut [u8]) {
+        let mut h = self.begin();
+        h.update(data);
+        h.finalize_into(out);
+    }
+
+    /// MAC `data`, returning the tag.
+    pub fn mac(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = vec![0u8; D::OUTPUT_LEN];
+        self.mac_into(data, &mut out);
+        out
+    }
+}
+
 /// Streaming HMAC computation.
 ///
 /// ```
@@ -14,29 +69,15 @@ use crate::{ct_eq, Digest};
 #[derive(Clone)]
 pub struct Hmac<D: Digest> {
     inner: D,
-    /// Key XOR opad, kept for the outer pass.
-    opad_key: Vec<u8>,
+    /// The outer hasher with key XOR opad absorbed, kept for the outer pass.
+    outer: D,
 }
 
 impl<D: Digest> Hmac<D> {
     /// Create an HMAC instance keyed with `key` (any length; keys longer than
     /// the digest block length are hashed first, per RFC 2104).
     pub fn new(key: &[u8]) -> Self {
-        let mut key_block = vec![0u8; D::BLOCK_LEN];
-        if key.len() > D::BLOCK_LEN {
-            let digest = D::digest(key);
-            key_block[..digest.len()].copy_from_slice(&digest);
-        } else {
-            key_block[..key.len()].copy_from_slice(key);
-        }
-        let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
-        let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
-        let mut inner = D::default();
-        inner.update(&ipad);
-        Hmac {
-            inner,
-            opad_key: opad,
-        }
+        HmacKey::new(key).begin()
     }
 
     /// Absorb message data.
@@ -46,11 +87,24 @@ impl<D: Digest> Hmac<D> {
 
     /// Produce the authentication tag.
     pub fn finalize(self) -> Vec<u8> {
-        let inner_digest = self.inner.finalize();
-        let mut outer = D::default();
-        outer.update(&self.opad_key);
-        outer.update(&inner_digest);
-        outer.finalize()
+        self.finalize_outer().finalize()
+    }
+
+    /// Produce the tag into `out` (exactly `D::OUTPUT_LEN` bytes) without
+    /// allocating.
+    pub fn finalize_into(self, out: &mut [u8]) {
+        self.finalize_outer().finalize_into(out);
+    }
+
+    /// The outer hasher with the inner digest absorbed; the inner digest
+    /// passes through a stack buffer, never a `Vec`.
+    fn finalize_outer(self) -> D {
+        debug_assert!(D::OUTPUT_LEN <= 64, "stack scratch sized for SHA-2");
+        let mut inner_digest = [0u8; 64];
+        self.inner.finalize_into(&mut inner_digest[..D::OUTPUT_LEN]);
+        let mut outer = self.outer;
+        outer.update(&inner_digest[..D::OUTPUT_LEN]);
+        outer
     }
 
     /// One-shot convenience.

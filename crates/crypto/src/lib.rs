@@ -45,6 +45,13 @@ pub trait Digest: Default + Clone {
     /// Consume the hasher and return the digest.
     fn finalize(self) -> Vec<u8>;
 
+    /// Consume the hasher and write the digest into `out`, which must be
+    /// exactly [`Digest::OUTPUT_LEN`] bytes. Implementations override this
+    /// to skip the `Vec` allocation of [`Digest::finalize`].
+    fn finalize_into(self, out: &mut [u8]) {
+        out.copy_from_slice(&self.finalize());
+    }
+
     /// Number of compression-function invocations performed so far,
     /// including those implied by padding when [`Digest::finalize`] runs.
     fn compressions(&self) -> u64;

@@ -2,14 +2,264 @@
 //!
 //! SHA-1 is cryptographically broken for collision resistance, but it is the
 //! *only* hash algorithm assigned for NSEC3 (RFC 5155 §11, algorithm 1), so a
-//! faithful NSEC3 implementation must carry it. The implementation is a
-//! straightforward streaming Merkle–Damgård construction over the 512-bit
-//! compression function, with a compression counter for the CVE-2023-50868
-//! cost model.
+//! faithful NSEC3 implementation must carry it. Two entry points share one
+//! compression function:
+//!
+//! * [`Sha1`] — the streaming Merkle–Damgård construction with a compression
+//!   counter for the CVE-2023-50868 cost model.
+//! * [`compress_block`] / [`sha1_oneshot`] / [`IteratedSha1`] — the hot-path
+//!   API used by NSEC3 hashing, which avoids per-call hasher construction and
+//!   byte-at-a-time padding entirely. Cost is accounted arithmetically with
+//!   [`padded_blocks`], which is exact: padding appends `0x80`, zeros to
+//!   56 mod 64, and an 8-byte length, so a `len`-byte message always
+//!   occupies `(len + 9).div_ceil(64)` blocks.
 
 use crate::Digest;
 
 const H0: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+/// Run the SHA-1 compression function over one 64-byte block, updating
+/// `state` in place.
+///
+/// The round function is unrolled into its four 20-round phases so the
+/// per-round `f`/`k` selection compiles away — this is the innermost loop
+/// of the NSEC3 iterated hash.
+pub fn compress_block(state: &mut [u32; 5], block: &[u8; 64]) {
+    let mut w = [0u32; 16];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    compress_words(state, &w);
+}
+
+/// [`compress_block`] over a block already split into sixteen big-endian
+/// words. [`IteratedSha1`] chains compressions without ever round-tripping
+/// the digest through bytes.
+///
+/// The message schedule is a rolling 16-word window computed inside the
+/// round loops (`w[i] ≡ w[i mod 16]`, with `i-3 ≡ i+13`, `i-8 ≡ i+8`,
+/// `i-14 ≡ i+2` mod 16) instead of a precomputed 80-word array.
+pub fn compress_words(state: &mut [u32; 5], words: &[u32; 16]) {
+    let mut w = *words;
+    let [mut a, mut b, mut c, mut d, mut e] = *state;
+
+    macro_rules! schedule {
+        ($i:expr) => {{
+            let t = (w[($i + 13) & 15] ^ w[($i + 8) & 15] ^ w[($i + 2) & 15] ^ w[$i & 15])
+                .rotate_left(1);
+            w[$i & 15] = t;
+            t
+        }};
+    }
+    macro_rules! round {
+        ($f:expr, $k:expr, $wi:expr) => {{
+            let wi = $wi;
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add($f)
+                .wrapping_add(e)
+                .wrapping_add($k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }};
+    }
+
+    for &wi in words.iter() {
+        round!((b & c) | ((!b) & d), 0x5A827999, wi);
+    }
+    for i in 16..20 {
+        round!((b & c) | ((!b) & d), 0x5A827999, schedule!(i));
+    }
+    for i in 20..40 {
+        round!(b ^ c ^ d, 0x6ED9EBA1, schedule!(i));
+    }
+    for i in 40..60 {
+        round!((b & c) | (b & d) | (c & d), 0x8F1BBCDC, schedule!(i));
+    }
+    for i in 60..80 {
+        round!(b ^ c ^ d, 0xCA62C1D6, schedule!(i));
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+}
+
+/// Number of 64-byte SHA-1 blocks a `len`-byte message occupies once padded:
+/// the currency of the CVE-2023-50868 cost model, computed without hashing.
+pub const fn padded_blocks(len: usize) -> u64 {
+    (len + 9).div_ceil(64) as u64
+}
+
+fn digest_bytes(state: &[u32; 5]) -> [u8; 20] {
+    let mut out = [0u8; 20];
+    for (i, word) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// One-shot SHA-1 over a slice with no hasher construction and slice-copy
+/// padding. Byte-identical to [`sha1`]; costs [`padded_blocks`]`(data.len())`
+/// compressions.
+pub fn sha1_oneshot(data: &[u8]) -> [u8; 20] {
+    digest_bytes(&sha1_oneshot_state(data))
+}
+
+fn sha1_oneshot_state(data: &[u8]) -> [u32; 5] {
+    let mut state = H0;
+    let mut chunks = data.chunks_exact(64);
+    for block in &mut chunks {
+        let arr: &[u8; 64] = block.try_into().expect("chunks_exact(64)");
+        compress_block(&mut state, arr);
+    }
+    let rest = chunks.remainder();
+    let mut block = [0u8; 64];
+    block[..rest.len()].copy_from_slice(rest);
+    block[rest.len()] = 0x80;
+    if rest.len() + 9 > 64 {
+        compress_block(&mut state, &block);
+        block = [0u8; 64];
+    }
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    block[56..].copy_from_slice(&bit_len.to_be_bytes());
+    compress_block(&mut state, &block);
+    state
+}
+
+/// The NSEC3 iterated-hash engine (RFC 5155 §5): repeated SHA-1 over
+/// `digest || salt` with the padding precomputed.
+///
+/// For salt ≤ [`IteratedSha1::MAX_SINGLE_BLOCK_SALT`] bytes — every
+/// parameter set observed in the wild uses 0–16 — each iteration's input is
+/// `20 + salt_len ≤ 55` bytes, exactly one padded 64-byte block. The padded
+/// block (salt, `0x80`, bit-length tail) is built **once** per parameter
+/// set; each iteration then only copies the 20-byte digest into the block
+/// head and runs one compression. Longer salts fall back to the multi-block
+/// one-shot path, still without streaming-buffer overhead.
+#[derive(Clone, Debug)]
+pub struct IteratedSha1 {
+    /// Padded iteration block; for single-block salts the salt lives at
+    /// `[20..20 + salt_len]` and the tail is already in place.
+    template: [u8; 64],
+    /// The same block as sixteen schedule words. Words 0–4 are the digest
+    /// slots; 5–15 (salt, padding, length) never change, so an iteration
+    /// only rewrites five words and never touches bytes.
+    template_words: [u32; 16],
+    salt_len: usize,
+    single_block: bool,
+    /// Salt storage for the multi-block fallback (empty otherwise).
+    overflow_salt: Vec<u8>,
+    /// SHA-1 blocks per additional iteration: `padded_blocks(20 + salt_len)`.
+    blocks_per_iteration: u64,
+}
+
+impl IteratedSha1 {
+    /// Longest salt for which `20 + salt_len + 9 ≤ 64`, i.e. one padded
+    /// block per iteration.
+    pub const MAX_SINGLE_BLOCK_SALT: usize = 35;
+
+    /// Build the engine for one parameter set (one salt).
+    pub fn new(salt: &[u8]) -> Self {
+        let single_block = salt.len() <= Self::MAX_SINGLE_BLOCK_SALT;
+        let mut template = [0u8; 64];
+        let overflow_salt = if single_block {
+            let total = 20 + salt.len();
+            template[20..total].copy_from_slice(salt);
+            template[total] = 0x80;
+            let bit_len = (total as u64) * 8;
+            template[56..].copy_from_slice(&bit_len.to_be_bytes());
+            Vec::new()
+        } else {
+            salt.to_vec()
+        };
+        let mut template_words = [0u32; 16];
+        for (i, chunk) in template.chunks_exact(4).enumerate() {
+            template_words[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        IteratedSha1 {
+            template,
+            template_words,
+            salt_len: salt.len(),
+            single_block,
+            overflow_salt,
+            blocks_per_iteration: padded_blocks(20 + salt.len()),
+        }
+    }
+
+    fn salt(&self) -> &[u8] {
+        if self.single_block {
+            &self.template[20..20 + self.salt_len]
+        } else {
+            &self.overflow_salt
+        }
+    }
+
+    /// `H(... H(H(input || salt) || salt) ...)` with `iterations`
+    /// *additional* iterations, returning the digest and the exact number of
+    /// compression-function invocations spent (identical to what the
+    /// streaming reference performs).
+    pub fn hash(&self, input: &[u8], iterations: u16) -> ([u8; 20], u64) {
+        let compressions = padded_blocks(input.len() + self.salt_len)
+            + u64::from(iterations) * self.blocks_per_iteration;
+        // The digest is carried as five state words: the output words of one
+        // compression are exactly the first five schedule words of the next,
+        // so the chain never round-trips through bytes.
+        let mut dw = self.initial(input);
+        if self.single_block {
+            let mut w = self.template_words;
+            for _ in 0..iterations {
+                w[..5].copy_from_slice(&dw);
+                let mut state = H0;
+                compress_words(&mut state, &w);
+                dw = state;
+            }
+        } else {
+            let mut buf = Vec::with_capacity(20 + self.salt_len);
+            for _ in 0..iterations {
+                buf.clear();
+                buf.extend_from_slice(&digest_bytes(&dw));
+                buf.extend_from_slice(self.salt());
+                dw = sha1_oneshot_state(&buf);
+            }
+        }
+        (digest_bytes(&dw), compressions)
+    }
+
+    /// `H(input || salt)` — the iteration-0 hash, as state words.
+    fn initial(&self, input: &[u8]) -> [u32; 5] {
+        let total = input.len() + self.salt_len;
+        if total <= 55 {
+            // `input || salt` fits one padded block: build it in place.
+            let mut block = [0u8; 64];
+            block[..input.len()].copy_from_slice(input);
+            block[input.len()..total].copy_from_slice(self.salt());
+            block[total] = 0x80;
+            let bit_len = (total as u64) * 8;
+            block[56..].copy_from_slice(&bit_len.to_be_bytes());
+            let mut state = H0;
+            compress_block(&mut state, &block);
+            state
+        } else if total <= 512 {
+            // Wire name (≤ 255) + salt (≤ 255) always lands here: hash from
+            // a stack buffer, no allocation.
+            let mut buf = [0u8; 512];
+            buf[..input.len()].copy_from_slice(input);
+            buf[input.len()..total].copy_from_slice(self.salt());
+            sha1_oneshot_state(&buf[..total])
+        } else {
+            let mut buf = Vec::with_capacity(total);
+            buf.extend_from_slice(input);
+            buf.extend_from_slice(self.salt());
+            sha1_oneshot_state(&buf)
+        }
+    }
+}
 
 /// Streaming SHA-1 hasher.
 #[derive(Clone)]
@@ -42,55 +292,26 @@ impl Sha1 {
 
     fn compress(&mut self, block: &[u8; 64]) {
         self.compressions += 1;
-        let mut w = [0u32; 80];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-        }
-        for i in 16..80 {
-            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e] = self.state;
-        for (i, &wi) in w.iter().enumerate() {
-            let (f, k) = match i {
-                0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
-                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
-                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
-                _ => (b ^ c ^ d, 0xCA62C1D6),
-            };
-            let tmp = a
-                .rotate_left(5)
-                .wrapping_add(f)
-                .wrapping_add(e)
-                .wrapping_add(k)
-                .wrapping_add(wi);
-            e = d;
-            d = c;
-            c = b.rotate_left(30);
-            b = a;
-            a = tmp;
-        }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
+        compress_block(&mut self.state, block);
     }
 
     /// Finalize into a fixed-size array (avoids the `Vec` of the trait API).
     pub fn finalize_fixed(mut self) -> [u8; 20] {
         let bit_len = self.len.wrapping_mul(8);
-        // Padding: 0x80, zeros, 64-bit big-endian bit length.
-        self.update_inner(&[0x80]);
-        while self.buf_len != 56 {
-            self.update_inner(&[0]);
+        // Padding: 0x80, a zero run to 56 mod 64 (written as slice fills,
+        // not byte-at-a-time), 64-bit big-endian bit length.
+        let n = self.buf_len;
+        self.buf[n] = 0x80;
+        self.buf[n + 1..].fill(0);
+        if n + 9 > 64 {
+            let block = self.buf;
+            self.compress(&block);
+            self.buf = [0; 64];
         }
-        self.update_inner(&bit_len.to_be_bytes());
-        debug_assert_eq!(self.buf_len, 0);
-        let mut out = [0u8; 20];
-        for (i, word) in self.state.iter().enumerate() {
-            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
-        }
-        out
+        self.buf[56..].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
+        digest_bytes(&self.state)
     }
 
     /// Total compressions this hasher will have performed once finalized:
@@ -101,19 +322,6 @@ impl Sha1 {
         // bytes; so the buffered remainder plus 9, rounded up to blocks.
         let tail_blocks = (self.buf_len + 9).div_ceil(64) as u64;
         self.compressions + tail_blocks
-    }
-
-    /// Absorb without advancing the message length (used for padding).
-    fn update_inner(&mut self, data: &[u8]) {
-        for &byte in data {
-            self.buf[self.buf_len] = byte;
-            self.buf_len += 1;
-            if self.buf_len == 64 {
-                let block = self.buf;
-                self.compress(&block);
-                self.buf_len = 0;
-            }
-        }
     }
 }
 
@@ -152,6 +360,10 @@ impl Digest for Sha1 {
 
     fn finalize(self) -> Vec<u8> {
         self.finalize_fixed().to_vec()
+    }
+
+    fn finalize_into(self, out: &mut [u8]) {
+        out.copy_from_slice(&self.finalize_fixed());
     }
 
     fn compressions(&self) -> u64 {
@@ -222,28 +434,71 @@ mod tests {
     }
 
     #[test]
+    fn sha1_oneshot_equals_streaming_at_padding_boundaries() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(200).collect();
+        for len in [0usize, 1, 54, 55, 56, 63, 64, 65, 119, 120, 128, 200] {
+            assert_eq!(sha1_oneshot(&data[..len]), sha1(&data[..len]), "len {len}");
+        }
+    }
+
+    #[test]
     fn compression_count_matches_block_math() {
         // A message of `len` bytes plus 9 padding/length bytes, rounded up to
-        // 64-byte blocks, is the expected number of compressions.
+        // 64-byte blocks, is the expected number of compressions — both as
+        // predicted (padded_compressions, padded_blocks) and as performed.
         for len in [0usize, 1, 55, 56, 63, 64, 119, 120, 1000] {
             let mut h = Sha1::new();
             h.update(&vec![0u8; len]);
-            // Replay the padding into a clone so we can observe the final count
-            // (finalize_fixed consumes the hasher).
-            let mut tally = h.clone();
-            let bitlen = (len as u64) * 8;
-            tally.update_inner(&[0x80]);
-            while tally.buf_len != 56 {
-                tally.update_inner(&[0]);
-            }
-            tally.update_inner(&bitlen.to_be_bytes());
             let expected = (len + 9).div_ceil(64) as u64;
-            assert_eq!(tally.compressions(), expected, "len {len}");
+            assert_eq!(h.padded_compressions(), expected, "predicted, len {len}");
+            assert_eq!(padded_blocks(len), expected, "arithmetic, len {len}");
+            // Count what finalize actually performs: whole blocks absorbed so
+            // far plus the padding tail.
+            let absorbed = h.compressions();
+            assert_eq!(absorbed, (len / 64) as u64, "absorbed, len {len}");
+            h.finalize_fixed();
+        }
+    }
+
+    #[test]
+    fn iterated_engine_matches_streaming_chain() {
+        for salt_len in [0usize, 4, 16, 35, 36, 64, 255] {
+            let salt: Vec<u8> = (0..salt_len as u8).collect();
+            let engine = IteratedSha1::new(&salt);
+            let input = b"\x03www\x07example\x03com\x00";
+            for iterations in [0u16, 1, 2, 13, 150] {
+                let (digest, cost) = engine.hash(input, iterations);
+                // Streaming reference.
+                let mut expected_cost = 0u64;
+                let mut h = Sha1::new();
+                h.update(input);
+                h.update(&salt);
+                expected_cost += h.padded_compressions();
+                let mut expected = h.finalize_fixed();
+                for _ in 0..iterations {
+                    let mut h = Sha1::new();
+                    h.update(&expected);
+                    h.update(&salt);
+                    expected_cost += h.padded_compressions();
+                    expected = h.finalize_fixed();
+                }
+                assert_eq!(digest, expected, "salt {salt_len}, it {iterations}");
+                assert_eq!(cost, expected_cost, "salt {salt_len}, it {iterations}");
+            }
         }
     }
 
     #[test]
     fn trait_digest_matches_fn() {
         assert_eq!(Sha1::digest(b"hello"), sha1(b"hello").to_vec());
+    }
+
+    #[test]
+    fn finalize_into_matches_finalize() {
+        let mut h = Sha1::new();
+        h.update(b"finalize_into");
+        let mut out = [0u8; 20];
+        h.clone().finalize_into(&mut out);
+        assert_eq!(out.to_vec(), h.finalize());
     }
 }

@@ -91,14 +91,19 @@ impl Sha256 {
     /// Finalize into a fixed-size array.
     pub fn finalize_fixed(mut self) -> [u8; 32] {
         let bit_len = self.len.wrapping_mul(8);
-        self.pad_byte(0x80);
-        while self.buf_len != 56 {
-            self.pad_byte(0);
+        // Padding: 0x80, a zero run to 56 mod 64 (slice fills, not
+        // byte-at-a-time), 64-bit big-endian bit length.
+        let n = self.buf_len;
+        self.buf[n] = 0x80;
+        self.buf[n + 1..].fill(0);
+        if n + 9 > 64 {
+            let block = self.buf;
+            self.compress(&block);
+            self.buf = [0; 64];
         }
-        for b in bit_len.to_be_bytes() {
-            self.pad_byte(b);
-        }
-        debug_assert_eq!(self.buf_len, 0);
+        self.buf[56..].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
         let mut out = [0u8; 32];
         for (i, word) in self.state.iter().enumerate() {
             out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
@@ -111,16 +116,6 @@ impl Sha256 {
     pub fn padded_compressions(&self) -> u64 {
         let tail_blocks = (self.buf_len + 9).div_ceil(64) as u64;
         self.compressions + tail_blocks
-    }
-
-    fn pad_byte(&mut self, byte: u8) {
-        self.buf[self.buf_len] = byte;
-        self.buf_len += 1;
-        if self.buf_len == 64 {
-            let block = self.buf;
-            self.compress(&block);
-            self.buf_len = 0;
-        }
     }
 }
 
@@ -158,6 +153,10 @@ impl Digest for Sha256 {
 
     fn finalize(self) -> Vec<u8> {
         self.finalize_fixed().to_vec()
+    }
+
+    fn finalize_into(self, out: &mut [u8]) {
+        out.copy_from_slice(&self.finalize_fixed());
     }
 
     fn compressions(&self) -> u64 {

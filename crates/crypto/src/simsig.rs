@@ -23,7 +23,7 @@
 //! reserved by RFC 4034 §A.1.1 for private algorithms), though the zone signer
 //! may label keys with any algorithm number to mimic populations in the wild.
 
-use crate::hmac::Hmac;
+use crate::hmac::{Hmac, HmacKey};
 use crate::sha256::{sha256, Sha256};
 
 /// DNSSEC algorithm number SimSig identifies itself with (PRIVATEDNS).
@@ -66,6 +66,33 @@ impl KeyPair {
     /// Sign `message` (the RFC 4034 canonical signing buffer).
     pub fn sign(&self, message: &[u8]) -> Vec<u8> {
         sign_with_public(&self.public, message)
+    }
+
+    /// A reusable signing context for this key. Whole-zone signing creates
+    /// one per key instead of re-deriving the HMAC pad schedule for every
+    /// RRset.
+    pub fn signing_context(&self) -> Context {
+        Context::new(&self.public)
+    }
+}
+
+/// Precomputed per-key signing state: the HMAC pad schedule, derived once.
+#[derive(Clone)]
+pub struct Context {
+    key: HmacKey<Sha256>,
+}
+
+impl Context {
+    /// Build the context for the key identified by `public_key`.
+    pub fn new(public_key: &[u8]) -> Self {
+        Context {
+            key: HmacKey::new(public_key),
+        }
+    }
+
+    /// Sign `message`; identical output to [`KeyPair::sign`].
+    pub fn sign(&self, message: &[u8]) -> Vec<u8> {
+        self.key.mac(message)
     }
 }
 

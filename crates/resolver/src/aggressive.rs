@@ -102,7 +102,7 @@ impl AggressiveCache {
         // Synthesis needs: apex matched (closest encloser), the next
         // closer covered, and the apex wildcard covered.
         let hash_of = |n: &Name| {
-            let h = dns_zone::nsec3hash::nsec3_hash(n, &denials.params);
+            let h = dns_zone::nsec3hash::nsec3_hash_cached(n, &denials.params);
             meter.add_nsec3_hash(h.compressions);
             h.digest
         };

@@ -10,7 +10,7 @@ use dns_wire::name::Name;
 use dns_wire::rdata::{RData, NSEC3_FLAG_OPT_OUT, NSEC3_HASH_SHA1};
 use dns_wire::record::Record;
 use dns_wire::rrtype::RrType;
-use dns_zone::nsec3hash::{nsec3_hash, Nsec3Params};
+use dns_zone::nsec3hash::{nsec3_hash_cached, Nsec3Params};
 use dns_zone::signer::verify_rrsig;
 
 use crate::cost::CostMeter;
@@ -214,7 +214,11 @@ fn find_matching<'a>(
     params: &Nsec3Params,
     meter: &CostMeter,
 ) -> Option<&'a Nsec3View> {
-    let h = nsec3_hash(name, params);
+    // The closest-encloser search hashes overlapping ancestor chains for
+    // every denial a resolver validates; the thread cache memoizes them.
+    // A hit replays the stored compressions count, so the CVE-2023-50868
+    // cost meter is cache-oblivious.
+    let h = nsec3_hash_cached(name, params);
     meter.add_nsec3_hash(h.compressions);
     views.iter().find(|v| v.owner_hash == h.digest)
 }
@@ -226,7 +230,7 @@ fn find_covering<'a>(
     params: &Nsec3Params,
     meter: &CostMeter,
 ) -> Option<&'a Nsec3View> {
-    let h = nsec3_hash(name, params);
+    let h = nsec3_hash_cached(name, params);
     meter.add_nsec3_hash(h.compressions);
     views.iter().find(|v| covers(v, &h.digest))
 }

@@ -20,23 +20,65 @@ pub const MAX_NAME_LEN: usize = 255;
 
 /// A fully-qualified domain name.
 ///
-/// Internally a sequence of labels, *not* including the empty root label;
-/// the root name has zero labels. Labels are arbitrary bytes (DNS is 8-bit
-/// clean), though in practice they are ASCII hostnames.
+/// Internally the uncompressed wire form *without* the trailing root
+/// octet: length-prefixed labels in original case, the root name being
+/// the empty buffer. Labels are arbitrary bytes (DNS is 8-bit clean),
+/// though in practice they are ASCII hostnames. One buffer means clone
+/// and drop are a single allocation each — names are the most-copied
+/// value in the workspace, and per-label boxes dominated the signing and
+/// census profiles.
+///
+/// The byte stream is a self-delimiting prefix code (each length octet
+/// positions the next), so equality and hashing work directly on the
+/// buffer: length octets are ≤ 63 and therefore never case-fold or
+/// collide with an ASCII letter.
 #[derive(Clone, Eq)]
 pub struct Name {
-    labels: Vec<Box<[u8]>>,
-    /// Cached wire length (sum of label lengths + per-label length octet +
-    /// trailing root octet).
-    wire_len: usize,
+    wire: Box<[u8]>,
+}
+
+/// Label start offsets of a wire buffer, on the stack. Every label takes
+/// at least two bytes and the buffer is at most 254 long, so 128 slots
+/// always fit and every offset fits in a `u8`.
+fn label_offsets(wire: &[u8]) -> ([u8; 128], usize) {
+    let mut offsets = [0u8; 128];
+    let mut count = 0;
+    let mut pos = 0usize;
+    while pos < wire.len() {
+        offsets[count] = pos as u8;
+        count += 1;
+        pos += 1 + wire[pos] as usize;
+    }
+    (offsets, count)
+}
+
+fn label_at(wire: &[u8], offset: u8) -> &[u8] {
+    let pos = offset as usize;
+    &wire[pos + 1..pos + 1 + wire[pos] as usize]
+}
+
+struct LabelIter<'a> {
+    wire: &'a [u8],
+}
+
+impl<'a> Iterator for LabelIter<'a> {
+    type Item = &'a [u8];
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.wire.is_empty() {
+            return None;
+        }
+        let len = self.wire[0] as usize;
+        let (head, tail) = self.wire[1..].split_at(len);
+        self.wire = tail;
+        Some(head)
+    }
 }
 
 impl Name {
     /// The root name (`.`).
     pub fn root() -> Self {
         Name {
-            labels: Vec::new(),
-            wire_len: 1,
+            wire: Box::default(),
         }
     }
 
@@ -47,8 +89,7 @@ impl Name {
         I: IntoIterator<Item = L>,
         L: AsRef<[u8]>,
     {
-        let mut out = Vec::new();
-        let mut wire_len = 1usize;
+        let mut wire = Vec::new();
         for l in labels {
             let l = l.as_ref();
             if l.is_empty() {
@@ -57,15 +98,14 @@ impl Name {
             if l.len() > MAX_LABEL_LEN {
                 return Err(WireError::BadName("label longer than 63 octets"));
             }
-            wire_len += 1 + l.len();
-            out.push(l.to_vec().into_boxed_slice());
+            wire.push(l.len() as u8);
+            wire.extend_from_slice(l);
         }
-        if wire_len > MAX_NAME_LEN {
+        if wire.len() + 1 > MAX_NAME_LEN {
             return Err(WireError::BadName("name longer than 255 octets"));
         }
         Ok(Name {
-            labels: out,
-            wire_len,
+            wire: wire.into_boxed_slice(),
         })
     }
 
@@ -127,72 +167,94 @@ impl Name {
 
     /// Number of labels (the root has 0, `example.com` has 2).
     pub fn label_count(&self) -> usize {
-        self.labels.len()
+        label_offsets(&self.wire).1
     }
 
     /// The labels, leftmost (least significant) first.
     pub fn labels(&self) -> impl Iterator<Item = &[u8]> {
-        self.labels.iter().map(|l| l.as_ref())
+        LabelIter { wire: &self.wire }
     }
 
     /// Is this the root name?
     pub fn is_root(&self) -> bool {
-        self.labels.is_empty()
+        self.wire.is_empty()
     }
 
     /// Is the leftmost label `*` (a wildcard owner name)?
     pub fn is_wildcard(&self) -> bool {
-        self.labels
-            .first()
-            .map(|l| l.as_ref() == b"*")
-            .unwrap_or(false)
+        self.wire.starts_with(&[1, b'*'])
     }
 
     /// Length of this name in (uncompressed) wire format.
     pub fn wire_len(&self) -> usize {
-        self.wire_len
+        self.wire.len() + 1
     }
 
     /// The parent name (one label removed from the left); `None` for the
     /// root.
     pub fn parent(&self) -> Option<Name> {
-        if self.labels.is_empty() {
+        if self.wire.is_empty() {
             return None;
         }
-        let labels = self.labels[1..].to_vec();
-        let wire_len = self.wire_len - 1 - self.labels[0].len();
-        Some(Name { labels, wire_len })
+        let skip = 1 + self.wire[0] as usize;
+        Some(Name {
+            wire: self.wire[skip..].to_vec().into_boxed_slice(),
+        })
     }
 
     /// `true` if `self` is `other` or a descendant of `other`.
     pub fn is_subdomain_of(&self, other: &Name) -> bool {
-        if other.labels.len() > self.labels.len() {
+        if other.wire.len() > self.wire.len() {
             return false;
         }
-        let offset = self.labels.len() - other.labels.len();
-        self.labels[offset..]
+        let split = self.wire.len() - other.wire.len();
+        if !self.wire[split..]
             .iter()
-            .zip(other.labels.iter())
-            .all(|(a, b)| eq_label(a, b))
+            .zip(other.wire.iter())
+            .all(|(a, b)| a.eq_ignore_ascii_case(b))
+        {
+            return false;
+        }
+        // The suffix must start on a label boundary of `self`.
+        let mut pos = 0;
+        while pos < split {
+            pos += 1 + self.wire[pos] as usize;
+        }
+        pos == split
     }
 
     /// Prepend a single label, returning the child name.
     pub fn prepend(&self, label: &[u8]) -> Result<Name, WireError> {
-        let mut labels = Vec::with_capacity(self.labels.len() + 1);
-        labels.push(label.to_vec());
-        labels.extend(self.labels.iter().map(|l| l.to_vec()));
-        Name::from_labels(labels)
+        if label.is_empty() {
+            return Err(WireError::BadName("empty label"));
+        }
+        if label.len() > MAX_LABEL_LEN {
+            return Err(WireError::BadName("label longer than 63 octets"));
+        }
+        let mut wire = Vec::with_capacity(1 + label.len() + self.wire.len());
+        wire.push(label.len() as u8);
+        wire.extend_from_slice(label);
+        wire.extend_from_slice(&self.wire);
+        if wire.len() + 1 > MAX_NAME_LEN {
+            return Err(WireError::BadName("name longer than 255 octets"));
+        }
+        Ok(Name {
+            wire: wire.into_boxed_slice(),
+        })
     }
 
     /// Concatenate: `self` becomes a prefix of `suffix`
     /// (`a.b` + `example.com` = `a.b.example.com`).
     pub fn concat(&self, suffix: &Name) -> Result<Name, WireError> {
-        let labels = self
-            .labels
-            .iter()
-            .chain(suffix.labels.iter())
-            .map(|l| l.to_vec());
-        Name::from_labels(labels)
+        let mut wire = Vec::with_capacity(self.wire.len() + suffix.wire.len());
+        wire.extend_from_slice(&self.wire);
+        wire.extend_from_slice(&suffix.wire);
+        if wire.len() + 1 > MAX_NAME_LEN {
+            return Err(WireError::BadName("name longer than 255 octets"));
+        }
+        Ok(Name {
+            wire: wire.into_boxed_slice(),
+        })
     }
 
     /// Replace the leftmost label with `*` — the *wildcard at* this name's
@@ -208,48 +270,59 @@ impl Name {
         if !self.is_subdomain_of(suffix) {
             return None;
         }
-        let keep = self.labels.len() - suffix.labels.len();
-        Some(self.labels[..keep].iter().map(|l| l.to_vec()).collect())
+        let split = self.wire.len() - suffix.wire.len();
+        let mut out = Vec::new();
+        let mut pos = 0;
+        while pos < split {
+            let len = self.wire[pos] as usize;
+            out.push(self.wire[pos + 1..pos + 1 + len].to_vec());
+            pos += 1 + len;
+        }
+        Some(out)
     }
 
     /// Uncompressed wire format in original case.
     pub fn to_wire(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.wire_len);
-        for l in &self.labels {
-            out.push(l.len() as u8);
-            out.extend_from_slice(l);
-        }
+        let mut out = Vec::with_capacity(self.wire.len() + 1);
+        out.extend_from_slice(&self.wire);
         out.push(0);
         out
     }
 
     /// Canonical wire format (RFC 4034 §6.2): lowercase, uncompressed.
     /// This is the exact input to NSEC3 hashing and RRSIG signing.
+    /// (Length octets are ≤ 63, so lowercasing the whole buffer is exact.)
     pub fn to_canonical_wire(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.wire_len);
-        for l in &self.labels {
-            out.push(l.len() as u8);
-            out.extend(l.iter().map(|b| b.to_ascii_lowercase()));
-        }
+        let mut out = Vec::with_capacity(self.wire.len() + 1);
+        out.extend(self.wire.iter().map(|b| b.to_ascii_lowercase()));
         out.push(0);
         out
     }
 
+    /// Write the canonical wire format into `out`, returning the number of
+    /// bytes written (= [`Name::wire_len`]). Lets hot paths hash names from
+    /// a stack buffer instead of allocating with [`Name::to_canonical_wire`];
+    /// a `[u8; MAX_NAME_LEN]` buffer always fits.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than the wire length.
+    pub fn write_canonical_wire(&self, out: &mut [u8]) -> usize {
+        for (dst, b) in out[..self.wire.len()].iter_mut().zip(self.wire.iter()) {
+            *dst = b.to_ascii_lowercase();
+        }
+        out[self.wire.len()] = 0;
+        self.wire.len() + 1
+    }
+
     /// A lowercased copy (for canonical display and map keys).
     pub fn to_lowercase(&self) -> Name {
-        let labels = self
-            .labels
-            .iter()
-            .map(|l| {
-                l.iter()
-                    .map(|b| b.to_ascii_lowercase())
-                    .collect::<Vec<u8>>()
-                    .into_boxed_slice()
-            })
-            .collect();
         Name {
-            labels,
-            wire_len: self.wire_len,
+            wire: self
+                .wire
+                .iter()
+                .map(|b| b.to_ascii_lowercase())
+                .collect::<Vec<u8>>()
+                .into_boxed_slice(),
         }
     }
 
@@ -260,28 +333,24 @@ impl Name {
     /// strings.
     pub fn canonical_cmp(&self, other: &Name) -> std::cmp::Ordering {
         use std::cmp::Ordering;
-        let mut a = self.labels.iter().rev();
-        let mut b = other.labels.iter().rev();
-        loop {
-            match (a.next(), b.next()) {
-                (None, None) => return Ordering::Equal,
-                (None, Some(_)) => return Ordering::Less,
-                (Some(_), None) => return Ordering::Greater,
-                (Some(x), Some(y)) => {
-                    let ord = cmp_label(x, y);
-                    if ord != Ordering::Equal {
-                        return ord;
-                    }
-                }
+        let (a_offs, a_n) = label_offsets(&self.wire);
+        let (b_offs, b_n) = label_offsets(&other.wire);
+        for i in 1..=a_n.min(b_n) {
+            let x = label_at(&self.wire, a_offs[a_n - i]);
+            let y = label_at(&other.wire, b_offs[b_n - i]);
+            let ord = cmp_label(x, y);
+            if ord != Ordering::Equal {
+                return ord;
             }
         }
+        a_n.cmp(&b_n)
     }
 
     /// All ancestor names from `self` up to and including the root, starting
     /// with `self`. (`a.b.example.` yields `a.b.example.`, `b.example.`,
     /// `example.`, `.`.)
     pub fn self_and_ancestors(&self) -> Vec<Name> {
-        let mut out = Vec::with_capacity(self.labels.len() + 1);
+        let mut out = Vec::with_capacity(self.label_count() + 1);
         let mut cur = Some(self.clone());
         while let Some(n) = cur {
             cur = n.parent();
@@ -289,13 +358,6 @@ impl Name {
         }
         out
     }
-}
-
-fn eq_label(a: &[u8], b: &[u8]) -> bool {
-    a.len() == b.len()
-        && a.iter()
-            .zip(b.iter())
-            .all(|(x, y)| x.eq_ignore_ascii_case(y))
 }
 
 fn cmp_label(a: &[u8], b: &[u8]) -> std::cmp::Ordering {
@@ -306,22 +368,21 @@ fn cmp_label(a: &[u8], b: &[u8]) -> std::cmp::Ordering {
 
 impl PartialEq for Name {
     fn eq(&self, other: &Self) -> bool {
-        self.labels.len() == other.labels.len()
+        // Length octets are ≤ 63, so a case-insensitive whole-buffer
+        // compare can never confuse a length with a letter.
+        self.wire.len() == other.wire.len()
             && self
-                .labels
+                .wire
                 .iter()
-                .zip(other.labels.iter())
-                .all(|(a, b)| eq_label(a, b))
+                .zip(other.wire.iter())
+                .all(|(a, b)| a.eq_ignore_ascii_case(b))
     }
 }
 
 impl Hash for Name {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        for l in &self.labels {
-            state.write_usize(l.len());
-            for &b in l.iter() {
-                state.write_u8(b.to_ascii_lowercase());
-            }
+        for &b in self.wire.iter() {
+            state.write_u8(b.to_ascii_lowercase());
         }
     }
 }
@@ -342,10 +403,10 @@ impl Ord for Name {
 
 impl fmt::Display for Name {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.labels.is_empty() {
+        if self.is_root() {
             return f.write_str(".");
         }
-        for l in &self.labels {
+        for l in self.labels() {
             for &b in l.iter() {
                 match b {
                     b'.' | b'\\' => write!(f, "\\{}", b as char)?,

@@ -11,7 +11,7 @@ use dns_wire::rdata::RData;
 use dns_wire::record::Record;
 use dns_wire::rrtype::RrType;
 
-use crate::nsec3hash::nsec3_hash;
+use crate::nsec3hash::nsec3_hash_cached;
 use crate::signer::{Denial, SignedZone};
 use crate::ZoneError;
 
@@ -58,7 +58,9 @@ fn with_rrsigs(z: &SignedZone, owner: &Name, rrtype: RrType) -> Vec<Record> {
 /// The NSEC3 owner whose hash equals the hash of `name`, if any.
 pub fn nsec3_matching(z: &SignedZone, name: &Name) -> Option<Name> {
     let params = z.nsec3_params()?;
-    let h = nsec3_hash(name, params).digest;
+    // Denial proofs re-hash the same closest enclosers for every negative
+    // answer an auth server synthesizes; the thread cache absorbs that.
+    let h = nsec3_hash_cached(name, params).digest;
     z.nsec3_index
         .binary_search_by(|(hash, _)| hash.cmp(&h))
         .ok()
@@ -70,7 +72,7 @@ pub fn nsec3_matching(z: &SignedZone, name: &Name) -> Option<Name> {
 /// (then a *matching* record exists instead) or the index is empty.
 pub fn nsec3_covering(z: &SignedZone, name: &Name) -> Option<Name> {
     let params = z.nsec3_params()?;
-    let h = nsec3_hash(name, params).digest;
+    let h = nsec3_hash_cached(name, params).digest;
     nsec3_covering_hash(z, &h)
 }
 

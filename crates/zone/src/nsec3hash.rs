@@ -9,12 +9,31 @@
 //! where `H` is SHA-1 (the only defined algorithm) and `iterations` is the
 //! number of *additional* iterations — the parameter RFC 9276 item 2
 //! requires to be zero, and the lever CVE-2023-50868 pulls.
+//!
+//! Two engines compute the same function:
+//!
+//! * [`nsec3_hash`] / [`nsec3_hash_wire`] — the fast path, built on
+//!   [`dns_crypto::sha1::IteratedSha1`]: one prebuilt padded block per
+//!   parameter set, no per-iteration hasher construction, no allocation for
+//!   the canonical wire form.
+//! * [`nsec3_hash_reference`] / [`nsec3_hash_wire_reference`] — the original
+//!   streaming construction, kept as the differential-testing oracle
+//!   (`crates/zone/tests/proptests.rs` pins byte identity and
+//!   compression-count equality across salt lengths and iteration counts).
+//!
+//! [`Nsec3HashCache`] memoizes results across a signing run or a resolver's
+//! closest-encloser search. Cache hits return the stored [`Nsec3Hash`]
+//! verbatim — *including* its `compressions` count — so the CVE-2023-50868
+//! cost model sees identical numbers whether or not a cache sat in front of
+//! the engine.
 
-use dns_crypto::sha1::Sha1;
+use std::cell::{Cell, RefCell};
+
+use dns_crypto::sha1::{IteratedSha1, Sha1};
 use dns_crypto::Digest;
 #[cfg(test)]
 use dns_wire::base32;
-use dns_wire::name::Name;
+use dns_wire::name::{Name, MAX_NAME_LEN};
 use dns_wire::rdata::{RData, NSEC3_HASH_SHA1};
 
 /// Per-zone NSEC3 parameters, as carried in NSEC3PARAM and in every NSEC3
@@ -100,11 +119,40 @@ pub struct Nsec3Hash {
 /// Compute the NSEC3 hash of `name` under `params`.
 ///
 /// The name is hashed in canonical (lowercased, uncompressed) wire form per
-/// RFC 5155 §5.
+/// RFC 5155 §5. The wire form is written to a stack buffer and handed to the
+/// single-block fast engine — no allocation on this path.
 pub fn nsec3_hash(name: &Name, params: &Nsec3Params) -> Nsec3Hash {
+    let mut buf = [0u8; MAX_NAME_LEN];
+    let len = name.write_canonical_wire(&mut buf);
+    nsec3_hash_wire(&buf[..len], params)
+}
+
+/// Compute the NSEC3 hash of a name already in canonical wire form.
+///
+/// Callers that hold wire bytes (the signer, zone walking) skip the
+/// per-call canonical-wire conversion entirely.
+pub fn nsec3_hash_wire(wire: &[u8], params: &Nsec3Params) -> Nsec3Hash {
+    let engine = IteratedSha1::new(&params.salt);
+    let (digest, compressions) = engine.hash(wire, params.iterations);
+    Nsec3Hash {
+        digest,
+        compressions,
+    }
+}
+
+/// The streaming reference implementation of [`nsec3_hash`]: a fresh
+/// [`Sha1`] per step, exactly as RFC 5155 §5 writes the recurrence. Kept as
+/// the oracle for differential tests and the CI perf-correctness smoke.
+pub fn nsec3_hash_reference(name: &Name, params: &Nsec3Params) -> Nsec3Hash {
+    nsec3_hash_wire_reference(&name.to_canonical_wire(), params)
+}
+
+/// Streaming reference over canonical wire bytes (see
+/// [`nsec3_hash_reference`]).
+pub fn nsec3_hash_wire_reference(wire: &[u8], params: &Nsec3Params) -> Nsec3Hash {
     let mut compressions = 0u64;
     let mut h = Sha1::new();
-    h.update(&name.to_canonical_wire());
+    h.update(wire);
     h.update(&params.salt);
     compressions += h.padded_compressions();
     let mut digest = h.finalize_fixed();
@@ -119,6 +167,168 @@ pub fn nsec3_hash(name: &Name, params: &Nsec3Params) -> Nsec3Hash {
         digest,
         compressions,
     }
+}
+
+/// A bounded, seeded memo table for NSEC3 hashes, keyed by
+/// `(hash algorithm, canonical wire name, salt, iterations)`.
+///
+/// The table is direct-mapped with power-of-two capacity and
+/// **deterministic eviction**: a colliding insert overwrites the slot
+/// (newest wins). Slot selection hashes the full key with an FNV-1a/
+/// SplitMix-style mix salted by `seed`, and a lookup compares the complete
+/// key bytes, so a hit can never return the hash of a different name — the
+/// byte-identity contract of `tests/determinism.rs` does not bend for cache
+/// collisions.
+///
+/// A hit returns the stored [`Nsec3Hash`] verbatim, `compressions`
+/// included: the cost model (CVE-2023-50868) observes identical totals with
+/// or without the cache, which only ever changes wall-clock time.
+pub struct Nsec3HashCache {
+    slots: RefCell<Vec<Option<CacheEntry>>>,
+    mask: usize,
+    seed: u64,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+struct CacheEntry {
+    /// `hash_alg || canonical wire || salt`. The wire form is
+    /// self-delimiting (it ends at its root label), so the concatenation is
+    /// unambiguous.
+    key: Box<[u8]>,
+    iterations: u16,
+    hash: Nsec3Hash,
+}
+
+/// Longest cacheable key: algorithm byte + maximal wire name + maximal salt.
+const MAX_KEY_LEN: usize = 1 + MAX_NAME_LEN + 255;
+
+impl Nsec3HashCache {
+    /// Default slot count (a power of two).
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// A cache with [`Nsec3HashCache::DEFAULT_CAPACITY`] slots and a fixed
+    /// seed.
+    pub fn new() -> Self {
+        Self::with_capacity_and_seed(Self::DEFAULT_CAPACITY, 0x9276_5155)
+    }
+
+    /// A cache with `capacity` slots (rounded up to a power of two, minimum
+    /// 1) whose slot mapping is salted by `seed`.
+    pub fn with_capacity_and_seed(capacity: usize, seed: u64) -> Self {
+        let cap = capacity.max(1).next_power_of_two();
+        Nsec3HashCache {
+            slots: RefCell::new((0..cap).map(|_| None).collect()),
+            mask: cap - 1,
+            seed,
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+
+    /// Hash `name` under `params`, memoized.
+    pub fn lookup(&self, name: &Name, params: &Nsec3Params) -> Nsec3Hash {
+        let mut buf = [0u8; MAX_NAME_LEN];
+        let len = name.write_canonical_wire(&mut buf);
+        self.lookup_wire(&buf[..len], params)
+    }
+
+    /// Hash a canonical-wire name under `params`, memoized.
+    pub fn lookup_wire(&self, wire: &[u8], params: &Nsec3Params) -> Nsec3Hash {
+        let key_len = 1 + wire.len() + params.salt.len();
+        if key_len > MAX_KEY_LEN {
+            // Oversized (non-protocol) input: compute without caching.
+            return nsec3_hash_wire(wire, params);
+        }
+        let mut key_buf = [0u8; MAX_KEY_LEN];
+        key_buf[0] = params.hash_alg;
+        key_buf[1..1 + wire.len()].copy_from_slice(wire);
+        key_buf[1 + wire.len()..key_len].copy_from_slice(&params.salt);
+        let key = &key_buf[..key_len];
+        let idx = self.slot(key, params.iterations);
+        let mut slots = self.slots.borrow_mut();
+        if let Some(entry) = &slots[idx] {
+            if entry.iterations == params.iterations && entry.key.as_ref() == key {
+                self.hits.set(self.hits.get() + 1);
+                return entry.hash;
+            }
+        }
+        let hash = nsec3_hash_wire(wire, params);
+        self.misses.set(self.misses.get() + 1);
+        slots[idx] = Some(CacheEntry {
+            key: key.into(),
+            iterations: params.iterations,
+            hash,
+        });
+        hash
+    }
+
+    /// Lookups answered from the table.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Lookups that had to run the engine (and then populated a slot).
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Drop every entry and reset the hit/miss counters.
+    pub fn clear(&self) {
+        for slot in self.slots.borrow_mut().iter_mut() {
+            *slot = None;
+        }
+        self.hits.set(0);
+        self.misses.set(0);
+    }
+
+    fn slot(&self, key: &[u8], iterations: u16) -> usize {
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.seed;
+        for &b in key {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= u64::from(iterations);
+        // SplitMix-style avalanche so nearby keys spread across slots.
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        (h as usize) & self.mask
+    }
+}
+
+impl Default for Nsec3HashCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+thread_local! {
+    /// One cache per worker thread. Thread-locality keeps the sharded
+    /// drivers coordination-free: shard output never depends on what any
+    /// other thread has cached, so byte identity across `HEROES_THREADS`
+    /// values is preserved by construction.
+    static THREAD_CACHE: Nsec3HashCache = Nsec3HashCache::new();
+}
+
+/// [`nsec3_hash`] through this thread's shared [`Nsec3HashCache`].
+pub fn nsec3_hash_cached(name: &Name, params: &Nsec3Params) -> Nsec3Hash {
+    THREAD_CACHE.with(|c| c.lookup(name, params))
+}
+
+/// [`nsec3_hash_wire`] through this thread's shared [`Nsec3HashCache`].
+pub fn nsec3_hash_wire_cached(wire: &[u8], params: &Nsec3Params) -> Nsec3Hash {
+    THREAD_CACHE.with(|c| c.lookup_wire(wire, params))
+}
+
+/// `(hits, misses)` of this thread's shared cache — observability for
+/// benches and tests.
+pub fn thread_cache_stats() -> (u64, u64) {
+    THREAD_CACHE.with(|c| (c.hits(), c.misses()))
+}
+
+/// Empty this thread's shared cache (cold-path measurements).
+pub fn clear_thread_cache() {
+    THREAD_CACHE.with(|c| c.clear());
 }
 
 #[cfg(test)]
@@ -208,6 +418,88 @@ mod tests {
         assert!(Nsec3Params::rfc9276().rfc9276_compliant());
         assert!(!Nsec3Params::new(1, vec![]).rfc9276_compliant());
         assert!(!Nsec3Params::new(0, vec![1]).rfc9276_compliant());
+    }
+
+    #[test]
+    fn fast_engine_matches_reference_on_appendix_a() {
+        let p = appendix_a_params();
+        for n in ["example.", "a.example.", "*.w.example.", "x.y.w.example."] {
+            let n = name(n);
+            assert_eq!(nsec3_hash(&n, &p), nsec3_hash_reference(&n, &p));
+        }
+    }
+
+    #[test]
+    fn wire_api_matches_name_api() {
+        let p = Nsec3Params::new(7, vec![0xaa, 0xbb]);
+        let n = name("MiXeD.Case.Example.");
+        let wire = n.to_canonical_wire();
+        assert_eq!(nsec3_hash_wire(&wire, &p), nsec3_hash(&n, &p));
+        assert_eq!(
+            nsec3_hash_wire_reference(&wire, &p),
+            nsec3_hash_reference(&n, &p)
+        );
+    }
+
+    #[test]
+    fn cache_hit_returns_identical_hash_and_compressions() {
+        let cache = Nsec3HashCache::with_capacity_and_seed(64, 1);
+        let p = Nsec3Params::new(150, vec![0xab; 8]);
+        let n = name("cached.example.");
+        let miss = cache.lookup(&n, &p);
+        let hit = cache.lookup(&n, &p);
+        assert_eq!(miss, hit, "a hit must replay the miss byte for byte");
+        assert_eq!(miss, nsec3_hash_reference(&n, &p));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn cache_distinguishes_params_and_names() {
+        let cache = Nsec3HashCache::new();
+        let n = name("x.example.");
+        let a = cache.lookup(&n, &Nsec3Params::new(0, vec![]));
+        let b = cache.lookup(&n, &Nsec3Params::new(1, vec![]));
+        let c = cache.lookup(&n, &Nsec3Params::new(0, vec![1]));
+        let d = cache.lookup(&name("y.example."), &Nsec3Params::new(0, vec![]));
+        assert_ne!(a.digest, b.digest);
+        assert_ne!(a.digest, c.digest);
+        assert_ne!(a.digest, d.digest);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn tiny_cache_evicts_deterministically_and_stays_correct() {
+        // A one-slot cache is pure eviction pressure: every entry fights for
+        // the same slot, and results must still match the engine exactly.
+        let cache = Nsec3HashCache::with_capacity_and_seed(1, 9);
+        let p = Nsec3Params::rfc9276();
+        for round in 0..3 {
+            for i in 0..20 {
+                let n = name(&format!("host{i}.example."));
+                assert_eq!(cache.lookup(&n, &p), nsec3_hash(&n, &p), "round {round}");
+            }
+        }
+        let (h1, m1) = (cache.hits(), cache.misses());
+        // Replay from scratch: identical stats, because eviction depends
+        // only on the insert sequence and the seed.
+        let replay = Nsec3HashCache::with_capacity_and_seed(1, 9);
+        for _ in 0..3 {
+            for i in 0..20 {
+                let n = name(&format!("host{i}.example."));
+                replay.lookup(&n, &p);
+            }
+        }
+        assert_eq!((replay.hits(), replay.misses()), (h1, m1));
+    }
+
+    #[test]
+    fn thread_cache_matches_uncached() {
+        let p = Nsec3Params::new(5, vec![0xcd; 4]);
+        let n = name("tls.example.");
+        assert_eq!(nsec3_hash_cached(&n, &p), nsec3_hash(&n, &p));
+        assert_eq!(nsec3_hash_cached(&n, &p), nsec3_hash(&n, &p));
+        let wire = n.to_canonical_wire();
+        assert_eq!(nsec3_hash_wire_cached(&wire, &p), nsec3_hash(&n, &p));
     }
 
     #[test]

@@ -12,9 +12,27 @@ use dns_wire::record::{canonical_rrset_order, Record};
 use dns_wire::rrtype::RrType;
 use dns_wire::typebitmap::TypeBitmap;
 
-use crate::nsec3hash::{nsec3_hash, Nsec3Params};
+use crate::nsec3hash::{nsec3_hash_cached, Nsec3Params};
 use crate::zone::Zone;
 use crate::ZoneError;
+
+/// Seed for the signer's [`sim_par::run_sharded`] calls. Signing is a pure
+/// function of the zone and keys, so the seed only names the shard plan; it
+/// never reaches an RNG.
+const SIGNING_SHARD_SEED: u64 = 0x5155_9276;
+
+/// Below this many work items a zone signs inline: the census populations
+/// sign thousands of small zones from already-sharded worker threads, and
+/// per-zone thread spawns would cost more than they save.
+const SHARD_MIN_ITEMS: usize = 64;
+
+fn shard_threads(items: usize, threads: usize) -> usize {
+    if items >= SHARD_MIN_ITEMS {
+        threads
+    } else {
+        1
+    }
+}
 
 /// DNSKEY flags value for a zone-signing key.
 pub const FLAGS_ZSK: u16 = 256;
@@ -233,14 +251,32 @@ pub fn signing_buffer(
     w.u32(inception);
     w.u16(key_tag);
     w.bytes(&signer_name.to_canonical_wire());
-    let mut sorted = records.to_vec();
-    canonical_rrset_order(&mut sorted);
+    // Single-record RRsets (the overwhelmingly common case) need no sort
+    // and no clone.
+    let sorted: Vec<Record>;
+    let in_order: &[Record] = if records.len() <= 1 {
+        records
+    } else {
+        sorted = {
+            let mut s = records.to_vec();
+            canonical_rrset_order(&mut s);
+            s
+        };
+        &sorted
+    };
     // RFC 4035 §5.3.2: if the RRSIG labels field is less than the owner's
     // label count, the owner is replaced by the wildcard-expanded source
-    // (`*.<labels rightmost labels>`).
-    let owner_wire = effective_owner(owner, labels).to_canonical_wire();
-    for rec in &sorted {
-        w.bytes(&owner_wire);
+    // (`*.<labels rightmost labels>`). The non-wildcard case writes the
+    // owner from a stack buffer instead of cloning it.
+    let mut owner_buf = [0u8; dns_wire::name::MAX_NAME_LEN];
+    let owner_len = if (labels as usize) < significant_labels(owner) {
+        effective_owner(owner, labels).write_canonical_wire(&mut owner_buf)
+    } else {
+        owner.write_canonical_wire(&mut owner_buf)
+    };
+    let owner_wire = &owner_buf[..owner_len];
+    for rec in in_order {
+        w.bytes(owner_wire);
         w.u16(rec.rrtype().0);
         w.u16(rec.class.0);
         w.u32(original_ttl);
@@ -281,6 +317,50 @@ pub fn sign_rrset(
     inception: u32,
     expiration: u32,
 ) -> Result<Record, ZoneError> {
+    sign_rrset_with_tag(
+        records,
+        key,
+        key.key_tag(),
+        signer_name,
+        inception,
+        expiration,
+    )
+}
+
+/// [`sign_rrset`] with the key tag precomputed. The tag is a pure function
+/// of the DNSKEY RDATA, so whole-zone signing hoists it out of the per-RRset
+/// loop instead of re-serializing the DNSKEY for every signature.
+pub fn sign_rrset_with_tag(
+    records: &[Record],
+    key: &SigningKey,
+    key_tag: u16,
+    signer_name: &Name,
+    inception: u32,
+    expiration: u32,
+) -> Result<Record, ZoneError> {
+    sign_rrset_prepared(
+        records,
+        key,
+        key_tag,
+        &key.pair.signing_context(),
+        signer_name,
+        inception,
+        expiration,
+    )
+}
+
+/// [`sign_rrset_with_tag`] with the key's HMAC pad schedule precomputed as
+/// well. Whole-zone signing derives one [`simsig::Context`] per key and
+/// reuses it for every RRset.
+fn sign_rrset_prepared(
+    records: &[Record],
+    key: &SigningKey,
+    key_tag: u16,
+    ctx: &simsig::Context,
+    signer_name: &Name,
+    inception: u32,
+    expiration: u32,
+) -> Result<Record, ZoneError> {
     let first = records.first().ok_or(ZoneError::EmptyRrset)?;
     let owner = &first.name;
     let fields = RData::Rrsig {
@@ -290,12 +370,12 @@ pub fn sign_rrset(
         original_ttl: first.ttl,
         expiration,
         inception,
-        key_tag: key.key_tag(),
+        key_tag,
         signer_name: signer_name.clone(),
         signature: Vec::new(),
     };
     let buffer = signing_buffer(&fields, owner, records)?;
-    let signature = key.pair.sign(&buffer);
+    let signature = ctx.sign(&buffer);
     let rdata = match fields {
         RData::Rrsig {
             type_covered,
@@ -339,7 +419,26 @@ pub fn verify_rrsig(rrsig: &RData, owner: &Name, records: &[Record], public_key:
 }
 
 /// Sign `zone` according to `config`, producing a [`SignedZone`].
+///
+/// Large zones shard NSEC3 hashing and RRSIG generation over
+/// [`sim_par::run_sharded`] with the thread count from
+/// [`sim_par::default_threads`] (the `HEROES_THREADS` environment variable);
+/// the output is byte-identical at every thread count.
 pub fn sign_zone(zone: &Zone, config: &SignerConfig) -> Result<SignedZone, ZoneError> {
+    sign_zone_with_threads(zone, config, sim_par::default_threads())
+}
+
+/// [`sign_zone`] with an explicit worker-thread count.
+///
+/// Work splits into fixed contiguous shards merged in index order
+/// (`sim-par`), and signatures are pure functions of the RRset and key, so
+/// `threads = 1` and `threads = N` produce the same signed zone byte for
+/// byte — pinned by `tests/determinism.rs`.
+pub fn sign_zone_with_threads(
+    zone: &Zone,
+    config: &SignerConfig,
+    threads: usize,
+) -> Result<SignedZone, ZoneError> {
     if config.keys.is_empty() {
         return Err(ZoneError::NoKeys);
     }
@@ -368,38 +467,75 @@ pub fn sign_zone(zone: &Zone, config: &SignerConfig) -> Result<SignedZone, ZoneE
                     salt: params.salt.clone(),
                 },
             ))?;
-            let names = out.denial_names(*opt_out);
-            let mut hashed: Vec<([u8; 20], Name)> = names
-                .iter()
-                .map(|n| (nsec3_hash(n, params).digest, n.clone()))
-                .collect();
+            // One canonical-order pass yields the chain members together
+            // with their type lists and signability, so record assembly
+            // below needs no per-name tree lookups.
+            let entries = out.denial_entries(*opt_out);
+            // Hash the denial names sharded; each worker thread memoizes
+            // through its own Nsec3HashCache, so re-signing (key rollover,
+            // serial bumps) reuses earlier work.
+            let digests: Vec<[u8; 20]> = sim_par::run_sharded(
+                &entries,
+                shard_threads(entries.len(), threads),
+                SIGNING_SHARD_SEED,
+                |_, slice| {
+                    slice
+                        .iter()
+                        .map(|e| nsec3_hash_cached(&e.name, params).digest)
+                        .collect()
+                },
+            );
+            let mut hashed: Vec<([u8; 20], &crate::zone::DenialEntry)> =
+                digests.into_iter().zip(entries.iter()).collect();
             hashed.sort_by_key(|a| a.0);
             let count = hashed.len();
-            for (i, (hash, original)) in hashed.iter().enumerate() {
-                let next = &hashed[(i + 1) % count].0;
-                let owner = Name::parse(&base32::encode(hash))
-                    .expect("base32 label is valid")
-                    .concat(&apex)
-                    .expect("owner fits");
-                let mut types = TypeBitmap::from_types(out.types_at(original));
-                if will_have_rrsig(&out, original) {
-                    types.insert(RrType::RRSIG);
-                }
-                let flags = if *opt_out { NSEC3_FLAG_OPT_OUT } else { 0 };
-                out.add(Record::new(
-                    owner.clone(),
-                    negative_ttl,
-                    RData::Nsec3 {
-                        hash_alg: params.hash_alg,
-                        flags,
-                        iterations: params.iterations,
-                        salt: params.salt.clone(),
-                        next_hashed: next.to_vec(),
-                        types,
-                    },
-                ))?;
-                nsec3_index.push((*hash, owner));
+            // Build the NSEC3 records sharded (owner-name construction,
+            // type bitmaps, and RDATA assembly are per-entry pure reads of
+            // `out`); only the chain-order merge into the zone is serial.
+            let flags = if *opt_out { NSEC3_FLAG_OPT_OUT } else { 0 };
+            let indices: Vec<usize> = (0..count).collect();
+            let built: Vec<([u8; 20], Name, Record)> = sim_par::run_sharded(
+                &indices,
+                shard_threads(count, threads),
+                SIGNING_SHARD_SEED ^ 2,
+                |_, slice| {
+                    slice
+                        .iter()
+                        .map(|&i| {
+                            let (hash, entry) = &hashed[i];
+                            let next = &hashed[(i + 1) % count].0;
+                            let owner = apex
+                                .prepend(base32::encode(hash).as_bytes())
+                                .expect("base32 label fits");
+                            let mut types = TypeBitmap::from_types(entry.types.iter().copied());
+                            if entry.will_sign {
+                                types.insert(RrType::RRSIG);
+                            }
+                            let record = Record::new(
+                                owner.clone(),
+                                negative_ttl,
+                                RData::Nsec3 {
+                                    hash_alg: params.hash_alg,
+                                    flags,
+                                    iterations: params.iterations,
+                                    salt: params.salt.clone(),
+                                    next_hashed: next.to_vec(),
+                                    types,
+                                },
+                            );
+                            (*hash, owner, record)
+                        })
+                        .collect()
+                },
+            );
+            let mut chain: Vec<Record> = Vec::with_capacity(built.len());
+            for (hash, owner, record) in built {
+                chain.push(record);
+                nsec3_index.push((hash, owner));
             }
+            // The chain is sorted by hash, hence (base32hex) by owner:
+            // merge it into the zone with one linear walk.
+            out.merge_sorted_owners(chain)?;
             nsec3_index.sort_by_key(|a| a.0);
         }
         Denial::Nsec => {
@@ -420,43 +556,89 @@ pub fn sign_zone(zone: &Zone, config: &SignerConfig) -> Result<SignedZone, ZoneE
         }
     }
 
-    // 3. Sign every authoritative RRset.
-    let kss: Vec<&SigningKey> = config.keys.iter().filter(|k| k.is_ksk()).collect();
-    let zss: Vec<&SigningKey> = config.keys.iter().filter(|k| !k.is_ksk()).collect();
-    let mut signatures: Vec<Record> = Vec::new();
-    let names: Vec<Name> = out.names().cloned().collect();
-    for owner in &names {
-        if out.is_occluded(owner) {
-            continue;
+    // 3. Sign every authoritative RRset. Key tags are hoisted (one DNSKEY
+    // serialization per key, not per RRset), the (owner, type) work list is
+    // collected up front, and RRSIG generation — the expensive part —
+    // shards over sim-par.
+    let kss: Vec<(&SigningKey, u16, simsig::Context)> = config
+        .keys
+        .iter()
+        .filter(|k| k.is_ksk())
+        .map(|k| (k, k.key_tag(), k.pair.signing_context()))
+        .collect();
+    let zss: Vec<(&SigningKey, u16, simsig::Context)> = config
+        .keys
+        .iter()
+        .filter(|k| !k.is_ksk())
+        .map(|k| (k, k.key_tag(), k.pair.signing_context()))
+        .collect();
+    // Canonical order visits a delegation point before everything beneath
+    // it, so a running cut marker replaces the per-owner `is_occluded`
+    // ancestor walk.
+    let mut work: Vec<(&Name, RrType)> = Vec::new();
+    let mut cut: Option<&Name> = None;
+    for (owner, types) in out.rrsets() {
+        if let Some(c) = cut {
+            if owner != c && owner.is_subdomain_of(c) {
+                continue; // occluded
+            }
+            cut = None;
         }
-        let is_delegation = out.is_delegation(owner);
-        for rrtype in out.types_at(owner) {
+        let is_delegation = owner != &apex && types.contains_key(&RrType::NS);
+        if is_delegation {
+            cut = Some(owner);
+        }
+        for &rrtype in types.keys() {
             // At a delegation point only the DS RRset is signed.
             if is_delegation && rrtype != RrType::DS {
                 continue;
             }
-            let signers: &[&SigningKey] = if rrtype == RrType::DNSKEY && !kss.is_empty() {
-                &kss
-            } else if !zss.is_empty() {
-                &zss
-            } else {
-                &kss
-            };
-            let rrset = out.rrset(owner, rrtype).expect("type listed").to_vec();
-            for key in signers {
-                signatures.push(sign_rrset(
-                    &rrset,
-                    key,
-                    &apex,
-                    config.inception,
-                    config.expiration,
-                )?);
-            }
+            work.push((owner, rrtype));
         }
     }
-    for sig in signatures {
-        out.add(sig)?;
+    let signed: Vec<Result<Vec<Record>, ZoneError>> = sim_par::run_sharded(
+        &work,
+        shard_threads(work.len(), threads),
+        SIGNING_SHARD_SEED ^ 1,
+        |_, slice| {
+            slice
+                .iter()
+                .map(|&(owner, rrtype)| {
+                    let signers: &[(&SigningKey, u16, simsig::Context)] =
+                        if rrtype == RrType::DNSKEY && !kss.is_empty() {
+                            &kss
+                        } else if !zss.is_empty() {
+                            &zss
+                        } else {
+                            &kss
+                        };
+                    let rrset = out.rrset(owner, rrtype).expect("type listed");
+                    signers
+                        .iter()
+                        .map(|(key, tag, ctx)| {
+                            sign_rrset_prepared(
+                                rrset,
+                                key,
+                                *tag,
+                                ctx,
+                                &apex,
+                                config.inception,
+                                config.expiration,
+                            )
+                        })
+                        .collect()
+                })
+                .collect()
+        },
+    );
+    // The work list was produced by an in-order scan of `out`, and
+    // `run_sharded` merges shards in index order, so the signature stream
+    // is already in canonical owner order: merge it with one linear walk.
+    let mut sigs: Vec<Record> = Vec::with_capacity(work.len());
+    for item in signed {
+        sigs.extend(item?);
     }
+    out.merge_in_order(sigs)?;
 
     Ok(SignedZone {
         zone: out,
@@ -469,19 +651,10 @@ pub fn sign_zone(zone: &Zone, config: &SignerConfig) -> Result<SignedZone, ZoneE
 /// Will `owner` carry at least one RRSIG after signing? (Everything
 /// authoritative does, except empty non-terminals and insecure delegation
 /// points.)
-fn will_have_rrsig(zone: &Zone, owner: &Name) -> bool {
-    if !zone.has_name(owner) {
-        return false; // empty non-terminal
-    }
-    if zone.is_delegation(owner) {
-        return zone.is_signed_delegation(owner);
-    }
-    true
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::nsec3hash::nsec3_hash;
     use dns_wire::name::name;
     use std::net::Ipv4Addr;
 

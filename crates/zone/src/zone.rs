@@ -19,6 +19,16 @@ pub struct Zone {
     rrsets: BTreeMap<Name, BTreeMap<RrType, Vec<Record>>>,
 }
 
+/// One member of the denial chain, with the per-name facts the signer
+/// needs to build its NSEC3 record without further zone lookups.
+pub(crate) struct DenialEntry {
+    pub name: Name,
+    /// RR types present at the name (empty for an empty non-terminal).
+    pub types: Vec<RrType>,
+    /// Will the name carry an RRSIG after signing?
+    pub will_sign: bool,
+}
+
 impl Zone {
     /// An empty zone rooted at `apex`.
     pub fn new(apex: Name) -> Self {
@@ -38,12 +48,115 @@ impl Zone {
         if !record.name.is_subdomain_of(&self.apex) {
             return Err(ZoneError::OutOfZone(record.name.clone()));
         }
-        self.rrsets
-            .entry(record.name.clone())
-            .or_default()
-            .entry(record.rrtype())
-            .or_default()
-            .push(record);
+        // Adding to an existing owner (the common case when signing: every
+        // RRSIG lands on a name already present) must not clone the
+        // per-label-allocated `Name` key.
+        match self.rrsets.get_mut(&record.name) {
+            Some(types) => types.entry(record.rrtype()).or_default().push(record),
+            None => {
+                let name = record.name.clone();
+                let mut types = BTreeMap::new();
+                types.insert(record.rrtype(), vec![record]);
+                self.rrsets.insert(name, types);
+            }
+        }
+        Ok(())
+    }
+
+    /// The owner-indexed RRset map itself, for same-crate code (the signer)
+    /// that scans the zone in canonical order without per-name lookups.
+    pub(crate) fn rrsets(&self) -> &BTreeMap<Name, BTreeMap<RrType, Vec<Record>>> {
+        &self.rrsets
+    }
+
+    /// Merge records whose owners arrive in canonical (map) order with one
+    /// linear walk over the zone instead of a tree lookup per record. The
+    /// signer's RRSIG stream qualifies: it is produced from an in-order
+    /// scan of this very map. Records whose owner is missing (or out of
+    /// order) fall back to [`Zone::add`], so the fast path is only an
+    /// optimization, never a behavior change.
+    pub(crate) fn merge_in_order(&mut self, records: Vec<Record>) -> Result<(), ZoneError> {
+        let mut it = records.into_iter().peekable();
+        for (name, types) in self.rrsets.iter_mut() {
+            if it.peek().is_none() {
+                break;
+            }
+            while it.peek().is_some_and(|r| r.name == *name) {
+                let r = it.next().expect("peeked");
+                types.entry(r.rrtype()).or_default().push(r);
+            }
+        }
+        for leftover in it {
+            self.add(leftover)?;
+        }
+        Ok(())
+    }
+
+    /// Insert records whose owners are mostly *new* to the zone and arrive
+    /// in canonical order — the signer's NSEC3 chain qualifies, because it
+    /// is sorted by hash and base32hex preserves that order (RFC 5155
+    /// chose the alphabet for exactly this property). Rebuilds the owner
+    /// map with one linear merge of two sorted streams and a bulk build,
+    /// instead of a logarithmic insert per record. Owners that do collide
+    /// with an existing name are merged exactly like [`Zone::add`] would;
+    /// records arriving out of order fall back to [`Zone::add`].
+    pub(crate) fn merge_sorted_owners(&mut self, records: Vec<Record>) -> Result<(), ZoneError> {
+        fn push(merged: &mut Vec<(Name, BTreeMap<RrType, Vec<Record>>)>, r: Record) {
+            match merged.last_mut() {
+                Some((name, types)) if *name == r.name => {
+                    types.entry(r.rrtype()).or_default().push(r);
+                }
+                _ => {
+                    let name = r.name.clone();
+                    let mut types = BTreeMap::new();
+                    types.insert(r.rrtype(), vec![r]);
+                    merged.push((name, types));
+                }
+            }
+        }
+        // Split off anything that would invalidate the linear merge (out of
+        // zone, or not in non-decreasing canonical order); `add` handles
+        // those afterwards with its usual checks.
+        let mut leftovers: Vec<Record> = Vec::new();
+        let mut stream: Vec<Record> = Vec::with_capacity(records.len());
+        for r in records {
+            let fits = r.name.is_subdomain_of(&self.apex)
+                && stream.last().is_none_or(|p| p.name <= r.name);
+            if fits {
+                stream.push(r);
+            } else {
+                leftovers.push(r);
+            }
+        }
+        let old = std::mem::take(&mut self.rrsets);
+        let mut merged: Vec<(Name, BTreeMap<RrType, Vec<Record>>)> =
+            Vec::with_capacity(old.len() + stream.len());
+        let mut it = stream.into_iter().peekable();
+        for (name, types) in old {
+            while it.peek().is_some_and(|r| r.name < name) {
+                push(&mut merged, it.next().expect("peeked"));
+            }
+            match merged.last_mut() {
+                // A new owner collided with an existing one: unify them.
+                Some((last, last_types)) if *last == name => {
+                    for (t, mut recs) in types {
+                        let slot = last_types.entry(t).or_default();
+                        // Existing records precede newly merged ones, as
+                        // they would under repeated `add`.
+                        recs.append(slot);
+                        *slot = recs;
+                    }
+                }
+                _ => merged.push((name, types)),
+            }
+        }
+        for r in it {
+            push(&mut merged, r);
+        }
+        self.rrsets = merged.into_iter().collect();
+        for r in leftovers {
+            self.add(r)?;
+        }
         Ok(())
     }
 
@@ -145,7 +258,14 @@ impl Zone {
     /// records for these).
     pub fn empty_non_terminals(&self) -> Vec<Name> {
         let mut ents = BTreeSet::new();
+        let floor = self.apex.label_count() + 1;
         for name in self.rrsets.keys() {
+            // A name directly under (or at/above) the apex has no room for
+            // an ENT between itself and the apex — the common case in
+            // flat zones, worth skipping the allocating parent() walk.
+            if name.label_count() <= floor {
+                continue;
+            }
             let mut cur = name.parent();
             while let Some(n) = cur {
                 if !n.is_subdomain_of(&self.apex) || n == self.apex {
@@ -180,32 +300,61 @@ impl Zone {
     /// non-terminals; occluded names excluded. With `opt_out`, *insecure*
     /// delegations (and ENTs that only exist because of them) are skipped.
     pub fn denial_names(&self, opt_out: bool) -> Vec<Name> {
-        let mut out = BTreeSet::new();
-        for name in self.rrsets.keys() {
-            if self.is_occluded(name) {
+        self.denial_entries(opt_out)
+            .into_iter()
+            .map(|e| e.name)
+            .collect()
+    }
+
+    /// The denial chain with everything the signer needs per member —
+    /// present RR types and whether the name will carry an RRSIG — computed
+    /// in the same single canonical-order pass, so building NSEC3 records
+    /// costs no per-name tree lookups afterwards.
+    pub(crate) fn denial_entries(&self, opt_out: bool) -> Vec<DenialEntry> {
+        // One pass in canonical order. A name is occluded iff it sits
+        // strictly below a delegation point, and canonical order visits the
+        // delegation before everything beneath it — so tracking the most
+        // recent cut replaces the per-name ancestor walk (and its
+        // per-label allocations) that `is_occluded` would cost.
+        let mut out: BTreeMap<Name, (Vec<RrType>, bool)> = BTreeMap::new();
+        let mut cut: Option<&Name> = None;
+        for (name, types) in &self.rrsets {
+            if let Some(c) = cut {
+                if name != c && name.is_subdomain_of(c) {
+                    continue; // occluded
+                }
+                cut = None;
+            }
+            let is_delegation = name != &self.apex && types.contains_key(&RrType::NS);
+            if is_delegation {
+                cut = Some(name);
+            }
+            let signed_delegation = is_delegation && types.contains_key(&RrType::DS);
+            if opt_out && is_delegation && !signed_delegation {
                 continue;
             }
-            if opt_out && self.is_delegation(name) && !self.is_signed_delegation(name) {
-                continue;
-            }
-            out.insert(name.clone());
+            // At a delegation only a DS RRset is signed; everywhere else
+            // every authoritative name carries at least one RRSIG.
+            let will_sign = !is_delegation || signed_delegation;
+            out.insert(name.clone(), (types.keys().copied().collect(), will_sign));
         }
         for ent in self.empty_non_terminals() {
             if self.is_occluded(&ent) {
                 continue;
             }
-            if opt_out && !self.ent_has_in_chain_descendant(&ent, &out) {
+            if opt_out && !out.keys().any(|n| n != &ent && n.is_subdomain_of(&ent)) {
                 continue;
             }
-            out.insert(ent);
+            // Empty non-terminals own no records and no signatures.
+            out.insert(ent, (Vec::new(), false));
         }
-        out.into_iter().collect()
-    }
-
-    /// With opt-out, an ENT only needs an NSEC3 record if some in-chain name
-    /// lives below it.
-    fn ent_has_in_chain_descendant(&self, ent: &Name, in_chain: &BTreeSet<Name>) -> bool {
-        in_chain.iter().any(|n| n != ent && n.is_subdomain_of(ent))
+        out.into_iter()
+            .map(|(name, (types, will_sign))| DenialEntry {
+                name,
+                types,
+                will_sign,
+            })
+            .collect()
     }
 
     /// The closest encloser of `qname`: the longest existing (per

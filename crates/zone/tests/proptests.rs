@@ -4,12 +4,14 @@
 
 use sim_check::{gens, props, Gen};
 
-use dns_wire::name::Name;
+use dns_wire::name::{Name, MAX_NAME_LEN};
 use dns_wire::rdata::RData;
 use dns_wire::record::Record;
 use dns_wire::rrtype::RrType;
 use dns_zone::denial::{nodata_proof, nxdomain_proof};
-use dns_zone::nsec3hash::{nsec3_hash, Nsec3Params};
+use dns_zone::nsec3hash::{
+    nsec3_hash, nsec3_hash_reference, nsec3_hash_wire, nsec3_hash_wire_reference, Nsec3Params,
+};
 use dns_zone::signer::{sign_zone, verify_rrsig, Denial, SignedZone, SignerConfig};
 use dns_zone::Zone;
 
@@ -29,6 +31,13 @@ fn in_zone_name() -> impl Gen<Name> {
         },
         "too long",
     )
+}
+
+/// The iteration counts the issue's differential suite pins: the RFC 9276
+/// recommendation (0), trivial chains, the paper's real-world tail (150,
+/// 500), and the CVE-2023-50868 stress point (2500).
+fn iterations_choice() -> impl Gen<u16> {
+    gens::map(gens::usizes(0..=5), |i| [0u16, 1, 2, 150, 500, 2500][i])
 }
 
 fn params() -> impl Gen<Nsec3Params> {
@@ -207,6 +216,55 @@ props! {
         assert!(a.compressions > p.iterations as u64);
     }
 
+    /// The single-block fast engine is byte-identical to the streaming
+    /// reference — digest *and* compressions — for any salt length in
+    /// 0..=255 and the iteration counts the paper's cost model cares
+    /// about. The compressions half pins the CVE-2023-50868 accounting:
+    /// a faster engine must not change what work gets *counted*.
+    fn fast_engine_is_byte_identical_to_reference(
+        n in in_zone_name(),
+        salt in gens::vec_of(gens::u8s(..), 0..=255),
+        it in iterations_choice(),
+    ) {
+        let p = Nsec3Params::new(it, salt);
+        let fast = nsec3_hash(&n, &p);
+        let reference = nsec3_hash_reference(&n, &p);
+        assert_eq!(fast.digest, reference.digest, "digest drift at salt_len={} it={}", p.salt.len(), it);
+        assert_eq!(fast.compressions, reference.compressions, "cost-model drift at salt_len={} it={}", p.salt.len(), it);
+        // The wire-slice API is the same function as the `&Name` wrapper.
+        let mut wire = [0u8; MAX_NAME_LEN];
+        let len = n.write_canonical_wire(&mut wire);
+        assert_eq!(nsec3_hash_wire(&wire[..len], &p), fast);
+        assert_eq!(nsec3_hash_wire_reference(&wire[..len], &p), reference);
+    }
+
+    /// The single/double-block boundary: salt length 35 is the largest
+    /// where each iteration input (20 + salt ≤ 55 bytes) pads into one
+    /// 64-byte block; 36 is the first that needs two. Both sides must
+    /// agree with the reference for arbitrary iteration counts.
+    fn single_block_boundary_is_exact(
+        n in in_zone_name(),
+        it in gens::u16s(0..=200),
+        fill in gens::u8s(..),
+    ) {
+        for salt_len in [34usize, 35, 36, 37] {
+            let p = Nsec3Params::new(it, vec![fill; salt_len]);
+            let fast = nsec3_hash(&n, &p);
+            let reference = nsec3_hash_reference(&n, &p);
+            assert_eq!(fast.digest, reference.digest, "salt_len={salt_len} it={it}");
+            assert_eq!(fast.compressions, reference.compressions, "salt_len={salt_len} it={it}");
+            // Per-iteration block count is visible in the total: each
+            // iteration adds one block at salt ≤ 35 and two at 36+.
+            let per_iter = if salt_len <= 35 { 1 } else { 2 };
+            let base = nsec3_hash(&n, &Nsec3Params::new(0, vec![fill; salt_len]));
+            assert_eq!(
+                fast.compressions,
+                base.compressions + u64::from(it) * per_iter,
+                "accounting must be exactly linear in iterations (salt_len={salt_len})"
+            );
+        }
+    }
+
     /// denial_names is stable under opt-out: opting out only removes
     /// names, never adds.
     fn opt_out_shrinks_chain(names in gens::vec_of(in_zone_name(), 1..8)) {
@@ -240,5 +298,63 @@ props! {
         for n in &thin {
             assert!(full.contains(n));
         }
+    }
+}
+
+/// Exhaustive sweep of every legal salt length (the wire field is one
+/// byte, so 0..=255) at cheap iteration counts, with the full issue
+/// iteration set at the 35→36 single/double-block boundary. Deterministic
+/// on purpose: the props above sample this space, this test *covers* it.
+#[test]
+fn fast_engine_matches_reference_for_every_salt_length() {
+    let n = Name::parse("sweep.p.example.").unwrap();
+    for salt_len in 0..=255usize {
+        let salt: Vec<u8> = (0..salt_len).map(|i| (i * 7 + salt_len) as u8).collect();
+        let iteration_set: &[u16] = if (35..=36).contains(&salt_len) {
+            &[0, 1, 2, 150, 500, 2500]
+        } else {
+            &[0, 2]
+        };
+        for &it in iteration_set {
+            let p = Nsec3Params::new(it, salt.clone());
+            let fast = nsec3_hash(&n, &p);
+            let reference = nsec3_hash_reference(&n, &p);
+            assert_eq!(fast.digest, reference.digest, "salt_len={salt_len} it={it}");
+            assert_eq!(
+                fast.compressions, reference.compressions,
+                "salt_len={salt_len} it={it}"
+            );
+        }
+    }
+}
+
+/// The full RFC 5155 Appendix A vector set, fast engine vs streaming
+/// reference vs the published base32 digests — all three must agree.
+#[test]
+fn fast_engine_matches_reference_on_rfc5155_appendix_a() {
+    let p = Nsec3Params::new(12, vec![0xaa, 0xbb, 0xcc, 0xdd]);
+    let vectors = [
+        ("example.", "0p9mhaveqvm6t7vbl5lop2u3t2rp3tom"),
+        ("a.example.", "35mthgpgcu1qg68fab165klnsnk3dpvl"),
+        ("ai.example.", "gjeqe526plbf1g8mklp59enfd789njgi"),
+        ("ns1.example.", "2t7b4g4vsa5smi47k61mv5bv1a22bojr"),
+        ("ns2.example.", "q04jkcevqvmu85r014c7dkba38o0ji5r"),
+        ("w.example.", "k8udemvp1j2f7eg6jebps17vp3n8i58h"),
+        ("*.w.example.", "r53bq7cc2uvmubfu5ocmm6pers9tk9en"),
+        ("x.w.example.", "b4um86eghhds6nea196smvmlo4ors995"),
+        ("y.w.example.", "ji6neoaepv8b5o6k4ev33abha8ht9fgc"),
+        ("x.y.w.example.", "2vptu5timamqttgl4luu9kg21e0aor3s"),
+        ("xx.example.", "t644ebqk9bibcna874givr6joj62mlhv"),
+    ];
+    for (name_text, expected_b32) in vectors {
+        let n = Name::parse(name_text).unwrap();
+        let fast = nsec3_hash(&n, &p);
+        let reference = nsec3_hash_reference(&n, &p);
+        assert_eq!(fast, reference, "engines disagree on {name_text}");
+        assert_eq!(
+            dns_wire::base32::encode(&fast.digest),
+            expected_b32,
+            "published vector for {name_text}"
+        );
     }
 }

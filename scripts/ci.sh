@@ -37,6 +37,21 @@ else
     echo "== clippy not installed; skipping"
 fi
 
+echo "== bench smoke: NSEC3 fast path vs reference (reduced samples)"
+# bench_nsec3_hash refuses to start unless the single-block engine agrees
+# with the streaming reference (digests and compression counts) across the
+# salt-length boundary; bench_zone_signing asserts the signed zone renders
+# byte-identically at threads=1/2/4. Reduced samples keep this a smoke
+# test; the JSON reports land in a scratch dir, not the repo.
+SMOKE_DIR="$(mktemp -d)"
+ROOT="$(pwd)"
+(
+    cd "$SMOKE_DIR" \
+        && MICROBENCH_SAMPLES=5 "$ROOT/target/release/bench_nsec3_hash" >/dev/null \
+        && MICROBENCH_SAMPLES=3 "$ROOT/target/release/bench_zone_signing" >/dev/null
+)
+rm -rf "$SMOKE_DIR"
+
 echo "== external-dependency guard"
 if grep -rn --include=Cargo.toml -E '^\s*((rand|proptest|criterion|rayon|crossbeam|threadpool)\b|\[[a-z-]+\.(rand|proptest|criterion|rayon|crossbeam|threadpool)\])' . ; then
     echo "error: external dependency crept back into a manifest" >&2

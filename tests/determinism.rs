@@ -234,6 +234,64 @@ fn faulty_tld_census_and_unreachability_account_probes() {
 }
 
 #[test]
+fn signed_zone_is_identical_across_thread_counts() {
+    // The zone signer shards NSEC3 hashing and RRSIG generation over
+    // sim-par once a zone crosses the inline threshold; with thread-local
+    // hash caches warm or cold, the output must not depend on the thread
+    // count. 300 names is well past the threshold.
+    use dns_wire::name::Name;
+    use dns_wire::rdata::RData;
+    use dns_wire::record::Record;
+    use dns_zone::signer::{sign_zone_with_threads, SignerConfig};
+    use dns_zone::Zone;
+
+    let apex = Name::parse("big.example.").unwrap();
+    let mut zone = Zone::new(apex.clone());
+    zone.add(Record::new(
+        apex.clone(),
+        3600,
+        RData::Soa {
+            mname: Name::parse("ns1.big.example.").unwrap(),
+            rname: Name::parse("host.big.example.").unwrap(),
+            serial: 1,
+            refresh: 7200,
+            retry: 3600,
+            expire: 1_209_600,
+            minimum: 300,
+        },
+    ))
+    .unwrap();
+    for i in 0..300 {
+        zone.add(Record::new(
+            Name::parse(&format!("host-{i:03}.big.example.")).unwrap(),
+            300,
+            RData::A(
+                format!("192.0.{}.{}", i / 250, i % 250 + 1)
+                    .parse()
+                    .unwrap(),
+            ),
+        ))
+        .unwrap();
+    }
+    let config = SignerConfig::standard(&apex, NOW);
+    let renders: Vec<String> = [1usize, 2, 4]
+        .iter()
+        .map(|&threads| {
+            let signed = sign_zone_with_threads(&zone, &config, threads).unwrap();
+            format!("{:?}", signed.zone)
+        })
+        .collect();
+    assert_eq!(
+        renders[0], renders[1],
+        "signed zone must render byte-identically at threads=1 and 2"
+    );
+    assert_eq!(
+        renders[0], renders[2],
+        "signed zone must render byte-identically at threads=1 and 4"
+    );
+}
+
+#[test]
 fn tld_census_is_identical_across_thread_counts() {
     let tlds: Vec<_> = generate_tlds().into_iter().step_by(97).collect();
     let sequential = run_tld_census_with(&tlds, NOW, 1.0 / 100_000.0, 1, DEFAULT_LAB_SEED);

@@ -14,11 +14,12 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::net::IpAddr;
 
-use dns_wire::message::{frame_tcp, unframe_tcp, Message, Question};
+use dns_wire::message::{unframe_tcp, Message, Question};
 use dns_wire::name::Name;
 use dns_wire::rdata::RData;
 use dns_wire::record::Record;
-use dns_wire::rrtype::{Rcode, RrType};
+use dns_wire::rrtype::{Class, Rcode, RrType};
+use dns_wire::view::MessageView;
 use dns_zone::denial::{self, DenialKind};
 use dns_zone::signer::SignedZone;
 use netsim::{Network, Node};
@@ -37,6 +38,29 @@ pub struct QueryLogEntry {
     pub dnssec_ok: bool,
 }
 
+/// The EDNS facet of a query that can change the bytes of the answer.
+/// Payload size is deliberately absent: it only bounds delivery (the
+/// truncation check), never the answer itself.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum EdnsState {
+    /// No OPT record at all: plain DNS, no DNSSEC records in the answer.
+    Absent,
+    /// EDNS present, DO clear.
+    Plain,
+    /// EDNS present, DO set: the answer carries RRSIGs and denial proofs.
+    Do,
+}
+
+/// Key identifying one cacheable answer template: everything about a
+/// query that the encoded response bytes depend on, except the ID, the
+/// opcode/RD flag bits, and the literal (case-preserving) question bytes
+/// — those three are patched into the template per query.
+type TemplateKey = (Name, RrType, Class, EdnsState);
+
+/// Bound on distinct templates kept per server. When full the whole map
+/// is dropped (deterministic, unlike per-entry LRU under HashMap order).
+const TEMPLATE_CACHE_CAP: usize = 1024;
+
 /// An authoritative name server holding one or more signed zones.
 pub struct AuthServer {
     zones: RefCell<HashMap<Name, SignedZone>>,
@@ -46,6 +70,10 @@ pub struct AuthServer {
     /// paper counts: 1,105 of the 1,302 NSEC3-enabled TLDs share zone
     /// data).
     axfr_allowed: RefCell<std::collections::HashSet<Name>>,
+    /// Encoded full responses keyed by the answer-determining parts of a
+    /// query; served with ID/flags/question patched in place. Invalidated
+    /// whenever zone data or transfer policy changes.
+    templates: RefCell<HashMap<TemplateKey, Vec<u8>>>,
 }
 
 impl AuthServer {
@@ -56,12 +84,14 @@ impl AuthServer {
             log: RefCell::new(Vec::new()),
             log_cap: 100_000,
             axfr_allowed: RefCell::new(std::collections::HashSet::new()),
+            templates: RefCell::new(HashMap::new()),
         }
     }
 
     /// Permit zone transfers (`AXFR`) for `apex`.
     pub fn allow_axfr(&self, apex: &Name) {
         self.axfr_allowed.borrow_mut().insert(apex.clone());
+        self.templates.borrow_mut().clear();
     }
 
     /// Install (or replace) a zone.
@@ -69,11 +99,21 @@ impl AuthServer {
         self.zones
             .borrow_mut()
             .insert(zone.zone.apex().clone(), zone);
+        self.templates.borrow_mut().clear();
     }
 
     /// Remove a zone by apex.
     pub fn remove_zone(&self, apex: &Name) {
         self.zones.borrow_mut().remove(apex);
+        self.templates.borrow_mut().clear();
+    }
+
+    fn store_template(&self, key: TemplateKey, wire: &[u8]) {
+        let mut templates = self.templates.borrow_mut();
+        if templates.len() >= TEMPLATE_CACHE_CAP && !templates.contains_key(&key) {
+            templates.clear();
+        }
+        templates.insert(key, wire.to_vec());
     }
 
     /// Snapshot of the query log.
@@ -330,52 +370,125 @@ fn delegation_cut(zone: &SignedZone, qname: &Name) -> Option<Name> {
 }
 
 impl Node for AuthServer {
-    fn handle(&self, _net: &Network, src: IpAddr, payload: &[u8]) -> Option<Vec<u8>> {
+    fn handle(
+        &self,
+        _net: &Network,
+        src: IpAddr,
+        payload: &[u8],
+        reply: &mut Vec<u8>,
+    ) -> Option<()> {
         // RFC 7766: a length-framed payload is a stream ("TCP") exchange —
         // no size limit and a framed response. The length prefix is the
         // only framing signal, and a UDP message whose ID bytes happen to
         // equal its length minus two looks framed as well — so fall back
-        // to a raw decode when the framed interpretation does not parse,
-        // instead of answering such queries with silence.
-        let (query, tcp) = match unframe_tcp(payload).and_then(|inner| Message::decode(inner).ok())
-        {
-            Some(q) => (q, true),
-            None => (Message::decode(payload).ok()?, false),
+        // to a raw parse when the framed interpretation does not hold,
+        // instead of answering such queries with silence. `parse` +
+        // `validate` accept exactly the packets `Message::decode` accepts,
+        // without materializing any record.
+        let (datagram, tcp) = match unframe_tcp(payload) {
+            Some(inner) if MessageView::parse(inner).is_ok_and(|v| v.validate().is_ok()) => {
+                (inner, true)
+            }
+            _ => (payload, false),
         };
-        if query.flags.qr {
+        let view = MessageView::parse(datagram).ok()?;
+        let edns = view.validate().ok()?;
+        let flags = view.flags();
+        if flags.qr {
             return None; // not a query
         }
-        if let Some(q) = query.question() {
-            let mut log = self.log.borrow_mut();
-            if log.len() < self.log_cap {
-                log.push(QueryLogEntry {
-                    src,
-                    qname: q.qname.clone(),
-                    qtype: q.qtype,
-                    dnssec_ok: query.dnssec_ok(),
-                });
+        if let Some(q) = view.question() {
+            if let Ok(qname) = q.qname() {
+                let mut log = self.log.borrow_mut();
+                if log.len() < self.log_cap {
+                    log.push(QueryLogEntry {
+                        src,
+                        qname,
+                        qtype: q.qtype(),
+                        dnssec_ok: edns.as_ref().is_some_and(|e| e.dnssec_ok),
+                    });
+                }
             }
         }
-        let response = self.answer(&query);
-        let encoded = response.encode();
-        if tcp {
-            return Some(frame_tcp(&encoded));
-        }
-        // UDP truncation: the requester's EDNS payload size (512 without
-        // EDNS) bounds the response; over it, send TC with empty sections.
-        let limit = query
-            .edns
+        // A query is template-cacheable when the answer bytes are a pure
+        // function of (qname, qtype, qclass, EDNS state): exactly one
+        // question, written literally (no compression pointers — its raw
+        // bytes get copied into the template verbatim to preserve 0x20
+        // case echoing), and not a zone transfer.
+        let template_key = view.question().and_then(|q| {
+            if view.qdcount() != 1 || q.qtype() == RrType::AXFR {
+                return None;
+            }
+            let raw = q.raw_entry()?;
+            debug_assert!(raw.len() >= 5);
+            let state = match &edns {
+                None => EdnsState::Absent,
+                Some(e) if e.dnssec_ok => EdnsState::Do,
+                Some(_) => EdnsState::Plain,
+            };
+            Some((q.qname().ok()?, q.qtype(), q.qclass(), state))
+        });
+        // UDP truncation bound: the requester's EDNS payload size (512
+        // without EDNS) bounds the response; over it, send TC with empty
+        // sections. Payload size is per-query, so the check runs against
+        // the template length on hits too.
+        let limit = edns
             .as_ref()
             .map(|e| e.udp_payload_size as usize)
-            .unwrap_or(512);
-        if encoded.len() > limit.max(512) {
+            .unwrap_or(512)
+            .max(512);
+        if let Some(key) = &template_key {
+            let templates = self.templates.borrow();
+            if let Some(wire) = templates.get(key) {
+                if tcp || wire.len() <= limit {
+                    if tcp {
+                        reply.extend_from_slice(&(wire.len() as u16).to_be_bytes());
+                    }
+                    let off = reply.len();
+                    reply.extend_from_slice(wire);
+                    // Patch the query-specific bytes: ID, opcode + RD in
+                    // the upper flags byte (QR/AA/TC stay as encoded), and
+                    // the literal question (case echo). Everything else in
+                    // the packet — counts, sections, OPT — is fixed by the
+                    // key, and compression pointers into the question stay
+                    // valid because the name's length is part of the key.
+                    reply[off..off + 2].copy_from_slice(&view.id().to_be_bytes());
+                    reply[off + 2] =
+                        (reply[off + 2] & !0x79) | (flags.opcode.to_u8() << 3) | u8::from(flags.rd);
+                    let raw = view
+                        .question()
+                        .and_then(|q| q.raw_entry())
+                        .expect("template key implies a literal question");
+                    reply[off + 12..off + 12 + raw.len()].copy_from_slice(raw);
+                    return Some(());
+                }
+                // Over the requester's size limit: fall through and build
+                // the truncated response fresh (it is tiny).
+            }
+        }
+        let query = view.to_message().ok()?;
+        let response = self.answer(&query);
+        let start = reply.len();
+        if tcp {
+            response.encode_framed_append(reply);
+            if let Some(key) = template_key {
+                self.store_template(key, &reply[start + 2..]);
+            }
+            return Some(());
+        }
+        response.encode_append(reply);
+        if let Some(key) = template_key {
+            self.store_template(key, &reply[start..]);
+        }
+        if reply.len() - start > limit {
             let mut truncated = Message::response_to(&query);
             truncated.flags.aa = response.flags.aa;
             truncated.flags.tc = true;
             truncated.rcode = response.rcode;
-            return Some(truncated.encode());
+            reply.truncate(start);
+            truncated.encode_append(reply);
         }
-        Some(encoded)
+        Some(())
     }
 }
 
@@ -465,8 +578,8 @@ mod tests {
         let resp = ask(&s, "www.example.", RrType::A);
         assert_eq!(resp.rcode, Rcode::NoError);
         assert!(resp.flags.aa);
-        assert_eq!(resp.records_of_type(RrType::A).len(), 1);
-        assert_eq!(resp.records_of_type(RrType::RRSIG).len(), 1);
+        assert_eq!(resp.records_of_type(RrType::A).count(), 1);
+        assert_eq!(resp.records_of_type(RrType::RRSIG).count(), 1);
     }
 
     #[test]
@@ -475,8 +588,8 @@ mod tests {
         let mut q = Message::query(1, name("www.example."), RrType::A);
         q.edns = None;
         let resp = s.answer(&q);
-        assert_eq!(resp.records_of_type(RrType::A).len(), 1);
-        assert!(resp.records_of_type(RrType::RRSIG).is_empty());
+        assert_eq!(resp.records_of_type(RrType::A).count(), 1);
+        assert!(resp.records_of_type(RrType::RRSIG).next().is_none());
     }
 
     #[test]
@@ -484,9 +597,9 @@ mod tests {
         let s = build_server();
         let resp = ask(&s, "nx.example.", RrType::A);
         assert_eq!(resp.rcode, Rcode::NxDomain);
-        assert!(!resp.records_of_type(RrType::SOA).is_empty());
-        let nsec3 = resp.records_of_type(RrType::NSEC3);
-        assert!((1..=3).contains(&nsec3.len()), "{} NSEC3s", nsec3.len());
+        assert!(resp.records_of_type(RrType::SOA).next().is_some());
+        let nsec3 = resp.records_of_type(RrType::NSEC3).count();
+        assert!((1..=3).contains(&nsec3), "{nsec3} NSEC3s");
     }
 
     #[test]
@@ -495,16 +608,16 @@ mod tests {
         let resp = ask(&s, "www.example.", RrType::TXT);
         assert_eq!(resp.rcode, Rcode::NoError);
         assert!(resp.answers.is_empty());
-        assert!(!resp.records_of_type(RrType::SOA).is_empty());
-        assert_eq!(resp.records_of_type(RrType::NSEC3).len(), 1);
+        assert!(resp.records_of_type(RrType::SOA).next().is_some());
+        assert_eq!(resp.records_of_type(RrType::NSEC3).count(), 1);
     }
 
     #[test]
     fn cname_returned_without_chasing() {
         let s = build_server();
         let resp = ask(&s, "alias.example.", RrType::A);
-        assert_eq!(resp.records_of_type(RrType::CNAME).len(), 1);
-        assert!(resp.records_of_type(RrType::A).is_empty());
+        assert_eq!(resp.records_of_type(RrType::CNAME).count(), 1);
+        assert!(resp.records_of_type(RrType::A).next().is_none());
     }
 
     #[test]
@@ -512,11 +625,11 @@ mod tests {
         let s = build_server();
         let resp = ask(&s, "anything.wild.example.", RrType::A);
         assert_eq!(resp.rcode, Rcode::NoError);
-        let answers = resp.records_of_type(RrType::A);
+        let answers: Vec<_> = resp.records_of_type(RrType::A).collect();
         assert_eq!(answers.len(), 1);
         assert_eq!(answers[0].name, name("anything.wild.example."));
         // Expansion proof: NSEC3 covering the next closer.
-        assert!(!resp.records_of_type(RrType::NSEC3).is_empty());
+        assert!(resp.records_of_type(RrType::NSEC3).next().is_some());
         // The RRSIG's labels field is smaller than the owner's label count.
         let sig = resp
             .answers
@@ -538,11 +651,11 @@ mod tests {
         assert_eq!(resp.rcode, Rcode::NoError);
         assert!(!resp.flags.aa);
         assert!(resp.answers.is_empty());
-        assert!(!resp.records_of_type(RrType::NS).is_empty());
+        assert!(resp.records_of_type(RrType::NS).next().is_some());
         // Glue present.
         assert!(resp.additionals.iter().any(|r| r.rrtype() == RrType::A));
         // DS-absence proof (NSEC3) present since query had DO.
-        assert!(!resp.records_of_type(RrType::NSEC3).is_empty());
+        assert!(resp.records_of_type(RrType::NSEC3).next().is_some());
     }
 
     #[test]
@@ -552,7 +665,7 @@ mod tests {
         // Insecure delegation: NODATA with proof, authoritative.
         assert!(resp.flags.aa);
         assert!(resp.answers.is_empty());
-        assert!(!resp.records_of_type(RrType::SOA).is_empty());
+        assert!(resp.records_of_type(RrType::SOA).next().is_some());
     }
 
     #[test]
@@ -584,9 +697,9 @@ mod tests {
     fn dnskey_and_nsec3param_queries_answered() {
         let s = build_server();
         let dk = ask(&s, "example.", RrType::DNSKEY);
-        assert_eq!(dk.records_of_type(RrType::DNSKEY).len(), 2);
+        assert_eq!(dk.records_of_type(RrType::DNSKEY).count(), 2);
         let np = ask(&s, "example.", RrType::NSEC3PARAM);
-        assert_eq!(np.records_of_type(RrType::NSEC3PARAM).len(), 1);
+        assert_eq!(np.records_of_type(RrType::NSEC3PARAM).count(), 1);
     }
 
     #[test]
@@ -602,7 +715,7 @@ mod tests {
         let s = build_server();
         let resp = ask(&s, "WWW.EXAMPLE.", RrType::A);
         assert_eq!(resp.rcode, Rcode::NoError);
-        assert_eq!(resp.records_of_type(RrType::A).len(), 1);
+        assert_eq!(resp.records_of_type(RrType::A).count(), 1);
     }
 
     #[test]
@@ -673,8 +786,8 @@ mod tests {
         s.add_zone(sign_zone(&z, &cfg).unwrap());
         let resp = s.answer(&Message::query(1, name("nope.plain.example."), RrType::A));
         assert_eq!(resp.rcode, Rcode::NxDomain);
-        assert!(!resp.records_of_type(RrType::NSEC).is_empty());
-        assert!(resp.records_of_type(RrType::NSEC3).is_empty());
+        assert!(resp.records_of_type(RrType::NSEC).next().is_some());
+        assert!(resp.records_of_type(RrType::NSEC3).next().is_none());
     }
 
     #[test]
@@ -741,6 +854,123 @@ mod tests {
         s.add_zone(sign_zone(&z, &SignerConfig::standard(&name("sub2.example."), NOW)).unwrap());
         let resp = ask(&s, "x.sub2.example.", RrType::A);
         assert_eq!(resp.rcode, Rcode::NoError);
-        assert_eq!(resp.records_of_type(RrType::A).len(), 1);
+        assert_eq!(resp.records_of_type(RrType::A).count(), 1);
+    }
+
+    /// Drive the wire-level entry point directly.
+    fn handle_raw(s: &AuthServer, net: &Network, payload: &[u8]) -> Option<Vec<u8>> {
+        let mut reply = Vec::new();
+        let src: IpAddr = "10.9.9.9".parse().unwrap();
+        s.handle(net, src, payload, &mut reply).map(|()| reply)
+    }
+
+    #[test]
+    fn template_cache_serves_identical_bytes() {
+        let s = build_server();
+        let net = Network::new(1);
+        let cold_q = Message::query(7, name("www.example."), RrType::A);
+        let cold = handle_raw(&s, &net, &cold_q.encode()).unwrap();
+        assert_eq!(s.templates.borrow().len(), 1);
+        // Second query: different ID and 0x20-style mixed case. The warm
+        // path must patch both and produce exactly what a fresh encode of
+        // a fresh answer would.
+        let warm_q = Message::query(991, name("WwW.eXaMpLe."), RrType::A);
+        let warm = handle_raw(&s, &net, &warm_q.encode()).unwrap();
+        assert_eq!(s.templates.borrow().len(), 1, "same key, one template");
+        let fresh = s.answer(&warm_q).encode();
+        assert_eq!(warm, fresh);
+        assert_ne!(cold, warm, "ID and question case differ");
+        assert_eq!(cold.len(), warm.len());
+        // The cold (miss) response itself must equal a fresh encode too.
+        assert_eq!(cold, s.answer(&cold_q).encode());
+    }
+
+    #[test]
+    fn template_cache_tcp_framing_and_key_separation() {
+        let s = build_server();
+        let net = Network::new(1);
+        let q = Message::query(3, name("www.example."), RrType::A);
+        let udp = handle_raw(&s, &net, &q.encode()).unwrap();
+        // Same key over "TCP": framed reply, same datagram bytes.
+        let framed = handle_raw(&s, &net, &dns_wire::message::frame_tcp(&q.encode())).unwrap();
+        assert_eq!(&framed[..2], (udp.len() as u16).to_be_bytes().as_slice());
+        assert_eq!(&framed[2..], udp.as_slice());
+        // DO off is a different EDNS state: separate template, no RRSIGs.
+        let mut plain = Message::query(3, name("www.example."), RrType::A);
+        plain.edns = None;
+        let plain_resp = handle_raw(&s, &net, &plain.encode()).unwrap();
+        assert_eq!(s.templates.borrow().len(), 2);
+        let decoded = Message::decode(&plain_resp).unwrap();
+        assert!(decoded.records_of_type(RrType::RRSIG).next().is_none());
+    }
+
+    #[test]
+    fn template_cache_respects_truncation_limit() {
+        let s = build_server();
+        let net = Network::new(1);
+        // Inflate www.example./TXT well past 512 bytes so the no-EDNS
+        // limit forces truncation.
+        let mut z = Zone::new(name("big.example."));
+        z.add(Record::new(
+            name("big.example."),
+            3600,
+            RData::Soa {
+                mname: name("ns1.big.example."),
+                rname: name("h.big.example."),
+                serial: 1,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: 300,
+            },
+        ))
+        .unwrap();
+        z.add(Record::new(
+            name("www.big.example."),
+            300,
+            RData::Txt(vec![vec![b'x'; 200], vec![b'y'; 200], vec![b'z'; 200]]),
+        ))
+        .unwrap();
+        s.add_zone(sign_zone(&z, &SignerConfig::standard(&name("big.example."), NOW)).unwrap());
+        // Warm the template with a roomy EDNS payload size.
+        let mut big = Message::query(1, name("www.big.example."), RrType::TXT);
+        big.edns = Some(dns_wire::edns::Edns {
+            udp_payload_size: 4096,
+            ..dns_wire::edns::Edns::default()
+        });
+        let full = handle_raw(&s, &net, &big.encode()).unwrap();
+        assert!(full.len() > 512, "test premise: {} bytes", full.len());
+        // Same key again but via a 512-limit query: must truncate even
+        // though the template is warm.
+        let mut small = Message::query(2, name("www.big.example."), RrType::TXT);
+        small.edns = Some(dns_wire::edns::Edns {
+            udp_payload_size: 512,
+            ..dns_wire::edns::Edns::default()
+        });
+        let tc = handle_raw(&s, &net, &small.encode()).unwrap();
+        let decoded = Message::decode(&tc).unwrap();
+        assert!(decoded.flags.tc);
+        assert!(decoded.answers.is_empty());
+        // Byte-for-byte what the pure path would have sent.
+        let query = Message::decode(&small.encode()).unwrap();
+        let response = s.answer(&query);
+        let mut expect = Message::response_to(&query);
+        expect.flags.aa = response.flags.aa;
+        expect.flags.tc = true;
+        expect.rcode = response.rcode;
+        assert_eq!(tc, expect.encode());
+    }
+
+    #[test]
+    fn template_cache_invalidated_on_zone_change() {
+        let s = build_server();
+        let net = Network::new(1);
+        let q = Message::query(9, name("www.example."), RrType::A).encode();
+        handle_raw(&s, &net, &q).unwrap();
+        assert!(!s.templates.borrow().is_empty());
+        s.remove_zone(&name("example."));
+        assert!(s.templates.borrow().is_empty(), "zone change must flush");
+        let refused = handle_raw(&s, &net, &q).unwrap();
+        assert_eq!(Message::decode(&refused).unwrap().rcode, Rcode::Refused);
     }
 }

@@ -13,7 +13,7 @@
 //! sweeps).
 
 use heroes_bench::{fmt_scale, header, Options, EXPERIMENT_NOW};
-use nsec3_core::experiments::{run_domain_census_with, DEFAULT_LAB_SEED};
+use nsec3_core::experiments::{run_domain_census_cfg, DriverConfig, DEFAULT_LAB_SEED};
 use popgen::{generate_domains, Scale};
 
 const SWEEP: [usize; 4] = [1, 2, 4, 8];
@@ -39,14 +39,19 @@ fn main() {
     println!("population: {} domains, batch size 200", specs.len());
 
     header("Sweep (best of reps per point)");
-    let reference = run_domain_census_with(&specs, EXPERIMENT_NOW, 200, 1, DEFAULT_LAB_SEED);
+    let reference = run_domain_census_cfg(
+        &specs,
+        200,
+        &DriverConfig::clean(EXPERIMENT_NOW, 1, DEFAULT_LAB_SEED),
+    )
+    .0;
     let mut rows: Vec<(usize, f64)> = Vec::new();
     for &threads in &SWEEP {
         let mut best_ms = f64::INFINITY;
         for _ in 0..reps {
             let t0 = std::time::Instant::now();
-            let out =
-                run_domain_census_with(&specs, EXPERIMENT_NOW, 200, threads, DEFAULT_LAB_SEED);
+            let cfg = DriverConfig::clean(EXPERIMENT_NOW, threads, DEFAULT_LAB_SEED);
+            let out = run_domain_census_cfg(&specs, 200, &cfg).0;
             let ms = t0.elapsed().as_secs_f64() * 1e3;
             best_ms = best_ms.min(ms);
             // The whole point of fixed sharding: every thread count

@@ -24,7 +24,7 @@ use std::rc::Rc;
 use dns_scanner::retry::BreakerConfig;
 use heroes_bench::{fmt_scale, header, Options, EXPERIMENT_NOW};
 use netsim::{Episode, EpisodeKind, FaultSchedule, Network, Node, Outcome, RetryPolicy, Scope};
-use nsec3_core::experiments::{run_domain_census_profiled, ScanProfile, DEFAULT_LAB_SEED};
+use nsec3_core::experiments::{run_domain_census_cfg, DriverConfig, ScanProfile, DEFAULT_LAB_SEED};
 use popgen::{generate_domains, Scale};
 
 const LOSS_SWEEP: [f64; 4] = [0.0, 0.01, 0.05, 0.20];
@@ -36,8 +36,15 @@ const OUTAGES_MICROS: [u64; 3] = [1_000_000, 5_000_000, 15_000_000];
 struct Echo;
 
 impl Node for Echo {
-    fn handle(&self, _net: &Network, _src: IpAddr, payload: &[u8]) -> Option<Vec<u8>> {
-        Some(payload.to_vec())
+    fn handle(
+        &self,
+        _net: &Network,
+        _src: IpAddr,
+        payload: &[u8],
+        reply: &mut Vec<u8>,
+    ) -> Option<()> {
+        reply.extend_from_slice(payload);
+        Some(())
     }
 }
 
@@ -87,14 +94,9 @@ fn main() {
         let mut stats = Default::default();
         for _ in 0..reps {
             let t0 = std::time::Instant::now();
-            let (_, st) = run_domain_census_profiled(
-                &specs,
-                EXPERIMENT_NOW,
-                200,
-                1,
-                DEFAULT_LAB_SEED,
-                &profile,
-            );
+            let cfg = DriverConfig::clean(EXPERIMENT_NOW, 1, DEFAULT_LAB_SEED)
+                .with_profile(profile.clone());
+            let (_, st) = run_domain_census_cfg(&specs, 200, &cfg);
             let ms = t0.elapsed().as_secs_f64() * 1e3;
             if ms < best_ms {
                 best_ms = ms;

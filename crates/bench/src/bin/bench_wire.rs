@@ -1,15 +1,27 @@
-//! Bench: message encode/decode throughput and the name compression
-//! trade-off (DESIGN.md ablation 3). Writes `BENCH_wire.json`.
+//! Bench: message encode/decode throughput, the zero-copy view and
+//! pooled-buffer paths, the auth answer-template cache, and the name
+//! compression trade-off (DESIGN.md ablation 3). Writes `BENCH_wire.json`.
+//!
+//! Before timing anything, a parity gate asserts that the lazy
+//! [`MessageView`] accepts exactly the packets `Message::decode` accepts
+//! (and materializes identical messages) over a generated corpus of
+//! clean, truncated, and bit-flipped packets. CI runs this binary with
+//! reduced samples, so the gate runs on every push.
 
 use std::hint::black_box;
+use std::net::IpAddr;
+use std::rc::Rc;
 
-use dns_wire::buf::Writer;
+use dns_wire::buf::{WireBuf, Writer};
 use dns_wire::message::Message;
 use dns_wire::name::name;
 use dns_wire::rdata::RData;
 use dns_wire::record::Record;
 use dns_wire::rrtype::RrType;
+use dns_wire::view::MessageView;
 use heroes_bench::microbench::Suite;
+use netsim::{Network, Node};
+use sim_rng::{Rng, Xoshiro256pp};
 
 fn sample_response() -> Message {
     let q = Message::query(7, name("host.service.dept.example.com."), RrType::A);
@@ -37,7 +49,71 @@ fn sample_response() -> Message {
     resp
 }
 
+/// `MessageView` must agree with `Message::decode` — same accept/reject
+/// decision, and identical materialized messages on accept — for every
+/// packet in a corpus of clean encodings, every truncation prefix, and
+/// seeded random bit flips.
+fn view_decode_parity_gate() {
+    let mut corpus: Vec<Vec<u8>> = Vec::new();
+    corpus.push(Message::query(1, name("www.example.com."), RrType::A).encode());
+    let mut plain = Message::query(2, name("a.b.c.d.example."), RrType::TXT);
+    plain.edns = None;
+    corpus.push(plain.encode());
+    corpus.push(sample_response().encode());
+    let mut rng = Xoshiro256pp::seed_from_u64(0x9276_2024);
+    let mut candidates: Vec<Vec<u8>> = Vec::new();
+    for packet in &corpus {
+        for cut in 0..packet.len() {
+            candidates.push(packet[..cut].to_vec());
+        }
+        for _ in 0..256 {
+            let mut mutated = packet.clone();
+            let flips = 1 + (rng.next_u64() % 4) as usize;
+            for _ in 0..flips {
+                let idx = (rng.next_u64() % mutated.len() as u64) as usize;
+                mutated[idx] ^= 1u8 << (rng.next_u64() % 8);
+            }
+            candidates.push(mutated);
+        }
+        candidates.push(packet.clone());
+    }
+    let mut accepted = 0usize;
+    for c in &candidates {
+        let via_decode = Message::decode(c);
+        let via_view = MessageView::parse(c).and_then(|v| v.to_message());
+        match (&via_decode, &via_view) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a, b, "view and decode disagree on contents");
+                // validate() must accept too, without materializing.
+                let v = MessageView::parse(c).expect("parse succeeded above");
+                assert!(v.validate().is_ok(), "validate rejects a decodable packet");
+                accepted += 1;
+            }
+            (Err(_), Err(_)) => {
+                if let Ok(v) = MessageView::parse(c) {
+                    assert!(
+                        v.validate().is_err(),
+                        "validate accepts a packet decode rejects"
+                    );
+                }
+            }
+            _ => panic!(
+                "acceptance mismatch: decode={:?} view={:?}",
+                via_decode.is_ok(),
+                via_view.is_ok()
+            ),
+        }
+    }
+    eprintln!(
+        "parity gate: {} candidates ({} accepted) — view == decode",
+        candidates.len(),
+        accepted
+    );
+}
+
 fn main() {
+    view_decode_parity_gate();
+
     let mut suite = Suite::new("wire");
 
     let resp = sample_response();
@@ -46,36 +122,83 @@ fn main() {
     suite.bench("decode_response", || {
         Message::decode(black_box(&encoded)).unwrap()
     });
+    // The zero-copy read path: parse the header + question, then walk
+    // every record structurally (type, class, TTL, RDATA bounds) without
+    // materializing names or RDATA. Full RDATA validation (`validate()`)
+    // costs about as much as `decode_response` — it decodes every RDATA —
+    // and is measured implicitly through `auth_answer_cached` below.
+    suite.bench("decode_view", || {
+        let v = MessageView::parse(black_box(&encoded)).unwrap();
+        let q = v.question().unwrap();
+        let mut rdata_bytes = 0usize;
+        for item in v.records() {
+            let (_, rec) = item.unwrap();
+            rdata_bytes += rec.rdata_bytes().len();
+        }
+        black_box((v.id(), q.qtype(), v.ancount(), rdata_bytes))
+    });
+    // Encode through the thread-local buffer pool instead of a fresh Vec.
+    suite.bench("encode_pooled", || {
+        dns_wire::with_pooled(|buf| {
+            black_box(&resp).encode_into(buf);
+            black_box(buf.len())
+        })
+    });
+
+    // The auth server's warm answer path: template cache hit, patched in
+    // place. Warmed once before timing.
+    let auth = auth_fixture();
+    let net = Network::new(1);
+    let server = Rc::new(auth);
+    let src: IpAddr = "10.9.9.9".parse().unwrap();
+    let query = Message::query(7, name("host.bench.example."), RrType::A).encode();
+    let mut reply = Vec::new();
+    server
+        .handle(&net, src, &query, &mut reply)
+        .expect("warmup answer");
+    suite.bench("auth_answer_cached", || {
+        reply.clear();
+        server.handle(&net, src, black_box(&query), &mut reply);
+        black_box(reply.len())
+    });
 
     // Same 20 names written with and without compression.
     let names: Vec<_> = (0..20)
         .map(|i| name(&format!("host{i}.sub.department.example.com.")))
         .collect();
+    let mut comp_out = Vec::new();
+    let mut comp_scratch = WireBuf::new();
     suite.bench("write_names_compressing", || {
-        let mut w = Writer::compressing();
+        comp_out.clear();
+        let mut w = Writer::compressing(&mut comp_out, &mut comp_scratch);
         for n in &names {
             w.name(black_box(n));
         }
-        w.finish()
+        black_box(comp_out.len())
     });
+    let mut plain_out = Vec::new();
     suite.bench("write_names_plain", || {
-        let mut w = Writer::plain();
+        plain_out.clear();
+        let mut w = Writer::plain(&mut plain_out);
         for n in &names {
             w.name(black_box(n));
         }
-        w.finish()
+        black_box(plain_out.len())
     });
     // Size comparison printed once for the record.
-    let mut wc = Writer::compressing();
-    let mut wp = Writer::plain();
-    for n in &names {
-        wc.name(n);
-        wp.name(n);
+    let (mut wc_out, mut wc_scratch, mut wp_out) = (Vec::new(), WireBuf::new(), Vec::new());
+    {
+        let mut wc = Writer::compressing(&mut wc_out, &mut wc_scratch);
+        let mut wp = Writer::plain(&mut wp_out);
+        for n in &names {
+            wc.name(n);
+            wp.name(n);
+        }
     }
     eprintln!(
         "compression saves {} of {} bytes on 20 sibling names",
-        wp.len() - wc.len(),
-        wp.len()
+        wp_out.len() - wc_out.len(),
+        wp_out.len()
     );
 
     let rec = Record::new(
@@ -90,11 +213,54 @@ fn main() {
             types: [RrType::A, RrType::RRSIG].into_iter().collect(),
         },
     );
+    let mut rec_out = Vec::new();
     suite.bench("nsec3_record_encode", || {
-        let mut w = Writer::plain();
+        rec_out.clear();
+        let mut w = Writer::plain(&mut rec_out);
         black_box(&rec).encode(&mut w);
-        w.finish()
+        black_box(rec_out.len())
     });
 
     suite.finish();
+}
+
+/// A signed single-zone server for the warm-path row.
+fn auth_fixture() -> dns_auth::AuthServer {
+    use dns_zone::signer::{sign_zone, SignerConfig};
+    use dns_zone::Zone;
+    let mut z = Zone::new(name("bench.example."));
+    z.add(Record::new(
+        name("bench.example."),
+        3600,
+        RData::Soa {
+            mname: name("ns1.bench.example."),
+            rname: name("host.bench.example."),
+            serial: 1,
+            refresh: 7200,
+            retry: 3600,
+            expire: 1209600,
+            minimum: 300,
+        },
+    ))
+    .unwrap();
+    z.add(Record::new(
+        name("bench.example."),
+        3600,
+        RData::Ns(name("ns1.bench.example.")),
+    ))
+    .unwrap();
+    z.add(Record::new(
+        name("host.bench.example."),
+        300,
+        RData::A("192.0.2.1".parse().unwrap()),
+    ))
+    .unwrap();
+    let signed = sign_zone(
+        &z,
+        &SignerConfig::standard(&name("bench.example."), 1_710_000_000),
+    )
+    .unwrap();
+    let server = dns_auth::AuthServer::new();
+    server.add_zone(signed);
+    server
 }

@@ -12,7 +12,9 @@
 
 use analysis::{compare_line, fmt_count, fmt_pct, DomainStats};
 use heroes_bench::{fmt_scale, header, Options, EXPERIMENT_NOW};
-use nsec3_core::experiments::{records_from_specs, run_domain_census_with, DEFAULT_LAB_SEED};
+use nsec3_core::experiments::{
+    records_from_specs, run_domain_census_cfg, DriverConfig, DEFAULT_LAB_SEED,
+};
 use popgen::domains::DnssecKind;
 use popgen::{generate_domains, generate_tlds, generate_tlds_after_remediation, Scale};
 
@@ -110,8 +112,8 @@ fn main() {
     ));
     let sample: Vec<_> = specs.iter().take(opts.e2e_sample).cloned().collect();
     let t0 = std::time::Instant::now();
-    let measured =
-        run_domain_census_with(&sample, EXPERIMENT_NOW, 200, opts.threads, DEFAULT_LAB_SEED);
+    let cfg = DriverConfig::clean(EXPERIMENT_NOW, opts.threads, DEFAULT_LAB_SEED);
+    let measured = run_domain_census_cfg(&sample, 200, &cfg).0;
     let declared = records_from_specs(&sample);
     let mut mismatches = 0;
     for (m, d) in measured.iter().zip(declared.iter()) {

@@ -8,7 +8,7 @@
 use analysis::resolvers::Panel;
 use analysis::{figure3_csv, figure3_series, figure3_svg, render_figure3_panel};
 use heroes_bench::{fmt_scale, header, write_artifact, Options, EXPERIMENT_NOW};
-use nsec3_core::experiments::{run_resolver_study_with, DEFAULT_LAB_SEED};
+use nsec3_core::experiments::{run_resolver_study_cfg, DriverConfig, DEFAULT_LAB_SEED};
 use nsec3_core::testbed::paper_subdomain_count;
 use popgen::{generate_fleet, Scale};
 
@@ -26,7 +26,10 @@ fn main() {
         fleet.len()
     );
     let t0 = std::time::Instant::now();
-    let study = run_resolver_study_with(EXPERIMENT_NOW, &fleet, opts.threads, DEFAULT_LAB_SEED);
+    let study = run_resolver_study_cfg(
+        &fleet,
+        &DriverConfig::clean(EXPERIMENT_NOW, opts.threads, DEFAULT_LAB_SEED),
+    );
     println!("study completed in {:?}", t0.elapsed());
 
     for (panel, classifications) in &study.per_panel {

@@ -8,7 +8,7 @@ use std::fmt::Write as _;
 use analysis::{figure3_series, operator_table, DomainStats, ResolverStats};
 use heroes_bench::{fmt_scale, write_artifact, Options, EXPERIMENT_NOW};
 use nsec3_core::experiments::{
-    records_from_specs, run_resolver_study_with, run_tld_census_with, DEFAULT_LAB_SEED,
+    records_from_specs, run_resolver_study_cfg, run_tld_census_cfg, DriverConfig, DEFAULT_LAB_SEED,
 };
 use popgen::domains::DnssecKind;
 use popgen::{generate_domains, generate_fleet, generate_tlds, generate_tranco, Scale};
@@ -136,13 +136,12 @@ fn main() {
     // TLDs end to end.
     eprintln!("[4/5] TLD census (end to end)…");
     let tlds = generate_tlds();
-    let observed = run_tld_census_with(
+    let observed = run_tld_census_cfg(
         &tlds,
-        EXPERIMENT_NOW,
         1.0 / 2_000.0,
-        opts.threads,
-        DEFAULT_LAB_SEED,
-    );
+        &DriverConfig::clean(EXPERIMENT_NOW, opts.threads, DEFAULT_LAB_SEED),
+    )
+    .0;
     let nsec3_tlds: Vec<_> = observed.iter().filter(|t| t.nsec3.is_some()).collect();
     report.section("§5.1 TLDs (measured end to end)");
     report.row(
@@ -178,7 +177,10 @@ fn main() {
     // §5.2 resolvers.
     eprintln!("[5/5] resolver study (this is the long one)…");
     let fleet = generate_fleet(fleet_scale, opts.seed);
-    let study = run_resolver_study_with(EXPERIMENT_NOW, &fleet, opts.threads, DEFAULT_LAB_SEED);
+    let study = run_resolver_study_cfg(
+        &fleet,
+        &DriverConfig::clean(EXPERIMENT_NOW, opts.threads, DEFAULT_LAB_SEED),
+    );
     let rstats = ResolverStats::compute(&study.all());
     report.section("§5.2 validating resolvers (Figure 3, items 6–12)");
     report.row(

@@ -10,7 +10,9 @@
 
 use analysis::{compare_line, fmt_pct, ResolverStats};
 use heroes_bench::{fmt_scale, header, Options, EXPERIMENT_NOW};
-use nsec3_core::experiments::{run_resolver_study_with, run_unreachability_with, DEFAULT_LAB_SEED};
+use nsec3_core::experiments::{
+    run_resolver_study_cfg, run_unreachability_cfg, DriverConfig, DEFAULT_LAB_SEED,
+};
 use popgen::{generate_domains, generate_fleet, Scale};
 
 fn main() {
@@ -22,7 +24,10 @@ fn main() {
     );
     let fleet = generate_fleet(opts.scale, opts.seed);
     let t0 = std::time::Instant::now();
-    let study = run_resolver_study_with(EXPERIMENT_NOW, &fleet, opts.threads, DEFAULT_LAB_SEED);
+    let study = run_resolver_study_cfg(
+        &fleet,
+        &DriverConfig::clean(EXPERIMENT_NOW, opts.threads, DEFAULT_LAB_SEED),
+    );
     let all = study.all();
     println!(
         "probed {} resolvers across 4 pools in {:?} ({} worker thread(s))",
@@ -153,13 +158,12 @@ fn main() {
     // 1/10,000 keeps the absolute tail injections (213 domains) a small
     // fraction of the NSEC3 sample, so the share stays calibrated.
     let domains = generate_domains(Scale(1.0 / 10_000.0), opts.seed);
-    let result = run_unreachability_with(
+    let result = run_unreachability_cfg(
         &domains,
-        EXPERIMENT_NOW,
         250,
-        opts.threads,
-        DEFAULT_LAB_SEED,
-    );
+        &DriverConfig::clean(EXPERIMENT_NOW, opts.threads, DEFAULT_LAB_SEED),
+    )
+    .0;
     print!(
         "{}",
         compare_line(

@@ -8,7 +8,9 @@
 
 use analysis::{pct, ResolverStats};
 use heroes_bench::{fmt_scale, header, Options, EXPERIMENT_NOW};
-use nsec3_core::experiments::{records_from_specs, run_resolver_study_with, DEFAULT_LAB_SEED};
+use nsec3_core::experiments::{
+    records_from_specs, run_resolver_study_cfg, DriverConfig, DEFAULT_LAB_SEED,
+};
 use popgen::resolvers::generate_fleet_with_mix;
 use popgen::{eras, generate_domains, Scale};
 
@@ -35,7 +37,10 @@ fn main() {
     );
     for era in eras() {
         let fleet = generate_fleet_with_mix(opts.scale, opts.seed, era.mix);
-        let study = run_resolver_study_with(EXPERIMENT_NOW, &fleet, opts.threads, DEFAULT_LAB_SEED);
+        let study = run_resolver_study_cfg(
+            &fleet,
+            &DriverConfig::clean(EXPERIMENT_NOW, opts.threads, DEFAULT_LAB_SEED),
+        );
         let stats = ResolverStats::compute(&study.all());
         let dominant = stats
             .insecure_limits

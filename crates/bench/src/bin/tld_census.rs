@@ -5,7 +5,7 @@
 
 use analysis::{compare_line, fmt_pct, pct};
 use heroes_bench::{header, Options, EXPERIMENT_NOW};
-use nsec3_core::{run_tld_census_with, DEFAULT_LAB_SEED};
+use nsec3_core::{run_tld_census_cfg, DriverConfig, DEFAULT_LAB_SEED};
 use popgen::{generate_tlds, Scale};
 
 fn main() {
@@ -13,13 +13,12 @@ fn main() {
     let tlds = generate_tlds();
     // Delegation contents scaled 1/1000 inside each zone (capped at 200).
     let t0 = std::time::Instant::now();
-    let observed = run_tld_census_with(
+    let observed = run_tld_census_cfg(
         &tlds,
-        EXPERIMENT_NOW,
         1.0 / 1_000.0,
-        opts.threads,
-        DEFAULT_LAB_SEED,
-    );
+        &DriverConfig::clean(EXPERIMENT_NOW, opts.threads, DEFAULT_LAB_SEED),
+    )
+    .0;
     println!(
         "scanned {} TLD zones end to end in {:?} ({} worker thread(s))",
         observed.len(),

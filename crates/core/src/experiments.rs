@@ -5,9 +5,10 @@
 //!
 //! # Parallelism and determinism
 //!
-//! Each driver comes in two flavors: the plain entry point (thread count
-//! from `HEROES_THREADS`, lab seed [`DEFAULT_LAB_SEED`]) and a `_with`
-//! variant taking both explicitly. Work is split into contiguous
+//! Each driver comes in two flavors: the plain entry point (a
+//! [`DriverConfig::from_env`]: thread count from `HEROES_THREADS`, lab
+//! seed [`DEFAULT_LAB_SEED`], profile from `HEROES_FAULTS`) and a `_cfg`
+//! variant taking an explicit [`DriverConfig`]. Work is split into contiguous
 //! index-range shards via [`sim_par`]; every shard builds its **own** lab
 //! (the `Rc`-based simulation is deliberately not `Send`) from a
 //! per-shard seed, and results merge strictly in spec-index order. Three
@@ -19,18 +20,19 @@
 //!    per-shard lab seeds cannot influence observations;
 //! 3. anything address-valued in the output (resolver classifications)
 //!    is pinned by replaying the allocation offsets a shard's
-//!    predecessors would have consumed (see [`run_resolver_study_with`]).
+//!    predecessors would have consumed (see [`run_resolver_study_cfg`]).
 //!
 //! # Faults and loss accounting
 //!
-//! Every driver also comes in a `_profiled` flavor taking a
-//! [`ScanProfile`]: a [`FaultSchedule`] layered onto each lab network, a
-//! [`RetryPolicy`] for every probe, and a circuit-breaker config. Probe
-//! traffic is accounted in a [`ProbeStats`] (merged shard-wise; plain
-//! sums, so order-independent) satisfying
+//! Every [`DriverConfig`] carries a [`ScanProfile`]: a
+//! [`FaultSchedule`] layered onto each lab network, a [`RetryPolicy`]
+//! for every probe, and a circuit-breaker config. Probe traffic is
+//! accounted in a [`ProbeStats`] (merged shard-wise; plain sums, so
+//! order-independent) satisfying
 //! `sent = answered + timed_out + circuit_skipped`. The plain entry
-//! points consult `HEROES_FAULTS` (see [`fault_profile_from_env`]); the
-//! `_with` variants stay explicitly clean so golden outputs never move.
+//! points consult `HEROES_FAULTS` (see [`fault_profile_from_env`]);
+//! [`DriverConfig::clean`] stays explicitly clean so golden outputs
+//! never move.
 //! Fault *episodes* key their decisions off the schedule seed and
 //! per-flow counters — never the lab RNG — so flow-keyed episodes
 //! (always-on [`EpisodeKind::Flap`], [`EpisodeKind::LatencySpike`],
@@ -121,14 +123,62 @@ impl ScanProfile {
     }
 }
 
-/// The profile the plain (non-`_with`, non-`_profiled`) drivers run
-/// under: `HEROES_FAULTS=lossy` selects [`ScanProfile::lossy`] (seeded
-/// from [`DEFAULT_LAB_SEED`]), anything else — including unset — the
-/// clean profile.
+/// The profile the plain (non-`_cfg`) drivers run under:
+/// `HEROES_FAULTS=lossy` selects [`ScanProfile::lossy`] (seeded from
+/// [`DEFAULT_LAB_SEED`]), anything else — including unset — the clean
+/// profile.
 pub fn fault_profile_from_env() -> ScanProfile {
     match std::env::var("HEROES_FAULTS") {
         Ok(v) if v.trim() == "lossy" => ScanProfile::lossy(DEFAULT_LAB_SEED),
         _ => ScanProfile::clean(),
+    }
+}
+
+/// Every knob the experiment drivers share. One `_cfg` entry point per
+/// experiment takes this instead of the historical `now, threads,
+/// lab_seed[, profile]` positional sprawl (`_with`/`_profiled`, now
+/// deprecated thin wrappers).
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// Validation epoch the labs are built at.
+    pub now: u32,
+    /// Worker count for the sharded pipelines; output is identical for
+    /// every value.
+    pub threads: usize,
+    /// Seed every lab network derives from.
+    pub lab_seed: u64,
+    /// Fault schedule + retry policy + breaker for every probe.
+    pub profile: ScanProfile,
+}
+
+impl DriverConfig {
+    /// Explicit parallelism on a clean network — what the `_with`
+    /// drivers hard-coded.
+    pub fn clean(now: u32, threads: usize, lab_seed: u64) -> Self {
+        DriverConfig {
+            now,
+            threads,
+            lab_seed,
+            profile: ScanProfile::clean(),
+        }
+    }
+
+    /// Environment-driven configuration, matching the plain drivers:
+    /// `HEROES_THREADS` picks the worker count, `HEROES_FAULTS` the
+    /// profile, and the lab seed is [`DEFAULT_LAB_SEED`].
+    pub fn from_env(now: u32) -> Self {
+        DriverConfig {
+            now,
+            threads: sim_par::default_threads(),
+            lab_seed: DEFAULT_LAB_SEED,
+            profile: fault_profile_from_env(),
+        }
+    }
+
+    /// The same configuration under `profile`.
+    pub fn with_profile(mut self, profile: ScanProfile) -> Self {
+        self.profile = profile;
+        self
     }
 }
 
@@ -186,52 +236,27 @@ fn zone_spec_for_domain(spec: &DomainSpec) -> Option<ZoneSpec> {
 /// Thread count from `HEROES_THREADS` (default 1); output is identical
 /// for every thread count.
 pub fn run_domain_census(specs: &[DomainSpec], now: u32, batch_size: usize) -> Vec<DomainRecord> {
-    run_domain_census_profiled(
-        specs,
-        now,
-        batch_size,
-        sim_par::default_threads(),
-        DEFAULT_LAB_SEED,
-        &fault_profile_from_env(),
-    )
-    .0
+    run_domain_census_cfg(specs, batch_size, &DriverConfig::from_env(now)).0
 }
 
-/// [`run_domain_census`] with explicit thread count and lab seed,
-/// always on a clean network. Specs are split into contiguous shards,
-/// one worker per shard; each worker runs the batched census on its own
-/// labs and results merge in spec order.
-pub fn run_domain_census_with(
+/// [`run_domain_census`] under an explicit [`DriverConfig`], with probe
+/// traffic loss-accounted: returns the records plus the merged
+/// [`ProbeStats`] of every shard. Specs are split into contiguous
+/// shards, one worker per shard; each worker runs the batched census on
+/// its own labs and results merge in spec order.
+pub fn run_domain_census_cfg(
     specs: &[DomainSpec],
-    now: u32,
     batch_size: usize,
-    threads: usize,
-    lab_seed: u64,
-) -> Vec<DomainRecord> {
-    run_domain_census_profiled(
-        specs,
-        now,
-        batch_size,
-        threads,
-        lab_seed,
-        &ScanProfile::clean(),
-    )
-    .0
-}
-
-/// [`run_domain_census_with`] under an explicit [`ScanProfile`], with
-/// probe traffic loss-accounted: returns the records plus the merged
-/// [`ProbeStats`] of every shard.
-pub fn run_domain_census_profiled(
-    specs: &[DomainSpec],
-    now: u32,
-    batch_size: usize,
-    threads: usize,
-    lab_seed: u64,
-    profile: &ScanProfile,
+    cfg: &DriverConfig,
 ) -> (Vec<DomainRecord>, ProbeStats) {
-    let partials = sim_par::run_sharded(specs, threads, lab_seed, |shard, slice| {
-        vec![census_shard(slice, now, batch_size, shard.seed, profile)]
+    let partials = sim_par::run_sharded(specs, cfg.threads, cfg.lab_seed, |shard, slice| {
+        vec![census_shard(
+            slice,
+            cfg.now,
+            batch_size,
+            shard.seed,
+            &cfg.profile,
+        )]
     });
     let mut records = Vec::with_capacity(specs.len());
     let mut stats = ProbeStats::default();
@@ -240,6 +265,38 @@ pub fn run_domain_census_profiled(
         stats.merge(&shard_stats);
     }
     (records, stats)
+}
+
+/// Deprecated positional form of [`run_domain_census_cfg`] on a clean
+/// network.
+#[deprecated(note = "use run_domain_census_cfg with DriverConfig::clean")]
+pub fn run_domain_census_with(
+    specs: &[DomainSpec],
+    now: u32,
+    batch_size: usize,
+    threads: usize,
+    lab_seed: u64,
+) -> Vec<DomainRecord> {
+    run_domain_census_cfg(
+        specs,
+        batch_size,
+        &DriverConfig::clean(now, threads, lab_seed),
+    )
+    .0
+}
+
+/// Deprecated positional form of [`run_domain_census_cfg`].
+#[deprecated(note = "use run_domain_census_cfg with DriverConfig")]
+pub fn run_domain_census_profiled(
+    specs: &[DomainSpec],
+    now: u32,
+    batch_size: usize,
+    threads: usize,
+    lab_seed: u64,
+    profile: &ScanProfile,
+) -> (Vec<DomainRecord>, ProbeStats) {
+    let cfg = DriverConfig::clean(now, threads, lab_seed).with_profile(profile.clone());
+    run_domain_census_cfg(specs, batch_size, &cfg)
 }
 
 /// One shard of the domain census: the sequential batched pipeline over
@@ -357,52 +414,27 @@ pub fn run_tld_census(
     now: u32,
     domains_scale: f64,
 ) -> Vec<TldObservation> {
-    run_tld_census_profiled(
-        tlds,
-        now,
-        domains_scale,
-        sim_par::default_threads(),
-        DEFAULT_LAB_SEED,
-        &fault_profile_from_env(),
-    )
-    .0
+    run_tld_census_cfg(tlds, domains_scale, &DriverConfig::from_env(now)).0
 }
 
-/// [`run_tld_census`] with explicit thread count and lab seed, always on
-/// a clean network. Each shard instantiates only its own TLDs (plus the
-/// root) in a private lab; a TLD's observation never depends on which
-/// siblings share the root, so the merged output equals the sequential
-/// one.
-pub fn run_tld_census_with(
+/// [`run_tld_census`] under an explicit [`DriverConfig`], returning the
+/// merged per-shard [`ProbeStats`] alongside the observations. Each
+/// shard instantiates only its own TLDs (plus the root) in a private
+/// lab; a TLD's observation never depends on which siblings share the
+/// root, so the merged output equals the sequential one.
+pub fn run_tld_census_cfg(
     tlds: &[popgen::tlds::TldSpec],
-    now: u32,
     domains_scale: f64,
-    threads: usize,
-    lab_seed: u64,
-) -> Vec<TldObservation> {
-    run_tld_census_profiled(
-        tlds,
-        now,
-        domains_scale,
-        threads,
-        lab_seed,
-        &ScanProfile::clean(),
-    )
-    .0
-}
-
-/// [`run_tld_census_with`] under an explicit [`ScanProfile`], returning
-/// the merged per-shard [`ProbeStats`] alongside the observations.
-pub fn run_tld_census_profiled(
-    tlds: &[popgen::tlds::TldSpec],
-    now: u32,
-    domains_scale: f64,
-    threads: usize,
-    lab_seed: u64,
-    profile: &ScanProfile,
+    cfg: &DriverConfig,
 ) -> (Vec<TldObservation>, ProbeStats) {
-    let partials = sim_par::run_sharded(tlds, threads, lab_seed, |shard, slice| {
-        vec![tld_shard(slice, now, domains_scale, shard.seed, profile)]
+    let partials = sim_par::run_sharded(tlds, cfg.threads, cfg.lab_seed, |shard, slice| {
+        vec![tld_shard(
+            slice,
+            cfg.now,
+            domains_scale,
+            shard.seed,
+            &cfg.profile,
+        )]
     });
     let mut out = Vec::with_capacity(tlds.len());
     let mut stats = ProbeStats::default();
@@ -411,6 +443,38 @@ pub fn run_tld_census_profiled(
         stats.merge(&shard_stats);
     }
     (out, stats)
+}
+
+/// Deprecated positional form of [`run_tld_census_cfg`] on a clean
+/// network.
+#[deprecated(note = "use run_tld_census_cfg with DriverConfig::clean")]
+pub fn run_tld_census_with(
+    tlds: &[popgen::tlds::TldSpec],
+    now: u32,
+    domains_scale: f64,
+    threads: usize,
+    lab_seed: u64,
+) -> Vec<TldObservation> {
+    run_tld_census_cfg(
+        tlds,
+        domains_scale,
+        &DriverConfig::clean(now, threads, lab_seed),
+    )
+    .0
+}
+
+/// Deprecated positional form of [`run_tld_census_cfg`].
+#[deprecated(note = "use run_tld_census_cfg with DriverConfig")]
+pub fn run_tld_census_profiled(
+    tlds: &[popgen::tlds::TldSpec],
+    now: u32,
+    domains_scale: f64,
+    threads: usize,
+    lab_seed: u64,
+    profile: &ScanProfile,
+) -> (Vec<TldObservation>, ProbeStats) {
+    let cfg = DriverConfig::clean(now, threads, lab_seed).with_profile(profile.clone());
+    run_tld_census_cfg(tlds, domains_scale, &cfg)
 }
 
 /// One shard of the TLD census: the sequential pipeline over `tlds`.
@@ -560,50 +624,28 @@ fn fleet_addr_consumption(specs: &[ResolverSpec]) -> (u32, u128) {
 /// Thread count from `HEROES_THREADS` (default 1); output is identical
 /// for every thread count.
 pub fn run_resolver_study(now: u32, specs: &[ResolverSpec]) -> ResolverStudy {
-    run_resolver_study_profiled(
-        now,
-        specs,
-        sim_par::default_threads(),
-        DEFAULT_LAB_SEED,
-        &fault_profile_from_env(),
-    )
+    run_resolver_study_cfg(specs, &DriverConfig::from_env(now))
 }
 
-/// [`run_resolver_study`] with explicit thread count and lab seed. Each
+/// [`run_resolver_study`] under an explicit [`DriverConfig`]. Each
 /// shard builds its own testbed (identical zone hierarchy and address
 /// allocation), allocates the scanner vantage addresses, pre-skips the
 /// fleet addresses consumed by the specs before its range
 /// ([`fleet_addr_consumption`]), and deploys only its own slice — so a
 /// resolver's address, and therefore its cache-busting probe labels and
-/// classification, are independent of the thread count.
-pub fn run_resolver_study_with(
-    now: u32,
-    specs: &[ResolverSpec],
-    threads: usize,
-    lab_seed: u64,
-) -> ResolverStudy {
-    run_resolver_study_profiled(now, specs, threads, lab_seed, &ScanProfile::clean())
-}
-
-/// [`run_resolver_study_with`] under an explicit [`ScanProfile`]. Every
+/// classification, are independent of the thread count. Every
 /// classification is kept — resolvers whose probes were all lost come
 /// back `unreachable`, partially-covered ones `partial` — and the merged
 /// [`ProbeStats`] ride along in [`ResolverStudy::stats`].
-pub fn run_resolver_study_profiled(
-    now: u32,
-    specs: &[ResolverSpec],
-    threads: usize,
-    lab_seed: u64,
-    profile: &ScanProfile,
-) -> ResolverStudy {
-    let partials = sim_par::run_sharded(specs, threads, lab_seed, |shard, slice| {
+pub fn run_resolver_study_cfg(specs: &[ResolverSpec], cfg: &DriverConfig) -> ResolverStudy {
+    let partials = sim_par::run_sharded(specs, cfg.threads, cfg.lab_seed, |shard, slice| {
         vec![resolver_shard(
-            now,
+            cfg.now,
             shard.seed,
             specs,
             shard.start,
             slice,
-            profile,
+            &cfg.profile,
         )]
     });
     let mut per_panel: BTreeMap<Panel, Vec<ResolverClassification>> = BTreeMap::new();
@@ -615,6 +657,31 @@ pub fn run_resolver_study_profiled(
         stats.merge(&shard_stats);
     }
     ResolverStudy { per_panel, stats }
+}
+
+/// Deprecated positional form of [`run_resolver_study_cfg`] on a clean
+/// network.
+#[deprecated(note = "use run_resolver_study_cfg with DriverConfig::clean")]
+pub fn run_resolver_study_with(
+    now: u32,
+    specs: &[ResolverSpec],
+    threads: usize,
+    lab_seed: u64,
+) -> ResolverStudy {
+    run_resolver_study_cfg(specs, &DriverConfig::clean(now, threads, lab_seed))
+}
+
+/// Deprecated positional form of [`run_resolver_study_cfg`].
+#[deprecated(note = "use run_resolver_study_cfg with DriverConfig")]
+pub fn run_resolver_study_profiled(
+    now: u32,
+    specs: &[ResolverSpec],
+    threads: usize,
+    lab_seed: u64,
+    profile: &ScanProfile,
+) -> ResolverStudy {
+    let cfg = DriverConfig::clean(now, threads, lab_seed).with_profile(profile.clone());
+    run_resolver_study_cfg(specs, &cfg)
 }
 
 /// One shard of the resolver study: classify `slice`
@@ -706,60 +773,34 @@ impl Unreachability {
 /// Thread count from `HEROES_THREADS` (default 1); counts are identical
 /// for every thread count.
 pub fn run_unreachability(specs: &[DomainSpec], now: u32, batch_size: usize) -> Unreachability {
-    run_unreachability_profiled(
-        specs,
-        now,
-        batch_size,
-        sim_par::default_threads(),
-        DEFAULT_LAB_SEED,
-        &fault_profile_from_env(),
-    )
-    .0
+    run_unreachability_cfg(specs, batch_size, &DriverConfig::from_env(now)).0
 }
 
-/// [`run_unreachability`] with explicit thread count and lab seed, always
-/// on a clean network. Shards return partial counts which sum to the
-/// sequential totals (addition is order-independent, so this driver needs
-/// no merge-order argument).
-pub fn run_unreachability_with(
-    specs: &[DomainSpec],
-    now: u32,
-    batch_size: usize,
-    threads: usize,
-    lab_seed: u64,
-) -> Unreachability {
-    run_unreachability_profiled(
-        specs,
-        now,
-        batch_size,
-        threads,
-        lab_seed,
-        &ScanProfile::clean(),
-    )
-    .0
-}
-
-/// [`run_unreachability_with`] under an explicit [`ScanProfile`]: lost
+/// [`run_unreachability`] under an explicit [`DriverConfig`]: lost
 /// probes land in [`Unreachability::lost`] instead of inflating the
-/// unreachable count, and the merged [`ProbeStats`] ride along.
-pub fn run_unreachability_profiled(
+/// unreachable count, and the merged [`ProbeStats`] ride along. Shards
+/// return partial counts which sum to the sequential totals (addition
+/// is order-independent, so this driver needs no merge-order argument).
+pub fn run_unreachability_cfg(
     specs: &[DomainSpec],
-    now: u32,
     batch_size: usize,
-    threads: usize,
-    lab_seed: u64,
-    profile: &ScanProfile,
+    cfg: &DriverConfig,
 ) -> (Unreachability, ProbeStats) {
     let nsec3_sample: Vec<DomainSpec> = specs
         .iter()
         .filter(|s| s.nsec3().is_some())
         .cloned()
         .collect();
-    let partials = sim_par::run_sharded(&nsec3_sample, threads, lab_seed, |shard, slice| {
-        vec![unreachability_shard(
-            slice, now, batch_size, shard.seed, profile,
-        )]
-    });
+    let partials =
+        sim_par::run_sharded(&nsec3_sample, cfg.threads, cfg.lab_seed, |shard, slice| {
+            vec![unreachability_shard(
+                slice,
+                cfg.now,
+                batch_size,
+                shard.seed,
+                &cfg.profile,
+            )]
+        });
     let mut result = Unreachability {
         probed: 0,
         unreachable: 0,
@@ -775,6 +816,38 @@ pub fn run_unreachability_profiled(
         stats.merge(&shard_stats);
     }
     (result, stats)
+}
+
+/// Deprecated positional form of [`run_unreachability_cfg`] on a clean
+/// network.
+#[deprecated(note = "use run_unreachability_cfg with DriverConfig::clean")]
+pub fn run_unreachability_with(
+    specs: &[DomainSpec],
+    now: u32,
+    batch_size: usize,
+    threads: usize,
+    lab_seed: u64,
+) -> Unreachability {
+    run_unreachability_cfg(
+        specs,
+        batch_size,
+        &DriverConfig::clean(now, threads, lab_seed),
+    )
+    .0
+}
+
+/// Deprecated positional form of [`run_unreachability_cfg`].
+#[deprecated(note = "use run_unreachability_cfg with DriverConfig")]
+pub fn run_unreachability_profiled(
+    specs: &[DomainSpec],
+    now: u32,
+    batch_size: usize,
+    threads: usize,
+    lab_seed: u64,
+    profile: &ScanProfile,
+) -> (Unreachability, ProbeStats) {
+    let cfg = DriverConfig::clean(now, threads, lab_seed).with_profile(profile.clone());
+    run_unreachability_cfg(specs, batch_size, &cfg)
 }
 
 /// One shard of the unreachability probe: the sequential batched pipeline
@@ -953,6 +1026,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // deliberately exercises the legacy wrappers
     fn clean_profile_matches_legacy_driver_and_accounts_probes() {
         let specs = popgen::generate_domains(Scale(1.0 / 2_000_000.0), 3);
         let sample: Vec<DomainSpec> = specs.into_iter().take(20).collect();
@@ -1017,9 +1091,15 @@ mod tests {
     fn sharded_census_matches_sequential() {
         let specs = popgen::generate_domains(Scale(1.0 / 2_000_000.0), 3);
         let sample: Vec<DomainSpec> = specs.into_iter().take(24).collect();
-        let sequential = run_domain_census_with(&sample, NOW, 10, 1, DEFAULT_LAB_SEED);
+        let sequential =
+            run_domain_census_cfg(&sample, 10, &DriverConfig::clean(NOW, 1, DEFAULT_LAB_SEED)).0;
         for threads in [2, 3] {
-            let sharded = run_domain_census_with(&sample, NOW, 10, threads, DEFAULT_LAB_SEED);
+            let sharded = run_domain_census_cfg(
+                &sample,
+                10,
+                &DriverConfig::clean(NOW, threads, DEFAULT_LAB_SEED),
+            )
+            .0;
             assert_eq!(sharded.len(), sequential.len(), "threads = {threads}");
             for (a, b) in sharded.iter().zip(sequential.iter()) {
                 assert_eq!(a.name, b.name, "threads = {threads}");

@@ -9,9 +9,10 @@
 //! * [`experiments`] — end-to-end drivers: the §4.1 domain census, the
 //!   §4.2 resolver study, and the CVE-2023-50868 cost sweep.
 //!
-//! Every driver also has a `_with` variant taking an explicit worker
-//! thread count (default: the `HEROES_THREADS` environment variable);
-//! output is byte-identical for every thread count.
+//! Every driver also has a `_cfg` variant taking an explicit
+//! [`DriverConfig`] (thread count, lab seed, fault profile); the plain
+//! drivers read `HEROES_THREADS`/`HEROES_FAULTS` from the environment.
+//! Output is byte-identical for every thread count.
 //!
 //! ```no_run
 //! use nsec3_core::experiments::run_resolver_study;
@@ -31,10 +32,14 @@ pub mod fleet;
 pub mod testbed;
 
 pub use experiments::{
-    cve_cost_sweep, records_from_specs, run_domain_census, run_domain_census_with,
-    run_resolver_study, run_resolver_study_with, run_tld_census, run_tld_census_with,
-    run_unreachability, run_unreachability_with, CvePoint, ResolverStudy, TldObservation,
-    Unreachability, DEFAULT_LAB_SEED,
+    cve_cost_sweep, records_from_specs, run_domain_census, run_domain_census_cfg,
+    run_resolver_study, run_resolver_study_cfg, run_tld_census, run_tld_census_cfg,
+    run_unreachability, run_unreachability_cfg, CvePoint, DriverConfig, ResolverStudy,
+    TldObservation, Unreachability, DEFAULT_LAB_SEED,
+};
+#[allow(deprecated)]
+pub use experiments::{
+    run_domain_census_with, run_resolver_study_with, run_tld_census_with, run_unreachability_with,
 };
 pub use fleet::{deploy_fleet, policy_for, DeployedResolver};
 pub use testbed::{build_testbed, build_testbed_seeded, iteration_values, Testbed, TEST_DOMAIN};

@@ -9,12 +9,17 @@
 use dns_scanner::retry::BreakerConfig;
 use netsim::{Episode, EpisodeKind, FaultSchedule, RetryPolicy, Scope};
 use nsec3_core::experiments::{
-    run_domain_census_profiled, run_resolver_study_profiled, ScanProfile, DEFAULT_LAB_SEED,
+    run_domain_census_cfg, run_resolver_study_cfg, DriverConfig, ScanProfile, DEFAULT_LAB_SEED,
 };
 use popgen::{generate_domains, generate_fleet, Scale};
 use sim_check::{gens, props};
 
 const NOW: u32 = 1_710_000_000;
+
+/// Shorthand: a clean config at `threads` carrying `profile`.
+fn cfg_with(threads: usize, profile: &ScanProfile) -> DriverConfig {
+    DriverConfig::clean(NOW, threads, DEFAULT_LAB_SEED).with_profile(profile.clone())
+}
 
 /// A deliberately nasty flow-keyed profile: random loss, jittered
 /// latency, adaptive backoff, breaker armed — everything derived from
@@ -57,9 +62,9 @@ props! {
             .collect();
         let profile = flow_keyed_profile(seed);
         let (rec1, st1) =
-            run_domain_census_profiled(&specs, NOW, 1, 1, DEFAULT_LAB_SEED, &profile);
+            run_domain_census_cfg(&specs, 1, &cfg_with(1, &profile));
         let (rec4, st4) =
-            run_domain_census_profiled(&specs, NOW, 1, 4, DEFAULT_LAB_SEED, &profile);
+            run_domain_census_cfg(&specs, 1, &cfg_with(4, &profile));
         assert_eq!(
             format!("{rec1:?}"),
             format!("{rec4:?}"),
@@ -76,8 +81,8 @@ props! {
     fn faulty_resolver_study_replays_across_threads(seed in gens::u64s(..)) {
         let fleet = generate_fleet(Scale(1.0 / 50_000.0), seed ^ 2);
         let profile = flow_keyed_profile(seed);
-        let s1 = run_resolver_study_profiled(NOW, &fleet, 1, DEFAULT_LAB_SEED, &profile);
-        let s4 = run_resolver_study_profiled(NOW, &fleet, 4, DEFAULT_LAB_SEED, &profile);
+        let s1 = run_resolver_study_cfg(&fleet, &cfg_with(1, &profile));
+        let s4 = run_resolver_study_cfg(&fleet, &cfg_with(4, &profile));
         assert_eq!(
             format!("{:?}", s1.all()),
             format!("{:?}", s4.all()),

@@ -34,9 +34,14 @@ use sim_rng::{Rng, SplitMix64, Xoshiro256pp};
 /// logs, caches). This keeps the network re-entrant: a node may send
 /// queries from inside `handle`.
 pub trait Node {
-    /// Handle a datagram sent to this node. Returning `None` means no
-    /// response (a timeout from the sender's perspective).
-    fn handle(&self, net: &Network, src: IpAddr, payload: &[u8]) -> Option<Vec<u8>>;
+    /// Handle a datagram sent to this node, appending any response to
+    /// `reply` (which arrives empty — typically a recycled buffer the
+    /// network provides, so handlers encode straight into it with no
+    /// intermediate allocation). Return `Some(())` to send `reply`'s
+    /// contents back; `None` means no response (a timeout from the
+    /// sender's perspective), and whatever was appended is discarded.
+    fn handle(&self, net: &Network, src: IpAddr, payload: &[u8], reply: &mut Vec<u8>)
+        -> Option<()>;
 }
 
 /// Fault-injection configuration, in the style of smoltcp's example knobs.
@@ -402,6 +407,10 @@ pub struct Network {
     /// is full (entries are chronological starting there).
     trace_head: Cell<usize>,
     in_flight: RefCell<Vec<IpAddr>>,
+    /// Recycled reply buffers for [`Network::send_query`]: a stack, so
+    /// re-entrant exchanges (a resolver answering while querying
+    /// authoritatives) each get their own buffer without allocating.
+    reply_pool: RefCell<Vec<Vec<u8>>>,
     delivered: Cell<u64>,
     lost: Cell<u64>,
 }
@@ -431,6 +440,7 @@ impl Network {
             trace_cap: Cell::new(0),
             trace_head: Cell::new(0),
             in_flight: RefCell::new(Vec::new()),
+            reply_pool: RefCell::new(Vec::new()),
             delivered: Cell::new(0),
             lost: Cell::new(0),
         }
@@ -546,7 +556,7 @@ impl Network {
                 self.advance_timeout();
                 Outcome::Timeout
             }
-            Leg::Delivered(delivered_payload) => {
+            Leg::Delivered { corrupt } => {
                 let node = self.nodes.borrow().get(&dst).cloned();
                 let node = match node {
                     Some(n) => n,
@@ -560,30 +570,52 @@ impl Network {
                             .borrow_mut()
                             .gen_bool(faults.duplicate_chance.clamp(0.0, 1.0))
                 };
+                // The handler borrows the sender's payload directly; only
+                // the (rare) corrupted delivery needs its own copy.
+                let corrupted;
+                let datagram: &[u8] = match corrupt {
+                    Some((idx, mask)) => {
+                        let mut v = payload.to_vec();
+                        v[idx] ^= mask;
+                        corrupted = v;
+                        &corrupted
+                    }
+                    None => payload,
+                };
                 self.in_flight.borrow_mut().push(dst);
-                let reply = node.handle(self, src, &delivered_payload);
+                let mut reply_buf = self.take_reply_buf();
+                let reply = node.handle(self, src, datagram, &mut reply_buf);
                 if duplicate {
                     // The duplicate's reply is dropped; its side effects
                     // (logs, counters) are not.
-                    let _ = node.handle(self, src, &delivered_payload);
+                    let mut scratch = self.take_reply_buf();
+                    let _ = node.handle(self, src, datagram, &mut scratch);
+                    self.recycle_reply_buf(scratch);
                 }
                 self.in_flight.borrow_mut().pop();
                 match reply {
                     None => {
+                        self.recycle_reply_buf(reply_buf);
                         self.advance_timeout();
                         Outcome::Timeout
                     }
                     // The response leg flows back to a waiting socket, not a
                     // registered node: no routing check.
-                    Some(reply) => match self.transmit(dst, src, &reply, false) {
-                        Leg::Delivered(reply_payload) => {
+                    Some(()) => match self.transmit(dst, src, &reply_buf, false) {
+                        Leg::Delivered { corrupt } => {
+                            if let Some((idx, mask)) = corrupt {
+                                reply_buf[idx] ^= mask;
+                            }
                             let rtt = self.clock.get() - start;
+                            // The reply buffer moves to the caller whole:
+                            // the handler's bytes are never copied per hop.
                             Outcome::Response {
-                                payload: reply_payload,
+                                payload: reply_buf,
                                 rtt_micros: rtt,
                             }
                         }
                         _ => {
+                            self.recycle_reply_buf(reply_buf);
                             self.advance_timeout();
                             Outcome::Timeout
                         }
@@ -743,14 +775,19 @@ impl Network {
             });
             return Leg::Lost;
         }
-        let mut delivered = payload.to_vec();
+        // The datagram itself is not copied: corruption is decided here
+        // (preserving the historical RNG draw order exactly — one
+        // `gen_bool`, then byte index, then bit) but applied by the
+        // caller, which can flip the bit in place or borrow the payload
+        // untouched.
+        let mut corrupt = None;
         let mut verdict = TraceVerdict::Delivered;
         if faults.corrupt_chance > 0.0
-            && !delivered.is_empty()
+            && !payload.is_empty()
             && rng.gen_bool(faults.corrupt_chance.clamp(0.0, 1.0))
         {
-            let idx = rng.gen_range(0..delivered.len());
-            delivered[idx] ^= 1 << rng.gen_range(0u32..8);
+            let idx = rng.gen_range(0..payload.len());
+            corrupt = Some((idx, 1u8 << rng.gen_range(0u32..8)));
             verdict = TraceVerdict::Corrupted;
         }
         drop(rng);
@@ -764,7 +801,25 @@ impl Network {
             len: payload.len(),
             verdict,
         });
-        Leg::Delivered(delivered)
+        Leg::Delivered { corrupt }
+    }
+
+    /// Grab a cleared reply buffer, reusing a recycled allocation when
+    /// one is available. Purely an allocation cache — never observable.
+    fn take_reply_buf(&self) -> Vec<u8> {
+        match self.reply_pool.borrow_mut().pop() {
+            Some(buf) => buf,
+            None => Vec::with_capacity(512),
+        }
+    }
+
+    /// Return a reply buffer to the pool for the next exchange.
+    fn recycle_reply_buf(&self, mut buf: Vec<u8>) {
+        let mut pool = self.reply_pool.borrow_mut();
+        if pool.len() < 8 {
+            buf.clear();
+            pool.push(buf);
+        }
     }
 
     /// Evaluate the active fault episodes for one datagram. Returns the
@@ -868,7 +923,12 @@ impl Network {
 }
 
 enum Leg {
-    Delivered(Vec<u8>),
+    /// Delivered; if `corrupt` is set the receiver must XOR `mask` into
+    /// byte `idx` of the payload (decided centrally so the RNG stream
+    /// matches the historical copy-then-corrupt implementation).
+    Delivered {
+        corrupt: Option<(usize, u8)>,
+    },
     Lost,
     NoRoute,
     LoopDrop,
@@ -931,10 +991,15 @@ mod tests {
     /// A node that echoes the payload reversed.
     struct Echo;
     impl Node for Echo {
-        fn handle(&self, _net: &Network, _src: IpAddr, payload: &[u8]) -> Option<Vec<u8>> {
-            let mut v = payload.to_vec();
-            v.reverse();
-            Some(v)
+        fn handle(
+            &self,
+            _net: &Network,
+            _src: IpAddr,
+            payload: &[u8],
+            reply: &mut Vec<u8>,
+        ) -> Option<()> {
+            reply.extend(payload.iter().rev());
+            Some(())
         }
     }
 
@@ -944,9 +1009,18 @@ mod tests {
         own: IpAddr,
     }
     impl Node for Relay {
-        fn handle(&self, net: &Network, _src: IpAddr, payload: &[u8]) -> Option<Vec<u8>> {
+        fn handle(
+            &self,
+            net: &Network,
+            _src: IpAddr,
+            payload: &[u8],
+            reply: &mut Vec<u8>,
+        ) -> Option<()> {
             match net.send_query(self.own, self.target, payload) {
-                Outcome::Response { payload, .. } => Some(payload),
+                Outcome::Response { payload, .. } => {
+                    reply.extend_from_slice(&payload);
+                    Some(())
+                }
                 _ => None,
             }
         }
@@ -955,7 +1029,13 @@ mod tests {
     /// A node that never answers.
     struct Silent;
     impl Node for Silent {
-        fn handle(&self, _net: &Network, _src: IpAddr, _payload: &[u8]) -> Option<Vec<u8>> {
+        fn handle(
+            &self,
+            _net: &Network,
+            _src: IpAddr,
+            _payload: &[u8],
+            _reply: &mut Vec<u8>,
+        ) -> Option<()> {
             None
         }
     }
@@ -1446,9 +1526,16 @@ mod tests {
     /// A node that counts how many datagrams it handled.
     struct Counter(std::cell::Cell<u64>);
     impl Node for Counter {
-        fn handle(&self, _net: &Network, _src: IpAddr, payload: &[u8]) -> Option<Vec<u8>> {
+        fn handle(
+            &self,
+            _net: &Network,
+            _src: IpAddr,
+            payload: &[u8],
+            reply: &mut Vec<u8>,
+        ) -> Option<()> {
             self.0.set(self.0.get() + 1);
-            Some(payload.to_vec())
+            reply.extend_from_slice(payload);
+            Some(())
         }
     }
 

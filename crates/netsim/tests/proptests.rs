@@ -9,8 +9,15 @@ use sim_check::{gens, props};
 
 struct Echo;
 impl Node for Echo {
-    fn handle(&self, _net: &Network, _src: IpAddr, payload: &[u8]) -> Option<Vec<u8>> {
-        Some(payload.to_vec())
+    fn handle(
+        &self,
+        _net: &Network,
+        _src: IpAddr,
+        payload: &[u8],
+        reply: &mut Vec<u8>,
+    ) -> Option<()> {
+        reply.extend_from_slice(payload);
+        Some(())
     }
 }
 

@@ -8,6 +8,7 @@ use std::net::IpAddr;
 
 use dns_wire::message::Message;
 use dns_wire::rrtype::Rcode;
+use dns_wire::view::MessageView;
 use netsim::{Network, Node, Outcome};
 
 use crate::policy::Rfc9276Policy;
@@ -27,21 +28,30 @@ pub struct Forwarder {
 }
 
 impl Node for Forwarder {
-    fn handle(&self, net: &Network, _src: IpAddr, payload: &[u8]) -> Option<Vec<u8>> {
+    fn handle(
+        &self,
+        net: &Network,
+        _src: IpAddr,
+        payload: &[u8],
+        reply: &mut Vec<u8>,
+    ) -> Option<()> {
         match net.send_query(self.addr, self.upstream, payload) {
             Outcome::Response {
                 payload: upstream_reply,
                 ..
             } => {
                 if !self.strip_ede {
-                    return Some(upstream_reply);
+                    // Relay verbatim: the upstream buffer becomes the reply.
+                    *reply = upstream_reply;
+                    return Some(());
                 }
                 let mut msg = Message::decode(&upstream_reply).ok()?;
                 if let Some(edns) = &mut msg.edns {
                     edns.options
                         .retain(|o| !matches!(o, dns_wire::edns::EdnsOption::Ede { .. }));
                 }
-                Some(msg.encode())
+                msg.encode_append(reply);
+                Some(())
             }
             _ => None,
         }
@@ -69,7 +79,13 @@ impl QueryCopier {
 }
 
 impl Node for QueryCopier {
-    fn handle(&self, net: &Network, _src: IpAddr, payload: &[u8]) -> Option<Vec<u8>> {
+    fn handle(
+        &self,
+        net: &Network,
+        _src: IpAddr,
+        payload: &[u8],
+        reply: &mut Vec<u8>,
+    ) -> Option<()> {
         let query = Message::decode(payload).ok()?;
         if query.flags.qr {
             return None;
@@ -83,7 +99,8 @@ impl Node for QueryCopier {
         resp.flags.ad = outcome.authenticated && query.dnssec_ok();
         resp.rcode = outcome.rcode;
         resp.answers = outcome.answers;
-        Some(resp.encode())
+        resp.encode_append(reply);
+        Some(())
     }
 }
 
@@ -125,7 +142,13 @@ impl FlakyResolver {
 }
 
 impl Node for FlakyResolver {
-    fn handle(&self, net: &Network, _src: IpAddr, payload: &[u8]) -> Option<Vec<u8>> {
+    fn handle(
+        &self,
+        net: &Network,
+        _src: IpAddr,
+        payload: &[u8],
+        reply: &mut Vec<u8>,
+    ) -> Option<()> {
         let query = Message::decode(payload).ok()?;
         if query.flags.qr {
             return None;
@@ -149,7 +172,8 @@ impl Node for FlakyResolver {
             edns.push_ede(code, text);
             resp.edns = Some(edns);
         }
-        Some(resp.encode())
+        resp.encode_append(reply);
+        Some(())
     }
 }
 
@@ -170,17 +194,23 @@ pub struct ObservedResponse {
 }
 
 impl ObservedResponse {
-    /// Parse from a wire response.
+    /// Parse from a wire response. Uses the zero-copy [`MessageView`]:
+    /// the classifier only reads the header and the OPT record, so the
+    /// answer sections are validated but never materialized. `parse` +
+    /// `validate` accept exactly what `Message::decode` accepts, keeping
+    /// the classifier's accept/reject behaviour unchanged.
     pub fn from_wire(payload: &[u8]) -> Option<Self> {
-        let msg = Message::decode(payload).ok()?;
-        let (ede, ede_has_text) = match msg.edns.as_ref().and_then(|e| e.ede()) {
+        let view = MessageView::parse(payload).ok()?;
+        let edns = view.validate().ok()?;
+        let (ede, ede_has_text) = match edns.as_ref().and_then(|e| e.ede()) {
             Some((code, text)) => (Some(code.0), !text.is_empty()),
             None => (None, false),
         };
+        let flags = view.flags();
         Some(ObservedResponse {
-            rcode: msg.rcode,
-            ad: msg.flags.ad,
-            ra: msg.flags.ra,
+            rcode: view.rcode().ok()?,
+            ad: flags.ad,
+            ra: flags.ra,
             ede,
             ede_has_text,
         })

@@ -479,13 +479,16 @@ mod e2e {
                 net: &netsim::Network,
                 src: std::net::IpAddr,
                 payload: &[u8],
-            ) -> Option<Vec<u8>> {
-                let reply = self.0.handle(net, src, payload)?;
-                let mut msg = dns_wire::Message::decode(&reply).ok()?;
+                reply: &mut Vec<u8>,
+            ) -> Option<()> {
+                self.0.handle(net, src, payload, reply)?;
+                let mut msg = dns_wire::Message::decode(reply).ok()?;
                 for q in &mut msg.questions {
                     q.qname = q.qname.to_lowercase();
                 }
-                Some(msg.encode())
+                reply.clear();
+                msg.encode_append(reply);
+                Some(())
             }
         }
         let mut lab = lab_with_params(&[("example.com.", Nsec3Params::rfc9276())]);

@@ -10,7 +10,7 @@ use std::net::IpAddr;
 
 use dns_crypto::sha256::sha256;
 use dns_wire::edns::{EdeCode, Edns};
-use dns_wire::message::{frame_tcp, unframe_tcp, Message};
+use dns_wire::message::{unframe_tcp, Message};
 use dns_wire::name::Name;
 use dns_wire::rdata::RData;
 use dns_wire::record::Record;
@@ -225,10 +225,14 @@ impl Resolver {
             qname.clone()
         };
         let query = Message::query(id, sent_qname.clone(), qtype);
-        let wire = query.encode();
+        // Encode once, TCP-framed: the UDP datagram is the framed buffer
+        // minus its 2-byte length prefix, so a TC fallback reuses the
+        // same bytes instead of re-encoding.
+        let mut framed = Vec::with_capacity(64);
+        query.encode_framed_append(&mut framed);
+        let wire = &framed[2..];
         self.meter.add_message();
-        let report =
-            net.send_query_with_policy(self.config.addr, server, &wire, &self.config.retry);
+        let report = net.send_query_with_policy(self.config.addr, server, wire, &self.config.retry);
         self.meter
             .add_retries(u64::from(report.attempts.saturating_sub(1)));
         let resp = match report.outcome {
@@ -246,12 +250,8 @@ impl Resolver {
         // length framing, no size limit).
         let resp = if resp.flags.tc {
             self.meter.add_message();
-            let report = net.send_query_with_policy(
-                self.config.addr,
-                server,
-                &frame_tcp(&wire),
-                &self.config.retry,
-            );
+            let report =
+                net.send_query_with_policy(self.config.addr, server, &framed, &self.config.retry);
             self.meter
                 .add_retries(u64::from(report.attempts.saturating_sub(1)));
             match report.outcome {
@@ -580,7 +580,7 @@ impl Resolver {
 
         // RFC 9276 limit enforcement (items 6/8).
         if let Some((params, _)) = &parsed_nsec3 {
-            // Ablation arm (DESIGN.md §6.5): verify the NSEC3 RRSIGs
+            // Ablation arm (DESIGN.md ablation 5): verify the NSEC3 RRSIGs
             // *before* consulting the limits. Strictly more item-7-safe,
             // strictly more expensive — the cost difference is what the
             // `validation` bench quantifies.
@@ -999,7 +999,13 @@ fn wildcard_labels(sigs: &[Record], owner: &Name, rrtype: RrType) -> Option<u8> 
 impl Node for Resolver {
     /// Serve a stub client: run recursion, translate the outcome into a
     /// response message.
-    fn handle(&self, net: &Network, _src: IpAddr, payload: &[u8]) -> Option<Vec<u8>> {
+    fn handle(
+        &self,
+        net: &Network,
+        _src: IpAddr,
+        payload: &[u8],
+        reply: &mut Vec<u8>,
+    ) -> Option<()> {
         let query = Message::decode(payload).ok()?;
         if query.flags.qr {
             return None;
@@ -1019,7 +1025,8 @@ impl Node for Resolver {
             edns.push_ede(code, text);
             resp.edns = Some(edns);
         }
-        Some(resp.encode())
+        resp.encode_append(reply);
+        Some(())
     }
 }
 

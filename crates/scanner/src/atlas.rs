@@ -39,11 +39,17 @@ impl ClosedResolver {
 }
 
 impl Node for ClosedResolver {
-    fn handle(&self, net: &Network, src: IpAddr, payload: &[u8]) -> Option<Vec<u8>> {
+    fn handle(
+        &self,
+        net: &Network,
+        src: IpAddr,
+        payload: &[u8],
+        reply: &mut Vec<u8>,
+    ) -> Option<()> {
         if !self.allowed.borrow().contains(&src) {
             return None; // closed: drop silently
         }
-        self.inner.handle(net, src, payload)
+        self.inner.handle(net, src, payload, reply)
     }
 }
 
@@ -92,8 +98,15 @@ mod tests {
 
     struct Echo;
     impl Node for Echo {
-        fn handle(&self, _net: &Network, _src: IpAddr, payload: &[u8]) -> Option<Vec<u8>> {
-            Some(payload.to_vec())
+        fn handle(
+            &self,
+            _net: &Network,
+            _src: IpAddr,
+            payload: &[u8],
+            reply: &mut Vec<u8>,
+        ) -> Option<()> {
+            reply.extend_from_slice(payload);
+            Some(())
         }
     }
 

@@ -155,15 +155,22 @@ impl<'a> Prober<'a> {
 
     fn query(&self, resolver: IpAddr, qname: &Name) -> Option<ObservedResponse> {
         let id = (qname.wire_len() as u16) ^ 0x5aa5;
-        let q = Message::query(id, qname.clone(), RrType::A).encode();
-        let outcome = match self.session {
-            Some(session) => session.exchange(self.net, self.src, resolver, &q, &self.policy),
-            None => {
-                self.net
-                    .send_query_with_policy(self.src, resolver, &q, &self.policy)
-                    .outcome
+        let msg = Message::query(id, qname.clone(), RrType::A);
+        // Encode through the thread-local buffer pool: the scan loop
+        // sends millions of near-identical probes, so the query bytes
+        // never touch a fresh allocation.
+        let outcome = dns_wire::with_pooled(|buf| {
+            msg.encode_into(buf);
+            let q = buf.as_slice();
+            match self.session {
+                Some(session) => session.exchange(self.net, self.src, resolver, q, &self.policy),
+                None => {
+                    self.net
+                        .send_query_with_policy(self.src, resolver, q, &self.policy)
+                        .outcome
+                }
             }
-        };
+        });
         match outcome {
             Outcome::Response { payload, .. } => {
                 let mut obs = ObservedResponse::from_wire(&payload)?;

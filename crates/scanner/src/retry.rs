@@ -246,14 +246,27 @@ mod tests {
 
     struct Echo;
     impl Node for Echo {
-        fn handle(&self, _net: &Network, _src: IpAddr, payload: &[u8]) -> Option<Vec<u8>> {
-            Some(payload.to_vec())
+        fn handle(
+            &self,
+            _net: &Network,
+            _src: IpAddr,
+            payload: &[u8],
+            reply: &mut Vec<u8>,
+        ) -> Option<()> {
+            reply.extend_from_slice(payload);
+            Some(())
         }
     }
 
     struct Silent;
     impl Node for Silent {
-        fn handle(&self, _net: &Network, _src: IpAddr, _payload: &[u8]) -> Option<Vec<u8>> {
+        fn handle(
+            &self,
+            _net: &Network,
+            _src: IpAddr,
+            _payload: &[u8],
+            _reply: &mut Vec<u8>,
+        ) -> Option<()> {
             None
         }
     }

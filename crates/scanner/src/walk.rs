@@ -7,7 +7,7 @@
 use std::collections::BTreeSet;
 use std::net::IpAddr;
 
-use dns_wire::message::{frame_tcp, unframe_tcp, Message};
+use dns_wire::message::{unframe_tcp, Message};
 use dns_wire::name::{Name, MAX_NAME_LEN};
 use dns_wire::rdata::RData;
 use dns_wire::record::Record;
@@ -22,19 +22,23 @@ fn query(
     qname: &Name,
     qtype: RrType,
 ) -> Option<Message> {
-    let q = Message::query(0x4a1d, qname.clone(), qtype).encode();
-    match net.send_query_with_retries(src, server, &q, 2) {
-        Outcome::Response { payload, .. } => Message::decode(&payload).ok(),
-        _ => None,
-    }
+    let msg = Message::query(0x4a1d, qname.clone(), qtype);
+    dns_wire::with_pooled(|buf| {
+        msg.encode_into(buf);
+        match net.send_query_with_retries(src, server, buf.as_slice(), 2) {
+            Outcome::Response { payload, .. } => Message::decode(&payload).ok(),
+            _ => None,
+        }
+    })
 }
 
 /// Request a full zone transfer. AXFR is a stream-transport operation
 /// (RFC 5936 §4.2), so the query goes out TCP-framed. Returns the records
 /// (without the trailing SOA duplicate) or `None` if refused/unanswered.
 pub fn axfr(net: &Network, src: IpAddr, server: IpAddr, apex: &Name) -> Option<Vec<Record>> {
-    let q = Message::query(0xaf42, apex.clone(), RrType::AXFR).encode();
-    let resp = match net.send_query_with_retries(src, server, &frame_tcp(&q), 2) {
+    let mut q = Vec::new();
+    Message::query(0xaf42, apex.clone(), RrType::AXFR).encode_framed_append(&mut q);
+    let resp = match net.send_query_with_retries(src, server, &q, 2) {
         Outcome::Response { payload, .. } => Message::decode(unframe_tcp(&payload)?).ok()?,
         _ => return None,
     };

@@ -1,6 +1,8 @@
 //! Wire-format reader/writer with DNS name compression support
-//! (RFC 1035 §4.1.4).
+//! (RFC 1035 §4.1.4), plus the reusable encode buffer ([`WireBuf`]) and
+//! thread-local buffer pool that back the zero-copy message path.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use crate::name::{Name, MAX_NAME_LEN};
@@ -19,6 +21,13 @@ impl<'a> Reader<'a> {
     /// Wrap a message buffer.
     pub fn new(data: &'a [u8]) -> Self {
         Reader { data, pos: 0 }
+    }
+
+    /// Wrap a message buffer with the cursor at `pos`, so lazy views can
+    /// decode a name or RDATA in place while compression pointers still
+    /// resolve against the whole packet.
+    pub fn at(data: &'a [u8], pos: usize) -> Self {
+        Reader { data, pos }
     }
 
     /// Current offset.
@@ -117,107 +126,226 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Message writer with optional name compression.
-pub struct Writer {
-    buf: Vec<u8>,
-    /// Map from lowercased wire-suffix to offset, when compression is on.
-    compress: Option<HashMap<Vec<u8>, u16>>,
+/// A reusable encode buffer: output bytes plus the name-compression map,
+/// both of which keep their capacity across messages. One `WireBuf` per
+/// encode replaces the fresh 512-byte `Vec` and fresh `HashMap` the old
+/// owning writer allocated per call.
+///
+/// `WireBuf`s are plain values; [`with_pooled`] hands out thread-local
+/// pooled instances for the common encode-then-forget pattern.
+#[derive(Default)]
+pub struct WireBuf {
+    bytes: Vec<u8>,
+    map: HashMap<Vec<u8>, u16>,
 }
 
-impl Writer {
-    /// A writer that compresses names (normal responses).
-    pub fn compressing() -> Self {
-        Writer {
-            buf: Vec::with_capacity(512),
-            compress: Some(HashMap::new()),
+impl WireBuf {
+    /// An empty buffer with a datagram-sized initial capacity.
+    pub fn new() -> Self {
+        WireBuf {
+            bytes: Vec::with_capacity(512),
+            map: HashMap::new(),
         }
     }
 
-    /// A writer that never compresses (canonical forms, digests, signing
-    /// buffers).
-    pub fn plain() -> Self {
-        Writer {
-            buf: Vec::with_capacity(512),
-            compress: None,
-        }
+    /// Drop contents, keep capacity.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.map.clear();
     }
 
-    /// Current length (== next write offset).
+    /// The encoded bytes so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Encoded length in bytes.
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.bytes.len()
     }
 
-    /// True if nothing has been written.
+    /// True if nothing has been encoded.
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.bytes.is_empty()
+    }
+
+    /// Steal the encoded bytes as an owned `Vec`, leaving the buffer
+    /// empty (the compression map keeps its capacity for reuse).
+    pub fn take(&mut self) -> Vec<u8> {
+        self.map.clear();
+        std::mem::take(&mut self.bytes)
+    }
+
+    /// A compressing writer that appends to this buffer.
+    pub fn writer(&mut self) -> Writer<'_> {
+        self.map.clear();
+        let base = self.bytes.len();
+        Writer {
+            out: &mut self.bytes,
+            compress: Some(&mut self.map),
+            base,
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread stack of spare encode buffers. A stack (rather than a
+    /// single slot) keeps re-entrant encodes — a handler encoding a reply
+    /// while a caller's encode is still borrowed — allocation-free too.
+    static ENCODE_POOL: RefCell<Vec<WireBuf>> = const { RefCell::new(Vec::new()) };
+}
+
+/// How many spare buffers a thread keeps. Deep re-entrancy beyond this
+/// falls back to plain allocation.
+const ENCODE_POOL_CAP: usize = 8;
+
+/// Run `f` with a pooled thread-local [`WireBuf`], returning the buffer to
+/// the pool afterwards. The pool only recycles allocations — it carries no
+/// data between calls (`f` always sees a cleared buffer) — so pooled
+/// encodes are byte-identical to fresh ones at any thread count, the same
+/// argument as the thread-local NSEC3 hash cache.
+pub fn with_pooled<R>(f: impl FnOnce(&mut WireBuf) -> R) -> R {
+    let mut buf = ENCODE_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default();
+    buf.clear();
+    let out = f(&mut buf);
+    ENCODE_POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.len() < ENCODE_POOL_CAP {
+            p.push(buf);
+        }
+    });
+    out
+}
+
+/// Message writer with optional name compression.
+///
+/// The writer borrows its output buffer (and, when compressing, the
+/// suffix map) so callers control allocation: stack `Vec`s, pooled
+/// [`WireBuf`]s, or a caller-provided reply buffer all encode through the
+/// same code. Compression offsets are relative to the buffer position at
+/// construction (`base`), so a message can be appended after existing
+/// bytes — e.g. a reserved 2-byte TCP length prefix — and still emit
+/// message-relative pointers.
+pub struct Writer<'a> {
+    out: &'a mut Vec<u8>,
+    /// Map from lowercased wire-suffix to message-relative offset, when
+    /// compression is on.
+    compress: Option<&'a mut HashMap<Vec<u8>, u16>>,
+    base: usize,
+}
+
+impl<'a> Writer<'a> {
+    /// A writer that never compresses (canonical forms, digests, signing
+    /// buffers), appending to `out`.
+    pub fn plain(out: &'a mut Vec<u8>) -> Self {
+        let base = out.len();
+        Writer {
+            out,
+            compress: None,
+            base,
+        }
+    }
+
+    /// A writer that compresses names (normal responses), appending to
+    /// `out` and using `scratch`'s map for suffix tracking. The map is
+    /// cleared: compression never spans messages.
+    pub fn compressing(out: &'a mut Vec<u8>, scratch: &'a mut WireBuf) -> Self {
+        scratch.map.clear();
+        let base = out.len();
+        Writer {
+            out,
+            compress: Some(&mut scratch.map),
+            base,
+        }
+    }
+
+    /// Current length relative to this writer's base (== next write
+    /// offset, and == the final message length once done).
+    pub fn len(&self) -> usize {
+        self.out.len() - self.base
+    }
+
+    /// True if nothing has been written through this writer.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Append one octet.
     pub fn u8(&mut self, v: u8) {
-        self.buf.push(v);
+        self.out.push(v);
     }
 
     /// Append a big-endian u16.
     pub fn u16(&mut self, v: u16) {
-        self.buf.extend_from_slice(&v.to_be_bytes());
+        self.out.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Append a big-endian u32.
     pub fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_be_bytes());
+        self.out.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Append raw bytes.
     pub fn bytes(&mut self, v: &[u8]) {
-        self.buf.extend_from_slice(v);
+        self.out.extend_from_slice(v);
     }
 
-    /// Overwrite a previously-written big-endian u16 (e.g. RDLENGTH
-    /// back-patching).
+    /// Overwrite a previously-written big-endian u16 at a base-relative
+    /// offset (e.g. RDLENGTH back-patching).
     pub fn patch_u16(&mut self, at: usize, v: u16) {
-        self.buf[at..at + 2].copy_from_slice(&v.to_be_bytes());
+        let at = self.base + at;
+        self.out[at..at + 2].copy_from_slice(&v.to_be_bytes());
     }
 
     /// Append a domain name, compressing against earlier names when this
     /// writer was created with [`Writer::compressing`].
     pub fn name(&mut self, name: &Name) {
-        let labels: Vec<&[u8]> = name.labels().collect();
-        for i in 0..labels.len() {
-            if let Some(map) = &self.compress {
-                let suffix_key = suffix_key(&labels[i..]);
-                if let Some(&off) = map.get(&suffix_key) {
-                    self.u16(0xC000 | off);
-                    return;
-                }
-            }
-            // Record this suffix for future compression, if it fits in a
-            // 14-bit pointer.
-            let here = self.buf.len();
-            if let Some(map) = &mut self.compress {
-                if here < 0x4000 {
-                    map.insert(suffix_key(&labels[i..]), here as u16);
-                }
-            }
-            self.u8(labels[i].len() as u8);
-            self.bytes(labels[i]);
+        let wire = name.wire_bytes();
+        let Some(map) = self.compress.as_deref_mut() else {
+            self.out.extend_from_slice(wire);
+            self.out.push(0);
+            return;
+        };
+        // One lowercased copy of the whole name on the stack; every
+        // suffix of it is a map key, looked up by slice (no per-suffix
+        // allocation — the old writer built an owned key per suffix).
+        let mut key = [0u8; MAX_NAME_LEN];
+        let key = &mut key[..wire.len()];
+        for (dst, src) in key.iter_mut().zip(wire.iter()) {
+            *dst = src.to_ascii_lowercase();
         }
-        self.u8(0);
+        // Find the leftmost suffix already written (if any): everything
+        // before it is emitted literally, the rest becomes a pointer.
+        let mut pointer: Option<u16> = None;
+        let mut literal_len = wire.len();
+        let mut pos = 0usize;
+        while pos < wire.len() {
+            if let Some(&off) = map.get(&key[pos..]) {
+                pointer = Some(off);
+                literal_len = pos;
+                break;
+            }
+            pos += 1 + wire[pos] as usize;
+        }
+        // Record the freshly-written suffixes for future compression, if
+        // they fit in a 14-bit pointer. Labels land contiguously, so a
+        // label at name-offset `p` sits at message-offset `here + p`.
+        let here = self.out.len() - self.base;
+        let mut pos = 0usize;
+        while pos < literal_len {
+            if here + pos < 0x4000 {
+                map.insert(key[pos..].to_vec(), (here + pos) as u16);
+            }
+            pos += 1 + wire[pos] as usize;
+        }
+        self.out.extend_from_slice(&wire[..literal_len]);
+        match pointer {
+            Some(off) => self.u16(0xC000 | off),
+            None => self.u8(0),
+        }
     }
-
-    /// Finish and take the buffer.
-    pub fn finish(self) -> Vec<u8> {
-        self.buf
-    }
-}
-
-/// Case-folded key identifying a label-suffix for the compression map.
-fn suffix_key(labels: &[&[u8]]) -> Vec<u8> {
-    let mut key = Vec::new();
-    for l in labels {
-        key.push(l.len() as u8);
-        key.extend(l.iter().map(|b| b.to_ascii_lowercase()));
-    }
-    key
 }
 
 #[cfg(test)]
@@ -227,12 +355,12 @@ mod tests {
 
     #[test]
     fn scalar_roundtrip() {
-        let mut w = Writer::plain();
+        let mut buf = Vec::new();
+        let mut w = Writer::plain(&mut buf);
         w.u8(0xab);
         w.u16(0x1234);
         w.u32(0xdeadbeef);
         w.bytes(b"xyz");
-        let buf = w.finish();
         let mut r = Reader::new(&buf);
         assert_eq!(r.u8().unwrap(), 0xab);
         assert_eq!(r.u16().unwrap(), 0x1234);
@@ -244,9 +372,9 @@ mod tests {
 
     #[test]
     fn name_roundtrip_uncompressed() {
-        let mut w = Writer::plain();
+        let mut buf = Vec::new();
+        let mut w = Writer::plain(&mut buf);
         w.name(&name("www.example.com"));
-        let buf = w.finish();
         assert_eq!(buf, b"\x03www\x07example\x03com\x00");
         let mut r = Reader::new(&buf);
         assert_eq!(r.name().unwrap(), name("www.example.com"));
@@ -254,11 +382,12 @@ mod tests {
 
     #[test]
     fn compression_shares_suffixes() {
-        let mut w = Writer::compressing();
+        let mut buf = WireBuf::new();
+        let mut w = buf.writer();
         w.name(&name("www.example.com"));
         let first_len = w.len();
         w.name(&name("mail.example.com"));
-        let buf = w.finish();
+        let buf = buf.take();
         // Second name: 1+4 for "mail" + 2-byte pointer = 7 bytes.
         assert_eq!(buf.len(), first_len + 7);
         let mut r = Reader::new(&buf);
@@ -268,11 +397,12 @@ mod tests {
 
     #[test]
     fn compression_is_case_insensitive() {
-        let mut w = Writer::compressing();
+        let mut buf = WireBuf::new();
+        let mut w = buf.writer();
         w.name(&name("EXAMPLE.com"));
         let first_len = w.len();
         w.name(&name("example.COM"));
-        let buf = w.finish();
+        let buf = buf.take();
         assert_eq!(buf.len(), first_len + 2, "full name should be a pointer");
         let mut r = Reader::new(&buf);
         let _ = r.name().unwrap();
@@ -283,13 +413,49 @@ mod tests {
 
     #[test]
     fn whole_name_pointer() {
-        let mut w = Writer::compressing();
+        let mut buf = WireBuf::new();
+        let mut w = buf.writer();
         w.name(&name("example.com"));
         w.name(&name("example.com"));
-        let buf = w.finish();
+        let buf = buf.take();
         let mut r = Reader::new(&buf);
         assert_eq!(r.name().unwrap(), name("example.com"));
         assert_eq!(r.name().unwrap(), name("example.com"));
+    }
+
+    #[test]
+    fn compression_offsets_are_base_relative() {
+        // Appending after existing bytes (a 2-byte frame prefix, say) must
+        // emit pointers relative to the message start, not the buffer start.
+        let mut plainbuf = Vec::new();
+        let mut w = Writer::plain(&mut plainbuf);
+        w.name(&name("a.example.com"));
+        w.name(&name("b.example.com"));
+
+        let mut out = vec![0u8, 0u8]; // reserved prefix
+        let mut scratch = WireBuf::new();
+        let mut w = Writer::compressing(&mut out, &mut scratch);
+        w.name(&name("a.example.com"));
+        w.name(&name("b.example.com"));
+        assert!(w.len() < plainbuf.len(), "second name should compress");
+        // Pointers resolve against the *message*, i.e. after the prefix.
+        let mut r = Reader::at(&out[2..], 0);
+        assert_eq!(r.name().unwrap(), name("a.example.com"));
+        assert_eq!(r.name().unwrap(), name("b.example.com"));
+    }
+
+    #[test]
+    fn pooled_buffers_are_cleared_between_uses() {
+        let first = with_pooled(|b| {
+            b.writer().name(&name("example.com"));
+            b.take()
+        });
+        let second = with_pooled(|b| {
+            assert!(b.is_empty(), "pooled buffer must arrive empty");
+            b.writer().name(&name("example.com"));
+            b.take()
+        });
+        assert_eq!(first, second);
     }
 
     #[test]
@@ -309,9 +475,9 @@ mod tests {
 
     #[test]
     fn root_name_roundtrip() {
-        let mut w = Writer::plain();
+        let mut buf = Vec::new();
+        let mut w = Writer::plain(&mut buf);
         w.name(&Name::root());
-        let buf = w.finish();
         assert_eq!(buf, b"\x00");
         let mut r = Reader::new(&buf);
         assert!(r.name().unwrap().is_root());
@@ -319,11 +485,11 @@ mod tests {
 
     #[test]
     fn patch_u16_works() {
-        let mut w = Writer::plain();
+        let mut buf = Vec::new();
+        let mut w = Writer::plain(&mut buf);
         w.u16(0);
         w.bytes(b"abc");
         w.patch_u16(0, 3);
-        let buf = w.finish();
         assert_eq!(buf, b"\x00\x03abc");
     }
 }

@@ -198,9 +198,8 @@ mod tests {
     fn encode_decode_with_ede() {
         let mut edns = Edns::with_do();
         edns.push_ede(EdeCode::UNSUPPORTED_NSEC3_ITERATIONS, "too many iterations");
-        let mut w = Writer::plain();
-        edns.encode(&mut w);
-        let buf = w.finish();
+        let mut buf = Vec::new();
+        edns.encode(&mut Writer::plain(&mut buf));
         let mut r = Reader::new(&buf);
         // Skip owner (root) + type.
         assert!(r.name().unwrap().is_root());
@@ -221,9 +220,8 @@ mod tests {
                 dnssec_ok: do_bit,
                 ..Default::default()
             };
-            let mut w = Writer::plain();
-            edns.encode(&mut w);
-            let buf = w.finish();
+            let mut buf = Vec::new();
+            edns.encode(&mut Writer::plain(&mut buf));
             let mut r = Reader::new(&buf);
             let _ = r.name().unwrap();
             let _ = r.u16().unwrap();
@@ -252,9 +250,8 @@ mod tests {
             }],
             ..Default::default()
         };
-        let mut w = Writer::plain();
-        edns.encode(&mut w);
-        let buf = w.finish();
+        let mut buf = Vec::new();
+        edns.encode(&mut Writer::plain(&mut buf));
         let mut r = Reader::new(&buf);
         let _ = r.name().unwrap();
         let _ = r.u16().unwrap();

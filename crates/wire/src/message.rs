@@ -1,6 +1,6 @@
 //! Full DNS messages: header, question, sections, EDNS pseudo-section.
 
-use crate::buf::{Reader, Writer};
+use crate::buf::{with_pooled, Reader, WireBuf, Writer};
 use crate::edns::Edns;
 use crate::name::Name;
 use crate::rdata::RData;
@@ -120,18 +120,54 @@ impl Message {
         self.edns.as_ref().map(|e| e.dnssec_ok).unwrap_or(false)
     }
 
-    /// All records in answer+authority matching a type.
-    pub fn records_of_type(&self, t: RrType) -> Vec<&Record> {
+    /// All records in answer+authority matching a type, lazily.
+    pub fn records_of_type(&self, t: RrType) -> impl Iterator<Item = &Record> + '_ {
         self.answers
             .iter()
             .chain(self.authorities.iter())
-            .filter(|r| r.rrtype() == t)
-            .collect()
+            .filter(move |r| r.rrtype() == t)
     }
 
-    /// Serialize to wire format with name compression.
+    /// Serialize to wire format with name compression, into an owned
+    /// buffer. Thin wrapper over [`Message::encode_append`] — hot paths
+    /// should encode into a reused buffer instead.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::compressing();
+        let mut out = Vec::with_capacity(512);
+        self.encode_append(&mut out);
+        out
+    }
+
+    /// Serialize into a reusable [`WireBuf`], replacing its contents.
+    pub fn encode_into(&self, buf: &mut WireBuf) {
+        buf.clear();
+        let mut w = buf.writer();
+        self.encode_body(&mut w);
+    }
+
+    /// Serialize to wire format, appending to `out`. Compression state
+    /// comes from a pooled thread-local scratch buffer, so this
+    /// allocates nothing beyond what `out` needs to grow.
+    pub fn encode_append(&self, out: &mut Vec<u8>) {
+        with_pooled(|scratch| {
+            let mut w = Writer::compressing(out, scratch);
+            self.encode_body(&mut w);
+        });
+    }
+
+    /// Serialize with the RFC 7766 stream framing in one pass: the
+    /// 2-byte length prefix is reserved up front and patched, so —
+    /// unlike [`frame_tcp`] — the message bytes are written exactly
+    /// once. The frame is appended to `out`; `&out[start + 2..]` is the
+    /// bare datagram.
+    pub fn encode_framed_append(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(&[0, 0]);
+        self.encode_append(out);
+        let len = out.len() - start - 2;
+        out[start..start + 2].copy_from_slice(&(len as u16).to_be_bytes());
+    }
+
+    fn encode_body(&self, w: &mut Writer<'_>) {
         w.u16(self.id);
         let rcode = self.rcode.to_u16();
         let mut flags: u16 = 0;
@@ -175,14 +211,13 @@ impl Message {
             .chain(&self.authorities)
             .chain(&self.additionals)
         {
-            rec.encode(&mut w);
+            rec.encode(w);
         }
         if let Some(edns) = &self.edns {
             let mut e = edns.clone();
             e.extended_rcode_hi = (rcode >> 4) as u8;
-            e.encode(&mut w);
+            e.encode(w);
         }
-        w.finish()
     }
 
     /// Parse from wire format.

@@ -281,6 +281,14 @@ impl Name {
         Some(out)
     }
 
+    /// The internal wire buffer in original case, *without* the trailing
+    /// root octet (length-prefixed labels; empty for the root). This is
+    /// the borrow hot paths write from; [`Name::to_wire`] is the owned
+    /// equivalent with the terminator appended.
+    pub fn wire_bytes(&self) -> &[u8] {
+        &self.wire
+    }
+
     /// Uncompressed wire format in original case.
     pub fn to_wire(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.wire.len() + 1);

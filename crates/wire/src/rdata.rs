@@ -244,9 +244,9 @@ impl RData {
     /// Canonical wire form of the RDATA, used for RRset ordering and the
     /// RRSIG signing buffer.
     pub fn canonical_bytes(&self) -> Vec<u8> {
-        let mut w = Writer::plain();
-        self.encode(&mut w, true);
-        w.finish()
+        let mut out = Vec::new();
+        self.encode(&mut Writer::plain(&mut out), true);
+        out
     }
 
     /// Decode an RDATA of type `rtype` spanning exactly `rdlength` bytes.
@@ -408,9 +408,8 @@ mod tests {
     use crate::name::name;
 
     fn roundtrip(rd: &RData) -> RData {
-        let mut w = Writer::plain();
-        rd.encode(&mut w, false);
-        let buf = w.finish();
+        let mut buf = Vec::new();
+        rd.encode(&mut Writer::plain(&mut buf), false);
         let mut r = Reader::new(&buf);
         RData::decode(&mut r, rd.rrtype(), buf.len()).unwrap()
     }
@@ -493,9 +492,9 @@ mod tests {
         };
         assert_eq!(roundtrip(&rd), rd);
         // Wire: alg=1 flags=0 iter=0 saltlen=0.
-        let mut w = Writer::plain();
-        rd.encode(&mut w, false);
-        assert_eq!(w.finish(), vec![1, 0, 0, 0, 0]);
+        let mut buf = Vec::new();
+        rd.encode(&mut Writer::plain(&mut buf), false);
+        assert_eq!(buf, vec![1, 0, 0, 0, 0]);
     }
 
     #[test]

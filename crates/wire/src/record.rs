@@ -195,9 +195,8 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip() {
         let rec = a("www.example.com", [192, 0, 2, 7]);
-        let mut w = Writer::plain();
-        rec.encode(&mut w);
-        let buf = w.finish();
+        let mut buf = Vec::new();
+        rec.encode(&mut Writer::plain(&mut buf));
         let mut r = Reader::new(&buf);
         assert_eq!(Record::decode(&mut r).unwrap(), rec);
     }

@@ -137,9 +137,8 @@ mod tests {
     use super::*;
 
     fn roundtrip(bm: &TypeBitmap) -> TypeBitmap {
-        let mut w = Writer::plain();
-        bm.encode(&mut w);
-        let buf = w.finish();
+        let mut buf = Vec::new();
+        bm.encode(&mut Writer::plain(&mut buf));
         let mut r = Reader::new(&buf);
         TypeBitmap::decode(&mut r, buf.len()).unwrap()
     }
@@ -163,9 +162,8 @@ mod tests {
             RrType::NSEC,
             RrType(1234),
         ]);
-        let mut w = Writer::plain();
-        bm.encode(&mut w);
-        let buf = w.finish();
+        let mut buf = Vec::new();
+        bm.encode(&mut Writer::plain(&mut buf));
         let mut expected = vec![0x00u8, 0x06, 0x40, 0x01, 0x00, 0x00, 0x00, 0x03];
         // Window 4 (types 1024..1279): 1234 = 4*256 + 210; byte 26, bit 2.
         let mut win4 = vec![0x04u8, 27];
@@ -178,9 +176,9 @@ mod tests {
     #[test]
     fn empty_bitmap_is_empty_wire() {
         let bm = TypeBitmap::new();
-        let mut w = Writer::plain();
-        bm.encode(&mut w);
-        assert!(w.finish().is_empty());
+        let mut buf = Vec::new();
+        bm.encode(&mut Writer::plain(&mut buf));
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -103,9 +103,8 @@ fn rdata() -> impl Gen<RData> {
 
 props! {
     fn name_wire_roundtrip(n in name()) {
-        let mut w = Writer::plain();
-        w.name(&n);
-        let buf = w.finish();
+        let mut buf = Vec::new();
+        Writer::plain(&mut buf).name(&n);
         let mut r = Reader::new(&buf);
         assert_eq!(r.name().unwrap(), n);
     }
@@ -117,11 +116,12 @@ props! {
     }
 
     fn name_compressed_roundtrip(names in gens::vec_of(name(), 1..6)) {
-        let mut w = Writer::compressing();
+        let mut wb = dns_wire::buf::WireBuf::new();
+        let mut w = wb.writer();
         for n in &names {
             w.name(n);
         }
-        let buf = w.finish();
+        let buf = wb.take();
         let mut r = Reader::new(&buf);
         for n in &names {
             assert_eq!(&r.name().unwrap(), n);
@@ -150,9 +150,8 @@ props! {
 
     fn record_roundtrip(n in name(), ttl in gens::u32s(..), rd in rdata()) {
         let rec = Record { name: n, class: Class::IN, ttl, rdata: rd };
-        let mut w = Writer::plain();
-        rec.encode(&mut w);
-        let buf = w.finish();
+        let mut buf = Vec::new();
+        rec.encode(&mut Writer::plain(&mut buf));
         let mut r = Reader::new(&buf);
         assert_eq!(Record::decode(&mut r).unwrap(), rec);
     }
@@ -201,9 +200,8 @@ props! {
 
     fn typebitmap_roundtrip(types in gens::vec_of(gens::u16s(..), 0..24)) {
         let bm: TypeBitmap = types.into_iter().map(RrType).collect();
-        let mut w = Writer::plain();
-        bm.encode(&mut w);
-        let buf = w.finish();
+        let mut buf = Vec::new();
+        bm.encode(&mut Writer::plain(&mut buf));
         let mut r = Reader::new(&buf);
         assert_eq!(TypeBitmap::decode(&mut r, buf.len()).unwrap(), bm);
     }
@@ -219,5 +217,150 @@ props! {
         for cut in 0..msg.len() {
             let _ = Message::decode(&msg[..cut]); // must not panic
         }
+    }
+
+    // ---- Decode robustness: the lazy view and the owned decoder agree on
+    // every hostile input, and anything either accepts is in normal form.
+
+    /// Every truncation prefix of a real response: decode must reject or
+    /// accept without panicking, and the view must make the same call.
+    fn truncations_view_agrees_with_decode(
+        qname in name(),
+        answers in gens::vec_of((name(), gens::u32s(..), rdata()), 0..4),
+    ) {
+        let msg = response_with(qname, answers);
+        let wire = msg.encode();
+        for cut in 0..=wire.len() {
+            assert_view_decode_agree(&wire[..cut]);
+        }
+    }
+
+    /// Seeded bit flips anywhere in the packet — header, names, RDATA,
+    /// EDNS — must never panic, and view/decode must stay in lockstep.
+    fn bit_flips_view_agrees_with_decode(
+        qname in name(),
+        answers in gens::vec_of((name(), gens::u32s(..), rdata()), 0..4),
+        flips in gens::vec_of((gens::u16s(..), gens::u8s(0..8)), 1..5),
+    ) {
+        let msg = response_with(qname, answers);
+        let mut wire = msg.encode();
+        for (pos, bit) in flips {
+            let idx = pos as usize % wire.len();
+            wire[idx] ^= 1u8 << bit;
+        }
+        assert_view_decode_agree(&wire);
+    }
+
+    /// Corrupting the header section counts (the length fields that drive
+    /// the parse loop) must fail cleanly: overstated counts hit the end of
+    /// the packet, understated ones leave trailing bytes — never a panic,
+    /// never a view/decode split.
+    fn count_field_corruptions_fail_cleanly(
+        qname in name(),
+        answers in gens::vec_of((name(), gens::u32s(..), rdata()), 0..4),
+        field in gens::u16s(2..6),
+        value in gens::u16s(..),
+    ) {
+        let msg = response_with(qname, answers);
+        let mut wire = msg.encode();
+        let off = 2 * field as usize; // qd/an/ns/ar count at offsets 4/6/8/10
+        wire[off] = (value >> 8) as u8;
+        wire[off + 1] = value as u8;
+        assert_view_decode_agree(&wire);
+    }
+
+    /// Corrupting a record's RDLENGTH makes the RDATA reader over- or
+    /// under-run its slice: both paths must reject identically. The flip
+    /// lands on a seeded byte pair in the record region (past the header
+    /// and question), which covers RDLENGTH fields among the other record
+    /// bytes without needing offset bookkeeping here.
+    fn rdlength_region_corruptions_fail_cleanly(
+        qname in name(),
+        answers in gens::vec_of((name(), gens::u32s(..), rdata()), 1..4),
+        pos in gens::u16s(..),
+        value in gens::u16s(..),
+    ) {
+        let msg = response_with(qname, answers);
+        let mut wire = msg.encode();
+        let records_start = 12 + msg.questions[0].qname.wire_len() + 4;
+        if records_start + 2 <= wire.len() {
+            let span = wire.len() - records_start - 1;
+            let off = records_start + pos as usize % span;
+            wire[off] = (value >> 8) as u8;
+            wire[off + 1] = value as u8;
+        }
+        assert_view_decode_agree(&wire);
+    }
+
+    /// Anything decode accepts — even from a mutated packet — is in
+    /// normal form: re-encoding and decoding again is the identity.
+    fn accepted_messages_reencode_equal(
+        qname in name(),
+        answers in gens::vec_of((name(), gens::u32s(..), rdata()), 0..4),
+        flips in gens::vec_of((gens::u16s(..), gens::u8s(0..8)), 0..3),
+    ) {
+        let msg = response_with(qname, answers);
+        let mut wire = msg.encode();
+        for (pos, bit) in flips {
+            let idx = pos as usize % wire.len();
+            wire[idx] ^= 1u8 << bit;
+        }
+        if let Ok(decoded) = Message::decode(&wire) {
+            let reencoded = decoded.encode();
+            assert_eq!(
+                Message::decode(&reencoded).unwrap(),
+                decoded,
+                "decode ∘ encode must be the identity on decoded messages"
+            );
+        }
+    }
+}
+
+/// A realistic response for robustness inputs: one question, generated
+/// answers, EDNS present.
+fn response_with(qname: Name, answers: Vec<(Name, u32, RData)>) -> Message {
+    let q = Message::query(0x1dea, qname, RrType::A);
+    let mut resp = Message::response_to(&q);
+    resp.flags.aa = true;
+    resp.answers = answers
+        .into_iter()
+        .map(|(n, ttl, rd)| Record {
+            name: n,
+            class: Class::IN,
+            ttl,
+            rdata: rd,
+        })
+        .collect();
+    resp
+}
+
+/// The acceptance contract of the zero-copy path: `MessageView` (parse +
+/// validate + materialize) and `Message::decode` must make the same
+/// accept/reject decision on `wire`, produce equal messages on accept,
+/// and never panic either way.
+fn assert_view_decode_agree(wire: &[u8]) {
+    use dns_wire::view::MessageView;
+    let via_decode = Message::decode(wire);
+    let via_view = MessageView::parse(wire).and_then(|v| v.to_message());
+    match (via_decode, via_view) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(a, b, "view materialized a different message");
+            let v = MessageView::parse(wire).expect("parse succeeded above");
+            assert!(v.validate().is_ok(), "validate rejects a decodable packet");
+        }
+        (Err(_), Err(_)) => {
+            if let Ok(v) = MessageView::parse(wire) {
+                assert!(
+                    v.validate().is_err(),
+                    "validate accepts a packet decode rejects"
+                );
+            }
+        }
+        (d, v) => panic!(
+            "acceptance mismatch on {} bytes: decode={} view={}",
+            wire.len(),
+            d.is_ok(),
+            v.is_ok()
+        ),
     }
 }

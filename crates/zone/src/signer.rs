@@ -242,7 +242,8 @@ pub fn signing_buffer(
         ),
         _ => return Err(ZoneError::NotAnRrsig),
     };
-    let mut w = Writer::plain();
+    let mut out = Vec::new();
+    let mut w = Writer::plain(&mut out);
     w.u16(type_covered.0);
     w.u8(algorithm);
     w.u8(labels);
@@ -284,7 +285,7 @@ pub fn signing_buffer(
         w.u16(rdata.len() as u16);
         w.bytes(&rdata);
     }
-    Ok(w.finish())
+    Ok(out)
 }
 
 /// Owner name as covered by a signature with `labels`: either the owner

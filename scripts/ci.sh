@@ -37,18 +37,22 @@ else
     echo "== clippy not installed; skipping"
 fi
 
-echo "== bench smoke: NSEC3 fast path vs reference (reduced samples)"
+echo "== bench smoke: engine parity gates (reduced samples)"
 # bench_nsec3_hash refuses to start unless the single-block engine agrees
 # with the streaming reference (digests and compression counts) across the
 # salt-length boundary; bench_zone_signing asserts the signed zone renders
-# byte-identically at threads=1/2/4. Reduced samples keep this a smoke
-# test; the JSON reports land in a scratch dir, not the repo.
+# byte-identically at threads=1/2/4; bench_wire refuses to start unless
+# MessageView's accept/reject decisions (and materialized contents) match
+# Message::decode over a corpus of clean, truncated, and bit-flipped
+# packets. Reduced samples keep this a smoke test; the JSON reports land
+# in a scratch dir, not the repo.
 SMOKE_DIR="$(mktemp -d)"
 ROOT="$(pwd)"
 (
     cd "$SMOKE_DIR" \
         && MICROBENCH_SAMPLES=5 "$ROOT/target/release/bench_nsec3_hash" >/dev/null \
-        && MICROBENCH_SAMPLES=3 "$ROOT/target/release/bench_zone_signing" >/dev/null
+        && MICROBENCH_SAMPLES=3 "$ROOT/target/release/bench_zone_signing" >/dev/null \
+        && MICROBENCH_SAMPLES=3 "$ROOT/target/release/bench_wire" >/dev/null
 )
 rm -rf "$SMOKE_DIR"
 

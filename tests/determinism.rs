@@ -9,16 +9,15 @@
 //! across thread counts: `threads = 1` and `threads = N` must render to
 //! the same bytes. `scripts/ci.sh` runs this suite under both
 //! `HEROES_THREADS=1` and `HEROES_THREADS=4` to pin the environment
-//! plumbing as well as the explicit `_with` paths exercised here.
+//! plumbing as well as the explicit [`DriverConfig`] paths exercised here.
 
 use analysis::domains::DomainStats;
 use analysis::ResolverStats;
 use dns_scanner::retry::BreakerConfig;
 use netsim::{Episode, EpisodeKind, FaultSchedule, RetryPolicy, Scope};
 use nsec3_core::experiments::{
-    run_domain_census, run_domain_census_profiled, run_domain_census_with, run_resolver_study,
-    run_resolver_study_profiled, run_resolver_study_with, run_tld_census_profiled,
-    run_tld_census_with, run_unreachability_profiled, ScanProfile, DEFAULT_LAB_SEED,
+    run_domain_census, run_domain_census_cfg, run_resolver_study, run_resolver_study_cfg,
+    run_tld_census_cfg, run_unreachability_cfg, DriverConfig, ScanProfile, DEFAULT_LAB_SEED,
 };
 use popgen::{generate_domains, generate_fleet, generate_tlds, Scale};
 
@@ -65,8 +64,10 @@ fn resolver_study_is_deterministic_per_seed() {
 #[test]
 fn domain_census_is_identical_across_thread_counts() {
     let specs = generate_domains(Scale(1.0 / 50_000.0), 42);
-    let sequential = run_domain_census_with(&specs, NOW, 64, 1, DEFAULT_LAB_SEED);
-    let sharded = run_domain_census_with(&specs, NOW, 64, 4, DEFAULT_LAB_SEED);
+    let sequential =
+        run_domain_census_cfg(&specs, 64, &DriverConfig::clean(NOW, 1, DEFAULT_LAB_SEED)).0;
+    let sharded =
+        run_domain_census_cfg(&specs, 64, &DriverConfig::clean(NOW, 4, DEFAULT_LAB_SEED)).0;
     assert_eq!(
         format!("{sequential:?}"),
         format!("{sharded:?}"),
@@ -77,8 +78,8 @@ fn domain_census_is_identical_across_thread_counts() {
 #[test]
 fn resolver_study_is_identical_across_thread_counts() {
     let fleet = generate_fleet(Scale(1.0 / 20_000.0), 42);
-    let sequential = run_resolver_study_with(NOW, &fleet, 1, DEFAULT_LAB_SEED);
-    let sharded = run_resolver_study_with(NOW, &fleet, 4, DEFAULT_LAB_SEED);
+    let sequential = run_resolver_study_cfg(&fleet, &DriverConfig::clean(NOW, 1, DEFAULT_LAB_SEED));
+    let sharded = run_resolver_study_cfg(&fleet, &DriverConfig::clean(NOW, 4, DEFAULT_LAB_SEED));
     assert_eq!(
         format!("{:?}", sequential.all()),
         format!("{:?}", sharded.all()),
@@ -140,9 +141,11 @@ fn faulty_census_is_identical_across_thread_counts() {
             capacity: 6,
             refill_interval_micros: 40_000,
         }));
-    let (rec1, st1) = run_domain_census_profiled(&specs, NOW, 1, 1, DEFAULT_LAB_SEED, &profile);
-    let (rec2, st2) = run_domain_census_profiled(&specs, NOW, 1, 2, DEFAULT_LAB_SEED, &profile);
-    let (rec4, st4) = run_domain_census_profiled(&specs, NOW, 1, 4, DEFAULT_LAB_SEED, &profile);
+    let cfg =
+        |threads| DriverConfig::clean(NOW, threads, DEFAULT_LAB_SEED).with_profile(profile.clone());
+    let (rec1, st1) = run_domain_census_cfg(&specs, 1, &cfg(1));
+    let (rec2, st2) = run_domain_census_cfg(&specs, 1, &cfg(2));
+    let (rec4, st4) = run_domain_census_cfg(&specs, 1, &cfg(4));
     assert_eq!(
         format!("{rec1:?}"),
         format!("{rec2:?}"),
@@ -167,9 +170,11 @@ fn faulty_census_is_identical_across_thread_counts() {
 fn faulty_resolver_study_is_identical_across_thread_counts() {
     let fleet = generate_fleet(Scale(1.0 / 20_000.0), 42);
     let profile = flow_keyed_lossy();
-    let s1 = run_resolver_study_profiled(NOW, &fleet, 1, DEFAULT_LAB_SEED, &profile);
-    let s2 = run_resolver_study_profiled(NOW, &fleet, 2, DEFAULT_LAB_SEED, &profile);
-    let s4 = run_resolver_study_profiled(NOW, &fleet, 4, DEFAULT_LAB_SEED, &profile);
+    let cfg =
+        |threads| DriverConfig::clean(NOW, threads, DEFAULT_LAB_SEED).with_profile(profile.clone());
+    let s1 = run_resolver_study_cfg(&fleet, &cfg(1));
+    let s2 = run_resolver_study_cfg(&fleet, &cfg(2));
+    let s4 = run_resolver_study_cfg(&fleet, &cfg(4));
     assert_eq!(
         format!("{:?}", s1.all()),
         format!("{:?}", s2.all()),
@@ -203,10 +208,9 @@ fn faulty_tld_census_and_unreachability_account_probes() {
     // the slicing is part of the experiment input: a fixed thread count
     // replays byte for byte, and the loss accounting always balances.
     let tlds: Vec<_> = generate_tlds().into_iter().step_by(97).collect();
-    let (obs_a, tld_st_a) =
-        run_tld_census_profiled(&tlds, NOW, 1.0 / 100_000.0, 3, DEFAULT_LAB_SEED, &profile);
-    let (obs_b, tld_st_b) =
-        run_tld_census_profiled(&tlds, NOW, 1.0 / 100_000.0, 3, DEFAULT_LAB_SEED, &profile);
+    let cfg = DriverConfig::clean(NOW, 3, DEFAULT_LAB_SEED).with_profile(profile.clone());
+    let (obs_a, tld_st_a) = run_tld_census_cfg(&tlds, 1.0 / 100_000.0, &cfg);
+    let (obs_b, tld_st_b) = run_tld_census_cfg(&tlds, 1.0 / 100_000.0, &cfg);
     assert_eq!(
         format!("{obs_a:?}"),
         format!("{obs_b:?}"),
@@ -221,8 +225,10 @@ fn faulty_tld_census_and_unreachability_account_probes() {
         .into_iter()
         .take(60)
         .collect();
-    let (un1, un_st1) = run_unreachability_profiled(&specs, NOW, 1, 1, DEFAULT_LAB_SEED, &profile);
-    let (un4, un_st4) = run_unreachability_profiled(&specs, NOW, 1, 4, DEFAULT_LAB_SEED, &profile);
+    let cfg =
+        |threads| DriverConfig::clean(NOW, threads, DEFAULT_LAB_SEED).with_profile(profile.clone());
+    let (un1, un_st1) = run_unreachability_cfg(&specs, 1, &cfg(1));
+    let (un4, un_st4) = run_unreachability_cfg(&specs, 1, &cfg(4));
     assert_eq!(format!("{un1:?}"), format!("{un4:?}"));
     assert_eq!(un_st1, un_st4);
     assert!(un_st1.is_consistent());
@@ -294,8 +300,18 @@ fn signed_zone_is_identical_across_thread_counts() {
 #[test]
 fn tld_census_is_identical_across_thread_counts() {
     let tlds: Vec<_> = generate_tlds().into_iter().step_by(97).collect();
-    let sequential = run_tld_census_with(&tlds, NOW, 1.0 / 100_000.0, 1, DEFAULT_LAB_SEED);
-    let sharded = run_tld_census_with(&tlds, NOW, 1.0 / 100_000.0, 3, DEFAULT_LAB_SEED);
+    let sequential = run_tld_census_cfg(
+        &tlds,
+        1.0 / 100_000.0,
+        &DriverConfig::clean(NOW, 1, DEFAULT_LAB_SEED),
+    )
+    .0;
+    let sharded = run_tld_census_cfg(
+        &tlds,
+        1.0 / 100_000.0,
+        &DriverConfig::clean(NOW, 3, DEFAULT_LAB_SEED),
+    )
+    .0;
     assert_eq!(
         format!("{sequential:?}"),
         format!("{sharded:?}"),

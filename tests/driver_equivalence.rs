@@ -1,0 +1,163 @@
+//! Equivalence pins for the zero-copy wire refactor: every experiment
+//! driver's rendered output is hashed and compared against constants
+//! captured from the pre-refactor message path (owned `Message::decode`,
+//! per-call `Vec` encodes, copying `frame_tcp`). The borrowed
+//! `MessageView` path, pooled encode buffers, and the authoritative
+//! answer-template cache must reproduce these bytes exactly — on clean
+//! networks and under a fault profile that drops *and corrupts*
+//! datagrams (corruption exercises the parse-acceptance boundary, which
+//! the view path must not move).
+//!
+//! If a deliberate behaviour change ever invalidates these constants,
+//! re-capture them by running this test with `--nocapture` and copying
+//! the printed values — but do that only when the change is intended.
+
+use analysis::domains::DomainStats;
+use analysis::ResolverStats;
+use dns_scanner::retry::BreakerConfig;
+use netsim::{Episode, EpisodeKind, FaultConfig, FaultSchedule, RetryPolicy, Scope};
+use nsec3_core::experiments::{
+    run_domain_census_cfg, run_resolver_study_cfg, run_tld_census_cfg, run_unreachability_cfg,
+    DriverConfig, ScanProfile, DEFAULT_LAB_SEED,
+};
+use popgen::domains::DomainSpec;
+use popgen::{generate_domains, generate_fleet, generate_tlds, Scale};
+
+const NOW: u32 = 1_710_000_000;
+
+/// A two-thread config carrying `profile` — the shape every pin uses.
+fn cfg_with(profile: ScanProfile) -> DriverConfig {
+    DriverConfig::clean(NOW, 2, DEFAULT_LAB_SEED).with_profile(profile)
+}
+
+/// FNV-1a over the rendered report: stable, dependency-free, and enough
+/// to pin byte identity.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h = (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn census_specs() -> Vec<DomainSpec> {
+    generate_domains(Scale(1.0 / 500_000.0), 42)
+}
+
+/// A profile that loses *and corrupts* datagrams: corrupted queries and
+/// responses probe the decoder-acceptance boundary on both ends.
+fn corrupting_profile() -> ScanProfile {
+    ScanProfile {
+        schedule: FaultSchedule {
+            base: FaultConfig {
+                drop_chance: 0.02,
+                corrupt_chance: 0.10,
+                duplicate_chance: 0.05,
+                size_limit: None,
+            },
+            seed: 0x5155,
+            episodes: vec![
+                Episode::always(EpisodeKind::Flap {
+                    scope: Scope::All,
+                    drop_chance: 0.05,
+                }),
+                Episode::always(EpisodeKind::LatencySpike {
+                    scope: Scope::All,
+                    extra_micros: 1_500,
+                    jitter_micros: 700,
+                }),
+            ],
+        },
+        retry: RetryPolicy::adaptive(0x9276),
+        breaker: BreakerConfig::default(),
+    }
+}
+
+#[test]
+fn clean_domain_census_output_is_pinned() {
+    let specs = census_specs();
+    let (records, stats) = run_domain_census_cfg(&specs, 64, &cfg_with(ScanProfile::clean()));
+    let report = format!(
+        "{records:?}\n{:?}\n{stats:?}",
+        DomainStats::compute(&records)
+    );
+    let hash = fnv1a(&report);
+    eprintln!(
+        "clean_domain_census hash: {hash:#018x} over {} bytes",
+        report.len()
+    );
+    assert_eq!(hash, 0x3af2_d772_794d_3d5c, "clean census output moved");
+}
+
+#[test]
+fn faulty_domain_census_output_is_pinned() {
+    let specs: Vec<DomainSpec> = census_specs().into_iter().take(40).collect();
+    let profile = corrupting_profile();
+    let (records, stats) = run_domain_census_cfg(&specs, 1, &cfg_with(profile));
+    let report = format!("{records:?}\n{stats:?}");
+    let hash = fnv1a(&report);
+    eprintln!(
+        "faulty_domain_census hash: {hash:#018x} over {} bytes",
+        report.len()
+    );
+    assert_eq!(hash, 0x203a_77e3_0069_95b4, "faulty census output moved");
+}
+
+#[test]
+fn resolver_study_output_is_pinned() {
+    let fleet = generate_fleet(Scale(1.0 / 100_000.0), 42);
+    let study = run_resolver_study_cfg(&fleet, &cfg_with(ScanProfile::clean()));
+    let all = study.all();
+    let report = format!(
+        "{all:?}\n{:?}\n{:?}",
+        ResolverStats::compute(&all),
+        study.stats
+    );
+    let hash = fnv1a(&report);
+    eprintln!(
+        "resolver_study hash: {hash:#018x} over {} bytes",
+        report.len()
+    );
+    assert_eq!(hash, 0x9f6a_1260_c582_fa6f, "resolver study output moved");
+}
+
+#[test]
+fn faulty_resolver_study_output_is_pinned() {
+    let fleet = generate_fleet(Scale(1.0 / 100_000.0), 42);
+    let profile = corrupting_profile();
+    let study = run_resolver_study_cfg(&fleet, &cfg_with(profile));
+    let all = study.all();
+    let report = format!("{all:?}\n{:?}", study.stats);
+    let hash = fnv1a(&report);
+    eprintln!(
+        "faulty_resolver_study hash: {hash:#018x} over {} bytes",
+        report.len()
+    );
+    assert_eq!(
+        hash, 0x8d71_8fde_cbdd_92fb,
+        "faulty resolver study output moved"
+    );
+}
+
+#[test]
+fn tld_census_output_is_pinned() {
+    let tlds: Vec<_> = generate_tlds().into_iter().step_by(29).collect();
+    let (obs, stats) = run_tld_census_cfg(&tlds, 1.0 / 100_000.0, &cfg_with(ScanProfile::clean()));
+    let report = format!("{obs:?}\n{stats:?}");
+    let hash = fnv1a(&report);
+    eprintln!("tld_census hash: {hash:#018x} over {} bytes", report.len());
+    assert_eq!(hash, 0x5fab_0506_fb3e_7e9d, "TLD census output moved");
+}
+
+#[test]
+fn unreachability_output_is_pinned() {
+    let specs = census_specs();
+    let (result, stats) = run_unreachability_cfg(&specs, 32, &cfg_with(ScanProfile::clean()));
+    let report = format!("{result:?}\n{stats:?}");
+    let hash = fnv1a(&report);
+    eprintln!(
+        "unreachability hash: {hash:#018x} over {} bytes",
+        report.len()
+    );
+    assert_eq!(hash, 0x3515_4b9e_cac9_0208, "unreachability output moved");
+}

@@ -1,7 +1,7 @@
 //! §5.1 aggregation: domain-population statistics, Figure 1 CDFs, and the
 //! Table 2 operator breakdown.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::stats::{pct, Cdf};
 
@@ -48,40 +48,106 @@ pub struct DomainStats {
     pub salt_cdf: Cdf,
 }
 
-impl DomainStats {
-    /// Compute from records.
-    pub fn compute(records: &[DomainRecord]) -> Self {
-        let total = records.len() as u64;
-        let lost = records.iter().filter(|r| r.probe_loss).count() as u64;
-        let dnssec = records.iter().filter(|r| !r.probe_loss && r.dnssec).count() as u64;
-        let nsec3_records: Vec<&DomainRecord> = records
-            .iter()
-            .filter(|r| !r.probe_loss && r.nsec3.is_some())
-            .collect();
-        let nsec3 = nsec3_records.len() as u64;
-        let zero_iterations = nsec3_records
-            .iter()
-            .filter(|r| r.nsec3.unwrap().0 == 0)
-            .count() as u64;
-        let no_salt = nsec3_records
-            .iter()
-            .filter(|r| r.nsec3.unwrap().1 == 0)
-            .count() as u64;
-        let opt_out = nsec3_records.iter().filter(|r| r.opt_out).count() as u64;
-        let iterations_cdf =
-            Cdf::from_samples(nsec3_records.iter().map(|r| r.nsec3.unwrap().0 as u32));
-        let salt_cdf = Cdf::from_samples(nsec3_records.iter().map(|r| r.nsec3.unwrap().1 as u32));
-        DomainStats {
-            total,
-            lost,
-            dnssec,
-            nsec3,
-            zero_iterations,
-            no_salt,
-            opt_out,
-            iterations_cdf,
-            salt_cdf,
+/// Incremental [`DomainStats`] accumulator — the streaming census's
+/// sink. Records are folded in one at a time ([`DomainTally::add`]),
+/// shard tallies combine with [`DomainTally::merge`], and the footprint
+/// stays O(distinct parameter values) no matter how many domains flow
+/// through: the CDFs accumulate as count maps, never as per-domain
+/// sample vectors. [`DomainStats::compute`] folds through this same
+/// type, so the batch and streaming paths cannot drift.
+#[derive(Clone, Debug, Default)]
+pub struct DomainTally {
+    total: u64,
+    lost: u64,
+    dnssec: u64,
+    nsec3: u64,
+    zero_iterations: u64,
+    no_salt: u64,
+    opt_out: u64,
+    iterations: BTreeMap<u32, u64>,
+    salt: BTreeMap<u32, u64>,
+}
+
+impl DomainTally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one record in.
+    pub fn add(&mut self, rec: &DomainRecord) {
+        self.total += 1;
+        if rec.probe_loss {
+            // Lost records carry no measurement: counted, not tallied.
+            self.lost += 1;
+            return;
         }
+        if rec.dnssec {
+            self.dnssec += 1;
+        }
+        if let Some((iterations, salt_len)) = rec.nsec3 {
+            self.nsec3 += 1;
+            if iterations == 0 {
+                self.zero_iterations += 1;
+            }
+            if salt_len == 0 {
+                self.no_salt += 1;
+            }
+            if rec.opt_out {
+                self.opt_out += 1;
+            }
+            *self.iterations.entry(iterations as u32).or_default() += 1;
+            *self.salt.entry(salt_len as u32).or_default() += 1;
+        }
+    }
+
+    /// Combine another tally in (shard merge). Order-insensitive: every
+    /// field is a sum or a count map.
+    pub fn merge(&mut self, other: DomainTally) {
+        self.total += other.total;
+        self.lost += other.lost;
+        self.dnssec += other.dnssec;
+        self.nsec3 += other.nsec3;
+        self.zero_iterations += other.zero_iterations;
+        self.no_salt += other.no_salt;
+        self.opt_out += other.opt_out;
+        for (v, c) in other.iterations {
+            *self.iterations.entry(v).or_default() += c;
+        }
+        for (v, c) in other.salt {
+            *self.salt.entry(v).or_default() += c;
+        }
+    }
+
+    /// Number of records folded in so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The finished statistics.
+    pub fn finish(self) -> DomainStats {
+        DomainStats {
+            total: self.total,
+            lost: self.lost,
+            dnssec: self.dnssec,
+            nsec3: self.nsec3,
+            zero_iterations: self.zero_iterations,
+            no_salt: self.no_salt,
+            opt_out: self.opt_out,
+            iterations_cdf: Cdf::from_counts(self.iterations),
+            salt_cdf: Cdf::from_counts(self.salt),
+        }
+    }
+}
+
+impl DomainStats {
+    /// Compute from records — a fold through [`DomainTally`].
+    pub fn compute(records: &[DomainRecord]) -> Self {
+        let mut tally = DomainTally::new();
+        for rec in records {
+            tally.add(rec);
+        }
+        tally.finish()
     }
 
     /// DNSSEC share of all measured domains (paper: 8.8 %). Lost
@@ -249,6 +315,42 @@ mod tests {
         assert_eq!(s.lost, 2);
         assert_eq!(s.dnssec, 4);
         assert!((s.dnssec_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_tally_merge_matches_single_pass() {
+        let records: Vec<DomainRecord> = (0..200)
+            .map(|i| {
+                let mut r = rec(
+                    (i % 3 == 0).then_some(((i % 7) as u16, (i % 5) as u8)),
+                    i % 11 == 0,
+                    None,
+                );
+                r.probe_loss = i % 31 == 0;
+                r
+            })
+            .collect();
+        let whole = DomainStats::compute(&records);
+        // Merge three uneven shard tallies.
+        let mut merged = DomainTally::new();
+        for chunk in [&records[..50], &records[50..51], &records[51..]] {
+            let mut part = DomainTally::new();
+            for r in chunk {
+                part.add(r);
+            }
+            merged.merge(part);
+        }
+        assert_eq!(merged.total(), 200);
+        let stats = merged.finish();
+        assert_eq!(stats.total, whole.total);
+        assert_eq!(stats.lost, whole.lost);
+        assert_eq!(stats.dnssec, whole.dnssec);
+        assert_eq!(stats.nsec3, whole.nsec3);
+        assert_eq!(stats.zero_iterations, whole.zero_iterations);
+        assert_eq!(stats.no_salt, whole.no_salt);
+        assert_eq!(stats.opt_out, whole.opt_out);
+        assert_eq!(stats.iterations_cdf.points(), whole.iterations_cdf.points());
+        assert_eq!(stats.salt_cdf.points(), whole.salt_cdf.points());
     }
 
     #[test]

@@ -12,7 +12,7 @@ pub mod rfc9276;
 pub mod stats;
 pub mod svg;
 
-pub use domains::{operator_table, DomainRecord, DomainStats, OperatorRow};
+pub use domains::{operator_table, DomainRecord, DomainStats, DomainTally, OperatorRow};
 pub use render::{
     cdf_csv, compare_line, figure3_csv, render_cdf, render_figure3_panel, render_table2,
 };

@@ -1,76 +1,138 @@
 //! Small statistics toolkit: empirical CDFs and percentage helpers.
 
 /// An empirical cumulative distribution over `u32` sample values.
-#[derive(Clone, Debug)]
+///
+/// Stored run-length — distinct values with cumulative counts — so the
+/// footprint is O(distinct values), not O(samples). A streaming census
+/// over millions of domains feeds the handful of distinct NSEC3
+/// parameter values through [`Cdf::from_counts`] without ever holding
+/// per-domain samples; [`Cdf::from_samples`] collapses to the same
+/// representation, so both construction paths are indistinguishable
+/// through the query API.
+#[derive(Clone)]
 pub struct Cdf {
-    /// Sorted samples.
-    sorted: Vec<u32>,
+    /// Distinct sample values, ascending.
+    values: Vec<u32>,
+    /// `cumulative[i]` = number of samples ≤ `values[i]`.
+    cumulative: Vec<u64>,
+}
+
+impl std::fmt::Debug for Cdf {
+    /// Renders the expanded sample list, exactly as the pre-run-length
+    /// representation derived it — golden outputs that print a
+    /// [`Cdf`] (the pinned driver reports do) must not move with the
+    /// internal storage.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        struct Expanded<'a>(&'a Cdf);
+        impl std::fmt::Debug for Expanded<'_> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                let mut list = f.debug_list();
+                let mut prev = 0u64;
+                for (&v, &c) in self.0.values.iter().zip(&self.0.cumulative) {
+                    for _ in prev..c {
+                        list.entry(&v);
+                    }
+                    prev = c;
+                }
+                list.finish()
+            }
+        }
+        f.debug_struct("Cdf")
+            .field("sorted", &Expanded(self))
+            .finish()
+    }
 }
 
 impl Cdf {
     /// Build from any sample iterator.
     pub fn from_samples<I: IntoIterator<Item = u32>>(samples: I) -> Self {
-        let mut sorted: Vec<u32> = samples.into_iter().collect();
-        sorted.sort_unstable();
-        Cdf { sorted }
+        let mut counts: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        for s in samples {
+            *counts.entry(s).or_default() += 1;
+        }
+        Cdf::from_counts(counts)
+    }
+
+    /// Build from `(value, count)` pairs in ascending value order with no
+    /// repeated values — the shape a [`std::collections::BTreeMap`]
+    /// iterates in. Zero-count pairs are skipped.
+    pub fn from_counts<I: IntoIterator<Item = (u32, u64)>>(counts: I) -> Self {
+        let mut values = Vec::new();
+        let mut cumulative = Vec::new();
+        let mut acc = 0u64;
+        for (v, c) in counts {
+            if c == 0 {
+                continue;
+            }
+            debug_assert!(values.last().is_none_or(|&last| last < v), "ascending");
+            acc += c;
+            values.push(v);
+            cumulative.push(acc);
+        }
+        Cdf { values, cumulative }
     }
 
     /// Number of samples.
     pub fn len(&self) -> usize {
-        self.sorted.len()
+        self.cumulative.last().copied().unwrap_or(0) as usize
     }
 
     /// True when no samples were supplied.
     pub fn is_empty(&self) -> bool {
-        self.sorted.is_empty()
+        self.values.is_empty()
+    }
+
+    /// Number of samples ≤ `x`.
+    fn count_at_most(&self, x: u32) -> u64 {
+        match self.values.partition_point(|&v| v <= x) {
+            0 => 0,
+            i => self.cumulative[i - 1],
+        }
     }
 
     /// Fraction of samples ≤ `x`, in `[0, 1]`.
     pub fn fraction_at_most(&self, x: u32) -> f64 {
-        if self.sorted.is_empty() {
+        if self.is_empty() {
             return 0.0;
         }
-        let count = self.sorted.partition_point(|&v| v <= x);
-        count as f64 / self.sorted.len() as f64
+        self.count_at_most(x) as f64 / self.len() as f64
     }
 
     /// Number of samples strictly greater than `x`.
     pub fn count_over(&self, x: u32) -> usize {
-        self.sorted.len() - self.sorted.partition_point(|&v| v <= x)
+        (self.len() as u64 - self.count_at_most(x)) as usize
     }
 
     /// The `q`-quantile (0 ≤ q ≤ 1), nearest-rank.
     pub fn quantile(&self, q: f64) -> Option<u32> {
-        if self.sorted.is_empty() {
+        if self.is_empty() {
             return None;
         }
-        let rank = ((q.clamp(0.0, 1.0)) * (self.sorted.len() - 1) as f64).round() as usize;
-        Some(self.sorted[rank])
+        let rank = ((q.clamp(0.0, 1.0)) * (self.len() - 1) as f64).round() as u64;
+        // The value whose cumulative count first covers the rank.
+        let i = self.cumulative.partition_point(|&c| c <= rank);
+        Some(self.values[i])
     }
 
     /// Largest sample.
     pub fn max(&self) -> Option<u32> {
-        self.sorted.last().copied()
+        self.values.last().copied()
     }
 
     /// Smallest sample.
     pub fn min(&self) -> Option<u32> {
-        self.sorted.first().copied()
+        self.values.first().copied()
     }
 
     /// `(x, pct ≤ x)` pairs at every distinct sample value — the series a
     /// CDF plot draws.
     pub fn points(&self) -> Vec<(u32, f64)> {
-        let mut out = Vec::new();
-        let n = self.sorted.len() as f64;
-        let mut i = 0;
-        while i < self.sorted.len() {
-            let v = self.sorted[i];
-            let j = self.sorted.partition_point(|&s| s <= v);
-            out.push((v, j as f64 / n * 100.0));
-            i = j;
-        }
-        out
+        let n = self.len() as f64;
+        self.values
+            .iter()
+            .zip(&self.cumulative)
+            .map(|(&v, &c)| (v, c as f64 / n * 100.0))
+            .collect()
     }
 }
 

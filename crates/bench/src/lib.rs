@@ -105,6 +105,16 @@ pub fn header(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// Peak resident-set size of this process in kilobytes (`VmHWM` from
+/// `/proc/self/status`), or `None` off Linux. The high-water mark is
+/// monotonic for the life of the process, so harnesses that compare RSS
+/// across sweep points must run each point in its own child process.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 /// Write `contents` to `target/experiments/<name>` and report the path.
 pub fn write_artifact(name: &str, contents: &str) {
     let dir = std::path::Path::new("target/experiments");

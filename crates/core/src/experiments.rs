@@ -43,14 +43,14 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use analysis::domains::DomainRecord;
+use analysis::domains::{DomainRecord, DomainStats, DomainTally};
 use analysis::resolvers::Panel;
 use dns_resolver::lab::{LabBuilder, ZoneSpec};
 use dns_resolver::resolver::{Resolver, ResolverConfig};
 use dns_resolver::Rfc9276Policy;
-use dns_scanner::atlas::classify_via_probe_with;
-use dns_scanner::census::{exclusive_operator, Census};
-use dns_scanner::prober::{Prober, ResolverClassification};
+use dns_scanner::atlas::classification_flow_via_probe;
+use dns_scanner::census::{exclusive_operator, Census, CensusProbe, DomainObservation};
+use dns_scanner::prober::{ProbeFlow, Prober, ResolverClassification};
 use dns_scanner::retry::{BreakerConfig, ProbeStats, ScanSession};
 use dns_wire::name::Name;
 use dns_wire::rdata::RData;
@@ -59,9 +59,11 @@ use dns_wire::rrtype::RrType;
 use dns_zone::nsec3hash::Nsec3Params;
 use dns_zone::signer::Denial;
 use dns_zone::Zone;
+use netsim::event::{drive, DriveStats, FlowStep};
 use netsim::{Episode, EpisodeKind, FaultSchedule, RetryPolicy, Scope};
-use popgen::domains::{DnssecKind, DomainSpec};
+use popgen::domains::{DnssecKind, DomainGenerator, DomainSpec};
 use popgen::resolvers::{Access, Family, ResolverSpec};
+use popgen::Scale;
 
 use crate::fleet::deploy_fleet;
 use crate::testbed::build_testbed_seeded;
@@ -69,6 +71,12 @@ use crate::testbed::build_testbed_seeded;
 /// Default lab-network seed for every experiment driver — the value the
 /// sequential drivers have always used.
 pub const DEFAULT_LAB_SEED: u64 = 42;
+
+/// Default in-flight window for the event-driven drivers: how many probe
+/// flows one shard keeps live at once on a fault-free network. Large
+/// enough that admission never starves the event queue, small enough
+/// that a shard's live state stays a few megabytes.
+pub const DEFAULT_WINDOW: usize = 32_768;
 
 /// How a scan run deals with an imperfect network: the faults to inject,
 /// the retry policy every probe uses, and the per-target circuit
@@ -149,6 +157,12 @@ pub struct DriverConfig {
     pub lab_seed: u64,
     /// Fault schedule + retry policy + breaker for every probe.
     pub profile: ScanProfile,
+    /// Requested in-flight window per shard for the event-driven
+    /// pipelines. The *effective* window is this value on fault-free
+    /// networks and 1 under any fault schedule (see
+    /// [`DriverConfig::effective_window`]); output is identical for
+    /// every value.
+    pub window: usize,
 }
 
 impl DriverConfig {
@@ -160,18 +174,26 @@ impl DriverConfig {
             threads,
             lab_seed,
             profile: ScanProfile::clean(),
+            window: DEFAULT_WINDOW,
         }
     }
 
     /// Environment-driven configuration, matching the plain drivers:
     /// `HEROES_THREADS` picks the worker count, `HEROES_FAULTS` the
-    /// profile, and the lab seed is [`DEFAULT_LAB_SEED`].
+    /// profile, `HEROES_WINDOW` the in-flight window (default
+    /// [`DEFAULT_WINDOW`]), and the lab seed is [`DEFAULT_LAB_SEED`].
     pub fn from_env(now: u32) -> Self {
+        let window = std::env::var("HEROES_WINDOW")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|w| w.max(1))
+            .unwrap_or(DEFAULT_WINDOW);
         DriverConfig {
             now,
             threads: sim_par::default_threads(),
             lab_seed: DEFAULT_LAB_SEED,
             profile: fault_profile_from_env(),
+            window,
         }
     }
 
@@ -179,6 +201,29 @@ impl DriverConfig {
     pub fn with_profile(mut self, profile: ScanProfile) -> Self {
         self.profile = profile;
         self
+    }
+
+    /// The same configuration with an explicit in-flight window.
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// The in-flight window the event core actually runs: the full
+    /// requested window when the fault schedule is inert, and 1 — the
+    /// exact sequential schedule — under faults. Fault decisions key off
+    /// per-flow counters *and* the virtual clock, and the clock's
+    /// trajectory depends on interleaving; a window of 1 replays every
+    /// [`RetryPolicy`] and [`FaultSchedule`] decision precisely as the
+    /// blocking pipeline made them. Fault-free networks never consume
+    /// fault randomness and produce no clock-dependent output, so the
+    /// wide window is output-invariant there.
+    pub fn effective_window(&self) -> usize {
+        if self.profile.schedule.is_inert() {
+            self.window.max(1)
+        } else {
+            1
+        }
     }
 }
 
@@ -249,6 +294,7 @@ pub fn run_domain_census_cfg(
     batch_size: usize,
     cfg: &DriverConfig,
 ) -> (Vec<DomainRecord>, ProbeStats) {
+    let window = cfg.effective_window();
     let partials = sim_par::run_sharded(specs, cfg.threads, cfg.lab_seed, |shard, slice| {
         vec![census_shard(
             slice,
@@ -256,6 +302,7 @@ pub fn run_domain_census_cfg(
             batch_size,
             shard.seed,
             &cfg.profile,
+            window,
         )]
     });
     let mut records = Vec::with_capacity(specs.len());
@@ -267,40 +314,122 @@ pub fn run_domain_census_cfg(
     (records, stats)
 }
 
-/// Deprecated positional form of [`run_domain_census_cfg`] on a clean
-/// network.
-#[deprecated(note = "use run_domain_census_cfg with DriverConfig::clean")]
-pub fn run_domain_census_with(
-    specs: &[DomainSpec],
-    now: u32,
-    batch_size: usize,
-    threads: usize,
-    lab_seed: u64,
-) -> Vec<DomainRecord> {
-    run_domain_census_cfg(
-        specs,
-        batch_size,
-        &DriverConfig::clean(now, threads, lab_seed),
-    )
-    .0
+/// The analysis record one census observation yields for `spec`.
+fn record_from_observation(spec: &DomainSpec, obs: DomainObservation) -> DomainRecord {
+    DomainRecord {
+        name: spec.name.clone(),
+        dnssec: obs.dnssec_enabled,
+        nsec3: obs
+            .class
+            .nsec3_enabled()
+            .map(|p| (p.iterations, p.salt.len() as u8)),
+        opt_out: obs.opt_out,
+        operator: exclusive_operator(&obs.ns_targets).map(|n| n.to_string()),
+        probe_loss: obs.probe_loss,
+    }
 }
 
-/// Deprecated positional form of [`run_domain_census_cfg`].
-#[deprecated(note = "use run_domain_census_cfg with DriverConfig")]
-pub fn run_domain_census_profiled(
-    specs: &[DomainSpec],
+/// Run one census batch through the event core: instantiate the batch's
+/// zones in a private lab, admit one [`CensusProbe`] flow per domain
+/// with at most `window` in flight, and hand each finished record to
+/// `sink` **in batch order** (completion order never leaks out — records
+/// land in per-index slots and drain sequentially).
+///
+/// With `window = 1` the event queue degenerates to the exact sequential
+/// schedule of the historical blocking loop: admit one probe, step it to
+/// completion, admit the next.
+fn census_batch(
+    batch: &[DomainSpec],
     now: u32,
-    batch_size: usize,
-    threads: usize,
     lab_seed: u64,
     profile: &ScanProfile,
-) -> (Vec<DomainRecord>, ProbeStats) {
-    let cfg = DriverConfig::clean(now, threads, lab_seed).with_profile(profile.clone());
-    run_domain_census_cfg(specs, batch_size, &cfg)
+    window: usize,
+    session: &ScanSession,
+    sink: &mut dyn FnMut(DomainRecord),
+) -> DriveStats {
+    // TLD zones needed by this batch.
+    let tlds: BTreeSet<Name> = batch
+        .iter()
+        .filter_map(|s| Name::parse(&s.name).ok()?.parent())
+        .filter(|p| !p.is_root())
+        .collect();
+    let mut builder = LabBuilder::new(now).seed(lab_seed);
+    for tld in &tlds {
+        builder = builder.simple_zone(tld, Denial::nsec3_rfc9276());
+    }
+    // Set, not Vec: the per-spec membership probe below would
+    // otherwise make the batch loop quadratic.
+    let mut skipped: BTreeSet<String> = BTreeSet::new();
+    for spec in batch {
+        match zone_spec_for_domain(spec) {
+            Some(zs) => builder = builder.zone(zs),
+            None => {
+                skipped.insert(spec.name.clone());
+            }
+        }
+    }
+    let mut lab = builder.build();
+    lab.net.set_schedule(profile.schedule.clone());
+    let raddr = lab.alloc.v4();
+    let mut cfg = ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+    cfg.now = lab.now;
+    cfg.policy = Rfc9276Policy::unlimited();
+    cfg.retry = profile.retry;
+    let resolver = Resolver::new(cfg);
+    let census = Census::new(&lab.net, &resolver, "census").with_session(session);
+
+    // Completed records parked by batch index until the drain below —
+    // bounded by the batch size, never the population.
+    let mut slots: Vec<Option<DomainRecord>> = Vec::new();
+    slots.resize_with(batch.len(), || None);
+    let mut next = 0usize;
+    let net = &lab.net;
+    let stats = drive(
+        window,
+        || {
+            while next < batch.len() {
+                let i = next;
+                next += 1;
+                if skipped.contains(&batch[i].name) {
+                    continue;
+                }
+                match Name::parse(&batch[i].name) {
+                    Ok(domain) => return Some((i, Some(CensusProbe::new(domain)))),
+                    Err(_) => continue,
+                }
+            }
+            None
+        },
+        |(i, probe): &mut (usize, Option<CensusProbe>), due| {
+            let vnow = net.now_micros();
+            if due > vnow {
+                net.advance(due - vnow);
+            }
+            let p = probe.as_mut().expect("live census probe");
+            if p.step(&census) {
+                let obs = probe
+                    .take()
+                    .expect("finished census probe")
+                    .into_observation();
+                slots[*i] = Some(record_from_observation(&batch[*i], obs));
+                FlowStep::Done
+            } else {
+                FlowStep::Park {
+                    at_micros: net.now_micros(),
+                }
+            }
+        },
+    );
+    for slot in &mut slots {
+        if let Some(record) = slot.take() {
+            sink(record);
+        }
+    }
+    stats
 }
 
-/// One shard of the domain census: the sequential batched pipeline over
-/// `specs`, with every lab seeded from `lab_seed` and carrying
+/// One shard of the domain census: the batched event-driven pipeline
+/// over `specs`, with every lab seeded from `lab_seed` and carrying
 /// `profile`'s fault schedule.
 fn census_shard(
     specs: &[DomainSpec],
@@ -308,61 +437,22 @@ fn census_shard(
     batch_size: usize,
     lab_seed: u64,
     profile: &ScanProfile,
+    window: usize,
 ) -> (Vec<DomainRecord>, ProbeStats) {
     let session = ScanSession::new(profile.breaker);
     let mut records = Vec::with_capacity(specs.len());
     for batch in specs.chunks(batch_size.max(1)) {
-        // TLD zones needed by this batch.
-        let tlds: BTreeSet<Name> = batch
-            .iter()
-            .filter_map(|s| Name::parse(&s.name).ok()?.parent())
-            .filter(|p| !p.is_root())
-            .collect();
-        let mut builder = LabBuilder::new(now).seed(lab_seed);
-        for tld in &tlds {
-            builder = builder.simple_zone(tld, Denial::nsec3_rfc9276());
-        }
-        // Set, not Vec: the per-spec membership probe below would
-        // otherwise make the batch loop quadratic.
-        let mut skipped: BTreeSet<String> = BTreeSet::new();
-        for spec in batch {
-            match zone_spec_for_domain(spec) {
-                Some(zs) => builder = builder.zone(zs),
-                None => {
-                    skipped.insert(spec.name.clone());
-                }
-            }
-        }
-        let mut lab = builder.build();
-        lab.net.set_schedule(profile.schedule.clone());
-        let raddr = lab.alloc.v4();
-        let mut cfg = ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
-        cfg.now = lab.now;
-        cfg.policy = Rfc9276Policy::unlimited();
-        cfg.retry = profile.retry;
-        let resolver = Resolver::new(cfg);
-        let census = Census::new(&lab.net, &resolver, "census").with_session(&session);
-        for spec in batch {
-            if skipped.contains(&spec.name) {
-                continue;
-            }
-            let domain = match Name::parse(&spec.name) {
-                Ok(n) => n,
-                Err(_) => continue,
-            };
-            let obs = census.observe(&domain);
-            records.push(DomainRecord {
-                name: spec.name.clone(),
-                dnssec: obs.dnssec_enabled,
-                nsec3: obs
-                    .class
-                    .nsec3_enabled()
-                    .map(|p| (p.iterations, p.salt.len() as u8)),
-                opt_out: obs.opt_out,
-                operator: exclusive_operator(&obs.ns_targets).map(|n| n.to_string()),
-                probe_loss: obs.probe_loss,
-            });
-        }
+        census_batch(
+            batch,
+            now,
+            lab_seed,
+            profile,
+            window,
+            &session,
+            &mut |rec| {
+                records.push(rec);
+            },
+        );
     }
     let stats = session.stats();
     (records, stats)
@@ -383,6 +473,81 @@ pub fn records_from_specs(specs: &[DomainSpec]) -> Vec<DomainRecord> {
             probe_loss: false,
         })
         .collect()
+}
+
+/// Aggregate outcome of a [`run_domain_census_stream`] run. The full
+/// record list is never materialized — only these order-insensitive
+/// aggregates leave the pipeline.
+#[derive(Clone, Debug)]
+pub struct StreamCensusReport {
+    /// §5.1 statistics over every record the census produced.
+    pub stats: DomainStats,
+    /// Loss-accounted probe traffic, merged across shards.
+    pub probe_stats: ProbeStats,
+    /// Maximum probe flows simultaneously in flight in any one shard —
+    /// the event core's high-water mark.
+    pub in_flight_high_water: usize,
+}
+
+/// The §4.1 census over the whole population at `scale`, fully
+/// streaming: each shard walks its index range through a
+/// [`DomainGenerator`] (O(1) random access), materializes one
+/// `batch_size` batch of specs and its lab at a time, pumps the batch
+/// through the event core, and folds every record straight into a
+/// [`DomainTally`]. Peak memory is O(batch + window), independent of the
+/// population size, so a million-domain census runs with the same
+/// footprint as a ten-thousand-domain one.
+///
+/// Shards and batches are cut exactly as [`run_domain_census_cfg`] cuts
+/// a materialized spec list of the same length, every record is tallied
+/// in batch order within its shard, and the tally merge is
+/// order-insensitive — so the report equals feeding the batch driver's
+/// records through [`DomainStats::compute`], at any thread count.
+pub fn run_domain_census_stream(
+    scale: Scale,
+    population_seed: u64,
+    batch_size: usize,
+    cfg: &DriverConfig,
+) -> StreamCensusReport {
+    let total = popgen::domain_count(scale);
+    let window = cfg.effective_window();
+    let partials = sim_par::run_sharded_range(total, cfg.threads, cfg.lab_seed, |shard| {
+        let generator = DomainGenerator::new(scale, population_seed);
+        let session = ScanSession::new(cfg.profile.breaker);
+        let mut tally = DomainTally::new();
+        let mut high_water = 0usize;
+        let batch_size = batch_size.max(1) as u64;
+        let mut start = shard.start;
+        while start < shard.end {
+            let end = (start + batch_size).min(shard.end);
+            let batch: Vec<DomainSpec> = (start..end).map(|i| generator.get(i)).collect();
+            let drive_stats = census_batch(
+                &batch,
+                cfg.now,
+                shard.seed,
+                &cfg.profile,
+                window,
+                &session,
+                &mut |rec| tally.add(&rec),
+            );
+            high_water = high_water.max(drive_stats.in_flight_high_water);
+            start = end;
+        }
+        (tally, session.stats(), high_water)
+    });
+    let mut tally = DomainTally::new();
+    let mut probe_stats = ProbeStats::default();
+    let mut in_flight_high_water = 0usize;
+    for (shard_tally, shard_stats, shard_high) in partials {
+        tally.merge(shard_tally);
+        probe_stats.merge(&shard_stats);
+        in_flight_high_water = in_flight_high_water.max(shard_high);
+    }
+    StreamCensusReport {
+        stats: tally.finish(),
+        probe_stats,
+        in_flight_high_water,
+    }
 }
 
 /// What the end-to-end TLD census measured for one TLD.
@@ -427,6 +592,7 @@ pub fn run_tld_census_cfg(
     domains_scale: f64,
     cfg: &DriverConfig,
 ) -> (Vec<TldObservation>, ProbeStats) {
+    let window = cfg.effective_window();
     let partials = sim_par::run_sharded(tlds, cfg.threads, cfg.lab_seed, |shard, slice| {
         vec![tld_shard(
             slice,
@@ -434,6 +600,7 @@ pub fn run_tld_census_cfg(
             domains_scale,
             shard.seed,
             &cfg.profile,
+            window,
         )]
     });
     let mut out = Vec::with_capacity(tlds.len());
@@ -445,45 +612,14 @@ pub fn run_tld_census_cfg(
     (out, stats)
 }
 
-/// Deprecated positional form of [`run_tld_census_cfg`] on a clean
-/// network.
-#[deprecated(note = "use run_tld_census_cfg with DriverConfig::clean")]
-pub fn run_tld_census_with(
-    tlds: &[popgen::tlds::TldSpec],
-    now: u32,
-    domains_scale: f64,
-    threads: usize,
-    lab_seed: u64,
-) -> Vec<TldObservation> {
-    run_tld_census_cfg(
-        tlds,
-        domains_scale,
-        &DriverConfig::clean(now, threads, lab_seed),
-    )
-    .0
-}
-
-/// Deprecated positional form of [`run_tld_census_cfg`].
-#[deprecated(note = "use run_tld_census_cfg with DriverConfig")]
-pub fn run_tld_census_profiled(
-    tlds: &[popgen::tlds::TldSpec],
-    now: u32,
-    domains_scale: f64,
-    threads: usize,
-    lab_seed: u64,
-    profile: &ScanProfile,
-) -> (Vec<TldObservation>, ProbeStats) {
-    let cfg = DriverConfig::clean(now, threads, lab_seed).with_profile(profile.clone());
-    run_tld_census_cfg(tlds, domains_scale, &cfg)
-}
-
-/// One shard of the TLD census: the sequential pipeline over `tlds`.
+/// One shard of the TLD census: the event-driven pipeline over `tlds`.
 fn tld_shard(
     tlds: &[popgen::tlds::TldSpec],
     now: u32,
     domains_scale: f64,
     lab_seed: u64,
     profile: &ScanProfile,
+    window: usize,
 ) -> (Vec<TldObservation>, ProbeStats) {
     let mut builder = LabBuilder::new(now).seed(lab_seed);
     for tld in tlds {
@@ -547,36 +683,68 @@ fn tld_shard(
     let resolver = Resolver::new(cfg);
     let census = Census::new(&lab.net, &resolver, "tlds").with_session(&session);
     let xfer_src = lab.alloc.v4();
-    let mut out = Vec::with_capacity(tlds.len());
-    for tld in tlds {
-        let apex = match Name::parse(&tld.name) {
-            Ok(n) => n,
-            Err(_) => continue,
-        };
-        let obs = census.observe(&apex);
-        let (v4, _) = lab.servers[&apex];
-        let transferred = dns_scanner::walk::axfr(&lab.net, xfer_src, v4, &apex);
-        let delegations = transferred.as_ref().map(|records| {
-            let mut cuts: std::collections::BTreeSet<Name> = Default::default();
-            for rec in records {
-                if rec.rrtype() == RrType::NS && rec.name != apex {
-                    cuts.insert(rec.name.clone());
+    // Completed observations parked by shard index, drained in order.
+    let mut slots: Vec<Option<TldObservation>> = Vec::new();
+    slots.resize_with(tlds.len(), || None);
+    let mut next = 0usize;
+    let net = &lab.net;
+    // One flow per TLD: the census probe phases, then — preserving the
+    // blocking pipeline's per-TLD order — the AXFR attempt as the final
+    // step before completion.
+    drive(
+        window,
+        || {
+            while next < tlds.len() {
+                let i = next;
+                next += 1;
+                match Name::parse(&tlds[i].name) {
+                    Ok(apex) => {
+                        let probe = CensusProbe::new(apex.clone());
+                        return Some((i, apex, Some(probe)));
+                    }
+                    Err(_) => continue,
                 }
             }
-            cuts.len() as u64
-        });
-        out.push(TldObservation {
-            name: tld.name.clone(),
-            dnssec: obs.dnssec_enabled,
-            nsec3: obs
-                .class
-                .nsec3_enabled()
-                .map(|p| (p.iterations, p.salt.len() as u8)),
-            opt_out: obs.opt_out,
-            axfr_ok: transferred.is_some(),
-            delegations,
-        });
-    }
+            None
+        },
+        |(i, apex, probe): &mut (usize, Name, Option<CensusProbe>), due| {
+            let vnow = net.now_micros();
+            if due > vnow {
+                net.advance(due - vnow);
+            }
+            let p = probe.as_mut().expect("live tld probe");
+            if !p.step(&census) {
+                return FlowStep::Park {
+                    at_micros: net.now_micros(),
+                };
+            }
+            let obs = probe.take().expect("finished tld probe").into_observation();
+            let (v4, _) = lab.servers[apex];
+            let transferred = dns_scanner::walk::axfr(net, xfer_src, v4, apex);
+            let delegations = transferred.as_ref().map(|records| {
+                let mut cuts: std::collections::BTreeSet<Name> = Default::default();
+                for rec in records {
+                    if rec.rrtype() == RrType::NS && rec.name != *apex {
+                        cuts.insert(rec.name.clone());
+                    }
+                }
+                cuts.len() as u64
+            });
+            slots[*i] = Some(TldObservation {
+                name: tlds[*i].name.clone(),
+                dnssec: obs.dnssec_enabled,
+                nsec3: obs
+                    .class
+                    .nsec3_enabled()
+                    .map(|p| (p.iterations, p.salt.len() as u8)),
+                opt_out: obs.opt_out,
+                axfr_ok: transferred.is_some(),
+                delegations,
+            });
+            FlowStep::Done
+        },
+    );
+    let out = slots.into_iter().flatten().collect();
     let stats = session.stats();
     (out, stats)
 }
@@ -638,6 +806,7 @@ pub fn run_resolver_study(now: u32, specs: &[ResolverSpec]) -> ResolverStudy {
 /// back `unreachable`, partially-covered ones `partial` — and the merged
 /// [`ProbeStats`] ride along in [`ResolverStudy::stats`].
 pub fn run_resolver_study_cfg(specs: &[ResolverSpec], cfg: &DriverConfig) -> ResolverStudy {
+    let window = cfg.effective_window();
     let partials = sim_par::run_sharded(specs, cfg.threads, cfg.lab_seed, |shard, slice| {
         vec![resolver_shard(
             cfg.now,
@@ -646,6 +815,7 @@ pub fn run_resolver_study_cfg(specs: &[ResolverSpec], cfg: &DriverConfig) -> Res
             shard.start,
             slice,
             &cfg.profile,
+            window,
         )]
     });
     let mut per_panel: BTreeMap<Panel, Vec<ResolverClassification>> = BTreeMap::new();
@@ -659,33 +829,10 @@ pub fn run_resolver_study_cfg(specs: &[ResolverSpec], cfg: &DriverConfig) -> Res
     ResolverStudy { per_panel, stats }
 }
 
-/// Deprecated positional form of [`run_resolver_study_cfg`] on a clean
-/// network.
-#[deprecated(note = "use run_resolver_study_cfg with DriverConfig::clean")]
-pub fn run_resolver_study_with(
-    now: u32,
-    specs: &[ResolverSpec],
-    threads: usize,
-    lab_seed: u64,
-) -> ResolverStudy {
-    run_resolver_study_cfg(specs, &DriverConfig::clean(now, threads, lab_seed))
-}
-
-/// Deprecated positional form of [`run_resolver_study_cfg`].
-#[deprecated(note = "use run_resolver_study_cfg with DriverConfig")]
-pub fn run_resolver_study_profiled(
-    now: u32,
-    specs: &[ResolverSpec],
-    threads: usize,
-    lab_seed: u64,
-    profile: &ScanProfile,
-) -> ResolverStudy {
-    let cfg = DriverConfig::clean(now, threads, lab_seed).with_profile(profile.clone());
-    run_resolver_study_cfg(specs, &cfg)
-}
-
 /// One shard of the resolver study: classify `slice`
-/// (= `specs[start..start + slice.len()]`) on a private testbed.
+/// (= `specs[start..start + slice.len()]`) on a private testbed, every
+/// classification a [`ProbeFlow`] stepped through the event core at
+/// wire-attempt granularity.
 fn resolver_shard(
     now: u32,
     lab_seed: u64,
@@ -693,6 +840,7 @@ fn resolver_shard(
     start: usize,
     slice: &[ResolverSpec],
     profile: &ScanProfile,
+    window: usize,
 ) -> (Vec<(Panel, ResolverClassification)>, ProbeStats) {
     let mut tb = build_testbed_seeded(now, lab_seed);
     tb.lab.net.set_schedule(profile.schedule.clone());
@@ -707,32 +855,60 @@ fn resolver_shard(
     tb.lab.alloc.skip_v4(consumed_v4);
     tb.lab.alloc.skip_v6(consumed_v6);
     let deployed = deploy_fleet(&mut tb.lab, slice);
-    let pairs = deployed
-        .iter()
-        .map(|d| {
+    let mut slots: Vec<Option<(Panel, ResolverClassification)>> = Vec::new();
+    slots.resize_with(deployed.len(), || None);
+    let mut next = 0usize;
+    let net = &tb.lab.net;
+    drive(
+        window,
+        || {
+            if next >= deployed.len() {
+                return None;
+            }
+            let i = next;
+            next += 1;
+            let d = &deployed[i];
             let panel = match (d.spec.access, d.spec.family) {
                 (Access::Open, Family::V4) => Panel::OpenV4,
                 (Access::Open, Family::V6) => Panel::OpenV6,
                 (Access::Closed, Family::V4) => Panel::ClosedV4,
                 (Access::Closed, Family::V6) => Panel::ClosedV6,
             };
-            let classification = match &d.probe {
+            let flow = match &d.probe {
                 Some(probe) => {
-                    classify_via_probe_with(&tb.lab.net, probe, &tb.plan, profile.retry, &session)
+                    classification_flow_via_probe(net, probe, &tb.plan, profile.retry, &session)
                 }
                 None => {
                     let src = match d.spec.family {
                         Family::V4 => scanner_v4,
                         Family::V6 => scanner_v6,
                     };
-                    Prober::new(&tb.lab.net, src, &tb.plan)
+                    Prober::new(net, src, &tb.plan)
                         .with_session(&session, profile.retry)
-                        .classify(d.addr)
+                        .classification_flow(d.addr)
                 }
             };
-            (panel, classification)
-        })
-        .collect();
+            Some((i, panel, Some(flow)))
+        },
+        |(i, panel, flow): &mut (usize, Panel, Option<ProbeFlow<'_>>), due| {
+            let vnow = net.now_micros();
+            if due > vnow {
+                net.advance(due - vnow);
+            }
+            match flow.as_mut().expect("live classification flow").step() {
+                FlowStep::Park { at_micros } => FlowStep::Park { at_micros },
+                FlowStep::Done => {
+                    let classification = flow
+                        .take()
+                        .expect("finished classification flow")
+                        .into_classification();
+                    slots[*i] = Some((*panel, classification));
+                    FlowStep::Done
+                }
+            }
+        },
+    );
+    let pairs = slots.into_iter().flatten().collect();
     let stats = session.stats();
     (pairs, stats)
 }
@@ -791,6 +967,7 @@ pub fn run_unreachability_cfg(
         .filter(|s| s.nsec3().is_some())
         .cloned()
         .collect();
+    let window = cfg.effective_window();
     let partials =
         sim_par::run_sharded(&nsec3_sample, cfg.threads, cfg.lab_seed, |shard, slice| {
             vec![unreachability_shard(
@@ -799,6 +976,7 @@ pub fn run_unreachability_cfg(
                 batch_size,
                 shard.seed,
                 &cfg.profile,
+                window,
             )]
         });
     let mut result = Unreachability {
@@ -818,46 +996,15 @@ pub fn run_unreachability_cfg(
     (result, stats)
 }
 
-/// Deprecated positional form of [`run_unreachability_cfg`] on a clean
-/// network.
-#[deprecated(note = "use run_unreachability_cfg with DriverConfig::clean")]
-pub fn run_unreachability_with(
-    specs: &[DomainSpec],
-    now: u32,
-    batch_size: usize,
-    threads: usize,
-    lab_seed: u64,
-) -> Unreachability {
-    run_unreachability_cfg(
-        specs,
-        batch_size,
-        &DriverConfig::clean(now, threads, lab_seed),
-    )
-    .0
-}
-
-/// Deprecated positional form of [`run_unreachability_cfg`].
-#[deprecated(note = "use run_unreachability_cfg with DriverConfig")]
-pub fn run_unreachability_profiled(
-    specs: &[DomainSpec],
-    now: u32,
-    batch_size: usize,
-    threads: usize,
-    lab_seed: u64,
-    profile: &ScanProfile,
-) -> (Unreachability, ProbeStats) {
-    let cfg = DriverConfig::clean(now, threads, lab_seed).with_profile(profile.clone());
-    run_unreachability_cfg(specs, batch_size, &cfg)
-}
-
-/// One shard of the unreachability probe: the sequential batched pipeline
-/// over `sample` (already filtered to NSEC3-enabled specs).
+/// One shard of the unreachability probe: the event-driven batched
+/// pipeline over `sample` (already filtered to NSEC3-enabled specs).
 fn unreachability_shard(
     sample: &[DomainSpec],
     now: u32,
     batch_size: usize,
     lab_seed: u64,
     profile: &ScanProfile,
+    window: usize,
 ) -> (Unreachability, ProbeStats) {
     let session = ScanSession::new(profile.breaker);
     let mut result = Unreachability {
@@ -890,31 +1037,54 @@ fn unreachability_shard(
         cfg.policy = Rfc9276Policy::servfail_above(0);
         cfg.retry = profile.retry;
         let resolver = Resolver::new(cfg);
-        for spec in batch {
-            let domain = match Name::parse(&spec.name) {
-                Ok(n) => n,
-                Err(_) => continue,
-            };
-            let probe = Name::parse("does-not-exist")
-                .unwrap()
-                .concat(&domain)
-                .unwrap();
-            let out = resolver.resolve(&lab.net, &probe, RrType::A);
-            result.probed += 1;
-            // A SERVFAIL that spent upstream timeouts is probe loss, not
-            // a policy verdict (clean networks never spend timeouts).
-            let lost = out.rcode == dns_wire::rrtype::Rcode::ServFail && out.cost.timeouts > 0;
-            if lost {
-                session.note_timed_out(out.cost.retries);
-                result.lost += 1;
-            } else {
-                session.note_answered(out.cost.retries);
-                match out.rcode {
-                    dns_wire::rrtype::Rcode::ServFail => result.unreachable += 1,
-                    _ => result.reachable += 1,
+        // One single-step flow per domain: the whole strict-resolver
+        // lookup runs inside its first step, so any window yields the
+        // sequential order (all flows are due at admission time and the
+        // queue is FIFO at equal times) — the counts are plain sums
+        // regardless.
+        let mut next = 0usize;
+        let net = &lab.net;
+        drive(
+            window,
+            || {
+                while next < batch.len() {
+                    let i = next;
+                    next += 1;
+                    match Name::parse(&batch[i].name) {
+                        Ok(domain) => return Some(domain),
+                        Err(_) => continue,
+                    }
                 }
-            }
-        }
+                None
+            },
+            |domain: &mut Name, due| {
+                let vnow = net.now_micros();
+                if due > vnow {
+                    net.advance(due - vnow);
+                }
+                let probe = Name::parse("does-not-exist")
+                    .unwrap()
+                    .concat(domain)
+                    .unwrap();
+                let out = resolver.resolve(net, &probe, RrType::A);
+                result.probed += 1;
+                // A SERVFAIL that spent upstream timeouts is probe loss,
+                // not a policy verdict (clean networks never spend
+                // timeouts).
+                let lost = out.rcode == dns_wire::rrtype::Rcode::ServFail && out.cost.timeouts > 0;
+                if lost {
+                    session.note_timed_out(out.cost.retries);
+                    result.lost += 1;
+                } else {
+                    session.note_answered(out.cost.retries);
+                    match out.rcode {
+                        dns_wire::rrtype::Rcode::ServFail => result.unreachable += 1,
+                        _ => result.reachable += 1,
+                    }
+                }
+                FlowStep::Done
+            },
+        );
     }
     let stats = session.stats();
     (result, stats)
@@ -1026,29 +1196,56 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // deliberately exercises the legacy wrappers
-    fn clean_profile_matches_legacy_driver_and_accounts_probes() {
+    fn wide_window_matches_sequential_schedule_and_accounts_probes() {
+        // The event core's whole correctness claim in one test: a wide
+        // in-flight window (interleaved probe flows) must reproduce the
+        // window-of-one sequential schedule byte for byte on a clean
+        // network.
         let specs = popgen::generate_domains(Scale(1.0 / 2_000_000.0), 3);
         let sample: Vec<DomainSpec> = specs.into_iter().take(20).collect();
-        let legacy = run_domain_census_with(&sample, NOW, 10, 1, DEFAULT_LAB_SEED);
-        let (profiled, stats) = run_domain_census_profiled(
-            &sample,
-            NOW,
-            10,
-            1,
-            DEFAULT_LAB_SEED,
-            &ScanProfile::clean(),
-        );
-        assert_eq!(profiled.len(), legacy.len());
-        for (a, b) in profiled.iter().zip(legacy.iter()) {
+        let base = DriverConfig::clean(NOW, 1, DEFAULT_LAB_SEED);
+        let sequential = run_domain_census_cfg(&sample, 10, &base.clone().with_window(1)).0;
+        let (wide, stats) = run_domain_census_cfg(&sample, 10, &base.with_window(DEFAULT_WINDOW));
+        assert_eq!(wide.len(), sequential.len());
+        for (a, b) in wide.iter().zip(sequential.iter()) {
             assert_eq!(a.name, b.name);
             assert_eq!(a.nsec3, b.nsec3);
+            assert_eq!(a.operator, b.operator);
             assert!(!a.probe_loss, "clean network never loses probes");
         }
         assert!(stats.is_consistent(), "{stats:?}");
         assert!(stats.sent > 0, "census probes are accounted");
         assert_eq!(stats.timed_out, 0, "clean network times nothing out");
         assert_eq!(stats.circuit_skipped, 0);
+    }
+
+    #[test]
+    fn streaming_census_matches_batched_records() {
+        // The streaming pipeline must aggregate exactly what the batch
+        // pipeline records, at every thread count, for the same shard
+        // and batch cuts.
+        let scale = Scale(1.0 / 2_000_000.0);
+        let specs = popgen::generate_domains(scale, DEFAULT_LAB_SEED);
+        for threads in [1usize, 3] {
+            let cfg = DriverConfig::clean(NOW, threads, DEFAULT_LAB_SEED);
+            let (records, probe_stats) = run_domain_census_cfg(&specs, 40, &cfg);
+            let expected = DomainStats::compute(&records);
+            let report = run_domain_census_stream(scale, DEFAULT_LAB_SEED, 40, &cfg);
+            assert_eq!(report.stats.total, expected.total, "threads = {threads}");
+            assert_eq!(report.stats.lost, expected.lost);
+            assert_eq!(report.stats.dnssec, expected.dnssec);
+            assert_eq!(report.stats.nsec3, expected.nsec3);
+            assert_eq!(report.stats.zero_iterations, expected.zero_iterations);
+            assert_eq!(report.stats.no_salt, expected.no_salt);
+            assert_eq!(report.stats.opt_out, expected.opt_out);
+            assert_eq!(
+                report.stats.iterations_cdf.points(),
+                expected.iterations_cdf.points()
+            );
+            assert_eq!(report.stats.salt_cdf.points(), expected.salt_cdf.points());
+            assert_eq!(report.probe_stats, probe_stats, "threads = {threads}");
+            assert!(report.in_flight_high_water >= 1);
+        }
     }
 
     #[test]

@@ -33,13 +33,10 @@ pub mod testbed;
 
 pub use experiments::{
     cve_cost_sweep, records_from_specs, run_domain_census, run_domain_census_cfg,
-    run_resolver_study, run_resolver_study_cfg, run_tld_census, run_tld_census_cfg,
-    run_unreachability, run_unreachability_cfg, CvePoint, DriverConfig, ResolverStudy,
-    TldObservation, Unreachability, DEFAULT_LAB_SEED,
-};
-#[allow(deprecated)]
-pub use experiments::{
-    run_domain_census_with, run_resolver_study_with, run_tld_census_with, run_unreachability_with,
+    run_domain_census_stream, run_resolver_study, run_resolver_study_cfg, run_tld_census,
+    run_tld_census_cfg, run_unreachability, run_unreachability_cfg, CvePoint, DriverConfig,
+    ResolverStudy, StreamCensusReport, TldObservation, Unreachability, DEFAULT_LAB_SEED,
+    DEFAULT_WINDOW,
 };
 pub use fleet::{deploy_fleet, policy_for, DeployedResolver};
 pub use testbed::{build_testbed, build_testbed_seeded, iteration_values, Testbed, TEST_DOMAIN};

@@ -28,6 +28,8 @@ use std::rc::Rc;
 
 use sim_rng::{Rng, SplitMix64, Xoshiro256pp};
 
+pub mod event;
+
 /// A host on the simulated network.
 ///
 /// Implementations take `&self`; use interior mutability for state (query
@@ -218,6 +220,22 @@ pub struct FaultSchedule {
     pub episodes: Vec<Episode>,
 }
 
+impl FaultSchedule {
+    /// True when this schedule can never touch a datagram: no base-knob
+    /// probabilities, no size limit, no episodes. An inert schedule
+    /// consumes no network RNG and makes no flow-keyed decisions, so
+    /// probe flows sharing a lab may interleave in any order without
+    /// perturbing each other — the condition the event driver checks
+    /// before opening its in-flight window past 1 (DESIGN.md §8).
+    pub fn is_inert(&self) -> bool {
+        self.base.drop_chance == 0.0
+            && self.base.corrupt_chance == 0.0
+            && self.base.duplicate_chance == 0.0
+            && self.base.size_limit.is_none()
+            && self.episodes.is_empty()
+    }
+}
+
 /// Deterministic retry schedule for one query exchange: exponential
 /// backoff with seeded jitter, bounded by an attempt count and an
 /// optional virtual-time budget.
@@ -290,6 +308,98 @@ pub struct ExchangeReport {
     pub outcome: Outcome,
     /// Attempts actually made (≥ 1 unless the budget was already spent).
     pub attempts: u32,
+}
+
+/// What one [`ExchangeMachine::step`] decided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExchangeStep {
+    /// The attempt failed and the policy allows another: resume (send the
+    /// next attempt) once the virtual clock reaches `resume_at_micros`.
+    Backoff {
+        /// Virtual due time of the next attempt, in µs.
+        resume_at_micros: u64,
+    },
+    /// The exchange is over; collect the [`ExchangeReport`].
+    Finished,
+}
+
+/// One policy-driven query exchange as an explicit state machine: each
+/// [`ExchangeMachine::step`] sends exactly one wire attempt and reports
+/// either [`ExchangeStep::Finished`] or the backoff due time before the
+/// next attempt.
+///
+/// This is the *only* implementation of the retry semantics. The
+/// blocking path ([`Network::send_query_with_policy`]) drives the
+/// machine in a tight loop, advancing the clock across each backoff; the
+/// event driver ([`event::drive`]) parks the flow on its timer wheel
+/// instead and resumes the machine when the backoff is due. Both replay
+/// the same `RetryPolicy` decisions — attempt counts, budget checks at
+/// the same clock readings, identical jittered backoffs — so outcomes
+/// are byte-identical by construction.
+#[derive(Debug)]
+pub struct ExchangeMachine {
+    src: IpAddr,
+    dst: IpAddr,
+    policy: RetryPolicy,
+    start_micros: Option<u64>,
+    attempts: u32,
+    outcome: Option<Outcome>,
+}
+
+impl ExchangeMachine {
+    /// A fresh exchange from `src` to `dst` under `policy`. The payload
+    /// travels per step (the caller owns it across parks).
+    pub fn new(src: IpAddr, dst: IpAddr, policy: RetryPolicy) -> Self {
+        ExchangeMachine {
+            src,
+            dst,
+            policy,
+            start_micros: None,
+            attempts: 0,
+            outcome: None,
+        }
+    }
+
+    /// Attempts sent on the wire so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Send one attempt of `payload` on `net` and decide what happens
+    /// next. The first call pins the exchange's budget epoch to the
+    /// current clock, exactly where the blocking loop read it.
+    pub fn step(&mut self, net: &Network, payload: &[u8]) -> ExchangeStep {
+        let start = *self.start_micros.get_or_insert_with(|| net.now_micros());
+        self.attempts += 1;
+        let outcome = net.send_query(self.src, self.dst, payload);
+        let max_attempts = self.policy.max_attempts.max(1);
+        let finished = matches!(outcome, Outcome::Response { .. } | Outcome::NoRoute)
+            || self.attempts >= max_attempts
+            || (self.policy.budget_micros > 0
+                && net.now_micros().saturating_sub(start) >= self.policy.budget_micros);
+        self.outcome = Some(outcome);
+        if finished {
+            ExchangeStep::Finished
+        } else {
+            ExchangeStep::Backoff {
+                resume_at_micros: net
+                    .now_micros()
+                    .saturating_add(self.policy.backoff_micros(self.dst, self.attempts)),
+            }
+        }
+    }
+
+    /// Consume the machine after [`ExchangeStep::Finished`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no step ran.
+    pub fn into_report(self) -> ExchangeReport {
+        ExchangeReport {
+            outcome: self.outcome.expect("exchange stepped at least once"),
+            attempts: self.attempts,
+        }
+    }
 }
 
 /// Fold an address into a hashable word.
@@ -650,32 +760,17 @@ impl Network {
         payload: &[u8],
         policy: &RetryPolicy,
     ) -> ExchangeReport {
-        let start = self.clock.get();
-        let max_attempts = policy.max_attempts.max(1);
-        let mut attempts = 0u32;
-        let mut last;
+        let mut machine = ExchangeMachine::new(src, dst, *policy);
         loop {
-            attempts += 1;
-            last = self.send_query(src, dst, payload);
-            if matches!(last, Outcome::Response { .. } | Outcome::NoRoute) {
-                break;
+            match machine.step(self, payload) {
+                ExchangeStep::Finished => return machine.into_report(),
+                ExchangeStep::Backoff { resume_at_micros } => {
+                    let now = self.clock.get();
+                    if resume_at_micros > now {
+                        self.advance(resume_at_micros - now);
+                    }
+                }
             }
-            if attempts >= max_attempts {
-                break;
-            }
-            if policy.budget_micros > 0
-                && self.clock.get().saturating_sub(start) >= policy.budget_micros
-            {
-                break;
-            }
-            let backoff = policy.backoff_micros(dst, attempts);
-            if backoff > 0 {
-                self.advance(backoff);
-            }
-        }
-        ExchangeReport {
-            outcome: last,
-            attempts,
         }
     }
 

@@ -110,6 +110,105 @@ pub fn shards(len: usize, threads: usize, experiment_seed: u64) -> Vec<Shard> {
         .collect()
 }
 
+/// One contiguous **index range** of a virtual work list, with its
+/// derived seed — the streaming counterpart of [`Shard`] for work lists
+/// that are generated on the fly (a Feistel-indexed population) rather
+/// than materialised as a slice. Ranges are `u64` so a single shard plan
+/// can span populations far larger than memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RangeShard {
+    /// Shard position, 0-based. Also the merge position.
+    pub index: usize,
+    /// Total number of shards in this run.
+    pub count: usize,
+    /// First item index covered by this shard (inclusive).
+    pub start: u64,
+    /// One past the last item index covered by this shard.
+    pub end: u64,
+    /// Per-shard seed derived via [`shard_seed`].
+    pub seed: u64,
+}
+
+impl RangeShard {
+    /// Number of items in this shard.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True when the shard covers no items.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// The full shard plan for a virtual work list of `len` items over
+/// `threads` workers. Same balancing rule as [`shard_ranges`] (first
+/// `len % shards` ranges get one extra item) and the same seed
+/// derivation as [`shards`], so a [`RangeShard`] plan over `0..len` maps
+/// one-to-one onto the [`Shard`] plan for a materialised list of the
+/// same length.
+pub fn range_shards(len: u64, threads: usize, experiment_seed: u64) -> Vec<RangeShard> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let count = (threads as u64).clamp(1, len) as usize;
+    let base = len / count as u64;
+    let extra = len % count as u64;
+    let mut out = Vec::with_capacity(count);
+    let mut start = 0u64;
+    for index in 0..count {
+        let size = base + u64::from((index as u64) < extra);
+        out.push(RangeShard {
+            index,
+            count,
+            start,
+            end: start + size,
+            seed: shard_seed(experiment_seed, index),
+        });
+        start += size;
+    }
+    out
+}
+
+/// Run `work` over the virtual range `0..len` split into at most
+/// `threads` contiguous [`RangeShard`]s, merging per-shard outputs **in
+/// shard order** — the streaming counterpart of [`run_sharded`] for
+/// populations that are never materialised. With one shard the closure
+/// runs inline; a panic in any worker is re-raised after the scope
+/// unwinds.
+pub fn run_sharded_range<R, F>(len: u64, threads: usize, experiment_seed: u64, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&RangeShard) -> R + Sync,
+{
+    let plan = range_shards(len, threads, experiment_seed);
+    match plan.len() {
+        0 => Vec::new(),
+        1 => vec![work(&plan[0])],
+        _ => {
+            let mut merged = Vec::with_capacity(plan.len());
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = plan
+                    .iter()
+                    .map(|shard| {
+                        let work = &work;
+                        scope.spawn(move || work(shard))
+                    })
+                    .collect();
+                // Joining in spawn order IS the merge contract, exactly
+                // as in `run_sharded`.
+                for handle in handles {
+                    match handle.join() {
+                        Ok(part) => merged.push(part),
+                        Err(panic) => std::panic::resume_unwind(panic),
+                    }
+                }
+            });
+            merged
+        }
+    }
+}
+
 /// Worker-thread count from the `HEROES_THREADS` environment variable,
 /// clamped to `1..=`[`MAX_THREADS`]. Defaults to 1 (fully sequential)
 /// when unset or unparsable — parallelism is strictly opt-in so plain
@@ -239,6 +338,41 @@ mod tests {
             });
             assert_eq!(merged, expected, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn range_shards_match_slice_shards() {
+        for len in [1u64, 2, 5, 17, 64, 1000] {
+            for threads in [1usize, 2, 3, 8, 13] {
+                let slice_plan = shards(len as usize, threads, 42);
+                let range_plan = range_shards(len, threads, 42);
+                assert_eq!(range_plan.len(), slice_plan.len());
+                for (r, s) in range_plan.iter().zip(&slice_plan) {
+                    assert_eq!(r.index, s.index);
+                    assert_eq!(r.count, s.count);
+                    assert_eq!(r.start, s.start as u64);
+                    assert_eq!(r.end, s.end as u64);
+                    assert_eq!(r.seed, s.seed);
+                    assert!(!r.is_empty());
+                }
+            }
+        }
+        assert!(range_shards(0, 8, 42).is_empty());
+    }
+
+    #[test]
+    fn range_merge_is_in_shard_order_for_any_thread_count() {
+        let expected: u64 = (0..1000u64).map(|x| x * 3 + 1).sum();
+        for threads in 1..=9 {
+            let parts = run_sharded_range(1000, threads, 42, |shard| {
+                (shard.start..shard.end).map(|x| x * 3 + 1).sum::<u64>()
+            });
+            assert_eq!(parts.len(), threads.clamp(1, 9).min(1000));
+            assert_eq!(parts.iter().sum::<u64>(), expected, "threads = {threads}");
+        }
+        // Shard order, not completion order: tag parts by index.
+        let tags = run_sharded_range(64, 8, 42, |shard| shard.index);
+        assert_eq!(tags, (0..8).collect::<Vec<_>>());
     }
 
     #[test]

@@ -313,66 +313,108 @@ pub fn domain_count(scale: Scale) -> u64 {
     Layout::new(scale).total
 }
 
+/// Random-access handle over the whole population at one `(scale, seed)`
+/// — the streaming census's view of §5.1's 302 M domains. Construction
+/// builds only the block [`Layout`] (a few hundred entries) and the
+/// keyed [`Permutation`]; [`DomainGenerator::get`] then materialises any
+/// output position in O(1) with no state spanning positions, so a
+/// million-domain scan holds exactly one `DomainSpec` at a time.
+///
+/// `get(i)` equals `generate_domains(scale, seed)[i]` by construction:
+/// both paths go through this type.
+pub struct DomainGenerator {
+    layout: Layout,
+    perm: Permutation,
+    /// Per-domain RNG base, mixed with the canonical index per `get`.
+    base: u64,
+}
+
+impl DomainGenerator {
+    /// The population at `scale`, ordered by the keyed permutation for
+    /// `seed`.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        let layout = Layout::new(scale);
+        let perm = Permutation::new(layout.total, SplitMix64::new(seed ^ 0x7e57_ab1e).next_u64());
+        let base = SplitMix64::new(seed ^ 0xd05a1e5u64).next_u64();
+        DomainGenerator { layout, perm, base }
+    }
+
+    /// Population size, tails included.
+    pub fn len(&self) -> u64 {
+        self.layout.total
+    }
+
+    /// True only at scales so small the layout rounds to nothing.
+    pub fn is_empty(&self) -> bool {
+        self.layout.total == 0
+    }
+
+    /// The domain at output position `i` — `perm.apply(i)` picks the
+    /// canonical index, the layout supplies the template, and a private
+    /// RNG seeded from `(seed, canonical index)` draws the cosmetic TLD
+    /// and the opt-out flag.
+    pub fn get(&self, i: u64) -> DomainSpec {
+        assert!(
+            i < self.layout.total,
+            "index {i} exceeds population {}",
+            self.layout.total
+        );
+        let j = self.perm.apply(i);
+        let block = self.layout.locate(j);
+        let mut rng = Xoshiro256pp::seed_from_u64(
+            self.base
+                .wrapping_add(j.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        let pick: f64 = rng.gen_range(0.0..100.0);
+        let mut acc = 0.0;
+        let mut tld = TLD_MIX[0].0;
+        for (t, w) in TLD_MIX {
+            acc += w;
+            if pick < acc {
+                tld = t;
+                break;
+            }
+        }
+        let dnssec = match block.template {
+            Template::Plain => DnssecKind::None,
+            Template::Nsec => DnssecKind::Nsec,
+            Template::Nsec3 {
+                iterations,
+                salt_len,
+                random_opt_out,
+            } => DnssecKind::Nsec3 {
+                iterations,
+                salt_len,
+                opt_out: random_opt_out && rng.gen_bool(totals::OPT_OUT_PCT / 100.0),
+            },
+        };
+        DomainSpec {
+            name: format!("d{}.{tld}.", j + 1),
+            operator: block.operator,
+            dnssec,
+        }
+    }
+}
+
 /// Generate output positions `range` of the population at `scale` —
 /// exactly the slice `generate_domains(scale, seed)[range]`, computed in
 /// O(|range|) regardless of where the range starts.
 ///
-/// Output position `i` holds the domain at canonical index
-/// `perm.apply(i)`, where `perm` is a keyed [`Permutation`] of the whole
-/// population (the random-access stand-in for a final shuffle); each
-/// domain's name TLD and opt-out flag come from a private RNG seeded
-/// from `(seed, canonical index)`. No state spans positions, so any
-/// sharding of `0..domain_count(scale)` concatenates to the full list.
+/// A convenience over [`DomainGenerator`]; no state spans positions, so
+/// any sharding of `0..domain_count(scale)` concatenates to the full
+/// list.
 pub fn generate_domains_range(
     scale: Scale,
     seed: u64,
     range: std::ops::Range<u64>,
 ) -> Vec<DomainSpec> {
-    let layout = Layout::new(scale);
+    let gen = DomainGenerator::new(scale, seed);
     assert!(
-        range.end <= layout.total,
+        range.end <= gen.len(),
         "range {range:?} exceeds population {}",
-        layout.total
+        gen.len()
     );
-    let base = SplitMix64::new(seed ^ 0xd05a1e5u64).next_u64();
-    let perm = Permutation::new(layout.total, SplitMix64::new(seed ^ 0x7e57_ab1e).next_u64());
-    range
-        .map(|i| {
-            let j = perm.apply(i);
-            let block = layout.locate(j);
-            let mut rng = Xoshiro256pp::seed_from_u64(
-                base.wrapping_add(j.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-            );
-            let pick: f64 = rng.gen_range(0.0..100.0);
-            let mut acc = 0.0;
-            let mut tld = TLD_MIX[0].0;
-            for (t, w) in TLD_MIX {
-                acc += w;
-                if pick < acc {
-                    tld = t;
-                    break;
-                }
-            }
-            let dnssec = match block.template {
-                Template::Plain => DnssecKind::None,
-                Template::Nsec => DnssecKind::Nsec,
-                Template::Nsec3 {
-                    iterations,
-                    salt_len,
-                    random_opt_out,
-                } => DnssecKind::Nsec3 {
-                    iterations,
-                    salt_len,
-                    opt_out: random_opt_out && rng.gen_bool(totals::OPT_OUT_PCT / 100.0),
-                },
-            };
-            DomainSpec {
-                name: format!("d{}.{tld}.", j + 1),
-                operator: block.operator,
-                dnssec,
-            }
-        })
-        .collect()
+    range.map(|i| gen.get(i)).collect()
 }
 
 /// Generate the registered-domain population at `scale`.
@@ -548,6 +590,25 @@ mod tests {
                 assert_eq!(a.operator, b.operator, "{range:?}");
                 assert_eq!(a.dnssec, b.dnssec, "{range:?}");
             }
+        }
+    }
+
+    #[test]
+    fn generator_random_access_matches_full_list() {
+        let scale = Scale(1.0 / 100_000.0);
+        let seed = 11;
+        let full = generate_domains(scale, seed);
+        let gen = DomainGenerator::new(scale, seed);
+        assert_eq!(gen.len(), full.len() as u64);
+        assert!(!gen.is_empty());
+        // Arbitrary positions, including both ends — and out of order,
+        // since random access must not depend on visit order.
+        for i in [gen.len() - 1, 0, gen.len() / 2, 17, gen.len() / 3] {
+            let d = gen.get(i);
+            let e = &full[i as usize];
+            assert_eq!(d.name, e.name, "position {i}");
+            assert_eq!(d.operator, e.operator, "position {i}");
+            assert_eq!(d.dnssec, e.dnssec, "position {i}");
         }
     }
 

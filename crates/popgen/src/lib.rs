@@ -21,7 +21,9 @@ pub mod timeline;
 pub mod tlds;
 pub mod tranco;
 
-pub use domains::{domain_count, generate_domains, generate_domains_range, DnssecKind, DomainSpec};
+pub use domains::{
+    domain_count, generate_domains, generate_domains_range, DnssecKind, DomainGenerator, DomainSpec,
+};
 pub use resolvers::{
     generate_fleet, generate_fleet_with_mix, Access, Behavior, Family, ResolverSpec,
 };

@@ -13,7 +13,7 @@ use std::rc::Rc;
 
 use netsim::{Network, Node, RetryPolicy};
 
-use crate::prober::{ProbePlan, Prober, ResolverClassification};
+use crate::prober::{ProbeFlow, ProbePlan, Prober, ResolverClassification};
 use crate::retry::ScanSession;
 
 /// A wrapper that makes any resolver node *closed*: datagrams from
@@ -90,6 +90,22 @@ pub fn classify_via_probe_with(
     let mut prober = Prober::new(net, probe.addr, plan).with_session(session, policy);
     prober.capture_ede = false;
     prober.classify(probe.local_resolver)
+}
+
+/// The classification [`classify_via_probe_with`] performs, as a
+/// steppable [`ProbeFlow`] an event driver can hold in flight alongside
+/// thousands of others. Driving the flow to completion yields exactly
+/// the blocking function's result.
+pub fn classification_flow_via_probe<'a>(
+    net: &'a Network,
+    probe: &AtlasProbe,
+    plan: &'a ProbePlan,
+    policy: RetryPolicy,
+    session: &'a ScanSession,
+) -> ProbeFlow<'a> {
+    let mut prober = Prober::new(net, probe.addr, plan).with_session(session, policy);
+    prober.capture_ede = false;
+    prober.classification_flow(probe.local_resolver)
 }
 
 #[cfg(test)]

@@ -129,94 +129,169 @@ impl<'a> Census<'a> {
         }
     }
 
-    /// Run the three-phase §4.1 scan for one domain.
+    /// Run the three-phase §4.1 scan for one domain: drive a
+    /// [`CensusProbe`] to completion inline. Event-driven pipelines step
+    /// the same machine one phase at a time instead.
     pub fn observe(&self, domain: &Name) -> DomainObservation {
-        let mut obs = DomainObservation {
-            domain: domain.clone(),
-            dnssec_enabled: false,
-            nsec3params: Vec::new(),
-            nsec3_observed: Vec::new(),
-            opt_out: false,
-            uses_nsec: false,
-            ns_targets: Vec::new(),
-            probe_loss: false,
-            class: DomainClass::NotDnssec,
-        };
+        let mut probe = CensusProbe::new(domain.clone());
+        while !probe.step(self) {}
+        probe.into_observation()
+    }
+}
 
-        // Phase 1: DNSKEY.
-        self.rate.pace(self.net);
-        let dnskey = self.resolver.resolve(self.net, domain, RrType::DNSKEY);
-        if Self::phase_lost(&dnskey) {
-            // The bootstrap phase never completed: without it we cannot
-            // even tell DNSSEC from plain DNS, so the domain is lost
-            // coverage, not "NotDnssec". The remaining phases are given
-            // up on (accounted as skipped, not silently dropped).
-            self.note_phase(&dnskey, true);
-            if let Some(session) = self.session {
-                for _ in 0..3 {
-                    session.note_skipped();
+/// Which phase a [`CensusProbe`] runs next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CensusPhase {
+    /// Phase 1: DNSKEY bootstrap.
+    Dnskey,
+    /// Phase 2a: NSEC3PARAM at the apex.
+    Params,
+    /// Phase 2b: NS targets.
+    Ns,
+    /// Phase 3: random-subdomain negative probe.
+    Negative,
+    /// All phases ran (or an early exit fired); the observation is final.
+    Done,
+}
+
+/// The §4.1 scan for one domain as an explicit per-flow state machine:
+/// each [`CensusProbe::step`] paces and runs exactly one probe phase.
+/// [`Census::observe`] drives it inline; the event-driven census parks
+/// the flow between phases instead, interleaving many domains. Both
+/// orders of phases-within-a-domain are identical by construction — this
+/// machine is the only implementation.
+#[derive(Debug)]
+pub struct CensusProbe {
+    obs: DomainObservation,
+    phase: CensusPhase,
+}
+
+impl CensusProbe {
+    /// A fresh three-phase probe for `domain`.
+    pub fn new(domain: Name) -> Self {
+        CensusProbe {
+            obs: DomainObservation {
+                domain,
+                dnssec_enabled: false,
+                nsec3params: Vec::new(),
+                nsec3_observed: Vec::new(),
+                opt_out: false,
+                uses_nsec: false,
+                ns_targets: Vec::new(),
+                probe_loss: false,
+                class: DomainClass::NotDnssec,
+            },
+            phase: CensusPhase::Dnskey,
+        }
+    }
+
+    /// All phases complete?
+    pub fn done(&self) -> bool {
+        self.phase == CensusPhase::Done
+    }
+
+    /// Run one phase through `census` (its pacer, resolver, and session).
+    /// Returns `true` once the observation is final.
+    pub fn step(&mut self, census: &Census<'_>) -> bool {
+        let obs = &mut self.obs;
+        match self.phase {
+            CensusPhase::Dnskey => {
+                census.rate.pace(census.net);
+                let dnskey = census
+                    .resolver
+                    .resolve(census.net, &obs.domain, RrType::DNSKEY);
+                if Census::phase_lost(&dnskey) {
+                    // The bootstrap phase never completed: without it we
+                    // cannot even tell DNSSEC from plain DNS, so the
+                    // domain is lost coverage, not "NotDnssec". The
+                    // remaining phases are given up on (accounted as
+                    // skipped, not silently dropped).
+                    census.note_phase(&dnskey, true);
+                    if let Some(session) = census.session {
+                        for _ in 0..3 {
+                            session.note_skipped();
+                        }
+                    }
+                    obs.probe_loss = true;
+                    obs.class = DomainClass::Unprobed;
+                    self.phase = CensusPhase::Done;
+                } else {
+                    census.note_phase(&dnskey, false);
+                    obs.dnssec_enabled =
+                        dnskey.answers.iter().any(|r| r.rrtype() == RrType::DNSKEY);
+                    // A plain-DNS domain needs no further phases and
+                    // keeps the default NotDnssec class.
+                    self.phase = if obs.dnssec_enabled {
+                        CensusPhase::Params
+                    } else {
+                        CensusPhase::Done
+                    };
                 }
             }
-            obs.probe_loss = true;
-            obs.class = DomainClass::Unprobed;
-            return obs;
-        }
-        self.note_phase(&dnskey, false);
-        obs.dnssec_enabled = dnskey.answers.iter().any(|r| r.rrtype() == RrType::DNSKEY);
-        if !obs.dnssec_enabled {
-            return obs;
-        }
-
-        // Phase 2: NSEC3PARAM and NS.
-        self.rate.pace(self.net);
-        let params = self.resolver.resolve(self.net, domain, RrType::NSEC3PARAM);
-        let params_lost = Self::phase_lost(&params);
-        self.note_phase(&params, params_lost);
-        obs.probe_loss |= params_lost;
-        for rec in &params.answers {
-            if let Some(p) = Nsec3Params::from_rdata(&rec.rdata) {
-                obs.nsec3params.push(p);
-            }
-        }
-        self.rate.pace(self.net);
-        let ns = self.resolver.resolve(self.net, domain, RrType::NS);
-        let ns_lost = Self::phase_lost(&ns);
-        self.note_phase(&ns, ns_lost);
-        obs.probe_loss |= ns_lost;
-        for rec in &ns.answers {
-            if let RData::Ns(target) = &rec.rdata {
-                obs.ns_targets.push(target.clone());
-            }
-        }
-
-        // Phase 3: random-subdomain negative probe.
-        self.rate.pace(self.net);
-        let probe = Name::parse(&format!("zz-{}-probe", self.scan_id))
-            .and_then(|p| p.concat(domain))
-            .unwrap_or_else(|_| domain.clone());
-        let neg = self.resolver.resolve(self.net, &probe, RrType::A);
-        let neg_lost = Self::phase_lost(&neg);
-        self.note_phase(&neg, neg_lost);
-        obs.probe_loss |= neg_lost;
-        let denial_records = neg.authorities.iter().chain(neg.answers.iter());
-        for rec in denial_records {
-            match &rec.rdata {
-                RData::Nsec3 { .. } => {
+            CensusPhase::Params => {
+                census.rate.pace(census.net);
+                let params = census
+                    .resolver
+                    .resolve(census.net, &obs.domain, RrType::NSEC3PARAM);
+                let params_lost = Census::phase_lost(&params);
+                census.note_phase(&params, params_lost);
+                obs.probe_loss |= params_lost;
+                for rec in &params.answers {
                     if let Some(p) = Nsec3Params::from_rdata(&rec.rdata) {
-                        obs.nsec3_observed.push(p);
-                    }
-                    if rec.rdata.nsec3_opt_out() == Some(true) {
-                        obs.opt_out = true;
+                        obs.nsec3params.push(p);
                     }
                 }
-                RData::Nsec { .. } => obs.uses_nsec = true,
-                _ => {}
+                self.phase = CensusPhase::Ns;
             }
+            CensusPhase::Ns => {
+                census.rate.pace(census.net);
+                let ns = census.resolver.resolve(census.net, &obs.domain, RrType::NS);
+                let ns_lost = Census::phase_lost(&ns);
+                census.note_phase(&ns, ns_lost);
+                obs.probe_loss |= ns_lost;
+                for rec in &ns.answers {
+                    if let RData::Ns(target) = &rec.rdata {
+                        obs.ns_targets.push(target.clone());
+                    }
+                }
+                self.phase = CensusPhase::Negative;
+            }
+            CensusPhase::Negative => {
+                census.rate.pace(census.net);
+                let probe = Name::parse(&format!("zz-{}-probe", census.scan_id))
+                    .and_then(|p| p.concat(&obs.domain))
+                    .unwrap_or_else(|_| obs.domain.clone());
+                let neg = census.resolver.resolve(census.net, &probe, RrType::A);
+                let neg_lost = Census::phase_lost(&neg);
+                census.note_phase(&neg, neg_lost);
+                obs.probe_loss |= neg_lost;
+                let denial_records = neg.authorities.iter().chain(neg.answers.iter());
+                for rec in denial_records {
+                    match &rec.rdata {
+                        RData::Nsec3 { .. } => {
+                            if let Some(p) = Nsec3Params::from_rdata(&rec.rdata) {
+                                obs.nsec3_observed.push(p);
+                            }
+                            if rec.rdata.nsec3_opt_out() == Some(true) {
+                                obs.opt_out = true;
+                            }
+                        }
+                        RData::Nsec { .. } => obs.uses_nsec = true,
+                        _ => {}
+                    }
+                }
+                let _ = neg.rcode == Rcode::NxDomain; // either NXDOMAIN or wildcard NOERROR is fine
+                obs.class = classify(obs);
+                self.phase = CensusPhase::Done;
+            }
+            CensusPhase::Done => {}
         }
-        let _ = neg.rcode == Rcode::NxDomain; // either NXDOMAIN or wildcard NOERROR is fine
+        self.done()
+    }
 
-        obs.class = classify(&obs);
-        obs
+    /// The finished (or abandoned) observation.
+    pub fn into_observation(self) -> DomainObservation {
+        self.obs
     }
 }
 

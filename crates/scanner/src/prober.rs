@@ -8,9 +8,10 @@ use dns_resolver::broken::ObservedResponse;
 use dns_wire::message::Message;
 use dns_wire::name::Name;
 use dns_wire::rrtype::{Rcode, RrType};
-use netsim::{Network, Outcome, RetryPolicy};
+use netsim::event::FlowStep;
+use netsim::{ExchangeMachine, ExchangeStep, Network, Outcome, RetryPolicy};
 
-use crate::retry::ScanSession;
+use crate::retry::{ScanSession, SessionExchange, SessionStep};
 
 /// The probe plan derived from the testbed: which names to query.
 #[derive(Clone, Debug)]
@@ -114,6 +115,7 @@ impl ResolverClassification {
 }
 
 /// The prober: one vantage address plus the plan.
+#[derive(Clone, Copy)]
 pub struct Prober<'a> {
     /// The network.
     pub net: &'a Network,
@@ -153,24 +155,21 @@ impl<'a> Prober<'a> {
         self
     }
 
-    fn query(&self, resolver: IpAddr, qname: &Name) -> Option<ObservedResponse> {
+    /// The probe query bytes for `qname`, owned — an event flow holds
+    /// them across parks, where the blocking path borrows a pooled
+    /// buffer for the exchange's duration. Same bytes either way.
+    fn encode_query(&self, qname: &Name) -> Vec<u8> {
         let id = (qname.wire_len() as u16) ^ 0x5aa5;
         let msg = Message::query(id, qname.clone(), RrType::A);
-        // Encode through the thread-local buffer pool: the scan loop
-        // sends millions of near-identical probes, so the query bytes
-        // never touch a fresh allocation.
-        let outcome = dns_wire::with_pooled(|buf| {
+        dns_wire::with_pooled(|buf| {
             msg.encode_into(buf);
-            let q = buf.as_slice();
-            match self.session {
-                Some(session) => session.exchange(self.net, self.src, resolver, q, &self.policy),
-                None => {
-                    self.net
-                        .send_query_with_policy(self.src, resolver, q, &self.policy)
-                        .outcome
-                }
-            }
-        });
+            buf.as_slice().to_vec()
+        })
+    }
+
+    /// Decode an exchange outcome into the observation the classifier
+    /// consumes (EDE stripped for Atlas-style vantage points).
+    fn interpret(&self, outcome: Outcome) -> Option<ObservedResponse> {
         match outcome {
             Outcome::Response { payload, .. } => {
                 let mut obs = ObservedResponse::from_wire(&payload)?;
@@ -201,18 +200,35 @@ impl<'a> Prober<'a> {
     /// silent comes back with `unreachable = true` (it stays in the
     /// study denominator), and one with per-N coverage gaps comes back
     /// `partial` with derived limits suppressed.
+    ///
+    /// Implemented by driving a [`ProbeFlow`] inline — the event-driven
+    /// study steps the identical machine, parking between attempts.
     pub fn classify(&self, resolver: IpAddr) -> ResolverClassification {
-        let mut out = self.classify_tagged(resolver, "a");
-        // Item 7 test only makes sense for insecure-downgrade resolvers.
-        if out.insecure_limit.is_some() {
-            if let Some(apex) = &self.plan.it_2501_expired {
-                let qname = self.probe_name(apex, resolver, "b");
-                if let Some(obs) = self.query(resolver, &qname) {
-                    out.item7_violation = Some(obs.rcode == Rcode::NxDomain);
+        self.drive_flow(self.classification_flow(resolver))
+    }
+
+    /// The full classification as a steppable [`ProbeFlow`] — what
+    /// [`Prober::classify`] drives inline, handed out so an event driver
+    /// can keep many classifications in flight at once.
+    pub fn classification_flow(&self, resolver: IpAddr) -> ProbeFlow<'a> {
+        ProbeFlow::new(*self, resolver, "a", true)
+    }
+
+    /// Drive `flow` to completion on the calling thread, advancing the
+    /// virtual clock across each park (what the timer wheel does for
+    /// event-driven flows).
+    fn drive_flow(&self, mut flow: ProbeFlow<'a>) -> ResolverClassification {
+        loop {
+            match flow.step() {
+                FlowStep::Park { at_micros } => {
+                    let now = self.net.now_micros();
+                    if at_micros > now {
+                        self.net.advance(at_micros - now);
+                    }
                 }
+                FlowStep::Done => return flow.into_classification(),
             }
         }
-        out
     }
 }
 
@@ -248,33 +264,247 @@ impl<'a> Prober<'a> {
     /// Like [`Prober::classify`] but with an extra tag in the probe names
     /// so repeated passes stay cache-busted (no item 7 follow-up).
     fn classify_tagged(&self, resolver: IpAddr, tag: &str) -> ResolverClassification {
-        let mut out = ResolverClassification::empty(resolver);
-        let (valid, expired) = match (
-            self.query(resolver, &self.plan.valid),
-            self.query(resolver, &self.plan.expired),
-        ) {
-            (Some(v), Some(e)) => (v, e),
-            _ => {
-                // Bootstrap probes lost: no basis for any classification.
-                out.unreachable = true;
-                return out;
+        self.drive_flow(ProbeFlow::new(*self, resolver, tag, false))
+    }
+}
+
+/// Where a [`ProbeFlow`] is in the §4.2 probe sequence.
+#[derive(Clone, Debug)]
+enum ProbePhase {
+    /// Bootstrap 1: the correctly-signed name.
+    Valid,
+    /// Bootstrap 2: the expired-signature name, with the valid-name
+    /// observation (if any) in hand.
+    Expired(Option<ObservedResponse>),
+    /// Per-N iteration probe at `it_zones[index]`.
+    ItZone(usize),
+    /// The item 7 follow-up against `it-2501-expired`.
+    Item7,
+    /// Classification final.
+    Done,
+}
+
+/// One wire exchange in flight inside a [`ProbeFlow`]: the owned query
+/// bytes plus the retry machine working through them.
+enum PendingExchange {
+    /// Session-accounted (breaker consulted at open time).
+    Session(SessionExchange),
+    /// Bare policy retries, no session.
+    Raw(ExchangeMachine),
+}
+
+/// The full §4.2 classification of one resolver as a per-flow state
+/// machine: each [`ProbeFlow::step`] sends at most one wire attempt,
+/// parking across retry backoffs, so an event driver can keep thousands
+/// of classifications in flight. [`Prober::classify`] drives the same
+/// machine inline (window of one) — there is no second implementation
+/// of the probe sequence.
+pub struct ProbeFlow<'a> {
+    prober: Prober<'a>,
+    resolver: IpAddr,
+    tag: String,
+    with_item7: bool,
+    phase: ProbePhase,
+    /// The in-flight exchange: query bytes + retry machine. `None`
+    /// between queries.
+    pending: Option<(Vec<u8>, PendingExchange)>,
+    out: ResolverClassification,
+}
+
+impl<'a> ProbeFlow<'a> {
+    /// A fresh classification flow for `resolver`. `tag` cache-busts the
+    /// per-N probe names; `with_item7` enables the `it-2501-expired`
+    /// follow-up (what [`Prober::classify`] does, re-query passes skip
+    /// it).
+    pub fn new(
+        prober: Prober<'a>,
+        resolver: IpAddr,
+        tag: impl Into<String>,
+        with_item7: bool,
+    ) -> Self {
+        ProbeFlow {
+            prober,
+            resolver,
+            tag: tag.into(),
+            with_item7,
+            phase: ProbePhase::Valid,
+            pending: None,
+            out: ResolverClassification::empty(resolver),
+        }
+    }
+
+    /// Classification finished?
+    pub fn done(&self) -> bool {
+        matches!(self.phase, ProbePhase::Done)
+    }
+
+    /// The finished classification.
+    pub fn into_classification(self) -> ResolverClassification {
+        self.out
+    }
+
+    /// The qname the current phase probes, or `None` when the phase
+    /// sends nothing (terminal).
+    fn phase_qname(&self) -> Option<Name> {
+        match &self.phase {
+            ProbePhase::Valid => Some(self.prober.plan.valid.clone()),
+            ProbePhase::Expired(_) => Some(self.prober.plan.expired.clone()),
+            ProbePhase::ItZone(i) => {
+                let (_, apex) = &self.prober.plan.it_zones[*i];
+                Some(self.prober.probe_name(apex, self.resolver, &self.tag))
             }
+            ProbePhase::Item7 => self
+                .prober
+                .plan
+                .it_2501_expired
+                .as_ref()
+                .map(|apex| self.prober.probe_name(apex, self.resolver, "b")),
+            ProbePhase::Done => None,
+        }
+    }
+
+    /// Consume the current phase's query result and pick the next phase
+    /// — the classification logic, one transition at a time.
+    fn advance_phase(&mut self, obs: Option<ObservedResponse>) {
+        match std::mem::replace(&mut self.phase, ProbePhase::Done) {
+            ProbePhase::Valid => {
+                // The per-N bookkeeping happens at probe-send time; the
+                // bootstrap pair only records after both ran.
+                self.phase = ProbePhase::Expired(obs);
+            }
+            ProbePhase::Expired(valid) => match (valid, obs) {
+                (Some(valid), Some(expired)) => {
+                    self.out.is_validator = valid.ad
+                        && valid.rcode == Rcode::NoError
+                        && expired.rcode == Rcode::ServFail;
+                    self.out.ra_missing = !valid.ra;
+                    if self.out.is_validator {
+                        self.enter_it_zone(0);
+                    }
+                    // A non-validator is final: nothing further to probe.
+                }
+                _ => {
+                    // Bootstrap probes lost: no basis for any
+                    // classification.
+                    self.out.unreachable = true;
+                }
+            },
+            ProbePhase::ItZone(i) => {
+                let (n, _) = self.prober.plan.it_zones[i];
+                if let Some(obs) = obs {
+                    self.out.responses.push((n, obs));
+                }
+                self.enter_it_zone(i + 1);
+            }
+            ProbePhase::Item7 => {
+                if let Some(obs) = obs {
+                    self.out.item7_violation = Some(obs.rcode == Rcode::NxDomain);
+                }
+            }
+            ProbePhase::Done => {}
+        }
+    }
+
+    /// Move to per-N probe `index`, or wrap up (derive limits, maybe the
+    /// item 7 follow-up) when the plan is exhausted.
+    fn enter_it_zone(&mut self, index: usize) {
+        if index < self.prober.plan.it_zones.len() {
+            self.phase = ProbePhase::ItZone(index);
+        } else {
+            derive_limits(&mut self.out);
+            // Item 7 test only makes sense for insecure-downgrade
+            // resolvers.
+            if self.with_item7
+                && self.out.insecure_limit.is_some()
+                && self.prober.plan.it_2501_expired.is_some()
+            {
+                self.phase = ProbePhase::Item7;
+            }
+        }
+    }
+
+    /// Advance by at most one wire attempt. Returns
+    /// [`FlowStep::Park`] with the next due time (a retry backoff, or
+    /// *now* between queries) until the classification is final.
+    pub fn step(&mut self) -> FlowStep {
+        if self.done() {
+            return FlowStep::Done;
+        }
+        let net = self.prober.net;
+        if self.pending.is_none() {
+            let qname = match self.phase_qname() {
+                Some(q) => q,
+                None => {
+                    // Phase with nothing to send (item 7 without the
+                    // zone deployed — can't happen, enter_it_zone guards
+                    // it, but stay total).
+                    self.advance_phase(None);
+                    return self.park_or_done();
+                }
+            };
+            if let ProbePhase::ItZone(i) = self.phase {
+                // The plan's intent is recorded when the probe is sent,
+                // exactly as the blocking loop does — coverage gaps are
+                // detected against it.
+                let (n, _) = self.prober.plan.it_zones[i];
+                self.out.probed_ns.push(n);
+            }
+            let payload = self.prober.encode_query(&qname);
+            let exchange = match self.prober.session {
+                Some(session) => PendingExchange::Session(session.begin_exchange(
+                    net,
+                    self.prober.src,
+                    self.resolver,
+                    &self.prober.policy,
+                )),
+                None => PendingExchange::Raw(ExchangeMachine::new(
+                    self.prober.src,
+                    self.resolver,
+                    self.prober.policy,
+                )),
+            };
+            self.pending = Some((payload, exchange));
+        }
+        let (payload, mut exchange) = self.pending.take().expect("pending exchange");
+        let next = match &mut exchange {
+            PendingExchange::Session(ex) => match ex.step(net, &payload) {
+                SessionStep::Park { resume_at_micros } => Some(resume_at_micros),
+                SessionStep::Finished => None,
+            },
+            PendingExchange::Raw(machine) => match machine.step(net, &payload) {
+                ExchangeStep::Backoff { resume_at_micros } => Some(resume_at_micros),
+                ExchangeStep::Finished => None,
+            },
         };
-        out.is_validator =
-            valid.ad && valid.rcode == Rcode::NoError && expired.rcode == Rcode::ServFail;
-        out.ra_missing = !valid.ra;
-        if !out.is_validator {
-            return out;
-        }
-        for (n, apex) in &self.plan.it_zones {
-            out.probed_ns.push(*n);
-            let qname = self.probe_name(apex, resolver, tag);
-            if let Some(obs) = self.query(resolver, &qname) {
-                out.responses.push((*n, obs));
+        match next {
+            Some(resume_at_micros) => {
+                self.pending = Some((payload, exchange));
+                FlowStep::Park {
+                    at_micros: resume_at_micros,
+                }
+            }
+            None => {
+                let outcome = match exchange {
+                    PendingExchange::Session(ex) => {
+                        ex.finish(self.prober.session.expect("session exchange"), net)
+                    }
+                    PendingExchange::Raw(machine) => machine.into_report().outcome,
+                };
+                let obs = self.prober.interpret(outcome);
+                self.advance_phase(obs);
+                self.park_or_done()
             }
         }
-        derive_limits(&mut out);
-        out
+    }
+
+    fn park_or_done(&self) -> FlowStep {
+        if self.done() {
+            FlowStep::Done
+        } else {
+            FlowStep::Park {
+                at_micros: self.prober.net.now_micros(),
+            }
+        }
     }
 }
 

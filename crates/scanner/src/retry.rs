@@ -29,7 +29,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::net::IpAddr;
 
-use netsim::{Network, Outcome, RetryPolicy};
+use netsim::{ExchangeMachine, ExchangeStep, Network, Outcome, RetryPolicy};
 
 /// Loss-accounted probe counters for one scan (or one shard of one).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -163,6 +163,11 @@ impl ScanSession {
     /// One logical query through the session: consult the breaker, send
     /// with `policy`, account the outcome. An open breaker returns
     /// [`Outcome::Timeout`] without touching the wire.
+    ///
+    /// This is the blocking driver of [`ScanSession::begin_exchange`]:
+    /// it advances the virtual clock across every backoff itself, where
+    /// an event-driven flow would park on the timer wheel instead. Both
+    /// replay the same breaker and retry transitions.
     pub fn exchange(
         &self,
         net: &Network,
@@ -171,23 +176,36 @@ impl ScanSession {
         payload: &[u8],
         policy: &RetryPolicy,
     ) -> Outcome {
+        let mut ex = self.begin_exchange(net, src, dst, policy);
+        while let SessionStep::Park { resume_at_micros } = ex.step(net, payload) {
+            let now = net.now_micros();
+            if resume_at_micros > now {
+                net.advance(resume_at_micros - now);
+            }
+        }
+        ex.finish(self, net)
+    }
+
+    /// Open one logical query as a parkable state machine: the breaker
+    /// verdict is taken here (an open breaker accounts the skip
+    /// immediately and yields an already-finished exchange), then each
+    /// [`SessionExchange::step`] sends one wire attempt.
+    pub fn begin_exchange(
+        &self,
+        net: &Network,
+        src: IpAddr,
+        dst: IpAddr,
+        policy: &RetryPolicy,
+    ) -> SessionExchange {
         if self.is_open(net, dst) {
             self.note_skipped();
-            return Outcome::Timeout;
-        }
-        let report = net.send_query_with_policy(src, dst, payload, policy);
-        let retries = u64::from(report.attempts.saturating_sub(1));
-        match report.outcome {
-            Outcome::Response { .. } => {
-                self.note_answered(retries);
-                self.health.borrow_mut().remove(&dst);
-            }
-            Outcome::Timeout | Outcome::NoRoute => {
-                self.note_timed_out(retries);
-                self.record_failure(net, dst);
+            SessionExchange { machine: None, dst }
+        } else {
+            SessionExchange {
+                machine: Some(ExchangeMachine::new(src, dst, *policy)),
+                dst,
             }
         }
-        report.outcome
     }
 
     /// Account one logical query that got a usable answer without going
@@ -217,6 +235,10 @@ impl ScanSession {
         stats.circuit_skipped += 1;
     }
 
+    fn clear_health(&self, dst: IpAddr) {
+        self.health.borrow_mut().remove(&dst);
+    }
+
     fn record_failure(&self, net: &Network, dst: IpAddr) {
         if self.breaker.failure_threshold == 0 {
             return;
@@ -233,6 +255,77 @@ impl ScanSession {
             entry.consecutive_failures = 0;
             self.stats.borrow_mut().gave_up += 1;
         }
+    }
+}
+
+/// What one [`SessionExchange::step`] decided: park until the backoff is
+/// due, or collect the outcome with [`SessionExchange::finish`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SessionStep {
+    /// The attempt failed; send the next one once the virtual clock
+    /// reaches `resume_at_micros` (an event flow parks on the wheel, the
+    /// blocking driver advances the clock).
+    Park {
+        /// Virtual due time of the next attempt, in µs.
+        resume_at_micros: u64,
+    },
+    /// The exchange is over.
+    Finished,
+}
+
+/// One in-flight logical query opened by [`ScanSession::begin_exchange`]:
+/// a [`netsim::ExchangeMachine`] plus the session's breaker bookkeeping.
+/// The caller owns the encoded payload across parks and hands it to each
+/// [`SessionExchange::step`].
+#[derive(Debug)]
+pub struct SessionExchange {
+    /// `None` when the breaker was open at begin time: the skip is
+    /// already accounted and the exchange is born finished.
+    machine: Option<ExchangeMachine>,
+    dst: IpAddr,
+}
+
+impl SessionExchange {
+    /// Was this query skipped by an open breaker (no wire traffic)?
+    pub fn skipped(&self) -> bool {
+        self.machine.is_none()
+    }
+
+    /// Send one wire attempt (no-op returning
+    /// [`SessionStep::Finished`] for a breaker-skipped exchange).
+    pub fn step(&mut self, net: &Network, payload: &[u8]) -> SessionStep {
+        match &mut self.machine {
+            None => SessionStep::Finished,
+            Some(machine) => match machine.step(net, payload) {
+                ExchangeStep::Finished => SessionStep::Finished,
+                ExchangeStep::Backoff { resume_at_micros } => {
+                    SessionStep::Park { resume_at_micros }
+                }
+            },
+        }
+    }
+
+    /// Account the finished exchange in `session` (answered/timed-out
+    /// counters, breaker health) and return its [`Outcome`] — exactly
+    /// the bookkeeping the blocking [`ScanSession::exchange`] performs.
+    pub fn finish(self, session: &ScanSession, net: &Network) -> Outcome {
+        let machine = match self.machine {
+            None => return Outcome::Timeout,
+            Some(m) => m,
+        };
+        let report = machine.into_report();
+        let retries = u64::from(report.attempts.saturating_sub(1));
+        match report.outcome {
+            Outcome::Response { .. } => {
+                session.note_answered(retries);
+                session.clear_health(self.dst);
+            }
+            Outcome::Timeout | Outcome::NoRoute => {
+                session.note_timed_out(retries);
+                session.record_failure(net, self.dst);
+            }
+        }
+        report.outcome
     }
 }
 

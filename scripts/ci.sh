@@ -56,6 +56,16 @@ ROOT="$(pwd)"
 )
 rm -rf "$SMOKE_DIR"
 
+echo "== streaming-census memory gate (100 K domains, fixed RSS ceiling)"
+# The streaming census must hold memory flat regardless of population:
+# shards pull domains from the O(1) generator one batch at a time and
+# fold records straight into tallies. A 100 K-domain run peaks around
+# 11 MB; the 128 MB ceiling is an order of magnitude of headroom, while
+# any regression to materialising the population (specs, labs, or
+# records) blows straight through it. Gated at 1 and 4 threads.
+HEROES_THREADS=1 "$ROOT/target/release/bench_census_scale" --smoke --rss-ceiling-mb 128
+HEROES_THREADS=4 "$ROOT/target/release/bench_census_scale" --smoke --rss-ceiling-mb 128
+
 echo "== external-dependency guard"
 if grep -rn --include=Cargo.toml -E '^\s*((rand|proptest|criterion|rayon|crossbeam|threadpool)\b|\[[a-z-]+\.(rand|proptest|criterion|rayon|crossbeam|threadpool)\])' . ; then
     echo "error: external dependency crept back into a manifest" >&2

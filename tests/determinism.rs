@@ -16,8 +16,9 @@ use analysis::ResolverStats;
 use dns_scanner::retry::BreakerConfig;
 use netsim::{Episode, EpisodeKind, FaultSchedule, RetryPolicy, Scope};
 use nsec3_core::experiments::{
-    run_domain_census, run_domain_census_cfg, run_resolver_study, run_resolver_study_cfg,
-    run_tld_census_cfg, run_unreachability_cfg, DriverConfig, ScanProfile, DEFAULT_LAB_SEED,
+    run_domain_census, run_domain_census_cfg, run_domain_census_stream, run_resolver_study,
+    run_resolver_study_cfg, run_tld_census_cfg, run_unreachability_cfg, DriverConfig, ScanProfile,
+    DEFAULT_LAB_SEED,
 };
 use popgen::{generate_domains, generate_fleet, generate_tlds, Scale};
 
@@ -236,6 +237,53 @@ fn faulty_tld_census_and_unreachability_account_probes() {
         un1.reachable + un1.unreachable + un1.lost,
         un1.probed,
         "unreachability accounting must cover every probe"
+    );
+}
+
+#[test]
+fn streaming_census_is_identical_across_thread_counts() {
+    // The streaming driver shards an index range instead of a spec
+    // slice; `range_shards` must cut it exactly where the slice shards
+    // would, so the merged tally and probe accounting are byte-identical
+    // at every thread count. ~1.5 K domains keeps shard cuts that do not
+    // align with the 64-domain batch boundaries.
+    let scale = Scale(1.0 / 200_000.0);
+    let render = |threads| {
+        let cfg = DriverConfig::clean(NOW, threads, DEFAULT_LAB_SEED);
+        let report = run_domain_census_stream(scale, 42, 64, &cfg);
+        format!("{:?}\n{:?}", report.stats, report.probe_stats)
+    };
+    let one = render(1);
+    assert_eq!(
+        one,
+        render(4),
+        "streaming census must render byte-identically at threads=1 and 4"
+    );
+    assert_eq!(
+        one,
+        render(8),
+        "streaming census must render byte-identically at threads=1 and 8"
+    );
+}
+
+#[test]
+fn faulty_streaming_census_is_identical_across_thread_counts() {
+    // Flow-keyed faults at batch_size = 1: every domain gets a fresh
+    // zero-clock lab, so the fault schedule replays identically however
+    // the index range is sharded — the streaming analogue of
+    // `faulty_census_is_identical_across_thread_counts`.
+    let scale = Scale(1.0 / 500_000.0);
+    let profile = flow_keyed_lossy();
+    let render = |threads| {
+        let cfg = DriverConfig::clean(NOW, threads, DEFAULT_LAB_SEED).with_profile(profile.clone());
+        let report = run_domain_census_stream(scale, 42, 1, &cfg);
+        format!("{:?}\n{:?}", report.stats, report.probe_stats)
+    };
+    let one = render(1);
+    assert_eq!(
+        one,
+        render(4),
+        "faulty streaming census must render byte-identically at threads=1 and 4"
     );
 }
 

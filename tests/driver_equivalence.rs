@@ -17,8 +17,8 @@ use analysis::ResolverStats;
 use dns_scanner::retry::BreakerConfig;
 use netsim::{Episode, EpisodeKind, FaultConfig, FaultSchedule, RetryPolicy, Scope};
 use nsec3_core::experiments::{
-    run_domain_census_cfg, run_resolver_study_cfg, run_tld_census_cfg, run_unreachability_cfg,
-    DriverConfig, ScanProfile, DEFAULT_LAB_SEED,
+    run_domain_census_cfg, run_domain_census_stream, run_resolver_study_cfg, run_tld_census_cfg,
+    run_unreachability_cfg, DriverConfig, ScanProfile, DEFAULT_LAB_SEED,
 };
 use popgen::domains::DomainSpec;
 use popgen::{generate_domains, generate_fleet, generate_tlds, Scale};
@@ -87,6 +87,52 @@ fn clean_domain_census_output_is_pinned() {
         report.len()
     );
     assert_eq!(hash, 0x3af2_d772_794d_3d5c, "clean census output moved");
+}
+
+/// The streaming census never materialises specs or records, yet its
+/// merged statistics must equal — byte for byte, through `Debug` — the
+/// statistics computed from the batched path's record list. Since the
+/// batched output is pinned above, equality transfers the pin to the
+/// streaming pipeline.
+#[test]
+fn streaming_census_matches_pinned_batch_path() {
+    let scale = Scale(1.0 / 500_000.0);
+    let cfg = cfg_with(ScanProfile::clean());
+    let (records, stats) = run_domain_census_cfg(&census_specs(), 64, &cfg);
+    let report = run_domain_census_stream(scale, 42, 64, &cfg);
+    assert_eq!(
+        format!("{:?}", report.stats),
+        format!("{:?}", DomainStats::compute(&records)),
+        "streaming stats diverged from the pinned batch census"
+    );
+    assert_eq!(
+        format!("{:?}", report.probe_stats),
+        format!("{stats:?}"),
+        "streaming probe accounting diverged from the pinned batch census"
+    );
+    assert!(report.in_flight_high_water >= 1);
+}
+
+/// Same transfer under the corrupting fault profile, at `batch_size = 1`
+/// (the shard-invariant geometry the faulty pin uses): losses, retries,
+/// and breaker skips must land identically whether records are collected
+/// or folded straight into the streaming tally.
+#[test]
+fn streaming_census_matches_batch_path_under_faults() {
+    let scale = Scale(1.0 / 500_000.0);
+    let cfg = cfg_with(corrupting_profile());
+    let (records, stats) = run_domain_census_cfg(&census_specs(), 1, &cfg);
+    let report = run_domain_census_stream(scale, 42, 1, &cfg);
+    assert_eq!(
+        format!("{:?}", report.stats),
+        format!("{:?}", DomainStats::compute(&records)),
+        "faulty streaming stats diverged from the batch census"
+    );
+    assert_eq!(
+        format!("{:?}", report.probe_stats),
+        format!("{stats:?}"),
+        "faulty streaming probe accounting diverged from the batch census"
+    );
 }
 
 #[test]

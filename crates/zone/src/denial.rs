@@ -11,7 +11,7 @@ use dns_wire::rdata::RData;
 use dns_wire::record::Record;
 use dns_wire::rrtype::RrType;
 
-use crate::nsec3hash::nsec3_hash_cached;
+use crate::nsec3hash::{nsec3_hash_cached, nsec3_hash_cached_batch};
 use crate::signer::{Denial, SignedZone};
 use crate::ZoneError;
 
@@ -61,8 +61,12 @@ pub fn nsec3_matching(z: &SignedZone, name: &Name) -> Option<Name> {
     // Denial proofs re-hash the same closest enclosers for every negative
     // answer an auth server synthesizes; the thread cache absorbs that.
     let h = nsec3_hash_cached(name, params).digest;
+    nsec3_matching_hash(z, &h)
+}
+
+fn nsec3_matching_hash(z: &SignedZone, h: &[u8; 20]) -> Option<Name> {
     z.nsec3_index
-        .binary_search_by(|(hash, _)| hash.cmp(&h))
+        .binary_search_by(|(hash, _)| hash.cmp(h))
         .ok()
         .map(|i| z.nsec3_index[i].1.clone())
 }
@@ -106,15 +110,21 @@ pub fn nxdomain_proof(z: &SignedZone, qname: &Name) -> Result<DenialProof, ZoneE
             let ce = z.zone.closest_encloser(qname);
             let next_closer = next_closer_name(qname, &ce)?;
             let wildcard = ce.prepend(b"*").map_err(|_| ZoneError::NameTooLong)?;
+            // The proof always needs all three hashes (closest encloser,
+            // next closer, wildcard at the encloser), so compute them in
+            // one batched cache lookup: an adversarial NXDOMAIN storm pays
+            // interleaved lanes per answer instead of three serial chains.
+            let params = z.nsec3_params().expect("NSEC3 denial has params");
+            let hashes = nsec3_hash_cached_batch(&[ce.clone(), next_closer, wildcard], params);
             let mut records = Vec::new();
             let mut push_owner = |owner: Option<Name>| {
                 if let Some(o) = owner {
                     records.extend(with_rrsigs(z, &o, RrType::NSEC3));
                 }
             };
-            push_owner(nsec3_matching(z, &ce));
-            push_owner(nsec3_covering(z, &next_closer));
-            push_owner(nsec3_covering(z, &wildcard));
+            push_owner(nsec3_matching_hash(z, &hashes[0].digest));
+            push_owner(nsec3_covering_hash(z, &hashes[1].digest));
+            push_owner(nsec3_covering_hash(z, &hashes[2].digest));
             dedup_records(&mut records);
             Ok(DenialProof {
                 kind: DenialKind::NxDomain,

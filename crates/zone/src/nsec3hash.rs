@@ -26,6 +26,20 @@
 //! verbatim — *including* its `compressions` count — so the CVE-2023-50868
 //! cost model sees identical numbers whether or not a cache sat in front of
 //! the engine.
+//!
+//! # Which entry point each layer should use
+//!
+//! Every entry point computes the same function; they differ in what they
+//! amortize. Production code should take the highest row its call shape
+//! allows; the plain uncached functions exist for the oracle tests, the
+//! benches' scalar baselines, and one-off lookups.
+//!
+//! | entry point | amortizes | used by |
+//! |---|---|---|
+//! | [`Nsec3HashCache::lookup_wire_batch`] / [`nsec3_hash_wire_cached_batch`] | cache probe + multi-lane hashing of misses | signer denial pass, scanner walk candidates |
+//! | [`nsec3_hash_wire_batch`] / [`nsec3_hash_batch`] | multi-lane hashing (no cache) | batch workloads with no reuse across calls |
+//! | [`nsec3_hash_cached`] / [`nsec3_hash_wire_cached`] | per-thread memoization | validator closest-encloser loops, denial proof synthesis |
+//! | [`nsec3_hash`] / [`nsec3_hash_wire`] | single-block engine only | tests, oracle comparisons, cold one-offs |
 
 use std::cell::{Cell, RefCell};
 
@@ -138,6 +152,62 @@ pub fn nsec3_hash_wire(wire: &[u8], params: &Nsec3Params) -> Nsec3Hash {
         digest,
         compressions,
     }
+}
+
+/// Compute NSEC3 hashes for a batch of canonical-wire names, driving the
+/// misses-free batch through [`IteratedSha1::hash_batch`]'s interleaved
+/// lanes. `out[i]` is byte-identical (digest *and* `compressions`) to
+/// [`nsec3_hash_wire`]`(wires[i], params)`.
+pub fn nsec3_hash_wire_batch(wires: &[&[u8]], params: &Nsec3Params) -> Vec<Nsec3Hash> {
+    let engine = IteratedSha1::new(&params.salt);
+    engine
+        .hash_batch(wires, params.iterations)
+        .into_iter()
+        .map(|(digest, compressions)| Nsec3Hash {
+            digest,
+            compressions,
+        })
+        .collect()
+}
+
+/// [`nsec3_hash_wire_batch`] over [`Name`]s: canonical wire forms are packed
+/// into one arena (no per-name allocation) and hashed multi-lane.
+pub fn nsec3_hash_batch(names: &[Name], params: &Nsec3Params) -> Vec<Nsec3Hash> {
+    let (arena, ends) = pack_canonical_wires(names);
+    let wires = unpack_spans(&arena, &ends);
+    nsec3_hash_wire_batch(&wires, params)
+}
+
+/// Pack canonical wire forms contiguously; returns the arena and each
+/// name's end offset (entry `i` spans `ends[i-1]..ends[i]`). `pub(crate)`
+/// so batch consumers holding non-`Name` collections (the signer's denial
+/// entries) can pack without cloning names into a temporary `Vec`.
+pub(crate) fn pack_canonical_wires<'a, I>(names: I) -> (Vec<u8>, Vec<usize>)
+where
+    I: IntoIterator<Item = &'a Name>,
+{
+    let iter = names.into_iter();
+    let hint = iter.size_hint().0;
+    let mut arena = Vec::with_capacity(hint * 24);
+    let mut ends = Vec::with_capacity(hint);
+    let mut buf = [0u8; MAX_NAME_LEN];
+    for name in iter {
+        let len = name.write_canonical_wire(&mut buf);
+        arena.extend_from_slice(&buf[..len]);
+        ends.push(arena.len());
+    }
+    (arena, ends)
+}
+
+pub(crate) fn unpack_spans<'a>(arena: &'a [u8], ends: &[usize]) -> Vec<&'a [u8]> {
+    let mut start = 0;
+    ends.iter()
+        .map(|&end| {
+            let span = &arena[start..end];
+            start = end;
+            span
+        })
+        .collect()
 }
 
 /// The streaming reference implementation of [`nsec3_hash`]: a fresh
@@ -263,6 +333,90 @@ impl Nsec3HashCache {
         hash
     }
 
+    /// Hash a batch of names under `params`, memoized (see
+    /// [`Nsec3HashCache::lookup_wire_batch`]).
+    pub fn lookup_batch(&self, names: &[Name], params: &Nsec3Params) -> Vec<Nsec3Hash> {
+        let (arena, ends) = pack_canonical_wires(names);
+        let wires = unpack_spans(&arena, &ends);
+        self.lookup_wire_batch(&wires, params)
+    }
+
+    /// Hash a batch of canonical-wire names under `params`, memoized: the
+    /// batch is partitioned into cache hits and misses with one probe pass,
+    /// the misses are hashed together through the interleaved lanes of
+    /// [`IteratedSha1::hash_batch`], and the table is refilled.
+    ///
+    /// `out[i]` is byte-identical to [`Nsec3HashCache::lookup_wire`]
+    /// `(wires[i], params)` — digest and `compressions` both. Hit/miss
+    /// counters also match the scalar sequence, with one carve-out:
+    /// duplicates of the same *uncached* name inside a single batch each
+    /// count (and hash) as misses, where the scalar sequence would hit from
+    /// the second occurrence on. Results are unaffected.
+    pub fn lookup_wire_batch(&self, wires: &[&[u8]], params: &Nsec3Params) -> Vec<Nsec3Hash> {
+        const PENDING: Nsec3Hash = Nsec3Hash {
+            digest: [0; 20],
+            compressions: 0,
+        };
+        let mut out = vec![PENDING; wires.len()];
+        let mut miss_idx: Vec<u32> = Vec::new();
+        {
+            let slots = self.slots.borrow();
+            let mut key_buf = [0u8; MAX_KEY_LEN];
+            for (i, wire) in wires.iter().enumerate() {
+                let key_len = 1 + wire.len() + params.salt.len();
+                if key_len <= MAX_KEY_LEN {
+                    key_buf[0] = params.hash_alg;
+                    key_buf[1..1 + wire.len()].copy_from_slice(wire);
+                    key_buf[1 + wire.len()..key_len].copy_from_slice(&params.salt);
+                    let key = &key_buf[..key_len];
+                    let idx = self.slot(key, params.iterations);
+                    if let Some(entry) = &slots[idx] {
+                        if entry.iterations == params.iterations && entry.key.as_ref() == key {
+                            self.hits.set(self.hits.get() + 1);
+                            out[i] = entry.hash;
+                            continue;
+                        }
+                    }
+                }
+                miss_idx.push(i as u32);
+            }
+        }
+        if miss_idx.is_empty() {
+            return out;
+        }
+        let engine = IteratedSha1::new(&params.salt);
+        let miss_wires: Vec<&[u8]> = miss_idx.iter().map(|&i| wires[i as usize]).collect();
+        let hashed = engine.hash_batch(&miss_wires, params.iterations);
+        let mut slots = self.slots.borrow_mut();
+        let mut key_buf = [0u8; MAX_KEY_LEN];
+        for (&i, (digest, compressions)) in miss_idx.iter().zip(hashed) {
+            let wire = wires[i as usize];
+            let hash = Nsec3Hash {
+                digest,
+                compressions,
+            };
+            out[i as usize] = hash;
+            let key_len = 1 + wire.len() + params.salt.len();
+            if key_len > MAX_KEY_LEN {
+                // Oversized (non-protocol) input: computed, never cached or
+                // counted — as in the scalar path.
+                continue;
+            }
+            self.misses.set(self.misses.get() + 1);
+            key_buf[0] = params.hash_alg;
+            key_buf[1..1 + wire.len()].copy_from_slice(wire);
+            key_buf[1 + wire.len()..key_len].copy_from_slice(&params.salt);
+            let key = &key_buf[..key_len];
+            let idx = self.slot(key, params.iterations);
+            slots[idx] = Some(CacheEntry {
+                key: key.into(),
+                iterations: params.iterations,
+                hash,
+            });
+        }
+        out
+    }
+
     /// Lookups answered from the table.
     pub fn hits(&self) -> u64 {
         self.hits.get()
@@ -318,6 +472,18 @@ pub fn nsec3_hash_cached(name: &Name, params: &Nsec3Params) -> Nsec3Hash {
 /// [`nsec3_hash_wire`] through this thread's shared [`Nsec3HashCache`].
 pub fn nsec3_hash_wire_cached(wire: &[u8], params: &Nsec3Params) -> Nsec3Hash {
     THREAD_CACHE.with(|c| c.lookup_wire(wire, params))
+}
+
+/// [`Nsec3HashCache::lookup_wire_batch`] through this thread's shared
+/// [`Nsec3HashCache`] — the entry point for batch consumers (signer shards,
+/// scanner walks) that want memoization *and* multi-lane hashing.
+pub fn nsec3_hash_wire_cached_batch(wires: &[&[u8]], params: &Nsec3Params) -> Vec<Nsec3Hash> {
+    THREAD_CACHE.with(|c| c.lookup_wire_batch(wires, params))
+}
+
+/// [`Nsec3HashCache::lookup_batch`] through this thread's shared cache.
+pub fn nsec3_hash_cached_batch(names: &[Name], params: &Nsec3Params) -> Vec<Nsec3Hash> {
+    THREAD_CACHE.with(|c| c.lookup_batch(names, params))
 }
 
 /// `(hits, misses)` of this thread's shared cache — observability for
@@ -500,6 +666,75 @@ mod tests {
         assert_eq!(nsec3_hash_cached(&n, &p), nsec3_hash(&n, &p));
         let wire = n.to_canonical_wire();
         assert_eq!(nsec3_hash_wire_cached(&wire, &p), nsec3_hash(&n, &p));
+    }
+
+    #[test]
+    fn rfc5155_appendix_a_vectors_through_batch_api() {
+        // The same eleven published vectors, in one batch call, through both
+        // the uncached batch engine and the cache partition path.
+        let p = appendix_a_params();
+        let names: Vec<Name> = [
+            "example.",
+            "a.example.",
+            "ai.example.",
+            "ns1.example.",
+            "ns2.example.",
+            "w.example.",
+            "*.w.example.",
+            "x.w.example.",
+            "y.w.example.",
+            "x.y.w.example.",
+            "xx.example.",
+        ]
+        .iter()
+        .map(|n| name(n))
+        .collect();
+        let expected: Vec<Nsec3Hash> = names.iter().map(|n| nsec3_hash(n, &p)).collect();
+        assert_eq!(nsec3_hash_batch(&names, &p), expected);
+        let cache = Nsec3HashCache::with_capacity_and_seed(64, 3);
+        assert_eq!(cache.lookup_batch(&names, &p), expected, "all misses");
+        assert_eq!(cache.lookup_batch(&names, &p), expected, "all hits");
+        assert_eq!((cache.hits(), cache.misses()), (11, 11));
+    }
+
+    #[test]
+    fn batch_partition_mixes_hits_and_misses() {
+        let p = Nsec3Params::new(13, vec![0xee; 6]);
+        let cache = Nsec3HashCache::with_capacity_and_seed(256, 7);
+        let warm: Vec<Name> = (0..5).map(|i| name(&format!("warm{i}.example."))).collect();
+        for n in &warm {
+            cache.lookup(n, &p);
+        }
+        let (h0, m0) = (cache.hits(), cache.misses());
+        let batch: Vec<Name> = (0..12)
+            .map(|i| {
+                if i % 3 == 0 {
+                    warm[i / 3].clone()
+                } else {
+                    name(&format!("cold{i}.example."))
+                }
+            })
+            .collect();
+        let got = cache.lookup_batch(&batch, &p);
+        for (n, g) in batch.iter().zip(&got) {
+            assert_eq!(*g, nsec3_hash(n, &p), "{n:?}");
+        }
+        assert_eq!(cache.hits() - h0, 4, "warm0/1/2/3 hit");
+        assert_eq!(cache.misses() - m0, 8, "eight cold misses");
+    }
+
+    #[test]
+    fn thread_cache_batch_matches_scalar() {
+        let p = Nsec3Params::new(2, vec![0x11; 3]);
+        let names: Vec<Name> = (0..9).map(|i| name(&format!("b{i}.example."))).collect();
+        let wires: Vec<Vec<u8>> = names.iter().map(|n| n.to_canonical_wire()).collect();
+        let refs: Vec<&[u8]> = wires.iter().map(|w| w.as_slice()).collect();
+        let batch = nsec3_hash_wire_cached_batch(&refs, &p);
+        let named = nsec3_hash_cached_batch(&names, &p);
+        for ((n, a), b) in names.iter().zip(&batch).zip(&named) {
+            assert_eq!(*a, nsec3_hash(n, &p));
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

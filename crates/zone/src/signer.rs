@@ -12,7 +12,7 @@ use dns_wire::record::{canonical_rrset_order, Record};
 use dns_wire::rrtype::RrType;
 use dns_wire::typebitmap::TypeBitmap;
 
-use crate::nsec3hash::{nsec3_hash_cached, Nsec3Params};
+use crate::nsec3hash::{nsec3_hash_wire_cached_batch, Nsec3Params};
 use crate::zone::Zone;
 use crate::ZoneError;
 
@@ -27,11 +27,16 @@ const SIGNING_SHARD_SEED: u64 = 0x5155_9276;
 const SHARD_MIN_ITEMS: usize = 64;
 
 fn shard_threads(items: usize, threads: usize) -> usize {
-    if items >= SHARD_MIN_ITEMS {
-        threads
-    } else {
-        1
+    if items < SHARD_MIN_ITEMS {
+        return 1;
     }
+    // Never run more workers than the host has execution units: the output
+    // is byte-identical at every thread count (fixed contiguous shards,
+    // index-order merge), so oversubscription buys nothing and costs spawn
+    // and context-switch overhead — on a single-core host, asking for 4
+    // threads used to make signing ~16% *slower* than 1.
+    let available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    threads.clamp(1, available)
 }
 
 /// DNSKEY flags value for a zone-signing key.
@@ -472,17 +477,22 @@ pub fn sign_zone_with_threads(
             // with their type lists and signability, so record assembly
             // below needs no per-name tree lookups.
             let entries = out.denial_entries(*opt_out);
-            // Hash the denial names sharded; each worker thread memoizes
-            // through its own Nsec3HashCache, so re-signing (key rollover,
-            // serial bumps) reuses earlier work.
+            // Hash the denial names sharded; each shard packs its owner
+            // names into one canonical-wire arena and feeds them through
+            // the batched thread-cache entry point: hits replay memoized
+            // digests (re-signing, key rollover), misses hash up to eight
+            // SHA-1 lanes at a time.
             let digests: Vec<[u8; 20]> = sim_par::run_sharded(
                 &entries,
                 shard_threads(entries.len(), threads),
                 SIGNING_SHARD_SEED,
                 |_, slice| {
-                    slice
-                        .iter()
-                        .map(|e| nsec3_hash_cached(&e.name, params).digest)
+                    let (arena, ends) =
+                        crate::nsec3hash::pack_canonical_wires(slice.iter().map(|e| &e.name));
+                    let wires = crate::nsec3hash::unpack_spans(&arena, &ends);
+                    nsec3_hash_wire_cached_batch(&wires, params)
+                        .into_iter()
+                        .map(|h| h.digest)
                         .collect()
                 },
             );
@@ -557,26 +567,27 @@ pub fn sign_zone_with_threads(
         }
     }
 
-    // 3. Sign every authoritative RRset. Key tags are hoisted (one DNSKEY
-    // serialization per key, not per RRset), the (owner, type) work list is
-    // collected up front, and RRSIG generation — the expensive part —
-    // shards over sim-par.
-    let kss: Vec<(&SigningKey, u16, simsig::Context)> = config
+    // 3. Sign every authoritative RRset. Key tags and HMAC pad schedules
+    // are hoisted (one DNSKEY serialization and one pad derivation per key,
+    // not per RRset), the work list carries each RRset's record slice so
+    // the signing shards never walk the zone tree, and every shard builds
+    // its canonical signing buffers first, then signs them per key through
+    // the interleaved batch HMAC engine.
+    let signers: Vec<(&SigningKey, u16, simsig::Context)> = config
         .keys
         .iter()
-        .filter(|k| k.is_ksk())
         .map(|k| (k, k.key_tag(), k.pair.signing_context()))
         .collect();
-    let zss: Vec<(&SigningKey, u16, simsig::Context)> = config
-        .keys
-        .iter()
-        .filter(|k| !k.is_ksk())
-        .map(|k| (k, k.key_tag(), k.pair.signing_context()))
+    let kss_idx: Vec<usize> = (0..signers.len())
+        .filter(|&i| signers[i].0.is_ksk())
+        .collect();
+    let zss_idx: Vec<usize> = (0..signers.len())
+        .filter(|&i| !signers[i].0.is_ksk())
         .collect();
     // Canonical order visits a delegation point before everything beneath
     // it, so a running cut marker replaces the per-owner `is_occluded`
     // ancestor walk.
-    let mut work: Vec<(&Name, RrType)> = Vec::new();
+    let mut work: Vec<(&Name, RrType, &[Record])> = Vec::new();
     let mut cut: Option<&Name> = None;
     for (owner, types) in out.rrsets() {
         if let Some(c) = cut {
@@ -589,45 +600,90 @@ pub fn sign_zone_with_threads(
         if is_delegation {
             cut = Some(owner);
         }
-        for &rrtype in types.keys() {
+        for (&rrtype, rrset) in types {
             // At a delegation point only the DS RRset is signed.
             if is_delegation && rrtype != RrType::DS {
                 continue;
             }
-            work.push((owner, rrtype));
+            work.push((owner, rrtype, rrset.as_slice()));
         }
     }
-    let signed: Vec<Result<Vec<Record>, ZoneError>> = sim_par::run_sharded(
+    let signed: Vec<Result<Record, ZoneError>> = sim_par::run_sharded(
         &work,
         shard_threads(work.len(), threads),
         SIGNING_SHARD_SEED ^ 1,
         |_, slice| {
-            slice
-                .iter()
-                .map(|&(owner, rrtype)| {
-                    let signers: &[(&SigningKey, u16, simsig::Context)] =
-                        if rrtype == RrType::DNSKEY && !kss.is_empty() {
-                            &kss
-                        } else if !zss.is_empty() {
-                            &zss
-                        } else {
-                            &kss
-                        };
-                    let rrset = out.rrset(owner, rrtype).expect("type listed");
-                    signers
-                        .iter()
-                        .map(|(key, tag, ctx)| {
-                            sign_rrset_prepared(
-                                rrset,
-                                key,
-                                *tag,
-                                ctx,
-                                &apex,
-                                config.inception,
-                                config.expiration,
-                            )
-                        })
-                        .collect()
+            // Phase 1: one RRSIG template and canonical signing buffer per
+            // (RRset, key) pair, in work order.
+            let mut slots: Vec<Result<(RData, &Name, u32), ZoneError>> =
+                Vec::with_capacity(slice.len() * 2);
+            let mut buffers: Vec<Vec<u8>> = Vec::with_capacity(slice.len() * 2);
+            let mut buf_key: Vec<usize> = Vec::with_capacity(slice.len() * 2);
+            for &(owner, rrtype, rrset) in slice {
+                let chosen: &[usize] = if rrtype == RrType::DNSKEY && !kss_idx.is_empty() {
+                    &kss_idx
+                } else if !zss_idx.is_empty() {
+                    &zss_idx
+                } else {
+                    &kss_idx
+                };
+                let first = match rrset.first() {
+                    Some(f) => f,
+                    None => {
+                        slots.push(Err(ZoneError::EmptyRrset));
+                        continue;
+                    }
+                };
+                for &ki in chosen {
+                    let (key, tag, _) = &signers[ki];
+                    let fields = RData::Rrsig {
+                        type_covered: rrtype,
+                        algorithm: key.algorithm,
+                        labels: significant_labels(owner) as u8,
+                        original_ttl: first.ttl,
+                        expiration: config.expiration,
+                        inception: config.inception,
+                        key_tag: *tag,
+                        signer_name: apex.clone(),
+                        signature: Vec::new(),
+                    };
+                    match signing_buffer(&fields, owner, rrset) {
+                        Ok(buffer) => {
+                            buffers.push(buffer);
+                            buf_key.push(ki);
+                            slots.push(Ok((fields, owner, first.ttl)));
+                        }
+                        Err(e) => slots.push(Err(e)),
+                    }
+                }
+            }
+            // Phase 2: sign each key's buffers in one interleaved batch.
+            let mut sigs = vec![[0u8; 32]; buffers.len()];
+            for (ki, (_, _, ctx)) in signers.iter().enumerate() {
+                let idx: Vec<usize> = (0..buffers.len()).filter(|&i| buf_key[i] == ki).collect();
+                if idx.is_empty() {
+                    continue;
+                }
+                let refs: Vec<&[u8]> = idx.iter().map(|&i| buffers[i].as_slice()).collect();
+                let mut out_sigs = vec![[0u8; 32]; idx.len()];
+                ctx.sign_batch_into(&refs, &mut out_sigs);
+                for (&i, s) in idx.iter().zip(&out_sigs) {
+                    sigs[i] = *s;
+                }
+            }
+            // Phase 3: patch the signatures into the templates, still in
+            // work order.
+            let mut next = 0usize;
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.map(|(mut fields, owner, ttl)| {
+                        if let RData::Rrsig { signature, .. } = &mut fields {
+                            *signature = sigs[next].to_vec();
+                        }
+                        next += 1;
+                        Record::new(owner.clone(), ttl, fields)
+                    })
                 })
                 .collect()
         },
@@ -635,9 +691,9 @@ pub fn sign_zone_with_threads(
     // The work list was produced by an in-order scan of `out`, and
     // `run_sharded` merges shards in index order, so the signature stream
     // is already in canonical owner order: merge it with one linear walk.
-    let mut sigs: Vec<Record> = Vec::with_capacity(work.len());
+    let mut sigs: Vec<Record> = Vec::with_capacity(signed.len());
     for item in signed {
-        sigs.extend(item?);
+        sigs.push(item?);
     }
     out.merge_in_order(sigs)?;
 

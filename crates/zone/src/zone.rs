@@ -315,8 +315,11 @@ impl Zone {
         // strictly below a delegation point, and canonical order visits the
         // delegation before everything beneath it — so tracking the most
         // recent cut replaces the per-name ancestor walk (and its
-        // per-label allocations) that `is_occluded` would cost.
-        let mut out: BTreeMap<Name, (Vec<RrType>, bool)> = BTreeMap::new();
+        // per-label allocations) that `is_occluded` would cost. The tree
+        // iterates in canonical order already, so the chain accumulates
+        // into a Vec directly instead of re-sorting through a second
+        // BTreeMap of cloned names.
+        let mut main: Vec<DenialEntry> = Vec::with_capacity(self.rrsets.len());
         let mut cut: Option<&Name> = None;
         for (name, types) in &self.rrsets {
             if let Some(c) = cut {
@@ -336,25 +339,54 @@ impl Zone {
             // At a delegation only a DS RRset is signed; everywhere else
             // every authoritative name carries at least one RRSIG.
             let will_sign = !is_delegation || signed_delegation;
-            out.insert(name.clone(), (types.keys().copied().collect(), will_sign));
-        }
-        for ent in self.empty_non_terminals() {
-            if self.is_occluded(&ent) {
-                continue;
-            }
-            if opt_out && !out.keys().any(|n| n != &ent && n.is_subdomain_of(&ent)) {
-                continue;
-            }
-            // Empty non-terminals own no records and no signatures.
-            out.insert(ent, (Vec::new(), false));
-        }
-        out.into_iter()
-            .map(|(name, (types, will_sign))| DenialEntry {
-                name,
-                types,
+            main.push(DenialEntry {
+                name: name.clone(),
+                types: types.keys().copied().collect(),
                 will_sign,
+            });
+        }
+        // Empty non-terminals arrive sorted (BTreeSet) and are disjoint
+        // from `main` (an ENT owns no records), so a single sorted merge
+        // finishes the chain. An ENT kept under opt-out needs a signed
+        // (i.e. surviving) name beneath it; descendants are contiguous
+        // right after the ENT's insertion point in canonical order.
+        let ents: Vec<Name> = self
+            .empty_non_terminals()
+            .into_iter()
+            .filter(|ent| !self.is_occluded(ent))
+            .filter(|ent| {
+                if !opt_out {
+                    return true;
+                }
+                let idx = main.partition_point(|e| e.name < *ent);
+                idx < main.len() && main[idx].name.is_subdomain_of(ent)
             })
-            .collect()
+            .collect();
+        if ents.is_empty() {
+            return main;
+        }
+        let mut out = Vec::with_capacity(main.len() + ents.len());
+        let mut main = main.into_iter().peekable();
+        let mut ents = ents.into_iter().peekable();
+        let ent_entry = |name: Name| DenialEntry {
+            name,
+            types: Vec::new(),
+            will_sign: false,
+        };
+        loop {
+            let take_main = match (main.peek(), ents.peek()) {
+                (Some(m), Some(e)) => m.name < *e,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_main {
+                out.push(main.next().expect("peeked"));
+            } else {
+                out.push(ent_entry(ents.next().expect("peeked")));
+            }
+        }
+        out
     }
 
     /// The closest encloser of `qname`: the longest existing (per

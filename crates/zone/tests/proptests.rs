@@ -10,7 +10,8 @@ use dns_wire::record::Record;
 use dns_wire::rrtype::RrType;
 use dns_zone::denial::{nodata_proof, nxdomain_proof};
 use dns_zone::nsec3hash::{
-    nsec3_hash, nsec3_hash_reference, nsec3_hash_wire, nsec3_hash_wire_reference, Nsec3Params,
+    nsec3_hash, nsec3_hash_batch, nsec3_hash_reference, nsec3_hash_wire, nsec3_hash_wire_batch,
+    nsec3_hash_wire_reference, Nsec3HashCache, Nsec3Params,
 };
 use dns_zone::signer::{sign_zone, verify_rrsig, Denial, SignedZone, SignerConfig};
 use dns_zone::Zone;
@@ -299,6 +300,50 @@ props! {
             assert!(full.contains(n));
         }
     }
+
+    /// The batch entry points are byte-identical — digest *and*
+    /// `compressions` — to per-name scalar hashing, for ragged batch sizes
+    /// 1..=16, salt lengths across the 35→36 single/two-block template
+    /// boundary, and the issue's full iteration set.
+    fn batch_matches_scalar_per_name(
+        names in gens::vec_of(in_zone_name(), 1..=16),
+        salt_len in gens::usizes(0..=40),
+        fill in gens::u8s(..),
+        it in iterations_choice(),
+    ) {
+        let p = Nsec3Params::new(it, vec![fill; salt_len]);
+        let batch = nsec3_hash_batch(&names, &p);
+        assert_eq!(batch.len(), names.len());
+        for (n, got) in names.iter().zip(&batch) {
+            assert_eq!(*got, nsec3_hash(n, &p), "{n} salt_len={salt_len} it={it}");
+        }
+        // The wire-slice batch API is the same function as the `&Name` one.
+        let wires: Vec<Vec<u8>> = names.iter().map(|n| n.to_canonical_wire()).collect();
+        let refs: Vec<&[u8]> = wires.iter().map(|w| w.as_slice()).collect();
+        assert_eq!(nsec3_hash_wire_batch(&refs, &p), batch);
+    }
+
+    /// The cache-partition path (probe for hits, hash misses multi-lane,
+    /// insert) returns exactly the scalar answers no matter which subset
+    /// of the batch is already cached — duplicates within a batch
+    /// included — and a re-lookup replays identical results from cache.
+    fn cache_batch_partition_matches_scalar(
+        names in gens::vec_of(in_zone_name(), 1..=16),
+        warm in gens::usizes(..),
+        p in params(),
+    ) {
+        let cache = Nsec3HashCache::with_capacity_and_seed(64, 9);
+        for (i, n) in names.iter().enumerate() {
+            if warm & (1 << (i % 16)) != 0 {
+                cache.lookup(n, &p);
+            }
+        }
+        let got = cache.lookup_batch(&names, &p);
+        for (n, g) in names.iter().zip(&got) {
+            assert_eq!(*g, nsec3_hash(n, &p), "{n}");
+        }
+        assert_eq!(cache.lookup_batch(&names, &p), got, "cached replay");
+    }
 }
 
 /// Exhaustive sweep of every legal salt length (the wire field is one
@@ -355,6 +400,19 @@ fn fast_engine_matches_reference_on_rfc5155_appendix_a() {
             dns_wire::base32::encode(&fast.digest),
             expected_b32,
             "published vector for {name_text}"
+        );
+    }
+    // The same eleven vectors through the batch API in one call — the
+    // interleaved lanes must reproduce the published digests too.
+    let names: Vec<Name> = vectors
+        .iter()
+        .map(|(t, _)| Name::parse(t).unwrap())
+        .collect();
+    for (got, (name_text, expected_b32)) in nsec3_hash_batch(&names, &p).iter().zip(vectors) {
+        assert_eq!(
+            dns_wire::base32::encode(&got.digest),
+            expected_b32,
+            "batch lane for {name_text}"
         );
     }
 }

@@ -40,7 +40,10 @@ fi
 echo "== bench smoke: engine parity gates (reduced samples)"
 # bench_nsec3_hash refuses to start unless the single-block engine agrees
 # with the streaming reference (digests and compression counts) across the
-# salt-length boundary; bench_zone_signing asserts the signed zone renders
+# salt-length boundary, and the interleaved batch lanes agree with the
+# scalar engine over ragged batch sizes, the 35→36-byte salt boundary,
+# and every measured iteration count; bench_zone_signing asserts the
+# signed zone renders
 # byte-identically at threads=1/2/4; bench_wire refuses to start unless
 # MessageView's accept/reject decisions (and materialized contents) match
 # Message::decode over a corpus of clean, truncated, and bit-flipped

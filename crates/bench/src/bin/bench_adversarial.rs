@@ -1,0 +1,206 @@
+//! Adversarial denial-of-existence cost sweep: what does each attack
+//! family cost a validating resolver per query, undefended versus behind
+//! the layered defense (RFC 9276 iteration clamp + per-query work
+//! budget)?
+//!
+//! Runs every [`popgen::adversarial::AttackFamily`] twice — once with
+//! [`DefenseProfile::undefended`], once with
+//! [`DefenseProfile::defended`] — and reports SHA-1 compressions,
+//! signature verifications and combined work units per query, plus the
+//! budget-abort tallies (degraded queries are accounted separately and
+//! never pollute completed-query averages). Results land in
+//! `BENCH_adversarial.json`.
+//!
+//! The paper-facing claims are asserted, so CI fails if they regress:
+//!
+//! * every attack family costs an undefended resolver ≥ 10× the
+//!   RFC 9276 baseline per query (work units);
+//! * the defense holds the *total* per-query bill of every family to a
+//!   small constant factor of the baseline;
+//! * the defense actually saves work on the expensive families
+//!   (undefended / defended compressions-per-query stays above a floor).
+//!
+//! Knobs: `HEROES_ADV_ZONES` (zones per family, default 2),
+//! `HEROES_ADV_QUERIES` (queries per zone, default 6), plus the usual
+//! `HEROES_THREADS`.
+
+use heroes_bench::{header, EXPERIMENT_NOW};
+use nsec3_core::adversarial::{
+    run_adversarial_cfg, AdversarialScenario, DefenseProfile, FamilyTally,
+};
+use nsec3_core::experiments::DriverConfig;
+use popgen::adversarial::AttackFamily;
+use popgen::generate_attack_zones;
+
+/// Attack families must cost an undefended resolver at least this
+/// multiple of the baseline (work units per completed query).
+const AMPLIFICATION_FLOOR: f64 = 10.0;
+/// The defense must hold every family's total per-query bill under this
+/// multiple of the undefended baseline.
+const DEFENDED_CEILING: f64 = 32.0;
+/// Undefended / defended compressions-per-query floor for the
+/// hash-heavy families (the ci.sh gate).
+const SAVINGS_FLOOR: f64 = 1.2;
+
+fn env_knob(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+fn run(defense: DefenseProfile, zones_per_family: usize, queries: u64) -> Vec<FamilyTally> {
+    let scenario = AdversarialScenario {
+        zones: generate_attack_zones("example.", zones_per_family),
+        queries_per_zone: queries,
+        defense,
+    };
+    let cfg = DriverConfig::from_env(EXPERIMENT_NOW);
+    let report = run_adversarial_cfg(&scenario, &cfg);
+    AttackFamily::ALL
+        .iter()
+        .map(|f| report.family(*f))
+        .collect()
+}
+
+fn main() {
+    let zones_per_family = env_knob("HEROES_ADV_ZONES", 2);
+    let queries = env_knob("HEROES_ADV_QUERIES", 6) as u64;
+    println!(
+        "adversarial workload sweep: {zones_per_family} zone(s) per family, {queries} queries per zone"
+    );
+
+    header("Undefended (unlimited iterations, unlimited budget)");
+    let t0 = std::time::Instant::now();
+    let undefended = run(DefenseProfile::undefended(), zones_per_family, queries);
+    let undefended_ms = t0.elapsed().as_secs_f64() * 1e3;
+    for (family, t) in AttackFamily::ALL.iter().zip(&undefended) {
+        println!(
+            "  {:<17} {:>10.1} compressions/q {:>6.1} sigs/q {:>10.1} work-units/q  ({}/{} completed)",
+            family.label(),
+            t.compressions_per_query(),
+            t.signatures_per_query(),
+            t.work_units_per_query(),
+            t.completed,
+            t.queries,
+        );
+    }
+
+    header("Defended (servfail > 150 iterations + hardened work budget)");
+    let t1 = std::time::Instant::now();
+    let defended = run(DefenseProfile::defended(), zones_per_family, queries);
+    let defended_ms = t1.elapsed().as_secs_f64() * 1e3;
+    for (family, t) in AttackFamily::ALL.iter().zip(&defended) {
+        println!(
+            "  {:<17} {:>10.1} total-work-units/q  {:>3}/{} budget-aborted",
+            family.label(),
+            t.total_work_units_per_query(),
+            t.budget_exceeded,
+            t.queries,
+        );
+    }
+
+    let base_undef = &undefended[0];
+    assert_eq!(
+        base_undef.completed, base_undef.queries,
+        "baseline completes undefended"
+    );
+    let base_work = base_undef.work_units_per_query().max(1.0);
+
+    header("Gates");
+    let mut rows = String::new();
+    for (i, family) in AttackFamily::ALL.iter().enumerate() {
+        let u = &undefended[i];
+        let d = &defended[i];
+        let amplification = u.total_work_units_per_query() / base_work;
+        let defended_factor = d.total_work_units_per_query() / base_work;
+        let savings = if d.total_compressions_per_query() > 0.0 {
+            u.total_compressions_per_query() / d.total_compressions_per_query()
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "  {:<17} amplification {amplification:>8.1}x   defended bill {defended_factor:>5.1}x baseline   hash savings {savings:>6.1}x",
+            family.label(),
+        );
+        if *family != AttackFamily::Baseline {
+            assert!(
+                u.work_units_per_query() >= AMPLIFICATION_FLOOR * base_work,
+                "{}: undefended amplification {:.1} under floor {AMPLIFICATION_FLOOR}",
+                family.label(),
+                u.work_units_per_query() / base_work,
+            );
+            assert!(
+                d.total_work_units_per_query() <= DEFENDED_CEILING * base_work,
+                "{}: defended bill {defended_factor:.1}x over ceiling {DEFENDED_CEILING}x",
+                family.label(),
+            );
+        }
+        // The hash-heavy families must show real savings (the keytag
+        // family attacks signatures, not hashes, so it is exempt here —
+        // its bill is covered by the ceiling above).
+        if matches!(
+            family,
+            AttackFamily::MaxIterations | AttackFamily::DeepChain
+        ) {
+            assert!(
+                savings >= SAVINGS_FLOOR,
+                "{}: hash savings {savings:.2} under floor {SAVINGS_FLOOR}",
+                family.label(),
+            );
+        }
+        // Degradation accounting: nothing is silently dropped.
+        for t in [u, d] {
+            assert_eq!(
+                t.queries,
+                t.completed + t.budget_exceeded + t.lost,
+                "{}: accounting invariant",
+                family.label()
+            );
+        }
+        rows.push_str(&format!(
+            "    {{\"name\": \"{}\", \"undefended\": {}, \"defended\": {}, \"amplification_vs_baseline\": {:.2}, \"defended_bill_vs_baseline\": {:.2}, \"hash_savings\": {:.2}}}{}\n",
+            family.label(),
+            tally_json(u),
+            tally_json(d),
+            amplification,
+            defended_factor,
+            if savings.is_finite() { savings } else { -1.0 },
+            if i + 1 < AttackFamily::ALL.len() { "," } else { "" },
+        ));
+    }
+    println!("  all gates passed");
+
+    let mut json = String::from("{\n  \"suite\": \"adversarial\",\n");
+    json.push_str(&format!(
+        "  \"zones_per_family\": {zones_per_family},\n  \"queries_per_zone\": {queries},\n"
+    ));
+    json.push_str(&format!(
+        "  \"undefended_ms\": {undefended_ms:.1},\n  \"defended_ms\": {defended_ms:.1},\n"
+    ));
+    json.push_str(&format!(
+        "  \"gates\": {{\"amplification_floor\": {AMPLIFICATION_FLOOR}, \"defended_ceiling\": {DEFENDED_CEILING}, \"savings_floor\": {SAVINGS_FLOOR}}},\n"
+    ));
+    json.push_str("  \"families\": [\n");
+    json.push_str(&rows);
+    json.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_adversarial.json", &json) {
+        Ok(()) => println!("  [wrote BENCH_adversarial.json]"),
+        Err(e) => eprintln!("  [failed to write BENCH_adversarial.json: {e}]"),
+    }
+}
+
+fn tally_json(t: &FamilyTally) -> String {
+    format!(
+        "{{\"queries\": {}, \"completed\": {}, \"budget_exceeded\": {}, \"lost\": {}, \"compressions_per_query\": {:.1}, \"signatures_per_query\": {:.2}, \"work_units_per_query\": {:.1}, \"total_work_units_per_query\": {:.1}}}",
+        t.queries,
+        t.completed,
+        t.budget_exceeded,
+        t.lost,
+        t.compressions_per_query(),
+        t.signatures_per_query(),
+        t.work_units_per_query(),
+        t.total_work_units_per_query(),
+    )
+}

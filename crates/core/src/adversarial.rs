@@ -1,0 +1,512 @@
+//! Adversarial denial-of-existence workloads against budgeted resolvers.
+//!
+//! The paper's §7 mitigation discussion (and RFC 9276's rationale) is
+//! really about resource exhaustion: an attacker who controls NSEC3
+//! parameters — or a sheaf of colliding-keytag DNSKEYs — controls how
+//! much CPU a validating resolver burns per NXDOMAIN. This driver pushes
+//! resolvers through the [`popgen::adversarial`] attack families on the
+//! event core and measures the cost per query, with and without the
+//! work-budget defense ([`dns_resolver::WorkBudget`]).
+//!
+//! # Accounting
+//!
+//! Queries aborted by the budget (SERVFAIL + EDE, `budget_exceeded`)
+//! are **graceful degradation**, not measurements: they land in
+//! [`FamilyTally::budget_exceeded`] with their spend tallied in the
+//! `exceeded_*` counters, and never skew the completed-query cost
+//! averages the paper-number pipeline reads — mirroring how lost probes
+//! stay out of census denominators. The invariant
+//! `queries == completed + budget_exceeded + lost` always holds.
+
+use std::collections::BTreeMap;
+
+use dns_resolver::lab::{LabBuilder, ZoneSpec};
+use dns_resolver::resolver::{Resolver, ResolverConfig};
+use dns_resolver::{Rfc9276Policy, WorkBudget};
+use dns_scanner::retry::{ProbeStats, ScanSession};
+use dns_wire::name::Name;
+use dns_wire::rdata::RData;
+use dns_wire::record::Record;
+use dns_wire::rrtype::{Rcode, RrType};
+use dns_zone::nsec3hash::Nsec3Params;
+use dns_zone::signer::{decoy_dnskeys, Denial};
+use dns_zone::Zone;
+use netsim::event::{drive, FlowStep};
+use popgen::adversarial::{attack_qname, AdversarialZoneSpec, AttackFamily};
+
+use crate::experiments::{DriverConfig, ScanProfile};
+
+/// How the resolver under test defends itself.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DefenseProfile {
+    /// RFC 9276 iteration policy (clamps *declared* cost).
+    pub policy: Rfc9276Policy,
+    /// Per-query work budget (bounds *spent* cost).
+    pub budget: WorkBudget,
+}
+
+impl DefenseProfile {
+    /// No defenses: unlimited iterations, unlimited budget — the
+    /// maximally vulnerable validator the cost sweep measures.
+    pub fn undefended() -> Self {
+        DefenseProfile {
+            policy: Rfc9276Policy::unlimited(),
+            budget: WorkBudget::unlimited(),
+        }
+    }
+
+    /// Layered defenses: SERVFAIL above the RFC 5155 §10.3 cap of 150
+    /// iterations (catching declared-cost attacks) plus the hardened
+    /// work budget (catching attacks that keep declared parameters
+    /// modest — deep encloser chains, keytag collisions).
+    pub fn defended() -> Self {
+        DefenseProfile {
+            policy: Rfc9276Policy::servfail_above(150),
+            budget: WorkBudget::hardened(),
+        }
+    }
+}
+
+/// One adversarial run: which zones, how many queries each, under which
+/// defense.
+#[derive(Clone, Debug)]
+pub struct AdversarialScenario {
+    /// The attack zones (see [`popgen::generate_attack_zones`]).
+    pub zones: Vec<AdversarialZoneSpec>,
+    /// Unique cache-busting NXDOMAIN queries per zone.
+    pub queries_per_zone: u64,
+    /// The resolver's defense configuration.
+    pub defense: DefenseProfile,
+}
+
+/// Per-family accounting. All counters are plain sums, so shard merges
+/// are order-independent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FamilyTally {
+    /// Queries issued.
+    pub queries: u64,
+    /// Queries that ran to a verdict (NXDOMAIN, or a *policy* SERVFAIL
+    /// such as the iteration clamp's — a verdict on the zone, not an
+    /// abort).
+    pub completed: u64,
+    /// Queries aborted by the work budget (SERVFAIL + EDE): degraded
+    /// service, tallied separately so they never skew cost averages.
+    pub budget_exceeded: u64,
+    /// Queries lost to network faults (SERVFAIL that spent timeouts).
+    pub lost: u64,
+    /// SHA-1 compressions spent on *completed* queries.
+    pub compressions: u64,
+    /// Signature verifications spent on *completed* queries.
+    pub signatures: u64,
+    /// SHA-1 compressions spent on budget-aborted queries.
+    pub exceeded_compressions: u64,
+    /// Signature verifications spent on budget-aborted queries.
+    pub exceeded_signatures: u64,
+}
+
+/// Weight of one signature verification in work units, relative to one
+/// SHA-1 compression — the same coarse exchange rate the hardened
+/// budget's two axes imply (1,000 compressions : 16 signatures ≈ 60,
+/// rounded down to a round number that undercounts signatures).
+pub const SIGNATURE_WORK_UNITS: u64 = 20;
+
+impl FamilyTally {
+    fn merge(&mut self, other: &FamilyTally) {
+        self.queries += other.queries;
+        self.completed += other.completed;
+        self.budget_exceeded += other.budget_exceeded;
+        self.lost += other.lost;
+        self.compressions += other.compressions;
+        self.signatures += other.signatures;
+        self.exceeded_compressions += other.exceeded_compressions;
+        self.exceeded_signatures += other.exceeded_signatures;
+    }
+
+    /// SHA-1 compressions per completed query.
+    pub fn compressions_per_query(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.compressions as f64 / self.completed as f64
+        }
+    }
+
+    /// Signature verifications per completed query.
+    pub fn signatures_per_query(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.signatures as f64 / self.completed as f64
+        }
+    }
+
+    /// Work units (compressions + [`SIGNATURE_WORK_UNITS`] × signature
+    /// verifications) per completed query.
+    pub fn work_units_per_query(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            (self.compressions + SIGNATURE_WORK_UNITS * self.signatures) as f64
+                / self.completed as f64
+        }
+    }
+
+    /// SHA-1 compressions per issued query, budget-aborted spend
+    /// included.
+    pub fn total_compressions_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            (self.compressions + self.exceeded_compressions) as f64 / self.queries as f64
+        }
+    }
+
+    /// Total CPU actually spent per issued query, budget-aborted spend
+    /// included — the defender's bill, which is what the defense bounds.
+    pub fn total_work_units_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            (self.compressions
+                + self.exceeded_compressions
+                + SIGNATURE_WORK_UNITS * (self.signatures + self.exceeded_signatures))
+                as f64
+                / self.queries as f64
+        }
+    }
+}
+
+/// Result of an adversarial run: per-family tallies plus loss-accounted
+/// probe traffic.
+#[derive(Clone, Debug)]
+pub struct AdversarialReport {
+    /// Tallies keyed by [`AttackFamily::label`].
+    pub per_family: BTreeMap<String, FamilyTally>,
+    /// Merged probe accounting across shards.
+    pub probe_stats: ProbeStats,
+}
+
+impl AdversarialReport {
+    /// The tally for `family` (zero tally if the scenario had no such
+    /// zones).
+    pub fn family(&self, family: AttackFamily) -> FamilyTally {
+        self.per_family
+            .get(family.label())
+            .copied()
+            .unwrap_or_default()
+    }
+}
+
+/// Lab zone contents for one attack spec.
+fn zone_spec_for_attack(spec: &AdversarialZoneSpec) -> Option<ZoneSpec> {
+    let apex = Name::parse(&spec.name).ok()?;
+    let mut zone = Zone::new(apex.clone());
+    zone.add(Record::new(
+        apex.clone(),
+        300,
+        RData::A("192.0.2.66".parse().unwrap()),
+    ))
+    .ok()?;
+    let mut zs = ZoneSpec::new(
+        zone,
+        Denial::Nsec3 {
+            params: Nsec3Params::new(spec.iterations, vec![0x5a; spec.salt_len]),
+            opt_out: false,
+        },
+    );
+    if spec.decoy_keys > 0 {
+        zs.extra_dnskeys = decoy_dnskeys(&apex, spec.decoy_keys);
+    }
+    Some(zs)
+}
+
+/// Run `scenario` with environment-driven parallelism
+/// (`HEROES_THREADS`/`HEROES_FAULTS`; see [`DriverConfig::from_env`]).
+pub fn run_adversarial(scenario: &AdversarialScenario, now: u32) -> AdversarialReport {
+    run_adversarial_cfg(scenario, &DriverConfig::from_env(now))
+}
+
+/// [`run_adversarial`] under an explicit [`DriverConfig`]. Zones shard
+/// like every other driver; each zone gets its **own** lab (root +
+/// parent TLD + the attack zone), so no observation depends on which
+/// zones share a shard and every thread count produces identical
+/// tallies. Within a zone, queries run as single-step flows on the
+/// event core in issue order.
+pub fn run_adversarial_cfg(
+    scenario: &AdversarialScenario,
+    cfg: &DriverConfig,
+) -> AdversarialReport {
+    let window = cfg.effective_window();
+    let partials = sim_par::run_sharded(
+        &scenario.zones,
+        cfg.threads,
+        cfg.lab_seed,
+        |shard, slice| {
+            vec![adversarial_shard(
+                slice,
+                scenario,
+                cfg.now,
+                shard.seed,
+                &cfg.profile,
+                window,
+            )]
+        },
+    );
+    let mut per_family: BTreeMap<String, FamilyTally> = BTreeMap::new();
+    let mut probe_stats = ProbeStats::default();
+    for (shard_tallies, shard_stats) in partials {
+        for (label, tally) in shard_tallies {
+            per_family.entry(label).or_default().merge(&tally);
+        }
+        probe_stats.merge(&shard_stats);
+    }
+    AdversarialReport {
+        per_family,
+        probe_stats,
+    }
+}
+
+/// One shard: every zone in `slice`, each in a private lab.
+fn adversarial_shard(
+    slice: &[AdversarialZoneSpec],
+    scenario: &AdversarialScenario,
+    now: u32,
+    lab_seed: u64,
+    profile: &ScanProfile,
+    window: usize,
+) -> (BTreeMap<String, FamilyTally>, ProbeStats) {
+    let session = ScanSession::new(profile.breaker);
+    let mut tallies: BTreeMap<String, FamilyTally> = BTreeMap::new();
+    for spec in slice {
+        let Some(zs) = zone_spec_for_attack(spec) else {
+            continue;
+        };
+        let Some(parent) = Name::parse(&spec.name).ok().and_then(|n| n.parent()) else {
+            continue;
+        };
+        let mut builder = LabBuilder::new(now).seed(lab_seed);
+        if !parent.is_root() {
+            builder = builder.simple_zone(&parent, Denial::nsec3_rfc9276());
+        }
+        let mut lab = builder.zone(zs).build();
+        lab.net.set_schedule(profile.schedule.clone());
+        let raddr = lab.alloc.v4();
+        let mut rcfg =
+            ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+        rcfg.now = lab.now;
+        rcfg.policy = scenario.defense.policy.clone();
+        rcfg.budget = scenario.defense.budget;
+        rcfg.retry = profile.retry;
+        let resolver = Resolver::new(rcfg);
+        let tally = tallies.entry(spec.family.label().to_string()).or_default();
+        // One single-step flow per query: the whole resolution runs
+        // inside its first step (see the unreachability driver for the
+        // window-invariance argument).
+        let mut next = 0u64;
+        let net = &lab.net;
+        drive(
+            window,
+            || {
+                if next >= scenario.queries_per_zone {
+                    return None;
+                }
+                let q = next;
+                next += 1;
+                Name::parse(&attack_qname(&spec.name, spec.label_depth, q)).ok()
+            },
+            |qname: &mut Name, due| {
+                let vnow = net.now_micros();
+                if due > vnow {
+                    net.advance(due - vnow);
+                }
+                let out = resolver.resolve(net, qname, RrType::A);
+                tally.queries += 1;
+                if out.budget_exceeded {
+                    // Degraded, not lost: the resolver answered (with
+                    // SERVFAIL + EDE), it just refused to keep paying.
+                    session.note_answered(out.cost.retries);
+                    tally.budget_exceeded += 1;
+                    tally.exceeded_compressions += out.cost.sha1_compressions;
+                    tally.exceeded_signatures += out.cost.signatures_verified;
+                } else if out.rcode == Rcode::ServFail && out.cost.timeouts > 0 {
+                    // Probe loss, same rule as every other driver.
+                    session.note_timed_out(out.cost.retries);
+                    tally.lost += 1;
+                } else {
+                    session.note_answered(out.cost.retries);
+                    tally.completed += 1;
+                    tally.compressions += out.cost.sha1_compressions;
+                    tally.signatures += out.cost.signatures_verified;
+                }
+                FlowStep::Done
+            },
+        );
+    }
+    let stats = session.stats();
+    (tallies, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::DEFAULT_LAB_SEED;
+    use dns_wire::edns::EdeCode;
+    use dns_wire::message::Message;
+    use dns_wire::view::MessageView;
+    use popgen::generate_attack_zones;
+    use std::rc::Rc;
+
+    const NOW: u32 = 1_710_000_000;
+
+    fn scenario(defense: DefenseProfile) -> AdversarialScenario {
+        AdversarialScenario {
+            zones: generate_attack_zones("example.", 1),
+            queries_per_zone: 3,
+            defense,
+        }
+    }
+
+    #[test]
+    fn undefended_attacks_dwarf_baseline() {
+        let report = run_adversarial(&scenario(DefenseProfile::undefended()), NOW);
+        let base = report.family(AttackFamily::Baseline);
+        assert_eq!(base.completed, base.queries, "baseline all complete");
+        assert_eq!(base.budget_exceeded, 0);
+        let maxit = report.family(AttackFamily::MaxIterations);
+        assert_eq!(maxit.completed, maxit.queries, "undefended never aborts");
+        assert!(
+            maxit.compressions_per_query() >= 10.0 * base.compressions_per_query().max(1.0),
+            "max-iterations {} vs baseline {}",
+            maxit.compressions_per_query(),
+            base.compressions_per_query()
+        );
+        let deep = report.family(AttackFamily::DeepChain);
+        assert!(
+            deep.compressions_per_query() >= 10.0 * base.compressions_per_query().max(1.0),
+            "deep-chain {} vs baseline {}",
+            deep.compressions_per_query(),
+            base.compressions_per_query()
+        );
+        let keytag = report.family(AttackFamily::KeytagCollision);
+        assert!(
+            keytag.signatures_per_query() >= 3.0 * base.signatures_per_query().max(1.0),
+            "keytag {} vs baseline {}",
+            keytag.signatures_per_query(),
+            base.signatures_per_query()
+        );
+    }
+
+    #[test]
+    fn defense_bounds_every_family_and_accounts_aborts() {
+        let report = run_adversarial(&scenario(DefenseProfile::defended()), NOW);
+        for (label, tally) in &report.per_family {
+            assert_eq!(
+                tally.queries,
+                tally.completed + tally.budget_exceeded + tally.lost,
+                "{label}: accounting invariant"
+            );
+            assert_eq!(tally.lost, 0, "{label}: clean network loses nothing");
+        }
+        // Baseline sails under both defenses.
+        let base = report.family(AttackFamily::Baseline);
+        assert_eq!(base.budget_exceeded, 0, "compliant zone never trips budget");
+        assert_eq!(base.completed, base.queries);
+        // MaxIterations dies on the declared-cost clamp — a completed
+        // policy verdict, cheap because no hashing happens.
+        let maxit = report.family(AttackFamily::MaxIterations);
+        assert_eq!(maxit.budget_exceeded, 0, "clamp fires before any hashing");
+        assert_eq!(maxit.completed, maxit.queries);
+        // DeepChain evades the clamp (150 ≤ 150) but trips the
+        // compression budget; KeytagCollision trips the signature budget.
+        let deep = report.family(AttackFamily::DeepChain);
+        assert_eq!(
+            deep.budget_exceeded, deep.queries,
+            "budget aborts deep chains"
+        );
+        let keytag = report.family(AttackFamily::KeytagCollision);
+        assert_eq!(
+            keytag.budget_exceeded, keytag.queries,
+            "budget aborts keytrap"
+        );
+        // The defender's total bill stays bounded: budget + one-chain
+        // overshoot per query, in work units.
+        let bound = (1_000 + 151 + SIGNATURE_WORK_UNITS * (16 + 13)) as f64;
+        for family in [AttackFamily::DeepChain, AttackFamily::KeytagCollision] {
+            let t = report.family(family);
+            assert!(
+                t.total_work_units_per_query() <= bound,
+                "{}: {} > {bound}",
+                family.label(),
+                t.total_work_units_per_query()
+            );
+        }
+    }
+
+    #[test]
+    fn budget_servfail_carries_ede_on_the_wire() {
+        // End to end: a stub client queries a defended resolver *over the
+        // simulated network* about a deep-chain attack zone, and the
+        // SERVFAIL arrives with the budget EDE in the OPT record —
+        // identically through the owned decoder and the zero-copy view.
+        let zones = generate_attack_zones("example.", 1);
+        let spec = zones
+            .iter()
+            .find(|z| z.family == AttackFamily::DeepChain)
+            .unwrap();
+        let mut lab = LabBuilder::new(NOW)
+            .seed(DEFAULT_LAB_SEED)
+            .simple_zone(&Name::parse("example.").unwrap(), Denial::nsec3_rfc9276())
+            .zone(zone_spec_for_attack(spec).unwrap())
+            .build();
+        let raddr = lab.alloc.v4();
+        let mut rcfg =
+            ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+        rcfg.now = lab.now;
+        let defense = DefenseProfile::defended();
+        rcfg.policy = defense.policy;
+        rcfg.budget = defense.budget;
+        let resolver = Rc::new(Resolver::new(rcfg));
+        lab.net.register(raddr, resolver);
+        let client = lab.alloc.v4();
+        let qname = Name::parse(&attack_qname(&spec.name, spec.label_depth, 0)).unwrap();
+        let query = Message::query(0x4242, qname, RrType::A);
+        let outcome = lab.net.send_query(client, raddr, &query.encode());
+        let netsim::Outcome::Response { payload, .. } = outcome else {
+            panic!("stub query answered: {outcome:?}");
+        };
+        let msg = Message::decode(&payload).expect("owned decode");
+        assert_eq!(msg.rcode, Rcode::ServFail);
+        let owned_ede = msg
+            .edns
+            .as_ref()
+            .and_then(|e| e.ede())
+            .map(|(c, t)| (*c, t.to_string()));
+        let view = MessageView::parse(&payload).expect("view parse");
+        let view_ede = view
+            .edns()
+            .expect("view edns")
+            .as_ref()
+            .and_then(|e| e.ede())
+            .map(|(c, t)| (*c, t.to_string()));
+        assert_eq!(owned_ede, view_ede, "owned and view EDE agree");
+        let (code, text) = owned_ede.expect("budget SERVFAIL carries EDE");
+        assert_eq!(code, EdeCode::OTHER);
+        assert_eq!(text, "work budget exceeded");
+    }
+
+    #[test]
+    fn adversarial_driver_is_thread_invariant() {
+        let sc = scenario(DefenseProfile::defended());
+        let sequential = run_adversarial_cfg(&sc, &DriverConfig::clean(NOW, 1, DEFAULT_LAB_SEED));
+        for threads in [2usize, 4] {
+            let sharded =
+                run_adversarial_cfg(&sc, &DriverConfig::clean(NOW, threads, DEFAULT_LAB_SEED));
+            assert_eq!(
+                format!("{:?}", sharded.per_family),
+                format!("{:?}", sequential.per_family),
+                "threads = {threads}"
+            );
+            assert_eq!(sharded.probe_stats, sequential.probe_stats);
+        }
+    }
+}

@@ -8,6 +8,8 @@
 //!   resolver nodes with RFC 9276 policies.
 //! * [`experiments`] — end-to-end drivers: the §4.1 domain census, the
 //!   §4.2 resolver study, and the CVE-2023-50868 cost sweep.
+//! * [`adversarial`] — crafted denial-of-existence workloads against
+//!   budgeted resolvers (per-query work budgets, SERVFAIL + EDE).
 //!
 //! Every driver also has a `_cfg` variant taking an explicit
 //! [`DriverConfig`] (thread count, lab seed, fault profile); the plain
@@ -27,10 +29,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod experiments;
 pub mod fleet;
 pub mod testbed;
 
+pub use adversarial::{
+    run_adversarial, run_adversarial_cfg, AdversarialReport, AdversarialScenario, DefenseProfile,
+    FamilyTally,
+};
 pub use experiments::{
     cve_cost_sweep, records_from_specs, run_domain_census, run_domain_census_cfg,
     run_domain_census_stream, run_resolver_study, run_resolver_study_cfg, run_tld_census,

@@ -22,6 +22,46 @@ pub fn key_tag(dnskey_rdata: &[u8]) -> u16 {
     (ac & 0xFFFF) as u16
 }
 
+/// Find a two-byte tail such that `key_tag(prefix ++ tail)` equals `target`.
+///
+/// The RFC 4034 checksum is a 16-bit additive fold, so colliding tags are
+/// trivially constructible: with the accumulator over `prefix` fixed, the two
+/// appended bytes contribute one 16-bit word (byte order depending on the
+/// parity of `prefix.len()`), and scanning all 65 536 words finds a preimage
+/// for essentially every target. This is the KeyTrap ingredient (arXiv
+/// 2406.03133): publish many DNSKEYs sharing one tag and a validator must
+/// attempt a signature verification against *each* of them.
+///
+/// Returns `None` in the rare case the fold skips `target` for this prefix
+/// (the fold over a contiguous 2^16 range can miss at most one residue);
+/// callers perturb an earlier byte and retry.
+pub fn colliding_tail(prefix: &[u8], target: u16) -> Option<[u8; 2]> {
+    let mut ac: u32 = 0;
+    for (i, &b) in prefix.iter().enumerate() {
+        if i & 1 == 1 {
+            ac += u32::from(b);
+        } else {
+            ac += u32::from(b) << 8;
+        }
+    }
+    for hi in 0..=0xFFu32 {
+        for lo in 0..=0xFFu32 {
+            // Tail byte positions continue the prefix parity.
+            let add = if prefix.len() & 1 == 0 {
+                (hi << 8) + lo
+            } else {
+                hi + (lo << 8)
+            };
+            let mut sum = ac + add;
+            sum += (sum >> 16) & 0xFFFF;
+            if (sum & 0xFFFF) as u16 == target {
+                return Some([hi as u8, lo as u8]);
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -29,6 +69,33 @@ mod tests {
     #[test]
     fn empty_rdata_is_zero() {
         assert_eq!(key_tag(&[]), 0);
+    }
+
+    #[test]
+    fn colliding_tail_hits_target() {
+        // Even- and odd-length prefixes, a spread of targets.
+        for prefix in [&b""[..], b"\x01\x00\x03\x05", b"abc", b"0123456789abcdef0"] {
+            for target in [1u16, 0x1234, 0x9276, 0xFFFE] {
+                if let Some(tail) = colliding_tail(prefix, target) {
+                    let mut rdata = prefix.to_vec();
+                    rdata.extend_from_slice(&tail);
+                    assert_eq!(key_tag(&rdata), target, "prefix {prefix:?} target {target}");
+                } else {
+                    panic!("no tail found for prefix {prefix:?} target {target}");
+                }
+            }
+        }
+        // Target 0 is the one residue a small accumulator cannot reach
+        // (the fold only lands on 0 from sums 0 or 0x1FFFF): the miss case
+        // callers handle by perturbing the prefix.
+        assert_eq!(colliding_tail(b"\x01\x00\x03\x05", 0), None);
+    }
+
+    #[test]
+    fn colliding_tail_is_deterministic() {
+        let a = colliding_tail(b"deterministic-prefix", 0x50EB);
+        let b = colliding_tail(b"deterministic-prefix", 0x50EB);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -10,10 +10,13 @@
 //! * [`tranco`] — the popularity list of Figure 2.
 //! * [`resolvers`] — the 1.9 M open + 2.5 K closed resolver fleet of §5.2.
 //! * [`scale`] — the scaling model and exact allocation helpers.
+//! * [`adversarial`] — crafted denial-of-existence attack workloads
+//!   (max-parameter zones, deep encloser chains, keytag collisions).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod domains;
 pub mod resolvers;
 pub mod scale;
@@ -21,6 +24,7 @@ pub mod timeline;
 pub mod tlds;
 pub mod tranco;
 
+pub use adversarial::{attack_qname, generate_attack_zones, AdversarialZoneSpec, AttackFamily};
 pub use domains::{
     domain_count, generate_domains, generate_domains_range, DnssecKind, DomainGenerator, DomainSpec,
 };

@@ -10,7 +10,17 @@
 
 use std::cell::Cell;
 
+use crate::policy::WorkBudget;
+
 /// Accumulated work for one resolution (or one experiment).
+///
+/// Besides passive accounting the meter can be *armed* with a
+/// [`WorkBudget`]: arming converts the budget's per-query allowances into
+/// absolute thresholds relative to the current counters, and
+/// [`budget_exhausted`](CostMeter::budget_exhausted) reports when spending
+/// has reached either threshold. The counters themselves are never clamped —
+/// the meter stays an exact instrument; enforcement (aborting validation)
+/// is the caller's job.
 #[derive(Clone, Debug, Default)]
 pub struct CostMeter {
     sha1_compressions: Cell<u64>,
@@ -19,6 +29,10 @@ pub struct CostMeter {
     messages_sent: Cell<u64>,
     timeouts: Cell<u64>,
     retries: Cell<u64>,
+    /// Absolute compression threshold while a budget is armed.
+    budget_compressions: Cell<Option<u64>>,
+    /// Absolute signature-verification threshold while a budget is armed.
+    budget_signatures: Cell<Option<u64>>,
 }
 
 impl CostMeter {
@@ -86,7 +100,44 @@ impl CostMeter {
         self.retries.get()
     }
 
-    /// Zero every counter.
+    /// Arm `budget` for the work starting now: thresholds are the current
+    /// counters plus the budget's allowances. An unlimited budget disarms.
+    pub fn arm_budget(&self, budget: &WorkBudget) {
+        self.budget_compressions.set(
+            budget
+                .max_compressions
+                .map(|n| self.sha1_compressions.get().saturating_add(n)),
+        );
+        self.budget_signatures.set(
+            budget
+                .max_signatures
+                .map(|n| self.signatures_verified.get().saturating_add(n)),
+        );
+    }
+
+    /// Remove any armed budget.
+    pub fn disarm_budget(&self) {
+        self.budget_compressions.set(None);
+        self.budget_signatures.set(None);
+    }
+
+    /// True when an armed budget's allowance is used up on either axis.
+    /// Callers check this *before* the next unit of work, so a query
+    /// overshoots by at most one hash chain or one verification.
+    pub fn budget_exhausted(&self) -> bool {
+        let over_compressions = self
+            .budget_compressions
+            .get()
+            .is_some_and(|limit| self.sha1_compressions.get() >= limit);
+        let over_signatures = self
+            .budget_signatures
+            .get()
+            .is_some_and(|limit| self.signatures_verified.get() >= limit);
+        over_compressions || over_signatures
+    }
+
+    /// Zero every counter (and disarm any budget — its thresholds were
+    /// absolute and would be stale).
     pub fn reset(&self) {
         self.sha1_compressions.set(0);
         self.nsec3_hashes.set(0);
@@ -94,6 +145,7 @@ impl CostMeter {
         self.messages_sent.set(0);
         self.timeouts.set(0);
         self.retries.set(0);
+        self.disarm_budget();
     }
 
     /// A point-in-time copy of the counters.
@@ -159,6 +211,48 @@ mod tests {
         assert_eq!(m.messages_sent(), 1);
         m.reset();
         assert_eq!(m.snapshot(), CostSnapshot::default());
+    }
+
+    #[test]
+    fn budget_arming_is_relative_to_current_spend() {
+        let m = CostMeter::new();
+        m.add_nsec3_hash(500);
+        m.arm_budget(&WorkBudget {
+            max_compressions: Some(100),
+            max_signatures: Some(2),
+        });
+        assert!(!m.budget_exhausted());
+        m.add_nsec3_hash(99);
+        assert!(!m.budget_exhausted(), "599 < 600 threshold");
+        m.add_nsec3_hash(1);
+        assert!(m.budget_exhausted(), "600 >= 600 threshold");
+        // Counters keep counting past the threshold: exact instrument.
+        m.add_nsec3_hash(40);
+        assert_eq!(m.sha1_compressions(), 640);
+        m.disarm_budget();
+        assert!(!m.budget_exhausted());
+    }
+
+    #[test]
+    fn budget_signature_axis_and_unlimited() {
+        let m = CostMeter::new();
+        m.arm_budget(&WorkBudget::unlimited());
+        m.add_nsec3_hash(1_000_000);
+        for _ in 0..1000 {
+            m.add_signature();
+        }
+        assert!(!m.budget_exhausted(), "unlimited budget never exhausts");
+        m.arm_budget(&WorkBudget {
+            max_compressions: None,
+            max_signatures: Some(3),
+        });
+        m.add_signature();
+        m.add_signature();
+        assert!(!m.budget_exhausted());
+        m.add_signature();
+        assert!(m.budget_exhausted());
+        m.reset();
+        assert!(!m.budget_exhausted(), "reset disarms");
     }
 
     #[test]

@@ -41,6 +41,9 @@ pub struct ZoneSpec {
     pub unsigned: bool,
     /// Arbitrary post-signing mutation (fault injection).
     pub post_sign: Option<PostSign>,
+    /// Extra DNSKEY RDATAs published verbatim ahead of the real keys
+    /// (keytag-collision workloads; see `dns_zone::signer::decoy_dnskeys`).
+    pub extra_dnskeys: Vec<RData>,
 }
 
 impl ZoneSpec {
@@ -53,6 +56,7 @@ impl ZoneSpec {
             unsigned_delegation: false,
             unsigned: false,
             post_sign: None,
+            extra_dnskeys: Vec::new(),
         }
     }
 
@@ -210,6 +214,7 @@ impl LabBuilder {
             } else {
                 let mut cfg = SignerConfig {
                     denial: spec.denial.clone(),
+                    extra_dnskeys: spec.extra_dnskeys.clone(),
                     ..SignerConfig::standard(&apex, now)
                 };
                 if spec.expired {

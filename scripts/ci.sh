@@ -59,6 +59,23 @@ ROOT="$(pwd)"
 )
 rm -rf "$SMOKE_DIR"
 
+echo "== adversarial-workload gate (reduced sample)"
+# bench_adversarial asserts the robustness claims internally and exits
+# nonzero if any regresses: every attack family must cost an undefended
+# resolver >= 10x the RFC 9276 baseline per query, the layered defense
+# (iteration clamp + work budget) must hold every family's total bill to
+# a small constant factor of baseline, and the hash-heavy families must
+# show real undefended/defended compressions-per-query savings above the
+# floor. One zone per family and four queries each keep this a smoke
+# test; the JSON lands in a scratch dir, not the repo.
+SMOKE_DIR="$(mktemp -d)"
+(
+    cd "$SMOKE_DIR" \
+        && HEROES_ADV_ZONES=1 HEROES_ADV_QUERIES=4 \
+            "$ROOT/target/release/bench_adversarial" >/dev/null
+)
+rm -rf "$SMOKE_DIR"
+
 echo "== streaming-census memory gate (100 K domains, fixed RSS ceiling)"
 # The streaming census must hold memory flat regardless of population:
 # shards pull domains from the O(1) generator one batch at a time and

@@ -366,3 +366,65 @@ fn tld_census_is_identical_across_thread_counts() {
         "threads=1 and threads=3 must render byte-identically"
     );
 }
+
+#[test]
+fn adversarial_driver_is_identical_across_thread_counts_and_windows() {
+    // The adversarial driver gives every zone its own lab, so tallies
+    // are shard-invariant by construction — pin it anyway, clean and
+    // lossy, across threads and windows, with the degradation
+    // accounting invariant along for the ride.
+    use nsec3_core::adversarial::{run_adversarial_cfg, AdversarialScenario, DefenseProfile};
+    use popgen::generate_attack_zones;
+    let scenario = AdversarialScenario {
+        zones: generate_attack_zones("example.", 2),
+        queries_per_zone: 2,
+        defense: DefenseProfile::defended(),
+    };
+    let base = |threads| DriverConfig::clean(NOW, threads, DEFAULT_LAB_SEED);
+    let r1 = run_adversarial_cfg(&scenario, &base(1));
+    for threads in [2usize, 4] {
+        let rn = run_adversarial_cfg(&scenario, &base(threads));
+        assert_eq!(
+            format!("{:?}", r1.per_family),
+            format!("{:?}", rn.per_family),
+            "clean run must render byte-identically at threads = {threads}"
+        );
+        assert_eq!(r1.probe_stats, rn.probe_stats);
+    }
+    let narrow = run_adversarial_cfg(&scenario, &base(1).with_window(1));
+    assert_eq!(
+        format!("{:?}", r1.per_family),
+        format!("{:?}", narrow.per_family),
+        "window = 1 must match the default window"
+    );
+    for (label, t) in &r1.per_family {
+        assert_eq!(
+            t.queries,
+            t.completed + t.budget_exceeded + t.lost,
+            "{label}: accounting invariant"
+        );
+        assert_eq!(t.lost, 0, "{label}: clean network loses nothing");
+    }
+
+    // Flow-keyed lossy profile: still byte-identical across thread
+    // counts, with lost queries accounted but never classified.
+    let lossy = |threads: usize| {
+        DriverConfig::clean(NOW, threads, DEFAULT_LAB_SEED).with_profile(flow_keyed_lossy())
+    };
+    let l1 = run_adversarial_cfg(&scenario, &lossy(1));
+    let l4 = run_adversarial_cfg(&scenario, &lossy(4));
+    assert_eq!(
+        format!("{:?}", l1.per_family),
+        format!("{:?}", l4.per_family),
+        "lossy run must render byte-identically at threads = 1 and 4"
+    );
+    assert_eq!(l1.probe_stats, l4.probe_stats);
+    assert!(l1.probe_stats.is_consistent());
+    for (label, t) in &l1.per_family {
+        assert_eq!(
+            t.queries,
+            t.completed + t.budget_exceeded + t.lost,
+            "{label}: lossy accounting invariant"
+        );
+    }
+}

@@ -228,7 +228,7 @@ impl DriverConfig {
 }
 
 /// Turn a population spec into lab zone contents.
-fn zone_spec_for_domain(spec: &DomainSpec) -> Option<ZoneSpec> {
+pub(crate) fn zone_spec_for_domain(spec: &DomainSpec) -> Option<ZoneSpec> {
     let apex = Name::parse(&spec.name).ok()?;
     let mut zone = Zone::new(apex.clone());
     zone.add(Record::new(

@@ -10,6 +10,9 @@
 //!   §4.2 resolver study, and the CVE-2023-50868 cost sweep.
 //! * [`adversarial`] — crafted denial-of-existence workloads against
 //!   budgeted resolvers (per-query work budgets, SERVFAIL + EDE).
+//! * [`serving`] — the production serving driver: Zipf client traffic
+//!   through a caching resolver fleet with the RFC 8198 negative-cache
+//!   fast path.
 //!
 //! Every driver also has a `_cfg` variant taking an explicit
 //! [`DriverConfig`] (thread count, lab seed, fault profile); the plain
@@ -32,6 +35,7 @@
 pub mod adversarial;
 pub mod experiments;
 pub mod fleet;
+pub mod serving;
 pub mod testbed;
 
 pub use adversarial::{
@@ -46,4 +50,5 @@ pub use experiments::{
     DEFAULT_WINDOW,
 };
 pub use fleet::{deploy_fleet, policy_for, DeployedResolver};
+pub use serving::{run_serving, run_serving_cfg, ServingReport, ServingScenario, ServingTally};
 pub use testbed::{build_testbed, build_testbed_seeded, iteration_values, Testbed, TEST_DOMAIN};

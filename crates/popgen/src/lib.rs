@@ -12,6 +12,8 @@
 //! * [`scale`] — the scaling model and exact allocation helpers.
 //! * [`adversarial`] — crafted denial-of-existence attack workloads
 //!   (max-parameter zones, deep encloser chains, keytag collisions).
+//! * [`traffic`] — the client-population serving workload: O(1)
+//!   alias-table Zipf sampling, per-client query mixes, diurnal bursts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +24,7 @@ pub mod resolvers;
 pub mod scale;
 pub mod timeline;
 pub mod tlds;
+pub mod traffic;
 pub mod tranco;
 
 pub use adversarial::{attack_qname, generate_attack_zones, AdversarialZoneSpec, AttackFamily};
@@ -34,4 +37,7 @@ pub use resolvers::{
 pub use scale::{allocate, Scale};
 pub use timeline::{eras, Era};
 pub use tlds::{generate_tlds, generate_tlds_after_remediation, TldSpec};
+pub use traffic::{
+    diurnal_schedule, ClientQuery, QueryKind, QueryMix, TrafficGenerator, TrafficModel, ZipfAlias,
+};
 pub use tranco::{generate_tranco, TrancoEntry};

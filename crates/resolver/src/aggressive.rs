@@ -4,7 +4,19 @@
 //! encloser proof holds enough information to *synthesize* NXDOMAIN
 //! answers for other names in the covered hash intervals — without asking
 //! the authoritative server again. This is the standard mitigation for
-//! random-subdomain (water-torture) attacks.
+//! random-subdomain (water-torture) attacks, and the serving driver's
+//! negative-cache fast path.
+//!
+//! # Hot-path shape
+//!
+//! Each zone's views are kept **sorted by owner hash**, so the two
+//! predicates synthesis needs — "does this hash match a cached owner"
+//! and "does a cached interval cover this hash" — are binary searches,
+//! not linear scans, and [`AggressiveCache::insert`] is a sorted merge
+//! instead of an O(views²) `iter().any()` dedup. Because every cached
+//! view comes from one *validated* chain, intervals are disjoint and the
+//! only candidates that can cover a hash are its sorted predecessor and
+//! the (unique, maximal-owner) wrap-around interval.
 //!
 //! The RFC 9276 connection makes it interesting here: synthesis still
 //! costs one NSEC3 hash chain *per candidate closest encloser* per query,
@@ -22,12 +34,68 @@ use dns_zone::nsec3hash::Nsec3Params;
 use crate::cost::CostMeter;
 use crate::validator::{covers, Nsec3View};
 
-/// One zone's verified denial material.
+/// One zone's verified denial material; `views` sorted by `owner_hash`.
 #[derive(Clone, Debug)]
 struct ZoneDenials {
     params: Nsec3Params,
     views: Vec<Nsec3View>,
     expires_micros: u64,
+}
+
+/// Binary-search membership: is `hash` a cached owner hash?
+fn matches_owner(views: &[Nsec3View], hash: &[u8]) -> bool {
+    views
+        .binary_search_by(|v| v.owner_hash.as_slice().cmp(hash))
+        .is_ok()
+}
+
+/// Binary-search coverage: the validated interval strictly containing
+/// `hash`, if cached. Intervals from one chain are disjoint, so only two
+/// candidates exist — the view with the greatest owner ≤ `hash`, and the
+/// wrap-around view (whose owner is the chain maximum, sorting last).
+fn covering_view<'a>(views: &'a [Nsec3View], hash: &[u8]) -> Option<&'a Nsec3View> {
+    let last = views.last()?;
+    let idx = views.partition_point(|v| v.owner_hash.as_slice() <= hash);
+    if idx > 0 && covers(&views[idx - 1], hash) {
+        return Some(&views[idx - 1]);
+    }
+    if covers(last, hash) {
+        return Some(last);
+    }
+    None
+}
+
+/// Merge `incoming` into the sorted `existing`, dropping duplicate
+/// owner hashes — one linear pass, no per-view membership scan.
+fn merge_views(existing: &mut Vec<Nsec3View>, incoming: &[Nsec3View]) {
+    let mut add = incoming.to_vec();
+    sort_views(&mut add);
+    let mut out = Vec::with_capacity(existing.len() + add.len());
+    let mut a = existing.drain(..).peekable();
+    let mut b = add.into_iter().peekable();
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) => match x.owner_hash.cmp(&y.owner_hash) {
+                std::cmp::Ordering::Less => out.push(a.next().unwrap()),
+                std::cmp::Ordering::Greater => out.push(b.next().unwrap()),
+                std::cmp::Ordering::Equal => {
+                    out.push(a.next().unwrap());
+                    b.next();
+                }
+            },
+            (Some(_), None) => out.push(a.next().unwrap()),
+            (None, Some(_)) => out.push(b.next().unwrap()),
+            (None, None) => break,
+        }
+    }
+    drop(a);
+    *existing = out;
+}
+
+/// Sort by owner hash and drop duplicates.
+fn sort_views(views: &mut Vec<Nsec3View>) {
+    views.sort_by(|x, y| x.owner_hash.cmp(&y.owner_hash));
+    views.dedup_by(|x, y| x.owner_hash == y.owner_hash);
 }
 
 /// A per-resolver store of *validated* NSEC3 records, usable for
@@ -60,18 +128,16 @@ impl AggressiveCache {
         match zones.get_mut(zone) {
             Some(existing) if existing.params == *params => {
                 existing.expires_micros = expires_micros;
-                for v in views {
-                    if !existing.views.iter().any(|e| e.owner_hash == v.owner_hash) {
-                        existing.views.push(v.clone());
-                    }
-                }
+                merge_views(&mut existing.views, views);
             }
             _ => {
+                let mut sorted = views.to_vec();
+                sort_views(&mut sorted);
                 zones.insert(
                     zone.clone(),
                     ZoneDenials {
                         params: params.clone(),
-                        views: views.to_vec(),
+                        views: sorted,
                         expires_micros,
                     },
                 );
@@ -79,11 +145,18 @@ impl AggressiveCache {
         }
     }
 
-    /// Try to prove `qname` nonexistent from cache alone (RFC 8198 §5.1
-    /// restricted to the closest-encloser = zone-apex case, the one a
-    /// cache can decide without knowing interior names). Charges hash
-    /// work to `meter`. Returns `true` when an NXDOMAIN can be
-    /// synthesized.
+    /// Try to prove `qname` nonexistent from cache alone (RFC 8198 §5.1).
+    ///
+    /// The closest encloser is found by walking `qname`'s ancestors from
+    /// the longest down to `zone` and taking the first whose hash
+    /// *matches* a cached owner; the next closer must then fall in a
+    /// cached covered interval, as must the encloser's wildcard. Every
+    /// candidate costs one hash chain, charged to `meter` — the RFC 8198
+    /// §5.4 trade-off: high iteration counts tax even the cache path.
+    ///
+    /// Opt-out intervals never prove nonexistence (they may span real,
+    /// insecurely-delegated names), so a next closer covered only by an
+    /// opt-out view refuses to synthesize.
     pub fn synthesize_nxdomain(
         &self,
         zone: &Name,
@@ -99,39 +172,44 @@ impl AggressiveCache {
         if !qname.is_subdomain_of(zone) || qname == zone {
             return false;
         }
-        // Synthesis needs: apex matched (closest encloser), the next
-        // closer covered, and the apex wildcard covered.
         let hash_of = |n: &Name| {
             let h = dns_zone::nsec3hash::nsec3_hash_cached(n, &denials.params);
             meter.add_nsec3_hash(h.compressions);
             h.digest
         };
-        let apex_hash = hash_of(zone);
-        if !denials.views.iter().any(|v| v.owner_hash == apex_hash) {
-            return false;
-        }
-        // Next closer: the ancestor of qname one label below the apex.
-        let mut next_closer = qname.clone();
-        while next_closer.parent().as_ref() != Some(zone) {
-            next_closer = match next_closer.parent() {
-                Some(p) => p,
+        // Ancestor chain: chain[0] = qname, …, chain[last] = zone.
+        let mut chain = vec![qname.clone()];
+        while chain.last().expect("nonempty chain") != zone {
+            match chain.last().expect("nonempty chain").parent() {
+                Some(p) => chain.push(p),
                 None => return false,
+            }
+        }
+        // Longest ancestor with a matched owner hash is the closest
+        // encloser. A shallower match can never rescue a failed deeper
+        // one: its next closer would be an ancestor of the deeper matched
+        // (existing) name, which no validated interval covers.
+        for ce in 1..chain.len() {
+            let ce_hash = hash_of(&chain[ce]);
+            if !matches_owner(&denials.views, &ce_hash) {
+                continue;
+            }
+            let nc_hash = hash_of(&chain[ce - 1]);
+            match covering_view(&denials.views, &nc_hash) {
+                Some(v) if !v.opt_out => {}
+                _ => return false,
+            }
+            let wildcard = match chain[ce].prepend(b"*") {
+                Ok(w) => w,
+                Err(_) => return false,
             };
+            if covering_view(&denials.views, &hash_of(&wildcard)).is_none() {
+                return false;
+            }
+            self.synthesized.set(self.synthesized.get() + 1);
+            return true;
         }
-        let nc_hash = hash_of(&next_closer);
-        if !denials.views.iter().any(|v| covers(v, &nc_hash)) {
-            return false;
-        }
-        let wildcard = match zone.prepend(b"*") {
-            Ok(w) => w,
-            Err(_) => return false,
-        };
-        let wc_hash = hash_of(&wildcard);
-        if !denials.views.iter().any(|v| covers(v, &wc_hash)) {
-            return false;
-        }
-        self.synthesized.set(self.synthesized.get() + 1);
-        true
+        false
     }
 
     /// The longest cached (and unexpired) zone that is an ancestor of
@@ -155,6 +233,15 @@ impl AggressiveCache {
     /// Number of zones with cached denial material.
     pub fn zone_count(&self) -> usize {
         self.zones.borrow().len()
+    }
+
+    /// Number of distinct views cached for `zone` (0 when absent).
+    pub fn view_count(&self, zone: &Name) -> usize {
+        self.zones
+            .borrow()
+            .get(zone)
+            .map(|d| d.views.len())
+            .unwrap_or(0)
     }
 }
 
@@ -207,6 +294,44 @@ mod tests {
         .unwrap()
     }
 
+    /// A zone with interior structure below the apex, for synthesis at a
+    /// closest encloser that is *not* the apex.
+    fn signed_deep() -> dns_zone::SignedZone {
+        let apex = name("agg.example.");
+        let mut z = Zone::new(apex.clone());
+        z.add(Record::new(
+            apex.clone(),
+            3600,
+            dns_wire::rdata::RData::Soa {
+                mname: name("ns1.agg.example."),
+                rname: name("h.agg.example."),
+                serial: 1,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1_209_600,
+                minimum: 300,
+            },
+        ))
+        .unwrap();
+        z.add(Record::new(
+            name("host.dept.agg.example."),
+            300,
+            dns_wire::rdata::RData::A("192.0.2.2".parse().unwrap()),
+        ))
+        .unwrap();
+        sign_zone(
+            &z,
+            &SignerConfig {
+                denial: Denial::Nsec3 {
+                    params: Nsec3Params::rfc9276(),
+                    opt_out: false,
+                },
+                ..SignerConfig::standard(&apex, NOW)
+            },
+        )
+        .unwrap()
+    }
+
     fn harvest(z: &dns_zone::SignedZone, qname: &Name) -> (Nsec3Params, Vec<Nsec3View>) {
         let proof = nxdomain_proof(z, qname).unwrap();
         let nsec3s: Vec<&Record> = proof
@@ -231,6 +356,23 @@ mod tests {
         assert!(hit, "synthesis should succeed from the cached chain");
         assert_eq!(cache.synthesized_count(), 1);
         assert!(meter.nsec3_hashes() >= 3, "synthesis still hashes");
+    }
+
+    #[test]
+    fn synthesizes_below_an_interior_closest_encloser() {
+        // The closest encloser is dept.agg.example (an empty non-terminal
+        // on the chain), two labels below the zone apex — the case the
+        // apex-only synthesizer used to forward upstream.
+        let z = signed_deep();
+        let apex = name("agg.example.");
+        let (params, views) = harvest(&z, &name("ghost.dept.agg.example."));
+        let cache = AggressiveCache::new();
+        cache.insert(&apex, &params, &views, 0, 300);
+        let meter = CostMeter::new();
+        let hit = cache.synthesize_nxdomain(&apex, &name("phantom.dept.agg.example."), 1, &meter);
+        assert!(hit, "interior closest encloser must synthesize");
+        // And existing names below that encloser are never denied.
+        assert!(!cache.synthesize_nxdomain(&apex, &name("host.dept.agg.example."), 1, &meter));
     }
 
     #[test]
@@ -293,8 +435,52 @@ mod tests {
         cache.insert(&apex, &params, &v1, 0, 300);
         cache.insert(&apex, &params, &v2, 0, 300);
         assert_eq!(cache.zone_count(), 1);
+        // The merge keeps one copy per owner hash, never fewer views
+        // than either proof alone contributed.
+        let merged = cache.view_count(&apex);
+        assert!(merged >= v1.len().max(v2.len()), "merged {merged} views");
+        // Re-inserting the same material is idempotent.
+        cache.insert(&apex, &params, &v1, 0, 300);
+        assert_eq!(cache.view_count(&apex), merged);
         // Changing params replaces the set.
         cache.insert(&apex, &Nsec3Params::new(5, vec![]), &v1, 0, 300);
         assert_eq!(cache.zone_count(), 1);
+        assert_eq!(cache.view_count(&apex), v1.len());
+    }
+
+    #[test]
+    fn sorted_probes_agree_with_linear_scans() {
+        // Differential check of the binary-search hot path against the
+        // obvious linear predicates, across every inserted chain hash
+        // and a spread of synthetic probes.
+        let z = signed_deep();
+        let apex = name("agg.example.");
+        let (params, views) = {
+            let (p, mut v) = harvest(&z, &name("no1.agg.example."));
+            let (_, v2) = harvest(&z, &name("zz.dept.agg.example."));
+            v.extend(v2);
+            (p, v)
+        };
+        let cache = AggressiveCache::new();
+        cache.insert(&apex, &params, &views, 0, 300);
+        let zones = cache.zones.borrow();
+        let sorted = &zones.get(&apex).unwrap().views;
+        assert!(
+            sorted.windows(2).all(|w| w[0].owner_hash < w[1].owner_hash),
+            "views must be strictly sorted by owner hash"
+        );
+        let mut probes: Vec<Vec<u8>> = sorted.iter().map(|v| v.owner_hash.clone()).collect();
+        for step in 0..=255u8 {
+            probes.push(vec![step; 20]);
+        }
+        for h in &probes {
+            let lin_match = sorted.iter().any(|v| v.owner_hash == *h);
+            assert_eq!(matches_owner(sorted, h), lin_match);
+            let lin_cover = sorted.iter().find(|v| covers(v, h));
+            assert_eq!(
+                covering_view(sorted, h).map(|v| &v.owner_hash),
+                lin_cover.map(|v| &v.owner_hash)
+            );
+        }
     }
 }

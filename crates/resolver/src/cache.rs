@@ -7,23 +7,33 @@
 //! final answers and one for validated zone keys.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// How many sorted neighbours an at-capacity insert probes for an
+/// expired victim before settling for the nearest live one.
+const EVICTION_PROBE: usize = 8;
 
 /// A capacity- and TTL-bounded map over the virtual clock (microseconds).
+///
+/// Storage is a `BTreeMap`, not a `HashMap`, and that is load-bearing:
+/// at-capacity eviction must pick a victim, and any choice driven by
+/// randomized hash order would leak nondeterminism into every driver
+/// that overflows a cache (the serving workload does, by design). Sorted
+/// order makes the victim a pure function of the cache contents.
 #[derive(Debug)]
 pub struct TtlCache<K, V> {
-    entries: RefCell<HashMap<K, (V, u64)>>,
+    entries: RefCell<BTreeMap<K, (V, u64)>>,
     capacity: usize,
     hits: std::cell::Cell<u64>,
     misses: std::cell::Cell<u64>,
 }
 
-impl<K: Eq + Hash + Clone, V: Clone> TtlCache<K, V> {
+impl<K: Ord + Clone, V: Clone> TtlCache<K, V> {
     /// A cache holding at most `capacity` live entries (0 disables it).
     pub fn new(capacity: usize) -> Self {
         TtlCache {
-            entries: RefCell::new(HashMap::new()),
+            entries: RefCell::new(BTreeMap::new()),
             capacity,
             hits: std::cell::Cell::new(0),
             misses: std::cell::Cell::new(0),
@@ -60,20 +70,32 @@ impl<K: Eq + Hash + Clone, V: Clone> TtlCache<K, V> {
         }
         let mut entries = self.entries.borrow_mut();
         if entries.len() >= self.capacity && !entries.contains_key(&key) {
-            // Evict expired entries first; if none, evict arbitrarily (the
-            // simulation does not model LRU pressure).
-            let expired: Vec<K> = entries
-                .iter()
-                .filter(|(_, (_, e))| *e <= now_micros)
-                .map(|(k, _)| k.clone())
-                .collect();
-            for k in expired {
-                entries.remove(&k);
-            }
-            if entries.len() >= self.capacity {
-                if let Some(k) = entries.keys().next().cloned() {
-                    entries.remove(&k);
+            // O(log n) eviction, no full-map scan and no collected key
+            // list on the insert hot path: probe a few sorted
+            // neighbours of the new key (wrapping) for an expired
+            // victim, and settle for the nearest neighbour if all are
+            // live. Wrapped-successor choice spreads eviction around
+            // the keyspace (the simulation does not model LRU
+            // pressure) and, unlike hash order, is deterministic.
+            let victim = {
+                let after = entries.range((Bound::Excluded(&key), Bound::Unbounded));
+                let before = entries.range((Bound::Unbounded, Bound::Excluded(&key)));
+                let mut probe = after.chain(before);
+                let mut fallback = None;
+                let mut expired = None;
+                for (k, (_, e)) in probe.by_ref().take(EVICTION_PROBE) {
+                    if fallback.is_none() {
+                        fallback = Some(k.clone());
+                    }
+                    if *e <= now_micros {
+                        expired = Some(k.clone());
+                        break;
+                    }
                 }
+                expired.or(fallback)
+            };
+            if let Some(k) = victim {
+                entries.remove(&k);
             }
         }
         entries.insert(key, (value, now_micros + ttl_secs as u64 * 1_000_000));

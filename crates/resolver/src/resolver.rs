@@ -218,9 +218,29 @@ impl Resolver {
         self.answer_cache.hits()
     }
 
+    /// Answer-cache miss count (serving instrumentation).
+    pub fn cache_misses(&self) -> u64 {
+        self.answer_cache.misses()
+    }
+
+    /// Validated-key-cache hit count (serving instrumentation).
+    pub fn key_cache_hits(&self) -> u64 {
+        self.key_cache.hits()
+    }
+
+    /// Validated-key-cache miss count (serving instrumentation).
+    pub fn key_cache_misses(&self) -> u64 {
+        self.key_cache.misses()
+    }
+
     /// NXDOMAINs synthesized via RFC 8198 so far.
     pub fn synthesized_nxdomains(&self) -> u64 {
         self.aggressive.synthesized_count()
+    }
+
+    /// Zones with cached RFC 8198 denial material.
+    pub fn aggressive_zones(&self) -> usize {
+        self.aggressive.zone_count()
     }
 
     fn fresh_id(&self) -> u16 {

@@ -86,6 +86,18 @@ echo "== streaming-census memory gate (100 K domains, fixed RSS ceiling)"
 HEROES_THREADS=1 "$ROOT/target/release/bench_census_scale" --smoke --rss-ceiling-mb 128
 HEROES_THREADS=4 "$ROOT/target/release/bench_census_scale" --smoke --rss-ceiling-mb 128
 
+echo "== serving-driver gate (reduced sample, collapse + RSS)"
+# bench_serving --smoke pushes an NXDOMAIN-heavy Zipf workload through a
+# small resolver fleet twice — aggressive NSEC3 synthesis on and off —
+# and exits nonzero unless RFC 8198 caching collapses upstream NXDOMAIN
+# traffic by at least 2x and peak RSS stays under the ceiling. The
+# reduced sample (1 600 queries) keeps it a smoke test; the full
+# benchmark (1 M queries, latency and flat-memory gates) writes the
+# committed BENCH_serving.json. Gated at 1 and 4 threads so the fleet
+# merge path is exercised both ways.
+"$ROOT/target/release/bench_serving" --smoke --rss-ceiling-mb 128 --threads 1
+"$ROOT/target/release/bench_serving" --smoke --rss-ceiling-mb 128 --threads 4
+
 echo "== external-dependency guard"
 if grep -rn --include=Cargo.toml -E '^\s*((rand|proptest|criterion|rayon|crossbeam|threadpool)\b|\[[a-z-]+\.(rand|proptest|criterion|rayon|crossbeam|threadpool)\])' . ; then
     echo "error: external dependency crept back into a manifest" >&2

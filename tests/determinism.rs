@@ -22,6 +22,29 @@ use nsec3_core::experiments::{
 };
 use popgen::{generate_domains, generate_fleet, generate_tlds, Scale};
 
+mod serving_support {
+    pub use nsec3_core::serving::{run_serving_cfg, ServingScenario};
+    pub use popgen::domains::{DnssecKind, DomainSpec};
+    pub use popgen::traffic::{diurnal_schedule, QueryMix, TrafficModel};
+    pub use popgen::DomainGenerator;
+
+    /// The first `count` non-opt-out NSEC3 zones of the calibrated
+    /// population — the serving driver's cacheable domain set.
+    pub fn nsec3_population(count: usize) -> Vec<DomainSpec> {
+        let generator = DomainGenerator::new(popgen::Scale(1.0 / 3_020.0), 42);
+        let mut out = Vec::with_capacity(count);
+        let mut i = 0u64;
+        while out.len() < count && i < generator.len() {
+            let spec = generator.get(i);
+            if matches!(spec.dnssec, DnssecKind::Nsec3 { opt_out: false, .. }) {
+                out.push(spec);
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
 const NOW: u32 = 1_710_000_000;
 
 /// A census rendered to one comparable string: every record plus the
@@ -364,6 +387,91 @@ fn tld_census_is_identical_across_thread_counts() {
         format!("{sequential:?}"),
         format!("{sharded:?}"),
         "threads=1 and threads=3 must render byte-identically"
+    );
+}
+
+#[test]
+fn serving_driver_is_identical_across_thread_counts_and_windows() {
+    // The serving driver shards the resolver fleet, not the query
+    // stream: every fleet member regenerates its own client block from
+    // the index-stable traffic generator, so tallies must be
+    // byte-identical at every thread count and in-flight window. The
+    // cache layers are part of the claim — answer-cache eviction at
+    // capacity used to be hash-order-dependent, and this pin is what
+    // keeps it honest.
+    use serving_support::*;
+    let scenario = ServingScenario::new(
+        nsec3_population(8),
+        TrafficModel::new(12, 40, 42).with_mix(QueryMix::nxdomain_heavy()),
+    )
+    .with_fleet(3);
+    let base = |threads| DriverConfig::clean(NOW, threads, DEFAULT_LAB_SEED);
+    let r1 = run_serving_cfg(&scenario, &base(1));
+    let t = &r1.tally;
+    assert_eq!(t.queries, 480);
+    assert_eq!(
+        t.queries,
+        t.served_cache + t.synthesized + t.forwarded + t.lost,
+        "serving accounting invariant"
+    );
+    assert_eq!(t.lost, 0, "clean network loses nothing");
+    assert!(t.synthesized > 0, "aggressive fleet must synthesize");
+    for threads in [2usize, 4, 8] {
+        let rn = run_serving_cfg(&scenario, &base(threads));
+        assert_eq!(
+            r1.rendered(),
+            rn.rendered(),
+            "serving run must render byte-identically at threads = {threads}"
+        );
+    }
+    for window in [1usize, 4] {
+        let rw = run_serving_cfg(&scenario, &base(4).with_window(window));
+        assert_eq!(
+            r1.rendered(),
+            rw.rendered(),
+            "window = {window} must match the default window"
+        );
+    }
+}
+
+#[test]
+fn diurnal_serving_is_identical_across_thread_counts() {
+    // Diurnal bursts are time-windowed latency episodes; each fleet
+    // member replays them against its own zero-based virtual clock, so
+    // the member remains an atomic unit of determinism and sharding
+    // cannot move a burst.
+    use serving_support::*;
+    let scenario =
+        ServingScenario::new(nsec3_population(6), TrafficModel::new(8, 25, 42)).with_fleet(2);
+    let profile = ScanProfile {
+        schedule: diurnal_schedule(0xd1a1, 2, 40_000),
+        ..ScanProfile::clean()
+    };
+    let base = |threads: usize| {
+        DriverConfig::clean(NOW, threads, DEFAULT_LAB_SEED).with_profile(profile.clone())
+    };
+    let r1 = run_serving_cfg(&scenario, &base(1));
+    let r4 = run_serving_cfg(&scenario, &base(4));
+    assert_eq!(
+        r1.rendered(),
+        r4.rendered(),
+        "diurnal serving must render byte-identically at threads = 1 and 4"
+    );
+    assert!(r1.probe_stats.is_consistent());
+    // The burst windows must actually bite: peak-hour queries pay the
+    // latency spike, so the slowest answer is slower than the clean run's.
+    let clean = run_serving_cfg(&scenario, &DriverConfig::clean(NOW, 1, DEFAULT_LAB_SEED));
+    let max_latency = |r: &nsec3_core::serving::ServingReport| {
+        r.tally
+            .latency_hist
+            .keys()
+            .next_back()
+            .copied()
+            .unwrap_or(0)
+    };
+    assert!(
+        max_latency(&r1) > max_latency(&clean),
+        "diurnal spikes must surface in the latency tail"
     );
 }
 

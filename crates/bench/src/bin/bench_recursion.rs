@@ -1,0 +1,229 @@
+//! Iterative-recursion cost sweep over the signed root→TLD→leaf
+//! delegation graph: what does a full cold walk cost, how much does the
+//! delegation cache save on warm walks, and how does the bill grow with
+//! chain depth?
+//!
+//! Stands the whole [`popgen::HierarchyModel`] up in one lab
+//! ([`nsec3_core::build_hierarchy`]) and walks every leaf with a
+//! validating resolver, measuring upstream messages, machine steps
+//! (delegation levels), and crypto work per query. Results land in
+//! `BENCH_recursion.json`.
+//!
+//! The paper-facing claims are asserted, so CI fails if they regress:
+//!
+//! * a warm delegation cache issues **strictly fewer** upstream queries
+//!   per walk than a cold one (and records actual cache hits);
+//! * the cached fleet's total upstream bill stays under the cacheless
+//!   fleet's for the same probe set;
+//! * deep chains amplify: a root→TLD→leaf walk costs at least
+//!   [`DEPTH_AMPLIFICATION_FLOOR`]× the messages of a root→TLD walk.
+//!
+//! Knobs: `HEROES_REC_TLDS` (default 24), `HEROES_REC_LEAVES` (leaves
+//! per TLD, default 4), plus the usual `HEROES_THREADS` for the sharded
+//! chain-study pass.
+
+use dns_resolver::resolver::{RecursionStep, Resolver, ResolverConfig};
+use dns_wire::name::Name;
+use dns_wire::rrtype::{Rcode, RrType};
+use heroes_bench::{header, EXPERIMENT_NOW};
+use nsec3_core::experiments::DEFAULT_LAB_SEED;
+use nsec3_core::hierarchy::build_hierarchy;
+use popgen::hierarchy::HierarchyModel;
+
+/// A three-zone walk must cost at least this multiple of a two-zone
+/// walk in upstream messages (cold, cacheless).
+const DEPTH_AMPLIFICATION_FLOOR: f64 = 1.2;
+
+fn env_knob(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+/// Per-pass accounting for one probe sweep.
+#[derive(Default)]
+struct Sweep {
+    walks: u64,
+    messages: u64,
+    steps: u64,
+    sha1: u64,
+    signatures: u64,
+    virtual_micros: u64,
+}
+
+impl Sweep {
+    fn per_walk(&self, v: u64) -> f64 {
+        v as f64 / (self.walks.max(1)) as f64
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"walks\": {}, \"messages_per_walk\": {:.2}, \"steps_per_walk\": {:.2}, \"sha1_per_walk\": {:.1}, \"signatures_per_walk\": {:.2}, \"virtual_micros_per_walk\": {:.1}}}",
+            self.walks,
+            self.per_walk(self.messages),
+            self.per_walk(self.steps),
+            self.per_walk(self.sha1),
+            self.per_walk(self.signatures),
+            self.per_walk(self.virtual_micros),
+        )
+    }
+}
+
+/// Walk `probes` on a fresh resolver over a freshly built hierarchy,
+/// stepping the recursion machine by hand so delegation levels are
+/// observable. Returns `(first-walk-per-TLD sweep, repeat-walk sweep,
+/// resolver)` — with one probe per TLD the repeat sweep stays empty.
+fn sweep(
+    model: &HierarchyModel,
+    delegation_cache: bool,
+    probes_per_tld: usize,
+) -> (Sweep, Sweep, Resolver) {
+    let h = build_hierarchy(model, EXPERIMENT_NOW, DEFAULT_LAB_SEED);
+    let mut lab = h.lab;
+    let raddr = lab.alloc.v4();
+    let mut rcfg = ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+    rcfg.now = lab.now;
+    rcfg.delegation_cache = delegation_cache;
+    let resolver = Resolver::new(rcfg);
+    let mut cold = Sweep::default();
+    let mut warm = Sweep::default();
+    for tld in &h.tlds {
+        for (i, leaf) in tld.leaves.iter().take(probes_per_tld).enumerate() {
+            let q = Name::parse(&format!("www.{}", leaf.name)).expect("probe parses");
+            let sweep = if i == 0 { &mut cold } else { &mut warm };
+            let started = lab.net.now_micros();
+            let mut machine = resolver.begin_recursion(&lab.net, &q, RrType::A);
+            let out = loop {
+                sweep.steps += 1;
+                if let RecursionStep::Done(out) = machine.step(&lab.net) {
+                    break out;
+                }
+            };
+            assert_ne!(
+                out.rcode,
+                Rcode::ServFail,
+                "intact hierarchy must resolve {q}: {:?}",
+                out.ede
+            );
+            sweep.walks += 1;
+            sweep.messages += out.cost.messages_sent;
+            sweep.sha1 += out.cost.sha1_compressions;
+            sweep.signatures += out.cost.signatures_verified;
+            sweep.virtual_micros += lab.net.now_micros() - started;
+        }
+    }
+    (cold, warm, resolver)
+}
+
+fn main() {
+    let tlds = env_knob("HEROES_REC_TLDS", 24);
+    let leaves = env_knob("HEROES_REC_LEAVES", 4);
+    let model = HierarchyModel::intact(tlds, leaves, 7);
+    println!("iterative recursion sweep: {tlds} TLD(s), {leaves} leaf zone(s) each");
+
+    header("Cold vs warm (delegation cache on)");
+    let t0 = std::time::Instant::now();
+    let (cold, warm, cached_resolver) = sweep(&model, true, leaves);
+    let cached_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "  cold walks  {:>4}: {:>6.2} msg/walk {:>6.2} steps/walk {:>8.1} sha1/walk",
+        cold.walks,
+        cold.per_walk(cold.messages),
+        cold.per_walk(cold.steps),
+        cold.per_walk(cold.sha1),
+    );
+    println!(
+        "  warm walks  {:>4}: {:>6.2} msg/walk {:>6.2} steps/walk {:>8.1} sha1/walk",
+        warm.walks,
+        warm.per_walk(warm.messages),
+        warm.per_walk(warm.steps),
+        warm.per_walk(warm.sha1),
+    );
+    println!(
+        "  delegation cache: {} hits / {} misses / {} evictions",
+        cached_resolver.delegation_hits(),
+        cached_resolver.delegation_misses(),
+        cached_resolver.delegation_evictions(),
+    );
+
+    header("Cacheless baseline (same probes)");
+    let t1 = std::time::Instant::now();
+    let (nc_cold, nc_warm, nocache_resolver) = sweep(&model, false, leaves);
+    let nocache_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let cached_total = cold.messages + warm.messages;
+    let nocache_total = nc_cold.messages + nc_warm.messages;
+    println!(
+        "  cacheless total upstream: {nocache_total} msgs   cached total: {cached_total} msgs"
+    );
+
+    header("Depth amplification (cold, cacheless)");
+    // Same hierarchy, two probe depths: a root→TLD walk (NXDOMAIN at the
+    // TLD apex) versus the full root→TLD→leaf walk.
+    let shallow = {
+        let h = build_hierarchy(&model, EXPERIMENT_NOW, DEFAULT_LAB_SEED);
+        let mut lab = h.lab;
+        let raddr = lab.alloc.v4();
+        let mut rcfg =
+            ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+        rcfg.now = lab.now;
+        let resolver = Resolver::new(rcfg);
+        let mut msgs = 0u64;
+        let mut walks = 0u64;
+        for tld in &h.tlds {
+            let q = Name::parse(&format!("does-not-exist.{}", tld.spec.name)).unwrap();
+            let out = resolver.resolve(&lab.net, &q, RrType::A);
+            assert_ne!(out.rcode, Rcode::ServFail, "shallow probe must resolve");
+            msgs += out.cost.messages_sent;
+            walks += 1;
+        }
+        msgs as f64 / walks.max(1) as f64
+    };
+    let deep = nc_cold.per_walk(nc_cold.messages);
+    let amplification = deep / shallow.max(1.0);
+    println!(
+        "  shallow {shallow:>6.2} msg/walk   deep {deep:>6.2} msg/walk   amplification {amplification:>5.2}x"
+    );
+
+    header("Gates");
+    assert!(
+        cached_resolver.delegation_hits() > 0,
+        "warm walks must hit the delegation cache"
+    );
+    assert_eq!(
+        nocache_resolver.delegation_hits() + nocache_resolver.delegation_misses(),
+        0,
+        "cacheless resolver must not touch delegation counters"
+    );
+    assert!(
+        warm.walks == 0 || warm.per_walk(warm.messages) < cold.per_walk(cold.messages),
+        "warm walks must issue strictly fewer upstream queries: {:.2} vs {:.2}",
+        warm.per_walk(warm.messages),
+        cold.per_walk(cold.messages),
+    );
+    assert!(
+        cached_total < nocache_total,
+        "cached fleet must beat the cacheless upstream bill: {cached_total} vs {nocache_total}"
+    );
+    assert!(
+        amplification >= DEPTH_AMPLIFICATION_FLOOR,
+        "deep-chain amplification {amplification:.2} under floor {DEPTH_AMPLIFICATION_FLOOR}"
+    );
+    println!("  all gates passed");
+
+    let json = format!(
+        "{{\n  \"suite\": \"recursion\",\n  \"tlds\": {tlds},\n  \"leaves_per_tld\": {leaves},\n  \"cached_ms\": {cached_ms:.1},\n  \"nocache_ms\": {nocache_ms:.1},\n  \"cold\": {},\n  \"warm\": {},\n  \"cacheless_cold\": {},\n  \"cacheless_warm\": {},\n  \"delegation\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}},\n  \"upstream_total\": {{\"cached\": {cached_total}, \"cacheless\": {nocache_total}}},\n  \"depth\": {{\"shallow_msgs_per_walk\": {shallow:.2}, \"deep_msgs_per_walk\": {deep:.2}, \"amplification\": {amplification:.2}, \"floor\": {DEPTH_AMPLIFICATION_FLOOR}}}\n}}\n",
+        cold.json(),
+        warm.json(),
+        nc_cold.json(),
+        nc_warm.json(),
+        cached_resolver.delegation_hits(),
+        cached_resolver.delegation_misses(),
+        cached_resolver.delegation_evictions(),
+    );
+    match std::fs::write("BENCH_recursion.json", &json) {
+        Ok(()) => println!("  [wrote BENCH_recursion.json]"),
+        Err(e) => eprintln!("  [failed to write BENCH_recursion.json: {e}]"),
+    }
+}

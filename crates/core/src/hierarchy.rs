@@ -1,0 +1,508 @@
+//! The chain-of-trust study: iterative recursion over the signed
+//! root→TLD→leaf delegation graph.
+//!
+//! [`popgen::hierarchy`] describes the graph; this driver stands it up
+//! ([`build_hierarchy`] for one full lab, or per-TLD private labs when
+//! sharding) and walks it with resolvers whose multi-hop recursion runs
+//! as steppable [`dns_resolver::Recursion`] machines on the event core —
+//! one delegation level per step, parked between levels under the
+//! bounded in-flight window. Each [`popgen::ChainScenario`] lands in its
+//! own report bucket:
+//!
+//! | scenario | observable |
+//! |---|---|
+//! | intact (signed) | answers authenticated end-to-end |
+//! | intact (unsigned TLD) | proven-insecure, resolves without AD |
+//! | mis-anchored TLD | SERVFAIL + EDE "trust anchor mismatch" |
+//! | broken DS | SERVFAIL + DNSSEC-bogus EDE |
+//! | insecure delegation | resolves without AD despite a signed child |
+//! | lame delegation | SERVFAIL, key fetch dead-ends (`DNSKEY_MISSING`) |
+
+use std::collections::BTreeMap;
+
+use dns_resolver::lab::{ds_record, simple_zone_contents, Lab, LabBuilder, ZoneSpec};
+use dns_resolver::resolver::{RecursionStep, Resolver, ResolverConfig, TrustAnchor};
+use dns_scanner::retry::{ProbeStats, ScanSession};
+use dns_wire::edns::EdeCode;
+use dns_wire::name::Name;
+use dns_wire::rdata::RData;
+use dns_wire::rrtype::{Rcode, RrType};
+use dns_zone::nsec3hash::Nsec3Params;
+use dns_zone::signer::{Denial, SigningKey};
+use dns_zone::Zone;
+use netsim::event::{drive, FlowStep};
+use popgen::hierarchy::{ChainScenario, HierarchyGenerator, HierarchyModel, HierarchyTld};
+use popgen::DnssecKind;
+
+use crate::experiments::DriverConfig;
+
+/// The EDE text [`dns_resolver`] attaches to anchor-mismatch SERVFAILs —
+/// the classification hook for the mis-anchored bucket.
+const ANCHOR_MISMATCH_TEXT: &str = "trust anchor mismatch";
+
+/// One chain study: which hierarchy, and how it is probed.
+#[derive(Clone, Debug)]
+pub struct ChainStudy {
+    /// The delegation-graph model (TLD count, leaves, fault sprinkling).
+    pub model: HierarchyModel,
+    /// Also probe one non-existent name directly under every TLD, so
+    /// the study exercises TLD-level denial (opt-out and all) alongside
+    /// the leaf walks.
+    pub probe_nxdomain: bool,
+}
+
+impl ChainStudy {
+    /// A study over `model` probing every leaf plus a TLD-level miss.
+    pub fn new(model: HierarchyModel) -> Self {
+        ChainStudy {
+            model,
+            probe_nxdomain: true,
+        }
+    }
+}
+
+/// Per-scenario accounting. All counters are plain sums, so shard merges
+/// are order-independent. The invariant
+/// `queries == secure + insecure + bogus + bogus_anchor + lame + lost +
+/// budget_exceeded` always holds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChainTally {
+    /// Client queries issued.
+    pub queries: u64,
+    /// Authenticated verdicts (NOERROR or NXDOMAIN with AD).
+    pub secure: u64,
+    /// Unauthenticated verdicts (chain proven insecure somewhere).
+    pub insecure: u64,
+    /// Validation failures other than anchor mismatches (broken DS,
+    /// bogus signatures, missing proofs).
+    pub bogus: u64,
+    /// Anchor-mismatch failures (the mis-anchored-TLD signal).
+    pub bogus_anchor: u64,
+    /// Walks that died at an unresponsive delegation without spending
+    /// timeouts: no route to any glue address, so the child DNSKEY (or
+    /// the answer itself) was never fetchable — the lame-delegation
+    /// signature (SERVFAIL with `DNSKEY_MISSING` or no EDE at all).
+    pub lame: u64,
+    /// Queries lost to network faults (SERVFAIL that spent timeouts).
+    pub lost: u64,
+    /// Queries aborted by the per-query work budget.
+    pub budget_exceeded: u64,
+    /// Upstream messages the resolvers sent for these queries.
+    pub upstream_messages: u64,
+    /// Delegation-cache hits across the scenario's resolvers.
+    pub delegation_hits: u64,
+    /// Delegation-cache misses across the scenario's resolvers.
+    pub delegation_misses: u64,
+    /// Delegation-cache evictions across the scenario's resolvers.
+    pub delegation_evictions: u64,
+}
+
+impl ChainTally {
+    fn merge(&mut self, other: &ChainTally) {
+        self.queries += other.queries;
+        self.secure += other.secure;
+        self.insecure += other.insecure;
+        self.bogus += other.bogus;
+        self.bogus_anchor += other.bogus_anchor;
+        self.lame += other.lame;
+        self.lost += other.lost;
+        self.budget_exceeded += other.budget_exceeded;
+        self.upstream_messages += other.upstream_messages;
+        self.delegation_hits += other.delegation_hits;
+        self.delegation_misses += other.delegation_misses;
+        self.delegation_evictions += other.delegation_evictions;
+    }
+}
+
+/// Result of a chain study: per-scenario tallies plus loss-accounted
+/// probe traffic.
+#[derive(Clone, Debug)]
+pub struct ChainReport {
+    /// Tallies keyed by [`ChainScenario::key`].
+    pub per_scenario: BTreeMap<String, ChainTally>,
+    /// Merged probe accounting across shards.
+    pub probe_stats: ProbeStats,
+}
+
+impl ChainReport {
+    /// The tally for `scenario` (zero tally if the hierarchy had none).
+    pub fn scenario(&self, scenario: ChainScenario) -> ChainTally {
+        self.per_scenario
+            .get(scenario.key())
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Sum over every scenario bucket.
+    pub fn total(&self) -> ChainTally {
+        let mut t = ChainTally::default();
+        for tally in self.per_scenario.values() {
+            t.merge(tally);
+        }
+        t
+    }
+}
+
+/// Lab zone spec for a zone signed (or not) per `dnssec`.
+fn zone_spec_for(zone: Zone, dnssec: &DnssecKind) -> ZoneSpec {
+    match dnssec {
+        DnssecKind::None => ZoneSpec::unsigned(zone),
+        DnssecKind::Nsec => ZoneSpec::new(zone, Denial::Nsec),
+        DnssecKind::Nsec3 {
+            iterations,
+            salt_len,
+            opt_out,
+        } => ZoneSpec::new(
+            zone,
+            Denial::Nsec3 {
+                params: Nsec3Params::new(*iterations, vec![0xA5; *salt_len as usize]),
+                opt_out: *opt_out,
+            },
+        ),
+    }
+}
+
+/// Queue one TLD and its leaves onto a lab builder, applying the TLD's
+/// chain scenario (the mis-anchor scenario is resolver-side; see
+/// [`mis_anchor`]).
+fn add_tld_to_lab(mut builder: LabBuilder, tld: &HierarchyTld) -> LabBuilder {
+    let apex = Name::parse(&tld.spec.name).expect("TLD apex parses");
+    let mut zs = zone_spec_for(Zone::new(apex), &tld.spec.dnssec);
+    match tld.scenario {
+        ChainScenario::BrokenDs => zs.broken_ds = true,
+        ChainScenario::InsecureDelegation => zs.unsigned_delegation = true,
+        ChainScenario::LameDelegation => zs.lame = true,
+        ChainScenario::Intact | ChainScenario::MisAnchoredTld => {}
+    }
+    builder = builder.zone(zs);
+    for leaf in &tld.leaves {
+        let leaf_apex = Name::parse(&leaf.name).expect("leaf apex parses");
+        builder = builder.zone(zone_spec_for(
+            simple_zone_contents(&leaf_apex),
+            &leaf.dnssec,
+        ));
+    }
+    builder
+}
+
+/// A deliberately wrong trust anchor for `apex`: the real KSK's key tag
+/// with a corrupted digest, so the served DNSKEY set can never match —
+/// the resolver-side half of [`ChainScenario::MisAnchoredTld`].
+pub fn mis_anchor(apex: &Name) -> TrustAnchor {
+    let ksk = SigningKey::ksk(apex);
+    let RData::Ds {
+        key_tag,
+        mut digest,
+        ..
+    } = ds_record(apex, &ksk).rdata
+    else {
+        unreachable!("ds_record yields DS rdata");
+    };
+    digest[0] ^= 0xFF;
+    TrustAnchor {
+        zone: apex.clone(),
+        key_tag,
+        digest,
+    }
+}
+
+/// The built hierarchy: one lab holding the root, every TLD delegation
+/// and every leaf as distinct authoritative nodes on the simulated
+/// network, plus the model's TLD descriptions for probing.
+pub struct Hierarchy {
+    /// The live lab (root hints, trust anchor, address allocator).
+    pub lab: Lab,
+    /// The TLD-level delegations stood up, in index order.
+    pub tlds: Vec<HierarchyTld>,
+}
+
+/// Stand the whole root→TLD→leaf graph up in one lab (bench and
+/// full-scale use; the sharded study builds per-TLD private labs
+/// instead, so observations never depend on shard composition).
+pub fn build_hierarchy(model: &HierarchyModel, now: u32, lab_seed: u64) -> Hierarchy {
+    let generator = HierarchyGenerator::new(model.clone());
+    let tlds = generator.tlds();
+    let mut builder = LabBuilder::new(now).seed(lab_seed);
+    for tld in &tlds {
+        builder = add_tld_to_lab(builder, tld);
+    }
+    Hierarchy {
+        lab: builder.build(),
+        tlds,
+    }
+}
+
+/// The probe list for one TLD: every leaf's `www` name, then (optionally)
+/// a name that cannot exist directly under the TLD.
+fn probes_for(tld: &HierarchyTld, probe_nxdomain: bool) -> Vec<Name> {
+    let mut probes: Vec<Name> = tld
+        .leaves
+        .iter()
+        .filter_map(|l| Name::parse(&format!("www.{}", l.name)).ok())
+        .collect();
+    if probe_nxdomain {
+        if let Ok(n) = Name::parse(&format!("does-not-exist.{}", tld.spec.name)) {
+            probes.push(n);
+        }
+    }
+    probes
+}
+
+/// Run `study` with environment-driven parallelism
+/// (`HEROES_THREADS`/`HEROES_FAULTS`; see [`DriverConfig::from_env`]).
+pub fn run_chain_study(study: &ChainStudy, now: u32) -> ChainReport {
+    run_chain_study_cfg(study, &DriverConfig::from_env(now))
+}
+
+/// [`run_chain_study`] under an explicit [`DriverConfig`]. TLDs shard
+/// like every other driver; each TLD gets its **own** private lab
+/// (root plus TLD plus leaves) and its own resolver, so no observation
+/// depends on which TLDs share a shard and every thread count produces
+/// identical tallies. Within a TLD, the probes run as ONE multi-step
+/// flow that steps the resolver's [`dns_resolver::Recursion`] machine
+/// through the event core — one delegation level per event — so the
+/// walk itself is scheduled by the bounded window, not hidden inside a
+/// blocking call.
+pub fn run_chain_study_cfg(study: &ChainStudy, cfg: &DriverConfig) -> ChainReport {
+    let generator = HierarchyGenerator::new(study.model.clone());
+    let tlds = generator.tlds();
+    let window = cfg.effective_window();
+    let partials = sim_par::run_sharded(&tlds, cfg.threads, cfg.lab_seed, |shard, slice| {
+        vec![chain_shard(slice, study, cfg, shard.seed, window)]
+    });
+    let mut per_scenario: BTreeMap<String, ChainTally> = BTreeMap::new();
+    let mut probe_stats = ProbeStats::default();
+    for (shard_tallies, shard_stats) in partials {
+        for (key, tally) in shard_tallies {
+            per_scenario.entry(key).or_default().merge(&tally);
+        }
+        probe_stats.merge(&shard_stats);
+    }
+    ChainReport {
+        per_scenario,
+        probe_stats,
+    }
+}
+
+/// One shard: every TLD in `slice`, each in a private lab with its own
+/// recursing resolver.
+fn chain_shard(
+    slice: &[HierarchyTld],
+    study: &ChainStudy,
+    cfg: &DriverConfig,
+    lab_seed: u64,
+    window: usize,
+) -> (BTreeMap<String, ChainTally>, ProbeStats) {
+    let session = ScanSession::new(cfg.profile.breaker);
+    let mut tallies: BTreeMap<String, ChainTally> = BTreeMap::new();
+    for tld in slice {
+        let builder = LabBuilder::new(cfg.now).seed(lab_seed);
+        let mut lab = add_tld_to_lab(builder, tld).build();
+        lab.net.set_schedule(cfg.profile.schedule.clone());
+        let raddr = lab.alloc.v4();
+        let mut rcfg =
+            ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+        rcfg.now = lab.now;
+        rcfg.retry = cfg.profile.retry;
+        rcfg.delegation_cache = true;
+        if tld.scenario == ChainScenario::MisAnchoredTld {
+            let apex = Name::parse(&tld.spec.name).expect("TLD apex parses");
+            rcfg.trust_anchors.push(mis_anchor(&apex));
+        }
+        let resolver = Resolver::new(rcfg);
+        let probes = probes_for(tld, study.probe_nxdomain);
+        let tally = tallies.entry(tld.scenario.key().to_string()).or_default();
+        let net = &lab.net;
+        // One multi-step flow walks the whole probe list, one recursion
+        // level per event-core step. A single flow per independent net
+        // makes window-invariance trivial while still exercising the
+        // park/resume machinery of the scheduler.
+        let mut machine = None;
+        let mut probe_idx = 0usize;
+        let mut admitted = false;
+        drive(
+            window,
+            || {
+                if admitted || probes.is_empty() {
+                    return None;
+                }
+                admitted = true;
+                Some(())
+            },
+            |_flow: &mut (), due| {
+                let vnow = net.now_micros();
+                if due > vnow {
+                    net.advance(due - vnow);
+                }
+                if machine.is_none() {
+                    machine = Some(resolver.begin_recursion(net, &probes[probe_idx], RrType::A));
+                }
+                match machine.as_mut().expect("machine in place").step(net) {
+                    RecursionStep::Pending => FlowStep::Park {
+                        at_micros: net.now_micros(),
+                    },
+                    RecursionStep::Done(out) => {
+                        machine = None;
+                        tally.queries += 1;
+                        tally.upstream_messages += out.cost.messages_sent;
+                        if out.budget_exceeded {
+                            session.note_answered(out.cost.retries);
+                            tally.budget_exceeded += 1;
+                        } else if out.rcode == Rcode::ServFail {
+                            if out.cost.timeouts > 0 {
+                                session.note_timed_out(out.cost.retries);
+                                tally.lost += 1;
+                            } else {
+                                session.note_answered(out.cost.retries);
+                                match &out.ede {
+                                    Some((_, text)) if text.as_str() == ANCHOR_MISMATCH_TEXT => {
+                                        tally.bogus_anchor += 1
+                                    }
+                                    Some((code, _)) if *code == EdeCode::DNSKEY_MISSING => {
+                                        tally.lame += 1
+                                    }
+                                    Some(_) => tally.bogus += 1,
+                                    None => tally.lame += 1,
+                                }
+                            }
+                        } else {
+                            session.note_answered(out.cost.retries);
+                            if out.authenticated {
+                                tally.secure += 1;
+                            } else {
+                                tally.insecure += 1;
+                            }
+                        }
+                        probe_idx += 1;
+                        if probe_idx >= probes.len() {
+                            FlowStep::Done
+                        } else {
+                            FlowStep::Park {
+                                at_micros: net.now_micros(),
+                            }
+                        }
+                    }
+                }
+            },
+        );
+        tally.delegation_hits += resolver.delegation_hits();
+        tally.delegation_misses += resolver.delegation_misses();
+        tally.delegation_evictions += resolver.delegation_evictions();
+    }
+    (tallies, session.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::DEFAULT_LAB_SEED;
+
+    const NOW: u32 = 1_710_000_000;
+
+    fn faulted_study() -> ChainStudy {
+        // 24 TLDs, fault every 3rd signed one: all four fault scenarios
+        // appear alongside intact signed and unsigned delegations.
+        ChainStudy::new(HierarchyModel::intact(24, 2, 7).with_faults(3))
+    }
+
+    #[test]
+    fn scenarios_classify_into_distinct_buckets() {
+        let report = run_chain_study(&faulted_study(), NOW);
+        let intact = report.scenario(ChainScenario::Intact);
+        assert!(intact.secure > 0, "signed intact TLDs authenticate");
+        assert!(
+            intact.insecure > 0,
+            "unsigned TLDs resolve insecurely under intact"
+        );
+        assert_eq!(intact.bogus + intact.bogus_anchor + intact.lame, 0);
+
+        let mis = report.scenario(ChainScenario::MisAnchoredTld);
+        assert!(
+            mis.queries > 0 && mis.bogus_anchor == mis.queries,
+            "{mis:?}"
+        );
+
+        let broken = report.scenario(ChainScenario::BrokenDs);
+        assert!(
+            broken.queries > 0 && broken.bogus == broken.queries,
+            "{broken:?}"
+        );
+
+        let insecure = report.scenario(ChainScenario::InsecureDelegation);
+        assert!(
+            insecure.queries > 0 && insecure.insecure == insecure.queries,
+            "{insecure:?}"
+        );
+
+        let lame = report.scenario(ChainScenario::LameDelegation);
+        assert!(lame.queries > 0 && lame.lame == lame.queries, "{lame:?}");
+
+        // Accounting invariant per bucket.
+        for (key, t) in &report.per_scenario {
+            assert_eq!(
+                t.queries,
+                t.secure
+                    + t.insecure
+                    + t.bogus
+                    + t.bogus_anchor
+                    + t.lame
+                    + t.lost
+                    + t.budget_exceeded,
+                "{key}: accounting invariant"
+            );
+        }
+    }
+
+    #[test]
+    fn delegation_cache_warms_within_a_tld() {
+        let report = run_chain_study(&faulted_study(), NOW);
+        let total = report.total();
+        // First walk per TLD misses, later leaf walks hit the cached cut.
+        assert!(total.delegation_hits > 0, "{total:?}");
+        assert!(total.delegation_misses > 0, "{total:?}");
+    }
+
+    #[test]
+    fn chain_study_is_thread_invariant() {
+        let study = faulted_study();
+        let sequential =
+            run_chain_study_cfg(&study, &DriverConfig::clean(NOW, 1, DEFAULT_LAB_SEED));
+        for threads in [2usize, 4] {
+            let sharded =
+                run_chain_study_cfg(&study, &DriverConfig::clean(NOW, threads, DEFAULT_LAB_SEED));
+            assert_eq!(
+                format!("{:?}", sharded.per_scenario),
+                format!("{:?}", sequential.per_scenario),
+                "threads = {threads}"
+            );
+            assert_eq!(sharded.probe_stats, sequential.probe_stats);
+        }
+    }
+
+    #[test]
+    fn full_hierarchy_stands_up_and_resolves() {
+        // One lab with every TLD: a single resolver with the delegation
+        // cache on walks leaves under different TLDs; warm repeats under
+        // the same TLD restart at the cached cut.
+        let model = HierarchyModel::intact(6, 2, 7);
+        let h = build_hierarchy(&model, NOW, DEFAULT_LAB_SEED);
+        let mut lab = h.lab;
+        let raddr = lab.alloc.v4();
+        let mut rcfg =
+            ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+        rcfg.now = lab.now;
+        rcfg.delegation_cache = true;
+        let resolver = Resolver::new(rcfg);
+        let mut answered = 0;
+        for tld in &h.tlds {
+            for leaf in &tld.leaves {
+                let q = Name::parse(&format!("www.{}", leaf.name)).unwrap();
+                let out = resolver.resolve(&lab.net, &q, RrType::A);
+                assert_ne!(out.rcode, Rcode::ServFail, "{q}: {:?}", out.ede);
+                answered += 1;
+            }
+        }
+        assert_eq!(answered, 12);
+        assert!(resolver.delegation_hits() > 0);
+    }
+}

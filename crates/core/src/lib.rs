@@ -13,6 +13,9 @@
 //! * [`serving`] — the production serving driver: Zipf client traffic
 //!   through a caching resolver fleet with the RFC 8198 negative-cache
 //!   fast path.
+//! * [`hierarchy`] — the chain-of-trust study: iterative recursion over
+//!   a signed root→TLD→leaf delegation graph with per-delegation fault
+//!   scenarios (mis-anchored, broken DS, insecure, lame).
 //!
 //! Every driver also has a `_cfg` variant taking an explicit
 //! [`DriverConfig`] (thread count, lab seed, fault profile); the plain
@@ -35,6 +38,7 @@
 pub mod adversarial;
 pub mod experiments;
 pub mod fleet;
+pub mod hierarchy;
 pub mod serving;
 pub mod testbed;
 
@@ -50,5 +54,9 @@ pub use experiments::{
     DEFAULT_WINDOW,
 };
 pub use fleet::{deploy_fleet, policy_for, DeployedResolver};
+pub use hierarchy::{
+    build_hierarchy, mis_anchor, run_chain_study, run_chain_study_cfg, ChainReport, ChainStudy,
+    ChainTally, Hierarchy,
+};
 pub use serving::{run_serving, run_serving_cfg, ServingReport, ServingScenario, ServingTally};
 pub use testbed::{build_testbed, build_testbed_seeded, iteration_values, Testbed, TEST_DOMAIN};

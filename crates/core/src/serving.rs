@@ -66,6 +66,11 @@ pub struct ServingScenario {
     /// Answer-cache capacity per resolver (0 disables caching — the
     /// cold path).
     pub cache_size: usize,
+    /// Delegation (referral) caching on the fleet: warm queries restart
+    /// recursion at the deepest cached cut instead of the root. Off by
+    /// default so the pinned serving scenarios keep their historical
+    /// upstream timing; the chain-of-trust drivers run it on.
+    pub delegation_cache: bool,
 }
 
 impl ServingScenario {
@@ -78,6 +83,7 @@ impl ServingScenario {
             fleet: 4,
             aggressive: true,
             cache_size: 4096,
+            delegation_cache: false,
         }
     }
 
@@ -92,6 +98,7 @@ impl ServingScenario {
     pub fn cold(mut self) -> Self {
         self.aggressive = false;
         self.cache_size = 0;
+        self.delegation_cache = false;
         self
     }
 
@@ -99,6 +106,14 @@ impl ServingScenario {
     /// upstream-collapse comparison arm.
     pub fn with_aggressive(mut self, aggressive: bool) -> Self {
         self.aggressive = aggressive;
+        self
+    }
+
+    /// The same scenario with delegation caching toggled — warm walks
+    /// restart at the deepest cached referral cut, and the fleet's
+    /// hit/miss/eviction counters surface in the tally.
+    pub fn with_delegation_cache(mut self, delegation_cache: bool) -> Self {
+        self.delegation_cache = delegation_cache;
         self
     }
 }
@@ -140,6 +155,12 @@ pub struct ServingTally {
     pub key_hits: u64,
     /// Validated-key-cache misses across the fleet.
     pub key_misses: u64,
+    /// Delegation-cache hits across the fleet (warm referral restarts).
+    pub delegation_hits: u64,
+    /// Delegation-cache misses across the fleet (root-hint walks).
+    pub delegation_misses: u64,
+    /// Delegation-cache evictions across the fleet.
+    pub delegation_evictions: u64,
     /// Virtual latency histogram: exact microseconds → query count.
     pub latency_hist: BTreeMap<u64, u64>,
 }
@@ -162,6 +183,9 @@ impl ServingTally {
         self.answer_misses += other.answer_misses;
         self.key_hits += other.key_hits;
         self.key_misses += other.key_misses;
+        self.delegation_hits += other.delegation_hits;
+        self.delegation_misses += other.delegation_misses;
+        self.delegation_evictions += other.delegation_evictions;
         for (&micros, &count) in &other.latency_hist {
             *self.latency_hist.entry(micros).or_default() += count;
         }
@@ -360,6 +384,7 @@ fn serving_unit(
     rcfg.retry = profile.retry;
     rcfg.cache_size = scenario.cache_size;
     rcfg.aggressive_nsec3 = scenario.aggressive;
+    rcfg.delegation_cache = scenario.delegation_cache;
     let resolver = Resolver::new(rcfg);
     let generator = TrafficGenerator::new(scenario.traffic.clone(), scenario.domains.len() as u64);
     let mut next = q_lo;
@@ -421,6 +446,9 @@ fn serving_unit(
     tally.answer_misses += resolver.cache_misses();
     tally.key_hits += resolver.key_cache_hits();
     tally.key_misses += resolver.key_cache_misses();
+    tally.delegation_hits += resolver.delegation_hits();
+    tally.delegation_misses += resolver.delegation_misses();
+    tally.delegation_evictions += resolver.delegation_evictions();
     stats.in_flight_high_water
 }
 
@@ -548,6 +576,33 @@ mod tests {
                 "window = {window}"
             );
         }
+    }
+
+    #[test]
+    fn delegation_cache_saves_upstream_and_stays_invariant() {
+        let cached = small_scenario().with_delegation_cache(true);
+        let plain = small_scenario();
+        let base = |threads| DriverConfig::clean(NOW, threads, DEFAULT_LAB_SEED);
+        let with_cache = run_serving_cfg(&cached, &base(1));
+        let without = run_serving_cfg(&plain, &base(1));
+        assert!(
+            with_cache.tally.delegation_hits > 0,
+            "warm fleet walks must hit cached cuts"
+        );
+        assert_eq!(
+            without.tally.delegation_hits + without.tally.delegation_misses,
+            0,
+            "disabled cache must not record counter noise"
+        );
+        assert!(
+            with_cache.tally.upstream_messages < without.tally.upstream_messages,
+            "delegation cache must cut the upstream bill: {} vs {}",
+            with_cache.tally.upstream_messages,
+            without.tally.upstream_messages
+        );
+        // Still byte-identical across thread counts with the cache on.
+        let sharded = run_serving_cfg(&cached, &base(4));
+        assert_eq!(sharded.rendered(), with_cache.rendered());
     }
 
     #[test]

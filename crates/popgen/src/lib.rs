@@ -20,6 +20,7 @@
 
 pub mod adversarial;
 pub mod domains;
+pub mod hierarchy;
 pub mod resolvers;
 pub mod scale;
 pub mod timeline;
@@ -30,6 +31,9 @@ pub mod tranco;
 pub use adversarial::{attack_qname, generate_attack_zones, AdversarialZoneSpec, AttackFamily};
 pub use domains::{
     domain_count, generate_domains, generate_domains_range, DnssecKind, DomainGenerator, DomainSpec,
+};
+pub use hierarchy::{
+    ChainScenario, HierarchyGenerator, HierarchyLeaf, HierarchyModel, HierarchyTld,
 };
 pub use resolvers::{
     generate_fleet, generate_fleet_with_mix, Access, Behavior, Family, ResolverSpec,

@@ -27,6 +27,7 @@ pub struct TtlCache<K, V> {
     capacity: usize,
     hits: std::cell::Cell<u64>,
     misses: std::cell::Cell<u64>,
+    evictions: std::cell::Cell<u64>,
 }
 
 impl<K: Ord + Clone, V: Clone> TtlCache<K, V> {
@@ -37,6 +38,7 @@ impl<K: Ord + Clone, V: Clone> TtlCache<K, V> {
             capacity,
             hits: std::cell::Cell::new(0),
             misses: std::cell::Cell::new(0),
+            evictions: std::cell::Cell::new(0),
         }
     }
 
@@ -96,6 +98,7 @@ impl<K: Ord + Clone, V: Clone> TtlCache<K, V> {
             };
             if let Some(k) = victim {
                 entries.remove(&k);
+                self.evictions.set(self.evictions.get() + 1);
             }
         }
         entries.insert(key, (value, now_micros + ttl_secs as u64 * 1_000_000));
@@ -119,6 +122,12 @@ impl<K: Ord + Clone, V: Clone> TtlCache<K, V> {
     /// Cache misses so far.
     pub fn misses(&self) -> u64 {
         self.misses.get()
+    }
+
+    /// At-capacity evictions so far (expired-entry removal on `get` is
+    /// not an eviction; only the insert path displacing a victim counts).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.get()
     }
 
     /// Drop everything.
@@ -168,6 +177,7 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.get(&2, 2_000_001), Some(2));
         assert_eq!(cache.get(&3, 2_000_001), Some(3));
+        assert_eq!(cache.evictions(), 1);
     }
 
     #[test]

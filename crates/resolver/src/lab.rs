@@ -39,6 +39,13 @@ pub struct ZoneSpec {
     /// Do not sign at all: no DNSKEY, no denial chain (implies an
     /// unsigned delegation).
     pub unsigned: bool,
+    /// Parent publishes a DS whose digest is corrupted (one byte
+    /// flipped): the delegation looks secure but the child's DNSKEYs can
+    /// never match — the broken-DS chain-of-trust scenario.
+    pub broken_ds: bool,
+    /// Delegated but not stood up: NS+glue exist in the parent, yet no
+    /// server answers at the glue addresses (a lame delegation).
+    pub lame: bool,
     /// Arbitrary post-signing mutation (fault injection).
     pub post_sign: Option<PostSign>,
     /// Extra DNSKEY RDATAs published verbatim ahead of the real keys
@@ -55,6 +62,8 @@ impl ZoneSpec {
             expired: false,
             unsigned_delegation: false,
             unsigned: false,
+            broken_ds: false,
+            lame: false,
             post_sign: None,
             extra_dnskeys: Vec::new(),
         }
@@ -171,6 +180,7 @@ impl LabBuilder {
             let (v4, v6) = addrs[&apex];
             let ns_name = Name::parse("ns1").unwrap().concat(&apex).unwrap();
             let insecure = self.specs[i].unsigned_delegation || self.specs[i].unsigned;
+            let broken_ds = self.specs[i].broken_ds;
             let ksk = SigningKey::ksk(&apex);
             let parent = self
                 .specs
@@ -195,7 +205,16 @@ impl LabBuilder {
                 _ => unreachable!("alloc order"),
             }
             if !insecure {
-                parent.zone.add(ds_record(&apex, &ksk)).unwrap();
+                let mut ds = ds_record(&apex, &ksk);
+                if broken_ds {
+                    // Flip one digest byte: the DS RRset still validates
+                    // under the parent's signatures (it is what the
+                    // parent serves), but no child DNSKEY can match it.
+                    if let RData::Ds { digest, .. } = &mut ds.rdata {
+                        digest[0] ^= 0xFF;
+                    }
+                }
+                parent.zone.add(ds).unwrap();
             }
         }
 
@@ -229,8 +248,10 @@ impl LabBuilder {
             let server = Rc::new(AuthServer::new());
             server.add_zone(signed.clone());
             let (v4, v6) = addrs[&apex];
-            net.register(v4, server.clone());
-            net.register(v6, server.clone());
+            if !spec.lame {
+                net.register(v4, server.clone());
+                net.register(v6, server.clone());
+            }
             zones.insert(apex.clone(), signed);
             auths.insert(apex, server);
         }

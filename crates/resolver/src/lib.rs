@@ -19,6 +19,7 @@ pub mod aggressive;
 pub mod broken;
 pub mod cache;
 pub mod cost;
+pub mod delegation;
 pub mod lab;
 pub mod policy;
 pub mod profiles;
@@ -29,10 +30,13 @@ pub use aggressive::AggressiveCache;
 pub use broken::{FlakyResolver, Forwarder, ObservedResponse, QueryCopier};
 pub use cache::TtlCache;
 pub use cost::{CostMeter, CostSnapshot};
+pub use delegation::{Delegation, DelegationCache};
 pub use lab::{Lab, LabBuilder, ZoneSpec};
 pub use policy::{LimitAction, Rfc9276Policy, WorkBudget};
 pub use profiles::VendorProfile;
-pub use resolver::{ResolveOutcome, Resolver, ResolverConfig, TrustAnchor};
+pub use resolver::{
+    Recursion, RecursionStep, ResolveOutcome, Resolver, ResolverConfig, TrustAnchor,
+};
 pub use validator::{ValidationError, ZoneKeys};
 
 #[cfg(test)]
@@ -621,4 +625,131 @@ mod e2e {
 
     use dns_wire::rdata::RData;
     use dns_wire::record::Record;
+    use dns_zone::signer::SigningKey;
+
+    /// The genuine trust anchor for a lab zone (the lab derives every
+    /// KSK deterministically from the apex).
+    fn real_anchor(apex: &Name) -> TrustAnchor {
+        let ksk = SigningKey::ksk(apex);
+        let RData::Ds {
+            key_tag, digest, ..
+        } = lab::ds_record(apex, &ksk).rdata
+        else {
+            unreachable!("ds_record yields DS rdata");
+        };
+        TrustAnchor {
+            zone: apex.clone(),
+            key_tag,
+            digest,
+        }
+    }
+
+    #[test]
+    fn anchors_match_per_zone_apex_not_first_entry() {
+        // Regression: the validator used to consult only the FIRST
+        // configured anchor. With the example.com anchor listed before
+        // the root anchor, the root DNSKEY fetch must still find the
+        // root entry by apex.
+        let mut lab = lab_with_params(&[("example.com.", Nsec3Params::rfc9276())]);
+        let raddr = lab.alloc.v4();
+        let mut cfg = ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+        cfg.now = lab.now;
+        cfg.trust_anchors = vec![real_anchor(&name("example.com.")), lab.anchor.clone()];
+        let r = Resolver::new(cfg);
+        let out = r.resolve(&lab.net, &name("www.example.com."), RrType::A);
+        assert_eq!(out.rcode, Rcode::NoError);
+        assert!(out.authenticated, "multi-anchor config must validate");
+    }
+
+    #[test]
+    fn island_of_trust_validates_below_insecure_delegation() {
+        // example.com is signed but its delegation from com. carries no
+        // DS. Without an extra anchor the chain is provably insecure;
+        // with an anchor at the island's apex it authenticates.
+        let build = || {
+            let b = LabBuilder::new(NOW).simple_zone(&name("com."), Denial::nsec3_rfc9276());
+            let mut zs = ZoneSpec::new(
+                lab::simple_zone_contents(&name("example.com.")),
+                Denial::nsec3_rfc9276(),
+            );
+            zs.unsigned_delegation = true;
+            b.zone(zs).build()
+        };
+        let mut lab = build();
+        let plain = resolver_for(&mut lab, Rfc9276Policy::unlimited());
+        let out = plain.resolve(&lab.net, &name("www.example.com."), RrType::A);
+        assert_eq!(out.rcode, Rcode::NoError);
+        assert!(!out.authenticated, "no DS and no island anchor: insecure");
+
+        let mut lab = build();
+        let raddr = lab.alloc.v4();
+        let mut cfg = ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+        cfg.now = lab.now;
+        cfg.trust_anchors.push(real_anchor(&name("example.com.")));
+        let island = Resolver::new(cfg);
+        let out = island.resolve(&lab.net, &name("www.example.com."), RrType::A);
+        assert_eq!(out.rcode, Rcode::NoError);
+        assert!(out.authenticated, "island anchor re-secures the chain");
+    }
+
+    #[test]
+    fn mis_anchored_zone_fails_as_anchor_mismatch() {
+        // A configured anchor whose digest matches no served DNSKEY must
+        // fail closed with the dedicated EDE, not chain on via the DS.
+        let mut lab = lab_with_params(&[("example.com.", Nsec3Params::rfc9276())]);
+        let raddr = lab.alloc.v4();
+        let mut cfg = ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+        cfg.now = lab.now;
+        let mut bad = real_anchor(&name("example.com."));
+        bad.digest[0] ^= 0xFF;
+        cfg.trust_anchors.push(bad);
+        let r = Resolver::new(cfg);
+        let out = r.resolve(&lab.net, &name("www.example.com."), RrType::A);
+        assert_eq!(out.rcode, Rcode::ServFail);
+        let (code, text) = out.ede.expect("anchor mismatch carries an EDE");
+        assert_eq!(code, EdeCode::DNSSEC_BOGUS);
+        assert_eq!(text, "trust anchor mismatch");
+    }
+
+    #[test]
+    fn delegation_cache_is_off_by_default() {
+        let mut lab = lab_with_params(&[("example.com.", Nsec3Params::rfc9276())]);
+        let r = resolver_for(&mut lab, Rfc9276Policy::unlimited());
+        let out = r.resolve(&lab.net, &name("www.example.com."), RrType::A);
+        assert_eq!(out.rcode, Rcode::NoError);
+        assert_eq!(r.delegation_hits(), 0);
+        assert_eq!(r.delegation_misses(), 0);
+        assert_eq!(r.delegation_len(), 0);
+    }
+
+    #[test]
+    fn warm_delegation_cache_saves_upstream_queries() {
+        // Two sibling zones under com.: the second walk restarts at the
+        // cached com. cut instead of the root and must send strictly
+        // fewer upstream messages.
+        let mut lab = lab_with_params(&[
+            ("alpha.com.", Nsec3Params::rfc9276()),
+            ("beta.com.", Nsec3Params::rfc9276()),
+        ]);
+        let raddr = lab.alloc.v4();
+        let mut cfg = ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+        cfg.now = lab.now;
+        cfg.delegation_cache = true;
+        let r = Resolver::new(cfg);
+        let cold = r.resolve(&lab.net, &name("www.alpha.com."), RrType::A);
+        assert!(cold.authenticated);
+        assert_eq!(r.delegation_hits(), 0, "first walk has nothing cached");
+        assert!(r.delegation_misses() > 0);
+        assert!(r.delegation_len() > 0);
+        let warm = r.resolve(&lab.net, &name("www.beta.com."), RrType::A);
+        assert!(warm.authenticated);
+        assert!(r.delegation_hits() > 0, "second walk restarts at com.");
+        assert!(
+            warm.cost.messages_sent < cold.cost.messages_sent,
+            "warm walk must be strictly cheaper: {} vs {}",
+            warm.cost.messages_sent,
+            cold.cost.messages_sent
+        );
+        assert_eq!(r.delegation_evictions(), 0);
+    }
 }

@@ -21,16 +21,21 @@ use netsim::{Network, Node, Outcome, RetryPolicy};
 use crate::aggressive::AggressiveCache;
 use crate::cache::TtlCache;
 use crate::cost::{CostMeter, CostSnapshot};
+use crate::delegation::{Delegation, DelegationCache};
 use crate::policy::{LimitAction, Rfc9276Policy, WorkBudget};
 use crate::validator::{
     self, parse_nsec3_set, validate_rrset, verify_nodata, verify_nxdomain,
     verify_wildcard_expansion, ValidationError, ZoneKeys,
 };
 
-/// A trust anchor: the DS-style digest of a zone's KSK.
+/// A trust anchor: the DS-style digest of a zone's KSK. Anchors are
+/// matched per zone apex ([`ResolverConfig::trust_anchors`] may hold
+/// several — the root plus islands of trust at deeper cuts), and an
+/// anchor configured for a cut takes precedence over the parent's DS
+/// set, which is what makes mis-anchored zones observable.
 #[derive(Clone, Debug)]
 pub struct TrustAnchor {
-    /// The anchored zone (the root, in every experiment here).
+    /// The anchored zone apex (the root, in most experiments here).
     pub zone: Name,
     /// Expected key tag.
     pub key_tag: u16,
@@ -66,6 +71,12 @@ pub struct ResolverConfig {
     /// from cached, verified denial chains (costs hashing per query; see
     /// `crate::aggressive`).
     pub aggressive_nsec3: bool,
+    /// Cache referral state per zone cut ([`DelegationCache`]) so warm
+    /// resolutions restart at the deepest known cut instead of the root
+    /// hints. Off by default so every calibrated probe driver keeps its
+    /// historical query pattern; the serving and chain-study drivers
+    /// turn it on.
+    pub delegation_cache: bool,
     /// 0x20 case randomization (dns-0x20): encode the qname of upstream
     /// queries with per-query random case and reject responses that do not
     /// echo it — the classic anti-spoofing hardening the paper's Kaminsky
@@ -96,6 +107,7 @@ impl ResolverConfig {
             check_limits_first: true,
             cache_size: 4096,
             aggressive_nsec3: false,
+            delegation_cache: false,
             case_randomization: true,
             qname_minimization: false,
             budget: WorkBudget::unlimited(),
@@ -115,6 +127,7 @@ impl ResolverConfig {
             check_limits_first: true,
             cache_size: 4096,
             aggressive_nsec3: false,
+            delegation_cache: false,
             case_randomization: true,
             qname_minimization: false,
             budget: WorkBudget::unlimited(),
@@ -179,6 +192,9 @@ pub struct Resolver {
     answer_cache: TtlCache<(Name, RrType), CachedAnswer>,
     /// Validated DNSKEY sets per zone (the big recursion saver).
     key_cache: TtlCache<Name, ZoneKeys>,
+    /// Referral state per zone cut, for warm-restart recursion (inert
+    /// unless [`ResolverConfig::delegation_cache`] is set).
+    delegations: DelegationCache,
     /// RFC 8198 store of verified NSEC3 chains.
     aggressive: AggressiveCache,
 }
@@ -198,12 +214,18 @@ impl Resolver {
     /// Build a resolver.
     pub fn new(config: ResolverConfig) -> Self {
         let cache_size = config.cache_size;
+        let delegation_capacity = if config.delegation_cache {
+            cache_size.min(512)
+        } else {
+            0
+        };
         Resolver {
             config,
             meter: CostMeter::new(),
             next_id: RefCell::new(1),
             answer_cache: TtlCache::new(cache_size),
             key_cache: TtlCache::new(cache_size.min(512)),
+            delegations: DelegationCache::new(delegation_capacity),
             aggressive: AggressiveCache::new(),
         }
     }
@@ -241,6 +263,27 @@ impl Resolver {
     /// Zones with cached RFC 8198 denial material.
     pub fn aggressive_zones(&self) -> usize {
         self.aggressive.zone_count()
+    }
+
+    /// Delegation-cache hit count: resolutions that restarted at a
+    /// cached zone cut instead of walking from the root hints.
+    pub fn delegation_hits(&self) -> u64 {
+        self.delegations.hits()
+    }
+
+    /// Delegation-cache miss count: walks that found no usable cut.
+    pub fn delegation_misses(&self) -> u64 {
+        self.delegations.misses()
+    }
+
+    /// Delegation-cache at-capacity evictions.
+    pub fn delegation_evictions(&self) -> u64 {
+        self.delegations.evictions()
+    }
+
+    /// Zone cuts currently cached in the delegation cache.
+    pub fn delegation_len(&self) -> usize {
+        self.delegations.len()
     }
 
     fn fresh_id(&self) -> u16 {
@@ -326,18 +369,50 @@ impl Resolver {
     }
 
     /// Full recursive resolution of `qname`/`qtype`.
+    ///
+    /// Implemented by driving a [`Recursion`] machine to completion, so
+    /// the blocking path and the event-core stepped path are the same
+    /// code executing the same operations in the same order.
     pub fn resolve(&self, net: &Network, qname: &Name, qtype: RrType) -> ResolveOutcome {
+        let mut recursion = self.begin_recursion(net, qname, qtype);
+        loop {
+            if let RecursionStep::Done(outcome) = recursion.step(net) {
+                return outcome;
+            }
+        }
+    }
+
+    /// Start a resolution as a steppable [`Recursion`] machine: each
+    /// [`Recursion::step`] performs at most one delegation level (one
+    /// upstream exchange plus the DS/DNSKEY chain work it triggers), so
+    /// event-core drivers can park a multi-hop walk between levels and
+    /// interleave many walks under a bounded in-flight window.
+    /// Answer-cache hits and RFC 8198 synthesis settle on the first
+    /// step. Drive one machine at a time per resolver: the per-query
+    /// work budget is armed on the shared meter for the machine's
+    /// lifetime.
+    pub fn begin_recursion<'a>(
+        &'a self,
+        net: &Network,
+        qname: &Name,
+        qtype: RrType,
+    ) -> Recursion<'a> {
         let key = (qname.clone(), qtype);
         if let Some(hit) = self.answer_cache.get(&key, net.now_micros()) {
-            return ResolveOutcome {
-                rcode: hit.rcode,
-                authenticated: hit.authenticated,
-                answers: hit.answers,
-                authorities: hit.authorities,
-                ede: hit.ede,
-                budget_exceeded: hit.budget_exceeded,
-                cost: CostSnapshot::default(),
-            };
+            return Recursion::settled(
+                self,
+                qname.clone(),
+                qtype,
+                ResolveOutcome {
+                    rcode: hit.rcode,
+                    authenticated: hit.authenticated,
+                    answers: hit.answers,
+                    authorities: hit.authorities,
+                    ede: hit.ede,
+                    budget_exceeded: hit.budget_exceeded,
+                    cost: CostSnapshot::default(),
+                },
+            );
         }
         if self.config.aggressive_nsec3 {
             let before = self.meter.snapshot();
@@ -346,150 +421,180 @@ impl Resolver {
                     .aggressive
                     .synthesize_nxdomain(&zone, qname, net.now_micros(), &self.meter)
                 {
-                    return ResolveOutcome {
-                        rcode: Rcode::NxDomain,
-                        authenticated: true,
-                        answers: Vec::new(),
-                        authorities: Vec::new(),
-                        ede: None,
-                        budget_exceeded: false,
-                        cost: self.meter.snapshot().since(&before),
-                    };
+                    return Recursion::settled(
+                        self,
+                        qname.clone(),
+                        qtype,
+                        ResolveOutcome {
+                            rcode: Rcode::NxDomain,
+                            authenticated: true,
+                            answers: Vec::new(),
+                            authorities: Vec::new(),
+                            ede: None,
+                            budget_exceeded: false,
+                            cost: self.meter.snapshot().since(&before),
+                        },
+                    );
                 }
             }
         }
-        let outcome = self.resolve_uncached(net, qname, qtype);
-        let ttl = answer_ttl(&outcome);
-        self.answer_cache.put(
-            key,
-            CachedAnswer {
-                rcode: outcome.rcode,
-                authenticated: outcome.authenticated,
-                answers: outcome.answers.clone(),
-                authorities: outcome.authorities.clone(),
-                ede: outcome.ede.clone(),
-                budget_exceeded: outcome.budget_exceeded,
-            },
-            net.now_micros(),
-            ttl,
-        );
-        outcome
-    }
-
-    /// Arm the per-query work budget around the actual recursion: the
-    /// allowance covers everything one client query triggers — the
-    /// delegation walk, key fetches, CNAME chasing, and proof validation.
-    fn resolve_uncached(&self, net: &Network, qname: &Name, qtype: RrType) -> ResolveOutcome {
+        // Arm the per-query work budget for the machine's lifetime: the
+        // allowance covers everything one client query triggers — the
+        // delegation walk, key fetches, CNAME chasing, proof validation.
         self.meter.arm_budget(&self.config.budget);
-        let outcome = self.resolve_budgeted(net, qname, qtype);
-        self.meter.disarm_budget();
-        outcome
-    }
-
-    fn resolve_budgeted(&self, net: &Network, qname: &Name, qtype: RrType) -> ResolveOutcome {
         let before = self.meter.snapshot();
-        let mut answers: Vec<Record> = Vec::new();
-        let mut target = qname.clone();
-        for _hop in 0..8 {
-            let mut outcome = self.resolve_once(net, &target, qtype, &before);
-            // Follow in-answer CNAMEs (each hop re-resolves the target).
-            let cname = outcome.answers.iter().find_map(|r| {
-                match (
-                    &r.rdata,
-                    r.rrtype() == RrType::CNAME && qtype != RrType::CNAME,
-                ) {
-                    (RData::Cname(next), true) => Some(next.clone()),
-                    _ => None,
-                }
-            });
-            let has_final = outcome.answers.iter().any(|r| r.rrtype() == qtype);
-            answers.append(&mut outcome.answers);
-            let authorities = std::mem::take(&mut outcome.authorities);
-            match cname {
-                Some(next) if !has_final && outcome.rcode == Rcode::NoError => {
-                    target = next;
-                    continue;
-                }
-                _ => {
-                    return ResolveOutcome {
-                        answers,
-                        authorities,
-                        cost: self.meter.snapshot().since(&before),
-                        ..outcome
-                    };
-                }
-            }
+        Recursion {
+            resolver: self,
+            qname: qname.clone(),
+            qtype,
+            before,
+            target: qname.clone(),
+            hops: 0,
+            answers: Vec::new(),
+            walk: None,
+            settled: None,
+            armed: true,
         }
-        ResolveOutcome::servfail(None, self.meter.snapshot().since(&before))
     }
 
-    /// One iterative walk from the root to the authoritative answer for
-    /// `qname` (no CNAME chasing).
-    fn resolve_once(
+    /// The deepest cached cut covering `target`, when the delegation
+    /// cache is enabled (counters stay untouched when it is not).
+    fn lookup_delegation(&self, net: &Network, target: &Name) -> Option<(Name, Delegation)> {
+        if !self.config.delegation_cache {
+            return None;
+        }
+        self.delegations.deepest(target, net.now_micros())
+    }
+
+    /// Start one iterative walk for `target`: from the deepest cached
+    /// delegation cut when one is usable, from the root hints otherwise.
+    /// The `Err` arm is a settled [`ResolveOutcome`] handed straight to
+    /// the caller; it is only built on terminal failures, so its size
+    /// never taxes the happy path.
+    #[allow(clippy::result_large_err)]
+    fn start_walk(
         &self,
         net: &Network,
+        target: &Name,
+        cost_base: &CostSnapshot,
+    ) -> Result<Walk, ResolveOutcome> {
+        if let Some((apex, d)) = self.lookup_delegation(net, target) {
+            if !self.config.validate || !d.secure {
+                return Ok(Walk::at(d.servers, apex, Chain::Insecure));
+            }
+            // Re-establish the secure chain at the cut: via the cut's
+            // own anchor if one is configured, else by re-validating the
+            // child keys against the DS set stored with the delegation
+            // (a key-cache hit makes both free).
+            let keys = match self.anchor_for(&apex) {
+                Some(anchor) => self.cached_anchor_keys(net, &d.servers, &anchor),
+                None => self.cached_child_keys(net, &d.servers, &apex, &d.ds),
+            };
+            if let Ok(keys) = keys {
+                return Ok(Walk::at(d.servers, apex, Chain::Secure(keys)));
+            }
+            // A cut whose chain no longer re-validates is abandoned and
+            // the walk restarts from the root as if cold.
+        }
+        let servers = self.config.root_hints.clone();
+        let chain = if !self.config.validate {
+            Chain::Insecure
+        } else {
+            match self.anchor_for(&Name::root()) {
+                Some(anchor) => match self.cached_anchor_keys(net, &servers, &anchor) {
+                    Ok(keys) => Chain::Secure(keys),
+                    Err(e) => {
+                        return Err(
+                            self.validation_failure(e, self.meter.snapshot().since(cost_base))
+                        )
+                    }
+                },
+                // No root anchor: the walk starts insecure, but a deeper
+                // anchor may still establish an island of trust at its cut.
+                None => Chain::Insecure,
+            }
+        };
+        Ok(Walk::at(servers, Name::root(), chain))
+    }
+
+    /// One delegation level of the iterative walk: send the (possibly
+    /// minimized) question, follow a referral — DS/DNSKEY chain work
+    /// included — or classify the authoritative answer.
+    fn walk_level(
+        &self,
+        net: &Network,
+        walk: &mut Walk,
         qname: &Name,
         qtype: RrType,
         cost_base: &CostSnapshot,
-    ) -> ResolveOutcome {
+    ) -> LevelOutcome {
         let fail = |ede: Option<(EdeCode, String)>, meter: &CostMeter| {
-            ResolveOutcome::servfail(ede, meter.snapshot().since(cost_base))
+            LevelOutcome::Finished(ResolveOutcome::servfail(
+                ede,
+                meter.snapshot().since(cost_base),
+            ))
         };
-        let mut servers: Vec<IpAddr> = self.config.root_hints.clone();
-        let mut zone = Name::root();
-        let mut chain: Chain = if !self.config.validate {
-            Chain::Insecure
+        if walk.depth >= 24 {
+            return fail(None, &self.meter);
+        }
+        walk.depth += 1;
+        // Compute the (possibly minimized) question for this step.
+        let (send_name, send_type) = if self.config.qname_minimization {
+            match ancestor_below(qname, &walk.zone, walk.min_labels) {
+                Some(partial) if partial != *qname => (partial, RrType::NS),
+                _ => (qname.clone(), qtype),
+            }
         } else {
-            match self.cached_root_keys(net, &servers) {
-                Ok(Some(keys)) => Chain::Secure(keys),
-                Ok(None) => Chain::Insecure,
-                Err(e) => {
-                    return self.validation_failure(e, self.meter.snapshot().since(cost_base))
+            (qname.clone(), qtype)
+        };
+        let minimized = send_name != *qname;
+        let resp = match self.ask_any(net, &walk.servers, &send_name, send_type) {
+            Some(r) => r,
+            None => return fail(None, &self.meter),
+        };
+        // Referral: authority NS below current zone, not authoritative.
+        let referral_cut = resp
+            .authorities
+            .iter()
+            .find(|r| r.rrtype() == RrType::NS && r.name != walk.zone)
+            .map(|r| r.name.clone())
+            .filter(|_| resp.answers.is_empty() && resp.rcode == Rcode::NoError && !resp.flags.aa);
+        if let Some(cut) = referral_cut {
+            // Collect glue.
+            let mut next_servers: Vec<IpAddr> = Vec::new();
+            for rec in &resp.additionals {
+                match &rec.rdata {
+                    RData::A(a) => next_servers.push(IpAddr::V4(*a)),
+                    RData::Aaaa(a) => next_servers.push(IpAddr::V6(*a)),
+                    _ => {}
                 }
             }
-        };
-        // Pending DS set for the next child zone.
-        // RFC 9156: how many labels below the current zone we reveal.
-        let mut min_labels = 1usize;
-        for _depth in 0..24 {
-            // Compute the (possibly minimized) question for this step.
-            let (send_name, send_type) = if self.config.qname_minimization {
-                match ancestor_below(qname, &zone, min_labels) {
-                    Some(partial) if partial != *qname => (partial, RrType::NS),
-                    _ => (qname.clone(), qtype),
-                }
+            if next_servers.is_empty() {
+                return fail(None, &self.meter);
+            }
+            // The DS set that validated at this cut (empty when the
+            // delegation is insecure or anchor-secured).
+            let mut validated_ds: Vec<Record> = Vec::new();
+            // An anchor configured for the child apex takes precedence
+            // over the parent's DS set — this both enables islands of
+            // trust below insecure parents and makes a mis-anchored cut
+            // fail as AnchorMismatch instead of silently chaining on.
+            let child_anchor = if self.config.validate {
+                self.anchor_for(&cut)
             } else {
-                (qname.clone(), qtype)
+                None
             };
-            let minimized = send_name != *qname;
-            let resp = match self.ask_any(net, &servers, &send_name, send_type) {
-                Some(r) => r,
-                None => return fail(None, &self.meter),
-            };
-            // Referral: authority NS below current zone, not authoritative.
-            let referral_cut = resp
-                .authorities
-                .iter()
-                .find(|r| r.rrtype() == RrType::NS && r.name != zone)
-                .map(|r| r.name.clone())
-                .filter(|_| {
-                    resp.answers.is_empty() && resp.rcode == Rcode::NoError && !resp.flags.aa
-                });
-            if let Some(cut) = referral_cut {
-                // Collect glue.
-                let mut next_servers: Vec<IpAddr> = Vec::new();
-                for rec in &resp.additionals {
-                    match &rec.rdata {
-                        RData::A(a) => next_servers.push(IpAddr::V4(*a)),
-                        RData::Aaaa(a) => next_servers.push(IpAddr::V6(*a)),
-                        _ => {}
+            let next_chain = if let Some(anchor) = child_anchor {
+                match self.cached_anchor_keys(net, &next_servers, &anchor) {
+                    Ok(keys) => Chain::Secure(keys),
+                    Err(e) => {
+                        return LevelOutcome::Finished(
+                            self.validation_failure(e, self.meter.snapshot().since(cost_base)),
+                        )
                     }
                 }
-                if next_servers.is_empty() {
-                    return fail(None, &self.meter);
-                }
-                // Secure chain: establish the child's status via DS.
-                chain = match chain {
+            } else {
+                match &walk.chain {
                     Chain::Secure(parent_keys) => {
                         let ds_records: Vec<Record> = resp
                             .authorities
@@ -503,7 +608,7 @@ impl Resolver {
                                 &cut,
                                 &ds_records,
                                 &sigs,
-                                &parent_keys,
+                                parent_keys,
                                 self.config.now,
                                 &self.meter,
                             ) {
@@ -515,68 +620,108 @@ impl Resolver {
                                 } else {
                                     ValidationError::BadSignature
                                 };
-                                return self
-                                    .validation_failure(e, self.meter.snapshot().since(cost_base));
+                                return LevelOutcome::Finished(self.validation_failure(
+                                    e,
+                                    self.meter.snapshot().since(cost_base),
+                                ));
                             }
                             match self.cached_child_keys(net, &next_servers, &cut, &ds_records) {
-                                Ok(keys) => Chain::Secure(keys),
+                                Ok(keys) => {
+                                    validated_ds = ds_records;
+                                    Chain::Secure(keys)
+                                }
                                 Err(e) => {
-                                    return self.validation_failure(
+                                    return LevelOutcome::Finished(self.validation_failure(
                                         e,
                                         self.meter.snapshot().since(cost_base),
-                                    )
+                                    ))
                                 }
                             }
                         } else {
                             // No DS: must be proven absent.
-                            match self.check_insecure_delegation(&resp, &cut, &parent_keys) {
+                            match self.check_insecure_delegation(&resp, &cut, parent_keys) {
                                 Ok(LimitFlow::Continue) => Chain::Insecure,
                                 Ok(LimitFlow::ServFail) => {
                                     return fail(self.limit_ede(), &self.meter)
                                 }
                                 Ok(LimitFlow::Insecure) => Chain::Insecure,
                                 Err(e) => {
-                                    return self.validation_failure(
+                                    return LevelOutcome::Finished(self.validation_failure(
                                         e,
                                         self.meter.snapshot().since(cost_base),
-                                    )
+                                    ))
                                 }
                             }
                         }
                     }
                     Chain::Insecure => Chain::Insecure,
-                };
-                servers = next_servers;
-                zone = cut;
-                min_labels = 1;
-                continue;
-            }
-
-            if minimized {
-                match resp.rcode {
-                    // The partial name exists (NODATA or an in-zone NS
-                    // answer): reveal one more label to the same servers.
-                    Rcode::NoError => {
-                        min_labels += 1;
-                        continue;
-                    }
-                    // The partial name does not exist: neither does the
-                    // full qname. Validate the denial of the *partial*
-                    // name — that is what the proof in hand covers.
-                    Rcode::NxDomain => {
-                        let mut out = self
-                            .finish(net, &resp, &send_name, send_type, &zone, &chain, cost_base);
-                        out.answers.clear();
-                        return out;
-                    }
-                    _ => return fail(None, &self.meter),
                 }
+            };
+            // Remember the cut for warm restarts (NS TTL bounds it).
+            if self.config.delegation_cache {
+                let ttl = resp
+                    .authorities
+                    .iter()
+                    .filter(|r| r.rrtype() == RrType::NS && r.name == cut)
+                    .map(|r| r.ttl)
+                    .min()
+                    .unwrap_or(3600);
+                self.delegations.insert(
+                    cut.clone(),
+                    Delegation {
+                        servers: next_servers.clone(),
+                        secure: matches!(next_chain, Chain::Secure(_)),
+                        ds: validated_ds,
+                    },
+                    net.now_micros(),
+                    ttl,
+                );
             }
-
-            // Final response from the authoritative side.
-            return self.finish(net, &resp, qname, qtype, &zone, &chain, cost_base);
+            walk.servers = next_servers;
+            walk.zone = cut;
+            walk.chain = next_chain;
+            walk.min_labels = 1;
+            return LevelOutcome::Descend;
         }
-        fail(None, &self.meter)
+
+        if minimized {
+            match resp.rcode {
+                // The partial name exists (NODATA or an in-zone NS
+                // answer): reveal one more label to the same servers.
+                Rcode::NoError => {
+                    walk.min_labels += 1;
+                    return LevelOutcome::Descend;
+                }
+                // The partial name does not exist: neither does the
+                // full qname. Validate the denial of the *partial*
+                // name — that is what the proof in hand covers.
+                Rcode::NxDomain => {
+                    let mut out = self.finish(
+                        net,
+                        &resp,
+                        &send_name,
+                        send_type,
+                        &walk.zone,
+                        &walk.chain,
+                        cost_base,
+                    );
+                    out.answers.clear();
+                    return LevelOutcome::Finished(out);
+                }
+                _ => return fail(None, &self.meter),
+            }
+        }
+
+        // Final response from the authoritative side.
+        LevelOutcome::Finished(self.finish(
+            net,
+            &resp,
+            qname,
+            qtype,
+            &walk.zone,
+            &walk.chain,
+            cost_base,
+        ))
     }
 
     /// Validate and classify the authoritative response.
@@ -889,21 +1034,29 @@ impl Resolver {
         Ok(LimitFlow::Continue)
     }
 
+    /// The configured trust anchor covering exactly `zone`'s apex, if any.
+    fn anchor_for(&self, zone: &Name) -> Option<TrustAnchor> {
+        self.config
+            .trust_anchors
+            .iter()
+            .find(|a| a.zone == *zone)
+            .cloned()
+    }
+
     /// Key-cache wrapper around [`Resolver::fetch_keys_via_anchor`].
-    fn cached_root_keys(
+    fn cached_anchor_keys(
         &self,
         net: &Network,
         servers: &[IpAddr],
-    ) -> Result<Option<ZoneKeys>, ValidationError> {
-        if let Some(keys) = self.key_cache.get(&Name::root(), net.now_micros()) {
-            return Ok(Some(keys));
+        anchor: &TrustAnchor,
+    ) -> Result<ZoneKeys, ValidationError> {
+        if let Some(keys) = self.key_cache.get(&anchor.zone, net.now_micros()) {
+            return Ok(keys);
         }
-        let fetched = self.fetch_keys_via_anchor(net, servers)?;
-        if let Some(keys) = &fetched {
-            self.key_cache
-                .put(Name::root(), keys.clone(), net.now_micros(), 3600);
-        }
-        Ok(fetched)
+        let keys = self.fetch_keys_via_anchor(net, servers, anchor)?;
+        self.key_cache
+            .put(anchor.zone.clone(), keys.clone(), net.now_micros(), 3600);
+        Ok(keys)
     }
 
     /// Key-cache wrapper around [`Resolver::fetch_child_keys`].
@@ -923,16 +1076,16 @@ impl Resolver {
         Ok(keys)
     }
 
-    /// Fetch and validate the root DNSKEY RRset against the trust anchors.
+    /// Fetch the anchored zone's DNSKEY RRset and validate it against
+    /// `anchor`. A served key set that does not contain the anchored key
+    /// is [`ValidationError::AnchorMismatch`] — the mis-anchored-zone
+    /// signal, kept distinct from on-path tampering verdicts.
     fn fetch_keys_via_anchor(
         &self,
         net: &Network,
         servers: &[IpAddr],
-    ) -> Result<Option<ZoneKeys>, ValidationError> {
-        let anchor = match self.config.trust_anchors.first() {
-            Some(a) => a.clone(),
-            None => return Ok(None),
-        };
+        anchor: &TrustAnchor,
+    ) -> Result<ZoneKeys, ValidationError> {
         let resp = self
             .ask_any(net, servers, &anchor.zone, RrType::DNSKEY)
             .ok_or(ValidationError::MissingSignature)?;
@@ -953,7 +1106,7 @@ impl Resolver {
             sha256(&buf).to_vec() == anchor.digest
         });
         if !anchored {
-            return Err(ValidationError::BadSignature);
+            return Err(ValidationError::AnchorMismatch);
         }
         let keys = ZoneKeys::from_dnskeys(anchor.zone.clone(), &dnskeys);
         let sigs = rrsigs_at(&resp.answers, &anchor.zone);
@@ -965,7 +1118,7 @@ impl Resolver {
             self.config.now,
             &self.meter,
         )?;
-        Ok(Some(keys))
+        Ok(keys)
     }
 
     /// Fetch the child zone's DNSKEY RRset and validate it against the DS
@@ -1036,6 +1189,10 @@ impl Resolver {
                 (EdeCode::DNSSEC_BOGUS, "")
             }
             ValidationError::BadSignature => (EdeCode::DNSSEC_BOGUS, ""),
+            // Mis-anchored zone: the served DNSKEY set never matched the
+            // configured anchor. Same RFC 8914 code as bogus, but the
+            // text lets chain-of-trust reports bucket it separately.
+            ValidationError::AnchorMismatch => (EdeCode::DNSSEC_BOGUS, "trust anchor mismatch"),
             // RFC 8914 has no dedicated code for resource-limit aborts;
             // real deployments use 0 (Other) with explanatory text.
             ValidationError::BudgetExceeded => (EdeCode::OTHER, "work budget exceeded"),
@@ -1060,6 +1217,201 @@ enum LimitFlow {
     Continue,
     Insecure,
     ServFail,
+}
+
+/// In-flight state of one iterative walk (one hop of CNAME chasing).
+struct Walk {
+    servers: Vec<IpAddr>,
+    zone: Name,
+    chain: Chain,
+    /// RFC 9156: how many labels below the current zone we reveal.
+    min_labels: usize,
+    /// Delegation levels executed on this walk (24 caps runaway loops).
+    depth: usize,
+}
+
+impl Walk {
+    fn at(servers: Vec<IpAddr>, zone: Name, chain: Chain) -> Self {
+        Walk {
+            servers,
+            zone,
+            chain,
+            min_labels: 1,
+            depth: 0,
+        }
+    }
+}
+
+/// What one delegation level decided.
+enum LevelOutcome {
+    /// Referral followed or minimized label revealed; the walk continues.
+    Descend,
+    /// The walk reached a verdict for its current target.
+    Finished(ResolveOutcome),
+}
+
+/// What a [`Recursion::step`] left behind.
+#[derive(Debug)]
+pub enum RecursionStep {
+    /// More delegation levels remain; call [`Recursion::step`] again
+    /// (event-core drivers park the flow here).
+    Pending,
+    /// The resolution finished with this outcome (already entered into
+    /// the answer cache).
+    Done(ResolveOutcome),
+}
+
+/// One client resolution reified as a steppable machine — the
+/// `Iterator`-style recursion engine. Every [`Recursion::step`] performs
+/// at most one delegation level (one upstream exchange plus the
+/// DS/DNSKEY chain work it triggers), so event-core drivers can
+/// interleave many multi-hop walks under a bounded window, while
+/// [`Resolver::resolve`] drives the very same machine to completion in a
+/// loop: one code path, so blocking and stepped execution are identical
+/// by construction.
+///
+/// The per-query work budget is armed on the resolver's shared meter for
+/// the machine's lifetime (dropped machines disarm it), so drive one
+/// machine at a time per resolver.
+pub struct Recursion<'a> {
+    resolver: &'a Resolver,
+    qname: Name,
+    qtype: RrType,
+    /// Cost snapshot when the budget was armed.
+    before: CostSnapshot,
+    /// Current resolution target (advances along the CNAME chain).
+    target: Name,
+    /// CNAME hops taken so far (8 caps the chain).
+    hops: usize,
+    /// Answer records accumulated across CNAME hops.
+    answers: Vec<Record>,
+    walk: Option<Walk>,
+    /// Outcome decided at `begin_recursion` time (cache hit, RFC 8198
+    /// synthesis): returned by the first `step` without touching the
+    /// network or the answer cache.
+    settled: Option<ResolveOutcome>,
+    armed: bool,
+}
+
+impl<'a> Recursion<'a> {
+    /// A machine that already holds its outcome.
+    fn settled(
+        resolver: &'a Resolver,
+        qname: Name,
+        qtype: RrType,
+        outcome: ResolveOutcome,
+    ) -> Self {
+        Recursion {
+            resolver,
+            qname: qname.clone(),
+            qtype,
+            before: CostSnapshot::default(),
+            target: qname,
+            hops: 0,
+            answers: Vec::new(),
+            walk: None,
+            settled: Some(outcome),
+            armed: false,
+        }
+    }
+
+    /// The question this machine is resolving.
+    pub fn question(&self) -> (&Name, RrType) {
+        (&self.qname, self.qtype)
+    }
+
+    /// Advance by at most one delegation level.
+    pub fn step(&mut self, net: &Network) -> RecursionStep {
+        if let Some(outcome) = self.settled.take() {
+            return RecursionStep::Done(outcome);
+        }
+        if self.walk.is_none() {
+            match self.resolver.start_walk(net, &self.target, &self.before) {
+                Ok(walk) => {
+                    self.walk = Some(walk);
+                    return RecursionStep::Pending;
+                }
+                Err(outcome) => return self.finish_resolution(net, outcome),
+            }
+        }
+        let walk = self.walk.as_mut().expect("walk just ensured");
+        match self
+            .resolver
+            .walk_level(net, walk, &self.target, self.qtype, &self.before)
+        {
+            LevelOutcome::Descend => RecursionStep::Pending,
+            LevelOutcome::Finished(outcome) => self.after_walk(net, outcome),
+        }
+    }
+
+    /// CNAME bookkeeping after one walk finished: chase an in-answer
+    /// CNAME (up to 8 hops) or conclude the resolution.
+    fn after_walk(&mut self, net: &Network, mut outcome: ResolveOutcome) -> RecursionStep {
+        let cname = outcome.answers.iter().find_map(|r| {
+            match (
+                &r.rdata,
+                r.rrtype() == RrType::CNAME && self.qtype != RrType::CNAME,
+            ) {
+                (RData::Cname(next), true) => Some(next.clone()),
+                _ => None,
+            }
+        });
+        let has_final = outcome.answers.iter().any(|r| r.rrtype() == self.qtype);
+        self.answers.append(&mut outcome.answers);
+        let authorities = std::mem::take(&mut outcome.authorities);
+        match cname {
+            Some(next) if !has_final && outcome.rcode == Rcode::NoError => {
+                self.hops += 1;
+                if self.hops >= 8 {
+                    let cost = self.resolver.meter.snapshot().since(&self.before);
+                    return self.finish_resolution(net, ResolveOutcome::servfail(None, cost));
+                }
+                self.target = next;
+                self.walk = None;
+                RecursionStep::Pending
+            }
+            _ => {
+                let outcome = ResolveOutcome {
+                    answers: std::mem::take(&mut self.answers),
+                    authorities,
+                    cost: self.resolver.meter.snapshot().since(&self.before),
+                    ..outcome
+                };
+                self.finish_resolution(net, outcome)
+            }
+        }
+    }
+
+    /// Disarm the budget, cache the outcome, and hand it out.
+    fn finish_resolution(&mut self, net: &Network, outcome: ResolveOutcome) -> RecursionStep {
+        self.resolver.meter.disarm_budget();
+        self.armed = false;
+        let ttl = answer_ttl(&outcome);
+        self.resolver.answer_cache.put(
+            (self.qname.clone(), self.qtype),
+            CachedAnswer {
+                rcode: outcome.rcode,
+                authenticated: outcome.authenticated,
+                answers: outcome.answers.clone(),
+                authorities: outcome.authorities.clone(),
+                ede: outcome.ede.clone(),
+                budget_exceeded: outcome.budget_exceeded,
+            },
+            net.now_micros(),
+            ttl,
+        );
+        RecursionStep::Done(outcome)
+    }
+}
+
+impl Drop for Recursion<'_> {
+    fn drop(&mut self) {
+        // An abandoned in-flight machine must not leave the per-query
+        // budget armed on the resolver's shared meter.
+        if self.armed {
+            self.resolver.meter.disarm_budget();
+        }
+    }
 }
 
 /// RRSIGs at `owner` within a section.

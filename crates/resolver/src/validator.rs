@@ -63,6 +63,11 @@ pub enum ValidationError {
     InconsistentNsec3,
     /// NSEC3 uses an unknown hash algorithm (zone treated as insecure).
     UnknownNsec3Algorithm,
+    /// A configured trust anchor covers the zone apex but no served
+    /// DNSKEY matches its tag + digest — a mis-anchored zone. Kept
+    /// distinct from [`ValidationError::BadSignature`] so chain-of-trust
+    /// studies can tell anchor misconfiguration from on-path tampering.
+    AnchorMismatch,
     /// The per-query [`WorkBudget`](crate::policy::WorkBudget) armed on the
     /// meter ran out before validation finished: the response demanded more
     /// hashing or signature checking than the resolver is willing to spend.

@@ -76,6 +76,22 @@ SMOKE_DIR="$(mktemp -d)"
 )
 rm -rf "$SMOKE_DIR"
 
+echo "== iterative-recursion gate (reduced sample)"
+# bench_recursion stands the signed root→TLD→leaf hierarchy up and
+# exits nonzero unless the delegation cache actually pays: warm walks
+# must issue strictly fewer upstream queries than cold ones (with real
+# cache hits recorded), the cached fleet must beat the cacheless
+# upstream bill, and deep chains must amplify the per-walk message
+# count over shallow ones. Eight TLDs with two leaves each keep it a
+# smoke test; the JSON lands in a scratch dir, not the repo.
+SMOKE_DIR="$(mktemp -d)"
+(
+    cd "$SMOKE_DIR" \
+        && HEROES_REC_TLDS=8 HEROES_REC_LEAVES=2 \
+            "$ROOT/target/release/bench_recursion" >/dev/null
+)
+rm -rf "$SMOKE_DIR"
+
 echo "== streaming-census memory gate (100 K domains, fixed RSS ceiling)"
 # The streaming census must hold memory flat regardless of population:
 # shards pull domains from the O(1) generator one batch at a time and

@@ -536,3 +536,62 @@ fn adversarial_driver_is_identical_across_thread_counts_and_windows() {
         );
     }
 }
+
+#[test]
+fn chain_study_is_identical_across_thread_counts_and_windows() {
+    // The chain-of-trust study gives every TLD its own lab and walks it
+    // with a steppable recursion machine, so tallies are shard- and
+    // window-invariant by construction — pin it anyway, clean and
+    // lossy, with the per-bucket accounting invariant along.
+    use nsec3_core::hierarchy::{run_chain_study_cfg, ChainStudy};
+    use popgen::hierarchy::HierarchyModel;
+    let study = ChainStudy::new(HierarchyModel::intact(16, 2, 7).with_faults(3));
+    let base = |threads| DriverConfig::clean(NOW, threads, DEFAULT_LAB_SEED);
+    let r1 = run_chain_study_cfg(&study, &base(1));
+    for threads in [2usize, 4, 8] {
+        let rn = run_chain_study_cfg(&study, &base(threads));
+        assert_eq!(
+            format!("{:?}", r1.per_scenario),
+            format!("{:?}", rn.per_scenario),
+            "clean chain study must render byte-identically at threads = {threads}"
+        );
+        assert_eq!(r1.probe_stats, rn.probe_stats);
+    }
+    let narrow = run_chain_study_cfg(&study, &base(4).with_window(1));
+    assert_eq!(
+        format!("{:?}", r1.per_scenario),
+        format!("{:?}", narrow.per_scenario),
+        "window = 1 must match the default window"
+    );
+    let total = r1.total();
+    assert!(total.secure > 0, "signed intact chains authenticate");
+    assert!(total.delegation_hits > 0, "warm leaf walks hit cached cuts");
+    assert_eq!(total.lost, 0, "clean network loses nothing");
+    for (key, t) in &r1.per_scenario {
+        assert_eq!(
+            t.queries,
+            t.secure + t.insecure + t.bogus + t.bogus_anchor + t.lame + t.lost + t.budget_exceeded,
+            "{key}: accounting invariant"
+        );
+    }
+
+    // Flow-keyed lossy profile: still byte-identical, losses accounted
+    // but never classified into a verdict bucket.
+    let lossy = |threads: usize| base(threads).with_profile(flow_keyed_lossy());
+    let l1 = run_chain_study_cfg(&study, &lossy(1));
+    let l4 = run_chain_study_cfg(&study, &lossy(4));
+    assert_eq!(
+        format!("{:?}", l1.per_scenario),
+        format!("{:?}", l4.per_scenario),
+        "lossy chain study must render byte-identically at threads = 1 and 4"
+    );
+    assert_eq!(l1.probe_stats, l4.probe_stats);
+    assert!(l1.probe_stats.is_consistent());
+    for (key, t) in &l1.per_scenario {
+        assert_eq!(
+            t.queries,
+            t.secure + t.insecure + t.bogus + t.bogus_anchor + t.lame + t.lost + t.budget_exceeded,
+            "{key}: lossy accounting invariant"
+        );
+    }
+}

@@ -207,3 +207,66 @@ fn unreachability_output_is_pinned() {
     );
     assert_eq!(hash, 0x3515_4b9e_cac9_0208, "unreachability output moved");
 }
+
+#[test]
+fn stepped_recursion_reproduces_blocking_resolution() {
+    // The recursion-machine refactor's contract: driving a walk one
+    // level at a time through `begin_recursion`/`step` produces the
+    // same outcomes — rcode, AD, answers, cost — as the blocking
+    // `resolve` path, including when the hierarchy collapses to a
+    // single zone (the old one-hop shape). Two identically seeded
+    // hierarchies, one walked each way.
+    use dns_resolver::resolver::{RecursionStep, Resolver, ResolverConfig};
+    use dns_wire::name::Name;
+    use dns_wire::rrtype::RrType;
+    use nsec3_core::hierarchy::build_hierarchy;
+    use popgen::hierarchy::HierarchyModel;
+
+    for (tld_count, leaves) in [(1usize, 1usize), (4, 2)] {
+        let model = HierarchyModel::intact(tld_count, leaves, 7);
+        let probes: Vec<Name> = {
+            let h = build_hierarchy(&model, NOW, DEFAULT_LAB_SEED);
+            let mut names = Vec::new();
+            for tld in &h.tlds {
+                for leaf in &tld.leaves {
+                    names.push(Name::parse(&format!("www.{}", leaf.name)).unwrap());
+                    names.push(Name::parse(&format!("nope.{}", leaf.name)).unwrap());
+                }
+            }
+            names
+        };
+        let walk = |stepped: bool| -> String {
+            let h = build_hierarchy(&model, NOW, DEFAULT_LAB_SEED);
+            let mut lab = h.lab;
+            let raddr = lab.alloc.v4();
+            let mut rcfg =
+                ResolverConfig::validating(raddr, lab.root_hints.clone(), lab.anchor.clone());
+            rcfg.now = lab.now;
+            rcfg.delegation_cache = true;
+            let resolver = Resolver::new(rcfg);
+            let mut rendered = String::new();
+            for probe in &probes {
+                let out = if stepped {
+                    let mut machine = resolver.begin_recursion(&lab.net, probe, RrType::A);
+                    loop {
+                        if let RecursionStep::Done(out) = machine.step(&lab.net) {
+                            break out;
+                        }
+                    }
+                } else {
+                    resolver.resolve(&lab.net, probe, RrType::A)
+                };
+                rendered.push_str(&format!("{probe} {out:?}\n"));
+            }
+            rendered
+        };
+        let blocking = walk(false);
+        let stepped = walk(true);
+        assert_eq!(
+            fnv1a(&blocking),
+            fnv1a(&stepped),
+            "tld_count = {tld_count}: stepped walk diverged from blocking walk"
+        );
+        assert!(blocking.contains("rcode: NoError"));
+    }
+}
